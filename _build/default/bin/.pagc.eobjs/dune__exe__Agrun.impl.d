@@ -1,0 +1,1 @@
+bin/agrun.ml: Agspec Appendix Arg Cmd Cmdliner Compile Format Lazy List Lrgen Option Pag_analysis Pag_core Pag_parallel Printf Spec_parser Term

@@ -1,0 +1,1 @@
+bin/pagc.ml: Arg Cmd Cmdliner Driver Lexer List Netsim Option Pag_parallel Parser Pascal Printf Term

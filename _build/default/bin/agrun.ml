@@ -1,0 +1,110 @@
+(* agrun — the evaluator generator's driver.
+
+   Loads an attribute-grammar specification (the appendix language),
+   generates scanner, LALR(1) parser and evaluators from it, then parses and
+   evaluates input sentences, printing the root attributes.
+
+     agrun spec.ag "let x = 2 in 1 + 2 * x ni"
+     agrun --builtin-appendix "1 + 2 * 3"
+     agrun --machines 3 spec.ag sentence.txt-or-literal *)
+
+open Cmdliner
+open Agspec
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_agrun builtin spec_file machines show_plan sentences =
+  try
+    let t =
+      if builtin then Lazy.force Appendix.translator
+      else
+        match spec_file with
+        | Some f -> Compile.translator (Spec_parser.parse (read_file f))
+        | None ->
+            Printf.eprintf "either a spec file or --builtin-appendix is required\n";
+            exit 1
+    in
+    Printf.eprintf "parser: %d states%s; grammar: %s\n"
+      (Lrgen.Lalr.state_count (Compile.tables t))
+      (match Lrgen.Lalr.conflicts (Compile.tables t) with
+      | [] -> ""
+      | cs -> Printf.sprintf " (%d conflicts)" (List.length cs))
+      (match Compile.plan t with
+      | Some _ -> "ordered (static evaluation)"
+      | None -> "not ordered (dynamic evaluation)");
+    if show_plan then
+      Option.iter
+        (fun p ->
+          Format.eprintf "%a@." Pag_analysis.Kastens.pp_plan p)
+        (Compile.plan t);
+    let eval src =
+      let tree = Compile.parse t src in
+      let attrs =
+        if machines <= 1 then Compile.evaluate t tree
+        else
+          (Compile.evaluate_parallel t
+             {
+               Pag_parallel.Runner.default_options with
+               Pag_parallel.Runner.machines = machines;
+               use_librarian = false;
+             }
+             tree)
+            .Pag_parallel.Runner.r_attrs
+      in
+      Printf.printf "%s\n" src;
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "  %s = %s\n" name (Pag_core.Value.to_string v))
+        attrs
+    in
+    List.iter eval sentences;
+    exit 0
+  with
+  | Spec_parser.Error (line, msg) ->
+      Printf.eprintf "spec:%d: %s\n" line msg;
+      exit 1
+  | Compile.Error msg | Pag_core.Grammar.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Compile.Scan_error msg ->
+      Printf.eprintf "scan error: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let builtin_arg =
+  Arg.(
+    value & flag
+    & info [ "builtin-appendix" ]
+        ~doc:"Use the built-in specification from the paper's appendix.")
+
+let spec_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SPEC" ~doc:"Attribute-grammar specification file.")
+
+let machines_arg =
+  Arg.(value & opt int 1 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Evaluator machines.")
+
+let plan_arg =
+  Arg.(value & flag & info [ "plan" ] ~doc:"Print the ordered evaluation plan.")
+
+let sentences_arg =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"SENTENCE" ~doc:"Sentences to evaluate.")
+
+let cmd =
+  let doc = "generate and run an attribute-grammar translator" in
+  Cmd.v
+    (Cmd.info "agrun" ~doc)
+    Term.(
+      const run_agrun $ builtin_arg $ spec_arg $ machines_arg $ plan_arg
+      $ sentences_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,159 @@
+(* pagc — the parallel Pascal compiler.
+
+   Compiles a Pascal-subset source file to VAX assembly by attribute-grammar
+   evaluation, sequentially or in parallel on the simulated network
+   multiprocessor (or on OCaml domains). Mirrors the paper's generated
+   compiler, including the runtime granularity argument.
+
+     pagc prog.pas                          sequential static evaluation
+     pagc --machines 5 prog.pas             parallel combined evaluator
+     pagc --machines 5 --evaluator dynamic  parallel dynamic evaluator
+     pagc --run prog.pas                    compile, assemble, execute
+     pagc --gantt --machines 5 prog.pas     print the evaluator timeline *)
+
+open Cmdliner
+open Pascal
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_compiler file machines evaluator transport granularity no_librarian
+    no_priority optimize run_it gantt out input =
+  try
+    let src = read_file file in
+    let program = Parser.parse_program src in
+    let mode = if evaluator = "dynamic" then `Dynamic else `Combined in
+    let compiled, trace_info =
+      if machines <= 1 && transport = "sim" && mode = `Combined then
+        (Driver.compile ~evaluator:`Static program, None)
+      else begin
+        let opts =
+          {
+            Pag_parallel.Runner.default_options with
+            Pag_parallel.Runner.machines;
+            mode;
+            granularity;
+            use_librarian = not no_librarian;
+            use_priority = not no_priority;
+            phase_label = Driver.phase_label;
+          }
+        in
+        let result, compiled =
+          if transport = "domains" then
+            Driver.compile_parallel_domains opts program
+          else Driver.compile_parallel_sim opts program
+        in
+        (compiled, Some result)
+      end
+    in
+    (match trace_info with
+    | Some r ->
+        Printf.eprintf
+          "evaluated on %d fragment(s) in %.3fs (%s), %d messages, %.2f%% \
+           dynamic rules\n"
+          r.Pag_parallel.Runner.r_fragments r.Pag_parallel.Runner.r_time
+          (if transport = "domains" then "wall clock" else "simulated")
+          r.Pag_parallel.Runner.r_messages
+          (100.0 *. r.Pag_parallel.Runner.r_dynamic_fraction);
+        if gantt then
+          Option.iter
+            (fun tr ->
+              prerr_string
+                (Netsim.Gantt.render
+                   ~names:
+                     (Pag_parallel.Runner.machine_name
+                        ~fragments:r.Pag_parallel.Runner.r_fragments)
+                   tr))
+            r.Pag_parallel.Runner.r_trace
+    | None -> ());
+    if compiled.Driver.c_errors <> [] then begin
+      List.iter (Printf.eprintf "error: %s\n") compiled.Driver.c_errors;
+      exit 1
+    end;
+    let compiled = if optimize then Driver.optimize compiled else compiled in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc compiled.Driver.c_asm;
+        close_out oc
+    | None -> if not run_it then print_string compiled.Driver.c_asm);
+    if run_it then begin
+      match Driver.run_compiled ~input compiled with
+      | Ok output -> print_string output
+      | Error e ->
+          Printf.eprintf "runtime error: %s\n" e;
+          exit 2
+    end;
+    exit 0
+  with
+  | Lexer.Lex_error (line, msg) ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" file line msg;
+      exit 1
+  | Parser.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: syntax error: %s\n" file line msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Pascal source file.")
+
+let machines_arg =
+  Arg.(value & opt int 1 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Number of evaluator machines.")
+
+let evaluator_arg =
+  Arg.(
+    value
+    & opt (enum [ ("combined", "combined"); ("dynamic", "dynamic") ]) "combined"
+    & info [ "evaluator"; "e" ] ~doc:"Evaluator kind: combined or dynamic.")
+
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", "sim"); ("domains", "domains") ]) "sim"
+    & info [ "transport" ] ~doc:"sim = network simulator, domains = OCaml multicore.")
+
+let granularity_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "granularity"; "g" ]
+        ~doc:"Scale factor on the minimum split size (the paper's runtime argument).")
+
+let no_librarian_arg =
+  Arg.(value & flag & info [ "no-librarian" ] ~doc:"Disable the string librarian.")
+
+let no_priority_arg =
+  Arg.(value & flag & info [ "no-priority" ] ~doc:"Ignore priority attributes.")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply the peephole optimizer.")
+
+let run_arg =
+  Arg.(value & flag & info [ "run" ] ~doc:"Assemble and run on the VAX simulator.")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print the evaluator activity chart.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Write assembly to OUT.")
+
+let input_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "input" ] ~docv:"INTS" ~doc:"Input integers for read(), comma separated.")
+
+let cmd =
+  let doc = "parallel Pascal-subset compiler by attribute-grammar evaluation" in
+  Cmd.v
+    (Cmd.info "pagc" ~doc)
+    Term.(
+      const run_compiler $ file_arg $ machines_arg $ evaluator_arg
+      $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
+      $ optimize_arg $ run_arg $ gantt_arg $ out_arg $ input_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/expr_calculator.ml: Agspec Appendix Array Compile Lazy List Lrgen Pag_core Pag_parallel Printf Sys

@@ -1,0 +1,1 @@
+examples/expr_calculator.mli:

@@ -1,0 +1,1 @@
+examples/librarian_demo.ml: Driver List Netsim Pag_parallel Pascal Printf Progen Runner String

@@ -1,0 +1,1 @@
+examples/librarian_demo.mli:

@@ -1,0 +1,1 @@
+examples/parallel_compile.ml: Array Driver Format Netsim Pag_parallel Pascal Pp Printf Progen Random Runner Split Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dynamic Expr_ag Format Kastens List Oracle Pag_analysis Pag_core Pag_eval Pag_grammars Pag_parallel Printf Static_eval Store Value

@@ -1,0 +1,62 @@
+(* The compiler-generator workflow of the paper's appendix: load an
+   attribute-grammar specification, generate scanner + LALR(1) parser +
+   evaluators from it, and evaluate sentences.
+
+   Run with:
+     dune exec examples/expr_calculator.exe                      (demo)
+     dune exec examples/expr_calculator.exe -- "1 + 2 * 3"       (one shot)
+     dune exec examples/expr_calculator.exe -- --machines 3 "..." *)
+
+open Agspec
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let machines, exprs =
+    let rec go = function
+      | "--machines" :: n :: rest ->
+          let m, es = go rest in
+          ignore m;
+          (int_of_string n, es)
+      | e :: rest ->
+          let m, es = go rest in
+          (m, e :: es)
+      | [] -> (1, [])
+    in
+    go (List.tl args)
+  in
+  let t = Lazy.force Appendix.translator in
+  Printf.printf
+    "generated from the appendix specification: %d parser states, grammar %s\n"
+    (Lrgen.Lalr.state_count (Compile.tables t))
+    (match Compile.plan t with
+    | Some _ -> "is ordered (static evaluation)"
+    | None -> "needs dynamic evaluation");
+  let eval src =
+    let tree = Compile.parse t src in
+    let value =
+      if machines <= 1 then List.assoc "value" (Compile.evaluate t tree)
+      else begin
+        let r =
+          Compile.evaluate_parallel t
+            {
+              Pag_parallel.Runner.default_options with
+              Pag_parallel.Runner.machines = machines;
+              use_librarian = false;
+            }
+            tree
+        in
+        List.assoc "value" r.Pag_parallel.Runner.r_attrs
+      end
+    in
+    Printf.printf "%-50s = %s\n" src (Pag_core.Value.to_string value)
+  in
+  if exprs <> [] then List.iter eval exprs
+  else begin
+    List.iter eval
+      [
+        "1 + 2 * 3";
+        "(1 + 2) * 3";
+        "let x = 2 in 1 + 2 * x ni";
+        "let a = 3 in let b = a * a in a + b ni ni";
+      ]
+  end

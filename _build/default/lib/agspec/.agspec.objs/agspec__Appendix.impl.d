@@ -1,0 +1,1 @@
+lib/agspec/appendix.ml: Compile Lazy Spec_parser

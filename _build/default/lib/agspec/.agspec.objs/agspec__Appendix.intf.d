@@ -1,0 +1,1 @@
+lib/agspec/appendix.mli: Compile Lazy Spec_ast

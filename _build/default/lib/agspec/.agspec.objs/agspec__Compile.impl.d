@@ -1,0 +1,1 @@
+lib/agspec/compile.ml: Array Grammar Hashtbl List Lrgen Option Pag_analysis Pag_core Pag_eval Pag_parallel Primitives Printf Spec_ast String Tree Value

@@ -1,0 +1,1 @@
+lib/agspec/compile.mli: Grammar Lrgen Pag_analysis Pag_core Pag_parallel Spec_ast Tree Value

@@ -1,0 +1,1 @@
+lib/agspec/primitives.ml: Array Codestr Hashtbl List Pag_core Pag_util Printf Rope Symtab Uid Value

@@ -1,0 +1,1 @@
+lib/agspec/primitives.mli: Pag_core

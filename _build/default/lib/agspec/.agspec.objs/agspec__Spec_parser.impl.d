@@ -1,0 +1,1 @@
+lib/agspec/spec_parser.ml: Buffer List Printf Spec_ast String

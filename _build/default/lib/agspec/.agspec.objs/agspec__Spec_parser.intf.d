@@ -1,0 +1,1 @@
+lib/agspec/spec_parser.mli: Spec_ast

@@ -1,0 +1,76 @@
+(* The specification from the paper's appendix: values of arithmetic
+   expressions with let-bound constants, in the reconstruction of the
+   evaluator-generator syntax documented in Spec_ast. The worked example
+
+     let x = 2 in 1 + 2 * x ni
+
+   has value 5. *)
+
+let source =
+  {|
+/* Attribute grammar of the appendix: expression values with constant
+   declarations. Subtrees rooted at block may be split off and processed
+   separately when their representation is at least 64 bytes long. */
+
+%name IDENTIFIER ident string
+%name NUMBER number value
+
+%keyword LET "let"  EQ "="  IN "in"  NI "ni"  PLUS "+"  TIMES "*"
+%keyword LPAREN "("  RPAREN ")"
+
+%nosplit main_expr : syn value
+%nosplit expr : syn value, inh priority stab
+%split 64 block : syn value, inh priority stab
+
+%start main_expr
+
+%left PLUS
+%left TIMES
+
+%%
+
+main_expr -> expr {
+  $$.value = $1.value;
+  $1.stab = st_create();
+}
+
+expr -> expr PLUS expr {
+  $$.value = add($1.value, $3.value);
+  $1.stab = $$.stab;
+  $3.stab = $$.stab;
+}
+
+expr -> expr TIMES expr {
+  $$.value = mul($1.value, $3.value);
+  $1.stab = $$.stab;
+  $3.stab = $$.stab;
+}
+
+expr -> IDENTIFIER {
+  $$.value = st_lookup($$.stab, $1.string);
+}
+
+expr -> NUMBER {
+  $$.value = $1.value;
+}
+
+expr -> LPAREN expr RPAREN {
+  $$.value = $2.value;
+  $2.stab = $$.stab;
+}
+
+expr -> block {
+  $$.value = $1.value;
+  $1.stab = $$.stab;
+}
+
+block -> LET IDENTIFIER EQ expr IN expr NI {
+  $$.value = $6.value;
+  $4.stab = $$.stab;
+  $6.stab = st_add($$.stab, $2.string, $4.value);
+}
+|}
+
+let spec = lazy (Spec_parser.parse source)
+
+let translator = lazy (Compile.translator (Lazy.force spec))

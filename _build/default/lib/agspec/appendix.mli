@@ -1,0 +1,10 @@
+(** The specification from the paper's appendix — arithmetic expression
+    values with let-bound constants — as a built-in fixture. The worked
+    example ["let x = 2 in 1 + 2 * x ni"] evaluates to 5. *)
+
+(** The specification source text (also shipped as [examples/expr.ag]). *)
+val source : string
+
+val spec : Spec_ast.t Lazy.t
+
+val translator : Compile.t Lazy.t

@@ -1,0 +1,40 @@
+(** Compile a specification into a runnable translator: an attribute grammar
+    for the evaluators (sequential, ordered, and parallel) plus an LALR(1)
+    parser and a scanner — everything the paper's compiler generator
+    produces from one input.
+
+    The appendix workflow:
+    {[
+      let t = Compile.translator (Spec_parser.parse_file "expr.ag") in
+      let tree = Compile.parse t "let x = 2 in 1 + 2 * x ni" in
+      let attrs = Compile.evaluate t tree in
+      (* attrs = [("value", Int 5)] *)
+    ]} *)
+
+open Pag_core
+
+exception Error of string
+
+type t
+
+val translator : Spec_ast.t -> t
+
+val grammar : t -> Grammar.t
+
+val tables : t -> Lrgen.Lalr.tables
+
+(** Kastens plan, when the grammar is ordered. *)
+val plan : t -> Pag_analysis.Kastens.plan option
+
+(** Scan and parse a sentence into an attribute-grammar parse tree. *)
+val parse : t -> string -> Tree.t
+
+exception Scan_error of string
+
+(** Evaluate a tree (static evaluator when the grammar is ordered, dynamic
+    otherwise) and return the root's synthesized attributes. *)
+val evaluate : t -> Tree.t -> (string * Value.t) list
+
+(** Parallel evaluation on the simulated multiprocessor. *)
+val evaluate_parallel :
+  t -> Pag_parallel.Runner.options -> Tree.t -> Pag_parallel.Runner.result

@@ -1,0 +1,66 @@
+(* Abstract syntax of attribute-grammar specifications — the input language
+   of the paper's evaluator generator (appendix). The concrete syntax is a
+   YACC-flavoured reconstruction of the appendix's:
+
+     %name IDENTIFIER ident string      -- terminal + lexical class + attr
+     %name NUMBER number value
+     %keyword LET "let"  IN "in"  NI "ni"  PLUS "+"  TIMES "*"
+     %nosplit expr : syn value, inh priority stab
+     %split 64 block : syn value, inh priority stab
+     %start main_expr
+     %left PLUS
+     %left TIMES
+     %%
+     main_expr -> expr {
+       $$.value = $1.value;
+       $1.stab = st_create();
+     }
+     expr -> expr PLUS expr {
+       $$.value = add($1.value, $3.value);
+       $1.stab = $$.stab;
+       $3.stab = $$.stab;
+     }
+
+   Semantic rules are written `$k.attr = expression` where `$$` is the left
+   side and `$k` the k-th right-side symbol; expressions are literals,
+   attribute references and applications of library functions (st_create,
+   st_add, st_lookup, add, mul, ... — see Primitives). *)
+
+type lex_class = Ident | Number
+
+type name_spec = { n_term : string; n_class : lex_class; n_attr : string }
+
+type kw_spec = { k_term : string; k_text : string }
+
+type attr_spec = {
+  a_name : string;
+  a_inherited : bool;
+  a_priority : bool;
+}
+
+type nt_spec = {
+  nt_name : string;
+  nt_split : int option; (* minimum subtree bytes, None = %nosplit *)
+  nt_attrs : attr_spec list;
+}
+
+type sexpr =
+  | SAttr of int * string (* position (0 = $$), attribute *)
+  | SInt of int
+  | SStr of string
+  | SCall of string * sexpr list
+
+type rule_spec = { r_pos : int; r_attr : string; r_expr : sexpr }
+
+type prod_spec = { p_lhs : string; p_rhs : string list; p_rules : rule_spec list }
+
+type assoc = Left | Right | Nonassoc
+
+type t = {
+  s_names : name_spec list;
+  s_keywords : kw_spec list;
+  s_nts : nt_spec list;
+  s_start : string;
+  s_prec : (assoc * string list) list; (* low to high *)
+  s_prods : prod_spec list;
+}

@@ -1,0 +1,9 @@
+(** Parser for the attribute-grammar specification language (see
+    {!Spec_ast} for the concrete syntax). *)
+
+exception Error of int * string
+(** line, message *)
+
+val parse : string -> Spec_ast.t
+
+val parse_file : string -> Spec_ast.t

@@ -1,0 +1,1 @@
+lib/analysis/kastens.ml: Array Digraph Format Grammar Hashtbl List Localdep Pag_core Pag_util Printf String

@@ -1,0 +1,1 @@
+lib/analysis/kastens.mli: Format Grammar Pag_core

@@ -1,0 +1,1 @@
+lib/analysis/localdep.ml: Array Digraph Grammar List Pag_core Pag_util Printf

@@ -1,0 +1,1 @@
+lib/analysis/localdep.mli: Grammar Pag_core Pag_util

@@ -1,0 +1,370 @@
+open Pag_util
+open Pag_core
+
+type instr = Eval of int | Visit of { child : int; visit : int }
+
+type sym_plan = {
+  sp_visits : (string list * string list) array;
+  sp_visit_of : (string, int) Hashtbl.t;
+}
+
+type plan = {
+  pl_grammar : Grammar.t;
+  pl_syms : sym_plan array; (* indexed by symbol id *)
+  pl_seqs : instr list array array; (* prod id -> visit number-1 -> seq *)
+}
+
+type failure = Circular of string | Not_ordered of string
+
+let pp_failure fmt = function
+  | Circular msg -> Format.fprintf fmt "grammar is circular: %s" msg
+  | Not_ordered msg -> Format.fprintf fmt "grammar is not ordered: %s" msg
+
+exception Failed of failure
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: induced dependencies (IDS fixpoint over closed IDP graphs). *)
+(* ------------------------------------------------------------------ *)
+
+(* ids.(sym_id) is an edge set over that symbol's attribute indices. *)
+let induced_symbol_graphs g occs =
+  let nsyms = Array.length (Grammar.symbols g) in
+  let ids = Array.make nsyms [] in
+  let mem_edge sym_id e = List.mem e ids.(sym_id) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun ot ->
+        let p = Localdep.production ot in
+        let arity = Array.length p.Grammar.p_rhs in
+        (* IDP(p) = DP(p) + lifted IDS edges at every position. *)
+        let lifted = ref [] in
+        for pos = 0 to arity do
+          let sname = (Localdep.sym_at ot pos).Grammar.s_name in
+          let sid = Grammar.sym_id g sname in
+          List.iter
+            (fun (a, b) ->
+              lifted :=
+                (Localdep.occ ot ~pos ~idx:a, Localdep.occ ot ~pos ~idx:b)
+                :: !lifted)
+            ids.(sid)
+        done;
+        let idp = Digraph.add_edges (Localdep.dp_graph ot) !lifted in
+        let closed = Digraph.transitive_closure idp in
+        (* A reflexive edge in the closure is a genuine dependency cycle. *)
+        for o = 0 to Localdep.count ot - 1 do
+          if Digraph.mem_edge closed o o then
+            raise
+              (Failed
+                 (Circular
+                    (Printf.sprintf "production %S: %s depends on itself"
+                       p.Grammar.p_name (Localdep.occ_name ot o))))
+        done;
+        (* Project the closure back onto every position's symbol. *)
+        for pos = 0 to arity do
+          let sym = Localdep.sym_at ot pos in
+          let sid = Grammar.sym_id g sym.Grammar.s_name in
+          let n = Array.length sym.Grammar.s_attrs in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              if
+                a <> b
+                && Digraph.mem_edge closed
+                     (Localdep.occ ot ~pos ~idx:a)
+                     (Localdep.occ ot ~pos ~idx:b)
+                && not (mem_edge sid (a, b))
+              then begin
+                ids.(sid) <- (a, b) :: ids.(sid);
+                changed := true
+              end
+            done
+          done
+        done)
+      occs
+  done;
+  ids
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: ordered partitions per symbol, peeled from the back.        *)
+(* ------------------------------------------------------------------ *)
+
+let partition_symbol g sym edges =
+  let n = Array.length sym.Grammar.s_attrs in
+  let kind i = sym.Grammar.s_attrs.(i).Grammar.a_kind in
+  let name i = sym.Grammar.s_attrs.(i).Grammar.a_name in
+  let ds = Digraph.transitive_closure (Digraph.make n edges) in
+  let remaining = Array.make n true in
+  let left = ref n in
+  (* [peelable k] = attributes of kind [k] that nothing remaining depends
+     on (no successor among remaining attributes). *)
+  let peelable k =
+    let out = ref [] in
+    for a = n - 1 downto 0 do
+      if remaining.(a) && kind a = k then
+        let has_succ =
+          List.exists (fun b -> remaining.(b) && b <> a) (Digraph.succs ds a)
+        in
+        if not has_succ then out := a :: !out
+    done;
+    !out
+  in
+  let rev_visits = ref [] in
+  while !left > 0 do
+    let syn_set = peelable Grammar.Syn in
+    List.iter
+      (fun a ->
+        remaining.(a) <- false;
+        decr left)
+      syn_set;
+    let inh_set = peelable Grammar.Inh in
+    List.iter
+      (fun a ->
+        remaining.(a) <- false;
+        decr left)
+      inh_set;
+    if syn_set = [] && inh_set = [] then
+      raise
+        (Failed
+           (Not_ordered
+              (Printf.sprintf "cannot partition attributes of %S"
+                 sym.Grammar.s_name)));
+    rev_visits := (List.map name inh_set, List.map name syn_set) :: !rev_visits
+  done;
+  let visits = Array.of_list !rev_visits in
+  (* Every nonterminal gets at least one visit so that attribute instances in
+     attribute-less subtrees still get evaluated. *)
+  let visits = if Array.length visits = 0 then [| ([], []) |] else visits in
+  let visit_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (inh_attrs, syn_attrs) ->
+      List.iter (fun a -> Hashtbl.replace visit_of a (i + 1)) inh_attrs;
+      List.iter (fun a -> Hashtbl.replace visit_of a (i + 1)) syn_attrs)
+    visits;
+  ignore g;
+  { sp_visits = visits; sp_visit_of = visit_of }
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: visit sequences by topologically sorting an action graph.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Action node numbering for a production with [m] LHS visits, [nr] rules
+   and child visit counts [mchild]:
+     0 .. m-1            Begin v (v = index+1)
+     m .. 2m-1           End v
+     2m .. 2m+nr-1       Eval r
+     2m+nr ..            Visit (child, w), densely packed per child.   *)
+
+let visit_sequences g plan_of_sym ot =
+  let p = Localdep.production ot in
+  let arity = Array.length p.Grammar.p_rhs in
+  let nr = Array.length p.Grammar.p_rules in
+  let lhs_sym = (Localdep.sym_at ot 0).Grammar.s_name in
+  let m = Array.length (plan_of_sym lhs_sym).sp_visits in
+  let child_m =
+    Array.init arity (fun i ->
+        let s = Localdep.sym_at ot (i + 1) in
+        if s.Grammar.s_term then 0
+        else Array.length (plan_of_sym s.Grammar.s_name).sp_visits)
+  in
+  let visit_base = Array.make arity 0 in
+  let total = ref (2 * m) in
+  let eval_base = !total in
+  total := !total + nr;
+  Array.iteri
+    (fun i mc ->
+      visit_base.(i) <- !total;
+      total := !total + mc)
+    child_m;
+  let n_begin v = v - 1 in
+  let n_end v = m + v - 1 in
+  let n_eval r = eval_base + r in
+  let n_visit i w = visit_base.(i) + w - 1 in
+  let edges = ref [] in
+  let edge a b = edges := (a, b) :: !edges in
+  for v = 1 to m do
+    edge (n_begin v) (n_end v);
+    if v < m then edge (n_end v) (n_begin (v + 1))
+  done;
+  for i = 0 to arity - 1 do
+    for w = 1 to child_m.(i) do
+      if w > 1 then edge (n_visit i (w - 1)) (n_visit i w);
+      (* Nothing happens before the first visit of the LHS begins. *)
+      edge (n_begin 1) (n_visit i w)
+    done;
+    (* Every child must be fully visited before the final return. *)
+    if child_m.(i) > 0 then edge (n_visit i child_m.(i)) (n_end m)
+  done;
+  for r = 0 to nr - 1 do
+    edge (n_begin 1) (n_eval r)
+  done;
+  let visit_of_attr sym attr =
+    match Hashtbl.find_opt (plan_of_sym sym).sp_visit_of attr with
+    | Some v -> v
+    | None -> 1
+  in
+  Array.iteri
+    (fun r (ru : Grammar.rule) ->
+      let tgt = ru.Grammar.r_target in
+      (if tgt.Grammar.pos = 0 then
+         edge (n_eval r) (n_end (visit_of_attr lhs_sym tgt.Grammar.attr))
+       else
+         let child = tgt.Grammar.pos - 1 in
+         let csym = (Localdep.sym_at ot tgt.Grammar.pos).Grammar.s_name in
+         edge (n_eval r) (n_visit child (visit_of_attr csym tgt.Grammar.attr)));
+      List.iter
+        (fun (d : Grammar.attr_ref) ->
+          if d.Grammar.pos = 0 then
+            edge (n_begin (visit_of_attr lhs_sym d.Grammar.attr)) (n_eval r)
+          else
+            let child = d.Grammar.pos - 1 in
+            let csym = Localdep.sym_at ot d.Grammar.pos in
+            if not csym.Grammar.s_term then
+              edge
+                (n_visit child (visit_of_attr csym.Grammar.s_name d.Grammar.attr))
+                (n_eval r))
+        ru.Grammar.r_deps)
+    p.Grammar.p_rules;
+  let graph = Digraph.make !total !edges in
+  (* Kahn's algorithm with a preference for non-End actions, so work is
+     scheduled in the earliest visit whose inputs are available. *)
+  let indeg = Array.make !total 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) (Digraph.edges graph);
+  let is_end a = a >= m && a < 2 * m in
+  let ready = ref [] in
+  for a = !total - 1 downto 0 do
+    if indeg.(a) = 0 then ready := a :: !ready
+  done;
+  let segments = Array.make (max m 1) [] in
+  let current = ref 0 in
+  let emitted = ref 0 in
+  let classify a =
+    if a < m then `Begin (a + 1)
+    else if a < 2 * m then `End (a - m + 1)
+    else if a < 2 * m + nr then `Eval (a - eval_base)
+    else
+      let rec find i =
+        if
+          child_m.(i) > 0
+          && a >= visit_base.(i)
+          && a < visit_base.(i) + child_m.(i)
+        then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      `Visit (i, a - visit_base.(i) + 1)
+  in
+  let take a =
+    ready := List.filter (fun x -> x <> a) !ready;
+    incr emitted;
+    (match classify a with
+    | `Begin v -> current := v
+    | `End _ -> ()
+    | `Eval r ->
+        segments.(!current - 1) <- Eval r :: segments.(!current - 1)
+    | `Visit (i, w) ->
+        segments.(!current - 1) <-
+          Visit { child = i; visit = w } :: segments.(!current - 1));
+    List.iter
+      (fun b ->
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then ready := !ready @ [ b ])
+      (Digraph.succs graph a)
+  in
+  let rec loop () =
+    match !ready with
+    | [] -> ()
+    | l -> (
+        let non_end = List.filter (fun a -> not (is_end a)) l in
+        match non_end with
+        | a :: _ ->
+            take a;
+            loop ()
+        | [] ->
+            take (List.hd l);
+            loop ())
+  in
+  loop ();
+  if !emitted <> !total then
+    raise
+      (Failed
+         (Not_ordered
+            (Printf.sprintf
+               "production %S: no consistent visit sequence (action graph is \
+                cyclic)"
+               p.Grammar.p_name)));
+  ignore g;
+  Array.map List.rev segments
+
+(* ------------------------------------------------------------------ *)
+
+let analyze g =
+  try
+    let occs = Array.map (Localdep.of_production g) (Grammar.productions g) in
+    let ids = induced_symbol_graphs g occs in
+    let syms = Grammar.symbols g in
+    let pl_syms =
+      Array.mapi
+        (fun i s ->
+          if s.Grammar.s_term then
+            { sp_visits = [||]; sp_visit_of = Hashtbl.create 1 }
+          else partition_symbol g s ids.(i))
+        syms
+    in
+    let plan_of_sym name = pl_syms.(Grammar.sym_id g name) in
+    let pl_seqs = Array.map (visit_sequences g plan_of_sym) occs in
+    Ok { pl_grammar = g; pl_syms; pl_seqs }
+  with Failed f -> Error f
+
+let grammar p = p.pl_grammar
+
+let visit_count p sym =
+  Array.length p.pl_syms.(Grammar.sym_id p.pl_grammar sym).sp_visits
+
+let visit_attrs p ~sym ~visit =
+  let sp = p.pl_syms.(Grammar.sym_id p.pl_grammar sym) in
+  if visit < 1 || visit > Array.length sp.sp_visits then
+    invalid_arg "Kastens.visit_attrs: visit out of range";
+  sp.sp_visits.(visit - 1)
+
+let visit_of_attr p ~sym ~attr =
+  let sp = p.pl_syms.(Grammar.sym_id p.pl_grammar sym) in
+  match Hashtbl.find_opt sp.sp_visit_of attr with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Kastens.visit_of_attr: %s.%s" sym attr)
+
+let visit_seq p ~prod ~visit = p.pl_seqs.(prod).(visit - 1)
+
+let pp_plan fmt p =
+  let g = p.pl_grammar in
+  Format.fprintf fmt "@[<v>ordered evaluation plan for grammar %S"
+    (Grammar.name g);
+  Array.iteri
+    (fun i s ->
+      if not s.Grammar.s_term then begin
+        Format.fprintf fmt "@,symbol %s:" s.Grammar.s_name;
+        Array.iteri
+          (fun v (inh_attrs, syn_attrs) ->
+            Format.fprintf fmt "@,  visit %d: inh {%s} -> syn {%s}" (v + 1)
+              (String.concat "," inh_attrs)
+              (String.concat "," syn_attrs))
+          p.pl_syms.(i).sp_visits
+      end)
+    (Grammar.symbols g);
+  Array.iter
+    (fun (pr : Grammar.production) ->
+      Format.fprintf fmt "@,production %s:" pr.Grammar.p_name;
+      Array.iteri
+        (fun v seq ->
+          Format.fprintf fmt "@,  visit %d:" (v + 1);
+          List.iter
+            (function
+              | Eval r ->
+                  Format.fprintf fmt " eval(%s)"
+                    pr.Grammar.p_rules.(r).Grammar.r_name
+              | Visit { child; visit } ->
+                  Format.fprintf fmt " visit(%d,%d)" (child + 1) visit)
+            seq)
+        p.pl_seqs.(pr.Grammar.p_id))
+    (Grammar.productions g);
+  Format.fprintf fmt "@]"

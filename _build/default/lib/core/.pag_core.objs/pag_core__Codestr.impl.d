@@ -1,0 +1,1 @@
+lib/core/codestr.ml: Format List Pag_util Printf Rope Value

@@ -1,0 +1,1 @@
+lib/core/codestr.mli: Format Pag_util Rope Value

@@ -1,0 +1,1 @@
+lib/core/grammar.ml: Array Format Hashtbl List Option Printf Value

@@ -1,0 +1,1 @@
+lib/core/grammar.mli: Format Value

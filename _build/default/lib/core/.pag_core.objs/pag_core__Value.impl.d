@@ -1,0 +1,1 @@
+lib/core/value.ml: Format List Pag_util Printf Rope String Symtab

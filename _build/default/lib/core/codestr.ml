@@ -1,0 +1,136 @@
+open Pag_util
+
+type t =
+  | Text of Rope.t
+  | Frag of { id : int; len : int }
+  | Cat of { a : t; b : t; len : int; frags : int }
+
+type Value.ext += V of t
+
+let empty = Text Rope.empty
+
+let of_rope r = Text r
+
+let of_string s = Text (Rope.of_string s)
+
+let length = function
+  | Text r -> Rope.length r
+  | Frag f -> f.len
+  | Cat c -> c.len
+
+let frag_count = function Text _ -> 0 | Frag _ -> 1 | Cat c -> c.frags
+
+let is_empty t = length t = 0 && frag_count t = 0
+
+let concat a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    match (a, b) with
+    | Text ra, Text rb -> Text (Rope.concat ra rb)
+    | _ ->
+        Cat
+          {
+            a;
+            b;
+            len = length a + length b;
+            frags = frag_count a + frag_count b;
+          }
+
+let concat_list l = List.fold_left concat empty l
+
+(* A fragment reference costs a fixed descriptor on the wire. *)
+let frag_descriptor_bytes = 8
+
+let rec wire_size = function
+  | Text r -> Rope.length r
+  | Frag _ -> frag_descriptor_bytes
+  | Cat c -> wire_size c.a + wire_size c.b + 2
+
+exception Unresolved of int
+
+let fold_leaves f init t =
+  let rec go acc = function
+    | [] -> acc
+    | Text r :: rest -> go (f acc (`Text r)) rest
+    | Frag fr :: rest -> go (f acc (`Frag fr.id)) rest
+    | Cat c :: rest -> go acc (c.a :: c.b :: rest)
+  in
+  go init [ t ]
+
+let to_rope t =
+  fold_leaves
+    (fun acc -> function
+      | `Text r -> Rope.concat acc r
+      | `Frag id -> raise (Unresolved id))
+    Rope.empty t
+
+let extract_texts ~alloc t =
+  let frags = ref [] in
+  let rec go = function
+    | Text r when Rope.is_empty r -> Text r
+    | Text r ->
+        let id = alloc () in
+        frags := (id, r) :: !frags;
+        Frag { id; len = Rope.length r }
+    | Frag _ as f -> f
+    | Cat c ->
+        let a = go c.a and b = go c.b in
+        Cat { a; b; len = c.len; frags = frag_count a + frag_count b }
+  in
+  let desc = go t in
+  (desc, List.rev !frags)
+
+let resolve ~lookup t =
+  fold_leaves
+    (fun acc -> function
+      | `Text r -> Rope.concat acc r
+      | `Frag id -> Rope.concat acc (lookup id))
+    Rope.empty t
+
+let value t = Value.Ext (V t)
+
+let of_value ~ctx = function
+  | Value.Ext (V t) -> t
+  | v ->
+      raise
+        (Value.Type_error
+           (Printf.sprintf "%s: expected code string, got %s" ctx
+              (Value.to_string v)))
+
+let rec equal a b =
+  (* Fully local code strings are equal when they denote the same text,
+     whatever tree shape the concatenations produced. *)
+  if frag_count a = 0 && frag_count b = 0 then Rope.equal (to_rope a) (to_rope b)
+  else
+    match (a, b) with
+    | Text x, Text y -> Rope.equal x y
+    | Frag x, Frag y -> x.id = y.id && x.len = y.len
+    | Cat x, Cat y -> equal x.a y.a && equal x.b y.b
+    | (Text _ | Frag _ | Cat _), _ -> false
+
+let pp fmt t =
+  if frag_count t = 0 && length t <= 60 then
+    Format.fprintf fmt "<code:%S>" (Rope.to_string (to_rope t))
+  else
+    Format.fprintf fmt "<code:%d bytes, %d fragments>" (length t) (frag_count t)
+
+let () =
+  Value.register_ext
+    {
+      Value.ext_name = "codestr";
+      ext_equal =
+        (fun a b ->
+          match (a, b) with
+          | V x, V y -> Some (equal x y)
+          | V _, _ | _, V _ -> Some false
+          | _ -> None);
+      ext_size = (fun e -> match e with V t -> Some (wire_size t) | _ -> None);
+      ext_pp =
+        (fun fmt e ->
+          match e with
+          | V t ->
+              pp fmt t;
+              true
+          | _ -> false);
+    }

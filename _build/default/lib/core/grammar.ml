@@ -1,0 +1,313 @@
+type kind = Syn | Inh
+
+type attr_decl = { a_name : string; a_kind : kind; a_priority : bool }
+
+type symbol = {
+  s_name : string;
+  s_term : bool;
+  s_attrs : attr_decl array;
+  s_split : int option;
+}
+
+type attr_ref = { pos : int; attr : string }
+
+type rule = {
+  r_target : attr_ref;
+  r_deps : attr_ref list;
+  r_fn : Value.t array -> Value.t;
+  r_name : string;
+}
+
+type production = {
+  p_id : int;
+  p_name : string;
+  p_lhs : string;
+  p_rhs : string array;
+  p_rules : rule array;
+}
+
+type t = {
+  g_name : string;
+  g_start : string;
+  g_symbols : symbol array;
+  g_prods : production array;
+  sym_index : (string, int) Hashtbl.t;
+  attr_index : (string * string, int) Hashtbl.t;
+  prod_index : (string, int) Hashtbl.t;
+  prods_of : (string, production list) Hashtbl.t;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let syn ?(priority = false) name =
+  { a_name = name; a_kind = Syn; a_priority = priority }
+
+let inh ?(priority = false) name =
+  { a_name = name; a_kind = Inh; a_priority = priority }
+
+let nonterminal ?split name attrs =
+  { s_name = name; s_term = false; s_attrs = Array.of_list attrs; s_split = split }
+
+let terminal name attrs =
+  {
+    s_name = name;
+    s_term = true;
+    s_attrs =
+      Array.of_list
+        (List.map (fun a -> { a_name = a; a_kind = Syn; a_priority = false }) attrs);
+    s_split = None;
+  }
+
+let lhs attr = { pos = 0; attr }
+
+let rhs pos attr =
+  if pos < 1 then error "Grammar.rhs: position must be >= 1 (got %d)" pos;
+  { pos; attr }
+
+let pp_attr_ref fmt { pos; attr } =
+  if pos = 0 then Format.fprintf fmt "$$.%s" attr
+  else Format.fprintf fmt "$%d.%s" pos attr
+
+let rule ?name target ~deps fn =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Format.asprintf "%a" pp_attr_ref target
+  in
+  { r_target = target; r_deps = deps; r_fn = fn; r_name = name }
+
+let production ~name ~lhs ~rhs rules =
+  {
+    p_id = -1;
+    p_name = name;
+    p_lhs = lhs;
+    p_rhs = Array.of_list rhs;
+    p_rules = Array.of_list rules;
+  }
+
+let find_attr sym name =
+  Array.fold_left
+    (fun acc a -> if a.a_name = name then Some a else acc)
+    None sym.s_attrs
+
+(* Validation helpers operating on one production. *)
+
+let check_unique_names what names =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then error "duplicate %s %S" what n
+      else Hashtbl.add tbl n ())
+    names
+
+let symbol_at g_symbols sym_index p r =
+  (* The symbol a reference position denotes, within production [p]. *)
+  if r.pos = 0 then g_symbols.(Hashtbl.find sym_index p.p_lhs)
+  else if r.pos > Array.length p.p_rhs then
+    error "production %S: reference %d.%s out of range" p.p_name r.pos r.attr
+  else g_symbols.(Hashtbl.find sym_index p.p_rhs.(r.pos - 1))
+
+let validate_production g_symbols sym_index p =
+  let sym_of name =
+    match Hashtbl.find_opt sym_index name with
+    | Some i -> g_symbols.(i)
+    | None -> error "production %S: undeclared symbol %S" p.p_name name
+  in
+  let lhs_sym = sym_of p.p_lhs in
+  if lhs_sym.s_term then
+    error "production %S: left-hand side %S is a terminal" p.p_name p.p_lhs;
+  Array.iter (fun s -> ignore (sym_of s)) p.p_rhs;
+  (* Required targets: syn attrs of lhs, inh attrs of each nonterminal rhs
+     occurrence. *)
+  let required = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      if a.a_kind = Syn then Hashtbl.replace required (0, a.a_name) false)
+    lhs_sym.s_attrs;
+  Array.iteri
+    (fun i name ->
+      let s = sym_of name in
+      if not s.s_term then
+        Array.iter
+          (fun a ->
+            if a.a_kind = Inh then Hashtbl.replace required (i + 1, a.a_name) false)
+          s.s_attrs)
+    p.p_rhs;
+  Array.iter
+    (fun r ->
+      let tgt = r.r_target in
+      let tsym = symbol_at g_symbols sym_index p tgt in
+      (match find_attr tsym tgt.attr with
+      | None ->
+          error "production %S: rule targets unknown attribute %s.%s" p.p_name
+            tsym.s_name tgt.attr
+      | Some a ->
+          if tsym.s_term then
+            error "production %S: rule defines terminal attribute %s.%s"
+              p.p_name tsym.s_name tgt.attr;
+          let expected = if tgt.pos = 0 then Syn else Inh in
+          if a.a_kind <> expected then
+            error
+              "production %S: rule defines %s.%s which is %s at that position"
+              p.p_name tsym.s_name tgt.attr
+              (if a.a_kind = Syn then "synthesized" else "inherited"));
+      (match Hashtbl.find_opt required (tgt.pos, tgt.attr) with
+      | Some false -> Hashtbl.replace required (tgt.pos, tgt.attr) true
+      | Some true ->
+          error "production %S: attribute %d.%s defined twice" p.p_name tgt.pos
+            tgt.attr
+      | None ->
+          error "production %S: rule defines %d.%s which is not required"
+            p.p_name tgt.pos tgt.attr);
+      List.iter
+        (fun d ->
+          let dsym = symbol_at g_symbols sym_index p d in
+          match find_attr dsym d.attr with
+          | None ->
+              error "production %S: rule %S depends on unknown %s.%s" p.p_name
+                r.r_name dsym.s_name d.attr
+          | Some a ->
+              (* Visible occurrences: inherited of LHS, synthesized of RHS
+                 (terminal attributes are synthesized by construction). *)
+              let ok =
+                if d.pos = 0 then a.a_kind = Inh else a.a_kind = Syn
+              in
+              if not ok then
+                error
+                  "production %S: rule %S depends on %d.%s, which is not \
+                   visible there (inherited attributes of the right side and \
+                   synthesized attributes of the left side are defined by \
+                   this production itself)"
+                  p.p_name r.r_name d.pos d.attr)
+        r.r_deps)
+    p.p_rules;
+  Hashtbl.iter
+    (fun (pos, attr) defined ->
+      if not defined then
+        error "production %S: attribute %d.%s is never defined" p.p_name pos
+          attr)
+    required
+
+let make ~name ~start symbols productions =
+  check_unique_names "symbol" (List.map (fun s -> s.s_name) symbols);
+  List.iter
+    (fun s ->
+      check_unique_names
+        (Printf.sprintf "attribute of %S" s.s_name)
+        (Array.to_list (Array.map (fun a -> a.a_name) s.s_attrs));
+      if s.s_term then
+        Array.iter
+          (fun a ->
+            if a.a_kind = Inh then
+              error "terminal %S has inherited attribute %S" s.s_name a.a_name)
+          s.s_attrs)
+    symbols;
+  check_unique_names "production" (List.map (fun p -> p.p_name) productions);
+  let g_symbols = Array.of_list symbols in
+  let sym_index = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.add sym_index s.s_name i) g_symbols;
+  (match Hashtbl.find_opt sym_index start with
+  | None -> error "start symbol %S is not declared" start
+  | Some i ->
+      if g_symbols.(i).s_term then error "start symbol %S is a terminal" start);
+  List.iter (validate_production g_symbols sym_index) productions;
+  let g_prods =
+    Array.of_list (List.mapi (fun i p -> { p with p_id = i }) productions)
+  in
+  let attr_index = Hashtbl.create 256 in
+  Array.iter
+    (fun s ->
+      Array.iteri
+        (fun i a -> Hashtbl.add attr_index (s.s_name, a.a_name) i)
+        s.s_attrs)
+    g_symbols;
+  let prod_index = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.add prod_index p.p_name p.p_id) g_prods;
+  let prods_of = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt prods_of p.p_lhs)
+      in
+      Hashtbl.replace prods_of p.p_lhs (existing @ [ p ]))
+    g_prods;
+  {
+    g_name = name;
+    g_start = start;
+    g_symbols;
+    g_prods;
+    sym_index;
+    attr_index;
+    prod_index;
+    prods_of;
+  }
+
+let name g = g.g_name
+
+let start g = g.g_start
+
+let symbols g = g.g_symbols
+
+let productions g = g.g_prods
+
+let sym_id g name =
+  match Hashtbl.find_opt g.sym_index name with
+  | Some i -> i
+  | None -> error "unknown symbol %S" name
+
+let symbol g name = g.g_symbols.(sym_id g name)
+
+let symbol_of_id g i = g.g_symbols.(i)
+
+let find_production g name =
+  match Hashtbl.find_opt g.prod_index name with
+  | Some i -> g.g_prods.(i)
+  | None -> error "unknown production %S" name
+
+let prods_for g nt =
+  Option.value ~default:[] (Hashtbl.find_opt g.prods_of nt)
+
+let attr_pos g ~sym ~attr =
+  match Hashtbl.find_opt g.attr_index (sym, attr) with
+  | Some i -> i
+  | None -> error "unknown attribute %s.%s" sym attr
+
+let attr_count g name = Array.length (symbol g name).s_attrs
+
+let is_priority g ~sym ~attr =
+  match find_attr (symbol g sym) attr with
+  | Some a -> a.a_priority
+  | None -> error "unknown attribute %s.%s" sym attr
+
+let check_reduced g =
+  let warnings = ref [] in
+  (* Productivity: every nonterminal should have at least one production. *)
+  Array.iter
+    (fun s ->
+      if (not s.s_term) && prods_for g s.s_name = [] then
+        warnings :=
+          Printf.sprintf "nonterminal %S has no productions" s.s_name
+          :: !warnings)
+    g.g_symbols;
+  (* Reachability from the start symbol. *)
+  let reached = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reached name) then begin
+      Hashtbl.add reached name ();
+      List.iter
+        (fun p -> Array.iter visit p.p_rhs)
+        (prods_for g name)
+    end
+  in
+  visit g.g_start;
+  Array.iter
+    (fun s ->
+      if (not s.s_term) && not (Hashtbl.mem reached s.s_name) then
+        warnings :=
+          Printf.sprintf "nonterminal %S is unreachable from %S" s.s_name
+            g.g_start
+          :: !warnings)
+    g.g_symbols;
+  List.rev !warnings

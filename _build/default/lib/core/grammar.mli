@@ -1,0 +1,121 @@
+(** Attribute grammars.
+
+    A grammar is a set of symbols (terminals and nonterminals) carrying
+    attribute declarations, and a set of context-free productions each
+    carrying semantic rules. Semantic rules are pure OCaml functions from the
+    values of the attributes they depend on to the value of the attribute
+    they define — the functional nature of this specification is what makes
+    parallel evaluation cheap to synchronize (paper, section 2.2).
+
+    Extra information beyond Knuth's formalism, following the paper's
+    evaluator-generator input (section 2.5 and appendix):
+    - a nonterminal may be declared splittable with a minimum subtree size in
+      bytes ([%split] / [%nosplit]);
+    - an attribute may be declared a priority attribute (section 4.3), making
+      parallel evaluators compute and transmit it as soon as possible. *)
+
+type kind = Syn | Inh
+
+type attr_decl = { a_name : string; a_kind : kind; a_priority : bool }
+
+type symbol = {
+  s_name : string;
+  s_term : bool;
+  s_attrs : attr_decl array;
+  s_split : int option;  (** [Some n]: splittable when subtree is ≥ n bytes *)
+}
+
+(** Reference to an attribute occurrence within a production: [pos = 0] is
+    the left-hand side, [pos = i ≥ 1] the i-th right-hand-side symbol. *)
+type attr_ref = { pos : int; attr : string }
+
+type rule = {
+  r_target : attr_ref;
+  r_deps : attr_ref list;
+  r_fn : Value.t array -> Value.t;
+      (** applied to the dependency values, in [r_deps] order *)
+  r_name : string;
+}
+
+type production = {
+  p_id : int;
+  p_name : string;
+  p_lhs : string;
+  p_rhs : string array;
+  p_rules : rule array;
+}
+
+type t
+
+exception Error of string
+
+(** {1 Declaration helpers} *)
+
+val syn : ?priority:bool -> string -> attr_decl
+
+val inh : ?priority:bool -> string -> attr_decl
+
+(** [nonterminal name attrs]; [~split:n] allows subtrees rooted here to be
+    evaluated separately when at least [n] bytes big. *)
+val nonterminal : ?split:int -> string -> attr_decl list -> symbol
+
+(** Terminal attributes are intrinsic: set by the scanner, never by rules.
+    They are declared [Syn] regardless of input. *)
+val terminal : string -> string list -> symbol
+
+val lhs : string -> attr_ref
+
+val rhs : int -> string -> attr_ref
+
+val rule :
+  ?name:string ->
+  attr_ref ->
+  deps:attr_ref list ->
+  (Value.t array -> Value.t) ->
+  rule
+
+val production : name:string -> lhs:string -> rhs:string list -> rule list -> production
+
+(** Validates well-formedness and raises [Error] otherwise: every production
+    defines each synthesized attribute of its left side and each inherited
+    attribute of its nonterminal right-side occurrences exactly once, rules
+    only depend on attributes visible in the production, etc. Production
+    [p_id]s are assigned in list order. *)
+val make :
+  name:string -> start:string -> symbol list -> production list -> t
+
+(** {1 Accessors} *)
+
+val name : t -> string
+
+val start : t -> string
+
+val symbols : t -> symbol array
+
+val productions : t -> production array
+
+val symbol : t -> string -> symbol
+
+val sym_id : t -> string -> int
+
+val symbol_of_id : t -> int -> symbol
+
+val find_production : t -> string -> production
+
+(** Productions whose left-hand side is the given nonterminal. *)
+val prods_for : t -> string -> production list
+
+(** Index of an attribute within its symbol's attribute array. *)
+val attr_pos : t -> sym:string -> attr:string -> int
+
+val attr_count : t -> string -> int
+
+val find_attr : symbol -> string -> attr_decl option
+
+val is_priority : t -> sym:string -> attr:string -> bool
+
+(** Nonterminals unreachable from the start symbol or without productions;
+    returned as human-readable warnings (empty when the grammar is reduced). *)
+val check_reduced : t -> string list
+
+val pp_attr_ref : Format.formatter -> attr_ref -> unit

@@ -1,0 +1,128 @@
+type t = {
+  mutable id : int;
+  sym : string;
+  prod : Grammar.production option;
+  children : t array;
+  term_attrs : (string * Value.t) list;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let node g prod_name children =
+  let p = Grammar.find_production g prod_name in
+  let children = Array.of_list children in
+  if Array.length children <> Array.length p.p_rhs then
+    error "node %S: expected %d children, got %d" prod_name
+      (Array.length p.p_rhs) (Array.length children);
+  Array.iteri
+    (fun i c ->
+      if c.sym <> p.p_rhs.(i) then
+        error "node %S: child %d should be %S, got %S" prod_name (i + 1)
+          p.p_rhs.(i) c.sym)
+    children;
+  { id = -1; sym = p.p_lhs; prod = Some p; children; term_attrs = [] }
+
+let leaf g term attrs =
+  let s = Grammar.symbol g term in
+  if not s.Grammar.s_term then error "leaf: %S is not a terminal" term;
+  Array.iter
+    (fun (a : Grammar.attr_decl) ->
+      if not (List.mem_assoc a.a_name attrs) then
+        error "leaf %S: missing intrinsic attribute %S" term a.a_name)
+    s.Grammar.s_attrs;
+  List.iter
+    (fun (name, _) ->
+      if Grammar.find_attr s name = None then
+        error "leaf %S: unknown attribute %S" term name)
+    attrs;
+  { id = -1; sym = term; prod = None; children = [||]; term_attrs = attrs }
+
+let iter f t =
+  (* Explicit stack: trees of large programs are deep. *)
+  let stack = ref [ t ] in
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        f n;
+        for i = Array.length n.children - 1 downto 0 do
+          stack := n.children.(i) :: !stack
+        done;
+        go ()
+  in
+  go ()
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun n -> acc := f !acc n) t;
+  !acc
+
+let number t =
+  let count = ref 0 in
+  iter
+    (fun n ->
+      n.id <- !count;
+      incr count)
+    t;
+  !count
+
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let byte_size t =
+  fold
+    (fun acc n ->
+      acc + 8
+      + List.fold_left
+          (fun a (_, v) -> a + Value.byte_size v)
+          0 n.term_attrs)
+    0 t
+
+let term_attr t name =
+  match t.prod with
+  | Some _ -> error "term_attr: %S is not a leaf" t.sym
+  | None -> (
+      match List.assoc_opt name t.term_attrs with
+      | Some v -> v
+      | None -> error "term_attr: leaf %S has no attribute %S" t.sym name)
+
+let check g t =
+  iter
+    (fun n ->
+      match n.prod with
+      | None ->
+          let s = Grammar.symbol g n.sym in
+          if not s.Grammar.s_term then
+            error "check: leaf node with nonterminal symbol %S" n.sym
+      | Some p ->
+          if p.Grammar.p_lhs <> n.sym then
+            error "check: node symbol %S does not match production %S" n.sym
+              p.Grammar.p_name;
+          if Array.length n.children <> Array.length p.Grammar.p_rhs then
+            error "check: node %S has wrong arity" p.Grammar.p_name;
+          Array.iteri
+            (fun i c ->
+              if c.sym <> p.Grammar.p_rhs.(i) then
+                error "check: node %S child %d has symbol %S, expected %S"
+                  p.Grammar.p_name (i + 1) c.sym p.Grammar.p_rhs.(i))
+            n.children)
+    t
+
+let rec pp fmt t =
+  match t.prod with
+  | None ->
+      Format.fprintf fmt "@[<h>%s%a@]" t.sym
+        (fun fmt attrs ->
+          match attrs with
+          | [] -> ()
+          | l ->
+              Format.fprintf fmt "(%s)"
+                (String.concat ","
+                   (List.map (fun (k, v) -> k ^ "=" ^ Value.to_string v) l)))
+        t.term_attrs
+  | Some p ->
+      Format.fprintf fmt "@[<hv 2>(%s" p.Grammar.p_name;
+      Array.iter (fun c -> Format.fprintf fmt "@ %a" pp c) t.children;
+      Format.fprintf fmt ")@]"

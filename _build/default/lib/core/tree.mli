@@ -1,0 +1,48 @@
+(** Parse trees for an attribute grammar.
+
+    Interior nodes are production applications; leaves are terminal
+    occurrences carrying the intrinsic attribute values computed by the
+    scanner. Construction validates arity and symbol agreement against the
+    grammar. Node identifiers are assigned by {!number} (preorder) and are
+    what evaluators key their attribute-instance stores on. *)
+
+type t = {
+  mutable id : int;
+  sym : string;
+  prod : Grammar.production option;  (** [None] iff terminal leaf *)
+  children : t array;
+  term_attrs : (string * Value.t) list;
+}
+
+exception Error of string
+
+(** [node g prod_name children] builds an interior node. Children must match
+    the production's right-hand side left to right. *)
+val node : Grammar.t -> string -> t list -> t
+
+(** [leaf g term attrs] builds a terminal leaf; all of the terminal's
+    intrinsic attributes must be supplied. *)
+val leaf : Grammar.t -> string -> (string * Value.t) list -> t
+
+(** Assign preorder ids starting at 0; returns the number of nodes. *)
+val number : t -> int
+
+(** Node count. *)
+val size : t -> int
+
+(** Estimated size in bytes of the linearized network representation, the
+    quantity the paper's minimum-split-size is compared against. *)
+val byte_size : t -> int
+
+val iter : (t -> unit) -> t -> unit
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Intrinsic value of a terminal attribute. Raises [Error] on non-leaves. *)
+val term_attr : t -> string -> Value.t
+
+(** [check g t] re-validates an externally constructed tree (e.g. one
+    rebuilt from a network message) against the grammar. *)
+val check : Grammar.t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let stride = 1_000_000
+
+type state = { mutable counter : int; mutable active : bool }
+
+let key = Domain.DLS.new_key (fun () -> { counter = 0; active = false })
+
+let with_counter cursor f =
+  let st = Domain.DLS.get key in
+  let saved_counter = st.counter and saved_active = st.active in
+  st.counter <- !cursor;
+  st.active <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      cursor := st.counter;
+      st.counter <- saved_counter;
+      st.active <- saved_active)
+    f
+
+let with_base base f =
+  let cursor = ref base in
+  let r = with_counter cursor f in
+  (r, !cursor - base)
+
+let fresh () =
+  let st = Domain.DLS.get key in
+  if not st.active then failwith "Uid.fresh: no active base (use with_counter)";
+  let v = st.counter in
+  st.counter <- v + 1;
+  v

@@ -1,0 +1,23 @@
+(** Per-evaluator unique-identifier generation (paper, end of section 4.3).
+
+    Threading a counter attribute through the whole tree would serialize all
+    evaluators, so instead the parser hands every evaluator a disjoint base
+    value and identifiers are generated relative to it. Semantic rules call
+    {!fresh}; the evaluator brackets each (non-suspending) evaluation step
+    with {!with_counter} around its own cursor. State is domain-local, so
+    evaluators on separate domains do not interfere; evaluators interleaved
+    on one domain are safe because a bracketed step never suspends. *)
+
+(** [with_counter cursor f] runs [f] drawing identifiers from [!cursor],
+    writing the advanced position back afterwards. *)
+val with_counter : int ref -> (unit -> 'a) -> 'a
+
+(** [with_base base f] is a convenience for sequential evaluation: runs [f]
+    with a fresh cursor at [base] and returns the count of ids consumed. *)
+val with_base : int -> (unit -> 'a) -> 'a * int
+
+(** Next unique identifier. Must be called within a bracket. *)
+val fresh : unit -> int
+
+(** Width reserved per evaluator: bases are spaced this far apart. *)
+val stride : int

@@ -1,0 +1,67 @@
+(** Universal attribute values.
+
+    Semantic rules are pure functions over this type. The closed cases cover
+    what the paper's Pascal grammar needs (integers, rope strings for code
+    attributes, applicative symbol tables, lists and pairs for aggregates);
+    the extensible [Ext] case lets a client grammar add its own payloads
+    (e.g. Pascal type descriptors) by registering operations once.
+
+    [byte_size] models the paper's flattening functions ([st_put]/[st_get]):
+    it is the length of the contiguous network representation of a value and
+    drives simulated message costs. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of Pag_util.Rope.t
+  | List of t list
+  | Pair of t * t
+  | Tab of t Pag_util.Symtab.t
+  | Ext of ext
+
+and ext = ..
+
+(** Operations for one family of [Ext] payloads. Each function returns
+    [None]/[false] when the payload is not from this family. *)
+type ext_ops = {
+  ext_name : string;
+  ext_equal : ext -> ext -> bool option;
+  ext_size : ext -> int option;
+  ext_pp : Format.formatter -> ext -> bool;
+}
+
+val register_ext : ext_ops -> unit
+
+exception Type_error of string
+
+(** Structural equality; symbol tables compare as binding sets, ropes by
+    content. Raises [Type_error] on an unregistered [Ext] payload. *)
+val equal : t -> t -> bool
+
+(** Size in bytes of the flattened representation. *)
+val byte_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Coercions, raising [Type_error] with the given context on mismatch. *)
+
+val as_int : ctx:string -> t -> int
+
+val as_bool : ctx:string -> t -> bool
+
+val as_str : ctx:string -> t -> Pag_util.Rope.t
+
+val as_list : ctx:string -> t -> t list
+
+val as_pair : ctx:string -> t -> t * t
+
+val as_tab : ctx:string -> t -> t Pag_util.Symtab.t
+
+(** Convenience constructors. *)
+
+val str : string -> t
+
+val of_rope : Pag_util.Rope.t -> t

@@ -1,0 +1,1 @@
+lib/eval/dynamic.ml: Array Grammar List Pag_core Printf Queue Store Tree

@@ -1,0 +1,1 @@
+lib/eval/dynamic.mli: Grammar Pag_core Store Tree Value

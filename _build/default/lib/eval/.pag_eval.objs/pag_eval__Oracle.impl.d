@@ -1,0 +1,1 @@
+lib/eval/oracle.ml: Array Grammar Hashtbl List Pag_core Printf Store Tree Uid

@@ -1,0 +1,1 @@
+lib/eval/oracle.mli: Grammar Pag_core Store Tree Value

@@ -1,0 +1,1 @@
+lib/eval/static_eval.ml: Array Grammar Kastens List Pag_analysis Pag_core Store Tree Uid

@@ -1,0 +1,1 @@
+lib/eval/static_eval.mli: Kastens Pag_analysis Pag_core Store Tree Value

@@ -1,0 +1,1 @@
+lib/eval/store.ml: Array Grammar Hashtbl List Pag_core Printf Tree Value

@@ -1,0 +1,1 @@
+lib/eval/store.mli: Grammar Pag_core Tree Value

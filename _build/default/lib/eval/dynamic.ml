@@ -1,0 +1,73 @@
+open Pag_core
+
+type stats = { instances : int; edges : int; evals : int }
+
+exception Cycle of string
+
+type rule_node = { rn_node : Tree.t; rn_rule : Grammar.rule; mutable waiting : int }
+
+let eval_inner ?root_inh g t =
+  let store = Store.create ?root_inh g t in
+  let n = Store.node_count store in
+  (* Dense instance ids: base.(node id) + attribute index. *)
+  let base = Array.make (n + 1) 0 in
+  let nodes = Array.make n t in
+  Tree.iter (fun node -> nodes.(node.Tree.id) <- node) t;
+  for i = 0 to n - 1 do
+    base.(i + 1) <- base.(i) + Grammar.attr_count g nodes.(i).Tree.sym
+  done;
+  let total = base.(n) in
+  let inst node attr =
+    base.(node.Tree.id) + Grammar.attr_pos g ~sym:node.Tree.sym ~attr
+  in
+  (* Wire rules to the instances they wait for. *)
+  let dependents : rule_node list array = Array.make total [] in
+  let rules = ref [] in
+  let edge_count = ref 0 in
+  Tree.iter
+    (fun node ->
+      match node.Tree.prod with
+      | None -> ()
+      | Some p ->
+          Array.iter
+            (fun (r : Grammar.rule) ->
+              let rn = { rn_node = node; rn_rule = r; waiting = 0 } in
+              rules := rn :: !rules;
+              List.iter
+                (fun (dn, dattr) ->
+                  incr edge_count;
+                  if not (Store.is_set store dn dattr) then begin
+                    rn.waiting <- rn.waiting + 1;
+                    let i = inst dn dattr in
+                    dependents.(i) <- rn :: dependents.(i)
+                  end)
+                (Store.rule_deps store node r))
+            p.Grammar.p_rules)
+    t;
+  let ready = Queue.create () in
+  List.iter (fun rn -> if rn.waiting = 0 then Queue.add rn ready) !rules;
+  let evals = ref 0 in
+  while not (Queue.is_empty ready) do
+    let rn = Queue.take ready in
+    ignore (Store.apply_rule store rn.rn_node rn.rn_rule);
+    incr evals;
+    let tnode, tattr = Store.rule_target rn.rn_node rn.rn_rule in
+    List.iter
+      (fun dep ->
+        dep.waiting <- dep.waiting - 1;
+        if dep.waiting = 0 then Queue.add dep ready)
+      dependents.(inst tnode tattr)
+  done;
+  let left = Store.missing store in
+  if left > 0 then
+    raise
+      (Cycle
+         (Printf.sprintf
+            "dynamic evaluation stuck: %d attribute instances unevaluated \
+             (circular tree or missing root attributes)"
+            left));
+  (store, { instances = total; edges = !edge_count; evals = !evals })
+
+let eval ?root_inh g t =
+  let r, _ = Pag_core.Uid.with_base 0 (fun () -> eval_inner ?root_inh g t) in
+  r

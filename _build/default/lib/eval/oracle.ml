@@ -1,0 +1,118 @@
+open Pag_core
+
+exception Cycle of string
+
+type ctx = {
+  store : Store.t;
+  g : Grammar.t;
+  parent : (int, Tree.t * int) Hashtbl.t; (* node id -> parent, rhs pos *)
+  in_progress : (int * string, unit) Hashtbl.t;
+}
+
+let build_parent_map root =
+  let tbl = Hashtbl.create 256 in
+  Tree.iter
+    (fun node ->
+      Array.iteri
+        (fun i c -> Hashtbl.replace tbl c.Tree.id (node, i + 1))
+        node.Tree.children)
+    root;
+  tbl
+
+let find_rule (p : Grammar.production) pos attr =
+  let found = ref None in
+  Array.iter
+    (fun (r : Grammar.rule) ->
+      if r.Grammar.r_target.Grammar.pos = pos && r.Grammar.r_target.Grammar.attr = attr
+      then found := Some r)
+    p.Grammar.p_rules;
+  !found
+
+let rec demand ctx node attr =
+  match Store.get_opt ctx.store node attr with
+  | Some v -> v
+  | None ->
+      let key = (node.Tree.id, attr) in
+      if Hashtbl.mem ctx.in_progress key then
+        raise
+          (Cycle
+             (Printf.sprintf "attribute %s.%s of node %d depends on itself"
+                node.Tree.sym attr node.Tree.id));
+      Hashtbl.add ctx.in_progress key ();
+      let kind =
+        match Grammar.find_attr (Grammar.symbol ctx.g node.Tree.sym) attr with
+        | Some a -> a.Grammar.a_kind
+        | None -> raise (Store.Error ("oracle: unknown attribute " ^ attr))
+      in
+      let defining_node, rule =
+        match kind with
+        | Grammar.Syn -> (
+            match node.Tree.prod with
+            | None -> raise (Store.Error "oracle: leaf attribute unset")
+            | Some p -> (
+                match find_rule p 0 attr with
+                | Some r -> (node, r)
+                | None ->
+                    raise
+                      (Store.Error
+                         (Printf.sprintf "oracle: no rule for %s.%s"
+                            node.Tree.sym attr))))
+        | Grammar.Inh -> (
+            match Hashtbl.find_opt ctx.parent node.Tree.id with
+            | None ->
+                raise
+                  (Store.Error
+                     (Printf.sprintf
+                        "oracle: inherited %s.%s of the root was not preset"
+                        node.Tree.sym attr))
+            | Some (parent, pos) -> (
+                match parent.Tree.prod with
+                | None -> assert false
+                | Some p -> (
+                    match find_rule p pos attr with
+                    | Some r -> (parent, r)
+                    | None ->
+                        raise
+                          (Store.Error
+                             (Printf.sprintf "oracle: no rule for %d.%s in %S"
+                                pos attr p.Grammar.p_name)))))
+      in
+      (* Demand the rule's dependencies first, then apply it. *)
+      List.iter
+        (fun (dn, dattr) -> ignore (demand ctx dn dattr))
+        (Store.rule_deps ctx.store defining_node rule);
+      ignore (Store.apply_rule ctx.store defining_node rule);
+      Hashtbl.remove ctx.in_progress key;
+      Store.get ctx.store node attr
+
+let make_ctx ?root_inh g t =
+  let store = Store.create ?root_inh g t in
+  {
+    store;
+    g;
+    parent = build_parent_map t;
+    in_progress = Hashtbl.create 64;
+  }
+
+let eval ?root_inh g t =
+  let store, _ =
+    Uid.with_base 0 (fun () ->
+        let ctx = make_ctx ?root_inh g t in
+        Store.iter_instances ctx.store (fun node a ->
+            ignore (demand ctx node a.Grammar.a_name));
+        ctx.store)
+  in
+  store
+
+let eval_root_demand ?root_inh g t =
+  let store, _ =
+    Uid.with_base 0 (fun () ->
+        let ctx = make_ctx ?root_inh g t in
+        let sym = Grammar.symbol g t.Tree.sym in
+        Array.iter
+          (fun (a : Grammar.attr_decl) ->
+            if a.a_kind = Grammar.Syn then ignore (demand ctx t a.a_name))
+          sym.Grammar.s_attrs;
+        ctx.store)
+  in
+  store

@@ -1,0 +1,20 @@
+(** Demand-driven reference evaluator.
+
+    Evaluates attribute instances by recursion on their defining rules, with
+    memoization in the store and cycle detection through an in-progress mark.
+    It is the simplest evaluator that is obviously correct, so it serves as
+    the oracle the dynamic, static and parallel evaluators are tested
+    against. It performs no dependency analysis and no planning. *)
+
+open Pag_core
+
+exception Cycle of string
+
+(** [eval g t] evaluates every attribute instance of the tree and returns the
+    filled store. [root_inh] presets the root's inherited attributes. *)
+val eval : ?root_inh:(string * Value.t) list -> Grammar.t -> Tree.t -> Store.t
+
+(** Evaluate only what the root's synthesized attributes demand (the paper's
+    observation that only root attributes are of interest). *)
+val eval_root_demand :
+  ?root_inh:(string * Value.t) list -> Grammar.t -> Tree.t -> Store.t

@@ -1,0 +1,39 @@
+open Pag_core
+open Pag_analysis
+
+type stats = { visits : int; evals : int }
+
+let visit plan store node v =
+  let visits = ref 0 and evals = ref 0 in
+  let rec go node v =
+    match node.Tree.prod with
+    | None -> ()
+    | Some p ->
+        incr visits;
+        List.iter
+          (function
+            | Kastens.Eval r ->
+                ignore (Store.apply_rule store node p.Grammar.p_rules.(r));
+                incr evals
+            | Kastens.Visit { child; visit } ->
+                go node.Tree.children.(child) visit)
+          (Kastens.visit_seq plan ~prod:p.Grammar.p_id ~visit:v)
+  in
+  go node v;
+  (!visits, !evals)
+
+let eval ?root_inh plan t =
+  let r, _ =
+    Uid.with_base 0 (fun () ->
+        let g = Kastens.grammar plan in
+        let store = Store.create ?root_inh g t in
+        let m = Kastens.visit_count plan t.Tree.sym in
+        let visits = ref 0 and evals = ref 0 in
+        for v = 1 to m do
+          let nv, ne = visit plan store t v in
+          visits := !visits + nv;
+          evals := !evals + ne
+        done;
+        (store, { visits = !visits; evals = !evals }))
+  in
+  r

@@ -1,0 +1,26 @@
+(** Static (ordered) attribute evaluator (paper, section 2.3, figures 2-3).
+
+    Interprets the visit sequences produced by {!Pag_analysis.Kastens}: a
+    collection of mutually recursive visit procedures, one per production,
+    walking the tree in the order fixed at generation time. No dependency
+    analysis happens at evaluation time — the efficiency edge the combined
+    evaluator inherits for the static parts of its tree. *)
+
+open Pag_core
+open Pag_analysis
+
+type stats = {
+  visits : int;  (** visit-procedure invocations *)
+  evals : int;  (** semantic rules fired *)
+}
+
+val eval :
+  ?root_inh:(string * Value.t) list ->
+  Kastens.plan ->
+  Tree.t ->
+  Store.t * stats
+
+(** [visit plan store node v] runs visit [v] of [node] against an existing
+    store — the entry point the combined evaluator uses on the roots of its
+    static subtrees. Returns (visits, evals) performed. *)
+val visit : Kastens.plan -> Store.t -> Tree.t -> int -> int * int

@@ -1,0 +1,73 @@
+(** Attribute-instance store for one (sub)tree.
+
+    Creating a store numbers the tree (preorder) and allocates one slot per
+    (node, attribute) pair. Terminal attributes read through to the leaf's
+    intrinsic values. Every evaluator in this library fills the same store
+    type, which is what makes them directly comparable in tests. *)
+
+open Pag_core
+
+type t
+
+exception Error of string
+
+(** [create g root] numbers [root] and allocates slots. Optional [root_inh]
+    presets inherited attributes of the root (they have no defining rule in
+    the subtree). *)
+val create : ?root_inh:(string * Value.t) list -> Grammar.t -> Tree.t -> t
+
+(** Like {!create} but keeps the tree's existing (global) node ids — several
+    stores over fragments of one shared tree can then coexist, including
+    across domains. [stop] marks remote stubs: traversal allocates the stub's
+    own slots (its boundary attributes live here too) but does not descend
+    into its children. *)
+val create_shared :
+  ?root_inh:(string * Value.t) list ->
+  ?stop:(Tree.t -> bool) ->
+  Grammar.t ->
+  Tree.t ->
+  t
+
+(** Node with the given id, when covered by this store. *)
+val find_node : t -> int -> Tree.t option
+
+val grammar : t -> Grammar.t
+
+val root : t -> Tree.t
+
+val node_count : t -> int
+
+(** [set store node attr v]. Raises [Error] if already set — semantic rules
+    are pure and every instance has exactly one defining rule. *)
+val set : t -> Tree.t -> string -> Value.t -> unit
+
+val get : t -> Tree.t -> string -> Value.t
+
+val get_opt : t -> Tree.t -> string -> Value.t option
+
+val is_set : t -> Tree.t -> string -> bool
+
+(** Number of [set] calls so far. *)
+val sets : t -> int
+
+(** Attributes of the root, in declaration order, with their values;
+    unevaluated ones are omitted. *)
+val root_attrs : t -> (string * Value.t) list
+
+(** Count of instances that are still unevaluated (terminal intrinsics do
+    not count; preset root attributes do not count as missing). *)
+val missing : t -> int
+
+(** [apply_rule store node rule] evaluates one semantic rule of [node]'s
+    production: reads the dependency values, applies the function, stores the
+    target. Returns the computed value. *)
+val apply_rule : t -> Tree.t -> Grammar.rule -> Value.t
+
+(** Dependency / target instances of a rule at a node, as (node, attr)
+    pairs. Terminal-attribute dependencies are excluded (always available). *)
+val rule_deps : t -> Tree.t -> Grammar.rule -> (Tree.t * string) list
+
+val rule_target : Tree.t -> Grammar.rule -> Tree.t * string
+
+(** Iterate over every (node, attr_decl) instance of nonterminal nodes. *)
+val iter_instances : t -> (Tree.t -> Grammar.attr_decl -> unit) -> unit

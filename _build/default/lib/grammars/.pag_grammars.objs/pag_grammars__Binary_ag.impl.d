@@ -1,0 +1,1 @@
+lib/grammars/binary_ag.ml: Array Grammar List Pag_core Random Tree Value

@@ -1,0 +1,1 @@
+lib/grammars/binary_ag.mli: Grammar Pag_core Random Tree

@@ -1,0 +1,1 @@
+lib/grammars/expr_ag.ml: Array Grammar List Pag_core Pag_util Printf Random Rope Symtab Tree Value

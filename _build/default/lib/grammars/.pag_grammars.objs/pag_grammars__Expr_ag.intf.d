@@ -1,0 +1,1 @@
+lib/grammars/expr_ag.mli: Grammar Pag_core Random Tree

@@ -1,0 +1,1 @@
+lib/grammars/repmin_ag.ml: Array Grammar Pag_core Random Tree Value

@@ -1,0 +1,1 @@
+lib/grammars/repmin_ag.mli: Grammar Pag_core Random Tree Value

@@ -1,0 +1,1 @@
+lib/grammars/stackcode_ag.ml: Array Buffer Codestr Grammar Hashtbl List Pag_core Pag_util Printf Random Rope String Symtab Tree Uid Value

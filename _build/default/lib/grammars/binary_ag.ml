@@ -1,0 +1,73 @@
+open Pag_core
+
+let f_copy args = args.(0)
+
+let f_zero _ = Value.Int 0
+
+let f_one args = Value.Int (Value.as_int ~ctx:"len" args.(0) + 1)
+
+let f_scale_up args = Value.Int (Value.as_int ~ctx:"scale" args.(0) + 1)
+
+let f_bit_value args =
+  let digit = Value.as_int ~ctx:"digit" args.(0)
+  and scale = Value.as_int ~ctx:"scale" args.(1) in
+  Value.Int (digit lsl scale)
+
+let f_add args =
+  Value.Int
+    (Value.as_int ~ctx:"add" args.(0) + Value.as_int ~ctx:"add" args.(1))
+
+let grammar =
+  let open Grammar in
+  make ~name:"binary" ~start:"num"
+    [
+      terminal "BIT" [ "digit" ];
+      nonterminal "num" [ syn "value" ];
+      nonterminal "bits" [ syn "value"; syn "len"; inh "scale" ];
+    ]
+    [
+      production ~name:"num" ~lhs:"num" ~rhs:[ "bits" ]
+        [
+          rule (lhs "value") ~deps:[ rhs 1 "value" ] f_copy;
+          rule ~name:"scale=0" (rhs 1 "scale") ~deps:[] f_zero;
+        ];
+      production ~name:"single" ~lhs:"bits" ~rhs:[ "BIT" ]
+        [
+          rule ~name:"value=bit" (lhs "value")
+            ~deps:[ rhs 1 "digit"; lhs "scale" ]
+            f_bit_value;
+          rule ~name:"len=1" (lhs "len") ~deps:[] (fun _ -> Value.Int 1);
+        ];
+      production ~name:"snoc" ~lhs:"bits" ~rhs:[ "bits"; "BIT" ]
+        [
+          rule ~name:"scale+1" (rhs 1 "scale") ~deps:[ lhs "scale" ] f_scale_up;
+          rule ~name:"value=+" (lhs "value")
+            ~deps:[ rhs 1 "value"; rhs 2 "digit"; lhs "scale" ]
+            (fun args ->
+              f_add [| args.(0); f_bit_value [| args.(1); args.(2) |] |]);
+          rule ~name:"len+1" (lhs "len") ~deps:[ rhs 1 "len" ] f_one;
+        ];
+    ]
+
+let bit d = Tree.leaf grammar "BIT" [ ("digit", Value.Int d) ]
+
+let of_bits = function
+  | [] -> invalid_arg "Binary_ag.of_bits: empty"
+  | d :: rest ->
+      List.iter
+        (fun d ->
+          if d <> 0 && d <> 1 then invalid_arg "Binary_ag.of_bits: not a bit")
+        (d :: rest);
+      let first = Tree.node grammar "single" [ bit d ] in
+      let bits =
+        List.fold_left
+          (fun acc d -> Tree.node grammar "snoc" [ acc; bit d ])
+          first rest
+      in
+      Tree.node grammar "num" [ bits ]
+
+let random_bits st ~max_len =
+  let len = 1 + Random.State.int st (max 1 max_len) in
+  List.init len (fun _ -> Random.State.int st 2)
+
+let reference_value bits = List.fold_left (fun acc d -> (2 * acc) + d) 0 bits

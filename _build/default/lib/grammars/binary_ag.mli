@@ -1,0 +1,18 @@
+(** Knuth's binary-numbers attribute grammar (integer part), the original
+    motivating example for attribute grammars: a bit string's value is
+    computed with an inherited [scale] flowing right-to-left and a
+    synthesized [value]/[len] flowing up. One visit suffices — the
+    single-visit counterpart to {!Repmin_ag}. *)
+
+open Pag_core
+
+val grammar : Grammar.t
+
+(** [of_bits [1;0;1]] is the parse tree of the bit string "101". The list
+    must be nonempty and contain only 0 and 1. *)
+val of_bits : int list -> Tree.t
+
+val random_bits : Random.State.t -> max_len:int -> int list
+
+(** Ground truth: value of the bit string. *)
+val reference_value : int list -> int

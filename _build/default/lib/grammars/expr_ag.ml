@@ -1,0 +1,185 @@
+open Pag_core
+open Pag_util
+
+let split_min_bytes = 64
+
+let v_int i = Value.Int i
+
+let st_lookup tab name =
+  match Symtab.lookup tab name with
+  | Some v -> v
+  | None -> raise (Value.Type_error ("unbound identifier " ^ name))
+
+(* Semantic functions, in the style of the appendix's standard library. *)
+
+let f_copy args = args.(0)
+
+let f_st_create _ = Value.Tab Symtab.empty
+
+let f_add args =
+  v_int
+    (Value.as_int ~ctx:"add" args.(0) + Value.as_int ~ctx:"add" args.(1))
+
+let f_mul args =
+  v_int
+    (Value.as_int ~ctx:"mul" args.(0) * Value.as_int ~ctx:"mul" args.(1))
+
+let f_lookup args =
+  let tab = Value.as_tab ~ctx:"st_lookup" args.(0) in
+  let name = Rope.to_string (Value.as_str ~ctx:"st_lookup" args.(1)) in
+  st_lookup tab name
+
+let f_st_add args =
+  let tab = Value.as_tab ~ctx:"st_add" args.(0) in
+  let name = Rope.to_string (Value.as_str ~ctx:"st_add" args.(1)) in
+  Value.Tab (Symtab.add tab name args.(2))
+
+let grammar =
+  let open Grammar in
+  make ~name:"expr" ~start:"main_expr"
+    [
+      terminal "IDENTIFIER" [ "string" ];
+      terminal "NUMBER" [ "value" ];
+      terminal "LET" [];
+      terminal "EQ" [];
+      terminal "IN" [];
+      terminal "NI" [];
+      terminal "PLUS" [];
+      terminal "TIMES" [];
+      nonterminal "main_expr" [ syn "value" ];
+      nonterminal "expr" [ syn "value"; inh ~priority:true "stab" ];
+      nonterminal ~split:split_min_bytes "block"
+        [ syn "value"; inh ~priority:true "stab" ];
+    ]
+    [
+      production ~name:"main" ~lhs:"main_expr" ~rhs:[ "expr" ]
+        [
+          rule ~name:"value=expr.value" (lhs "value")
+            ~deps:[ rhs 1 "value" ] f_copy;
+          rule ~name:"expr.stab=st_create" (rhs 1 "stab") ~deps:[] f_st_create;
+        ];
+      production ~name:"add" ~lhs:"expr" ~rhs:[ "expr"; "PLUS"; "expr" ]
+        [
+          rule ~name:"value=+" (lhs "value")
+            ~deps:[ rhs 1 "value"; rhs 3 "value" ]
+            f_add;
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+          rule (rhs 3 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"mul" ~lhs:"expr" ~rhs:[ "expr"; "TIMES"; "expr" ]
+        [
+          rule ~name:"value=*" (lhs "value")
+            ~deps:[ rhs 1 "value"; rhs 3 "value" ]
+            f_mul;
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+          rule (rhs 3 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"var" ~lhs:"expr" ~rhs:[ "IDENTIFIER" ]
+        [
+          rule ~name:"value=st_lookup" (lhs "value")
+            ~deps:[ lhs "stab"; rhs 1 "string" ]
+            f_lookup;
+        ];
+      production ~name:"num" ~lhs:"expr" ~rhs:[ "NUMBER" ]
+        [ rule ~name:"value=num" (lhs "value") ~deps:[ rhs 1 "value" ] f_copy ];
+      production ~name:"blockexpr" ~lhs:"expr" ~rhs:[ "block" ]
+        [
+          rule (lhs "value") ~deps:[ rhs 1 "value" ] f_copy;
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"block" ~lhs:"block"
+        ~rhs:[ "LET"; "IDENTIFIER"; "EQ"; "expr"; "IN"; "expr"; "NI" ]
+        [
+          rule (lhs "value") ~deps:[ rhs 6 "value" ] f_copy;
+          rule (rhs 4 "stab") ~deps:[ lhs "stab" ] f_copy;
+          rule ~name:"stab=st_add" (rhs 6 "stab")
+            ~deps:[ lhs "stab"; rhs 2 "string"; rhs 4 "value" ]
+            f_st_add;
+        ];
+    ]
+
+(* Tree builders *)
+
+let kw name = Tree.leaf grammar name []
+
+let num n = Tree.node grammar "num" [ Tree.leaf grammar "NUMBER" [ ("value", v_int n) ] ]
+
+let var x =
+  Tree.node grammar "var"
+    [ Tree.leaf grammar "IDENTIFIER" [ ("string", Value.str x) ] ]
+
+let add a b = Tree.node grammar "add" [ a; kw "PLUS"; b ]
+
+let mul a b = Tree.node grammar "mul" [ a; kw "TIMES"; b ]
+
+let let_in x e1 e2 =
+  let block =
+    Tree.node grammar "block"
+      [
+        kw "LET";
+        Tree.leaf grammar "IDENTIFIER" [ ("string", Value.str x) ];
+        kw "EQ";
+        e1;
+        kw "IN";
+        e2;
+        kw "NI";
+      ]
+  in
+  Tree.node grammar "blockexpr" [ block ]
+
+let main e = Tree.node grammar "main" [ e ]
+
+let example = main (let_in "x" (num 2) (add (num 1) (mul (num 2) (var "x"))))
+
+let random_expr st ~depth ~vars =
+  let rec go depth vars =
+    let can_var = vars <> [] in
+    let choice =
+      if depth = 0 then if can_var then Random.State.int st 2 else 0
+      else Random.State.int st (if can_var then 5 else 4)
+    in
+    match choice with
+    | 0 -> num (Random.State.int st 100)
+    | 1 when can_var && depth = 0 ->
+        var (List.nth vars (Random.State.int st (List.length vars)))
+    | 1 -> add (go (depth - 1) vars) (go (depth - 1) vars)
+    | 2 -> mul (go (depth - 1) vars) (go (depth - 1) vars)
+    | 3 ->
+        let x = Printf.sprintf "v%d" (List.length vars) in
+        let_in x (go (depth - 1) vars) (go (depth - 1) (x :: vars))
+    | _ -> var (List.nth vars (Random.State.int st (List.length vars)))
+  in
+  go depth vars
+
+let random_program st ~depth = main (random_expr st ~depth ~vars:[])
+
+let reference_value t =
+  (* Direct recursive interpretation of the tree shape; independent of the
+     attribute-evaluation machinery. *)
+  let rec expr env (t : Tree.t) =
+    match t.Tree.prod with
+    | None -> failwith "reference_value: unexpected leaf"
+    | Some p -> (
+        match p.Grammar.p_name with
+        | "num" -> Value.as_int ~ctx:"ref" (Tree.term_attr t.Tree.children.(0) "value")
+        | "var" ->
+            let name =
+              Rope.to_string
+                (Value.as_str ~ctx:"ref"
+                   (Tree.term_attr t.Tree.children.(0) "string"))
+            in
+            List.assoc name env
+        | "add" -> expr env t.Tree.children.(0) + expr env t.Tree.children.(2)
+        | "mul" -> expr env t.Tree.children.(0) * expr env t.Tree.children.(2)
+        | "blockexpr" -> block env t.Tree.children.(0)
+        | "main" -> expr env t.Tree.children.(0)
+        | other -> failwith ("reference_value: unexpected production " ^ other))
+  and block env (t : Tree.t) =
+    let name =
+      Rope.to_string
+        (Value.as_str ~ctx:"ref" (Tree.term_attr t.Tree.children.(1) "string"))
+    in
+    let v = expr env t.Tree.children.(3) in
+    expr ((name, v) :: env) t.Tree.children.(5)
+  in
+  expr [] t

@@ -1,0 +1,46 @@
+(** The attribute grammar of the paper's appendix: arithmetic expressions
+    with [let x = e1 in e2 ni] constant bindings.
+
+    Nonterminals: [main_expr] (synthesized [value]), [expr] and [block]
+    (synthesized [value], inherited [stab]). [block] is splittable — subtrees
+    rooted at a block may be shipped to another evaluator when their
+    linearized representation is at least {!split_min_bytes} bytes. The
+    symbol table attribute [stab] is a priority attribute, as the global
+    symbol table is in the paper's Pascal grammar. *)
+
+open Pag_core
+
+val grammar : Grammar.t
+
+val split_min_bytes : int
+
+(** {1 Tree builders} *)
+
+val num : int -> Tree.t
+
+val var : string -> Tree.t
+
+val add : Tree.t -> Tree.t -> Tree.t
+
+val mul : Tree.t -> Tree.t -> Tree.t
+
+(** [let_in x e1 e2] is the expression [let x = e1 in e2 ni], wrapped as an
+    [expr]. *)
+val let_in : string -> Tree.t -> Tree.t -> Tree.t
+
+(** Wrap an [expr] tree as the start symbol [main_expr]. *)
+val main : Tree.t -> Tree.t
+
+(** The appendix's worked example: [let x = 2 in 1 + 2 * x ni], value 5. *)
+val example : Tree.t
+
+(** [random_expr st ~depth ~vars] generates a well-scoped random expression
+    using only variables from [vars]; [random_program st ~depth] wraps one in
+    [main] with some let-bound variables. Deterministic in [st]. *)
+val random_expr : Random.State.t -> depth:int -> vars:string list -> Tree.t
+
+val random_program : Random.State.t -> depth:int -> Tree.t
+
+(** Reference value of an expression tree, computed directly (not via any
+    evaluator) — the ground truth for differential tests. *)
+val reference_value : Tree.t -> int

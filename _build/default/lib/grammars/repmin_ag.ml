@@ -1,0 +1,79 @@
+open Pag_core
+
+let f_copy args = args.(0)
+
+let f_min args =
+  Value.Int
+    (min (Value.as_int ~ctx:"min" args.(0)) (Value.as_int ~ctx:"min" args.(1)))
+
+let f_pair args = Value.Pair (args.(0), args.(1))
+
+let grammar =
+  let open Grammar in
+  make ~name:"repmin" ~start:"root"
+    [
+      terminal "LEAFV" [ "value" ];
+      nonterminal "root" [ syn "res" ];
+      nonterminal ~split:32 "tree" [ syn "min"; syn "res"; inh "gmin" ];
+    ]
+    [
+      production ~name:"root" ~lhs:"root" ~rhs:[ "tree" ]
+        [
+          rule ~name:"res=tree.res" (lhs "res") ~deps:[ rhs 1 "res" ] f_copy;
+          rule ~name:"gmin=tree.min" (rhs 1 "gmin") ~deps:[ rhs 1 "min" ] f_copy;
+        ];
+      production ~name:"leaf" ~lhs:"tree" ~rhs:[ "LEAFV" ]
+        [
+          rule ~name:"min=value" (lhs "min") ~deps:[ rhs 1 "value" ] f_copy;
+          rule ~name:"res=gmin" (lhs "res") ~deps:[ lhs "gmin" ] f_copy;
+        ];
+      production ~name:"fork" ~lhs:"tree" ~rhs:[ "tree"; "tree" ]
+        [
+          rule ~name:"min=min" (lhs "min")
+            ~deps:[ rhs 1 "min"; rhs 2 "min" ]
+            f_min;
+          rule ~name:"res=pair" (lhs "res")
+            ~deps:[ rhs 1 "res"; rhs 2 "res" ]
+            f_pair;
+          rule (rhs 1 "gmin") ~deps:[ lhs "gmin" ] f_copy;
+          rule (rhs 2 "gmin") ~deps:[ lhs "gmin" ] f_copy;
+        ];
+    ]
+
+let leaf v =
+  Tree.node grammar "leaf" [ Tree.leaf grammar "LEAFV" [ ("value", Value.Int v) ] ]
+
+let fork a b = Tree.node grammar "fork" [ a; b ]
+
+let root t = Tree.node grammar "root" [ t ]
+
+let random_tree st ~depth =
+  let rec go depth =
+    if depth = 0 || Random.State.int st 4 = 0 then
+      leaf (Random.State.int st 1000)
+    else fork (go (depth - 1)) (go (depth - 1))
+  in
+  root (go depth)
+
+let reference_result t =
+  let rec min_of (t : Tree.t) =
+    match t.Tree.prod with
+    | Some p when p.Grammar.p_name = "leaf" ->
+        Value.as_int ~ctx:"repmin" (Tree.term_attr t.Tree.children.(0) "value")
+    | Some p when p.Grammar.p_name = "fork" ->
+        min (min_of t.Tree.children.(0)) (min_of t.Tree.children.(1))
+    | _ -> failwith "reference_result: not a tree node"
+  in
+  let rec rebuild gmin (t : Tree.t) =
+    match t.Tree.prod with
+    | Some p when p.Grammar.p_name = "leaf" -> Value.Int gmin
+    | Some p when p.Grammar.p_name = "fork" ->
+        Value.Pair
+          (rebuild gmin t.Tree.children.(0), rebuild gmin t.Tree.children.(1))
+    | _ -> failwith "reference_result: not a tree node"
+  in
+  match t.Tree.prod with
+  | Some p when p.Grammar.p_name = "root" ->
+      let sub = t.Tree.children.(0) in
+      rebuild (min_of sub) sub
+  | _ -> failwith "reference_result: expected a root node"

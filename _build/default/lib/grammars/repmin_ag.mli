@@ -1,0 +1,28 @@
+(** The classic "repmin" attribute grammar: replace every leaf of a binary
+    tree by the global minimum of all leaves.
+
+    This grammar is deliberately not one-visit: the root production feeds the
+    synthesized [min] back down as the inherited [gmin], so the result
+    attribute [res] of any subtree depends on information from the entire
+    tree. Kastens' analysis must assign two visits to [tree] — it is the
+    canonical test that ordered evaluation, visit sequences, and the combined
+    evaluator handle multi-visit grammars. *)
+
+open Pag_core
+
+val grammar : Grammar.t
+
+(** {1 Tree builders} *)
+
+val leaf : int -> Tree.t
+
+val fork : Tree.t -> Tree.t -> Tree.t
+
+val root : Tree.t -> Tree.t
+
+(** [random_tree st ~depth] builds a random shape with random leaf values. *)
+val random_tree : Random.State.t -> depth:int -> Tree.t
+
+(** Ground-truth result: the mirror-shape tree as a [Value.t] ([Int] leaves,
+    [Pair] forks) with all leaves replaced by the minimum. *)
+val reference_result : Tree.t -> Value.t

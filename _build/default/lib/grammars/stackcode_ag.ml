@@ -1,0 +1,261 @@
+open Pag_core
+open Pag_util
+
+let split_min_bytes = 48
+
+let code s = Codestr.value (Codestr.of_string s)
+
+let ccat l =
+  Codestr.value
+    (Codestr.concat_list (List.map (Codestr.of_value ~ctx:"ccat") l))
+
+let f_copy args = args.(0)
+
+let f_nil _ = Value.List []
+
+let f_append args =
+  Value.List
+    (Value.as_list ~ctx:"append" args.(0) @ Value.as_list ~ctx:"append" args.(1))
+
+let f_add args =
+  Value.Int (Value.as_int ~ctx:"add" args.(0) + Value.as_int ~ctx:"add" args.(1))
+
+let f_mul args =
+  Value.Int (Value.as_int ~ctx:"mul" args.(0) * Value.as_int ~ctx:"mul" args.(1))
+
+let f_lookup args =
+  let tab = Value.as_tab ~ctx:"lookup" args.(0) in
+  let name = Rope.to_string (Value.as_str ~ctx:"lookup" args.(1)) in
+  match Symtab.lookup tab name with
+  | Some v -> v
+  | None -> raise (Value.Type_error ("unbound identifier " ^ name))
+
+(* visit 1 -> visit 2 turnaround at the root: decls become the global table *)
+let f_tab_of_decls args =
+  let decls = Value.as_list ~ctx:"tab_of_decls" args.(0) in
+  Value.Tab
+    (List.fold_left
+       (fun tab d ->
+         let name, v = Value.as_pair ~ctx:"tab_of_decls" d in
+         Symtab.add tab (Rope.to_string (Value.as_str ~ctx:"tab_of_decls" name)) v)
+       Symtab.empty decls)
+
+let grammar =
+  let open Grammar in
+  let attrs =
+    [
+      syn "decls";
+      syn "value";
+      syn "code";
+      inh ~priority:true "stab";
+    ]
+  in
+  make ~name:"stackcode" ~start:"main_expr"
+    [
+      terminal "IDENTIFIER" [ "string" ];
+      terminal "NUMBER" [ "value" ];
+      terminal "LET" [];
+      terminal "EQ" [];
+      terminal "IN" [];
+      terminal "NI" [];
+      terminal "PLUS" [];
+      terminal "TIMES" [];
+      nonterminal "main_expr" [ syn "value"; syn "code" ];
+      nonterminal "expr" attrs;
+      nonterminal ~split:split_min_bytes "block" attrs;
+    ]
+    [
+      production ~name:"main" ~lhs:"main_expr" ~rhs:[ "expr" ]
+        [
+          rule (lhs "value") ~deps:[ rhs 1 "value" ] f_copy;
+          rule ~name:"code=wrap" (lhs "code") ~deps:[ rhs 1 "code" ] (fun a ->
+              ccat [ a.(0); code "HALT\n" ]);
+          rule ~name:"stab=of_decls" (rhs 1 "stab") ~deps:[ rhs 1 "decls" ]
+            f_tab_of_decls;
+        ];
+      production ~name:"add" ~lhs:"expr" ~rhs:[ "expr"; "PLUS"; "expr" ]
+        [
+          rule (lhs "decls") ~deps:[ rhs 1 "decls"; rhs 3 "decls" ] f_append;
+          rule (lhs "value") ~deps:[ rhs 1 "value"; rhs 3 "value" ] f_add;
+          rule ~name:"code=add" (lhs "code")
+            ~deps:[ rhs 1 "code"; rhs 3 "code" ]
+            (fun a -> ccat [ a.(0); a.(1); code "ADD\n" ]);
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+          rule (rhs 3 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"mul" ~lhs:"expr" ~rhs:[ "expr"; "TIMES"; "expr" ]
+        [
+          rule (lhs "decls") ~deps:[ rhs 1 "decls"; rhs 3 "decls" ] f_append;
+          rule (lhs "value") ~deps:[ rhs 1 "value"; rhs 3 "value" ] f_mul;
+          rule ~name:"code=mul" (lhs "code")
+            ~deps:[ rhs 1 "code"; rhs 3 "code" ]
+            (fun a -> ccat [ a.(0); a.(1); code "MUL\n" ]);
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+          rule (rhs 3 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"num" ~lhs:"expr" ~rhs:[ "NUMBER" ]
+        [
+          rule (lhs "decls") ~deps:[] f_nil;
+          rule (lhs "value") ~deps:[ rhs 1 "value" ] f_copy;
+          rule ~name:"code=push" (lhs "code") ~deps:[ rhs 1 "value" ] (fun a ->
+              code (Printf.sprintf "PUSH %d\n" (Value.as_int ~ctx:"push" a.(0))));
+        ];
+      production ~name:"var" ~lhs:"expr" ~rhs:[ "IDENTIFIER" ]
+        [
+          rule (lhs "decls") ~deps:[] f_nil;
+          rule (lhs "value") ~deps:[ lhs "stab"; rhs 1 "string" ] f_lookup;
+          rule ~name:"code=load" (lhs "code")
+            ~deps:[ lhs "stab"; rhs 1 "string" ]
+            (fun a ->
+              code
+                (Printf.sprintf "PUSH %d ; %s\n"
+                   (Value.as_int ~ctx:"load" (f_lookup a))
+                   (Rope.to_string (Value.as_str ~ctx:"load" a.(1)))));
+        ];
+      production ~name:"blockexpr" ~lhs:"expr" ~rhs:[ "block" ]
+        [
+          rule (lhs "decls") ~deps:[ rhs 1 "decls" ] f_copy;
+          rule (lhs "value") ~deps:[ rhs 1 "value" ] f_copy;
+          rule (lhs "code") ~deps:[ rhs 1 "code" ] f_copy;
+          rule (rhs 1 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+      production ~name:"block" ~lhs:"block"
+        ~rhs:[ "LET"; "IDENTIFIER"; "EQ"; "NUMBER"; "IN"; "expr"; "NI" ]
+        [
+          rule ~name:"decls=cons" (lhs "decls")
+            ~deps:[ rhs 2 "string"; rhs 4 "value"; rhs 6 "decls" ]
+            (fun a ->
+              Value.List
+                (Value.Pair (Value.Str (Value.as_str ~ctx:"decl" a.(0)), a.(1))
+                :: Value.as_list ~ctx:"decl" a.(2)));
+          rule (lhs "value") ~deps:[ rhs 6 "value" ] f_copy;
+          rule ~name:"code=label" (lhs "code")
+            ~deps:[ rhs 2 "string"; rhs 6 "code" ]
+            (fun a ->
+              ccat
+                [
+                  code
+                    (Printf.sprintf "L%d: ; let %s\n" (Uid.fresh ())
+                       (Rope.to_string (Value.as_str ~ctx:"label" a.(0))));
+                  a.(1);
+                ]);
+          rule (rhs 6 "stab") ~deps:[ lhs "stab" ] f_copy;
+        ];
+    ]
+
+let kw name = Tree.leaf grammar name []
+
+let num n =
+  Tree.node grammar "num" [ Tree.leaf grammar "NUMBER" [ ("value", Value.Int n) ] ]
+
+let var x =
+  Tree.node grammar "var"
+    [ Tree.leaf grammar "IDENTIFIER" [ ("string", Value.str x) ] ]
+
+let add a b = Tree.node grammar "add" [ a; kw "PLUS"; b ]
+
+let mul a b = Tree.node grammar "mul" [ a; kw "TIMES"; b ]
+
+let let_in x n body =
+  let block =
+    Tree.node grammar "block"
+      [
+        kw "LET";
+        Tree.leaf grammar "IDENTIFIER" [ ("string", Value.str x) ];
+        kw "EQ";
+        Tree.leaf grammar "NUMBER" [ ("value", Value.Int n) ];
+        kw "IN";
+        body;
+        kw "NI";
+      ]
+  in
+  Tree.node grammar "blockexpr" [ block ]
+
+let main e = Tree.node grammar "main" [ e ]
+
+let random_program st ~depth ~blocks =
+  let names = List.init (max 1 blocks) (fun i -> Printf.sprintf "g%d" i) in
+  let rec body depth =
+    if depth = 0 then
+      if Random.State.bool st then num (Random.State.int st 50)
+      else var (List.nth names (Random.State.int st (List.length names)))
+    else
+      match Random.State.int st 3 with
+      | 0 -> add (body (depth - 1)) (body (depth - 1))
+      | 1 -> mul (body (depth - 1)) (body (depth - 1))
+      | _ ->
+          (* local extra binding with a fresh unique name *)
+          let x = Printf.sprintf "d%d_%d" depth (Random.State.int st 100000) in
+          let_in x (Random.State.int st 50) (add (var x) (body (depth - 1)))
+  in
+  let wrapped =
+    List.fold_left
+      (fun acc (i, name) -> let_in name (i * 7) acc)
+      (body depth)
+      (List.mapi (fun i n -> (i, n)) names)
+  in
+  main wrapped
+
+let reference_value t =
+  (* Pass 1: collect all global declarations; pass 2: interpret. *)
+  let decls = Hashtbl.create 16 in
+  let rec collect (n : Tree.t) =
+    (match n.Tree.prod with
+    | Some p when p.Grammar.p_name = "block" ->
+        let name =
+          Rope.to_string
+            (Value.as_str ~ctx:"ref" (Tree.term_attr n.Tree.children.(1) "string"))
+        in
+        let v =
+          Value.as_int ~ctx:"ref" (Tree.term_attr n.Tree.children.(3) "value")
+        in
+        Hashtbl.replace decls name v
+    | _ -> ());
+    Array.iter collect n.Tree.children
+  in
+  collect t;
+  let rec eval (n : Tree.t) =
+    match n.Tree.prod with
+    | None -> failwith "reference_value: leaf"
+    | Some p -> (
+        match p.Grammar.p_name with
+        | "main" | "blockexpr" -> eval n.Tree.children.(0)
+        | "num" -> Value.as_int ~ctx:"ref" (Tree.term_attr n.Tree.children.(0) "value")
+        | "var" ->
+            Hashtbl.find decls
+              (Rope.to_string
+                 (Value.as_str ~ctx:"ref"
+                    (Tree.term_attr n.Tree.children.(0) "string")))
+        | "add" -> eval n.Tree.children.(0) + eval n.Tree.children.(2)
+        | "mul" -> eval n.Tree.children.(0) * eval n.Tree.children.(2)
+        | "block" -> eval n.Tree.children.(5)
+        | other -> failwith ("reference_value: " ^ other))
+  in
+  eval t
+
+let mask_labels s =
+  (* Replace label numbers ("L1000023:") with "L_:" so code from different
+     decompositions compares equal. *)
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if
+      s.[!i] = 'L'
+      && !i + 1 < n
+      && s.[!i + 1] >= '0'
+      && s.[!i + 1] <= '9'
+      && (!i = 0 || s.[!i - 1] = '\n')
+    then begin
+      Buffer.add_string buf "L_";
+      incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** A miniature compiler-shaped attribute grammar: let-expressions with
+    {e program-global} constant bindings, translated to stack-machine code.
+
+    This is the smallest grammar with the structure of the paper's Pascal
+    grammar: a first visit collects declarations bottom-up ([decls],
+    the symbol-table phase of figure 6), the root turns them into a global
+    symbol table that flows back down as the priority attribute [stab], and a
+    second visit computes [value] and the code attribute [code] (the code
+    generation phase). Bindings bind identifiers to literal numbers, so the
+    grammar is ordered with exactly two visits. [code] is a
+    {!Pag_core.Codestr} value, so the string librarian path is exercised;
+    block labels are drawn from {!Pag_core.Uid}, exercising per-evaluator
+    unique-identifier bases. [block] subtrees are splittable. *)
+
+open Pag_core
+
+val grammar : Grammar.t
+
+val split_min_bytes : int
+
+(** {1 Tree builders} *)
+
+val num : int -> Tree.t
+
+val var : string -> Tree.t
+
+val add : Tree.t -> Tree.t -> Tree.t
+
+val mul : Tree.t -> Tree.t -> Tree.t
+
+(** [let_in x n body]: binds [x] to the literal [n], globally visible. *)
+val let_in : string -> int -> Tree.t -> Tree.t
+
+val main : Tree.t -> Tree.t
+
+(** [random_program st ~depth ~blocks] builds a program with [blocks]
+    uniquely-named global bindings and a body of roughly depth [depth]. *)
+val random_program : Random.State.t -> depth:int -> blocks:int -> Tree.t
+
+(** Ground-truth value, computed by direct interpretation. *)
+val reference_value : Tree.t -> int
+
+(** Ground-truth code text (with label numbers masked, since labels depend
+    on the evaluator decomposition). *)
+val mask_labels : string -> string

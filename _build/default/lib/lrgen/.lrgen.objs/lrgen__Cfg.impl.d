@@ -1,0 +1,1 @@
+lib/lrgen/cfg.ml: Array Hashtbl List Option Printf

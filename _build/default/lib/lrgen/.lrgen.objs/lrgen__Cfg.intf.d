@@ -1,0 +1,1 @@
+lib/lrgen/cfg.mli:

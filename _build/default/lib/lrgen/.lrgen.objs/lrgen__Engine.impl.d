@@ -1,0 +1,1 @@
+lib/lrgen/engine.ml: Array Cfg Lalr List

@@ -1,0 +1,1 @@
+lib/lrgen/engine.mli: Cfg Lalr

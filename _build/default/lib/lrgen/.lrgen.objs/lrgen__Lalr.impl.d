@@ -1,0 +1,1 @@
+lib/lrgen/lalr.ml: Array Cfg Format Hashtbl List Option Printf Queue Set String

@@ -1,0 +1,1 @@
+lib/lrgen/lalr.mli: Cfg Format

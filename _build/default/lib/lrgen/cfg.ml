@@ -1,0 +1,103 @@
+type assoc = Left | Right | Nonassoc
+
+type production = {
+  cp_name : string;
+  cp_lhs : string;
+  cp_rhs : string list;
+  cp_prec : string option;
+}
+
+type t = {
+  c_start : string;
+  c_prods : production array;
+  c_terminals : string list;
+  c_nonterminals : string list;
+  c_prec : (string, int * assoc) Hashtbl.t;
+  c_by_lhs : (string, (int * production) list) Hashtbl.t;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let eof = "$eof"
+
+let make ~terminals ~start ?(prec = []) prods =
+  let nonterminals =
+    List.sort_uniq compare (List.map (fun p -> p.cp_lhs) prods)
+  in
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (p : production) ->
+      if Hashtbl.mem names p.cp_name then
+        error "duplicate production name %S" p.cp_name;
+      Hashtbl.add names p.cp_name ())
+    prods;
+  List.iter
+    (fun t ->
+      if List.mem t nonterminals then
+        error "%S is both a terminal and a nonterminal" t)
+    terminals;
+  if not (List.mem start nonterminals) then
+    error "start symbol %S has no productions" start;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun s ->
+          if (not (List.mem s terminals)) && not (List.mem s nonterminals) then
+            error "production %S: unknown symbol %S" p.cp_name s)
+        p.cp_rhs;
+      match p.cp_prec with
+      | Some t when not (List.mem t terminals) ->
+          error "production %S: %%prec %S is not a terminal" p.cp_name t
+      | _ -> ())
+    prods;
+  let c_prec = Hashtbl.create 16 in
+  List.iteri
+    (fun level (a, terms) ->
+      List.iter
+        (fun t ->
+          if not (List.mem t terminals) then
+            error "precedence declaration names unknown terminal %S" t;
+          Hashtbl.replace c_prec t (level + 1, a))
+        terms)
+    prec;
+  let c_by_lhs = Hashtbl.create 16 in
+  List.iteri
+    (fun i p ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt c_by_lhs p.cp_lhs) in
+      Hashtbl.replace c_by_lhs p.cp_lhs (existing @ [ (i, p) ]))
+    prods;
+  {
+    c_start = start;
+    c_prods = Array.of_list prods;
+    c_terminals = terminals;
+    c_nonterminals = nonterminals;
+    c_prec;
+    c_by_lhs;
+  }
+
+let start g = g.c_start
+
+let productions g = g.c_prods
+
+let terminals g = g.c_terminals
+
+let nonterminals g = g.c_nonterminals
+
+let is_terminal g s = List.mem s g.c_terminals || s = eof
+
+let prec_of_terminal g t = Hashtbl.find_opt g.c_prec t
+
+let prec_of_production g p =
+  match p.cp_prec with
+  | Some t -> prec_of_terminal g t
+  | None ->
+      let rec last_term acc = function
+        | [] -> acc
+        | s :: rest ->
+            last_term (if is_terminal g s then Some s else acc) rest
+      in
+      Option.bind (last_term None p.cp_rhs) (prec_of_terminal g)
+
+let prods_for g nt = Option.value ~default:[] (Hashtbl.find_opt g.c_by_lhs nt)

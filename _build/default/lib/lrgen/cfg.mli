@@ -1,0 +1,56 @@
+(** Context-free grammars for the LALR(1) generator (the repository's YACC:
+    the paper generates its parsers with YACC from the same specification
+    that drives the evaluator generator).
+
+    Terminals and nonterminals are named; a production may name a terminal
+    whose precedence it takes (YACC's implicit last-terminal rule applies
+    otherwise). Precedence levels are declared low to high, as %left/%right
+    /%nonassoc lines are in YACC input. *)
+
+type assoc = Left | Right | Nonassoc
+
+type production = {
+  cp_name : string;  (** unique; carried through to reduce callbacks *)
+  cp_lhs : string;
+  cp_rhs : string list;
+  cp_prec : string option;  (** terminal whose precedence the rule takes *)
+}
+
+type t
+
+(** [make ~terminals ~start ~prec prods]: [prec] lists precedence levels low
+    to high, each level an associativity and its terminals. Nonterminals are
+    inferred from left-hand sides. Validates that rhs symbols are declared
+    terminals or defined nonterminals and that the start symbol is
+    defined. *)
+val make :
+  terminals:string list ->
+  start:string ->
+  ?prec:(assoc * string list) list ->
+  production list ->
+  t
+
+exception Error of string
+
+val start : t -> string
+
+val productions : t -> production array
+
+val terminals : t -> string list
+
+val nonterminals : t -> string list
+
+val is_terminal : t -> string -> bool
+
+(** Precedence level (1-based, higher binds tighter) and associativity. *)
+val prec_of_terminal : t -> string -> (int * assoc) option
+
+(** Effective precedence of a production: its [cp_prec] terminal's, or the
+    last terminal of its rhs. *)
+val prec_of_production : t -> production -> (int * assoc) option
+
+(** Productions with the given left-hand side. *)
+val prods_for : t -> string -> (int * production) list
+
+(** End-of-input marker used by the generator and engine. *)
+val eof : string

@@ -1,0 +1,61 @@
+exception
+  Syntax_error of {
+    position : int;
+    token : string;
+    expected : string list;
+  }
+
+let expected_in tables state =
+  List.filter
+    (fun t -> Lalr.action tables state t <> Lalr.Error)
+    (Cfg.eof :: Cfg.terminals (Lalr.grammar tables))
+
+let parse tables ~shift ~reduce tokens =
+  let g = Lalr.grammar tables in
+  (* stack of (state, value); the bottom has no value *)
+  let rec loop stack input pos =
+    let state = match stack with (s, _) :: _ -> s | [] -> assert false in
+    let tok_name, tok_value =
+      match input with (n, v) :: _ -> (n, Some v) | [] -> (Cfg.eof, None)
+    in
+    match Lalr.action tables state tok_name with
+    | Lalr.Shift next ->
+        let v =
+          match tok_value with
+          | Some v -> shift tok_name v
+          | None -> assert false (* eof is never shifted *)
+        in
+        loop ((next, Some v) :: stack) (List.tl input) (pos + 1)
+    | Lalr.Reduce p ->
+        let prod = (Cfg.productions g).(p) in
+        let n = List.length prod.Cfg.cp_rhs in
+        let rec pop k acc stack =
+          if k = 0 then (acc, stack)
+          else
+            match stack with
+            | (_, Some v) :: rest -> pop (k - 1) (v :: acc) rest
+            | _ -> assert false
+        in
+        let children, stack = pop n [] stack in
+        let v = reduce prod children in
+        let state' = match stack with (s, _) :: _ -> s | [] -> assert false in
+        let next =
+          match Lalr.goto tables state' prod.Cfg.cp_lhs with
+          | Some s -> s
+          | None -> assert false
+        in
+        loop ((next, Some v) :: stack) input pos
+    | Lalr.Accept -> (
+        match stack with
+        | (_, Some v) :: _ -> v
+        | _ -> assert false)
+    | Lalr.Error ->
+        raise
+          (Syntax_error
+             {
+               position = pos;
+               token = tok_name;
+               expected = expected_in tables state;
+             })
+  in
+  loop [ (0, None) ] tokens 0

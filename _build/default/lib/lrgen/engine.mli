@@ -1,0 +1,23 @@
+(** Table-driven LALR(1) parser.
+
+    Input is a token stream of (terminal name, semantic value); the parser
+    drives [shift]/[reduce] callbacks to build whatever the caller wants —
+    the {!Agspec} front end builds {!Pag_core.Tree} parse trees for the
+    generated evaluators. *)
+
+exception
+  Syntax_error of {
+    position : int;  (** 0-based index into the token stream *)
+    token : string;
+    expected : string list;  (** terminals acceptable in the parse state *)
+  }
+
+(** [parse tables ~shift ~reduce tokens]: [shift name v] converts a
+    terminal's semantic value, [reduce prod children] builds a node.
+    Returns the semantic value of the start symbol. *)
+val parse :
+  Lalr.tables ->
+  shift:(string -> 'v -> 'a) ->
+  reduce:(Cfg.production -> 'a list -> 'a) ->
+  (string * 'v) list ->
+  'a

@@ -1,0 +1,358 @@
+module SS = Set.Make (String)
+
+type action = Shift of int | Reduce of int | Accept | Error
+
+type item = int * int (* production index (augmented array), dot *)
+
+module IS = Set.Make (struct
+  type t = item
+
+  let compare = compare
+end)
+
+type tables = {
+  g : Cfg.t;
+  aug : Cfg.production array; (* user prods @ [S' -> start] *)
+  kernels : IS.t array;
+  trans : (int * string, int) Hashtbl.t;
+  actions : (int * string, action) Hashtbl.t;
+  gotos : (int * string, int) Hashtbl.t;
+  confl : string list;
+}
+
+let aug_index aug = Array.length aug - 1
+
+(* ---------------- FIRST sets ---------------- *)
+
+let compute_first g aug =
+  let first : (string, SS.t) Hashtbl.t = Hashtbl.create 64 in
+  let nullable : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let get s =
+    if Cfg.is_terminal g s then SS.singleton s
+    else Option.value ~default:SS.empty (Hashtbl.find_opt first s)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Cfg.production) ->
+        let cur = get p.Cfg.cp_lhs in
+        let rec walk acc = function
+          | [] ->
+              if not (Hashtbl.mem nullable p.Cfg.cp_lhs) then begin
+                Hashtbl.replace nullable p.Cfg.cp_lhs ();
+                changed := true
+              end;
+              acc
+          | s :: rest ->
+              let acc = SS.union acc (get s) in
+              if (not (Cfg.is_terminal g s)) && Hashtbl.mem nullable s then
+                walk acc rest
+              else acc
+        in
+        let acc = walk cur p.Cfg.cp_rhs in
+        if not (SS.equal acc cur) then begin
+          Hashtbl.replace first p.Cfg.cp_lhs acc;
+          changed := true
+        end)
+      aug
+  done;
+  let first_of_seq syms la =
+    (* FIRST of [syms · la] where [la] is a set of lookahead strings *)
+    let rec walk acc = function
+      | [] -> SS.union acc la
+      | s :: rest ->
+          let acc = SS.union acc (get s) in
+          if (not (Cfg.is_terminal g s)) && Hashtbl.mem nullable s then
+            walk acc rest
+          else acc
+    in
+    walk SS.empty syms
+  in
+  first_of_seq
+
+(* ---------------- LR(0) automaton ---------------- *)
+
+let closure0 g aug kernel =
+  let set = ref kernel in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    IS.iter
+      (fun (p, d) ->
+        let rhs = aug.(p).Cfg.cp_rhs in
+        if d < List.length rhs then
+          let x = List.nth rhs d in
+          if not (Cfg.is_terminal g x) then
+            List.iter
+              (fun (i, _) ->
+                if not (IS.mem (i, 0) !set) then begin
+                  set := IS.add (i, 0) !set;
+                  changed := true
+                end)
+              (Cfg.prods_for g x))
+      !set
+  done;
+  !set
+
+let build_lr0 g aug =
+  let start_kernel = IS.singleton (aug_index aug, 0) in
+  let kernels = ref [ start_kernel ] in
+  let index = Hashtbl.create 64 in
+  Hashtbl.add index (IS.elements start_kernel) 0;
+  let trans = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  let kernel_of = Hashtbl.create 64 in
+  Hashtbl.add kernel_of 0 start_kernel;
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    let items = closure0 g aug (Hashtbl.find kernel_of i) in
+    (* group shifts by symbol *)
+    let by_sym = Hashtbl.create 16 in
+    IS.iter
+      (fun (p, d) ->
+        let rhs = aug.(p).Cfg.cp_rhs in
+        if d < List.length rhs then begin
+          let x = List.nth rhs d in
+          let cur = Option.value ~default:IS.empty (Hashtbl.find_opt by_sym x) in
+          Hashtbl.replace by_sym x (IS.add (p, d + 1) cur)
+        end)
+      items;
+    Hashtbl.iter
+      (fun x kernel ->
+        let key = IS.elements kernel in
+        let j =
+          match Hashtbl.find_opt index key with
+          | Some j -> j
+          | None ->
+              let j = List.length !kernels in
+              kernels := !kernels @ [ kernel ];
+              Hashtbl.add index key j;
+              Hashtbl.add kernel_of j kernel;
+              Queue.add j queue;
+              j
+        in
+        Hashtbl.replace trans (i, x) j)
+      by_sym
+  done;
+  (Array.of_list !kernels, trans)
+
+(* ---------------- LR(1) closure over lookahead sets ---------------- *)
+
+let closure_la g aug first_of_seq seed =
+  let la : (item, SS.t ref) Hashtbl.t = Hashtbl.create 64 in
+  let get it =
+    match Hashtbl.find_opt la it with
+    | Some r -> r
+    | None ->
+        let r = ref SS.empty in
+        Hashtbl.add la it r;
+        r
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun (it, s) ->
+      let r = get it in
+      r := SS.union !r s;
+      Queue.add it queue)
+    seed;
+  while not (Queue.is_empty queue) do
+    let p, d = Queue.take queue in
+    let rhs = aug.(p).Cfg.cp_rhs in
+    if d < List.length rhs then begin
+      let x = List.nth rhs d in
+      if not (Cfg.is_terminal g x) then begin
+        let suffix =
+          List.filteri (fun i _ -> i > d) rhs
+        in
+        let las = first_of_seq suffix !(get (p, d)) in
+        List.iter
+          (fun (i, _) ->
+            let r = get (i, 0) in
+            if not (SS.subset las !r) then begin
+              r := SS.union las !r;
+              Queue.add (i, 0) queue
+            end)
+          (Cfg.prods_for g x)
+      end
+    end
+  done;
+  Hashtbl.fold (fun it r acc -> (it, !r) :: acc) la []
+
+(* ---------------- LALR lookaheads ---------------- *)
+
+let hash_marker = "#"
+
+let compute_lookaheads g aug first_of_seq kernels trans =
+  let la : (int * item, SS.t ref) Hashtbl.t = Hashtbl.create 256 in
+  let get key =
+    match Hashtbl.find_opt la key with
+    | Some r -> r
+    | None ->
+        let r = ref SS.empty in
+        Hashtbl.add la key r;
+        r
+  in
+  let props : ((int * item) * (int * item)) list ref = ref [] in
+  (get (0, (aug_index aug, 0))) := SS.singleton Cfg.eof;
+  Array.iteri
+    (fun i kernel ->
+      IS.iter
+        (fun k ->
+          let closure =
+            closure_la g aug first_of_seq [ (k, SS.singleton hash_marker) ]
+          in
+          List.iter
+            (fun ((p, d), las) ->
+              let rhs = aug.(p).Cfg.cp_rhs in
+              if d < List.length rhs then begin
+                let x = List.nth rhs d in
+                match Hashtbl.find_opt trans (i, x) with
+                | None -> ()
+                | Some j ->
+                    let tgt = (j, (p, d + 1)) in
+                    SS.iter
+                      (fun t ->
+                        if t = hash_marker then props := ((i, k), tgt) :: !props
+                        else
+                          let r = get tgt in
+                          r := SS.add t !r)
+                      las
+              end)
+            closure)
+        kernel)
+    kernels;
+  (* propagate *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (src, dst) ->
+        let s = get src and d = get dst in
+        if not (SS.subset !s !d) then begin
+          d := SS.union !s !d;
+          changed := true
+        end)
+      !props
+  done;
+  fun state item -> Option.fold ~none:SS.empty ~some:( ! ) (Hashtbl.find_opt la (state, item))
+
+(* ---------------- tables ---------------- *)
+
+let build g =
+  let user = Cfg.productions g in
+  let aug =
+    Array.append user
+      [|
+        {
+          Cfg.cp_name = "$accept";
+          cp_lhs = "$start";
+          cp_rhs = [ Cfg.start g ];
+          cp_prec = None;
+        };
+      |]
+  in
+  (* prods_for must see the augmented production too; Cfg.prods_for only
+     knows user productions, which is fine: nothing derives $start. *)
+  let first_of_seq = compute_first g aug in
+  let kernels, trans = build_lr0 g aug in
+  let la = compute_lookaheads g aug first_of_seq kernels trans in
+  let actions = Hashtbl.create 256 in
+  let gotos = Hashtbl.create 256 in
+  let confl = ref [] in
+  let set_action state term act =
+    match Hashtbl.find_opt actions (state, term) with
+    | None -> Hashtbl.replace actions (state, term) act
+    | Some existing when existing = act -> ()
+    | Some existing -> (
+        (* conflict resolution *)
+        match (existing, act) with
+        | Shift _, Reduce p | Reduce p, Shift _ -> (
+            let shift_act =
+              match (existing, act) with Shift _, _ -> existing | _ -> act
+            in
+            let term_prec = Cfg.prec_of_terminal g term in
+            let prod_prec = Cfg.prec_of_production g aug.(p) in
+            match (term_prec, prod_prec) with
+            | Some (tp, _), Some (pp, _) when pp > tp ->
+                Hashtbl.replace actions (state, term) (Reduce p)
+            | Some (tp, _), Some (pp, _) when pp < tp ->
+                Hashtbl.replace actions (state, term) shift_act
+            | Some (_, Cfg.Left), Some _ ->
+                Hashtbl.replace actions (state, term) (Reduce p)
+            | Some (_, Cfg.Right), Some _ ->
+                Hashtbl.replace actions (state, term) shift_act
+            | Some (_, Cfg.Nonassoc), Some _ ->
+                Hashtbl.replace actions (state, term) Error
+            | _ ->
+                confl :=
+                  Printf.sprintf
+                    "state %d: shift/reduce conflict on %S (kept shift)" state
+                    term
+                  :: !confl;
+                Hashtbl.replace actions (state, term) shift_act)
+        | Reduce a, Reduce b ->
+            let keep = min a b in
+            confl :=
+              Printf.sprintf
+                "state %d: reduce/reduce conflict on %S (kept rule %S)" state
+                term aug.(keep).Cfg.cp_name
+              :: !confl;
+            Hashtbl.replace actions (state, term) (Reduce keep)
+        | _ ->
+            confl :=
+              Printf.sprintf "state %d: conflict on %S" state term :: !confl)
+  in
+  Array.iteri
+    (fun i kernel ->
+      (* shifts and gotos *)
+      Hashtbl.iter
+        (fun (src, x) dst ->
+          if src = i then
+            if Cfg.is_terminal g x then set_action i x (Shift dst)
+            else Hashtbl.replace gotos (i, x) dst)
+        trans;
+      (* reduces: LR(1) closure of the kernel with its LALR lookaheads *)
+      let seed =
+        IS.elements kernel |> List.map (fun it -> (it, la i it))
+      in
+      let closure = closure_la g aug first_of_seq seed in
+      List.iter
+        (fun ((p, d), las) ->
+          if d = List.length aug.(p).Cfg.cp_rhs then
+            SS.iter
+              (fun t ->
+                if p = aug_index aug then set_action i t Accept
+                else set_action i t (Reduce p))
+              las)
+        closure)
+    kernels;
+  { g; aug; kernels; trans; actions; gotos; confl = List.rev !confl }
+
+let state_count t = Array.length t.kernels
+
+let action t state term =
+  Option.value ~default:Error (Hashtbl.find_opt t.actions (state, term))
+
+let goto t state nt = Hashtbl.find_opt t.gotos (state, nt)
+
+let conflicts t = t.confl
+
+let grammar t = t.g
+
+let pp_state t fmt i =
+  Format.fprintf fmt "@[<v>state %d:" i;
+  IS.iter
+    (fun (p, d) ->
+      let pr = t.aug.(p) in
+      let rhs = pr.Cfg.cp_rhs in
+      Format.fprintf fmt "@,  %s ->" pr.Cfg.cp_lhs;
+      List.iteri
+        (fun j s ->
+          if j = d then Format.fprintf fmt " .";
+          Format.fprintf fmt " %s" s)
+        rhs;
+      if d = List.length rhs then Format.fprintf fmt " .")
+    t.kernels.(i);
+  Format.fprintf fmt "@]"

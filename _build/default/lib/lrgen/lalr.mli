@@ -1,0 +1,36 @@
+(** LALR(1) table construction.
+
+    LR(0) automaton, LALR lookaheads by spontaneous generation and
+    propagation (the standard efficient construction), and action/goto
+    tables with YACC-style conflict resolution: shift/reduce conflicts are
+    decided by precedence and associativity when declared (higher precedence
+    wins; equal precedence resolves left → reduce, right → shift, nonassoc
+    → error) and default to shift otherwise; reduce/reduce conflicts keep
+    the earlier production. Unresolved conflicts are reported in
+    {!conflicts}. *)
+
+type action =
+  | Shift of int
+  | Reduce of int  (** production index *)
+  | Accept
+  | Error
+
+type tables
+
+val build : Cfg.t -> tables
+
+val state_count : tables -> int
+
+(** [action t state terminal]; [Cfg.eof] is a valid terminal here. *)
+val action : tables -> int -> string -> action
+
+val goto : tables -> int -> string -> int option
+
+(** Human-readable descriptions of conflicts that were resolved by default
+    rules rather than by declared precedence. Empty for clean grammars. *)
+val conflicts : tables -> string list
+
+val grammar : tables -> Cfg.t
+
+(** Items of a state, rendered for diagnostics. *)
+val pp_state : tables -> Format.formatter -> int -> unit

@@ -1,0 +1,1 @@
+lib/netsim/gantt.ml: Buffer Bytes List Printf String Trace

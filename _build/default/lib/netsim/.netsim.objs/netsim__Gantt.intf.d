@@ -1,0 +1,1 @@
+lib/netsim/gantt.mli: Trace

@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Effect Ethernet Hashtbl List Pag_util Pqueue Printf Queue String Trace

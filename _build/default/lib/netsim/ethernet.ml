@@ -1,0 +1,48 @@
+type params = {
+  latency : float;
+  bandwidth : float;
+  send_overhead : float;
+  send_per_byte : float;
+  contention : bool;
+}
+
+let default_params =
+  {
+    latency = 0.001;
+    bandwidth = 1_250_000.0 (* 10 Mbit/s *);
+    send_overhead = 0.0005;
+    send_per_byte = 2e-7;
+    contention = true;
+  }
+
+type t = {
+  p : params;
+  mutable free_at : float;
+  mutable bytes : int;
+  mutable messages : int;
+  mutable queue_time : float;
+}
+
+let create p = { p; free_at = 0.0; bytes = 0; messages = 0; queue_time = 0.0 }
+
+let params t = t.p
+
+let transmit t ~now ~size =
+  let tx = float_of_int size /. t.p.bandwidth in
+  let start = if t.p.contention then max now t.free_at else now in
+  if t.p.contention then begin
+    t.queue_time <- t.queue_time +. (start -. now);
+    t.free_at <- start +. tx
+  end;
+  t.bytes <- t.bytes + size;
+  t.messages <- t.messages + 1;
+  start +. tx +. t.p.latency
+
+let sender_cost t ~size =
+  t.p.send_overhead +. (float_of_int size *. t.p.send_per_byte)
+
+let bytes_sent t = t.bytes
+
+let messages_sent t = t.messages
+
+let contention_time t = t.queue_time

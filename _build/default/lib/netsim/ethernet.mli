@@ -1,0 +1,40 @@
+(** Shared-medium network model.
+
+    Models the paper's 10 Mbit Ethernet: every transmission occupies the
+    single shared medium for [size / bandwidth] seconds (transmissions queue
+    behind each other when [contention] is on), and delivery completes one
+    [latency] later. The defaults are calibrated to a mid-1980s 10 Mbit
+    Ethernet with V-System message overheads. *)
+
+type params = {
+  latency : float;  (** per-message end-to-end latency, seconds *)
+  bandwidth : float;  (** bytes per second on the wire *)
+  send_overhead : float;  (** CPU seconds the sender spends per message *)
+  send_per_byte : float;  (** CPU seconds per byte for flattening/copying *)
+  contention : bool;  (** serialize transmissions on the shared medium *)
+}
+
+(** 10 Mbit/s shared Ethernet, ~1 ms latency, 0.5 ms send overhead. *)
+val default_params : params
+
+type t
+
+val create : params -> t
+
+val params : t -> params
+
+(** [transmit t ~now ~size] reserves the medium and returns the delivery
+    time of a [size]-byte message handed to the network at [now]. *)
+val transmit : t -> now:float -> size:int -> float
+
+(** CPU time the sender spends to emit a [size]-byte message. *)
+val sender_cost : t -> size:int -> float
+
+(** Total bytes handed to the network so far. *)
+val bytes_sent : t -> int
+
+(** Number of transmissions so far. *)
+val messages_sent : t -> int
+
+(** Total time transmissions spent queueing for the medium. *)
+val contention_time : t -> float

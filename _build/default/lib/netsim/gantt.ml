@@ -1,0 +1,68 @@
+let render ?(width = 72) ?(max_arrows = 12) ~names tr =
+  let buf = Buffer.create 1024 in
+  let horizon = Trace.horizon tr in
+  if horizon <= 0.0 then "(empty trace)"
+  else begin
+    let pids =
+      List.sort_uniq compare
+        (List.map (fun s -> s.Trace.sg_pid) (Trace.segments tr)
+        @ List.map (fun a -> a.Trace.ar_src) (Trace.arrows tr)
+        @ List.map (fun a -> a.Trace.ar_dst) (Trace.arrows tr))
+    in
+    let name_w =
+      List.fold_left (fun w pid -> max w (String.length (names pid))) 4 pids
+    in
+    let x_of time =
+      min (width - 1)
+        (int_of_float (time /. horizon *. float_of_int width))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s 0%s%.3fs\n" name_w ""
+         (String.make (width - String.length (Printf.sprintf "%.3fs" horizon) - 1) ' ')
+         horizon);
+    List.iter
+      (fun pid ->
+        let row = Bytes.make width ' ' in
+        List.iter
+          (fun s ->
+            if s.Trace.sg_pid = pid then begin
+              let x0 = x_of s.Trace.sg_t0 and x1 = x_of s.Trace.sg_t1 in
+              let c = match s.Trace.sg_kind with
+                | Trace.Active -> '#'
+                | Trace.Idle -> '.'
+              in
+              for x = x0 to x1 do
+                (* active periods win over idle ones at shared cells *)
+                if c = '#' || Bytes.get row x = ' ' then Bytes.set row x c
+              done
+            end)
+          (Trace.segments tr);
+        List.iter
+          (fun m ->
+            if m.Trace.mk_pid = pid then Bytes.set row (x_of m.Trace.mk_time) '|')
+          (Trace.marks tr);
+        Buffer.add_string buf
+          (Printf.sprintf "%*s %s\n" name_w (names pid) (Bytes.to_string row)))
+      pids;
+    let arrows = Trace.arrows tr in
+    let n = List.length arrows in
+    Buffer.add_string buf (Printf.sprintf "messages: %d\n" n);
+    List.iteri
+      (fun i a ->
+        if i < max_arrows then
+          Buffer.add_string buf
+            (Printf.sprintf "  %8.4fs  %s -> %s%s\n" a.Trace.ar_send
+               (names a.Trace.ar_src) (names a.Trace.ar_dst)
+               (if a.Trace.ar_label = "" then ""
+                else "  (" ^ a.Trace.ar_label ^ ")")))
+      arrows;
+    if n > max_arrows then
+      Buffer.add_string buf (Printf.sprintf "  ... and %d more\n" (n - max_arrows));
+    List.iter
+      (fun m ->
+        Buffer.add_string buf
+          (Printf.sprintf "  mark %8.4fs %s: %s\n" m.Trace.mk_time
+             (names m.Trace.mk_pid) m.Trace.mk_label))
+      (Trace.marks tr);
+    Buffer.contents buf
+  end

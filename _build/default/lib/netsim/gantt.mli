@@ -1,0 +1,6 @@
+(** ASCII rendering of a simulation trace, in the style of the paper's
+    figure 6: one row per process, thick marks for active periods, thin dots
+    for idle periods, '|' for phase marks, plus a message summary. *)
+
+val render :
+  ?width:int -> ?max_arrows:int -> names:(int -> string) -> Trace.t -> string

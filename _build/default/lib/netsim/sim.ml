@@ -1,0 +1,178 @@
+open Pag_util
+
+module Make (M : sig
+  type msg
+end) =
+struct
+  type pid = int
+
+  type _ Effect.t +=
+    | EDelay : float -> unit Effect.t
+    | ESend : pid * int * string * M.msg -> unit Effect.t
+    | ERecv : M.msg Effect.t
+    | ETryRecv : M.msg option Effect.t
+    | ESelf : pid Effect.t
+    | ETime : float Effect.t
+    | EMark : string -> unit Effect.t
+
+  type proc = {
+    p_id : pid;
+    p_name : string;
+    mailbox : M.msg Queue.t;
+    mutable blocked : (M.msg, unit) Effect.Deep.continuation option;
+    mutable idle_since : float;
+    mutable finished : bool;
+  }
+
+  type t = {
+    mutable now : float;
+    events : (unit -> unit) Pqueue.t;
+    procs : (pid, proc) Hashtbl.t;
+    mutable next_pid : int;
+    net : Ethernet.t;
+    tr : Trace.t;
+  }
+
+  exception Deadlock of string
+
+  let create ?(params = Ethernet.default_params) () =
+    {
+      now = 0.0;
+      events = Pqueue.create ();
+      procs = Hashtbl.create 16;
+      next_pid = 0;
+      net = Ethernet.create params;
+      tr = Trace.create ();
+    }
+
+  let now t = t.now
+
+  let network t = t.net
+
+  let trace t = t.tr
+
+  let proc t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Sim: unknown pid %d" pid)
+
+  let name_of t pid = (proc t pid).p_name
+
+  let process_count t = Hashtbl.length t.procs
+
+  (* Deliver a message: wake the receiver if it is blocked, else enqueue. *)
+  let deliver t ~src ~dst ~send_t ~label m =
+    Trace.add_arrow t.tr ~src ~dst ~send:send_t ~recv:t.now ~label;
+    let p = proc t dst in
+    match p.blocked with
+    | Some k ->
+        p.blocked <- None;
+        Trace.add_segment t.tr ~pid:p.p_id ~t0:p.idle_since ~t1:t.now Trace.Idle;
+        Effect.Deep.continue k m
+    | None -> Queue.add m p.mailbox
+
+  let start_fiber t p body =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> p.finished <- true);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | EDelay d ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Trace.add_segment t.tr ~pid:p.p_id ~t0:t.now
+                      ~t1:(t.now +. d) Trace.Active;
+                    Pqueue.add t.events (t.now +. d) (fun () -> continue k ()))
+            | ESend (dst, size, label, m) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let send_t = t.now in
+                    let arrival = Ethernet.transmit t.net ~now:t.now ~size in
+                    Pqueue.add t.events arrival (fun () ->
+                        deliver t ~src:p.p_id ~dst ~send_t ~label m);
+                    let cost = Ethernet.sender_cost t.net ~size in
+                    Trace.add_segment t.tr ~pid:p.p_id ~t0:t.now
+                      ~t1:(t.now +. cost) Trace.Active;
+                    Pqueue.add t.events (t.now +. cost) (fun () ->
+                        continue k ()))
+            | ERecv ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    match Queue.take_opt p.mailbox with
+                    | Some m -> continue k m
+                    | None ->
+                        p.blocked <- Some k;
+                        p.idle_since <- t.now)
+            | ETryRecv ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    continue k (Queue.take_opt p.mailbox))
+            | ESelf -> Some (fun (k : (a, unit) continuation) -> continue k p.p_id)
+            | ETime -> Some (fun (k : (a, unit) continuation) -> continue k t.now)
+            | EMark label ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Trace.add_mark t.tr ~pid:p.p_id ~time:t.now ~label;
+                    continue k ())
+            | _ -> None);
+      }
+
+  let spawn t ~name body =
+    let pid = t.next_pid in
+    t.next_pid <- t.next_pid + 1;
+    let p =
+      {
+        p_id = pid;
+        p_name = name;
+        mailbox = Queue.create ();
+        blocked = None;
+        idle_since = 0.0;
+        finished = false;
+      }
+    in
+    Hashtbl.add t.procs pid p;
+    Pqueue.add t.events t.now (fun () -> start_fiber t p body);
+    pid
+
+  let run t =
+    let rec loop () =
+      match Pqueue.pop_min t.events with
+      | None -> ()
+      | Some (time, f) ->
+          t.now <- max t.now time;
+          f ();
+          loop ()
+    in
+    loop ();
+    let stuck =
+      Hashtbl.fold
+        (fun _ p acc ->
+          if (not p.finished) && p.blocked <> None then p.p_name :: acc
+          else acc)
+        t.procs []
+    in
+    if stuck <> [] then
+      raise
+        (Deadlock
+           (Printf.sprintf "processes blocked in recv at end of simulation: %s"
+              (String.concat ", " (List.sort compare stuck))))
+
+  (* Effects *)
+
+  let delay d = Effect.perform (EDelay d)
+
+  let send ~dst ~size ?(label = "") m = Effect.perform (ESend (dst, size, label, m))
+
+  let recv () = Effect.perform ERecv
+
+  let try_recv () = Effect.perform ETryRecv
+
+  let self () = Effect.perform ESelf
+
+  let time () = Effect.perform ETime
+
+  let mark label = Effect.perform (EMark label)
+end

@@ -1,0 +1,67 @@
+(** Discrete-event simulator with direct-style processes.
+
+    Simulated processes are ordinary OCaml functions that perform effects —
+    {!Make.delay} to consume CPU time, {!Make.send}/{!Make.recv} to exchange
+    messages over the {!Ethernet} model — and an effect-handler scheduler
+    advances virtual time. This mirrors the paper's setting: one evaluator
+    process per machine, communicating by (V-System-style) messages, with
+    every transmission crossing the shared Ethernet.
+
+    The simulator is deterministic: events at equal times fire in creation
+    order. A network multiprocessor experiment therefore produces identical
+    figures on every run.
+
+    The functor is applied per message type; each application gets its own
+    effect constructors, so several simulators can coexist. *)
+
+module Make (M : sig
+  type msg
+end) : sig
+  type t
+
+  type pid = int
+
+  val create : ?params:Ethernet.params -> unit -> t
+
+  (** Register a process. Its body runs when {!run} is called and may only
+      perform effects of this simulator instance. *)
+  val spawn : t -> name:string -> (unit -> unit) -> pid
+
+  (** Run until no events remain. Raises [Deadlock] if some process is still
+      blocked in [recv] when the event queue drains. *)
+  val run : t -> unit
+
+  exception Deadlock of string
+
+  val now : t -> float
+
+  val network : t -> Ethernet.t
+
+  val trace : t -> Trace.t
+
+  val name_of : t -> pid -> string
+
+  val process_count : t -> int
+
+  (** {1 Effects — valid only inside a process body} *)
+
+  (** Consume [dt] seconds of CPU time. *)
+  val delay : float -> unit
+
+  (** Send a message of [size] bytes to [dst]; the sender pays the CPU cost
+      of emitting it, the network schedules delivery. *)
+  val send : dst:pid -> size:int -> ?label:string -> M.msg -> unit
+
+  (** Block until a message arrives (FIFO per receiver). *)
+  val recv : unit -> M.msg
+
+  (** [Some m] if a message has already arrived, without blocking. *)
+  val try_recv : unit -> M.msg option
+
+  val self : unit -> pid
+
+  val time : unit -> float
+
+  (** Drop a labelled mark into the trace (phase boundaries in figure 6). *)
+  val mark : string -> unit
+end

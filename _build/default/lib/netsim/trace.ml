@@ -1,0 +1,54 @@
+type kind = Active | Idle
+
+type segment = { sg_pid : int; sg_t0 : float; sg_t1 : float; sg_kind : kind }
+
+type arrow = {
+  ar_src : int;
+  ar_dst : int;
+  ar_send : float;
+  ar_recv : float;
+  ar_label : string;
+}
+
+type mark = { mk_pid : int; mk_time : float; mk_label : string }
+
+type t = {
+  mutable segs : segment list;
+  mutable arrs : arrow list;
+  mutable mks : mark list;
+}
+
+let create () = { segs = []; arrs = []; mks = [] }
+
+let add_segment t ~pid ~t0 ~t1 kind =
+  if t1 > t0 then
+    t.segs <- { sg_pid = pid; sg_t0 = t0; sg_t1 = t1; sg_kind = kind } :: t.segs
+
+let add_arrow t ~src ~dst ~send ~recv ~label =
+  t.arrs <-
+    { ar_src = src; ar_dst = dst; ar_send = send; ar_recv = recv; ar_label = label }
+    :: t.arrs
+
+let add_mark t ~pid ~time ~label =
+  t.mks <- { mk_pid = pid; mk_time = time; mk_label = label } :: t.mks
+
+let segments t = List.rev t.segs
+
+let arrows t = List.rev t.arrs
+
+let marks t = List.rev t.mks
+
+let horizon t =
+  let m = List.fold_left (fun acc s -> max acc s.sg_t1) 0.0 t.segs in
+  List.fold_left (fun acc a -> max acc a.ar_recv) m t.arrs
+
+let active_time t ~pid =
+  List.fold_left
+    (fun acc s ->
+      if s.sg_pid = pid && s.sg_kind = Active then acc +. (s.sg_t1 -. s.sg_t0)
+      else acc)
+    0.0 t.segs
+
+let utilization t ~pid =
+  let h = horizon t in
+  if h <= 0.0 then 0.0 else active_time t ~pid /. h

@@ -1,0 +1,43 @@
+(** Execution traces of a simulation run: per-process activity segments,
+    message arrows, and labelled phase marks — the raw material of the
+    paper's figure 6 (behaviour of the combined evaluator). *)
+
+type kind = Active | Idle
+
+type segment = { sg_pid : int; sg_t0 : float; sg_t1 : float; sg_kind : kind }
+
+type arrow = {
+  ar_src : int;
+  ar_dst : int;
+  ar_send : float;
+  ar_recv : float;
+  ar_label : string;
+}
+
+type mark = { mk_pid : int; mk_time : float; mk_label : string }
+
+type t
+
+val create : unit -> t
+
+val add_segment : t -> pid:int -> t0:float -> t1:float -> kind -> unit
+
+val add_arrow :
+  t -> src:int -> dst:int -> send:float -> recv:float -> label:string -> unit
+
+val add_mark : t -> pid:int -> time:float -> label:string -> unit
+
+val segments : t -> segment list
+
+val arrows : t -> arrow list
+
+val marks : t -> mark list
+
+(** Latest segment/arrow end time. *)
+val horizon : t -> float
+
+(** Total active time of one process. *)
+val active_time : t -> pid:int -> float
+
+(** Fraction of [0, horizon] the process was active. *)
+val utilization : t -> pid:int -> float

@@ -1,0 +1,1 @@
+lib/parallel/coordinator.ml: Array Codestr Format Grammar Hashtbl List Message Pag_core Split Transport Tree Uid Value

@@ -1,0 +1,1 @@
+lib/parallel/coordinator.mli: Grammar Pag_core Split Transport Tree Value

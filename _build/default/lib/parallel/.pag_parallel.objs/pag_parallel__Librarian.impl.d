@@ -1,0 +1,1 @@
+lib/parallel/librarian.ml: Codestr Format Hashtbl Message Pag_core Pag_util Rope Transport

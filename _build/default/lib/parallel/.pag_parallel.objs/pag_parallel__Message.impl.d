@@ -1,0 +1,1 @@
+lib/parallel/message.ml: Format Pag_core Pag_util Rope String Value

@@ -1,0 +1,1 @@
+lib/parallel/message.mli: Format Pag_core Pag_util Rope Value

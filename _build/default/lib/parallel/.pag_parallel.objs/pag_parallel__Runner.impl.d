@@ -1,0 +1,1 @@
+lib/parallel/runner.ml: Array Char Condition Coordinator Cost Domain Ethernet Hashtbl Librarian List Message Mutex Netsim Option Pag_core Printf Queue Sim Split Trace Transport Tree Unix Value Worker

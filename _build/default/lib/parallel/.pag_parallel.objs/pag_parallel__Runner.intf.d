@@ -1,0 +1,1 @@
+lib/parallel/runner.mli: Cost Ethernet Grammar Kastens Netsim Pag_analysis Pag_core Split Trace Tree Value Worker

@@ -1,0 +1,1 @@
+lib/parallel/split.ml: Array Float Format Grammar Hashtbl List Option Pag_core String Tree Value

@@ -1,0 +1,1 @@
+lib/parallel/split.mli: Format Grammar Pag_core Tree

@@ -1,0 +1,1 @@
+lib/parallel/worker.ml: Array Codestr Cost Format Grammar Hashtbl Kastens List Message Pag_analysis Pag_core Pag_eval Printf Queue Static_eval Store Transport Tree Uid Value

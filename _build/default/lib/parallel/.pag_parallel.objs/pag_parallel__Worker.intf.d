@@ -1,0 +1,1 @@
+lib/parallel/worker.mli: Cost Grammar Kastens Pag_analysis Pag_core Transport Tree

@@ -1,0 +1,61 @@
+open Pag_core
+
+let run (env : Transport.env) g ~tree ~plan ~librarian =
+  let frags = Split.fragments plan in
+  (* Hand out subtrees; evaluator for fragment i is machine i+1. *)
+  Array.iter
+    (fun (f : Split.fragment) ->
+      env.Transport.e_send ~dst:(f.Split.fr_id + 1)
+        (Message.Subtree
+           {
+             frag = f.Split.fr_id;
+             bytes = f.Split.fr_bytes;
+             uid_base = (f.Split.fr_id + 1) * Uid.stride;
+           }))
+    frags;
+  env.Transport.e_mark "evaluation started";
+  (* Collect the root's synthesized attributes from the root evaluator. *)
+  let expected =
+    Array.to_list (Grammar.symbol g tree.Tree.sym).Grammar.s_attrs
+    |> List.filter_map (fun (a : Grammar.attr_decl) ->
+           if a.Grammar.a_kind = Grammar.Syn then Some a.Grammar.a_name else None)
+  in
+  let received = Hashtbl.create 8 in
+  let rec collect () =
+    if Hashtbl.length received < List.length expected then begin
+      (match env.Transport.e_recv () with
+      | Message.Attr { node; attr; value } when node = tree.Tree.id ->
+          Hashtbl.replace received attr value
+      | other ->
+          failwith
+            (Format.asprintf "coordinator: unexpected message %a" Message.pp
+               other));
+      collect ()
+    end
+  in
+  collect ();
+  env.Transport.e_mark "root attributes received";
+  (* Resolve any code descriptors through the librarian. *)
+  let resolve attr value =
+    match (librarian, value) with
+    | Some lib, Value.Ext (Codestr.V c) when Codestr.frag_count c > 0 ->
+        env.Transport.e_send ~dst:lib (Message.Resolve { value });
+        let wait () =
+          match env.Transport.e_recv () with
+          | Message.Final { text } -> Codestr.value (Codestr.of_rope text)
+          | other ->
+              failwith
+                (Format.asprintf "coordinator: expected Final for %s, got %a"
+                   attr Message.pp other)
+        in
+        wait ()
+    | _ -> value
+  in
+  let attrs =
+    List.map (fun a -> (a, resolve a (Hashtbl.find received a))) expected
+  in
+  (match librarian with
+  | Some lib -> env.Transport.e_send ~dst:lib Message.Stop
+  | None -> ());
+  env.Transport.e_mark "result assembled";
+  attrs

@@ -1,0 +1,19 @@
+(** Parser-side protocol: assign fragments to evaluators, collect the root
+    attributes, and resolve code descriptors through the librarian.
+
+    This is the paper's measurement boundary — "running time is measured
+    from the time the parser initiates evaluation until it receives back the
+    root attributes" — so the runners time exactly this function. *)
+
+open Pag_core
+
+(** [run env g ~tree ~plan ~librarian] returns the root's synthesized
+    attributes with any librarian descriptors replaced by the assembled
+    text. *)
+val run :
+  Transport.env ->
+  Grammar.t ->
+  tree:Tree.t ->
+  plan:Split.plan ->
+  librarian:int option ->
+  (string * Value.t) list

@@ -1,0 +1,26 @@
+type t = {
+  static_rule : float;
+  dynamic_rule : float;
+  build_node : float;
+  build_edge : float;
+  visit : float;
+  rebuild_per_byte : float;
+}
+
+(* ~1 MIPS machine: a semantic rule is a few hundred instructions; dynamic
+   scheduling roughly doubles that; graph construction costs a couple of
+   hundred instructions per instance and per edge. *)
+let default =
+  {
+    static_rule = 350e-6;
+    dynamic_rule = 500e-6;
+    build_node = 120e-6;
+    build_edge = 90e-6;
+    visit = 40e-6;
+    rebuild_per_byte = 0.4e-6;
+  }
+
+let rule_cost t ~dynamic = if dynamic then t.dynamic_rule else t.static_rule
+
+let visit_cost t ~visits ~evals =
+  (float_of_int visits *. t.visit) +. (float_of_int evals *. t.static_rule)

@@ -1,0 +1,30 @@
+(** CPU cost model for simulated evaluation.
+
+    Charged as virtual time in the network simulator; a no-op on the real
+    (domain) transport where the CPU does the actual work. The constants are
+    calibrated to a ~1 MIPS SUN-2-class workstation so that sequential
+    compilation of the paper's ~5000-line input lands in the same tens-of-
+    seconds regime the paper reports; EXPERIMENTS.md documents the
+    calibration. The *ratios* are what the experiments depend on:
+    dynamically evaluating an attribute costs graph construction + scheduling
+    on top of the rule itself, statically it costs only the rule plus a small
+    visit overhead. Semantic rules are O(1)-ish (rope concatenation is
+    constant time, symbol-table update logarithmic), so rule cost is flat;
+    string flattening is paid at message boundaries by the network model. *)
+
+type t = {
+  static_rule : float;  (** applying one semantic rule in a visit sequence *)
+  dynamic_rule : float;  (** rule + ready-queue scheduling, dynamic mode *)
+  build_node : float;  (** dependency-graph share per dynamic instance *)
+  build_edge : float;  (** per dependency edge entered in the graph *)
+  visit : float;  (** entering a visit procedure at one node *)
+  rebuild_per_byte : float;  (** reconstructing a shipped subtree, per byte *)
+}
+
+val default : t
+
+val rule_cost : t -> dynamic:bool -> float
+
+(** Cost of a static visit segment that fired [evals] rules over [visits]
+    node entries. *)
+val visit_cost : t -> visits:int -> evals:int -> float

@@ -1,0 +1,48 @@
+open Pag_core
+open Pag_util
+
+let splice_cost_per_byte = 0.05e-6
+
+let run (env : Transport.env) ~coordinator =
+  let frags : (int, Rope.t) Hashtbl.t = Hashtbl.create 32 in
+  let pending : Codestr.t option ref = ref None in
+  let have_all desc =
+    let complete = ref true in
+    (try
+       ignore
+         (Codestr.resolve
+            ~lookup:(fun id ->
+              if Hashtbl.mem frags id then Rope.empty
+              else raise (Codestr.Unresolved id))
+            desc)
+     with Codestr.Unresolved _ -> complete := false);
+    !complete
+  in
+  (* The resolve request may overtake fragments still in flight; assemble as
+     soon as every referenced fragment is present. *)
+  let try_finish () =
+    match !pending with
+    | Some desc when have_all desc ->
+        let text = Codestr.resolve ~lookup:(Hashtbl.find frags) desc in
+        env.Transport.e_delay
+          (float_of_int (Rope.length text) *. splice_cost_per_byte);
+        env.Transport.e_send ~dst:coordinator (Message.Final { text });
+        pending := None
+    | _ -> ()
+  in
+  let rec loop () =
+    match env.Transport.e_recv () with
+    | Message.Code_frag { id; text } ->
+        Hashtbl.replace frags id text;
+        try_finish ();
+        loop ()
+    | Message.Resolve { value } ->
+        pending := Some (Codestr.of_value ~ctx:"librarian" value);
+        try_finish ();
+        loop ()
+    | Message.Stop -> ()
+    | other ->
+        failwith
+          (Format.asprintf "librarian: unexpected message %a" Message.pp other)
+  in
+  loop ()

@@ -1,0 +1,15 @@
+(** The string librarian process (paper, section 4.3).
+
+    Evaluators ship their final code text here exactly once; descriptors
+    travel up the evaluator tree instead. When the coordinator forwards the
+    root descriptor, the librarian splices the stored fragments back together
+    and returns the complete code. This turns result propagation from a
+    sequential chain of ever-growing retransmissions into one parallel burst
+    of single transmissions. *)
+
+(** [run env ~coordinator] serves {!Message.Code_frag} and
+    {!Message.Resolve} until the final code has been assembled and sent back
+    as {!Message.Final}. The resolve request may arrive before all fragments
+    have; the librarian keeps collecting until every referenced fragment is
+    present. *)
+val run : Transport.env -> coordinator:int -> unit

@@ -1,0 +1,28 @@
+open Pag_core
+open Pag_util
+
+type t =
+  | Subtree of { frag : int; bytes : int; uid_base : int }
+  | Attr of { node : int; attr : string; value : Value.t }
+  | Code_frag of { id : int; text : Rope.t }
+  | Resolve of { value : Value.t }
+  | Final of { text : Rope.t }
+  | Stop
+
+let header_bytes = 16
+
+let size = function
+  | Subtree s -> header_bytes + s.bytes
+  | Attr a -> header_bytes + String.length a.attr + Value.byte_size a.value
+  | Code_frag c -> header_bytes + Rope.length c.text
+  | Resolve r -> header_bytes + Value.byte_size r.value
+  | Final f -> header_bytes + Rope.length f.text
+  | Stop -> header_bytes
+
+let pp fmt = function
+  | Subtree s -> Format.fprintf fmt "Subtree(frag=%d,%dB)" s.frag s.bytes
+  | Attr a -> Format.fprintf fmt "Attr(node=%d,%s=%a)" a.node a.attr Value.pp a.value
+  | Code_frag c -> Format.fprintf fmt "CodeFrag(%d,%dB)" c.id (Rope.length c.text)
+  | Resolve _ -> Format.fprintf fmt "Resolve"
+  | Final f -> Format.fprintf fmt "Final(%dB)" (Rope.length f.text)
+  | Stop -> Format.fprintf fmt "Stop"

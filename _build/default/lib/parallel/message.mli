@@ -1,0 +1,33 @@
+(** Messages exchanged by the parallel compiler's processes.
+
+    Machine ids: 0 is the parser/coordinator, 1..k the evaluators, k+1 the
+    string librarian. Attribute values cross fragment boundaries as
+    {!Attr} messages keyed by the global node id of the boundary node (a
+    fragment root); their wire size is the flattened representation computed
+    by the conversion functions ({!Pag_core.Value.byte_size}). *)
+
+open Pag_core
+open Pag_util
+
+type t =
+  | Subtree of {
+      frag : int;  (** fragment id being assigned *)
+      bytes : int;  (** linearized size, paid on the wire *)
+      uid_base : int;  (** base value for unique-identifier generation *)
+    }
+  | Attr of {
+      node : int;  (** global id of the boundary node *)
+      attr : string;
+      value : Value.t;
+    }
+  | Code_frag of { id : int; text : Rope.t }  (** evaluator -> librarian *)
+  | Resolve of { value : Value.t }  (** coordinator -> librarian *)
+  | Final of { text : Rope.t }  (** librarian -> coordinator *)
+  | Stop
+
+(** Wire size in bytes (header + payload). *)
+val size : t -> int
+
+val header_bytes : int
+
+val pp : Format.formatter -> t -> unit

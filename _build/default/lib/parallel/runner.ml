@@ -1,0 +1,249 @@
+open Pag_core
+open Netsim
+
+type options = {
+  machines : int;
+  mode : Worker.mode;
+  granularity : float;
+  use_priority : bool;
+  use_librarian : bool;
+  cost : Cost.t;
+  net_params : Ethernet.params;
+  phase_label : int -> string option;
+}
+
+let default_options =
+  {
+    machines = 1;
+    mode = `Combined;
+    granularity = 1.0;
+    use_priority = true;
+    use_librarian = true;
+    cost = Cost.default;
+    net_params = Ethernet.default_params;
+    phase_label = (fun _ -> None);
+  }
+
+type result = {
+  r_attrs : (string * Value.t) list;
+  r_time : float;
+  r_worker_stats : Worker.stats array;
+  r_trace : Trace.t option;
+  r_messages : int;
+  r_bytes : int;
+  r_fragments : int;
+  r_split : Split.plan;
+  r_dynamic_fraction : float;
+}
+
+let machine_name ~fragments id =
+  if id = 0 then "parser"
+  else if id <= fragments then
+    Printf.sprintf "eval-%c" (Char.chr (Char.code 'a' + id - 1))
+  else "librarian"
+
+let worker_config opts g plan =
+  {
+    Worker.wc_grammar = g;
+    wc_plan = plan;
+    wc_mode = opts.mode;
+    wc_cost = opts.cost;
+    wc_use_priority = opts.use_priority;
+    wc_librarian = None (* patched per run: librarian machine id *);
+    wc_phase_label = opts.phase_label;
+  }
+
+let make_task plan (f : Split.fragment) nodes_by_id =
+  let cuts =
+    List.map
+      (fun cut_id ->
+        let frag =
+          match Split.fragment_of_cut_node plan cut_id with
+          | Some fr -> fr
+          | None -> assert false
+        in
+        (Hashtbl.find nodes_by_id cut_id, frag + 1))
+      (Split.cuts_of plan f.Split.fr_id)
+  in
+  {
+    Worker.t_frag_id = f.Split.fr_id;
+    t_root = f.Split.fr_root;
+    t_cuts = cuts;
+    t_parent_machine =
+      (match f.Split.fr_parent with None -> 0 | Some p -> p + 1);
+    t_root_is_tree_root = f.Split.fr_id = 0;
+  }
+
+let dynamic_fraction stats =
+  let dyn =
+    Array.fold_left (fun a s -> a + s.Worker.ws_dynamic_rules) 0 stats
+  in
+  let st = Array.fold_left (fun a s -> a + s.Worker.ws_static_rules) 0 stats in
+  if dyn + st = 0 then 0.0 else float_of_int dyn /. float_of_int (dyn + st)
+
+let prepare opts g tree =
+  let plan = Split.decompose g tree ~machines:opts.machines ~granularity:opts.granularity in
+  let nodes_by_id = Hashtbl.create 1024 in
+  Tree.iter (fun n -> Hashtbl.replace nodes_by_id n.Tree.id n) tree;
+  (plan, nodes_by_id)
+
+(* ------------------------- simulation ------------------------- *)
+
+module S = Sim.Make (struct
+  type msg = Message.t
+end)
+
+let message_label = function
+  | Message.Attr { attr; _ } -> attr
+  | Message.Subtree { frag; _ } -> Printf.sprintf "subtree %d" frag
+  | Message.Code_frag _ -> "code fragment"
+  | Message.Resolve _ -> "resolve"
+  | Message.Final _ -> "final code"
+  | Message.Stop -> "stop"
+
+let sim_env _sim id =
+  {
+    Transport.e_id = id;
+    e_delay = S.delay;
+    e_send =
+      (fun ~dst m ->
+        S.send ~dst ~size:(Message.size m) ~label:(message_label m) m);
+    e_recv = S.recv;
+    e_mark = S.mark;
+  }
+
+let run_sim opts g plan tree =
+  let split, nodes_by_id = prepare opts g tree in
+  let nfrags = Split.count split in
+  let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
+  let sim = S.create ~params:opts.net_params () in
+  let stats = Array.make nfrags None in
+  let attrs = ref [] in
+  let finish = ref 0.0 in
+  (* pid 0: coordinator *)
+  let _ =
+    S.spawn sim ~name:"parser" (fun () ->
+        let env = sim_env sim 0 in
+        attrs :=
+          Coordinator.run env g ~tree ~plan:split ~librarian:librarian_id;
+        finish := S.time ())
+  in
+  (* pids 1..nfrags: evaluators *)
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let id = f.Split.fr_id in
+      let _ =
+        S.spawn sim
+          ~name:(machine_name ~fragments:nfrags (id + 1))
+          (fun () ->
+            let env = sim_env sim (id + 1) in
+            let cfg =
+              { (worker_config opts g plan) with
+                Worker.wc_librarian = librarian_id;
+              }
+            in
+            stats.(id) <- Some (Worker.run env cfg (make_task split f nodes_by_id)))
+      in
+      ())
+    (Split.fragments split);
+  (* librarian *)
+  (match librarian_id with
+  | Some lid ->
+      let _ =
+        S.spawn sim ~name:"librarian" (fun () ->
+            Librarian.run (sim_env sim lid) ~coordinator:0)
+      in
+      ()
+  | None -> ());
+  S.run sim;
+  let worker_stats =
+    Array.map
+      (function Some s -> s | None -> failwith "worker did not finish")
+      stats
+  in
+  let net = S.network sim in
+  {
+    r_attrs = !attrs;
+    r_time = !finish;
+    r_worker_stats = worker_stats;
+    r_trace = Some (S.trace sim);
+    r_messages = Ethernet.messages_sent net;
+    r_bytes = Ethernet.bytes_sent net;
+    r_fragments = nfrags;
+    r_split = split;
+    r_dynamic_fraction = dynamic_fraction worker_stats;
+  }
+
+(* ------------------------- domains ------------------------- *)
+
+module Chan = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t v =
+    Mutex.lock t.m;
+    Queue.add v t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let v = Queue.take t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+let run_domains opts g plan tree =
+  let split, nodes_by_id = prepare opts g tree in
+  let nfrags = Split.count split in
+  let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
+  let nmachines = nfrags + 2 in
+  let chans = Array.init nmachines (fun _ -> Chan.create ()) in
+  let env id =
+    {
+      Transport.e_id = id;
+      e_delay = (fun _ -> ());
+      e_send = (fun ~dst m -> Chan.push chans.(dst) m);
+      e_recv = (fun () -> Chan.pop chans.(id));
+      e_mark = (fun _ -> ());
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let worker_domains =
+    Array.map
+      (fun (f : Split.fragment) ->
+        let id = f.Split.fr_id in
+        Domain.spawn (fun () ->
+            let cfg =
+              { (worker_config opts g plan) with
+                Worker.wc_librarian = librarian_id;
+              }
+            in
+            Worker.run (env (id + 1)) cfg (make_task split f nodes_by_id)))
+      (Split.fragments split)
+  in
+  let librarian_domain =
+    Option.map
+      (fun lid ->
+        Domain.spawn (fun () -> Librarian.run (env lid) ~coordinator:0))
+      librarian_id
+  in
+  let attrs = Coordinator.run (env 0) g ~tree ~plan:split ~librarian:librarian_id in
+  let worker_stats = Array.map Domain.join worker_domains in
+  Option.iter Domain.join librarian_domain;
+  let t1 = Unix.gettimeofday () in
+  {
+    r_attrs = attrs;
+    r_time = t1 -. t0;
+    r_worker_stats = worker_stats;
+    r_trace = None;
+    r_messages = 0;
+    r_bytes = 0;
+    r_fragments = nfrags;
+    r_split = split;
+    r_dynamic_fraction = dynamic_fraction worker_stats;
+  }

@@ -1,0 +1,55 @@
+(** Top-level drivers for parallel evaluation.
+
+    {!run_sim} executes the full protocol — parser/coordinator, evaluators,
+    optional string librarian — on the deterministic network-multiprocessor
+    simulator and reports virtual running time, per-worker statistics and the
+    activity trace (the data behind the paper's figures 5 and 6).
+
+    {!run_domains} executes the same protocol on OCaml 5 domains with
+    in-memory message queues and reports wall-clock time: the modern
+    multicore counterpart of the paper's workstation network.
+
+    With [machines = 1] the combined evaluator degenerates to the sequential
+    static evaluator and the dynamic evaluator to the sequential dynamic
+    evaluator, which is exactly how the paper's sequential baselines are
+    defined. *)
+
+open Pag_core
+open Pag_analysis
+open Netsim
+
+type options = {
+  machines : int;
+  mode : Worker.mode;
+  granularity : float;
+  use_priority : bool;
+  use_librarian : bool;
+  cost : Cost.t;
+  net_params : Ethernet.params;
+  phase_label : int -> string option;
+      (** trace label for static visit numbers, e.g. 1 -> "symbol table" *)
+}
+
+val default_options : options
+
+type result = {
+  r_attrs : (string * Value.t) list;  (** root synthesized attributes *)
+  r_time : float;  (** seconds: virtual (sim) or wall-clock (domains) *)
+  r_worker_stats : Worker.stats array;
+  r_trace : Trace.t option;  (** simulation only *)
+  r_messages : int;
+  r_bytes : int;
+  r_fragments : int;
+  r_split : Split.plan;
+  r_dynamic_fraction : float;
+      (** dynamically evaluated rules / all rules — the paper's "< 5%" *)
+}
+
+val run_sim : options -> Grammar.t -> Kastens.plan option -> Tree.t -> result
+
+val run_domains :
+  options -> Grammar.t -> Kastens.plan option -> Tree.t -> result
+
+(** Names of the simulated machines (for Gantt rendering): "parser",
+    "eval-a".."eval-f", "librarian". *)
+val machine_name : fragments:int -> int -> string

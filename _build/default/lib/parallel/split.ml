@@ -1,0 +1,198 @@
+open Pag_core
+
+type fragment = {
+  fr_id : int;
+  fr_root : Tree.t;
+  fr_parent : int option;
+  fr_bytes : int;
+}
+
+type work = {
+  w_id : int;
+  w_root : Tree.t;
+  mutable w_parent : int option;
+  mutable w_cuts : Tree.t list;
+}
+
+type plan = {
+  frags : fragment array;
+  cut_to_frag : (int, int) Hashtbl.t;
+  cut_lists : int list array;
+}
+
+let node_bytes node =
+  8
+  + List.fold_left
+      (fun a (_, v) -> a + Value.byte_size v)
+      0 node.Tree.term_attrs
+
+let decompose g tree ~machines ~granularity =
+  if machines < 1 then invalid_arg "Split.decompose: machines < 1";
+  if granularity <= 0.0 then invalid_arg "Split.decompose: granularity <= 0";
+  let n = Tree.number tree in
+  let nodes = Array.make n tree in
+  Tree.iter (fun nd -> nodes.(nd.Tree.id) <- nd) tree;
+  (* Preorder ids make every subtree an id interval: [id, id + count). *)
+  let counts = Array.make n 1 in
+  let bytes = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    bytes.(i) <- node_bytes nodes.(i);
+    Array.iter
+      (fun c ->
+        counts.(i) <- counts.(i) + counts.(c.Tree.id);
+        bytes.(i) <- bytes.(i) + bytes.(c.Tree.id))
+      nodes.(i).Tree.children
+  done;
+  let splittable i =
+    let nd = nodes.(i) in
+    nd.Tree.prod <> None
+    &&
+    match (Grammar.symbol g nd.Tree.sym).Grammar.s_split with
+    | Some min_bytes ->
+        float_of_int bytes.(i) >= float_of_int min_bytes *. granularity
+    | None -> false
+  in
+  let in_subtree ~root i = i >= root && i < root + counts.(root) in
+  let works = ref [ { w_id = 0; w_root = tree; w_parent = None; w_cuts = [] } ] in
+  let nfrags = ref 1 in
+  let cut_bytes cuts under =
+    List.fold_left
+      (fun a (c : Tree.t) ->
+        if in_subtree ~root:under c.Tree.id then a + bytes.(c.Tree.id) else a)
+      0 cuts
+  in
+  let residual w =
+    bytes.(w.w_root.Tree.id) - cut_bytes w.w_cuts w.w_root.Tree.id
+  in
+  (* Ideal fragment size: machines equal shares of the whole tree. *)
+  let share = float_of_int bytes.(tree.Tree.id) /. float_of_int machines in
+  (* Candidate cut inside fragment [w]: any splittable node that is not the
+     fragment root and not inside an existing cut. A candidate may contain
+     existing cuts: those child fragments are re-parented to the new
+     fragment, which is how nested decompositions (figure 7) arise. The best
+     candidate leaves the fragment with about one machine share: cut the
+     node whose residual is closest to [residual w - share]. *)
+  let best_candidate w =
+    let root_id = w.w_root.Tree.id in
+    let cut_ids = List.map (fun (c : Tree.t) -> c.Tree.id) w.w_cuts in
+    let target =
+      Float.max (share /. 2.0) (float_of_int (residual w) -. share)
+    in
+    let best = ref None in
+    let i = ref (root_id + 1) in
+    let stop = root_id + counts.(root_id) in
+    while !i < stop do
+      if List.mem !i cut_ids then
+        (* skip the whole cut subtree: it belongs to another fragment *)
+        i := !i + counts.(!i)
+      else begin
+        if splittable !i then begin
+          let res = bytes.(!i) - cut_bytes w.w_cuts !i in
+          let score = Float.abs (float_of_int res -. target) in
+          match !best with
+          | Some (s, _) when s <= score -> ()
+          | _ -> best := Some (score, !i)
+        end;
+        incr i
+      end
+    done;
+    Option.map snd !best
+  in
+  let continue_splitting = ref true in
+  while !nfrags < machines && !continue_splitting do
+    (* largest-residual fragment that still has a candidate *)
+    let sorted =
+      List.sort (fun a b -> compare (residual b) (residual a)) !works
+    in
+    let rec try_frags = function
+      | [] -> continue_splitting := false
+      | w :: rest when float_of_int (residual w) <= 1.15 *. share ->
+          (* splitting an already share-sized fragment only adds overhead *)
+          ignore w;
+          try_frags rest
+      | w :: rest -> (
+          match best_candidate w with
+          | None -> try_frags rest
+          | Some cut_id ->
+              let cut_node = nodes.(cut_id) in
+              let moved, kept =
+                List.partition
+                  (fun (c : Tree.t) -> in_subtree ~root:cut_id c.Tree.id)
+                  w.w_cuts
+              in
+              let nw =
+                {
+                  w_id = !nfrags;
+                  w_root = cut_node;
+                  w_parent = Some w.w_id;
+                  w_cuts = moved;
+                }
+              in
+              (* fragments whose stub moved under the new fragment now hang
+                 off it instead of off [w] *)
+              List.iter
+                (fun (c : Tree.t) ->
+                  List.iter
+                    (fun w' ->
+                      if w'.w_root.Tree.id = c.Tree.id then
+                        w'.w_parent <- Some nw.w_id)
+                    !works)
+                moved;
+              w.w_cuts <- cut_node :: kept;
+              works := nw :: !works;
+              incr nfrags)
+    in
+    try_frags sorted
+  done;
+  let works = List.sort (fun a b -> compare a.w_id b.w_id) !works in
+  let frags =
+    Array.of_list
+      (List.map
+         (fun w ->
+           {
+             fr_id = w.w_id;
+             fr_root = w.w_root;
+             fr_parent = w.w_parent;
+             fr_bytes = residual w;
+           })
+         works)
+  in
+  let cut_to_frag = Hashtbl.create 16 in
+  let cut_lists = Array.make (Array.length frags) [] in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (c : Tree.t) ->
+          let owner =
+            List.find (fun w' -> w'.w_root.Tree.id = c.Tree.id) works
+          in
+          Hashtbl.replace cut_to_frag c.Tree.id owner.w_id;
+          cut_lists.(w.w_id) <- c.Tree.id :: cut_lists.(w.w_id))
+        w.w_cuts)
+    works;
+  { frags; cut_to_frag; cut_lists }
+
+let fragments p = p.frags
+
+let fragment_of_cut_node p node_id = Hashtbl.find_opt p.cut_to_frag node_id
+
+let cuts_of p frag_id = p.cut_lists.(frag_id)
+
+let count p = Array.length p.frags
+
+let pp fmt p =
+  let children_of id =
+    Array.to_list p.frags
+    |> List.filter (fun f -> f.fr_parent = Some id)
+    |> List.map (fun f -> f.fr_id)
+  in
+  let rec go indent id =
+    let f = p.frags.(id) in
+    Format.fprintf fmt "%sfragment %d: %s, %d bytes (node %d)@,"
+      (String.make indent ' ') id f.fr_root.Tree.sym f.fr_bytes
+      f.fr_root.Tree.id;
+    List.iter (go (indent + 2)) (children_of id)
+  in
+  Format.fprintf fmt "@[<v>";
+  go 0 0;
+  Format.fprintf fmt "@]"

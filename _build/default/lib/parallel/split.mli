@@ -1,0 +1,46 @@
+(** Parse-tree decomposition (paper, sections 2.1 and 2.5, figure 7).
+
+    The parser divides the syntax tree into up to [machines] fragments, each
+    shipped to one evaluator. Fragments may only be rooted at nonterminals
+    the grammar declares splittable, and only when the subtree's linearized
+    representation reaches the declared minimum size scaled by the runtime
+    [granularity] argument (the paper's knob for experimenting with
+    decomposition granularity).
+
+    The algorithm repeatedly halves the largest fragment: among the
+    candidate nodes inside it, the one whose residual subtree is closest to
+    half the fragment's residual size is cut off. This nests naturally
+    (figure 7 shows a fragment cut out of another fragment) and yields
+    fragments of roughly equal size — the paper's stated reason the 5-machine
+    decomposition performs best. *)
+
+open Pag_core
+
+type fragment = {
+  fr_id : int;  (** 0 is the root fragment *)
+  fr_root : Tree.t;
+  fr_parent : int option;  (** fragment holding the stub *)
+  fr_bytes : int;  (** residual linearized size (cuts excluded) *)
+}
+
+type plan
+
+(** [decompose g tree ~machines ~granularity]. The tree must already be
+    numbered (global node ids). [machines] ≥ 1; granularity > 0 scales every
+    split symbol's minimum size. *)
+val decompose :
+  Grammar.t -> Tree.t -> machines:int -> granularity:float -> plan
+
+val fragments : plan -> fragment array
+
+(** Fragment owning a cut whose root is the given node id, if any. *)
+val fragment_of_cut_node : plan -> int -> int option
+
+(** Node ids of the stubs cut out of the given fragment. *)
+val cuts_of : plan -> int -> int list
+
+(** Fragment count (≤ machines). *)
+val count : plan -> int
+
+(** Render the decomposition as an indented tree with sizes (figure 7). *)
+val pp : Format.formatter -> plan -> unit

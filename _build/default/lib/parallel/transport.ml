@@ -1,0 +1,7 @@
+type env = {
+  e_id : int;
+  e_delay : float -> unit;
+  e_send : dst:int -> Message.t -> unit;
+  e_recv : unit -> Message.t;
+  e_mark : string -> unit;
+}

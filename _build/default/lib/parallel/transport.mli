@@ -1,0 +1,16 @@
+(** The environment a compiler process (worker, librarian, coordinator) runs
+    against — the seam between the simulated network multiprocessor and the
+    real multicore runtime.
+
+    On the {!Sim_runner} transport, [delay] advances virtual time and
+    [send]/[recv] go through the Ethernet model; on the {!Domain_runner}
+    transport, [delay] is a no-op (the CPU does the actual work) and messages
+    travel over blocking in-memory queues. The process code is identical. *)
+
+type env = {
+  e_id : int;  (** this machine's id: 0 parser, 1..k evaluators, k+1 librarian *)
+  e_delay : float -> unit;
+  e_send : dst:int -> Message.t -> unit;
+  e_recv : unit -> Message.t;
+  e_mark : string -> unit;  (** phase mark in the trace (no-op if untraced) *)
+}

@@ -1,0 +1,408 @@
+open Pag_core
+open Pag_analysis
+open Pag_eval
+
+type mode = [ `Dynamic | `Combined ]
+
+type config = {
+  wc_grammar : Grammar.t;
+  wc_plan : Kastens.plan option;
+  wc_mode : mode;
+  wc_cost : Cost.t;
+  wc_use_priority : bool;
+  wc_librarian : int option;
+  wc_phase_label : int -> string option;
+}
+
+type task = {
+  t_frag_id : int;
+  t_root : Tree.t;
+  t_cuts : (Tree.t * int) list;
+  t_parent_machine : int;
+  t_root_is_tree_root : bool;
+}
+
+type stats = {
+  ws_dynamic_rules : int;
+  ws_static_rules : int;
+  ws_visits : int;
+  ws_graph_nodes : int;
+  ws_graph_edges : int;
+  ws_sends : int;
+}
+
+exception Stuck of string
+
+let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
+
+type item =
+  | IRule of Tree.t * Grammar.rule
+  | IVisit of Tree.t * int
+  | IRecv of Tree.t * string
+
+let run (env : Transport.env) cfg task =
+  let g = cfg.wc_grammar in
+  let plan =
+    match (cfg.wc_mode, cfg.wc_plan) with
+    | `Combined, Some p -> Some p
+    | `Combined, None -> stuck "combined mode requires an evaluation plan"
+    | `Dynamic, _ -> None
+  in
+  (* ---- 1. Await the subtree assignment; stash early attribute msgs. ---- *)
+  let stash = ref [] in
+  let uid_base =
+    let rec wait () =
+      match env.Transport.e_recv () with
+      | Message.Subtree s ->
+          env.Transport.e_delay
+            (float_of_int s.bytes *. cfg.wc_cost.Cost.rebuild_per_byte);
+          s.uid_base
+      | other ->
+          stash := other :: !stash;
+          wait ()
+    in
+    wait ()
+  in
+  let uid_cursor = ref uid_base in
+  (* ---- 2. Fragment structure. ---- *)
+  let cut_machine = Hashtbl.create 8 in
+  List.iter
+    (fun ((c : Tree.t), m) -> Hashtbl.replace cut_machine c.Tree.id m)
+    task.t_cuts;
+  let is_cut (n : Tree.t) = Hashtbl.mem cut_machine n.Tree.id in
+  let store = Store.create_shared ~stop:is_cut g task.t_root in
+  (* Owned nodes: fragment nodes excluding the stubs; parents recorded. *)
+  let parent = Hashtbl.create 256 in
+  let owned = ref [] in
+  let rec collect (n : Tree.t) =
+    owned := n :: !owned;
+    if not (is_cut n) then
+      Array.iter
+        (fun c ->
+          Hashtbl.replace parent c.Tree.id n;
+          collect c)
+        n.Tree.children
+  in
+  collect task.t_root;
+  let owned = List.rev !owned in
+  (* ---- 3. Spine. ---- *)
+  let spine = Hashtbl.create 64 in
+  (match cfg.wc_mode with
+  | `Dynamic ->
+      List.iter
+        (fun (n : Tree.t) ->
+          if n.Tree.prod <> None && not (is_cut n) then
+            Hashtbl.replace spine n.Tree.id ())
+        owned
+  | `Combined ->
+      List.iter
+        (fun ((c : Tree.t), _) ->
+          let rec up id =
+            match Hashtbl.find_opt parent id with
+            | None -> ()
+            | Some (p : Tree.t) ->
+                if not (Hashtbl.mem spine p.Tree.id) then begin
+                  Hashtbl.replace spine p.Tree.id ();
+                  up p.Tree.id
+                end
+          in
+          up c.Tree.id)
+        task.t_cuts;
+      if task.t_cuts <> [] then Hashtbl.replace spine task.t_root.Tree.id ());
+  let on_spine (n : Tree.t) = Hashtbl.mem spine n.Tree.id in
+  (* ---- 4. Items. ---- *)
+  let items = ref [] and n_items = ref 0 in
+  let producers = Hashtbl.create 256 in
+  (* (node id, attr) -> item id *)
+  let new_item it =
+    let id = !n_items in
+    incr n_items;
+    items := it :: !items;
+    id
+  in
+  let register_producer item_id (n : Tree.t) attr =
+    Hashtbl.replace producers (n.Tree.id, attr) item_id
+  in
+  let visit_count_of sym =
+    match plan with
+    | Some p -> Kastens.visit_count p sym
+    | None -> 0
+  in
+  (* Static roots: non-spine, non-stub interior children of spine nodes,
+     plus the fragment root itself when there is no spine at all. *)
+  let static_roots = ref [] in
+  List.iter
+    (fun (n : Tree.t) ->
+      if on_spine n then
+        Array.iter
+          (fun (c : Tree.t) ->
+            if c.Tree.prod <> None && (not (is_cut c)) && not (on_spine c) then
+              static_roots := c :: !static_roots)
+          n.Tree.children)
+    owned;
+  if
+    cfg.wc_mode = `Combined
+    && (not (on_spine task.t_root))
+    && task.t_root.Tree.prod <> None
+  then static_roots := [ task.t_root ];
+  (* Rule items for spine nodes. *)
+  List.iter
+    (fun (n : Tree.t) ->
+      if on_spine n then
+        match n.Tree.prod with
+        | None -> ()
+        | Some p ->
+            Array.iter
+              (fun (r : Grammar.rule) ->
+                let id = new_item (IRule (n, r)) in
+                let tnode, tattr = Store.rule_target n r in
+                register_producer id tnode tattr)
+              p.Grammar.p_rules)
+    owned;
+  (* Visit items for static roots. *)
+  List.iter
+    (fun (c : Tree.t) ->
+      let m = visit_count_of c.Tree.sym in
+      for v = 1 to m do
+        let id = new_item (IVisit (c, v)) in
+        match plan with
+        | None -> assert false
+        | Some p ->
+            let _, syn_attrs = Kastens.visit_attrs p ~sym:c.Tree.sym ~visit:v in
+            List.iter (fun a -> register_producer id c a) syn_attrs
+      done)
+    !static_roots;
+  (* Receive items: inherited attrs of the fragment root (unless it is the
+     whole tree's root), synthesized attrs of every stub. *)
+  let root_sym = Grammar.symbol g task.t_root.Tree.sym in
+  if task.t_root_is_tree_root then
+    Array.iter
+      (fun (a : Grammar.attr_decl) ->
+        if a.a_kind = Grammar.Inh then
+          stuck "the start symbol has inherited attribute %S with no producer"
+            a.a_name)
+      root_sym.Grammar.s_attrs
+  else
+    Array.iter
+      (fun (a : Grammar.attr_decl) ->
+        if a.a_kind = Grammar.Inh then begin
+          let id = new_item (IRecv (task.t_root, a.a_name)) in
+          register_producer id task.t_root a.a_name
+        end)
+      root_sym.Grammar.s_attrs;
+  List.iter
+    (fun ((c : Tree.t), _) ->
+      Array.iter
+        (fun (a : Grammar.attr_decl) ->
+          if a.a_kind = Grammar.Syn then begin
+            let id = new_item (IRecv (c, a.a_name)) in
+            register_producer id c a.a_name
+          end)
+        (Grammar.symbol g c.Tree.sym).Grammar.s_attrs)
+    task.t_cuts;
+  let items = Array.of_list (List.rev !items) in
+  let total = Array.length items in
+  (* ---- 5. Wiring. ---- *)
+  let waiting = Array.make total 0 in
+  let consumers = Array.make total [] in
+  let edge_count = ref 0 in
+  let add_edge ~from ~on =
+    consumers.(from) <- on :: consumers.(from);
+    waiting.(on) <- waiting.(on) + 1;
+    incr edge_count
+  in
+  let producer_of (n : Tree.t) attr =
+    match Hashtbl.find_opt producers (n.Tree.id, attr) with
+    | Some id -> Some id
+    | None ->
+        if n.Tree.prod = None then None (* terminal: always available *)
+        else stuck "no producer for %s.%s (node %d)" n.Tree.sym attr n.Tree.id
+  in
+  Array.iteri
+    (fun id it ->
+      match it with
+      | IRule (n, r) ->
+          List.iter
+            (fun (dn, dattr) ->
+              match producer_of dn dattr with
+              | Some p -> add_edge ~from:p ~on:id
+              | None -> ())
+            (Store.rule_deps store n r)
+      | IVisit (c, v) ->
+          (match plan with
+          | None -> assert false
+          | Some p ->
+              let inh_attrs, _ = Kastens.visit_attrs p ~sym:c.Tree.sym ~visit:v in
+              List.iter
+                (fun a ->
+                  match producer_of c a with
+                  | Some pr -> add_edge ~from:pr ~on:id
+                  | None -> ())
+                inh_attrs);
+          (* IVisit items of one static root are consecutive, so the
+             previous visit is the previous item. *)
+          if v > 1 then add_edge ~from:(id - 1) ~on:id
+      | IRecv _ -> ())
+    items;
+  (* ---- 6. Boundary sends. ---- *)
+  let sends = Hashtbl.create 16 in
+  Array.iter
+    (fun (a : Grammar.attr_decl) ->
+      if a.a_kind = Grammar.Syn then
+        Hashtbl.replace sends
+          (task.t_root.Tree.id, a.a_name)
+          task.t_parent_machine)
+    root_sym.Grammar.s_attrs;
+  List.iter
+    (fun ((c : Tree.t), machine) ->
+      Array.iter
+        (fun (a : Grammar.attr_decl) ->
+          if a.a_kind = Grammar.Inh then
+            Hashtbl.replace sends (c.Tree.id, a.a_name) machine)
+        (Grammar.symbol g c.Tree.sym).Grammar.s_attrs)
+    task.t_cuts;
+  let frag_seq = ref 0 in
+  let alloc_frag () =
+    let id = ((task.t_frag_id + 1) * 100_000) + !frag_seq in
+    incr frag_seq;
+    id
+  in
+  let n_sends = ref 0 in
+  let send_instance (n : Tree.t) attr dst =
+    let v = Store.get store n attr in
+    let v =
+      match (cfg.wc_librarian, v) with
+      | Some lib, Value.Ext (Codestr.V c)
+        when n.Tree.id = task.t_root.Tree.id && Codestr.length c > 0 ->
+          (* string librarian: ship the text once, pass up a descriptor *)
+          let desc, frags = Codestr.extract_texts ~alloc:alloc_frag c in
+          List.iter
+            (fun (id, text) ->
+              incr n_sends;
+              env.Transport.e_send ~dst:lib (Message.Code_frag { id; text }))
+            frags;
+          Codestr.value desc
+      | _ -> v
+    in
+    incr n_sends;
+    env.Transport.e_send ~dst
+      (Message.Attr { node = n.Tree.id; attr; value = v })
+  in
+  (* ---- 7. Charge graph-construction cost. ---- *)
+  env.Transport.e_delay
+    ((float_of_int total *. cfg.wc_cost.Cost.build_node)
+    +. (float_of_int !edge_count *. cfg.wc_cost.Cost.build_edge));
+  (* ---- 8. Execution. ---- *)
+  let hi = Queue.create () and lo = Queue.create () in
+  let is_priority_item = function
+    | IRule (n, r) ->
+        let tnode, tattr = Store.rule_target n r in
+        Grammar.is_priority g ~sym:tnode.Tree.sym ~attr:tattr
+    | IVisit _ | IRecv _ -> false
+  in
+  let enqueue id =
+    if cfg.wc_use_priority && is_priority_item items.(id) then Queue.add id hi
+    else Queue.add id lo
+  in
+  Array.iteri
+    (fun id it ->
+      match it with
+      | IRecv _ -> ()
+      | IRule _ | IVisit _ -> if waiting.(id) = 0 then enqueue id)
+    items;
+  let completed = ref 0 in
+  let dynamic_rules = ref 0
+  and static_rules = ref 0
+  and visits = ref 0 in
+  let marked = Hashtbl.create 4 in
+  let products_of id =
+    match items.(id) with
+    | IRule (n, r) -> [ Store.rule_target n r ]
+    | IVisit (c, v) -> (
+        match plan with
+        | None -> assert false
+        | Some p ->
+            let _, syn_attrs = Kastens.visit_attrs p ~sym:c.Tree.sym ~visit:v in
+            List.map (fun a -> (c, a)) syn_attrs)
+    | IRecv (n, a) -> [ (n, a) ]
+  in
+  let complete id =
+    incr completed;
+    List.iter
+      (fun ((n : Tree.t), attr) ->
+        match Hashtbl.find_opt sends (n.Tree.id, attr) with
+        | Some dst -> send_instance n attr dst
+        | None -> ())
+      (products_of id);
+    List.iter
+      (fun c ->
+        waiting.(c) <- waiting.(c) - 1;
+        if waiting.(c) = 0 then enqueue c)
+      consumers.(id)
+  in
+  let execute id =
+    match items.(id) with
+    | IRule (n, r) ->
+        Uid.with_counter uid_cursor (fun () ->
+            ignore (Store.apply_rule store n r));
+        env.Transport.e_delay (Cost.rule_cost cfg.wc_cost ~dynamic:true);
+        incr dynamic_rules
+    | IVisit (c, v) ->
+        (match cfg.wc_phase_label v with
+        | Some lbl when not (Hashtbl.mem marked v) ->
+            Hashtbl.replace marked v ();
+            env.Transport.e_mark lbl
+        | _ -> ());
+        let nv, ne =
+          match plan with
+          | None -> assert false
+          | Some p ->
+              Uid.with_counter uid_cursor (fun () ->
+                  Static_eval.visit p store c v)
+        in
+        env.Transport.e_delay (Cost.visit_cost cfg.wc_cost ~visits:nv ~evals:ne);
+        static_rules := !static_rules + ne;
+        visits := !visits + nv
+    | IRecv (n, a) -> stuck "receive item %s.%s executed locally" n.Tree.sym a
+  in
+  let handle_msg = function
+    | Message.Attr { node; attr; value } -> (
+        match Store.find_node store node with
+        | None -> stuck "received attribute for unknown node %d" node
+        | Some n -> (
+            Store.set store n attr value;
+            match Hashtbl.find_opt producers (node, attr) with
+            | Some id -> complete id
+            | None -> stuck "no receive item for %s.%s" n.Tree.sym attr))
+    | other -> stuck "unexpected message %s" (Format.asprintf "%a" Message.pp other)
+  in
+  List.iter handle_msg (List.rev !stash);
+  stash := [];
+  let rec loop () =
+    if !completed < total then begin
+      let next =
+        match Queue.take_opt hi with
+        | Some id -> Some id
+        | None -> Queue.take_opt lo
+      in
+      match next with
+      | Some id ->
+          execute id;
+          complete id;
+          loop ()
+      | None ->
+          handle_msg (env.Transport.e_recv ());
+          loop ()
+    end
+  in
+  loop ();
+  let left = Store.missing store in
+  if left > 0 then stuck "%d attribute instances unevaluated in fragment %d" left task.t_frag_id;
+  {
+    ws_dynamic_rules = !dynamic_rules;
+    ws_static_rules = !static_rules;
+    ws_visits = !visits;
+    ws_graph_nodes = total;
+    ws_graph_edges = !edge_count;
+    ws_sends = !n_sends;
+  }

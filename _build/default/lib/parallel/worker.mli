@@ -1,0 +1,60 @@
+(** A parallel attribute evaluator for one tree fragment (paper, sections
+    2.1, 2.3 and 2.4).
+
+    In [`Combined] mode, only nodes on the path from the fragment root to a
+    remotely evaluated stub (the {e spine}) are evaluated dynamically; every
+    other subtree hanging off the spine is evaluated by the static visit
+    sequences, entered as a single unit ("when all predecessors for a
+    statically evaluated attribute become available, the appropriate static
+    visit procedure is invoked"). A fragment with no cuts is evaluated
+    entirely statically. In [`Dynamic] mode every node is on the spine — the
+    paper's purely dynamic parallel evaluator.
+
+    Boundary attribute instances (inherited attributes of the fragment root,
+    synthesized attributes of the stubs) are received from, and boundary
+    products sent to, the neighbouring evaluators as {!Message.Attr}
+    messages. With a librarian configured, the fragment root's synthesized
+    code strings are shipped to the librarian as text fragments and only a
+    small descriptor is passed to the parent. *)
+
+open Pag_core
+open Pag_analysis
+
+type mode = [ `Dynamic | `Combined ]
+
+type config = {
+  wc_grammar : Grammar.t;
+  wc_plan : Kastens.plan option;  (** required in [`Combined] mode *)
+  wc_mode : mode;
+  wc_cost : Cost.t;
+  wc_use_priority : bool;
+      (** schedule rules defining priority attributes first *)
+  wc_librarian : int option;  (** librarian machine id; [None] = naive mode *)
+  wc_phase_label : int -> string option;
+      (** trace label for the first execution of a static visit [v] *)
+}
+
+type task = {
+  t_frag_id : int;
+  t_root : Tree.t;  (** fragment root (shared tree, global node ids) *)
+  t_cuts : (Tree.t * int) list;  (** stub node, machine evaluating it *)
+  t_parent_machine : int;  (** destination of the fragment root's syn attrs *)
+  t_root_is_tree_root : bool;
+}
+
+type stats = {
+  ws_dynamic_rules : int;
+  ws_static_rules : int;
+  ws_visits : int;
+  ws_graph_nodes : int;
+  ws_graph_edges : int;
+  ws_sends : int;
+}
+
+exception Stuck of string
+
+(** Runs the evaluator protocol: waits for its [Subtree] assignment, builds
+    the (partial) dependency structure, evaluates, exchanging boundary
+    attributes, and returns when every local instance is evaluated and every
+    boundary product sent. *)
+val run : Transport.env -> config -> task -> stats

@@ -1,0 +1,1 @@
+lib/pascal/ag_dsl.ml: Array Ast Cg Grammar List Pag_core Pag_util Printf Pvalue Rope Symtab Value

@@ -1,0 +1,1 @@
+lib/pascal/ast.ml: List Printf String

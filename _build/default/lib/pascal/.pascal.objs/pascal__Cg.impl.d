@@ -1,0 +1,1 @@
+lib/pascal/cg.ml: Ast Codestr Hashtbl List Pag_core Pag_util Printf Pvalue Rope Symtab Value Vax

@@ -1,0 +1,1 @@
+lib/pascal/driver.ml: Dynamic Format Kastens Lazy Oracle Pag_analysis Pag_eval Pag_parallel Parser Pascal_ag Peephole Runner Static_eval Store String Vax

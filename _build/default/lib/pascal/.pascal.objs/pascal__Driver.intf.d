@@ -1,0 +1,1 @@
+lib/pascal/driver.mli: Ast Kastens Lazy Pag_analysis Pag_parallel Runner

@@ -1,0 +1,1 @@
+lib/pascal/expr_rules.ml: Ag_dsl Array Ast Cg Grammar List Pag_core Printf Pvalue Value Vax

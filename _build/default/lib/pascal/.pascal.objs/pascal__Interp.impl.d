@@ -1,0 +1,1 @@
+lib/pascal/interp.ml: Array Ast Buffer Char List Option Printf

@@ -1,0 +1,1 @@
+lib/pascal/interp.mli: Ast

@@ -1,0 +1,1 @@
+lib/pascal/lexer.ml: List Printf String Token

@@ -1,0 +1,1 @@
+lib/pascal/parser.ml: Ast Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/pascal/pascal_ag.ml: Ag_dsl Array Ast Cg Char Codestr Expr_rules Grammar List Pag_core Pag_util Printf Pvalue Rope Stmt_rules Symtab Tree Uid Value Vax

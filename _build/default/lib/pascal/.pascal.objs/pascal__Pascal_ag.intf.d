@@ -1,0 +1,1 @@
+lib/pascal/pascal_ag.mli: Ast Grammar Pag_core Tree Value

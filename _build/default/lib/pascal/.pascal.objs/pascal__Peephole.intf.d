@@ -1,0 +1,1 @@
+lib/pascal/peephole.mli: Vax

@@ -1,0 +1,1 @@
+lib/pascal/pp.ml: Ast Buffer List Printf String

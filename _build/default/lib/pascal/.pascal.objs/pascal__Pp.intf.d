@@ -1,0 +1,1 @@
+lib/pascal/pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/pascal/progen.ml: Ast List Printf Random

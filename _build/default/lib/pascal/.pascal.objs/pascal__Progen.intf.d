@@ -1,0 +1,1 @@
+lib/pascal/progen.mli: Ast Random

@@ -1,0 +1,1 @@
+lib/pascal/pvalue.ml: Ast Format List Pag_core String Value

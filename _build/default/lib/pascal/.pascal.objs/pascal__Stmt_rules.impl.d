@@ -1,0 +1,1 @@
+lib/pascal/stmt_rules.ml: Ag_dsl Array Ast Cg Grammar List Option Pag_core Printf Pvalue Value Vax

@@ -1,0 +1,1 @@
+lib/pascal/token.ml: Printf

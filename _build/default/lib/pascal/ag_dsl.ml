@@ -1,0 +1,129 @@
+(* Shared production-spec DSL and Value shorthands for the Pascal attribute
+   grammar, used by Pascal_ag, Stmt_rules and Expr_rules.
+
+   A production spec is mode-independent: rules that consume unique labels
+   are written with [rl] and receive the label numbers however the selected
+   variant provides them (per-evaluator Uid bases, or a counter attribute
+   threaded through the tree). *)
+
+open Pag_core
+open Pag_util
+
+(* ---------------- value shorthands ---------------- *)
+
+let id args = args.(0)
+
+let v_int n = Value.Int n
+
+let v_str s = Value.str s
+
+let v_list l = Value.List l
+
+let as_int = Value.as_int
+
+let as_bool = Value.as_bool
+
+let as_list = Value.as_list
+
+let as_str ~ctx v = Rope.to_string (Value.as_str ~ctx v)
+
+let as_code = Cg.of_value
+
+let code v = Cg.value v
+
+let errs_v l = v_list (List.map (fun s -> Value.str s) l)
+
+let as_errs ~ctx v = List.map (fun s -> as_str ~ctx s) (as_list ~ctx v)
+
+let cat_errs vs = v_list (List.concat_map (fun v -> as_list ~ctx:"errs" v) vs)
+
+let lookup_env ~ctx envv name =
+  let tab = Value.as_tab ~ctx envv in
+  Symtab.lookup tab name
+
+(* ---------------- production specs ---------------- *)
+
+type rule_spec =
+  | R of Grammar.attr_ref * Grammar.attr_ref list * (Value.t array -> Value.t)
+  | RL of
+      Grammar.attr_ref
+      * Grammar.attr_ref list
+      * (labels:int array -> Value.t array -> Value.t)
+
+type prod_spec = {
+  sp_name : string;
+  sp_lhs : string;
+  sp_rhs : string list;
+  sp_labels : int;
+  sp_rules : rule_spec list;
+}
+
+let prod ?(labels = 0) name lhs rhs rules =
+  { sp_name = name; sp_lhs = lhs; sp_rhs = rhs; sp_labels = labels; sp_rules = rules }
+
+let r target deps fn = R (target, deps, fn)
+
+let rl target deps fn = RL (target, deps, fn)
+
+(* copy env+level down to the given child positions *)
+let down positions =
+  let open Grammar in
+  List.concat_map
+    (fun p ->
+      [ r (rhs p "env") [ lhs "env" ] id; r (rhs p "level") [ lhs "level" ] id ])
+    positions
+
+(* aggregate errs from children at the given positions *)
+let errs_up ?(extra = []) ?(extra_fn = fun _ -> []) positions =
+  let open Grammar in
+  let deps = List.map (fun p -> rhs p "errs") positions @ extra in
+  r (lhs "errs") deps (fun args ->
+      let child_errs =
+        Array.to_list (Array.sub args 0 (List.length positions))
+      in
+      cat_errs (child_errs @ [ errs_v (extra_fn args) ]))
+
+(* ---------------- type-checking helpers ---------------- *)
+
+let want_ty what expected actual =
+  if Ast.ty_equal expected actual then []
+  else
+    [
+      Printf.sprintf "%s: expected %s, got %s" what (Ast.ty_to_string expected)
+        (Ast.ty_to_string actual);
+    ]
+
+let comparable a b =
+  Ast.ty_equal a b
+  ||
+  match (a, b) with
+  | Ast.TInt, Ast.TChar | Ast.TChar, Ast.TInt -> true
+  | _ -> false
+
+(* ---------------- list payload conversions ---------------- *)
+
+let plist_of_value ~ctx v =
+  List.map
+    (fun p ->
+      let name, rest = Value.as_pair ~ctx p in
+      let tyv, refv = Value.as_pair ~ctx rest in
+      (as_str ~ctx name, Pvalue.as_ty ~ctx tyv, as_bool ~ctx refv))
+    (as_list ~ctx v)
+
+let psig_of_plist plist = List.map (fun (_, t, b) -> (t, b)) plist
+
+let rawdecls_of_value ~ctx v =
+  List.map (fun d -> Pvalue.as_raw ~ctx d) (as_list ~ctx v)
+
+let psig_of_value ~ctx v =
+  List.map
+    (fun p ->
+      let tyv, refv = Value.as_pair ~ctx p in
+      (Pvalue.as_ty ~ctx tyv, as_bool ~ctx refv))
+    (as_list ~ctx v)
+
+let psig_value psig =
+  v_list
+    (List.map (fun (t, b) -> Value.Pair (Pvalue.ty t, Value.Bool b)) psig)
+
+let tys_of_value ~ctx v = List.map (fun t -> Pvalue.as_ty ~ctx t) (as_list ~ctx v)

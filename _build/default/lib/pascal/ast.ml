@@ -1,0 +1,103 @@
+(* Abstract syntax of the Pascal subset.
+
+   Restrictions, matching the paper's compiler (section 3): no with/goto, no
+   floats, sets, enumerations, variant records, file I/O, or procedure
+   parameters. Arrays are one-dimensional with literal integer bounds;
+   composite values (arrays, records) may only be passed by reference and
+   may not be assigned as wholes. *)
+
+type ty =
+  | TInt
+  | TBool
+  | TChar
+  | TArray of int * int * ty (* lo, hi, element *)
+  | TRecord of (string * ty) list
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Not
+
+type expr =
+  | EInt of int
+  | EBool of bool
+  | EChar of char
+  | ELval of lvalue
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ECall of string * expr list (* function call *)
+
+and lvalue =
+  | LId of string
+  | LIndex of lvalue * expr
+  | LField of lvalue * string
+
+type stmt =
+  | SAssign of lvalue * expr
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SRepeat of stmt list * expr
+  | SFor of string * expr * bool (* true = to, false = downto *) * expr * stmt list
+  | SCase of expr * (int list * stmt list) list * stmt list option
+  | SCall of string * expr list
+  | SWrite of expr list * bool (* true = writeln *)
+  | SRead of lvalue
+
+type param = { p_name : string; p_ty : ty; p_ref : bool }
+
+type routine = {
+  r_name : string;
+  r_params : param list;
+  r_ret : ty option; (* Some _ for functions *)
+  r_block : block;
+}
+
+and decl = DConst of string * int | DVar of string * ty | DRoutine of routine
+
+and block = { b_decls : decl list; b_body : stmt list }
+
+type program = { prog_name : string; prog_block : block }
+
+(* Word size of a type in the target's 4-byte longwords. *)
+let rec ty_words = function
+  | TInt | TBool | TChar -> 1
+  | TArray (lo, hi, elem) -> (hi - lo + 1) * ty_words elem
+  | TRecord fields ->
+      List.fold_left (fun a (_, t) -> a + ty_words t) 0 fields
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TInt, TInt | TBool, TBool | TChar, TChar -> true
+  | TArray (l1, h1, e1), TArray (l2, h2, e2) ->
+      l1 = l2 && h1 = h2 && ty_equal e1 e2
+  | TRecord f1, TRecord f2 ->
+      List.length f1 = List.length f2
+      && List.for_all2
+           (fun (n1, t1) (n2, t2) -> n1 = n2 && ty_equal t1 t2)
+           f1 f2
+  | (TInt | TBool | TChar | TArray _ | TRecord _), _ -> false
+
+let rec ty_to_string = function
+  | TInt -> "integer"
+  | TBool -> "boolean"
+  | TChar -> "char"
+  | TArray (lo, hi, e) -> Printf.sprintf "array [%d..%d] of %s" lo hi (ty_to_string e)
+  | TRecord fields ->
+      "record "
+      ^ String.concat "; "
+          (List.map (fun (n, t) -> n ^ " : " ^ ty_to_string t) fields)
+      ^ " end"
+
+let is_scalar = function TInt | TBool | TChar -> true | TArray _ | TRecord _ -> false

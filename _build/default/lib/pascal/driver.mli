@@ -1,0 +1,55 @@
+(** Compiler drivers: sequential (static / dynamic / oracle) and parallel
+    (simulated network or domains), plus assemble-and-run support.
+
+    The parallel paths run the same grammar through
+    {!Pag_parallel.Runner}, which is how every experiment in bench/ compiles
+    programs. *)
+
+open Pag_analysis
+open Pag_parallel
+
+type compiled = {
+  c_asm : string;  (** VAX assembly text *)
+  c_errors : string list;  (** semantic errors *)
+}
+
+exception Compile_error of string
+
+(** Kastens plan of the [`Base] grammar (computed once). *)
+val plan : Kastens.plan Lazy.t
+
+(** Kastens plan of the [`Threaded] grammar. *)
+val plan_threaded : Kastens.plan Lazy.t
+
+(** Trace phase labels for the two visits (figure 6). *)
+val phase_label : int -> string option
+
+(** Sequential compilation with the chosen evaluator. *)
+val compile :
+  ?evaluator:[ `Static | `Dynamic | `Oracle ] -> Ast.program -> compiled
+
+(** Parse then compile. *)
+val compile_source : string -> compiled
+
+(** Parallel compilation on the simulated network multiprocessor. Uses the
+    [`Base] grammar unless [variant] says otherwise. *)
+val compile_parallel_sim :
+  ?variant:[ `Base | `Threaded ] ->
+  Runner.options ->
+  Ast.program ->
+  Runner.result * compiled
+
+(** Parallel compilation on OCaml domains. *)
+val compile_parallel_domains :
+  ?variant:[ `Base | `Threaded ] ->
+  Runner.options ->
+  Ast.program ->
+  Runner.result * compiled
+
+(** Apply the peephole optimizer to compiled assembly. *)
+val optimize : compiled -> compiled
+
+(** Assemble and execute on the VAX simulator. Raises [Compile_error] when
+    the program had semantic errors. *)
+val run_compiled :
+  ?fuel:int -> ?input:int list -> compiled -> (string, string) result

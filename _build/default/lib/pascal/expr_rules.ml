@@ -1,0 +1,509 @@
+(* Semantic rules for expressions and lvalues of the Pascal attribute
+   grammar. Expressions synthesize [ty], [code] (pushes the value), [addr]
+   (a pair: is-it-an-lvalue flag and address-pushing code, for var
+   arguments) and [errs]. Lvalues synthesize [ty], [acode] (push address),
+   [vcode] (push value), [writable] and [errs]. *)
+
+open Pag_core
+open Ast
+open Ag_dsl
+open Vax.Isa
+
+let aty = Pvalue.as_ty
+
+let no_addr = Value.Pair (Value.Bool false, Cg.value Cg.empty)
+
+(* Resolve a name as a variable-ish entry. A routine name resolves to its
+   result slot when one is in scope (assignment to the function name inside
+   its own body). *)
+let resolve_var ~ctx envv name =
+  match lookup_env ~ctx envv name with
+  | Some v -> (
+      match Pvalue.as_info ~ctx v with
+      | Pvalue.IRoutine _ as rt -> (
+          match lookup_env ~ctx envv (name ^ "$result") with
+          | Some rv -> Some (Pvalue.as_info ~ctx rv)
+          | None -> Some rt)
+      | other -> Some other)
+  | None -> None
+
+let int_binop pname ops =
+  let open Grammar in
+  let name = pname in
+  prod pname "expr" [ "expr"; "expr" ]
+    (down [ 1; 2 ]
+    @ [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TInt);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        r (lhs "code")
+          [ rhs 1 "code"; rhs 2 "code" ]
+          (fun args ->
+            code
+              (Cg.cconcat
+                 [
+                   as_code ~ctx:name args.(0);
+                   as_code ~ctx:name args.(1);
+                   Cg.asm (Cg.binop ops);
+                 ]));
+        errs_up [ 1; 2 ] ~extra:[ rhs 1 "ty"; rhs 2 "ty" ] ~extra_fn:(fun args ->
+            want_ty name TInt (aty ~ctx:name args.(2))
+            @ want_ty name TInt (aty ~ctx:name args.(3)));
+      ])
+
+let compare_op pname branch =
+  let open Grammar in
+  let name = pname in
+  prod ~labels:2 pname "expr" [ "expr"; "expr" ]
+    (down [ 1; 2 ]
+    @ [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        rl (lhs "code")
+          [ rhs 1 "code"; rhs 2 "code" ]
+          (fun ~labels args ->
+            let l_true = Cg.lab labels.(0) and l_end = Cg.lab labels.(1) in
+            code
+              (Cg.cconcat
+                 [
+                   as_code ~ctx:name args.(0);
+                   as_code ~ctx:name args.(1);
+                   Cg.asm (Cg.compare_code branch l_true l_end);
+                 ]));
+        errs_up [ 1; 2 ] ~extra:[ rhs 1 "ty"; rhs 2 "ty" ] ~extra_fn:(fun args ->
+            let t1 = aty ~ctx:name args.(2) and t2 = aty ~ctx:name args.(3) in
+            if comparable t1 t2 && Ast.is_scalar t1 then []
+            else
+              [
+                Printf.sprintf "cannot compare %s with %s" (Ast.ty_to_string t1)
+                  (Ast.ty_to_string t2);
+              ]);
+      ])
+
+let specs : prod_spec list =
+  let open Grammar in
+  [
+    (* ---------------- literals ---------------- *)
+    prod "e_int" "expr" [ "NUMT" ]
+      [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TInt);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        r (lhs "code")
+          [ rhs 1 "value" ]
+          (fun args -> code (Cg.asm [ Pushl (Imm (as_int ~ctx:"int" args.(0))) ]));
+        r (lhs "errs") [] (fun _ -> v_list []);
+      ];
+    prod "e_char" "expr" [ "CHART" ]
+      [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TChar);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        r (lhs "code")
+          [ rhs 1 "value" ]
+          (fun args -> code (Cg.asm [ Pushl (Imm (as_int ~ctx:"char" args.(0))) ]));
+        r (lhs "errs") [] (fun _ -> v_list []);
+      ];
+    prod "e_true" "expr" []
+      [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        r (lhs "code") [] (fun _ -> code (Cg.asm [ Pushl (Imm 1) ]));
+        r (lhs "errs") [] (fun _ -> v_list []);
+      ];
+    prod "e_false" "expr" []
+      [
+        r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+        r (lhs "addr") [] (fun _ -> no_addr);
+        r (lhs "code") [] (fun _ -> code (Cg.asm [ Pushl (Imm 0) ]));
+        r (lhs "errs") [] (fun _ -> v_list []);
+      ];
+    (* ---------------- variables ---------------- *)
+    prod "e_lval" "expr" [ "lvalue" ]
+      (down [ 1 ]
+      @ [
+          r (lhs "ty") [ rhs 1 "ty" ] id;
+          r (lhs "code") [ rhs 1 "vcode" ] id;
+          r (lhs "addr")
+            [ rhs 1 "writable"; rhs 1 "acode" ]
+            (fun args -> Value.Pair (args.(0), args.(1)));
+          errs_up [ 1 ];
+        ]);
+    (* ---------------- arithmetic ---------------- *)
+    int_binop "e_add" [ Addl2 (Reg r1, Reg r0) ];
+    int_binop "e_sub" [ Subl2 (Reg r1, Reg r0) ];
+    int_binop "e_mul" [ Mull2 (Reg r1, Reg r0) ];
+    int_binop "e_div" [ Divl2 (Reg r1, Reg r0) ];
+    int_binop "e_mod"
+      [
+        Divl3 (Reg r1, Reg r0, Reg r2);
+        Mull2 (Reg r1, Reg r2);
+        Subl2 (Reg r2, Reg r0);
+      ];
+    (* ---------------- boolean ---------------- *)
+    prod "e_and" "expr" [ "expr"; "expr" ]
+      (down [ 1; 2 ]
+      @ [
+          r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+          r (lhs "addr") [] (fun _ -> no_addr);
+          r (lhs "code")
+            [ rhs 1 "code"; rhs 2 "code" ]
+            (fun args ->
+              code
+                (Cg.cconcat
+                   [
+                     as_code ~ctx:"and" args.(0);
+                     as_code ~ctx:"and" args.(1);
+                     Cg.asm (Cg.binop [ Mull2 (Reg r1, Reg r0) ]);
+                   ]));
+          errs_up [ 1; 2 ] ~extra:[ rhs 1 "ty"; rhs 2 "ty" ] ~extra_fn:(fun args ->
+              want_ty "and" TBool (aty ~ctx:"and" args.(2))
+              @ want_ty "and" TBool (aty ~ctx:"and" args.(3)));
+        ]);
+    prod ~labels:2 "e_or" "expr" [ "expr"; "expr" ]
+      (down [ 1; 2 ]
+      @ [
+          r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+          r (lhs "addr") [] (fun _ -> no_addr);
+          rl (lhs "code")
+            [ rhs 1 "code"; rhs 2 "code" ]
+            (fun ~labels args ->
+              let l_true = Cg.lab labels.(0) and l_end = Cg.lab labels.(1) in
+              code
+                (Cg.cconcat
+                   [
+                     as_code ~ctx:"or" args.(0);
+                     as_code ~ctx:"or" args.(1);
+                     Cg.asm
+                       [
+                         Movl (PostInc sp, Reg r1);
+                         Movl (PostInc sp, Reg r0);
+                         Addl2 (Reg r1, Reg r0);
+                         Tstl (Reg r0);
+                         Bneq l_true;
+                         Pushl (Imm 0);
+                         Brb l_end;
+                         Label l_true;
+                         Pushl (Imm 1);
+                         Label l_end;
+                       ];
+                   ]));
+          errs_up [ 1; 2 ] ~extra:[ rhs 1 "ty"; rhs 2 "ty" ] ~extra_fn:(fun args ->
+              want_ty "or" TBool (aty ~ctx:"or" args.(2))
+              @ want_ty "or" TBool (aty ~ctx:"or" args.(3)));
+        ]);
+    (* ---------------- comparisons ---------------- *)
+    compare_op "e_eq" (fun l -> Beql l);
+    compare_op "e_ne" (fun l -> Bneq l);
+    compare_op "e_lt" (fun l -> Blss l);
+    compare_op "e_le" (fun l -> Bleq l);
+    compare_op "e_gt" (fun l -> Bgtr l);
+    compare_op "e_ge" (fun l -> Bgeq l);
+    (* ---------------- unary ---------------- *)
+    prod "e_neg" "expr" [ "expr" ]
+      (down [ 1 ]
+      @ [
+          r (lhs "ty") [] (fun _ -> Pvalue.ty TInt);
+          r (lhs "addr") [] (fun _ -> no_addr);
+          r (lhs "code")
+            [ rhs 1 "code" ]
+            (fun args ->
+              code
+                (Cg.( ^^ )
+                   (as_code ~ctx:"neg" args.(0))
+                   (Cg.asm
+                      [
+                        Movl (PostInc sp, Reg r0);
+                        Mnegl (Reg r0, Reg r0);
+                        Pushl (Reg r0);
+                      ])));
+          errs_up [ 1 ] ~extra:[ rhs 1 "ty" ] ~extra_fn:(fun args ->
+              want_ty "negation" TInt (aty ~ctx:"neg" args.(1)));
+        ]);
+    prod "e_not" "expr" [ "expr" ]
+      (down [ 1 ]
+      @ [
+          r (lhs "ty") [] (fun _ -> Pvalue.ty TBool);
+          r (lhs "addr") [] (fun _ -> no_addr);
+          r (lhs "code")
+            [ rhs 1 "code" ]
+            (fun args ->
+              code
+                (Cg.( ^^ )
+                   (as_code ~ctx:"not" args.(0))
+                   (Cg.asm
+                      [
+                        Movl (PostInc sp, Reg r0);
+                        Subl3 (Reg r0, Imm 1, Reg r0);
+                        Pushl (Reg r0);
+                      ])));
+          errs_up [ 1 ] ~extra:[ rhs 1 "ty" ] ~extra_fn:(fun args ->
+              want_ty "not" TBool (aty ~ctx:"not" args.(1)));
+        ]);
+    (* ---------------- function calls ---------------- *)
+    prod "e_call" "expr" [ "ID"; "args" ]
+      (down [ 2 ]
+      @ [
+          r (rhs 2 "psig")
+            [ lhs "env"; rhs 1 "name" ]
+            (fun args ->
+              match lookup_env ~ctx:"fcall" args.(0) (as_str ~ctx:"fcall" args.(1)) with
+              | Some v -> (
+                  match Pvalue.as_info ~ctx:"fcall" v with
+                  | Pvalue.IRoutine rt -> psig_value rt.params
+                  | _ -> v_list [])
+              | None -> v_list []);
+          r (lhs "ty")
+            [ lhs "env"; rhs 1 "name" ]
+            (fun args ->
+              match lookup_env ~ctx:"fcall" args.(0) (as_str ~ctx:"fcall" args.(1)) with
+              | Some v -> (
+                  match Pvalue.as_info ~ctx:"fcall" v with
+                  | Pvalue.IRoutine { ret = Some t; _ } -> Pvalue.ty t
+                  | _ -> Pvalue.ty TInt)
+              | None -> Pvalue.ty TInt);
+          r (lhs "addr") [] (fun _ -> no_addr);
+          r (lhs "code")
+            [ lhs "env"; lhs "level"; rhs 1 "name"; rhs 2 "code" ]
+            (fun args ->
+              let name = as_str ~ctx:"fcall" args.(2) in
+              match lookup_env ~ctx:"fcall" args.(0) name with
+              | Some v -> (
+                  match Pvalue.as_info ~ctx:"fcall" v with
+                  | Pvalue.IRoutine rt ->
+                      let cur = as_int ~ctx:"fcall" args.(1) in
+                      code
+                        (Cg.cconcat
+                           [
+                             as_code ~ctx:"fcall" args.(3);
+                             Cg.asm (Cg.push_static_link ~cur ~target:rt.level);
+                             Cg.asm
+                               [
+                                 Calls (List.length rt.params + 1, rt.label);
+                                 Pushl (Reg r0);
+                               ];
+                           ])
+                  | _ -> code (Cg.asm [ Pushl (Imm 0) ]))
+              | None -> code (Cg.asm [ Pushl (Imm 0) ]));
+          errs_up [ 2 ]
+            ~extra:[ lhs "env"; rhs 1 "name"; rhs 2 "tys" ]
+            ~extra_fn:(fun args ->
+              (* args: child errs, env, name, tys *)
+              let name = as_str ~ctx:"fcall" args.(2) in
+              match lookup_env ~ctx:"fcall" args.(1) name with
+              | Some v -> (
+                  match Pvalue.as_info ~ctx:"fcall" v with
+                  | Pvalue.IRoutine rt ->
+                      let tys = tys_of_value ~ctx:"fcall" args.(3) in
+                      (if rt.ret = None then
+                         [ Printf.sprintf "procedure %s used as a function" name ]
+                       else [])
+                      @
+                      if List.length tys <> List.length rt.params then
+                        [
+                          Printf.sprintf "%s expects %d arguments, got %d" name
+                            (List.length rt.params) (List.length tys);
+                        ]
+                      else
+                        List.concat
+                          (List.map2
+                             (fun (pt, _) at ->
+                               want_ty (Printf.sprintf "argument of %s" name) pt at)
+                             rt.params tys)
+                  | _ -> [ Printf.sprintf "%s is not a function" name ])
+              | None -> [ Printf.sprintf "unknown function %s" name ]);
+        ]);
+    (* ---------------- lvalues ---------------- *)
+    prod "lv_id" "lvalue" [ "ID" ]
+      [
+        r (lhs "ty")
+          [ lhs "env"; rhs 1 "name" ]
+          (fun args ->
+            match resolve_var ~ctx:"lv" args.(0) (as_str ~ctx:"lv" args.(1)) with
+            | Some (Pvalue.IVar { ty; _ }) -> Pvalue.ty ty
+            | Some (Pvalue.IConst _ | Pvalue.IRoutine _) | None -> Pvalue.ty TInt);
+        r (lhs "writable")
+          [ lhs "env"; rhs 1 "name" ]
+          (fun args ->
+            match resolve_var ~ctx:"lv" args.(0) (as_str ~ctx:"lv" args.(1)) with
+            | Some (Pvalue.IVar _) -> Value.Bool true
+            | Some (Pvalue.IConst _ | Pvalue.IRoutine _) | None -> Value.Bool false);
+        r (lhs "acode")
+          [ lhs "env"; lhs "level"; rhs 1 "name" ]
+          (fun args ->
+            let cur = as_int ~ctx:"lv" args.(1) in
+            match resolve_var ~ctx:"lv" args.(0) (as_str ~ctx:"lv" args.(2)) with
+            | Some i -> code (Cg.asm (Cg.push_var_addr ~cur ~v:i))
+            | None -> code (Cg.asm [ Pushl (Imm 0) ]));
+        r (lhs "vcode")
+          [ lhs "env"; lhs "level"; rhs 1 "name" ]
+          (fun args ->
+            let cur = as_int ~ctx:"lv" args.(1) in
+            match resolve_var ~ctx:"lv" args.(0) (as_str ~ctx:"lv" args.(2)) with
+            | Some (Pvalue.IConst k) -> code (Cg.asm [ Pushl (Imm k) ])
+            | Some (Pvalue.IVar _ as i) ->
+                code
+                  (Cg.( ^^ )
+                     (Cg.asm (Cg.push_var_addr ~cur ~v:i))
+                     (Cg.asm Cg.deref_top))
+            | Some (Pvalue.IRoutine _) | None -> code (Cg.asm [ Pushl (Imm 0) ]));
+        r (lhs "errs")
+          [ lhs "env"; rhs 1 "name" ]
+          (fun args ->
+            let name = as_str ~ctx:"lv" args.(1) in
+            match resolve_var ~ctx:"lv" args.(0) name with
+            | Some (Pvalue.IRoutine _) ->
+                errs_v [ Printf.sprintf "routine %s used as a variable" name ]
+            | Some (Pvalue.IVar _ | Pvalue.IConst _) -> v_list []
+            | None -> errs_v [ Printf.sprintf "unknown identifier %s" name ]);
+      ];
+    prod "lv_index" "lvalue" [ "lvalue"; "expr" ]
+      (down [ 1; 2 ]
+      @ [
+          r (lhs "ty")
+            [ rhs 1 "ty" ]
+            (fun args ->
+              match aty ~ctx:"index" args.(0) with
+              | TArray (_, _, elem) -> Pvalue.ty elem
+              | TInt | TBool | TChar | TRecord _ -> Pvalue.ty TInt);
+          r (lhs "writable") [ rhs 1 "writable" ] id;
+          r (lhs "acode")
+            [ rhs 1 "acode"; rhs 1 "ty"; rhs 2 "code" ]
+            (fun args ->
+              let lo, elem_bytes =
+                match aty ~ctx:"index" args.(1) with
+                | TArray (lo, _, elem) -> (lo, 4 * Ast.ty_words elem)
+                | TInt | TBool | TChar | TRecord _ -> (0, 4)
+              in
+              code
+                (Cg.cconcat
+                   [
+                     as_code ~ctx:"index" args.(0);
+                     as_code ~ctx:"index" args.(2);
+                     Cg.asm
+                       [
+                         Movl (PostInc sp, Reg r1) (* index *);
+                         Movl (PostInc sp, Reg r0) (* base *);
+                         Subl2 (Imm lo, Reg r1);
+                         Mull2 (Imm elem_bytes, Reg r1);
+                         Addl2 (Reg r1, Reg r0);
+                         Pushl (Reg r0);
+                       ];
+                   ]));
+          r (lhs "vcode")
+            [ rhs 1 "acode"; rhs 1 "ty"; rhs 2 "code" ]
+            (fun args ->
+              let lo, elem_bytes, elem_scalar =
+                match aty ~ctx:"index" args.(1) with
+                | TArray (lo, _, elem) ->
+                    (lo, 4 * Ast.ty_words elem, Ast.is_scalar elem)
+                | TInt | TBool | TChar | TRecord _ -> (0, 4, true)
+              in
+              if not elem_scalar then code (Cg.asm [ Pushl (Imm 0) ])
+              else
+                code
+                  (Cg.cconcat
+                     [
+                       as_code ~ctx:"index" args.(0);
+                       as_code ~ctx:"index" args.(2);
+                       Cg.asm
+                         [
+                           Movl (PostInc sp, Reg r1);
+                           Movl (PostInc sp, Reg r0);
+                           Subl2 (Imm lo, Reg r1);
+                           Mull2 (Imm elem_bytes, Reg r1);
+                           Addl2 (Reg r1, Reg r0);
+                           Pushl (Deref r0);
+                         ];
+                     ]));
+          errs_up [ 1; 2 ]
+            ~extra:[ rhs 1 "ty"; rhs 2 "ty" ]
+            ~extra_fn:(fun args ->
+              (match aty ~ctx:"index" args.(2) with
+              | TArray _ -> []
+              | t ->
+                  [ Printf.sprintf "indexing a %s" (Ast.ty_to_string t) ])
+              @ want_ty "array index" TInt (aty ~ctx:"index" args.(3)));
+        ]);
+    prod "lv_field" "lvalue" [ "lvalue"; "ID" ]
+      (down [ 1 ]
+      @ [
+          r (lhs "ty")
+            [ rhs 1 "ty"; rhs 2 "name" ]
+            (fun args ->
+              match aty ~ctx:"field" args.(0) with
+              | TRecord fields -> (
+                  match List.assoc_opt (as_str ~ctx:"field" args.(1)) fields with
+                  | Some t -> Pvalue.ty t
+                  | None -> Pvalue.ty TInt)
+              | TInt | TBool | TChar | TArray _ -> Pvalue.ty TInt);
+          r (lhs "writable") [ rhs 1 "writable" ] id;
+          r (lhs "acode")
+            [ rhs 1 "acode"; rhs 1 "ty"; rhs 2 "name" ]
+            (fun args ->
+              let offset =
+                match aty ~ctx:"field" args.(1) with
+                | TRecord fields ->
+                    let rec off acc = function
+                      | [] -> 0
+                      | (n, t) :: rest ->
+                          if n = as_str ~ctx:"field" args.(2) then acc
+                          else off (acc + (4 * Ast.ty_words t)) rest
+                    in
+                    off 0 fields
+                | TInt | TBool | TChar | TArray _ -> 0
+              in
+              code
+                (Cg.( ^^ )
+                   (as_code ~ctx:"field" args.(0))
+                   (if offset = 0 then Cg.empty
+                    else
+                      Cg.asm
+                        [
+                          Movl (PostInc sp, Reg r0);
+                          Addl2 (Imm offset, Reg r0);
+                          Pushl (Reg r0);
+                        ])));
+          r (lhs "vcode")
+            [ rhs 1 "acode"; rhs 1 "ty"; rhs 2 "name" ]
+            (fun args ->
+              let fields =
+                match aty ~ctx:"field" args.(1) with
+                | TRecord fields -> fields
+                | TInt | TBool | TChar | TArray _ -> []
+              in
+              let fname = as_str ~ctx:"field" args.(2) in
+              let offset =
+                let rec off acc = function
+                  | [] -> 0
+                  | (n, t) :: rest ->
+                      if n = fname then acc else off (acc + (4 * Ast.ty_words t)) rest
+                in
+                off 0 fields
+              in
+              let scalar =
+                match List.assoc_opt fname fields with
+                | Some t -> Ast.is_scalar t
+                | None -> true
+              in
+              if not scalar then code (Cg.asm [ Pushl (Imm 0) ])
+              else
+                code
+                  (Cg.( ^^ )
+                     (as_code ~ctx:"field" args.(0))
+                     (Cg.asm
+                        [
+                          Movl (PostInc sp, Reg r0);
+                          Pushl (Disp (offset, r0));
+                        ])));
+          errs_up [ 1 ]
+            ~extra:[ rhs 1 "ty"; rhs 2 "name" ]
+            ~extra_fn:(fun args ->
+              match aty ~ctx:"field" args.(1) with
+              | TRecord fields ->
+                  let fname = as_str ~ctx:"field" args.(2) in
+                  if List.mem_assoc fname fields then []
+                  else [ Printf.sprintf "unknown field %s" fname ]
+              | t ->
+                  [
+                    Printf.sprintf "field access on a %s" (Ast.ty_to_string t);
+                  ]);
+        ]);
+  ]

@@ -1,0 +1,283 @@
+open Ast
+
+type error =
+  | Unbound of string
+  | Type_error of string
+  | Out_of_bounds of string
+  | Div_by_zero
+  | No_input
+  | Fuel_exhausted
+
+exception Error of error
+
+let error_to_string = function
+  | Unbound s -> Printf.sprintf "unbound identifier %S" s
+  | Type_error s -> Printf.sprintf "type error: %s" s
+  | Out_of_bounds s -> Printf.sprintf "out of bounds: %s" s
+  | Div_by_zero -> "division by zero"
+  | No_input -> "read past end of input"
+  | Fuel_exhausted -> "fuel exhausted (likely an infinite loop)"
+
+let err e = raise (Error e)
+
+(* Runtime values and storage. Scalars live in refs so that reference
+   parameters alias them; composites are mutable structures. *)
+type rval = VInt of int | VBool of bool | VChar of char
+
+type storage =
+  | Scalar of rval ref
+  | Arr of int * storage array (* low bound, cells *)
+  | Rec of (string * storage) list
+
+type entry =
+  | EVar of storage
+  | EConst of int
+  | ERoutine of routine * env ref (* closure over the defining scope *)
+
+and env = (string * entry) list
+
+type state = {
+  out : Buffer.t;
+  mutable input : int list;
+  mutable fuel : int;
+}
+
+let rec alloc = function
+  | TInt -> Scalar (ref (VInt 0))
+  | TBool -> Scalar (ref (VBool false))
+  | TChar -> Scalar (ref (VChar (Char.chr 0)))
+  | TArray (lo, hi, elem) -> Arr (lo, Array.init (hi - lo + 1) (fun _ -> alloc elem))
+  | TRecord fields -> Rec (List.map (fun (n, t) -> (n, alloc t)) fields)
+
+let as_int = function
+  | VInt n -> n
+  | VChar c -> Char.code c
+  | VBool _ -> err (Type_error "expected integer")
+
+let as_bool = function
+  | VBool b -> b
+  | VInt _ | VChar _ -> err (Type_error "expected boolean")
+
+let lookup env name =
+  match List.assoc_opt name env with
+  | Some e -> e
+  | None -> err (Unbound name)
+
+let rec resolve_lvalue st env = function
+  | LId name -> (
+      match lookup env name with
+      | EVar s -> s
+      | EConst _ -> err (Type_error (name ^ " is a constant"))
+      | ERoutine _ -> err (Type_error (name ^ " is a routine")))
+  | LIndex (base, idx) -> (
+      match resolve_lvalue st env base with
+      | Arr (lo, cells) ->
+          let i = as_int (eval_expr st env idx) in
+          if i < lo || i - lo >= Array.length cells then
+            err (Out_of_bounds (Printf.sprintf "index %d" i))
+          else cells.(i - lo)
+      | Scalar _ | Rec _ -> err (Type_error "indexing a non-array"))
+  | LField (base, f) -> (
+      match resolve_lvalue st env base with
+      | Rec fields -> (
+          match List.assoc_opt f fields with
+          | Some s -> s
+          | None -> err (Unbound ("field " ^ f)))
+      | Scalar _ | Arr _ -> err (Type_error "field access on a non-record"))
+
+and scalar_of st env lv =
+  match resolve_lvalue st env lv with
+  | Scalar r -> r
+  | Arr _ | Rec _ -> err (Type_error "composite value used as a scalar")
+
+and eval_expr st env = function
+  | EInt n -> VInt n
+  | EBool b -> VBool b
+  | EChar c -> VChar c
+  | ELval (LId name) -> (
+      match lookup env name with
+      | EConst v -> VInt v
+      | EVar (Scalar r) -> !r
+      | EVar _ -> err (Type_error (name ^ " is not a scalar"))
+      | ERoutine _ -> eval_call st env name [] (* parameterless function *))
+  | ELval lv -> !(scalar_of st env lv)
+  | EBin (op, a, b) -> (
+      let va = eval_expr st env a in
+      let vb = eval_expr st env b in
+      match op with
+      | Add -> VInt (as_int va + as_int vb)
+      | Sub -> VInt (as_int va - as_int vb)
+      | Mul -> VInt (as_int va * as_int vb)
+      | Div ->
+          if as_int vb = 0 then err Div_by_zero else VInt (as_int va / as_int vb)
+      | Mod ->
+          if as_int vb = 0 then err Div_by_zero
+          else
+            (* match the compiled code: a - (a div b) * b *)
+            let x = as_int va and y = as_int vb in
+            VInt (x - (x / y * y))
+      | And -> VBool (as_bool va && as_bool vb)
+      | Or -> VBool (as_bool va || as_bool vb)
+      | Eq -> VBool (compare_vals va vb = 0)
+      | Ne -> VBool (compare_vals va vb <> 0)
+      | Lt -> VBool (compare_vals va vb < 0)
+      | Le -> VBool (compare_vals va vb <= 0)
+      | Gt -> VBool (compare_vals va vb > 0)
+      | Ge -> VBool (compare_vals va vb >= 0))
+  | EUn (Neg, e) -> VInt (-as_int (eval_expr st env e))
+  | EUn (Not, e) -> VBool (not (as_bool (eval_expr st env e)))
+  | ECall (name, args) -> eval_call st env name args
+
+and compare_vals a b =
+  match (a, b) with
+  | VInt x, VInt y -> compare x y
+  | VChar x, VChar y -> compare x y
+  | VBool x, VBool y -> compare x y
+  | VInt x, VChar y -> compare x (Char.code y)
+  | VChar x, VInt y -> compare (Char.code x) y
+  | _ -> err (Type_error "comparing incompatible values")
+
+and eval_call st env name args =
+  (* Inside a function body the function's name is shadowed by its result
+     slot; a call must still reach the routine (recursion). *)
+  let entry =
+    match List.find_opt (fun (n, e) -> n = name && match e with ERoutine _ -> true | _ -> false) env with
+    | Some (_, e) -> e
+    | None -> lookup env name
+  in
+  match entry with
+  | ERoutine (r, closure) ->
+      if List.length args <> List.length r.r_params then
+        err (Type_error (Printf.sprintf "%s expects %d arguments" name
+                           (List.length r.r_params)));
+      (* Bind parameters strictly left to right (matching the generated
+         code's evaluation order): by-ref shares storage, by-value copies
+         scalars. *)
+      let bindings =
+        List.rev
+          (List.fold_left2
+             (fun acc p arg ->
+               let binding =
+                 if p.p_ref then
+                   match arg with
+                   | ELval lv -> (p.p_name, EVar (resolve_lvalue st env lv))
+                   | _ ->
+                       err
+                         (Type_error
+                            ("var parameter " ^ p.p_name ^ " needs a variable"))
+                 else begin
+                   if not (is_scalar p.p_ty) then
+                     err
+                       (Type_error
+                          ("composite parameter " ^ p.p_name ^ " must be var"));
+                   let v = eval_expr st env arg in
+                   (p.p_name, EVar (Scalar (ref v)))
+                 end
+               in
+               binding :: acc)
+             [] r.r_params args)
+      in
+      let result = alloc (Option.value ~default:TInt r.r_ret) in
+      let inner_env =
+        (* function name bound to the result slot for assignment *)
+        (match r.r_ret with
+        | Some _ -> [ (r.r_name, EVar result) ]
+        | None -> [])
+        @ bindings @ !closure
+      in
+      run_block st inner_env r.r_block;
+      (match (r.r_ret, result) with
+      | Some _, Scalar res -> !res
+      | Some _, _ -> err (Type_error "function result must be scalar")
+      | None, _ -> VInt 0)
+  | EVar _ | EConst _ -> err (Type_error (name ^ " is not a routine"))
+
+and run_block st env block =
+  (* Two-step scope construction so sibling routines can call each other. *)
+  let scope = ref env in
+  let additions =
+    List.map
+      (fun d ->
+        match d with
+        | DConst (n, v) -> (n, EConst v)
+        | DVar (n, t) -> (n, EVar (alloc t))
+        | DRoutine r -> (r.r_name, ERoutine (r, scope)))
+      block.b_decls
+  in
+  scope := additions @ env;
+  run_stmts st !scope block.b_body
+
+and run_stmts st env stmts = List.iter (run_stmt st env) stmts
+
+and run_stmt st env stmt =
+  if st.fuel <= 0 then err Fuel_exhausted;
+  st.fuel <- st.fuel - 1;
+  match stmt with
+  | SAssign (lv, e) ->
+      let v = eval_expr st env e in
+      let cell = scalar_of st env lv in
+      cell := v
+  | SIf (c, t, e) ->
+      if as_bool (eval_expr st env c) then run_stmts st env t
+      else run_stmts st env e
+  | SWhile (c, body) ->
+      while as_bool (eval_expr st env c) do
+        if st.fuel <= 0 then err Fuel_exhausted;
+        st.fuel <- st.fuel - 1;
+        run_stmts st env body
+      done
+  | SRepeat (body, c) ->
+      let continue_ = ref true in
+      while !continue_ do
+        if st.fuel <= 0 then err Fuel_exhausted;
+        st.fuel <- st.fuel - 1;
+        run_stmts st env body;
+        if as_bool (eval_expr st env c) then continue_ := false
+      done
+  | SFor (v, e1, up, e2, body) ->
+      let cell =
+        match lookup env v with
+        | EVar (Scalar r) -> r
+        | _ -> err (Type_error ("for variable " ^ v ^ " must be a scalar"))
+      in
+      let lo = as_int (eval_expr st env e1) in
+      let hi = as_int (eval_expr st env e2) in
+      let i = ref lo in
+      let cond () = if up then !i <= hi else !i >= hi in
+      while cond () do
+        if st.fuel <= 0 then err Fuel_exhausted;
+        st.fuel <- st.fuel - 1;
+        cell := VInt !i;
+        run_stmts st env body;
+        i := !i + (if up then 1 else -1)
+      done
+  | SCase (e, arms, default) -> (
+      let v = as_int (eval_expr st env e) in
+      match List.find_opt (fun (consts, _) -> List.mem v consts) arms with
+      | Some (_, body) -> run_stmts st env body
+      | None -> (
+          match default with Some body -> run_stmts st env body | None -> ()))
+  | SCall (name, args) -> ignore (eval_call st env name args)
+  | SWrite (args, ln) ->
+      List.iter
+        (fun e ->
+          match eval_expr st env e with
+          | VInt n -> Buffer.add_string st.out (string_of_int n)
+          | VBool b -> Buffer.add_string st.out (if b then "true" else "false")
+          | VChar c -> Buffer.add_char st.out c)
+        args;
+      if ln then Buffer.add_char st.out '\n'
+  | SRead lv -> (
+      match st.input with
+      | [] -> err No_input
+      | v :: rest ->
+          st.input <- rest;
+          let cell = scalar_of st env lv in
+          cell := VInt v)
+
+let run ?(fuel = 10_000_000) ?(input = []) prog =
+  let st = { out = Buffer.create 256; input; fuel } in
+  try
+    run_block st [] prog.prog_block;
+    Ok (Buffer.contents st.out)
+  with Error e -> Error e

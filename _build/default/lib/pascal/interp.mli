@@ -1,0 +1,22 @@
+(** Reference interpreter for the Pascal subset.
+
+    Direct tree-walking interpreter with proper static scoping, reference
+    parameters (aliasing), and the same observable I/O behaviour as the
+    compiled code running on the {!Vax.Machine} runtime — the oracle for
+    differential testing of the compiler. *)
+
+type error =
+  | Unbound of string
+  | Type_error of string
+  | Out_of_bounds of string
+  | Div_by_zero
+  | No_input
+  | Fuel_exhausted
+
+exception Error of error
+
+val error_to_string : error -> string
+
+(** [run ?fuel ?input prog] executes and returns the output text. [fuel]
+    bounds the number of statements executed (default 10 million). *)
+val run : ?fuel:int -> ?input:int list -> Ast.program -> (string, error) result

@@ -1,0 +1,150 @@
+exception Lex_error of int * string
+
+let error line fmt = Printf.ksprintf (fun s -> raise (Lex_error (line, s))) fmt
+
+let keywords =
+  [
+    ("program", Token.PROGRAM);
+    ("const", Token.CONST);
+    ("var", Token.VAR);
+    ("procedure", Token.PROCEDURE);
+    ("function", Token.FUNCTION);
+    ("begin", Token.BEGIN);
+    ("end", Token.END);
+    ("if", Token.IF);
+    ("then", Token.THEN);
+    ("else", Token.ELSE);
+    ("while", Token.WHILE);
+    ("do", Token.DO);
+    ("repeat", Token.REPEAT);
+    ("until", Token.UNTIL);
+    ("for", Token.FOR);
+    ("to", Token.TO);
+    ("downto", Token.DOWNTO);
+    ("case", Token.CASE);
+    ("of", Token.OF);
+    ("array", Token.ARRAY);
+    ("record", Token.RECORD);
+    ("integer", Token.INTEGER);
+    ("boolean", Token.BOOLEAN);
+    ("char", Token.CHAR);
+    ("true", Token.TRUE);
+    ("false", Token.FALSE);
+    ("div", Token.DIV);
+    ("mod", Token.MOD);
+    ("and", Token.AND);
+    ("or", Token.OR);
+    ("not", Token.NOT);
+    ("write", Token.WRITE);
+    ("writeln", Token.WRITELN);
+    ("read", Token.READ);
+  ]
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '{' then begin
+      (* { ... } comment *)
+      incr pos;
+      while !pos < n && src.[!pos] <> '}' do
+        if src.[!pos] = '\n' then incr line;
+        incr pos
+      done;
+      if !pos >= n then error !line "unterminated { comment"
+      else incr pos
+    end
+    else if c = '(' && peek 1 = Some '*' then begin
+      (* (* ... *) comment *)
+      pos := !pos + 2;
+      let fin = ref false in
+      while not !fin do
+        if !pos + 1 >= n then error !line "unterminated (* comment"
+        else if src.[!pos] = '*' && src.[!pos + 1] = ')' then begin
+          pos := !pos + 2;
+          fin := true
+        end
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos
+        end
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      emit (Token.NUM (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && (is_alpha src.[!pos] || is_digit src.[!pos]) do
+        incr pos
+      done;
+      let word = String.lowercase_ascii (String.sub src start (!pos - start)) in
+      match List.assoc_opt word keywords with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word)
+    end
+    else if c = '\'' then begin
+      (* character literal; '' inside quotes denotes the quote itself *)
+      if !pos + 2 < n && src.[!pos + 1] = '\'' && src.[!pos + 2] = '\'' && peek 3 = Some '\''
+      then begin
+        emit (Token.CHARLIT '\'');
+        pos := !pos + 4
+      end
+      else if !pos + 2 < n && src.[!pos + 2] = '\'' then begin
+        emit (Token.CHARLIT src.[!pos + 1]);
+        pos := !pos + 3
+      end
+      else error !line "bad character literal"
+    end
+    else begin
+      let two t =
+        emit t;
+        pos := !pos + 2
+      in
+      let one t =
+        emit t;
+        incr pos
+      in
+      match (c, peek 1) with
+      | ':', Some '=' -> two Token.ASSIGN
+      | '<', Some '=' -> two Token.LE
+      | '<', Some '>' -> two Token.NE
+      | '>', Some '=' -> two Token.GE
+      | '.', Some '.' -> two Token.DOTDOT
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '=', _ -> one Token.EQ
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | ';', _ -> one Token.SEMI
+      | ':', _ -> one Token.COLON
+      | ',', _ -> one Token.COMMA
+      | '.', _ -> one Token.DOT
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | _ -> error !line "unexpected character %C" c
+    end
+  done;
+  emit Token.EOF;
+  List.rev !toks

@@ -1,0 +1,8 @@
+(** Hand-written scanner for the Pascal subset. Case-insensitive keywords,
+    [{ }] and [(* *)] comments, decimal numbers, ['c'] character literals. *)
+
+exception Lex_error of int * string
+(** line (1-based), message *)
+
+(** Tokens with their line numbers; ends with [EOF]. *)
+val tokenize : string -> (Token.t * int) list

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the Pascal subset.
+
+    (The paper generates its parser with YACC; the equivalent generated
+    path in this repository is the {!Lrgen}/{!Agspec} pipeline, demonstrated
+    on the appendix grammar. The production Pascal front end is hand written
+    for precision of error messages.) *)
+
+exception Parse_error of int * string
+
+val parse_program : string -> Ast.program
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

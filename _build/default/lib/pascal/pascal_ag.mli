@@ -1,0 +1,43 @@
+(** The Pascal-subset compiler as an attribute grammar.
+
+    Two-visit structure, matching the phases visible in the paper's figure 6:
+    visit 1 collects declarations bottom-up ([dlist], [plist], [ty]); the
+    scope combination at each block turns them into the symbol-table
+    attribute [env] (a priority attribute) that flows back down, and visit 2
+    performs type checking and VAX code generation ([code], [errs]).
+
+    [code] values are {!Pag_core.Codestr} assembly text: concatenation is
+    O(1) and the string librarian dismantles them at fragment boundaries.
+    Parse trees may be split at statements, statement lists, declarations and
+    declaration lists, as in the paper.
+
+    The grammar comes in two variants differing in how unique labels are
+    generated (paper, end of section 4.3):
+    - [`Base]: semantic rules draw labels from the per-evaluator base value
+      handed out by the parser ({!Pag_core.Uid}) — the paper's fix;
+    - [`Threaded]: a counter attribute [lab_in]/[lab_out] is threaded
+      through the entire tree, the conventional sequential technique whose
+      cross-fragment dependency chain serializes parallel evaluation — the
+      ablation of experiment E7. *)
+
+open Pag_core
+
+type mode = [ `Base | `Threaded ]
+
+val make : mode -> Grammar.t
+
+(** Cached [`Base] grammar. *)
+val grammar : Grammar.t
+
+(** Cached [`Threaded] grammar. *)
+val grammar_threaded : Grammar.t
+
+(** Build the attribute-grammar parse tree of a program. The same shapes
+    work for both variants (pass the grammar the tree is for). *)
+val tree_of_program : Grammar.t -> Ast.program -> Tree.t
+
+(** Convenience accessors on the evaluated root attributes. *)
+
+val code_of_attrs : (string * Value.t) list -> string
+
+val errors_of_attrs : (string * Value.t) list -> string list

@@ -1,0 +1,29 @@
+open Vax.Isa
+
+let uses_sp = function
+  | Reg r | Deref r | Disp (_, r) | PostInc r | PreDec r -> r = sp
+  | Imm _ | Lbl _ -> false
+
+let rec rewrite = function
+  | [] -> []
+  (* pushl X; movl (sp)+, rN  ->  movl X, rN *)
+  | Pushl x :: Movl (PostInc 14, Reg n) :: rest when not (uses_sp x) ->
+      rewrite (Movl (x, Reg n) :: rest)
+  (* movl rN, rN -> (nothing) *)
+  | Movl (Reg a, Reg b) :: rest when a = b -> rewrite rest
+  (* brb L; L: -> L: *)
+  | Brb l :: Label l' :: rest when l = l' -> rewrite (Label l' :: rest)
+  | i :: rest -> i :: rewrite rest
+
+let rec fix instrs =
+  let out = rewrite instrs in
+  if List.length out = List.length instrs then out else fix out
+
+let optimize instrs = fix instrs
+
+let optimize_text text =
+  Vax.Isa.to_string (optimize (Vax.Asm_parser.parse text))
+
+let instr_count instrs =
+  List.length
+    (List.filter (function Label _ | Comment _ -> false | _ -> true) instrs)

@@ -1,0 +1,20 @@
+(** Local (peephole) optimization of generated VAX code — the paper's
+    "limited amount of local optimization" (section 3). Rewrites adjacent
+    instruction pairs until a fixpoint:
+
+    - [pushl X; movl (sp)+, rN]  becomes  [movl X, rN]  (X not sp-relative)
+    - [movl rN, rN]              is deleted
+    - [moval d(r), r0; pushl r0; movl (sp)+, rM] collapses via the above
+    - [brb L] immediately followed by [L:] is deleted
+
+    Condition codes set by deleted moves are never consumed by the code
+    generator's output patterns (branches always follow an explicit [cmpl] or
+    [tstl]), so the rewrites are sound for generated code. *)
+
+val optimize : Vax.Isa.instr list -> Vax.Isa.instr list
+
+(** Parse assembly text, optimize, re-emit. *)
+val optimize_text : string -> string
+
+(** Instruction count excluding labels and comments. *)
+val instr_count : Vax.Isa.instr list -> int

@@ -1,0 +1,168 @@
+open Ast
+
+let buf_add = Buffer.add_string
+
+let rec pp_ty = function
+  | TInt -> "integer"
+  | TBool -> "boolean"
+  | TChar -> "char"
+  | TArray (lo, hi, e) -> Printf.sprintf "array [%d..%d] of %s" lo hi (pp_ty e)
+  | TRecord fields ->
+      "record "
+      ^ String.concat "; " (List.map (fun (n, t) -> n ^ " : " ^ pp_ty t) fields)
+      ^ " end"
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+  | And -> "and"
+  | Or -> "or"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr = function
+  | EInt n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | EBool true -> "true"
+  | EBool false -> "false"
+  | EChar '\'' -> "''''"
+  | EChar c -> Printf.sprintf "'%c'" c
+  | ELval lv -> pp_lvalue lv
+  | EBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (pp_expr a) (binop_str op) (pp_expr b)
+  | EUn (Neg, e) -> Printf.sprintf "(-%s)" (pp_expr e)
+  | EUn (Not, e) -> Printf.sprintf "(not %s)" (pp_expr e)
+  | ECall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map pp_expr args))
+
+and pp_lvalue = function
+  | LId n -> n
+  | LIndex (b, e) -> Printf.sprintf "%s[%s]" (pp_lvalue b) (pp_expr e)
+  | LField (b, f) -> Printf.sprintf "%s.%s" (pp_lvalue b) f
+
+let rec pp_stmts buf indent stmts =
+  let n = List.length stmts in
+  List.iteri
+    (fun i s ->
+      pp_stmt buf indent s;
+      if i < n - 1 then buf_add buf ";";
+      buf_add buf "\n")
+    stmts
+
+and pp_stmt buf indent s =
+  let pad = String.make indent ' ' in
+  let compound body =
+    buf_add buf "begin\n";
+    pp_stmts buf (indent + 2) body;
+    buf_add buf (pad ^ "end")
+  in
+  buf_add buf pad;
+  match s with
+  | SAssign (lv, e) -> buf_add buf (pp_lvalue lv ^ " := " ^ pp_expr e)
+  | SIf (c, t, []) ->
+      buf_add buf ("if " ^ pp_expr c ^ " then ");
+      compound t
+  | SIf (c, t, e) ->
+      buf_add buf ("if " ^ pp_expr c ^ " then ");
+      compound t;
+      buf_add buf " else ";
+      compound e
+  | SWhile (c, body) ->
+      buf_add buf ("while " ^ pp_expr c ^ " do ");
+      compound body
+  | SRepeat (body, c) ->
+      buf_add buf "repeat\n";
+      pp_stmts buf (indent + 2) body;
+      buf_add buf (pad ^ "until " ^ pp_expr c)
+  | SFor (v, e1, up, e2, body) ->
+      buf_add buf
+        (Printf.sprintf "for %s := %s %s %s do " v (pp_expr e1)
+           (if up then "to" else "downto")
+           (pp_expr e2));
+      compound body
+  | SCase (e, arms, default) ->
+      buf_add buf ("case " ^ pp_expr e ^ " of\n");
+      let n = List.length arms in
+      List.iteri
+        (fun i (consts, body) ->
+          buf_add buf
+            (pad ^ "  "
+            ^ String.concat ", " (List.map string_of_int consts)
+            ^ ": ");
+          buf_add buf "begin\n";
+          pp_stmts buf (indent + 4) body;
+          buf_add buf (pad ^ "  end");
+          if i < n - 1 || default <> None then buf_add buf ";";
+          buf_add buf "\n")
+        arms;
+      (match default with
+      | None -> ()
+      | Some body ->
+          buf_add buf (pad ^ "  else ");
+          buf_add buf "begin\n";
+          pp_stmts buf (indent + 4) body;
+          buf_add buf (pad ^ "  end\n"));
+      buf_add buf (pad ^ "end")
+  | SCall (f, []) -> buf_add buf f
+  | SCall (f, args) ->
+      buf_add buf
+        (Printf.sprintf "%s(%s)" f (String.concat ", " (List.map pp_expr args)))
+  | SWrite (args, ln) ->
+      let kw = if ln then "writeln" else "write" in
+      if args = [] && ln then buf_add buf kw
+      else
+        buf_add buf
+          (Printf.sprintf "%s(%s)" kw
+             (String.concat ", " (List.map pp_expr args)))
+  | SRead lv -> buf_add buf (Printf.sprintf "read(%s)" (pp_lvalue lv))
+
+let rec pp_block buf indent (b : block) =
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun d ->
+      match d with
+      | DConst (n, v) -> buf_add buf (Printf.sprintf "%sconst %s = %d;\n" pad n v)
+      | DVar (n, t) -> buf_add buf (Printf.sprintf "%svar %s : %s;\n" pad n (pp_ty t))
+      | DRoutine r ->
+          let params =
+            if r.r_params = [] then ""
+            else
+              "("
+              ^ String.concat "; "
+                  (List.map
+                     (fun p ->
+                       (if p.p_ref then "var " else "")
+                       ^ p.p_name ^ " : " ^ pp_ty p.p_ty)
+                     r.r_params)
+              ^ ")"
+          in
+          (match r.r_ret with
+          | None ->
+              buf_add buf (Printf.sprintf "%sprocedure %s%s;\n" pad r.r_name params)
+          | Some t ->
+              buf_add buf
+                (Printf.sprintf "%sfunction %s%s : %s;\n" pad r.r_name params
+                   (pp_ty t)));
+          pp_block buf (indent + 2) r.r_block;
+          buf_add buf ";\n")
+    b.b_decls;
+  buf_add buf (pad ^ "begin\n");
+  pp_stmts buf (indent + 2) b.b_body;
+  buf_add buf (pad ^ "end")
+
+let program_to_string (p : program) =
+  let buf = Buffer.create 4096 in
+  buf_add buf (Printf.sprintf "program %s;\n" p.prog_name);
+  pp_block buf 0 p.prog_block;
+  buf_add buf ".\n";
+  Buffer.contents buf
+
+let line_count p =
+  let s = program_to_string p in
+  List.length (String.split_on_char '\n' s)

@@ -1,0 +1,7 @@
+(** Pretty-printer for the Pascal subset: emits source text that the lexer
+    and parser accept, so [parse (to_string p)] round-trips. Used to size
+    generated workloads in source lines and to debug the program generator. *)
+
+val program_to_string : Ast.program -> string
+
+val line_count : Ast.program -> int

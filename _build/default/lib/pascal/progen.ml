@@ -1,0 +1,373 @@
+open Ast
+
+type cfg = {
+  g_routines : int;
+  g_nested : int;
+  g_max_level : int;
+  g_stmts : int;
+  g_expr_depth : int;
+  g_reads : int;
+}
+
+let small =
+  {
+    g_routines = 3;
+    g_nested = 1;
+    g_max_level = 2;
+    g_stmts = 4;
+    g_expr_depth = 2;
+    g_reads = 2;
+  }
+
+let medium =
+  {
+    g_routines = 10;
+    g_nested = 1;
+    g_max_level = 3;
+    g_stmts = 8;
+    g_expr_depth = 3;
+    g_reads = 4;
+  }
+
+(* The paper's workload is a compiler + interpreter for a course language:
+   a handful of big top-level modules, each containing a cluster of nested
+   procedures, some nested deeper than one level. Five roughly equal
+   modules are what makes the paper's 5-machine decomposition come out
+   even. *)
+let paper =
+  {
+    g_routines = 5;
+    g_nested = 7;
+    g_max_level = 4;
+    g_stmts = 26;
+    g_expr_depth = 3;
+    g_reads = 0;
+  }
+
+(* Visible names while generating one body. Separate pools guarantee loop
+   counters are never clobbered by other statements, so all loops are
+   bounded. *)
+type scope = {
+  ints : string list; (* assignable integer variables *)
+  loops : string list; (* for-loop induction variables *)
+  counters : string list; (* while/repeat counters *)
+  consts : (string * int) list;
+  arrays : (string * int * int) list; (* int arrays: name, lo, hi *)
+  records : (string * string list) list; (* name, integer fields *)
+  callables : (string * param list * bool) list; (* name, params, is_func *)
+  reads_ok : bool; (* read statements only where they execute exactly once *)
+  calls_ok : bool; (* no calls inside loops: keeps total runtime linear *)
+}
+
+type gctx = {
+  mutable st : Random.State.t;
+  cfg : cfg;
+  mutable fresh : int;
+  reads : int ref;
+}
+
+let fresh g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+let pick g l = List.nth l (Random.State.int g.st (List.length l))
+
+let chance g pct = Random.State.int g.st 100 < pct
+
+(* ---------------- expressions ---------------- *)
+
+let rec int_expr g sc depth =
+  if depth = 0 then int_leaf g sc
+  else
+    match Random.State.int g.st 7 with
+    | 0 -> EBin (Add, int_expr g sc (depth - 1), int_expr g sc (depth - 1))
+    | 1 -> EBin (Sub, int_expr g sc (depth - 1), int_expr g sc (depth - 1))
+    | 2 -> EBin (Mul, int_expr g sc (depth - 1), EInt (Random.State.int g.st 5))
+    | 3 ->
+        (* positive constant divisor keeps division defined *)
+        EBin (Div, int_expr g sc (depth - 1), EInt (2 + Random.State.int g.st 8))
+    | 4 ->
+        EBin (Mod, int_expr g sc (depth - 1), EInt (2 + Random.State.int g.st 8))
+    | 5 -> (
+        (* call a function when one is in scope (and not inside a loop) *)
+        match
+          if sc.calls_ok then List.filter (fun (_, _, f) -> f) sc.callables
+          else []
+        with
+        | [] -> int_leaf g sc
+        | fns ->
+            let name, params, _ = pick g fns in
+            ECall (name, List.map (fun p -> arg_for g sc p) params))
+    | _ -> EUn (Neg, int_expr g sc (depth - 1))
+
+and int_leaf g sc =
+  match Random.State.int g.st 4 with
+  | 0 -> EInt (Random.State.int g.st 50)
+  | 1 when sc.ints <> [] -> ELval (LId (pick g sc.ints))
+  | 2 when sc.consts <> [] -> ELval (LId (fst (pick g sc.consts)))
+  | 3 when sc.records <> [] ->
+      let name, fields = pick g sc.records in
+      ELval (LField (LId name, pick g fields))
+  | _ -> EInt (Random.State.int g.st 50)
+
+and arg_for g sc (p : param) =
+  if p.p_ref then
+    (* var parameters need a variable *)
+    match sc.ints with
+    | [] -> ELval (LId "gsink")
+    | l -> ELval (LId (pick g l))
+  else int_expr g sc 1
+
+let bool_expr g sc depth =
+  let cmp () =
+    let ops = [ Eq; Ne; Lt; Le; Gt; Ge ] in
+    EBin (pick g ops, int_expr g sc (min depth 2), int_expr g sc (min depth 2))
+  in
+  if depth = 0 then cmp ()
+  else
+    match Random.State.int g.st 4 with
+    | 0 -> EBin (And, cmp (), cmp ())
+    | 1 -> EBin (Or, cmp (), cmp ())
+    | 2 -> EUn (Not, cmp ())
+    | _ -> cmp ()
+
+(* ---------------- statements ---------------- *)
+
+let assign_target g sc =
+  match Random.State.int g.st 3 with
+  | 0 when sc.arrays <> [] ->
+      let name, lo, hi = pick g sc.arrays in
+      LIndex (LId name, EInt (lo + Random.State.int g.st (hi - lo + 1)))
+  | 1 when sc.records <> [] ->
+      let name, fields = pick g sc.records in
+      LField (LId name, pick g fields)
+  | _ -> LId (pick g sc.ints)
+
+let rec stmt g sc budget =
+  let d = g.cfg.g_expr_depth in
+  match Random.State.int g.st 11 with
+  | 0 | 1 -> SAssign (assign_target g sc, int_expr g sc d)
+  | 2 -> SWrite ([ int_expr g sc d ], true)
+  | 3 ->
+      SIf
+        ( bool_expr g sc 1,
+          body g sc (budget / 2),
+          if chance g 50 then body g sc (budget / 2) else [] )
+  | 4 when sc.loops <> [] ->
+      let v = pick g sc.loops in
+      let lo = Random.State.int g.st 5 in
+      let hi = lo + 1 + Random.State.int g.st 6 in
+      let up = chance g 80 in
+      SFor
+        ( v,
+          EInt (if up then lo else hi),
+          up,
+          EInt (if up then hi else lo),
+          body g ~in_loop:true
+            { sc with loops = List.filter (fun x -> x <> v) sc.loops }
+            (budget / 2) )
+  | 5 when sc.counters <> [] ->
+      let c = pick g sc.counters in
+      let inner =
+        body g ~in_loop:true
+          { sc with counters = List.filter (fun x -> x <> c) sc.counters }
+          (budget / 2)
+      in
+      SWhile
+        ( EBin (Gt, ELval (LId c), EInt 0),
+          inner @ [ SAssign (LId c, EBin (Sub, ELval (LId c), EInt 1)) ] )
+  | 6 ->
+      SCase
+        ( EBin (Mod, int_expr g sc d, EInt 3),
+          [ ([ 0 ], body g sc 1); ([ 1; 2 ], body g sc 1) ],
+          if chance g 50 then Some (body g sc 1) else None )
+  | 7 when sc.calls_ok && List.exists (fun (_, _, f) -> not f) sc.callables ->
+      let procs = List.filter (fun (_, _, f) -> not f) sc.callables in
+      let name, params, _ = pick g procs in
+      SCall (name, List.map (fun p -> arg_for g sc p) params)
+  | 8 when sc.reads_ok && !(g.reads) < g.cfg.g_reads ->
+      incr g.reads;
+      SRead (LId (pick g sc.ints))
+  | 9 when sc.arrays <> [] && sc.loops <> [] ->
+      (* the classic array-fill loop *)
+      let name, lo, hi = pick g sc.arrays in
+      let v = pick g sc.loops in
+      SFor
+        ( v,
+          EInt lo,
+          true,
+          EInt hi,
+          [
+            SAssign
+              ( LIndex (LId name, ELval (LId v)),
+                EBin (Add, ELval (LId v), int_expr g sc 1) );
+          ] )
+  | 10 when sc.counters <> [] ->
+      let c = pick g sc.counters in
+      let inner =
+        body g ~in_loop:true
+          { sc with counters = List.filter (fun x -> x <> c) sc.counters }
+          (budget / 2)
+      in
+      SRepeat
+        ( (SAssign (LId c, EBin (Sub, ELval (LId c), EInt 1)) :: inner),
+          EBin (Le, ELval (LId c), EInt 0) )
+  | _ -> SAssign (LId (pick g sc.ints), int_expr g sc d)
+
+and body g ?(in_loop = false) sc budget =
+  (* bodies of loops and branches may run any number of times: no reads;
+     bodies inside loops additionally make no calls *)
+  let sc =
+    { sc with reads_ok = false; calls_ok = sc.calls_ok && not in_loop }
+  in
+  if budget <= 0 then [ SAssign (LId (pick g sc.ints), int_expr g sc 1) ]
+  else List.init (1 + Random.State.int g.st (max 1 budget)) (fun _ -> stmt g sc 2)
+
+(* counters must start small and positive before their loops *)
+let init_counters g sc =
+  List.map (fun c -> SAssign (LId c, EInt (1 + Random.State.int g.st 4))) sc.counters
+
+(* ---------------- routines ---------------- *)
+
+(* Declarations for one routine (or the main block): variable pools plus an
+   array and a record now and then. Returns the declarations and the scope
+   they contribute. *)
+let make_locals g ~prefix =
+  let ints = List.init 3 (fun _ -> fresh g (prefix ^ "v")) in
+  let loops = List.init 2 (fun _ -> fresh g (prefix ^ "i")) in
+  let counters = [ fresh g (prefix ^ "c") ] in
+  let arrays =
+    if chance g 50 then
+      let lo = 1 and hi = 4 + Random.State.int g.st 6 in
+      [ (fresh g (prefix ^ "a"), lo, hi) ]
+    else []
+  in
+  let records =
+    if chance g 30 then
+      [ (fresh g (prefix ^ "r"), [ "fx"; "fy" ]) ]
+    else []
+  in
+  let consts = [ (fresh g (prefix ^ "k"), Random.State.int g.st 100) ] in
+  let decls =
+    List.map (fun (n, v) -> DConst (n, v)) consts
+    @ List.map (fun n -> DVar (n, TInt)) (ints @ loops @ counters)
+    @ List.map (fun (n, lo, hi) -> DVar (n, TArray (lo, hi, TInt))) arrays
+    @ List.map
+        (fun (n, fields) ->
+          DVar (n, TRecord (List.map (fun f -> (f, TInt)) fields)))
+        records
+  in
+  (decls, ints, loops, counters, consts, arrays, records)
+
+let rec make_routine g ~outer ~level =
+  let name = fresh g "p" in
+  let nparams = Random.State.int g.st 3 in
+  let params =
+    List.init nparams (fun _ ->
+        { p_name = fresh g "q"; p_ty = TInt; p_ref = chance g 30 })
+  in
+  let is_func = chance g 40 in
+  let decls, ints, loops, counters, consts, arrays, records =
+    make_locals g ~prefix:""
+  in
+  let param_ints = List.map (fun p -> p.p_name) params in
+  let sc =
+    {
+      ints = ints @ param_ints @ outer.ints;
+      loops;
+      counters;
+      consts = consts @ outer.consts;
+      arrays = arrays @ outer.arrays;
+      records = records @ outer.records;
+      callables = outer.callables;
+      reads_ok = false; (* routines may be called many times *)
+      calls_ok = true;
+    }
+  in
+  (* nested routines see this scope and are callable from the body; the
+     top level of a module gets its full cluster, deeper levels taper off *)
+  let nested, sc =
+    let count =
+      if level = 2 then g.cfg.g_nested
+      else if level < g.cfg.g_max_level && chance g 40 then 1
+      else 0
+    in
+    if count = 0 then ([], sc)
+    else
+      let rec add acc sc k =
+        if k = 0 then (List.rev acc, sc)
+        else
+          let r = make_routine g ~outer:sc ~level:(level + 1) in
+          let entry = (r.r_name, r.r_params, r.r_ret <> None) in
+          add (DRoutine r :: acc) { sc with callables = entry :: sc.callables } (k - 1)
+      in
+      add [] sc count
+  in
+  let stmts =
+    init_counters g sc
+    @ List.init g.cfg.g_stmts (fun _ -> stmt g sc 3)
+    @ (if is_func then [ SAssign (LId name, int_expr g sc 2) ] else [])
+  in
+  {
+    r_name = name;
+    r_params = params;
+    r_ret = (if is_func then Some TInt else None);
+    r_block = { b_decls = decls @ nested; b_body = stmts };
+  }
+
+(* ---------------- whole programs ---------------- *)
+
+let gen ?(module_seeds = false) st cfg =
+  let g = { st; cfg; fresh = 0; reads = ref 0 } in
+  let decls, ints, loops, counters, consts, arrays, records =
+    make_locals g ~prefix:"g"
+  in
+  (* a sink for var arguments when no better variable is in scope *)
+  let sink = DVar ("gsink", TInt) in
+  let sc0 =
+    {
+      ints = "gsink" :: ints;
+      loops;
+      counters;
+      consts;
+      arrays;
+      records;
+      callables = [];
+      reads_ok = true;
+      calls_ok = true;
+    }
+  in
+  let routines, sc =
+    let rec add acc sc k =
+      if k = 0 then (List.rev acc, sc)
+      else begin
+        (* with [module_seeds], every top-level module draws from its own
+           deterministic stream, making the modules structurally alike —
+           the paper's workload decomposes into subtrees of "about equal
+           size" at five machines *)
+        if module_seeds then
+          g.st <- Random.State.make [| 77 |];
+        (* independent module streams also require independent visible
+           scopes, so every module is generated against the globals only *)
+        let outer = if module_seeds then { sc0 with callables = [] } else sc in
+        let r = make_routine g ~outer ~level:2 in
+        let entry = (r.r_name, r.r_params, r.r_ret <> None) in
+        add (DRoutine r :: acc) { sc with callables = entry :: sc.callables } (k - 1)
+      end
+    in
+    add [] sc0 cfg.g_routines
+  in
+  let main_body =
+    init_counters g sc
+    @ List.init (max 2 (cfg.g_stmts / 2)) (fun _ -> stmt g sc 3)
+    @ [ SWrite ([ int_expr g sc 2 ], true) ]
+  in
+  ( {
+      prog_name = "generated";
+      prog_block = { b_decls = (sink :: decls) @ routines; b_body = main_body };
+    },
+    !(g.reads) )
+
+let paper_program ?(seed = 1987) () =
+  let p, _ = gen ~module_seeds:true (Random.State.make [| seed |]) paper in
+  p

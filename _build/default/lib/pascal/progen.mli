@@ -1,0 +1,31 @@
+(** Random well-typed Pascal-subset program generator.
+
+    Two uses: differential testing (generated programs are run through both
+    the compiler + VAX simulator and the reference interpreter; outputs must
+    match) and workload synthesis — {!paper_program} produces a program of
+    the shape the paper measures (about 5000 source lines, about 50
+    procedures, a number of them nested more than one level deep).
+
+    Generated programs always terminate: loops are bounded by construction
+    and calls never recurse. [gen] also returns how many integers the
+    program reads from input. *)
+
+type cfg = {
+  g_routines : int;  (** top-level routines *)
+  g_nested : int;  (** nested routines per routine *)
+  g_max_level : int;  (** deepest nesting level of routines *)
+  g_stmts : int;  (** statements per body *)
+  g_expr_depth : int;
+  g_reads : int;  (** max read statements *)
+}
+
+val small : cfg
+
+val medium : cfg
+
+val paper : cfg
+
+val gen : ?module_seeds:bool -> Random.State.t -> cfg -> Ast.program * int
+
+(** The paper's measurement workload (deterministic for a given seed). *)
+val paper_program : ?seed:int -> unit -> Ast.program

@@ -1,0 +1,116 @@
+(* Pascal-specific attribute values, registered as Value.Ext payloads:
+   type descriptors, raw declaration descriptors (collected in visit 1) and
+   resolved symbol-table entries (with frame addresses, built at scope
+   construction in visit 2). *)
+
+open Pag_core
+
+(* A declaration as collected bottom-up, before addresses are assigned. *)
+type rawdecl =
+  | RConst of string * int
+  | RVar of string * Ast.ty
+  | RRoutine of string * string * (Ast.ty * bool) list * Ast.ty option
+      (* name, entry label, parameter signature, return type *)
+
+(* A symbol-table entry. [level] of a variable is the level of the block
+   declaring it; [level] of a routine is the level of the block in which it
+   is declared (= its static-link target). *)
+type info =
+  | IConst of int
+  | IVar of { ty : Ast.ty; level : int; offset : int; by_ref : bool }
+  | IRoutine of {
+      label : string;
+      params : (Ast.ty * bool) list;
+      ret : Ast.ty option;
+      level : int;
+    }
+
+type Value.ext += Ty of Ast.ty | Raw of rawdecl | Info of info
+
+let ty t = Value.Ext (Ty t)
+
+let raw r = Value.Ext (Raw r)
+
+let info i = Value.Ext (Info i)
+
+let as_ty ~ctx = function
+  | Value.Ext (Ty t) -> t
+  | v -> raise (Value.Type_error (ctx ^ ": expected a type, got " ^ Value.to_string v))
+
+let as_raw ~ctx = function
+  | Value.Ext (Raw r) -> r
+  | v ->
+      raise
+        (Value.Type_error (ctx ^ ": expected a declaration, got " ^ Value.to_string v))
+
+let as_info ~ctx = function
+  | Value.Ext (Info i) -> i
+  | v ->
+      raise (Value.Type_error (ctx ^ ": expected an entry, got " ^ Value.to_string v))
+
+let ret_ty_value = function None -> Value.Unit | Some t -> ty t
+
+let ret_ty_of_value ~ctx = function
+  | Value.Unit -> None
+  | v -> Some (as_ty ~ctx v)
+
+let rec raw_size = function
+  | RConst (n, _) -> String.length n + 8
+  | RVar (n, t) -> String.length n + 4 + ty_size t
+  | RRoutine (n, l, ps, _) ->
+      String.length n + String.length l
+      + List.fold_left (fun a (t, _) -> a + ty_size t) 8 ps
+
+and ty_size = function
+  | Ast.TInt | Ast.TBool | Ast.TChar -> 2
+  | Ast.TArray (_, _, e) -> 10 + ty_size e
+  | Ast.TRecord fs ->
+      List.fold_left (fun a (n, t) -> a + String.length n + ty_size t) 4 fs
+
+let info_size = function
+  | IConst _ -> 8
+  | IVar v -> 12 + ty_size v.ty
+  | IRoutine r ->
+      String.length r.label
+      + List.fold_left (fun a (t, _) -> a + ty_size t) 12 r.params
+
+let () =
+  Value.register_ext
+    {
+      Value.ext_name = "pascal";
+      ext_equal =
+        (fun a b ->
+          match (a, b) with
+          | Ty x, Ty y -> Some (Ast.ty_equal x y)
+          | Raw x, Raw y -> Some (x = y)
+          | Info x, Info y -> Some (x = y)
+          | (Ty _ | Raw _ | Info _), (Ty _ | Raw _ | Info _) -> Some false
+          | (Ty _ | Raw _ | Info _), _ | _, (Ty _ | Raw _ | Info _) -> Some false
+          | _ -> None);
+      ext_size =
+        (fun e ->
+          match e with
+          | Ty t -> Some (ty_size t)
+          | Raw r -> Some (raw_size r)
+          | Info i -> Some (info_size i)
+          | _ -> None);
+      ext_pp =
+        (fun fmt e ->
+          match e with
+          | Ty t ->
+              Format.fprintf fmt "<ty:%s>" (Ast.ty_to_string t);
+              true
+          | Raw (RConst (n, _)) ->
+              Format.fprintf fmt "<const %s>" n;
+              true
+          | Raw (RVar (n, _)) ->
+              Format.fprintf fmt "<var %s>" n;
+              true
+          | Raw (RRoutine (n, _, _, _)) ->
+              Format.fprintf fmt "<routine %s>" n;
+              true
+          | Info _ ->
+              Format.fprintf fmt "<entry>";
+              true
+          | _ -> false);
+    }

@@ -1,0 +1,456 @@
+(* Semantic rules for statements, case arms, and argument lists of the
+   Pascal attribute grammar. See Pascal_ag for the overall design. *)
+
+open Pag_core
+open Ast
+open Ag_dsl
+open Vax.Isa
+
+let aty = Pvalue.as_ty
+
+(* Variable entry for the for-loop induction variable; a dummy keeps code
+   generation total on erroneous programs (errors are reported separately
+   and erroneous code is never run). *)
+let var_info_of ~ctx envv name =
+  match lookup_env ~ctx envv name with
+  | Some v -> (
+      match Pvalue.as_info ~ctx v with
+      | Pvalue.IVar _ as i -> Some i
+      | Pvalue.IConst _ | Pvalue.IRoutine _ -> None)
+  | None -> None
+
+let dummy_var = Pvalue.IVar { ty = TInt; level = 1; offset = -4; by_ref = false }
+
+let store_top_into_addr =
+  (* stack: [...; value; addr] -> store value at addr *)
+  [ Movl (PostInc sp, Reg r0); Movl (PostInc sp, Deref r0) ]
+
+let specs : prod_spec list =
+  let open Grammar in
+  [
+    (* ---------------- assignment ---------------- *)
+    prod "s_assign" "stmt" [ "lvalue"; "expr" ]
+      (down [ 1; 2 ]
+      @ [
+          r (lhs "code")
+            [ rhs 2 "code"; rhs 1 "acode" ]
+            (fun args ->
+              code
+                (Cg.cconcat
+                   [
+                     as_code ~ctx:"assign" args.(0);
+                     as_code ~ctx:"assign" args.(1);
+                     Cg.asm store_top_into_addr;
+                   ]));
+          errs_up [ 1; 2 ]
+            ~extra:[ rhs 1 "ty"; rhs 2 "ty"; rhs 1 "writable" ]
+            ~extra_fn:(fun args ->
+              let lty = aty ~ctx:"assign" args.(2) in
+              let rty = aty ~ctx:"assign" args.(3) in
+              let writable = as_bool ~ctx:"assign" args.(4) in
+              (if writable then [] else [ "assignment to a non-variable" ])
+              @ (if Ast.is_scalar lty then []
+                 else [ "assignment to a composite value" ])
+              @ want_ty "assignment" lty rty);
+        ]);
+    (* ---------------- if / while / repeat ---------------- *)
+    prod ~labels:2 "s_if" "stmt" [ "expr"; "stmts"; "stmts" ]
+      (down [ 1; 2; 3 ]
+      @ [
+          rl (lhs "code")
+            [ rhs 1 "code"; rhs 2 "code"; rhs 3 "code" ]
+            (fun ~labels args ->
+              let l_else = Cg.lab labels.(0) and l_end = Cg.lab labels.(1) in
+              code
+                (Cg.cconcat
+                   [
+                     as_code ~ctx:"if" args.(0);
+                     Cg.asm [ Tstl (PostInc sp); Beql l_else ];
+                     as_code ~ctx:"if" args.(1);
+                     Cg.asm [ Brb l_end; Label l_else ];
+                     as_code ~ctx:"if" args.(2);
+                     Cg.asm [ Label l_end ];
+                   ]));
+          errs_up [ 1; 2; 3 ] ~extra:[ rhs 1 "ty" ] ~extra_fn:(fun args ->
+              want_ty "if condition" TBool (aty ~ctx:"if" args.(3)));
+        ]);
+    prod ~labels:2 "s_while" "stmt" [ "expr"; "stmts" ]
+      (down [ 1; 2 ]
+      @ [
+          rl (lhs "code")
+            [ rhs 1 "code"; rhs 2 "code" ]
+            (fun ~labels args ->
+              let l_top = Cg.lab labels.(0) and l_end = Cg.lab labels.(1) in
+              code
+                (Cg.cconcat
+                   [
+                     Cg.asm [ Label l_top ];
+                     as_code ~ctx:"while" args.(0);
+                     Cg.asm [ Tstl (PostInc sp); Beql l_end ];
+                     as_code ~ctx:"while" args.(1);
+                     Cg.asm [ Brb l_top; Label l_end ];
+                   ]));
+          errs_up [ 1; 2 ] ~extra:[ rhs 1 "ty" ] ~extra_fn:(fun args ->
+              want_ty "while condition" TBool (aty ~ctx:"while" args.(2)));
+        ]);
+    prod ~labels:1 "s_repeat" "stmt" [ "stmts"; "expr" ]
+      (down [ 1; 2 ]
+      @ [
+          rl (lhs "code")
+            [ rhs 1 "code"; rhs 2 "code" ]
+            (fun ~labels args ->
+              let l_top = Cg.lab labels.(0) in
+              code
+                (Cg.cconcat
+                   [
+                     Cg.asm [ Label l_top ];
+                     as_code ~ctx:"repeat" args.(0);
+                     as_code ~ctx:"repeat" args.(1);
+                     Cg.asm [ Tstl (PostInc sp); Beql l_top ];
+                   ]));
+          errs_up [ 1; 2 ] ~extra:[ rhs 2 "ty" ] ~extra_fn:(fun args ->
+              want_ty "until condition" TBool (aty ~ctx:"repeat" args.(2)));
+        ]);
+    (* ---------------- for loops ---------------- *)
+  ]
+  @ (let for_loop pname up =
+       let open Grammar in
+       prod ~labels:2 pname "stmt" [ "ID"; "expr"; "expr"; "stmts" ]
+         (down [ 2; 3; 4 ]
+         @ [
+             rl (lhs "code")
+               [
+                 lhs "env"; lhs "level"; rhs 1 "name"; rhs 2 "code";
+                 rhs 3 "code"; rhs 4 "code";
+               ]
+               (fun ~labels args ->
+                 let l_top = Cg.lab labels.(0) and l_end = Cg.lab labels.(1) in
+                 let cur = as_int ~ctx:"for" args.(1) in
+                 let name = as_str ~ctx:"for" args.(2) in
+                 let info =
+                   Option.value ~default:dummy_var
+                     (var_info_of ~ctx:"for" args.(0) name)
+                 in
+                 let push_addr = Cg.push_var_addr ~cur ~v:info in
+                 code
+                   (Cg.cconcat
+                      [
+                        as_code ~ctx:"for" args.(4) (* limit stays on stack *);
+                        as_code ~ctx:"for" args.(3) (* initial value *);
+                        Cg.asm push_addr;
+                        Cg.asm store_top_into_addr;
+                        Cg.asm [ Label l_top ];
+                        Cg.asm push_addr;
+                        Cg.asm Cg.deref_top;
+                        Cg.asm
+                          [
+                            Movl (PostInc sp, Reg r0);
+                            Cmpl (Reg r0, Deref sp);
+                            (if up then Bgtr l_end else Blss l_end);
+                          ];
+                        as_code ~ctx:"for" args.(5);
+                        Cg.asm push_addr;
+                        Cg.asm
+                          [
+                            Movl (PostInc sp, Reg r0);
+                            (if up then Addl2 (Imm 1, Deref r0)
+                             else Subl2 (Imm 1, Deref r0));
+                            Brb l_top;
+                            Label l_end;
+                            Addl2 (Imm 4, Reg sp) (* discard the limit *);
+                          ];
+                      ]));
+             errs_up [ 2; 3; 4 ]
+               ~extra:[ lhs "env"; rhs 1 "name"; rhs 2 "ty"; rhs 3 "ty" ]
+               ~extra_fn:(fun args ->
+                 let name = as_str ~ctx:"for" args.(4) in
+                 (match var_info_of ~ctx:"for" args.(3) name with
+                 | Some (Pvalue.IVar { ty = TInt; by_ref = false; _ }) -> []
+                 | Some _ ->
+                     [ Printf.sprintf "for variable %s must be an integer variable" name ]
+                 | None -> [ Printf.sprintf "unknown for variable %s" name ])
+                 @ want_ty "for initial value" TInt (aty ~ctx:"for" args.(5))
+                 @ want_ty "for limit" TInt (aty ~ctx:"for" args.(6)));
+           ])
+     in
+     [ for_loop "s_for_up" true; for_loop "s_for_down" false ])
+  @ [
+      (* ---------------- case ---------------- *)
+      prod "s_case" "stmt" [ "newlab"; "expr"; "cases"; "optelse" ]
+        (down [ 2; 3; 4 ]
+        @ [
+            r (Grammar.rhs 3 "endlab") [ Grammar.rhs 1 "lab" ] id;
+            r (Grammar.lhs "code")
+              [
+                Grammar.rhs 1 "lab"; Grammar.rhs 2 "code";
+                Grammar.rhs 3 "dispatch"; Grammar.rhs 4 "code";
+                Grammar.rhs 3 "bodies";
+              ]
+              (fun args ->
+                let l_end = as_str ~ctx:"case" args.(0) in
+                code
+                  (Cg.cconcat
+                     [
+                       as_code ~ctx:"case" args.(1);
+                       Cg.asm [ Movl (PostInc sp, Reg r0) ];
+                       as_code ~ctx:"case" args.(2);
+                       as_code ~ctx:"case" args.(3);
+                       Cg.asm [ Brb l_end ];
+                       as_code ~ctx:"case" args.(4);
+                       Cg.asm [ Label l_end ];
+                     ]));
+            errs_up [ 3; 4 ] ~extra:[ Grammar.rhs 2 "ty"; Grammar.rhs 2 "errs" ]
+              ~extra_fn:(fun args ->
+                want_ty "case selector" TInt (aty ~ctx:"case" args.(2))
+                @ as_errs ~ctx:"case" args.(3));
+          ]);
+      prod "cases_nil" "cases" []
+        [
+          r (Grammar.lhs "dispatch") [] (fun _ -> code Cg.empty);
+          r (Grammar.lhs "bodies") [] (fun _ -> code Cg.empty);
+          r (Grammar.lhs "errs") [] (fun _ -> v_list []);
+        ];
+      prod "cases_cons" "cases" [ "cases"; "case1" ]
+        (down [ 1; 2 ]
+        @ [
+            r (Grammar.rhs 1 "endlab") [ Grammar.lhs "endlab" ] id;
+            r (Grammar.rhs 2 "endlab") [ Grammar.lhs "endlab" ] id;
+            r (Grammar.lhs "dispatch")
+              [ Grammar.rhs 1 "dispatch"; Grammar.rhs 2 "dispatch" ]
+              (fun args ->
+                code
+                  (Cg.( ^^ )
+                     (as_code ~ctx:"cases" args.(0))
+                     (as_code ~ctx:"cases" args.(1))));
+            r (Grammar.lhs "bodies")
+              [ Grammar.rhs 1 "bodies"; Grammar.rhs 2 "bodies" ]
+              (fun args ->
+                code
+                  (Cg.( ^^ )
+                     (as_code ~ctx:"cases" args.(0))
+                     (as_code ~ctx:"cases" args.(1))));
+            errs_up [ 1; 2 ];
+          ]);
+      prod "case1" "case1" [ "newlab"; "consts"; "stmts" ]
+        (down [ 3 ]
+        @ [
+            r (Grammar.rhs 2 "armlab") [ Grammar.rhs 1 "lab" ] id;
+            r (Grammar.lhs "dispatch") [ Grammar.rhs 2 "code" ] id;
+            r (Grammar.lhs "bodies")
+              [ Grammar.rhs 1 "lab"; Grammar.rhs 3 "code"; Grammar.lhs "endlab" ]
+              (fun args ->
+                code
+                  (Cg.cconcat
+                     [
+                       Cg.asm [ Label (as_str ~ctx:"arm" args.(0)) ];
+                       as_code ~ctx:"arm" args.(1);
+                       Cg.asm [ Brb (as_str ~ctx:"arm" args.(2)) ];
+                     ]));
+            errs_up [ 3 ];
+          ]);
+      prod "optelse_none" "optelse" []
+        [
+          r (Grammar.lhs "code") [] (fun _ -> code Cg.empty);
+          r (Grammar.lhs "errs") [] (fun _ -> v_list []);
+        ];
+      prod "optelse_some" "optelse" [ "stmts" ]
+        (down [ 1 ]
+        @ [ r (Grammar.lhs "code") [ Grammar.rhs 1 "code" ] id; errs_up [ 1 ] ]);
+      prod "consts_one" "consts" [ "NUMT" ]
+        [
+          r (Grammar.lhs "code")
+            [ Grammar.lhs "armlab"; Grammar.rhs 1 "value" ]
+            (fun args ->
+              code
+                (Cg.asm
+                   [
+                     Cmpl (Reg r0, Imm (as_int ~ctx:"consts" args.(1)));
+                     Beql (as_str ~ctx:"consts" args.(0));
+                   ]));
+        ];
+      prod "consts_cons" "consts" [ "consts"; "NUMT" ]
+        [
+          r (Grammar.rhs 1 "armlab") [ Grammar.lhs "armlab" ] id;
+          r (Grammar.lhs "code")
+            [ Grammar.rhs 1 "code"; Grammar.lhs "armlab"; Grammar.rhs 2 "value" ]
+            (fun args ->
+              code
+                (Cg.( ^^ )
+                   (as_code ~ctx:"consts" args.(0))
+                   (Cg.asm
+                      [
+                        Cmpl (Reg r0, Imm (as_int ~ctx:"consts" args.(2)));
+                        Beql (as_str ~ctx:"consts" args.(1));
+                      ])));
+        ];
+      (* ---------------- calls ---------------- *)
+      prod "s_call" "stmt" [ "ID"; "args" ]
+        (down [ 2 ]
+        @ [
+            r (Grammar.rhs 2 "psig")
+              [ Grammar.lhs "env"; Grammar.rhs 1 "name" ]
+              (fun args ->
+                match lookup_env ~ctx:"call" args.(0) (as_str ~ctx:"call" args.(1)) with
+                | Some v -> (
+                    match Pvalue.as_info ~ctx:"call" v with
+                    | Pvalue.IRoutine rt -> psig_value rt.params
+                    | _ -> v_list [])
+                | None -> v_list []);
+            r (Grammar.lhs "code")
+              [
+                Grammar.lhs "env"; Grammar.lhs "level"; Grammar.rhs 1 "name";
+                Grammar.rhs 2 "code";
+              ]
+              (fun args ->
+                let name = as_str ~ctx:"call" args.(2) in
+                match lookup_env ~ctx:"call" args.(0) name with
+                | Some v -> (
+                    match Pvalue.as_info ~ctx:"call" v with
+                    | Pvalue.IRoutine rt ->
+                        let cur = as_int ~ctx:"call" args.(1) in
+                        code
+                          (Cg.cconcat
+                             [
+                               as_code ~ctx:"call" args.(3);
+                               Cg.asm (Cg.push_static_link ~cur ~target:rt.level);
+                               Cg.asm
+                                 [ Calls (List.length rt.params + 1, rt.label) ];
+                             ])
+                    | _ -> code Cg.empty)
+                | None -> code Cg.empty);
+            errs_up [ 2 ]
+              ~extra:[ Grammar.lhs "env"; Grammar.rhs 1 "name"; Grammar.rhs 2 "tys" ]
+              ~extra_fn:(fun args ->
+                let name = as_str ~ctx:"call" args.(2) in
+                match lookup_env ~ctx:"call" args.(1) name with
+                | Some v -> (
+                    match Pvalue.as_info ~ctx:"call" v with
+                    | Pvalue.IRoutine rt ->
+                        let tys = tys_of_value ~ctx:"call" args.(3) in
+                        if List.length tys <> List.length rt.params then
+                          [
+                            Printf.sprintf "%s expects %d arguments, got %d" name
+                              (List.length rt.params) (List.length tys);
+                          ]
+                        else
+                          List.concat
+                            (List.map2
+                               (fun (pt, _) at ->
+                                 want_ty (Printf.sprintf "argument of %s" name) pt at)
+                               rt.params tys)
+                    | _ -> [ Printf.sprintf "%s is not a procedure" name ])
+                | None -> [ Printf.sprintf "unknown procedure %s" name ]);
+          ]);
+      prod "args_nil" "args"
+        []
+        [
+          r (Grammar.lhs "code") [] (fun _ -> code Cg.empty);
+          r (Grammar.lhs "tys") [] (fun _ -> v_list []);
+          r (Grammar.lhs "errs") [] (fun _ -> v_list []);
+        ];
+      prod "args_cons" "args" [ "expr"; "args" ]
+        (down [ 1; 2 ]
+        @ [
+            r (Grammar.rhs 2 "psig") [ Grammar.lhs "psig" ] (fun args ->
+                match as_list ~ctx:"args" args.(0) with
+                | [] -> v_list []
+                | _ :: rest -> v_list rest);
+            r (Grammar.lhs "code")
+              [
+                Grammar.lhs "psig"; Grammar.rhs 1 "code"; Grammar.rhs 1 "addr";
+                Grammar.rhs 2 "code";
+              ]
+              (fun args ->
+                let by_ref =
+                  match psig_of_value ~ctx:"args" args.(0) with
+                  | (_, b) :: _ -> b
+                  | [] -> false
+                in
+                let this =
+                  if by_ref then begin
+                    let is_lval, acode = Value.as_pair ~ctx:"args" args.(2) in
+                    if as_bool ~ctx:"args" is_lval then as_code ~ctx:"args" acode
+                    else Cg.asm [ Pushl (Imm 0) ]
+                  end
+                  else as_code ~ctx:"args" args.(1)
+                in
+                (* arguments are evaluated and pushed left to right; the
+                   callee's parameter offsets account for the order *)
+                code (Cg.( ^^ ) this (as_code ~ctx:"args" args.(3))));
+            r (Grammar.lhs "tys")
+              [ Grammar.rhs 1 "ty"; Grammar.rhs 2 "tys" ]
+              (fun args -> v_list (args.(0) :: as_list ~ctx:"args" args.(1)));
+            errs_up [ 1; 2 ]
+              ~extra:[ Grammar.lhs "psig"; Grammar.rhs 1 "addr" ]
+              ~extra_fn:(fun args ->
+                let by_ref =
+                  match psig_of_value ~ctx:"args" args.(2) with
+                  | (_, b) :: _ -> b
+                  | [] -> false
+                in
+                let is_lval, _ = Value.as_pair ~ctx:"args" args.(3) in
+                if by_ref && not (as_bool ~ctx:"args" is_lval) then
+                  [ "var argument must be a variable" ]
+                else []);
+          ]);
+      (* ---------------- write / read ---------------- *)
+      prod "s_write" "stmt" [ "wargs" ]
+        (down [ 1 ]
+        @ [ r (Grammar.lhs "code") [ Grammar.rhs 1 "code" ] id; errs_up [ 1 ] ]);
+      prod "s_writeln" "stmt" [ "wargs" ]
+        (down [ 1 ]
+        @ [
+            r (Grammar.lhs "code")
+              [ Grammar.rhs 1 "code" ]
+              (fun args ->
+                code
+                  (Cg.( ^^ )
+                     (as_code ~ctx:"writeln" args.(0))
+                     (Cg.asm [ Pushl (Imm 10); Calls (1, "_print_char") ])));
+            errs_up [ 1 ];
+          ]);
+      prod "wargs_nil" "wargs" []
+        [
+          r (Grammar.lhs "code") [] (fun _ -> code Cg.empty);
+          r (Grammar.lhs "errs") [] (fun _ -> v_list []);
+        ];
+      prod "wargs_cons" "wargs" [ "expr"; "wargs" ]
+        (down [ 1; 2 ]
+        @ [
+            r (Grammar.lhs "code")
+              [ Grammar.rhs 1 "code"; Grammar.rhs 1 "ty"; Grammar.rhs 2 "code" ]
+              (fun args ->
+                code
+                  (Cg.cconcat
+                     [
+                       as_code ~ctx:"write" args.(0);
+                       Cg.asm (Cg.print_call (aty ~ctx:"write" args.(1)));
+                       as_code ~ctx:"write" args.(2);
+                     ]));
+            errs_up [ 1; 2 ] ~extra:[ Grammar.rhs 1 "ty" ] ~extra_fn:(fun args ->
+                if Ast.is_scalar (aty ~ctx:"write" args.(2)) then []
+                else [ "write of a composite value" ]);
+          ]);
+      prod "s_read" "stmt" [ "lvalue" ]
+        (down [ 1 ]
+        @ [
+            r (Grammar.lhs "code")
+              [ Grammar.rhs 1 "acode" ]
+              (fun args ->
+                code
+                  (Cg.( ^^ )
+                     (as_code ~ctx:"read" args.(0))
+                     (Cg.asm
+                        [
+                          Calls (0, "_read_int");
+                          Movl (PostInc sp, Reg r1);
+                          Movl (Reg r0, Deref r1);
+                        ])));
+            errs_up [ 1 ]
+              ~extra:[ Grammar.rhs 1 "ty"; Grammar.rhs 1 "writable" ]
+              ~extra_fn:(fun args ->
+                (if as_bool ~ctx:"read" args.(2) then []
+                 else [ "read into a non-variable" ])
+                @ want_ty "read" TInt (aty ~ctx:"read" args.(1)));
+          ]);
+    ]

@@ -1,0 +1,123 @@
+(* Tokens of the Pascal subset (paper, section 3: all control constructs
+   except with/goto; value and reference parameters; no floats, sets,
+   enumerations or file I/O; write/writeln treated as keywords). *)
+
+type t =
+  | IDENT of string
+  | NUM of int
+  | CHARLIT of char
+  (* keywords *)
+  | PROGRAM
+  | CONST
+  | VAR
+  | PROCEDURE
+  | FUNCTION
+  | BEGIN
+  | END
+  | IF
+  | THEN
+  | ELSE
+  | WHILE
+  | DO
+  | REPEAT
+  | UNTIL
+  | FOR
+  | TO
+  | DOWNTO
+  | CASE
+  | OF
+  | ARRAY
+  | RECORD
+  | INTEGER
+  | BOOLEAN
+  | CHAR
+  | TRUE
+  | FALSE
+  | DIV
+  | MOD
+  | AND
+  | OR
+  | NOT
+  | WRITE
+  | WRITELN
+  | READ
+  (* punctuation *)
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ASSIGN (* := *)
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | DOTDOT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM n -> Printf.sprintf "number %d" n
+  | CHARLIT c -> Printf.sprintf "char %C" c
+  | PROGRAM -> "program"
+  | CONST -> "const"
+  | VAR -> "var"
+  | PROCEDURE -> "procedure"
+  | FUNCTION -> "function"
+  | BEGIN -> "begin"
+  | END -> "end"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | DO -> "do"
+  | REPEAT -> "repeat"
+  | UNTIL -> "until"
+  | FOR -> "for"
+  | TO -> "to"
+  | DOWNTO -> "downto"
+  | CASE -> "case"
+  | OF -> "of"
+  | ARRAY -> "array"
+  | RECORD -> "record"
+  | INTEGER -> "integer"
+  | BOOLEAN -> "boolean"
+  | CHAR -> "char"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | DIV -> "div"
+  | MOD -> "mod"
+  | AND -> "and"
+  | OR -> "or"
+  | NOT -> "not"
+  | WRITE -> "write"
+  | WRITELN -> "writeln"
+  | READ -> "read"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ASSIGN -> ":="
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | EOF -> "end of file"

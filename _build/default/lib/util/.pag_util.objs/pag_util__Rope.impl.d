@@ -1,0 +1,1 @@
+lib/util/rope.ml: Buffer Char Format List String

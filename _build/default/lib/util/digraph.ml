@@ -1,0 +1,202 @@
+type t = { n : int; succ : int list array; pred : int list array; m : int }
+
+let dedup_sorted l =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = b then go rest else a :: go rest
+    | l -> l
+  in
+  go (List.sort compare l)
+
+let make n edge_list =
+  let succ = Array.make n [] and pred = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Digraph.make: endpoint out of range";
+      succ.(u) <- v :: succ.(u);
+      pred.(v) <- u :: pred.(v))
+    edge_list;
+  let m = ref 0 in
+  for u = 0 to n - 1 do
+    succ.(u) <- dedup_sorted succ.(u);
+    pred.(u) <- dedup_sorted pred.(u);
+    m := !m + List.length succ.(u)
+  done;
+  { n; succ; pred; m = !m }
+
+let node_count g = g.n
+
+let edge_count g = g.m
+
+let succs g u = g.succ.(u)
+
+let preds g u = g.pred.(u)
+
+let mem_edge g u v = List.mem v g.succ.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> acc := (u, v) :: !acc) (List.rev g.succ.(u))
+  done;
+  !acc
+
+let add_edges g more = make g.n (more @ edges g)
+
+let topo_sort g =
+  let indeg = Array.make g.n 0 in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) g.succ.(u)
+  done;
+  (* A sorted module-free priority of "smallest index first" keeps the order
+     deterministic across runs; a simple list-based min extraction is fine at
+     the sizes attribute graphs have. *)
+  let ready = ref [] in
+  for u = g.n - 1 downto 0 do
+    if indeg.(u) = 0 then ready := u :: !ready
+  done;
+  let out = ref [] and count = ref 0 in
+  let pop_min = function
+    | [] -> None
+    | l ->
+        let m = List.fold_left min max_int l in
+        Some (m, List.filter (fun x -> x <> m) l)
+  in
+  let rec loop () =
+    match pop_min !ready with
+    | None -> ()
+    | Some (u, rest) ->
+        ready := rest;
+        out := u :: !out;
+        incr count;
+        List.iter
+          (fun v ->
+            indeg.(v) <- indeg.(v) - 1;
+            if indeg.(v) = 0 then ready := v :: !ready)
+          g.succ.(u);
+        loop ()
+  in
+  loop ();
+  if !count = g.n then Some (List.rev !out) else None
+
+let has_cycle g = topo_sort g = None
+
+let find_cycle g =
+  (* Iterative DFS with colors; when a back edge (u, v) is found, the cycle
+     is the stack segment from v to u. *)
+  let color = Array.make g.n 0 in
+  (* 0 white, 1 gray, 2 black *)
+  let parent = Array.make g.n (-1) in
+  let result = ref None in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if !result = None then
+          if color.(v) = 0 then begin
+            parent.(v) <- u;
+            dfs v
+          end
+          else if color.(v) = 1 then begin
+            (* cycle: v -> ... -> u -> v *)
+            let rec collect x acc =
+              if x = v then v :: acc else collect parent.(x) (x :: acc)
+            in
+            result := Some (collect u [])
+          end)
+      g.succ.(u);
+    color.(u) <- 2
+  in
+  let u = ref 0 in
+  while !result = None && !u < g.n do
+    if color.(!u) = 0 then dfs !u;
+    incr u
+  done;
+  !result
+
+let transitive_closure g =
+  (* Bitset-per-node closure in reverse topological-ish order; handles cycles
+     by iterating to a fixpoint (attribute graphs are small). *)
+  let words = (g.n + 62) / 63 in
+  let reach = Array.init g.n (fun _ -> Array.make words 0) in
+  let set b i = b.(i / 63) <- b.(i / 63) lor (1 lsl (i mod 63)) in
+  let union dst src =
+    let changed = ref false in
+    for w = 0 to words - 1 do
+      let nv = dst.(w) lor src.(w) in
+      if nv <> dst.(w) then begin
+        dst.(w) <- nv;
+        changed := true
+      end
+    done;
+    !changed
+  in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> set reach.(u) v) g.succ.(u)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to g.n - 1 do
+      List.iter
+        (fun v -> if union reach.(u) reach.(v) then changed := true)
+        g.succ.(u)
+    done
+  done;
+  let edge_list = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = 0 to g.n - 1 do
+      if reach.(u).(v / 63) land (1 lsl (v mod 63)) <> 0 then
+        edge_list := (u, v) :: !edge_list
+    done
+  done;
+  make g.n !edge_list
+
+let sccs g =
+  let index = Array.make g.n (-1) in
+  let low = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  (* Explicit-stack Tarjan to stay safe on long chains. *)
+  let rec strongconnect v =
+    index.(v) <- !next;
+    low.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      g.succ.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !out
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph %d nodes, %d edges:" g.n g.m;
+  for u = 0 to g.n - 1 do
+    if g.succ.(u) <> [] then begin
+      Format.fprintf fmt "@,  %d ->" u;
+      List.iter (fun v -> Format.fprintf fmt " %d" v) g.succ.(u)
+    end
+  done;
+  Format.fprintf fmt "@]"

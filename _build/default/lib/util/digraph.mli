@@ -1,0 +1,46 @@
+(** Directed graphs over nodes [0 .. n-1].
+
+    The workhorse of attribute-grammar analysis and dynamic evaluation:
+    dependency graphs are built once, then topologically sorted, closed
+    transitively (Kastens' IDP/IDS fixpoint), or searched for cycles (to
+    report circular grammars). Graphs are immutable once built; duplicate
+    edges are coalesced. *)
+
+type t
+
+(** [make n edges] builds a graph with nodes [0..n-1]. Raises
+    [Invalid_argument] if an endpoint is out of range. *)
+val make : int -> (int * int) list -> t
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+(** Successors of a node, each listed once, in increasing order. *)
+val succs : t -> int -> int list
+
+val preds : t -> int -> int list
+
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+
+val add_edges : t -> (int * int) list -> t
+
+(** Kahn's algorithm; [None] when the graph has a cycle. Among ready nodes,
+    smaller indices come first, so the order is deterministic. *)
+val topo_sort : t -> int list option
+
+val has_cycle : t -> bool
+
+(** Some cycle as a node list [v1; ...; vk] with edges v1->v2->...->vk->v1,
+    when one exists. *)
+val find_cycle : t -> int list option
+
+(** Reflexive-free transitive closure. *)
+val transitive_closure : t -> t
+
+(** Strongly connected components in reverse topological order (Tarjan). *)
+val sccs : t -> int list list
+
+val pp : Format.formatter -> t -> unit

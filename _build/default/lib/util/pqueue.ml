@@ -1,0 +1,72 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.data) in
+  let data = Array.make cap q.data.(0) in
+  Array.blit q.data 0 data 0 q.len;
+  q.data <- data
+
+let add q prio value =
+  let e = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.len = 0 && Array.length q.data = 0 then q.data <- Array.make 16 e;
+  if q.len = Array.length q.data then grow q;
+  q.data.(q.len) <- e;
+  q.len <- q.len + 1;
+  (* sift up *)
+  let i = ref (q.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less q.data.(!i) q.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = q.data.(p) in
+    q.data.(p) <- q.data.(!i);
+    q.data.(!i) <- tmp;
+    i := p
+  done
+
+let peek_min q = if q.len = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+
+let pop_min q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.len && less q.data.(l) q.data.(!smallest) then smallest := l;
+        if r < q.len && less q.data.(r) q.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.data.(!smallest) in
+          q.data.(!smallest) <- q.data.(!i);
+          q.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let size q = q.len
+
+let is_empty q = q.len = 0

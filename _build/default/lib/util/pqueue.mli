@@ -1,0 +1,21 @@
+(** Mutable binary min-heap keyed by float priority.
+
+    Used as the event queue of the discrete-event simulator and for
+    priority-attribute scheduling. Entries with equal priority come out in
+    insertion order (the heap is stabilized with a sequence number), which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> float -> 'a -> unit
+
+(** Lowest priority first; [None] when empty. *)
+val pop_min : 'a t -> (float * 'a) option
+
+val peek_min : 'a t -> (float * 'a) option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

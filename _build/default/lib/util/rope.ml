@@ -1,0 +1,125 @@
+type t =
+  | Leaf of string
+  | Cat of { left : t; right : t; len : int; dep : int }
+
+let empty = Leaf ""
+
+let of_string s = Leaf s
+
+let length = function Leaf s -> String.length s | Cat c -> c.len
+
+let depth = function Leaf _ -> 0 | Cat c -> c.dep
+
+let is_empty r = length r = 0
+
+let concat a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    Cat
+      {
+        left = a;
+        right = b;
+        len = length a + length b;
+        dep = 1 + max (depth a) (depth b);
+      }
+
+let rec concat_balanced rs n =
+  (* [rs] has [n] elements; split in half to keep the result shallow. *)
+  match rs with
+  | [] -> empty
+  | [ r ] -> r
+  | _ ->
+      let half = n / 2 in
+      let rec split i acc = function
+        | rest when i = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | r :: rest -> split (i - 1) (r :: acc) rest
+      in
+      let l, r = split half [] rs in
+      concat (concat_balanced l half) (concat_balanced r (n - half))
+
+let concat_list rs = concat_balanced rs (List.length rs)
+
+(* All traversals carry an explicit work list so deep ropes (built by long
+   left- or right-leaning concatenation chains) cannot overflow the stack. *)
+
+let iter_chunks f r =
+  let rec go = function
+    | [] -> ()
+    | Leaf "" :: rest -> go rest
+    | Leaf s :: rest ->
+        f s;
+        go rest
+    | Cat c :: rest -> go (c.left :: c.right :: rest)
+  in
+  go [ r ]
+
+let fold_chunks f init r =
+  let acc = ref init in
+  iter_chunks (fun s -> acc := f !acc s) r;
+  !acc
+
+let leaf_count r = fold_chunks (fun n _ -> n + 1) 0 r
+
+let to_string r =
+  let buf = Buffer.create (length r) in
+  iter_chunks (Buffer.add_string buf) r;
+  Buffer.contents buf
+
+let output oc r = iter_chunks (output_string oc) r
+
+(* Chunk-stream comparison: walk both ropes' leaves in lockstep, comparing
+   character ranges, so neither rope is flattened. *)
+type cursor = { mutable chunks : t list; mutable s : string; mutable pos : int }
+
+let cursor_of r = { chunks = [ r ]; s = ""; pos = 0 }
+
+let rec cursor_refill c =
+  if c.pos < String.length c.s then true
+  else
+    match c.chunks with
+    | [] -> false
+    | Leaf s :: rest ->
+        c.chunks <- rest;
+        c.s <- s;
+        c.pos <- 0;
+        cursor_refill c
+    | Cat cat :: rest ->
+        c.chunks <- cat.left :: cat.right :: rest;
+        cursor_refill c
+
+let compare a b =
+  if length a = 0 && length b = 0 then 0
+  else
+    let ca = cursor_of a and cb = cursor_of b in
+    let rec go () =
+      match (cursor_refill ca, cursor_refill cb) with
+      | false, false -> 0
+      | false, true -> -1
+      | true, false -> 1
+      | true, true ->
+          let n =
+            min (String.length ca.s - ca.pos) (String.length cb.s - cb.pos)
+          in
+          let rec cmp i =
+            if i = n then 0
+            else
+              let d =
+                Char.compare ca.s.[ca.pos + i] cb.s.[cb.pos + i]
+              in
+              if d <> 0 then d else cmp (i + 1)
+          in
+          let d = cmp 0 in
+          if d <> 0 then d
+          else begin
+            ca.pos <- ca.pos + n;
+            cb.pos <- cb.pos + n;
+            go ()
+          end
+    in
+    go ()
+
+let equal a b = length a = length b && compare a b = 0
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

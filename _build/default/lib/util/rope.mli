@@ -1,0 +1,51 @@
+(** Ropes: strings as binary trees with the text in the leaves.
+
+    This is the string representation of Boehm & Zwaenepoel (1987), section
+    4.3: concatenation is a constant-time operation, which makes building a
+    large code attribute from many fragments cheap, and it is the data type
+    whose conversion function is replaced to implement the string librarian.
+    No rebalancing is performed (the paper allocates without reuse); all
+    traversals are nevertheless stack-safe. *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+
+(** [concat a b] is the rope denoting the text of [a] followed by the text of
+    [b]. O(1). *)
+val concat : t -> t -> t
+
+(** [concat_list rs] concatenates left to right, producing a balanced rope. *)
+val concat_list : t list -> t
+
+val is_empty : t -> bool
+
+(** Number of characters. O(1). *)
+val length : t -> int
+
+(** Height of the underlying tree; a leaf has depth 0. *)
+val depth : t -> int
+
+(** Number of leaves holding at least one character. *)
+val leaf_count : t -> int
+
+(** Flatten to a string. O(n), stack-safe. *)
+val to_string : t -> string
+
+(** [iter_chunks f r] applies [f] to every non-empty leaf, left to right. *)
+val iter_chunks : (string -> unit) -> t -> unit
+
+val fold_chunks : ('a -> string -> 'a) -> 'a -> t -> 'a
+
+(** Content equality, without flattening either rope. *)
+val equal : t -> t -> bool
+
+(** Lexicographic content comparison. *)
+val compare : t -> t -> int
+
+(** [output oc r] writes the text of [r] to [oc] chunk by chunk. *)
+val output : out_channel -> t -> unit
+
+val pp : Format.formatter -> t -> unit

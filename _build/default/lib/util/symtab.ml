@@ -1,0 +1,65 @@
+type 'a t =
+  | Empty
+  | Node of {
+      key : int; (* hash index of the identifiers in [bucket] *)
+      bucket : (string * 'a) list;
+      left : 'a t;
+      right : 'a t;
+    }
+
+let empty = Empty
+
+let hash_of_name = Hashtbl.hash
+
+let rec add_at tab key name v =
+  match tab with
+  | Empty -> Node { key; bucket = [ (name, v) ]; left = Empty; right = Empty }
+  | Node n ->
+      if key < n.key then Node { n with left = add_at n.left key name v }
+      else if key > n.key then Node { n with right = add_at n.right key name v }
+      else
+        let bucket = (name, v) :: List.remove_assoc name n.bucket in
+        Node { n with bucket }
+
+let add tab name v = add_at tab (hash_of_name name) name v
+
+let rec lookup_at tab key name =
+  match tab with
+  | Empty -> None
+  | Node n ->
+      if key < n.key then lookup_at n.left key name
+      else if key > n.key then lookup_at n.right key name
+      else List.assoc_opt name n.bucket
+
+let lookup tab name = lookup_at tab (hash_of_name name) name
+
+let mem tab name = lookup tab name <> None
+
+let rec fold f tab acc =
+  match tab with
+  | Empty -> acc
+  | Node n ->
+      let acc = fold f n.left acc in
+      let acc =
+        List.fold_left (fun acc (name, v) -> f name v acc) acc n.bucket
+      in
+      fold f n.right acc
+
+let cardinal tab = fold (fun _ _ n -> n + 1) tab 0
+
+let rec height = function
+  | Empty -> 0
+  | Node n -> 1 + max (height n.left) (height n.right)
+
+let of_list l = List.fold_left (fun tab (name, v) -> add tab name v) empty l
+
+let to_list tab = fold (fun name v acc -> (name, v) :: acc) tab []
+
+let equal veq a b =
+  let subset x y =
+    fold
+      (fun name v ok ->
+        ok && match lookup y name with Some w -> veq v w | None -> false)
+      x true
+  in
+  cardinal a = cardinal b && subset a b

@@ -1,0 +1,1 @@
+lib/vax/asm_parser.ml: Isa List Printf String

@@ -1,0 +1,1 @@
+lib/vax/asm_parser.mli: Isa

@@ -1,0 +1,1 @@
+lib/vax/encode.ml: Array Buffer Bytes Char Hashtbl Isa List Printf String

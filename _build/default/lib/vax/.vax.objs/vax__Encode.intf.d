@@ -1,0 +1,1 @@
+lib/vax/encode.mli: Isa

@@ -1,0 +1,1 @@
+lib/vax/isa.ml: Buffer Format List Printf

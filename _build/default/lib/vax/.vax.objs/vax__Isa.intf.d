@@ -1,0 +1,1 @@
+lib/vax/isa.mli: Format

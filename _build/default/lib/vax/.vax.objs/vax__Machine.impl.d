@@ -1,0 +1,1 @@
+lib/vax/machine.ml: Array Asm_parser Buffer Char Format Hashtbl Isa List Printf

@@ -1,0 +1,1 @@
+lib/vax/machine.mli: Isa

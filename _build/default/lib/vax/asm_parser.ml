@@ -1,0 +1,149 @@
+exception Parse_error of int * string
+
+let error line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let reg_of_name line = function
+  | "ap" -> 12
+  | "fp" -> 13
+  | "sp" -> 14
+  | "pc" -> 15
+  | s
+    when String.length s >= 2
+         && s.[0] = 'r'
+         && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (String.length s - 1))
+    ->
+      let n = int_of_string (String.sub s 1 (String.length s - 1)) in
+      if n > 15 then error line "bad register %s" s else n
+  | s -> error line "bad register %s" s
+
+let parse_operand line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then error line "empty operand"
+  else if s.[0] = '$' then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some v -> Isa.Imm v
+    | None -> error line "bad immediate %s" s
+  else if s.[0] = '(' && n > 2 && s.[n - 1] = '+' && s.[n - 2] = ')' then
+    Isa.PostInc (reg_of_name line (String.sub s 1 (n - 3)))
+  else if s.[0] = '-' && n > 2 && s.[1] = '(' && s.[n - 1] = ')' then
+    Isa.PreDec (reg_of_name line (String.sub s 2 (n - 3)))
+  else if s.[0] = '(' && s.[n - 1] = ')' then
+    Isa.Deref (reg_of_name line (String.sub s 1 (n - 2)))
+  else
+    match String.index_opt s '(' with
+    | Some i when s.[n - 1] = ')' ->
+        let disp = String.sub s 0 i in
+        let reg = String.sub s (i + 1) (n - i - 2) in
+        let d =
+          match int_of_string_opt disp with
+          | Some d -> d
+          | None -> error line "bad displacement %s" s
+        in
+        Isa.Disp (d, reg_of_name line reg)
+    | _ -> (
+        match int_of_string_opt s with
+        | Some _ -> error line "bare integer operand %s (missing $ or (r)?)" s
+        | None ->
+            if
+              (s.[0] >= 'a' && s.[0] <= 'z')
+              || (s.[0] >= 'A' && s.[0] <= 'Z')
+              || s.[0] = '_'
+            then
+              match s with
+              | "ap" | "fp" | "sp" | "pc" -> Isa.Reg (reg_of_name line s)
+              | _ ->
+                  if
+                    String.length s <= 3
+                    && s.[0] = 'r'
+                    && String.length s >= 2
+                    && s.[1] >= '0'
+                    && s.[1] <= '9'
+                  then Isa.Reg (reg_of_name line s)
+                  else Isa.Lbl s
+            else error line "bad operand %s" s)
+
+(* Split operands at top-level commas (no nesting to worry about). *)
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_line line s =
+  let s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let s = String.trim s in
+  if s = "" then None
+  else if s.[String.length s - 1] = ':' then
+    Some (Isa.Label (String.trim (String.sub s 0 (String.length s - 1))))
+  else
+    let op, rest =
+      match String.index_opt s '\t' with
+      | Some i ->
+          (String.sub s 0 i, String.sub s i (String.length s - i))
+      | None -> (
+          match String.index_opt s ' ' with
+          | Some i -> (String.sub s 0 i, String.sub s i (String.length s - i))
+          | None -> (s, ""))
+    in
+    let op = String.trim op and args = split_operands (String.trim rest) in
+    let p = parse_operand line in
+    let two f =
+      match args with
+      | [ a; b ] -> f (p a) (p b)
+      | _ -> error line "%s expects 2 operands" op
+    in
+    let three f =
+      match args with
+      | [ a; b; c ] -> f (p a) (p b) (p c)
+      | _ -> error line "%s expects 3 operands" op
+    in
+    let one f =
+      match args with [ a ] -> f (p a) | _ -> error line "%s expects 1 operand" op
+    in
+    let branch f =
+      match args with
+      | [ l ] -> f l
+      | _ -> error line "%s expects a label" op
+    in
+    Some
+      (match op with
+      | "movl" -> two (fun a b -> Isa.Movl (a, b))
+      | "moval" -> two (fun a b -> Isa.Moval (a, b))
+      | "pushl" -> one (fun a -> Isa.Pushl a)
+      | "addl2" -> two (fun a b -> Isa.Addl2 (a, b))
+      | "addl3" -> three (fun a b c -> Isa.Addl3 (a, b, c))
+      | "subl2" -> two (fun a b -> Isa.Subl2 (a, b))
+      | "subl3" -> three (fun a b c -> Isa.Subl3 (a, b, c))
+      | "mull2" -> two (fun a b -> Isa.Mull2 (a, b))
+      | "divl2" -> two (fun a b -> Isa.Divl2 (a, b))
+      | "divl3" -> three (fun a b c -> Isa.Divl3 (a, b, c))
+      | "mnegl" -> two (fun a b -> Isa.Mnegl (a, b))
+      | "cmpl" -> two (fun a b -> Isa.Cmpl (a, b))
+      | "tstl" -> one (fun a -> Isa.Tstl a)
+      | "beql" -> branch (fun l -> Isa.Beql l)
+      | "bneq" -> branch (fun l -> Isa.Bneq l)
+      | "blss" -> branch (fun l -> Isa.Blss l)
+      | "bleq" -> branch (fun l -> Isa.Bleq l)
+      | "bgtr" -> branch (fun l -> Isa.Bgtr l)
+      | "bgeq" -> branch (fun l -> Isa.Bgeq l)
+      | "brb" | "jmp" -> branch (fun l -> Isa.Brb l)
+      | "calls" -> (
+          match args with
+          | [ n; l ] -> (
+              match p n with
+              | Isa.Imm k -> Isa.Calls (k, l)
+              | _ -> error line "calls expects $n,label")
+          | _ -> error line "calls expects $n,label")
+      | "ret" -> Isa.Ret
+      | "halt" -> Isa.Halt
+      | other -> error line "unknown instruction %S" other)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i l -> match parse_line (i + 1) l with Some x -> [ x ] | None -> [])
+       lines)

@@ -1,0 +1,16 @@
+(** Assembler front half: parse VAX-subset assembly text back into
+    instructions.
+
+    The compiler's code attribute is plain assembly text (as the paper's
+    is); this parser plus {!Machine} play the role of the system assembler
+    and hardware, letting tests execute compiled programs and observe their
+    output. *)
+
+exception Parse_error of int * string
+(** line number (1-based), message *)
+
+val parse : string -> Isa.instr list
+
+(** Round-trip helper: [parse (Isa.to_string p)] = [p] for printable
+    programs. *)
+val parse_line : int -> string -> Isa.instr option

@@ -1,0 +1,261 @@
+type obj = { o_code : bytes; o_symbols : string array }
+
+(* opcodes *)
+let opcodes =
+  [
+    (`Movl, 0xd0); (`Moval, 0xde); (`Pushl, 0xdd); (`Addl2, 0xc0);
+    (`Addl3, 0xc1); (`Subl2, 0xc2); (`Subl3, 0xc3); (`Mull2, 0xc4);
+    (`Divl2, 0xc6); (`Divl3, 0xc7); (`Mnegl, 0xce); (`Cmpl, 0xd1);
+    (`Tstl, 0xd5); (`Beql, 0x13); (`Bneq, 0x12); (`Blss, 0x19);
+    (`Bleq, 0x15); (`Bgtr, 0x14); (`Bgeq, 0x18); (`Brb, 0x11);
+    (`Calls, 0xfb); (`Ret, 0x04); (`Halt, 0x00); (`LabelMark, 0xff);
+  ]
+
+let code_of op = List.assoc op opcodes
+
+(* operand mode bytes: high nibble = mode, low nibble = register *)
+let m_reg = 0x50
+
+let m_deref = 0x60
+
+let m_predec = 0x70
+
+let m_postinc = 0x80
+
+let m_disp = 0xa0
+
+(* On the real VAX, immediate mode IS (pc)+ — 0x8f. Our registers include
+   r15, so escape bytes live in mode space no register mode uses. *)
+let m_imm = 0x1f
+
+let m_lbl = 0x2f
+
+let encode instrs =
+  let buf = Buffer.create 256 in
+  let symbols = ref [] in
+  let nsym = ref 0 in
+  let symtab = Hashtbl.create 16 in
+  let sym name =
+    match Hashtbl.find_opt symtab name with
+    | Some i -> i
+    | None ->
+        let i = !nsym in
+        incr nsym;
+        Hashtbl.add symtab name i;
+        symbols := name :: !symbols;
+        i
+  in
+  let byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  let u16 v =
+    byte (v land 0xff);
+    byte ((v lsr 8) land 0xff)
+  in
+  let i32 v =
+    byte (v land 0xff);
+    byte ((v asr 8) land 0xff);
+    byte ((v asr 16) land 0xff);
+    byte ((v asr 24) land 0xff)
+  in
+  let operand = function
+    | Isa.Imm v ->
+        byte m_imm;
+        i32 v
+    | Isa.Reg r -> byte (m_reg lor r)
+    | Isa.Deref r -> byte (m_deref lor r)
+    | Isa.PreDec r -> byte (m_predec lor r)
+    | Isa.PostInc r -> byte (m_postinc lor r)
+    | Isa.Disp (d, r) ->
+        byte (m_disp lor r);
+        i32 d
+    | Isa.Lbl l ->
+        byte m_lbl;
+        u16 (sym l)
+  in
+  let branch op l =
+    byte (code_of op);
+    u16 (sym l)
+  in
+  List.iter
+    (fun ins ->
+      match ins with
+      | Isa.Comment _ -> ()
+      | Isa.Label l ->
+          byte (code_of `LabelMark);
+          u16 (sym l)
+      | Isa.Movl (a, b) ->
+          byte (code_of `Movl);
+          operand a;
+          operand b
+      | Isa.Moval (a, b) ->
+          byte (code_of `Moval);
+          operand a;
+          operand b
+      | Isa.Pushl a ->
+          byte (code_of `Pushl);
+          operand a
+      | Isa.Addl2 (a, b) ->
+          byte (code_of `Addl2);
+          operand a;
+          operand b
+      | Isa.Addl3 (a, b, c) ->
+          byte (code_of `Addl3);
+          operand a;
+          operand b;
+          operand c
+      | Isa.Subl2 (a, b) ->
+          byte (code_of `Subl2);
+          operand a;
+          operand b
+      | Isa.Subl3 (a, b, c) ->
+          byte (code_of `Subl3);
+          operand a;
+          operand b;
+          operand c
+      | Isa.Mull2 (a, b) ->
+          byte (code_of `Mull2);
+          operand a;
+          operand b
+      | Isa.Divl2 (a, b) ->
+          byte (code_of `Divl2);
+          operand a;
+          operand b
+      | Isa.Divl3 (a, b, c) ->
+          byte (code_of `Divl3);
+          operand a;
+          operand b;
+          operand c
+      | Isa.Mnegl (a, b) ->
+          byte (code_of `Mnegl);
+          operand a;
+          operand b
+      | Isa.Cmpl (a, b) ->
+          byte (code_of `Cmpl);
+          operand a;
+          operand b
+      | Isa.Tstl a ->
+          byte (code_of `Tstl);
+          operand a
+      | Isa.Beql l -> branch `Beql l
+      | Isa.Bneq l -> branch `Bneq l
+      | Isa.Blss l -> branch `Blss l
+      | Isa.Bleq l -> branch `Bleq l
+      | Isa.Bgtr l -> branch `Bgtr l
+      | Isa.Bgeq l -> branch `Bgeq l
+      | Isa.Brb l -> branch `Brb l
+      | Isa.Calls (n, l) ->
+          byte (code_of `Calls);
+          byte n;
+          u16 (sym l)
+      | Isa.Ret -> byte (code_of `Ret)
+      | Isa.Halt -> byte (code_of `Halt))
+    instrs;
+  { o_code = Buffer.to_bytes buf; o_symbols = Array.of_list (List.rev !symbols) }
+
+let decode obj =
+  let code = obj.o_code in
+  let n = Bytes.length code in
+  let pos = ref 0 in
+  let fail msg = invalid_arg ("Encode.decode: " ^ msg) in
+  let byte () =
+    if !pos >= n then fail "truncated";
+    let b = Char.code (Bytes.get code !pos) in
+    incr pos;
+    b
+  in
+  let u16 () =
+    let lo = byte () in
+    let hi = byte () in
+    lo lor (hi lsl 8)
+  in
+  let i32 () =
+    let b0 = byte () and b1 = byte () and b2 = byte () and b3 = byte () in
+    let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+    (* sign extend from 32 bits *)
+    if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+  in
+  let symbol () =
+    let i = u16 () in
+    if i >= Array.length obj.o_symbols then fail "bad symbol index";
+    obj.o_symbols.(i)
+  in
+  let operand () =
+    let b = byte () in
+    if b = m_imm then Isa.Imm (i32 ())
+    else if b = m_lbl then Isa.Lbl (symbol ())
+    else
+      let mode = b land 0xf0 and r = b land 0x0f in
+      if mode = m_reg then Isa.Reg r
+      else if mode = m_deref then Isa.Deref r
+      else if mode = m_predec then Isa.PreDec r
+      else if mode = m_postinc then Isa.PostInc r
+      else if mode = m_disp then Isa.Disp (i32 (), r)
+      else fail (Printf.sprintf "bad operand byte 0x%02x" b)
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let rev_opcodes = List.map (fun (a, b) -> (b, a)) opcodes in
+  while !pos < n do
+    let op =
+      match List.assoc_opt (byte ()) rev_opcodes with
+      | Some op -> op
+      | None -> fail "bad opcode"
+    in
+    match op with
+    | `LabelMark -> emit (Isa.Label (symbol ()))
+    | `Movl ->
+        let a = operand () in
+        emit (Isa.Movl (a, operand ()))
+    | `Moval ->
+        let a = operand () in
+        emit (Isa.Moval (a, operand ()))
+    | `Pushl -> emit (Isa.Pushl (operand ()))
+    | `Addl2 ->
+        let a = operand () in
+        emit (Isa.Addl2 (a, operand ()))
+    | `Addl3 ->
+        let a = operand () in
+        let b = operand () in
+        emit (Isa.Addl3 (a, b, operand ()))
+    | `Subl2 ->
+        let a = operand () in
+        emit (Isa.Subl2 (a, operand ()))
+    | `Subl3 ->
+        let a = operand () in
+        let b = operand () in
+        emit (Isa.Subl3 (a, b, operand ()))
+    | `Mull2 ->
+        let a = operand () in
+        emit (Isa.Mull2 (a, operand ()))
+    | `Divl2 ->
+        let a = operand () in
+        emit (Isa.Divl2 (a, operand ()))
+    | `Divl3 ->
+        let a = operand () in
+        let b = operand () in
+        emit (Isa.Divl3 (a, b, operand ()))
+    | `Mnegl ->
+        let a = operand () in
+        emit (Isa.Mnegl (a, operand ()))
+    | `Cmpl ->
+        let a = operand () in
+        emit (Isa.Cmpl (a, operand ()))
+    | `Tstl -> emit (Isa.Tstl (operand ()))
+    | `Beql -> emit (Isa.Beql (symbol ()))
+    | `Bneq -> emit (Isa.Bneq (symbol ()))
+    | `Blss -> emit (Isa.Blss (symbol ()))
+    | `Bleq -> emit (Isa.Bleq (symbol ()))
+    | `Bgtr -> emit (Isa.Bgtr (symbol ()))
+    | `Bgeq -> emit (Isa.Bgeq (symbol ()))
+    | `Brb -> emit (Isa.Brb (symbol ()))
+    | `Calls ->
+        let k = byte () in
+        emit (Isa.Calls (k, symbol ()))
+    | `Ret -> emit Isa.Ret
+    | `Halt -> emit Isa.Halt
+  done;
+  List.rev !out
+
+let encoded_size instrs =
+  let obj = encode instrs in
+  Bytes.length obj.o_code
+  + Array.fold_left (fun a s -> a + String.length s + 2) 0 obj.o_symbols

@@ -1,0 +1,22 @@
+(** Binary encoding of the VAX subset.
+
+    The paper argues for integrating assembly into the parallel compiler
+    because "machine language is much more compact than assembly language,
+    resulting in smaller attributes being transmitted over the network".
+    This module quantifies that: {!encoded_size} is the size of the object
+    form whose ratio to the assembly text the benchmark's E9 section
+    reports.
+
+    Labels occupy no code bytes; branch and address operands refer to a
+    symbol table carried alongside, so {!encode}/{!decode} round-trip
+    exactly (comments excepted). *)
+
+type obj = { o_code : bytes; o_symbols : string array }
+
+val encode : Isa.instr list -> obj
+
+(** Raises [Invalid_argument] on a corrupt object. *)
+val decode : obj -> Isa.instr list
+
+(** Code bytes + symbol-table bytes. *)
+val encoded_size : Isa.instr list -> int

@@ -1,0 +1,102 @@
+type reg = int
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let ap = 12
+let fp = 13
+let sp = 14
+
+type operand =
+  | Imm of int
+  | Reg of reg
+  | Deref of reg
+  | Disp of int * reg
+  | PostInc of reg
+  | PreDec of reg
+  | Lbl of string
+
+type instr =
+  | Label of string
+  | Comment of string
+  | Movl of operand * operand
+  | Moval of operand * operand
+  | Pushl of operand
+  | Addl2 of operand * operand
+  | Addl3 of operand * operand * operand
+  | Subl2 of operand * operand
+  | Subl3 of operand * operand * operand
+  | Mull2 of operand * operand
+  | Divl2 of operand * operand
+  | Divl3 of operand * operand * operand
+  | Mnegl of operand * operand
+  | Cmpl of operand * operand
+  | Tstl of operand
+  | Beql of string
+  | Bneq of string
+  | Blss of string
+  | Bleq of string
+  | Bgtr of string
+  | Bgeq of string
+  | Brb of string
+  | Calls of int * string
+  | Ret
+  | Halt
+
+let reg_name = function
+  | 12 -> "ap"
+  | 13 -> "fp"
+  | 14 -> "sp"
+  | 15 -> "pc"
+  | n -> Printf.sprintf "r%d" n
+
+let pp_operand fmt = function
+  | Imm n -> Format.fprintf fmt "$%d" n
+  | Reg r -> Format.pp_print_string fmt (reg_name r)
+  | Deref r -> Format.fprintf fmt "(%s)" (reg_name r)
+  | Disp (d, r) -> Format.fprintf fmt "%d(%s)" d (reg_name r)
+  | PostInc r -> Format.fprintf fmt "(%s)+" (reg_name r)
+  | PreDec r -> Format.fprintf fmt "-(%s)" (reg_name r)
+  | Lbl l -> Format.pp_print_string fmt l
+
+let pp2 fmt op a b =
+  Format.fprintf fmt "\t%s\t%a,%a" op pp_operand a pp_operand b
+
+let pp3 fmt op a b c =
+  Format.fprintf fmt "\t%s\t%a,%a,%a" op pp_operand a pp_operand b pp_operand c
+
+let pp_instr fmt = function
+  | Label l -> Format.fprintf fmt "%s:" l
+  | Comment c -> Format.fprintf fmt "# %s" c
+  | Movl (a, b) -> pp2 fmt "movl" a b
+  | Moval (a, b) -> pp2 fmt "moval" a b
+  | Pushl a -> Format.fprintf fmt "\tpushl\t%a" pp_operand a
+  | Addl2 (a, b) -> pp2 fmt "addl2" a b
+  | Addl3 (a, b, c) -> pp3 fmt "addl3" a b c
+  | Subl2 (a, b) -> pp2 fmt "subl2" a b
+  | Subl3 (a, b, c) -> pp3 fmt "subl3" a b c
+  | Mull2 (a, b) -> pp2 fmt "mull2" a b
+  | Divl2 (a, b) -> pp2 fmt "divl2" a b
+  | Divl3 (a, b, c) -> pp3 fmt "divl3" a b c
+  | Mnegl (a, b) -> pp2 fmt "mnegl" a b
+  | Cmpl (a, b) -> pp2 fmt "cmpl" a b
+  | Tstl a -> Format.fprintf fmt "\ttstl\t%a" pp_operand a
+  | Beql l -> Format.fprintf fmt "\tbeql\t%s" l
+  | Bneq l -> Format.fprintf fmt "\tbneq\t%s" l
+  | Blss l -> Format.fprintf fmt "\tblss\t%s" l
+  | Bleq l -> Format.fprintf fmt "\tbleq\t%s" l
+  | Bgtr l -> Format.fprintf fmt "\tbgtr\t%s" l
+  | Bgeq l -> Format.fprintf fmt "\tbgeq\t%s" l
+  | Brb l -> Format.fprintf fmt "\tbrb\t%s" l
+  | Calls (n, l) -> Format.fprintf fmt "\tcalls\t$%d,%s" n l
+  | Ret -> Format.pp_print_string fmt "\tret"
+  | Halt -> Format.pp_print_string fmt "\thalt"
+
+let to_string instrs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (Format.asprintf "%a" pp_instr i);
+      Buffer.add_char buf '\n')
+    instrs;
+  Buffer.contents buf

@@ -1,0 +1,246 @@
+type outcome = { output : string; steps : int }
+
+type error =
+  | Unknown_label of string
+  | Fuel_exhausted
+  | Memory_fault of int
+  | Divide_by_zero
+  | No_input
+  | Bad_operand of string
+
+exception Fault of error
+
+let error_to_string = function
+  | Unknown_label l -> Printf.sprintf "unknown label %S" l
+  | Fuel_exhausted -> "fuel exhausted (likely an infinite loop)"
+  | Memory_fault a -> Printf.sprintf "memory fault at address %d" a
+  | Divide_by_zero -> "divide by zero"
+  | No_input -> "read past end of input"
+  | Bad_operand s -> Printf.sprintf "bad operand: %s" s
+
+(* Memory: 1 MiB of longwords; the stack starts at the top. *)
+let mem_words = 256 * 1024
+
+let mem_bytes = mem_words * 4
+
+type state = {
+  mem : int array;
+  regs : int array;
+  mutable pc : int; (* instruction index *)
+  mutable nflag : bool;
+  mutable zflag : bool;
+  mutable steps : int;
+  mutable input : int list;
+  out : Buffer.t;
+}
+
+let read_mem st addr =
+  if addr < 0 || addr >= mem_bytes || addr land 3 <> 0 then
+    raise (Fault (Memory_fault addr));
+  st.mem.(addr / 4)
+
+let write_mem st addr v =
+  if addr < 0 || addr >= mem_bytes || addr land 3 <> 0 then
+    raise (Fault (Memory_fault addr));
+  st.mem.(addr / 4) <- v
+
+let fetch st labels = function
+  | Isa.Imm n -> n
+  | Isa.Reg r -> st.regs.(r)
+  | Isa.Deref r -> read_mem st st.regs.(r)
+  | Isa.Disp (d, r) -> read_mem st (st.regs.(r) + d)
+  | Isa.PostInc r ->
+      let v = read_mem st st.regs.(r) in
+      st.regs.(r) <- st.regs.(r) + 4;
+      v
+  | Isa.PreDec r ->
+      st.regs.(r) <- st.regs.(r) - 4;
+      read_mem st st.regs.(r)
+  | Isa.Lbl l -> (
+      match Hashtbl.find_opt labels l with
+      | Some i -> i
+      | None -> raise (Fault (Unknown_label l)))
+
+let store st dst v =
+  match dst with
+  | Isa.Reg r -> st.regs.(r) <- v
+  | Isa.Deref r -> write_mem st st.regs.(r) v
+  | Isa.Disp (d, r) -> write_mem st (st.regs.(r) + d) v
+  | Isa.PostInc r ->
+      write_mem st st.regs.(r) v;
+      st.regs.(r) <- st.regs.(r) + 4
+  | Isa.PreDec r ->
+      st.regs.(r) <- st.regs.(r) - 4;
+      write_mem st st.regs.(r) v
+  | Isa.Imm _ | Isa.Lbl _ ->
+      raise (Fault (Bad_operand "store to immediate/label"))
+
+(* The address an operand denotes, for moval. *)
+let address_of st labels = function
+  | Isa.Deref r -> st.regs.(r)
+  | Isa.Disp (d, r) -> st.regs.(r) + d
+  | Isa.Lbl l -> (
+      match Hashtbl.find_opt labels l with
+      | Some i -> i
+      | None -> raise (Fault (Unknown_label l)))
+  | other ->
+      raise
+        (Fault
+           (Bad_operand
+              (Format.asprintf "moval of %a" Isa.pp_operand other)))
+
+let push st v =
+  st.regs.(Isa.sp) <- st.regs.(Isa.sp) - 4;
+  write_mem st st.regs.(Isa.sp) v
+
+let pop st =
+  let v = read_mem st st.regs.(Isa.sp) in
+  st.regs.(Isa.sp) <- st.regs.(Isa.sp) + 4;
+  v
+
+let set_flags st v =
+  st.nflag <- v < 0;
+  st.zflag <- v = 0
+
+(* Runtime routines: called with the standard convention, so arguments are
+   at 4(ap) once the frame is built. *)
+let builtins = [ "_print_int"; "_print_char"; "_print_bool"; "_read_int" ]
+
+let do_builtin st name =
+  let arg i = read_mem st (st.regs.(Isa.ap) + (4 * i)) in
+  (match name with
+  | "_print_int" -> Buffer.add_string st.out (string_of_int (arg 1))
+  | "_print_char" -> Buffer.add_char st.out (Char.chr (arg 1 land 0xff))
+  | "_print_bool" ->
+      Buffer.add_string st.out (if arg 1 <> 0 then "true" else "false")
+  | "_read_int" -> (
+      match st.input with
+      | [] -> raise (Fault No_input)
+      | v :: rest ->
+          st.input <- rest;
+          st.regs.(0) <- v)
+  | _ -> assert false)
+
+let do_ret st =
+  st.regs.(Isa.sp) <- st.regs.(Isa.fp);
+  let old_ap = pop st in
+  let old_fp = pop st in
+  let ret_pc = pop st in
+  let argc = pop st in
+  st.regs.(Isa.sp) <- st.regs.(Isa.sp) + (4 * argc);
+  st.regs.(Isa.ap) <- old_ap;
+  st.regs.(Isa.fp) <- old_fp;
+  st.pc <- ret_pc
+
+let run ?(fuel = 10_000_000) ?(input = []) instrs =
+  let code = Array.of_list instrs in
+  let labels = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ins ->
+      match ins with Isa.Label l -> Hashtbl.replace labels l i | _ -> ())
+    code;
+  let st =
+    {
+      mem = Array.make mem_words 0;
+      regs = Array.make 16 0;
+      pc = 0;
+      nflag = false;
+      zflag = false;
+      steps = 0;
+      input;
+      out = Buffer.create 256;
+    }
+  in
+  st.regs.(Isa.sp) <- mem_bytes;
+  st.regs.(Isa.fp) <- mem_bytes;
+  st.regs.(Isa.ap) <- mem_bytes;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> raise (Fault (Unknown_label l))
+  in
+  let fetch x = fetch st labels x in
+  let binop2 f a b =
+    let v = f (fetch b) (fetch a) in
+    store st b v;
+    set_flags st v
+  in
+  let binop3 f a b c =
+    let v = f (fetch a) (fetch b) in
+    store st c v;
+    set_flags st v
+  in
+  try
+    let running = ref true in
+    while !running do
+      if st.pc < 0 || st.pc >= Array.length code then
+        raise (Fault (Memory_fault st.pc));
+      if st.steps >= fuel then raise (Fault Fuel_exhausted);
+      st.steps <- st.steps + 1;
+      let ins = code.(st.pc) in
+      st.pc <- st.pc + 1;
+      match ins with
+      | Isa.Label _ | Isa.Comment _ -> ()
+      | Isa.Movl (a, b) ->
+          let v = fetch a in
+          store st b v;
+          set_flags st v
+      | Isa.Moval (a, b) ->
+          let v = address_of st labels a in
+          store st b v;
+          set_flags st v
+      | Isa.Pushl a -> push st (fetch a)
+      | Isa.Addl2 (a, b) -> binop2 (fun x y -> x + y) a b
+      | Isa.Addl3 (a, b, c) -> binop3 (fun x y -> x + y) a b c
+      | Isa.Subl2 (a, b) -> binop2 (fun dst src -> dst - src) a b
+      | Isa.Subl3 (a, b, c) -> binop3 (fun x y -> y - x) a b c
+      | Isa.Mull2 (a, b) -> binop2 (fun x y -> x * y) a b
+      | Isa.Divl2 (a, b) ->
+          (* fetch each operand exactly once: they may auto-increment *)
+          let src = fetch a in
+          if src = 0 then raise (Fault Divide_by_zero);
+          let v = fetch b / src in
+          store st b v;
+          set_flags st v
+      | Isa.Divl3 (a, b, c) ->
+          let src = fetch a in
+          let dividend = fetch b in
+          if src = 0 then raise (Fault Divide_by_zero);
+          let v = dividend / src in
+          store st c v;
+          set_flags st v
+      | Isa.Mnegl (a, b) ->
+          let v = -fetch a in
+          store st b v;
+          set_flags st v
+      | Isa.Cmpl (a, b) ->
+          let x = fetch a and y = fetch b in
+          st.nflag <- x < y;
+          st.zflag <- x = y
+      | Isa.Tstl a -> set_flags st (fetch a)
+      | Isa.Beql l -> if st.zflag then st.pc <- target l
+      | Isa.Bneq l -> if not st.zflag then st.pc <- target l
+      | Isa.Blss l -> if st.nflag then st.pc <- target l
+      | Isa.Bleq l -> if st.nflag || st.zflag then st.pc <- target l
+      | Isa.Bgtr l -> if (not st.nflag) && not st.zflag then st.pc <- target l
+      | Isa.Bgeq l -> if not st.nflag then st.pc <- target l
+      | Isa.Brb l -> st.pc <- target l
+      | Isa.Calls (n, l) ->
+          push st n;
+          push st st.pc;
+          push st st.regs.(Isa.fp);
+          push st st.regs.(Isa.ap);
+          st.regs.(Isa.fp) <- st.regs.(Isa.sp);
+          st.regs.(Isa.ap) <- st.regs.(Isa.fp) + 12;
+          if List.mem l builtins then begin
+            do_builtin st l;
+            do_ret st
+          end
+          else st.pc <- target l
+      | Isa.Ret -> do_ret st
+      | Isa.Halt -> running := false
+    done;
+    Ok { output = Buffer.contents st.out; steps = st.steps }
+  with Fault e -> Error e
+
+let run_text ?fuel ?input text = run ?fuel ?input (Asm_parser.parse text)

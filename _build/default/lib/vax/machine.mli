@@ -1,0 +1,42 @@
+(** VAX-subset simulator.
+
+    Executes assembled programs so that compiled Pascal can be run and its
+    observable output compared with the reference interpreter. Longword
+    machine: every access is a 4-byte word at a 4-aligned byte address.
+
+    Call convention (simplified CALLS/RET):
+    - the caller pushes arguments right to left, then [calls $n, L];
+    - [calls] pushes the argument count, the return address, the old [fp]
+      and the old [ap]; then [fp := sp], [ap := fp + 12] (so [0(ap)] is the
+      argument count and [4(ap)] the first argument), and control transfers;
+    - [ret] unwinds all of that and pops the arguments;
+    - function results are returned in [r0].
+
+    Runtime routines intercepted by name (the compiler "links" against
+    them): [_print_int] (one arg, decimal + newline), [_print_char],
+    [_print_bool] ("true"/"false" + newline), [_read_int] (next value from
+    the input list in [r0]). *)
+
+type outcome = {
+  output : string;
+  steps : int;  (** instructions executed *)
+}
+
+type error =
+  | Unknown_label of string
+  | Fuel_exhausted
+  | Memory_fault of int  (** offending byte address *)
+  | Divide_by_zero
+  | No_input
+  | Bad_operand of string
+
+exception Fault of error
+
+val error_to_string : error -> string
+
+(** [run ?fuel ?input instrs] loads and executes from the first instruction
+    until [halt]. Default fuel 10 million instructions. *)
+val run : ?fuel:int -> ?input:int list -> Isa.instr list -> (outcome, error) result
+
+(** Convenience: parse assembly text and run it. *)
+val run_text : ?fuel:int -> ?input:int list -> string -> (outcome, error) result

@@ -1,0 +1,1 @@
+test/test_agspec.ml: Agspec Alcotest Appendix Compile Fun Lazy List Lrgen Pag_core Pag_eval Pag_parallel Primitives Printf QCheck QCheck_alcotest Random Spec_ast Spec_parser Value

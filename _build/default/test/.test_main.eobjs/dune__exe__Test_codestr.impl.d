@@ -1,0 +1,1 @@
+test/test_codestr.ml: Alcotest Codestr Hashtbl List Pag_core Pag_util QCheck QCheck_alcotest Rope String Value

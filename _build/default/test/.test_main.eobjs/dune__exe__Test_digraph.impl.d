@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraph Gen List Pag_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Asm_parser Bytes Encode Isa Pascal Printf QCheck QCheck_alcotest String Vax

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array Grammar List Pag_core Value

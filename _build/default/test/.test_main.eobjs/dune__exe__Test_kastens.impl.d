@@ -1,0 +1,1 @@
+test/test_kastens.ml: Alcotest Array Binary_ag Expr_ag Format Grammar Kastens List Pag_analysis Pag_core Pag_grammars Printf Repmin_ag String Value

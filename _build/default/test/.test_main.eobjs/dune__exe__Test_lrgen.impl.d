@@ -1,0 +1,1 @@
+test/test_lrgen.ml: Alcotest Cfg Char Engine Fun Lalr Lazy List Lrgen Printf QCheck QCheck_alcotest String

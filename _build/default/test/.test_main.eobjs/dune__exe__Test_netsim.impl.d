@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Ethernet Gantt List Netsim Printf Sim String Trace

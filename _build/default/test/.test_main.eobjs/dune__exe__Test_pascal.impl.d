@@ -1,0 +1,1 @@
+test/test_pascal.ml: Alcotest Ast Driver Interp Lexer List Pag_grammars Parser Pascal Peephole Pp Printf Progen QCheck QCheck_alcotest Random String Token Vax

@@ -1,0 +1,1 @@
+test/test_pascal_edge.ml: Alcotest Driver Interp Pag_parallel Parser Pascal String

@@ -1,0 +1,1 @@
+test/test_pascal_parallel.ml: Alcotest Driver Lazy List Netsim Pag_parallel Pascal Printf Progen Random Runner String

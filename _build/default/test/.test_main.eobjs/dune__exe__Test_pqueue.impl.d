@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest List Pag_util Pqueue QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Codestr Cost Lazy Librarian List Message Netsim Pag_analysis Pag_core Pag_grammars Pag_parallel Pag_util Printf Stackcode_ag String Transport Tree Uid Value Worker

@@ -1,0 +1,1 @@
+test/test_random_ag.ml: Array Dynamic Grammar Hashtbl Kastens List Option Oracle Pag_analysis Pag_core Pag_eval Printf QCheck QCheck_alcotest Random Static_eval Store Tree Value

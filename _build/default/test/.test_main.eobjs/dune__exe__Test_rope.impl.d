@@ -1,0 +1,1 @@
+test/test_rope.ml: Alcotest Buffer Filename List Pag_util QCheck QCheck_alcotest Rope Stdlib String Sys

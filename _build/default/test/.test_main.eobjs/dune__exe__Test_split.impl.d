@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Array Format Grammar Hashtbl List Option Pag_core Pag_grammars Pag_parallel Printf QCheck QCheck_alcotest Random Split Stackcode_ag String Tree

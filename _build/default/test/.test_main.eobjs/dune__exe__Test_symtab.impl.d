@@ -1,0 +1,1 @@
+test/test_symtab.ml: Alcotest List Map Pag_util Printf QCheck QCheck_alcotest String Symtab

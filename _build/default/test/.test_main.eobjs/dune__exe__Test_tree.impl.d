@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Expr_ag Pag_core Pag_grammars Tree Value

@@ -1,0 +1,1 @@
+test/test_uid.ml: Alcotest List Pag_core Uid

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Format Pag_core Pag_util QCheck QCheck_alcotest Rope String Symtab Value

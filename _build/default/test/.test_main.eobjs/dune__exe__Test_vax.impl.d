@@ -1,0 +1,1 @@
+test/test_vax.ml: Alcotest Asm_parser Isa Machine QCheck QCheck_alcotest Vax

@@ -1,0 +1,182 @@
+open Agspec
+open Pag_core
+
+let qc ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let t = lazy (Lazy.force Appendix.translator)
+
+let eval_str src =
+  let tr = Lazy.force t in
+  let tree = Compile.parse tr src in
+  match List.assoc "value" (Compile.evaluate tr tree) with
+  | Value.Int n -> n
+  | v -> Alcotest.failf "expected an int, got %s" (Value.to_string v)
+
+(* ---------------- spec parser ---------------- *)
+
+let test_spec_parses () =
+  let spec = Lazy.force Appendix.spec in
+  check_int "two %name terminals" 2 (List.length spec.Spec_ast.s_names);
+  check_int "eight keywords" 8 (List.length spec.Spec_ast.s_keywords);
+  check_int "three nonterminals" 3 (List.length spec.Spec_ast.s_nts);
+  check_int "eight productions" 8 (List.length spec.Spec_ast.s_prods);
+  Alcotest.(check string) "start" "main_expr" spec.Spec_ast.s_start
+
+let test_spec_split_info () =
+  let spec = Lazy.force Appendix.spec in
+  let block =
+    List.find (fun nt -> nt.Spec_ast.nt_name = "block") spec.Spec_ast.s_nts
+  in
+  check_bool "block splittable at 64" true (block.Spec_ast.nt_split = Some 64);
+  let expr =
+    List.find (fun nt -> nt.Spec_ast.nt_name = "expr") spec.Spec_ast.s_nts
+  in
+  check_bool "expr not splittable" true (expr.Spec_ast.nt_split = None);
+  check_bool "stab is priority" true
+    (List.exists
+       (fun a -> a.Spec_ast.a_name = "stab" && a.Spec_ast.a_priority)
+       expr.Spec_ast.nt_attrs)
+
+let test_spec_errors () =
+  let bad src =
+    match Spec_parser.parse src with
+    | exception Spec_parser.Error _ -> true
+    | _ -> false
+  in
+  check_bool "missing start" true (bad "%nosplit e : syn v\n%%\ne -> e");
+  check_bool "unknown directive" true (bad "%frobnicate x\n%%");
+  check_bool "bad rule" true
+    (bad "%start e\n%nosplit e : syn v\n%%\ne -> e { $$ = 1; }")
+
+(* ---------------- generated translator ---------------- *)
+
+let test_appendix_example () =
+  check_int "appendix worked example" 5 (eval_str "let x = 2 in 1 + 2 * x ni")
+
+let test_arithmetic () =
+  check_int "plain" 7 (eval_str "1 + 2 * 3");
+  check_int "parens" 9 (eval_str "(1 + 2) * 3");
+  check_int "precedence" 23 (eval_str "2 * 4 + 3 * 5")
+
+let test_nested_lets () =
+  check_int "nested"
+    21
+    (eval_str "let a = 2 in let b = a * 5 in a + b + 9 ni ni");
+  check_int "shadowing" 4 (eval_str "let x = 1 in let x = 3 in x + 1 ni ni")
+
+let test_parse_error () =
+  match Compile.parse (Lazy.force t) "1 + * 2" with
+  | exception Compile.Error _ -> ()
+  | _ -> Alcotest.fail "expected a syntax error"
+
+let test_scan_error () =
+  match Compile.parse (Lazy.force t) "1 ? 2" with
+  | exception Compile.Scan_error _ -> ()
+  | _ -> Alcotest.fail "expected a scan error"
+
+let test_unbound_identifier () =
+  match eval_str "ghost + 1" with
+  | exception Primitives.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected unbound identifier"
+
+let test_grammar_is_ordered () =
+  check_bool "Kastens accepts the generated grammar" true
+    (Compile.plan (Lazy.force t) <> None)
+
+let test_no_parser_conflicts () =
+  Alcotest.(check (list string))
+    "precedence resolves the expression grammar" []
+    (Lrgen.Lalr.conflicts (Compile.tables (Lazy.force t)))
+
+let test_parallel_evaluation () =
+  let tr = Lazy.force t in
+  (* a program with enough blocks to split *)
+  let src =
+    "let a = 1 in let b = 2 in let c = 3 in let d = 4 in \
+     a + b * (let e = a + 10 in e * e ni) + c * d + (let f = 5 in f + b ni) \
+     ni ni ni ni"
+  in
+  let tree = Compile.parse tr src in
+  let expected =
+    match List.assoc "value" (Compile.evaluate tr tree) with
+    | Value.Int n -> n
+    | _ -> assert false
+  in
+  for m = 1 to 4 do
+    let tree = Compile.parse tr src in
+    let r =
+      Compile.evaluate_parallel tr
+        { Pag_parallel.Runner.default_options with Pag_parallel.Runner.machines = m }
+        tree
+    in
+    match List.assoc "value" r.Pag_parallel.Runner.r_attrs with
+    | Value.Int n -> check_int (Printf.sprintf "@%d machines" m) expected n
+    | _ -> Alcotest.fail "expected an int"
+  done
+
+(* Random sentences: generated translator agrees with Expr_ag's reference
+   semantics. Build a random well-scoped expression source. *)
+let gen_source =
+  QCheck.Gen.(
+    let rec go depth vars =
+      if depth = 0 then
+        if vars <> [] && Random.bool () then oneofl vars
+        else map string_of_int (int_range 0 20)
+      else
+        frequency
+          [
+            (2, map string_of_int (int_range 0 20));
+            ( 3,
+              map2 (fun a b -> "(" ^ a ^ " + " ^ b ^ ")") (go (depth - 1) vars)
+                (go (depth - 1) vars) );
+            ( 2,
+              map2 (fun a b -> "(" ^ a ^ " * " ^ b ^ ")") (go (depth - 1) vars)
+                (go (depth - 1) vars) );
+            ( 2,
+              let v = Printf.sprintf "v%d" (List.length vars) in
+              map2
+                (fun bound body ->
+                  Printf.sprintf "let %s = %s in %s ni" v bound body)
+                (go (depth - 1) vars)
+                (go (depth - 1) (v :: vars)) );
+          ]
+    in
+    go 4 [])
+
+(* Direct interpreter of the same sentences. *)
+let reference src =
+  let tr = Lazy.force t in
+  let tree = Compile.parse tr src in
+  (* reuse the oracle evaluator as reference *)
+  let store = Pag_eval.Oracle.eval (Compile.grammar tr) tree in
+  match Pag_eval.Store.get store (Pag_eval.Store.root store) "value" with
+  | Value.Int n -> n
+  | _ -> assert false
+
+let prop_static_matches_oracle =
+  qc "generated static evaluator = oracle" (QCheck.make ~print:Fun.id gen_source)
+    (fun src -> eval_str src = reference src)
+
+let suite =
+  [
+    ( "agspec",
+      [
+        Alcotest.test_case "spec parses" `Quick test_spec_parses;
+        Alcotest.test_case "split info" `Quick test_spec_split_info;
+        Alcotest.test_case "spec errors" `Quick test_spec_errors;
+        Alcotest.test_case "appendix example" `Quick test_appendix_example;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "nested lets" `Quick test_nested_lets;
+        Alcotest.test_case "parse error" `Quick test_parse_error;
+        Alcotest.test_case "scan error" `Quick test_scan_error;
+        Alcotest.test_case "unbound identifier" `Quick test_unbound_identifier;
+        Alcotest.test_case "grammar ordered" `Quick test_grammar_is_ordered;
+        Alcotest.test_case "no conflicts" `Quick test_no_parser_conflicts;
+        Alcotest.test_case "parallel evaluation" `Quick test_parallel_evaluation;
+        prop_static_matches_oracle;
+      ] );
+  ]

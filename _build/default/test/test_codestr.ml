@@ -1,0 +1,134 @@
+open Pag_core
+open Pag_util
+
+let qc ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  check_int "length" 0 (Codestr.length Codestr.empty);
+  check_int "frags" 0 (Codestr.frag_count Codestr.empty);
+  check_str "text" "" (Rope.to_string (Codestr.to_rope Codestr.empty))
+
+let test_concat () =
+  let c = Codestr.concat (Codestr.of_string "mov ") (Codestr.of_string "r0") in
+  check_str "text" "mov r0" (Rope.to_string (Codestr.to_rope c));
+  check_int "length" 6 (Codestr.length c)
+
+let test_concat_identity () =
+  let c = Codestr.of_string "x" in
+  check_bool "left id" true
+    (Rope.to_string (Codestr.to_rope (Codestr.concat Codestr.empty c)) = "x");
+  check_bool "right id" true
+    (Rope.to_string (Codestr.to_rope (Codestr.concat c Codestr.empty)) = "x")
+
+let test_extract_and_resolve () =
+  (* The librarian round trip: extract text into fragments, resolve back. *)
+  let c =
+    Codestr.concat_list
+      [ Codestr.of_string "AAA"; Codestr.of_string "BBB"; Codestr.of_string "CC" ]
+  in
+  let next = ref 100 in
+  let alloc () =
+    incr next;
+    !next
+  in
+  let desc, frags = Codestr.extract_texts ~alloc c in
+  check_bool "descriptor has fragments" true (Codestr.frag_count desc > 0);
+  check_int "length preserved" 8 (Codestr.length desc);
+  check_bool "wire size shrinks" true (Codestr.wire_size desc <= Codestr.wire_size c + 16);
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun (id, text) -> Hashtbl.add tbl id text) frags;
+  let text = Codestr.resolve ~lookup:(Hashtbl.find tbl) desc in
+  check_str "resolved" "AAABBBCC" (Rope.to_string text)
+
+let test_unresolved_raises () =
+  let next = ref 0 in
+  let desc, _ =
+    Codestr.extract_texts
+      ~alloc:(fun () ->
+        incr next;
+        !next)
+      (Codestr.of_string "abc")
+  in
+  match Codestr.to_rope desc with
+  | exception Codestr.Unresolved _ -> ()
+  | _ -> Alcotest.fail "expected Unresolved"
+
+let test_value_embedding () =
+  let v = Codestr.value (Codestr.of_string "hello") in
+  let c = Codestr.of_value ~ctx:"t" v in
+  check_str "round trip" "hello" (Rope.to_string (Codestr.to_rope c));
+  (match Codestr.of_value ~ctx:"t" (Value.Int 3) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error");
+  (* Value.equal compares local code strings by content *)
+  let a = Codestr.value (Codestr.concat (Codestr.of_string "ab") (Codestr.of_string "c")) in
+  let b = Codestr.value (Codestr.of_string "abc") in
+  check_bool "content equality" true (Value.equal a b)
+
+let test_byte_size_via_value () =
+  (* Value.byte_size of a code string is its wire size *)
+  let c = Codestr.of_string "12345" in
+  check_int "plain text" 5 (Value.byte_size (Codestr.value c))
+
+let arb_parts =
+  QCheck.make
+    ~print:(fun l -> String.concat "|" l)
+    QCheck.Gen.(list_size (int_bound 12) (string_size ~gen:printable (int_bound 10)))
+
+let prop_concat_list_text =
+  qc "concat_list denotes the concatenation" arb_parts (fun parts ->
+      let c = Codestr.concat_list (List.map Codestr.of_string parts) in
+      Rope.to_string (Codestr.to_rope c) = String.concat "" parts)
+
+let prop_extract_resolve_roundtrip =
+  qc "extract/resolve round trip" arb_parts (fun parts ->
+      let c = Codestr.concat_list (List.map Codestr.of_string parts) in
+      let next = ref 0 in
+      let desc, frags =
+        Codestr.extract_texts
+          ~alloc:(fun () ->
+            incr next;
+            !next)
+          c
+      in
+      let tbl = Hashtbl.create 8 in
+      List.iter (fun (id, t) -> Hashtbl.add tbl id t) frags;
+      Rope.to_string (Codestr.resolve ~lookup:(Hashtbl.find tbl) desc)
+      = String.concat "" parts
+      && Codestr.length desc = Codestr.length c)
+
+let prop_unique_frag_ids =
+  qc "extracted fragment ids are the allocator's" arb_parts (fun parts ->
+      let c = Codestr.concat_list (List.map Codestr.of_string parts) in
+      let next = ref 0 in
+      let _, frags =
+        Codestr.extract_texts
+          ~alloc:(fun () ->
+            incr next;
+            !next)
+          c
+      in
+      let ids = List.map fst frags in
+      List.length (List.sort_uniq compare ids) = List.length ids)
+
+let suite =
+  [
+    ( "codestr",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "concat" `Quick test_concat;
+        Alcotest.test_case "identity" `Quick test_concat_identity;
+        Alcotest.test_case "extract/resolve" `Quick test_extract_and_resolve;
+        Alcotest.test_case "unresolved" `Quick test_unresolved_raises;
+        Alcotest.test_case "value embedding" `Quick test_value_embedding;
+        Alcotest.test_case "byte size" `Quick test_byte_size_via_value;
+        prop_concat_list_text;
+        prop_extract_resolve_roundtrip;
+        prop_unique_frag_ids;
+      ] );
+  ]

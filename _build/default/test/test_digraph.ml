@@ -1,0 +1,175 @@
+open Pag_util
+
+let qc ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty_graph () =
+  let g = Digraph.make 0 [] in
+  check_int "nodes" 0 (Digraph.node_count g);
+  Alcotest.(check (option (list int))) "topo" (Some []) (Digraph.topo_sort g)
+
+let test_basic_edges () =
+  let g = Digraph.make 3 [ (0, 1); (1, 2); (0, 1) ] in
+  check_int "duplicate edges coalesced" 2 (Digraph.edge_count g);
+  Alcotest.(check (list int)) "succs 0" [ 1 ] (Digraph.succs g 0);
+  Alcotest.(check (list int)) "preds 2" [ 1 ] (Digraph.preds g 2);
+  check_bool "mem_edge" true (Digraph.mem_edge g 0 1);
+  check_bool "no reverse edge" false (Digraph.mem_edge g 1 0)
+
+let test_out_of_range () =
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Digraph.make: endpoint out of range") (fun () ->
+      ignore (Digraph.make 2 [ (0, 2) ]))
+
+let test_topo_chain () =
+  let g = Digraph.make 4 [ (3, 2); (2, 1); (1, 0) ] in
+  Alcotest.(check (option (list int)))
+    "reverse chain" (Some [ 3; 2; 1; 0 ]) (Digraph.topo_sort g)
+
+let test_topo_deterministic () =
+  (* Among simultaneously-ready nodes, smaller index first. *)
+  let g = Digraph.make 4 [ (1, 3); (0, 3); (2, 3) ] in
+  Alcotest.(check (option (list int)))
+    "stable order" (Some [ 0; 1; 2; 3 ]) (Digraph.topo_sort g)
+
+let test_cycle_detected () =
+  let g = Digraph.make 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check_bool "has cycle" true (Digraph.has_cycle g);
+  Alcotest.(check (option (list int))) "no topo" None (Digraph.topo_sort g)
+
+let test_self_loop () =
+  let g = Digraph.make 2 [ (1, 1) ] in
+  check_bool "self loop is a cycle" true (Digraph.has_cycle g);
+  match Digraph.find_cycle g with
+  | Some [ 1 ] -> ()
+  | other ->
+      Alcotest.failf "expected [1], got %s"
+        (match other with
+        | None -> "None"
+        | Some l -> String.concat "," (List.map string_of_int l))
+
+let test_find_cycle_valid () =
+  let g = Digraph.make 5 [ (0, 1); (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  match Digraph.find_cycle g with
+  | None -> Alcotest.fail "cycle expected"
+  | Some cyc ->
+      check_bool "nonempty" true (cyc <> []);
+      (* Every consecutive pair (and the wrap-around pair) must be an edge. *)
+      let arr = Array.of_list cyc in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        check_bool "edge in cycle" true
+          (Digraph.mem_edge g arr.(i) arr.((i + 1) mod n))
+      done
+
+let test_transitive_closure () =
+  let g = Digraph.make 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Digraph.transitive_closure g in
+  check_bool "0 reaches 3" true (Digraph.mem_edge c 0 3);
+  check_bool "1 reaches 3" true (Digraph.mem_edge c 1 3);
+  check_bool "3 reaches nothing" true (Digraph.succs c 3 = []);
+  check_int "closure of a 3-chain" 6 (Digraph.edge_count c)
+
+let test_closure_with_cycle () =
+  let g = Digraph.make 3 [ (0, 1); (1, 0); (1, 2) ] in
+  let c = Digraph.transitive_closure g in
+  check_bool "0 reaches itself through the cycle" true (Digraph.mem_edge c 0 0);
+  check_bool "0 reaches 2" true (Digraph.mem_edge c 0 2)
+
+let test_sccs () =
+  let g = Digraph.make 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 3); (2, 3) ] in
+  let comps =
+    Digraph.sccs g |> List.map (List.sort compare) |> List.sort compare
+  in
+  Alcotest.(check (list (list int)))
+    "components" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ] comps
+
+let test_add_edges () =
+  let g = Digraph.make 3 [ (0, 1) ] in
+  let g' = Digraph.add_edges g [ (1, 2) ] in
+  check_bool "old edge kept" true (Digraph.mem_edge g' 0 1);
+  check_bool "new edge added" true (Digraph.mem_edge g' 1 2);
+  check_bool "original unchanged" false (Digraph.mem_edge g 1 2)
+
+(* Random DAG generator: edges only from lower to higher indices. *)
+let dag_arb =
+  let gen =
+    let open QCheck.Gen in
+    int_range 1 25 >>= fun n ->
+    let all_pairs = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        all_pairs := (i, j) :: !all_pairs
+      done
+    done;
+    let pairs = !all_pairs in
+    list_size (int_bound (List.length pairs)) (oneofl ((0, 1) :: pairs))
+    >>= fun chosen ->
+    let chosen = List.filter (fun (i, j) -> i < j && j < n) chosen in
+    return (n, chosen)
+  in
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+    gen
+
+let prop_dag_topo_respects_edges =
+  qc "topo order respects every edge" dag_arb (fun (n, es) ->
+      let g = Digraph.make n es in
+      match Digraph.topo_sort g with
+      | None -> false
+      | Some order ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i v -> pos.(v) <- i) order;
+          List.for_all (fun (u, v) -> pos.(u) < pos.(v)) es
+          && List.length order = n)
+
+let prop_dag_no_cycle =
+  qc "index-increasing graphs are acyclic" dag_arb (fun (n, es) ->
+      not (Digraph.has_cycle (Digraph.make n es)))
+
+let prop_closure_transitive =
+  qc "closure is transitively closed" dag_arb (fun (n, es) ->
+      let c = Digraph.transitive_closure (Digraph.make n es) in
+      List.for_all
+        (fun (u, v) ->
+          List.for_all (fun w -> Digraph.mem_edge c u w) (Digraph.succs c v))
+        (Digraph.edges c))
+
+let prop_cycle_iff_no_topo =
+  qc "has_cycle iff topo_sort fails"
+    QCheck.(
+      pair (int_range 1 15)
+        (list_of_size Gen.(int_bound 30) (pair (int_bound 14) (int_bound 14))))
+    (fun (n, es) ->
+      let es = List.filter (fun (a, b) -> a < n && b < n) es in
+      let g = Digraph.make n es in
+      Digraph.has_cycle g = (Digraph.topo_sort g = None)
+      && Digraph.has_cycle g = (Digraph.find_cycle g <> None))
+
+let suite =
+  [
+    ( "digraph",
+      [
+        Alcotest.test_case "empty" `Quick test_empty_graph;
+        Alcotest.test_case "edges" `Quick test_basic_edges;
+        Alcotest.test_case "range check" `Quick test_out_of_range;
+        Alcotest.test_case "topo chain" `Quick test_topo_chain;
+        Alcotest.test_case "topo deterministic" `Quick test_topo_deterministic;
+        Alcotest.test_case "cycle detection" `Quick test_cycle_detected;
+        Alcotest.test_case "self loop" `Quick test_self_loop;
+        Alcotest.test_case "find_cycle valid" `Quick test_find_cycle_valid;
+        Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+        Alcotest.test_case "closure with cycle" `Quick test_closure_with_cycle;
+        Alcotest.test_case "sccs" `Quick test_sccs;
+        Alcotest.test_case "add_edges" `Quick test_add_edges;
+        prop_dag_topo_respects_edges;
+        prop_dag_no_cycle;
+        prop_closure_transitive;
+        prop_cycle_iff_no_topo;
+      ] );
+  ]

@@ -1,0 +1,120 @@
+open Vax
+
+let qc ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_bool = Alcotest.(check bool)
+
+let sample_program =
+  Isa.
+    [
+      Label "_main";
+      Subl2 (Imm 12, Reg 14);
+      Movl (Disp (4, 12), Disp (-4, 13));
+      Movl (Imm 0, Reg 0);
+      Label "loop";
+      Cmpl (Reg 0, Imm 10);
+      Bgeq "done";
+      Pushl (Reg 0);
+      Calls (1, "_print_int");
+      Addl2 (Imm 1, Reg 0);
+      Brb "loop";
+      Label "done";
+      Ret;
+      Halt;
+    ]
+
+let test_roundtrip () =
+  let obj = Encode.encode sample_program in
+  check_bool "round trip" true (Encode.decode obj = sample_program)
+
+let test_comments_dropped () =
+  let prog = Isa.[ Comment "hello"; Halt ] in
+  check_bool "comments dropped" true (Encode.decode (Encode.encode prog) = [ Isa.Halt ])
+
+let test_compactness () =
+  (* the paper's motivation for integrating assembly into the compiler *)
+  let text = String.length (Isa.to_string sample_program) in
+  let binary = Encode.encoded_size sample_program in
+  check_bool
+    (Printf.sprintf "binary %dB < text %dB" binary text)
+    true (binary < text)
+
+let test_compactness_on_compiled_pascal () =
+  let src =
+    "program t; var i, s : integer; begin s := 0; for i := 1 to 9 do begin s \
+     := s + i * i end; writeln(s) end."
+  in
+  let c = Pascal.Driver.compile_source src in
+  let instrs = Asm_parser.parse c.Pascal.Driver.c_asm in
+  let text = String.length c.Pascal.Driver.c_asm in
+  let binary = Encode.encoded_size instrs in
+  check_bool
+    (Printf.sprintf "compiled code: binary %dB vs text %dB" binary text)
+    true
+    (float_of_int binary < 0.6 *. float_of_int text);
+  (* and the object still denotes the same program *)
+  check_bool "decode preserves" true (Encode.decode (Encode.encode instrs) = instrs)
+
+let test_corrupt_rejected () =
+  let obj = Encode.encode sample_program in
+  (* cut inside the second instruction's immediate operand *)
+  let bad = { obj with Encode.o_code = Bytes.sub obj.Encode.o_code 0 5 } in
+  match Encode.decode bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected decode failure"
+
+let arb_instrs =
+  let open QCheck.Gen in
+  let reg = int_bound 15 in
+  let operand =
+    oneof
+      [
+        map (fun n -> Isa.Imm n) (int_range (-100000) 100000);
+        map (fun r -> Isa.Reg r) reg;
+        map (fun r -> Isa.Deref r) reg;
+        map2 (fun d r -> Isa.Disp (d, r)) (int_range (-5000) 5000) reg;
+        map (fun r -> Isa.PostInc r) reg;
+        map (fun r -> Isa.PreDec r) reg;
+        return (Isa.Lbl "sym");
+      ]
+  in
+  let label = oneofl [ "a"; "b"; "_print_int"; "loop1" ] in
+  let instr =
+    oneof
+      [
+        map (fun l -> Isa.Label l) label;
+        map2 (fun a b -> Isa.Movl (a, b)) operand operand;
+        map (fun a -> Isa.Pushl a) operand;
+        (let three f =
+           map (fun ((a, b), c) -> f a b c) (pair (pair operand operand) operand)
+         in
+         three (fun a b c -> Isa.Subl3 (a, b, c)));
+        map2 (fun a b -> Isa.Cmpl (a, b)) operand operand;
+        map (fun l -> Isa.Bneq l) label;
+        map2 (fun n l -> Isa.Calls (n, l)) (int_bound 10) label;
+        return Isa.Ret;
+        return Isa.Halt;
+      ]
+  in
+  QCheck.make
+    ~print:(fun l -> Isa.to_string l)
+    (list_size (int_bound 30) instr)
+
+let prop_roundtrip =
+  qc "encode/decode round trips" arb_instrs (fun prog ->
+      Encode.decode (Encode.encode prog) = prog)
+
+let suite =
+  [
+    ( "encode",
+      [
+        Alcotest.test_case "round trip" `Quick test_roundtrip;
+        Alcotest.test_case "comments" `Quick test_comments_dropped;
+        Alcotest.test_case "compactness" `Quick test_compactness;
+        Alcotest.test_case "compiled pascal" `Quick
+          test_compactness_on_compiled_pascal;
+        Alcotest.test_case "corrupt rejected" `Quick test_corrupt_rejected;
+        prop_roundtrip;
+      ] );
+  ]

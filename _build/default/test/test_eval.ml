@@ -1,0 +1,220 @@
+open Pag_core
+open Pag_analysis
+open Pag_eval
+open Pag_grammars
+
+let qc ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let plan_of g =
+  match Kastens.analyze g with
+  | Ok p -> p
+  | Error f -> Alcotest.failf "analysis failed: %a" Kastens.pp_failure f
+
+let expr_plan = lazy (plan_of Expr_ag.grammar)
+let repmin_plan = lazy (plan_of Repmin_ag.grammar)
+let binary_plan = lazy (plan_of Binary_ag.grammar)
+
+let root_int store =
+  Value.as_int ~ctx:"test" (Store.get store (Store.root store) "value")
+
+(* ------------------------- oracle ------------------------- *)
+
+let test_oracle_example () =
+  let store = Oracle.eval Expr_ag.grammar Expr_ag.example in
+  check_int "appendix example = 5" 5 (root_int store);
+  check_int "all instances evaluated" 0 (Store.missing store)
+
+let test_oracle_demand_only_root () =
+  let store = Oracle.eval_root_demand Expr_ag.grammar Expr_ag.example in
+  check_int "value" 5 (root_int store)
+
+let test_oracle_unbound_var () =
+  let t = Expr_ag.main (Expr_ag.var "ghost") in
+  match Oracle.eval Expr_ag.grammar t with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected unbound identifier error"
+
+let test_oracle_cycle_detected () =
+  let open Grammar in
+  let g =
+    make ~name:"circ" ~start:"r"
+      [
+        terminal "T" [];
+        nonterminal "r" [ syn "out" ];
+        nonterminal "x" [ syn "s"; inh "i" ];
+      ]
+      [
+        production ~name:"root" ~lhs:"r" ~rhs:[ "x" ]
+          [
+            rule (lhs "out") ~deps:[ rhs 1 "s" ] (fun a -> a.(0));
+            rule (rhs 1 "i") ~deps:[ rhs 1 "s" ] (fun a -> a.(0));
+          ];
+        production ~name:"leaf" ~lhs:"x" ~rhs:[ "T" ]
+          [ rule (lhs "s") ~deps:[ lhs "i" ] (fun a -> a.(0)) ];
+      ]
+  in
+  let t = Tree.node g "root" [ Tree.node g "leaf" [ Tree.leaf g "T" [] ] ] in
+  match Oracle.eval g t with
+  | exception Oracle.Cycle _ -> ()
+  | _ -> Alcotest.fail "expected cycle"
+
+(* ------------------------- dynamic ------------------------- *)
+
+let test_dynamic_example () =
+  let store, stats = Dynamic.eval Expr_ag.grammar Expr_ag.example in
+  check_int "value" 5 (root_int store);
+  check_bool "built a graph" true (stats.Dynamic.edges > 0);
+  check_int "no instance left" 0 (Store.missing store)
+
+let test_dynamic_cycle () =
+  let open Grammar in
+  let g =
+    make ~name:"circ" ~start:"r"
+      [
+        terminal "T" [];
+        nonterminal "r" [ syn "out" ];
+        nonterminal "x" [ syn "s"; inh "i" ];
+      ]
+      [
+        production ~name:"root" ~lhs:"r" ~rhs:[ "x" ]
+          [
+            rule (lhs "out") ~deps:[ rhs 1 "s" ] (fun a -> a.(0));
+            rule (rhs 1 "i") ~deps:[ rhs 1 "s" ] (fun a -> a.(0));
+          ];
+        production ~name:"leaf" ~lhs:"x" ~rhs:[ "T" ]
+          [ rule (lhs "s") ~deps:[ lhs "i" ] (fun a -> a.(0)) ];
+      ]
+  in
+  let t = Tree.node g "root" [ Tree.node g "leaf" [ Tree.leaf g "T" [] ] ] in
+  match Dynamic.eval g t with
+  | exception Dynamic.Cycle _ -> ()
+  | _ -> Alcotest.fail "expected cycle"
+
+(* ------------------------- static ------------------------- *)
+
+let test_static_example () =
+  let store, stats = Static_eval.eval (Lazy.force expr_plan) Expr_ag.example in
+  check_int "value" 5 (root_int store);
+  check_bool "visited nodes" true (stats.Static_eval.visits > 0);
+  check_int "complete" 0 (Store.missing store)
+
+let test_static_repmin () =
+  let t = Repmin_ag.(root (fork (fork (leaf 5) (leaf 2)) (leaf 9))) in
+  let store, _ = Static_eval.eval (Lazy.force repmin_plan) t in
+  let expected = Repmin_ag.reference_result t in
+  check_bool "repmin result" true
+    (Value.equal expected (Store.get store (Store.root store) "res"))
+
+let test_static_binary () =
+  let bits = [ 1; 0; 1; 1 ] in
+  let store, _ = Static_eval.eval (Lazy.force binary_plan) (Binary_ag.of_bits bits) in
+  check_int "1011 = 11" 11 (root_int store)
+
+(* ---------------- equivalence properties ---------------- *)
+
+let stores_agree g a b =
+  (* Same values on every instance. *)
+  let ok = ref true in
+  ignore g;
+  Store.iter_instances a (fun node attr ->
+      let va = Store.get_opt a node attr.Grammar.a_name in
+      (* node ids are identical because both stores numbered the same tree *)
+      let vb = Store.get_opt b node attr.Grammar.a_name in
+      match (va, vb) with
+      | Some x, Some y -> if not (Value.equal x y) then ok := false
+      | None, None -> ()
+      | _ -> ok := false);
+  !ok
+
+let arb_expr =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tree.pp t)
+    QCheck.Gen.(
+      int_bound 1_000_000 >>= fun seed ->
+      int_range 1 7 >>= fun depth ->
+      return
+        (Expr_ag.random_program (Random.State.make [| seed |]) ~depth))
+
+let prop_expr_all_evaluators_agree =
+  qc "expr: oracle = dynamic = static" arb_expr (fun t ->
+      let o = Oracle.eval Expr_ag.grammar t in
+      let d, _ = Dynamic.eval Expr_ag.grammar t in
+      let s, _ = Static_eval.eval (Lazy.force expr_plan) t in
+      stores_agree Expr_ag.grammar o d && stores_agree Expr_ag.grammar o s)
+
+let prop_expr_matches_reference =
+  qc "expr: evaluators match direct interpretation" arb_expr (fun t ->
+      let s, _ = Static_eval.eval (Lazy.force expr_plan) t in
+      root_int s = Expr_ag.reference_value t)
+
+let arb_repmin =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tree.pp t)
+    QCheck.Gen.(
+      int_bound 1_000_000 >>= fun seed ->
+      int_range 1 8 >>= fun depth ->
+      return (Repmin_ag.random_tree (Random.State.make [| seed |]) ~depth))
+
+let prop_repmin_agree =
+  qc "repmin: oracle = dynamic = static = reference" arb_repmin (fun t ->
+      let o = Oracle.eval Repmin_ag.grammar t in
+      let d, _ = Dynamic.eval Repmin_ag.grammar t in
+      let s, _ = Static_eval.eval (Lazy.force repmin_plan) t in
+      stores_agree Repmin_ag.grammar o d
+      && stores_agree Repmin_ag.grammar o s
+      && Value.equal
+           (Store.get s (Store.root s) "res")
+           (Repmin_ag.reference_result t))
+
+let arb_bits =
+  QCheck.make
+    ~print:(fun bits -> String.concat "" (List.map string_of_int bits))
+    QCheck.Gen.(
+      int_bound 1_000_000 >>= fun seed ->
+      return
+        (Binary_ag.random_bits (Random.State.make [| seed |]) ~max_len:20))
+
+let prop_binary_agree =
+  qc "binary: evaluators = reference" arb_bits (fun bits ->
+      let t = Binary_ag.of_bits bits in
+      let o = Oracle.eval Binary_ag.grammar t in
+      let d, _ = Dynamic.eval Binary_ag.grammar t in
+      let s, _ = Static_eval.eval (Lazy.force binary_plan) t in
+      stores_agree Binary_ag.grammar o d
+      && stores_agree Binary_ag.grammar o s
+      && root_int s = Binary_ag.reference_value bits)
+
+let prop_static_cheaper_analysis =
+  (* The paper's core claim for sequential execution: static evaluation does
+     no per-tree dependency work. We check the dynamic evaluator builds a
+     graph with at least as many operations as rules fired, while static
+     fires the same rules with zero graph edges built. *)
+  qc "dynamic builds graphs, static does not" arb_expr (fun t ->
+      let _, ds = Dynamic.eval Expr_ag.grammar t in
+      let _, ss = Static_eval.eval (Lazy.force expr_plan) t in
+      ds.Dynamic.evals = ss.Static_eval.evals && ds.Dynamic.edges > 0)
+
+let suite =
+  [
+    ( "eval",
+      [
+        Alcotest.test_case "oracle example" `Quick test_oracle_example;
+        Alcotest.test_case "oracle demand" `Quick test_oracle_demand_only_root;
+        Alcotest.test_case "oracle unbound" `Quick test_oracle_unbound_var;
+        Alcotest.test_case "oracle cycle" `Quick test_oracle_cycle_detected;
+        Alcotest.test_case "dynamic example" `Quick test_dynamic_example;
+        Alcotest.test_case "dynamic cycle" `Quick test_dynamic_cycle;
+        Alcotest.test_case "static example" `Quick test_static_example;
+        Alcotest.test_case "static repmin" `Quick test_static_repmin;
+        Alcotest.test_case "static binary" `Quick test_static_binary;
+        prop_expr_all_evaluators_agree;
+        prop_expr_matches_reference;
+        prop_repmin_agree;
+        prop_binary_agree;
+        prop_static_cheaper_analysis;
+      ] );
+  ]

@@ -1,0 +1,161 @@
+open Pag_core
+
+let check_bool = Alcotest.(check bool)
+
+let f_const args =
+  ignore args;
+  Value.Int 0
+
+(* A minimal correct grammar for probing the validator. *)
+let good_symbols () =
+  let open Grammar in
+  [
+    terminal "NUM" [ "v" ];
+    nonterminal "s" [ syn "out" ];
+    nonterminal "e" [ syn "val"; inh "env" ];
+  ]
+
+let good_productions () =
+  let open Grammar in
+  [
+    production ~name:"start" ~lhs:"s" ~rhs:[ "e" ]
+      [
+        rule (lhs "out") ~deps:[ rhs 1 "val" ] (fun a -> a.(0));
+        rule (rhs 1 "env") ~deps:[] f_const;
+      ];
+    production ~name:"num" ~lhs:"e" ~rhs:[ "NUM" ]
+      [ rule (lhs "val") ~deps:[ rhs 1 "v"; lhs "env" ] (fun a -> a.(0)) ];
+  ]
+
+let make_good () =
+  Grammar.make ~name:"t" ~start:"s" (good_symbols ()) (good_productions ())
+
+let test_valid_grammar () =
+  let g = make_good () in
+  Alcotest.(check string) "name" "t" (Grammar.name g);
+  Alcotest.(check int) "two prods for nothing" 1
+    (List.length (Grammar.prods_for g "s"));
+  check_bool "terminal" true (Grammar.symbol g "NUM").Grammar.s_term;
+  Alcotest.(check int) "attr_pos" 1 (Grammar.attr_pos g ~sym:"e" ~attr:"env");
+  Alcotest.(check (list string)) "reduced" [] (Grammar.check_reduced g)
+
+let expect_error f =
+  match f () with
+  | exception Grammar.Error _ -> ()
+  | _ -> Alcotest.fail "expected Grammar.Error"
+
+let test_missing_rule () =
+  (* 'env' of e never defined in production start *)
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s" (good_symbols ())
+        [
+          Grammar.production ~name:"start" ~lhs:"s" ~rhs:[ "e" ]
+            [ Grammar.rule (Grammar.lhs "out") ~deps:[ Grammar.rhs 1 "val" ] f_const ];
+          List.nth (good_productions ()) 1;
+        ])
+
+let test_double_definition () =
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s" (good_symbols ())
+        [
+          Grammar.production ~name:"start" ~lhs:"s" ~rhs:[ "e" ]
+            [
+              Grammar.rule (Grammar.lhs "out") ~deps:[] f_const;
+              Grammar.rule (Grammar.rhs 1 "env") ~deps:[] f_const;
+              Grammar.rule (Grammar.rhs 1 "env") ~deps:[] f_const;
+            ];
+          List.nth (good_productions ()) 1;
+        ])
+
+let test_terminal_lhs () =
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s" (good_symbols ())
+        (Grammar.production ~name:"bad" ~lhs:"NUM" ~rhs:[] []
+        :: good_productions ()))
+
+let test_undeclared_symbol () =
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s" (good_symbols ())
+        (Grammar.production ~name:"bad" ~lhs:"s" ~rhs:[ "ghost" ] []
+        :: good_productions ()))
+
+let test_bad_start () =
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"ghost" (good_symbols ()) (good_productions ()));
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"NUM" (good_symbols ()) (good_productions ()))
+
+let test_dep_on_invisible () =
+  (* depending on a synthesized attribute of the LHS is not allowed *)
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s" (good_symbols ())
+        [
+          Grammar.production ~name:"start" ~lhs:"s" ~rhs:[ "e" ]
+            [
+              Grammar.rule (Grammar.lhs "out") ~deps:[ Grammar.lhs "out" ] f_const;
+              Grammar.rule (Grammar.rhs 1 "env") ~deps:[] f_const;
+            ];
+          List.nth (good_productions ()) 1;
+        ])
+
+let test_duplicate_symbol () =
+  expect_error (fun () ->
+      Grammar.make ~name:"t" ~start:"s"
+        (Grammar.terminal "NUM" [] :: good_symbols ())
+        (good_productions ()))
+
+let test_inherited_terminal () =
+  (* terminals cannot have inherited attributes — via the validator *)
+  match
+    Grammar.make ~name:"t" ~start:"s"
+      [
+        { (Grammar.terminal "NUM" [ "v" ]) with
+          Grammar.s_attrs = [| Grammar.inh "bad" |];
+        };
+        Grammar.nonterminal "s" [ Grammar.syn "out" ];
+      ]
+      []
+  with
+  | exception Grammar.Error _ -> ()
+  | _ -> Alcotest.fail "expected Grammar.Error"
+
+let test_unreachable_warning () =
+  let g =
+    Grammar.make ~name:"t" ~start:"s"
+      (Grammar.nonterminal "orphan" [] :: good_symbols ())
+      (Grammar.production ~name:"orphan" ~lhs:"orphan" ~rhs:[] []
+      :: good_productions ())
+  in
+  check_bool "warns about unreachable" true (Grammar.check_reduced g <> [])
+
+let test_priority_flag () =
+  let g =
+    Grammar.make ~name:"t" ~start:"s"
+      [
+        Grammar.nonterminal "s" [ Grammar.syn "out" ];
+        Grammar.nonterminal "e"
+          [ Grammar.syn "val"; Grammar.inh ~priority:true "env" ];
+        Grammar.terminal "NUM" [ "v" ];
+      ]
+      (good_productions ())
+  in
+  check_bool "env is priority" true (Grammar.is_priority g ~sym:"e" ~attr:"env");
+  check_bool "val is not" false (Grammar.is_priority g ~sym:"e" ~attr:"val")
+
+let suite =
+  [
+    ( "grammar",
+      [
+        Alcotest.test_case "valid grammar" `Quick test_valid_grammar;
+        Alcotest.test_case "missing rule" `Quick test_missing_rule;
+        Alcotest.test_case "double definition" `Quick test_double_definition;
+        Alcotest.test_case "terminal lhs" `Quick test_terminal_lhs;
+        Alcotest.test_case "undeclared symbol" `Quick test_undeclared_symbol;
+        Alcotest.test_case "bad start" `Quick test_bad_start;
+        Alcotest.test_case "invisible dep" `Quick test_dep_on_invisible;
+        Alcotest.test_case "duplicate symbol" `Quick test_duplicate_symbol;
+        Alcotest.test_case "inherited terminal" `Quick test_inherited_terminal;
+        Alcotest.test_case "unreachable warning" `Quick test_unreachable_warning;
+        Alcotest.test_case "priority flag" `Quick test_priority_flag;
+      ] );
+  ]

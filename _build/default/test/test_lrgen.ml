@@ -1,0 +1,267 @@
+open Lrgen
+
+let qc ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p name lhs rhs = { Cfg.cp_name = name; cp_lhs = lhs; cp_rhs = rhs; cp_prec = None }
+
+(* Classic expression grammar, made unambiguous by precedence. *)
+let expr_cfg =
+  Cfg.make
+    ~terminals:[ "NUM"; "PLUS"; "TIMES"; "LP"; "RP" ]
+    ~start:"e"
+    ~prec:[ (Cfg.Left, [ "PLUS" ]); (Cfg.Left, [ "TIMES" ]) ]
+    [
+      p "add" "e" [ "e"; "PLUS"; "e" ];
+      p "mul" "e" [ "e"; "TIMES"; "e" ];
+      p "num" "e" [ "NUM" ];
+      p "paren" "e" [ "LP"; "e"; "RP" ];
+    ]
+
+let expr_tables = lazy (Lalr.build expr_cfg)
+
+type sexp = Num of int | Add of sexp * sexp | Mul of sexp * sexp
+
+let rec eval = function
+  | Num n -> n
+  | Add (a, b) -> eval a + eval b
+  | Mul (a, b) -> eval a * eval b
+
+let parse_expr tokens =
+  Engine.parse (Lazy.force expr_tables)
+    ~shift:(fun _ v -> Num v)
+    ~reduce:(fun prod children ->
+      match (prod.Cfg.cp_name, children) with
+      | "add", [ a; _; b ] -> Add (a, b)
+      | "mul", [ a; _; b ] -> Mul (a, b)
+      | "num", [ n ] -> n
+      | "paren", [ _; e; _ ] -> e
+      | _ -> assert false)
+    tokens
+
+let toks_of_string s =
+  (* tiny scanner: digits, + * ( ) *)
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> out := ("NUM", Char.code c - Char.code '0') :: !out
+      | '+' -> out := ("PLUS", 0) :: !out
+      | '*' -> out := ("TIMES", 0) :: !out
+      | '(' -> out := ("LP", 0) :: !out
+      | ')' -> out := ("RP", 0) :: !out
+      | ' ' -> ()
+      | _ -> invalid_arg "toks")
+    s;
+  List.rev !out
+
+let test_no_conflicts () =
+  Alcotest.(check (list string)) "precedence resolves all conflicts" []
+    (Lalr.conflicts (Lazy.force expr_tables))
+
+let test_simple_parse () =
+  check_int "3" 3 (eval (parse_expr (toks_of_string "3")));
+  check_int "1+2" 3 (eval (parse_expr (toks_of_string "1+2")));
+  check_int "2*3+4" 10 (eval (parse_expr (toks_of_string "2*3+4")));
+  check_int "2+3*4" 14 (eval (parse_expr (toks_of_string "2+3*4")));
+  check_int "(2+3)*4" 20 (eval (parse_expr (toks_of_string "(2+3)*4")))
+
+let test_left_associativity () =
+  (* 8 + 3 + 1: left assoc means (8+3)+1; structure check *)
+  match parse_expr (toks_of_string "8+3+1") with
+  | Add (Add (Num 8, Num 3), Num 1) -> ()
+  | _ -> Alcotest.fail "expected left-associated tree"
+
+let test_syntax_error () =
+  (match parse_expr (toks_of_string "1+") with
+  | exception Engine.Syntax_error { position = 2; expected; _ } ->
+      check_bool "expects NUM or LP" true
+        (List.mem "NUM" expected && List.mem "LP" expected)
+  | _ -> Alcotest.fail "expected syntax error");
+  match parse_expr (toks_of_string "1 2") with
+  | exception Engine.Syntax_error { position = 1; token = "NUM"; _ } -> ()
+  | _ -> Alcotest.fail "expected syntax error at second NUM"
+
+let test_right_assoc () =
+  let cfg =
+    Cfg.make ~terminals:[ "X"; "ARROW" ] ~start:"t"
+      ~prec:[ (Cfg.Right, [ "ARROW" ]) ]
+      [ p "fn" "t" [ "t"; "ARROW"; "t" ]; p "x" "t" [ "X" ] ]
+  in
+  let tables = Lalr.build cfg in
+  Alcotest.(check (list string)) "clean" [] (Lalr.conflicts tables);
+  let v =
+    Engine.parse tables
+      ~shift:(fun n _ -> n)
+      ~reduce:(fun prod kids ->
+        match (prod.Cfg.cp_name, kids) with
+        | "fn", [ a; _; b ] -> Printf.sprintf "(%s->%s)" a b
+        | "x", [ _ ] -> "x"
+        | _ -> assert false)
+      [ ("X", ()); ("ARROW", ()); ("X", ()); ("ARROW", ()); ("X", ()) ]
+  in
+  Alcotest.(check string) "right assoc" "(x->(x->x))" v
+
+let test_nonassoc () =
+  let cfg =
+    Cfg.make ~terminals:[ "N"; "EQ" ] ~start:"c"
+      ~prec:[ (Cfg.Nonassoc, [ "EQ" ]) ]
+      [ p "cmp" "c" [ "c"; "EQ"; "c" ]; p "n" "c" [ "N" ] ]
+  in
+  let tables = Lalr.build cfg in
+  let parse toks =
+    Engine.parse tables
+      ~shift:(fun _ _ -> ())
+      ~reduce:(fun _ _ -> ())
+      toks
+  in
+  parse [ ("N", ()); ("EQ", ()); ("N", ()) ];
+  match parse [ ("N", ()); ("EQ", ()); ("N", ()); ("EQ", ()); ("N", ()) ] with
+  | exception Engine.Syntax_error _ -> ()
+  | () -> Alcotest.fail "a = b = c must be rejected with nonassoc"
+
+(* An LALR-but-not-SLR grammar:
+     S -> A a | b A c | d c | b d a ; A -> d
+   (classic example). LALR(1) handles it without conflicts. *)
+let test_lalr_not_slr () =
+  let cfg =
+    Cfg.make ~terminals:[ "a"; "b"; "c"; "d" ] ~start:"S"
+      [
+        p "s1" "S" [ "A"; "a" ];
+        p "s2" "S" [ "b"; "A"; "c" ];
+        p "s3" "S" [ "d"; "c" ];
+        p "s4" "S" [ "b"; "d"; "a" ];
+        p "a1" "A" [ "d" ];
+      ]
+  in
+  let tables = Lalr.build cfg in
+  Alcotest.(check (list string)) "no conflicts" [] (Lalr.conflicts tables);
+  let parse toks =
+    Engine.parse tables
+      ~shift:(fun n _ -> n)
+      ~reduce:(fun prod _ -> prod.Cfg.cp_name)
+      (List.map (fun t -> (t, ())) toks)
+  in
+  Alcotest.(check string) "d a" "s1" (parse [ "d"; "a" ]);
+  Alcotest.(check string) "b d c" "s2" (parse [ "b"; "d"; "c" ]);
+  Alcotest.(check string) "d c" "s3" (parse [ "d"; "c" ]);
+  Alcotest.(check string) "b d a" "s4" (parse [ "b"; "d"; "a" ])
+
+let test_empty_production () =
+  (* lists with an epsilon production *)
+  let cfg =
+    Cfg.make ~terminals:[ "X" ] ~start:"l"
+      [ p "nil" "l" []; p "cons" "l" [ "l"; "X" ] ]
+  in
+  let tables = Lalr.build cfg in
+  let count toks =
+    Engine.parse tables
+      ~shift:(fun _ _ -> 1)
+      ~reduce:(fun prod kids ->
+        match (prod.Cfg.cp_name, kids) with
+        | "nil", [] -> 0
+        | "cons", [ n; _ ] -> n + 1
+        | _ -> assert false)
+      toks
+  in
+  check_int "empty" 0 (count []);
+  check_int "three" 3 (count [ ("X", ()); ("X", ()); ("X", ()) ])
+
+let test_cfg_validation () =
+  let bad f = match f () with exception Cfg.Error _ -> true | _ -> false in
+  check_bool "unknown rhs symbol" true
+    (bad (fun () -> Cfg.make ~terminals:[ "X" ] ~start:"s" [ p "s" "s" [ "Y" ] ]));
+  check_bool "bad start" true
+    (bad (fun () -> Cfg.make ~terminals:[ "X" ] ~start:"t" [ p "s" "s" [ "X" ] ]));
+  check_bool "terminal = nonterminal" true
+    (bad (fun () -> Cfg.make ~terminals:[ "s" ] ~start:"s" [ p "s" "s" [] ]));
+  check_bool "dup names" true
+    (bad (fun () ->
+         Cfg.make ~terminals:[ "X" ] ~start:"s"
+           [ p "s" "s" [ "X" ]; p "s" "s" [] ]))
+
+(* Random expression property: parse a random arithmetic sentence and
+   compare with a reference recursive-descent evaluation. *)
+let gen_expr_string =
+  QCheck.Gen.(
+    let rec go depth =
+      if depth = 0 then map string_of_int (int_range 0 9)
+      else
+        frequency
+          [
+            (2, map string_of_int (int_range 0 9));
+            (2, map2 (fun a b -> a ^ "+" ^ b) (go (depth - 1)) (go (depth - 1)));
+            (2, map2 (fun a b -> a ^ "*" ^ b) (go (depth - 1)) (go (depth - 1)));
+            (1, map (fun a -> "(" ^ a ^ ")") (go (depth - 1)));
+          ]
+    in
+    go 5)
+
+(* reference: precedence-climbing on the same token list *)
+let reference_eval toks =
+  let toks = ref toks in
+  let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  let advance () = toks := List.tl !toks in
+  let rec atom () =
+    match peek () with
+    | Some ("NUM", v) ->
+        advance ();
+        v
+    | Some ("LP", _) ->
+        advance ();
+        let v = sum () in
+        advance () (* RP *);
+        v
+    | _ -> failwith "ref"
+  and product () =
+    let v = ref (atom ()) in
+    let rec loop () =
+      match peek () with
+      | Some ("TIMES", _) ->
+          advance ();
+          v := !v * atom ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and sum () =
+    let v = ref (product ()) in
+    let rec loop () =
+      match peek () with
+      | Some ("PLUS", _) ->
+          advance ();
+          v := !v + product ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  in
+  sum ()
+
+let prop_matches_reference =
+  qc "LALR parse = precedence climbing" (QCheck.make ~print:Fun.id gen_expr_string)
+    (fun s ->
+      let toks = toks_of_string s in
+      eval (parse_expr toks) = reference_eval toks)
+
+let suite =
+  [
+    ( "lrgen",
+      [
+        Alcotest.test_case "no conflicts" `Quick test_no_conflicts;
+        Alcotest.test_case "simple parses" `Quick test_simple_parse;
+        Alcotest.test_case "left assoc" `Quick test_left_associativity;
+        Alcotest.test_case "syntax errors" `Quick test_syntax_error;
+        Alcotest.test_case "right assoc" `Quick test_right_assoc;
+        Alcotest.test_case "nonassoc" `Quick test_nonassoc;
+        Alcotest.test_case "lalr not slr" `Quick test_lalr_not_slr;
+        Alcotest.test_case "empty production" `Quick test_empty_production;
+        Alcotest.test_case "cfg validation" `Quick test_cfg_validation;
+        prop_matches_reference;
+      ] );
+  ]

@@ -1,0 +1,190 @@
+open Netsim
+
+module S = Sim.Make (struct
+  type msg = string
+end)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_delay_advances_time () =
+  let sim = S.create () in
+  let finished = ref 0.0 in
+  let _ =
+    S.spawn sim ~name:"a" (fun () ->
+        S.delay 1.5;
+        S.delay 0.5;
+        finished := S.time ())
+  in
+  S.run sim;
+  check_float "two delays" 2.0 !finished;
+  check_float "sim clock" 2.0 (S.now sim)
+
+let test_send_recv () =
+  let sim = S.create () in
+  let got = ref "" and got_at = ref 0.0 in
+  let receiver =
+    S.spawn sim ~name:"recv" (fun () ->
+        got := S.recv ();
+        got_at := S.time ())
+  in
+  let _ =
+    S.spawn sim ~name:"send" (fun () ->
+        S.delay 1.0;
+        S.send ~dst:receiver ~size:1000 "hello")
+  in
+  S.run sim;
+  Alcotest.(check string) "message" "hello" !got;
+  (* arrival = send time + transmission + latency *)
+  let p = Ethernet.default_params in
+  check_float "arrival time"
+    (1.0 +. (1000.0 /. p.Ethernet.bandwidth) +. p.Ethernet.latency)
+    !got_at
+
+let test_recv_before_send_blocks () =
+  (* The receiver starts first and must idle until the message arrives. *)
+  let sim = S.create () in
+  let receiver = S.spawn sim ~name:"r" (fun () -> ignore (S.recv ())) in
+  let _ =
+    S.spawn sim ~name:"s" (fun () ->
+        S.delay 2.0;
+        S.send ~dst:receiver ~size:10 "x")
+  in
+  S.run sim;
+  let idle =
+    List.filter
+      (fun s -> s.Trace.sg_pid = receiver && s.Trace.sg_kind = Trace.Idle)
+      (Trace.segments (S.trace sim))
+  in
+  check_int "one idle segment" 1 (List.length idle);
+  check_bool "idle spans the wait" true
+    (match idle with
+    | [ s ] -> s.Trace.sg_t0 = 0.0 && s.Trace.sg_t1 > 2.0
+    | _ -> false)
+
+let test_mailbox_fifo () =
+  let sim = S.create () in
+  let order = ref [] in
+  let receiver =
+    S.spawn sim ~name:"r" (fun () ->
+        S.delay 5.0;
+        (* both messages already queued *)
+        let a = S.recv () in
+        let b = S.recv () in
+        order := [ a; b ])
+  in
+  let _ =
+    S.spawn sim ~name:"s" (fun () ->
+        S.send ~dst:receiver ~size:10 "first";
+        S.send ~dst:receiver ~size:10 "second")
+  in
+  S.run sim;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second" ] !order
+
+let test_try_recv () =
+  let sim = S.create () in
+  let early = ref (Some "junk") and late = ref None in
+  let receiver =
+    S.spawn sim ~name:"r" (fun () ->
+        early := S.try_recv ();
+        S.delay 3.0;
+        late := S.try_recv ())
+  in
+  let _ = S.spawn sim ~name:"s" (fun () -> S.send ~dst:receiver ~size:10 "m") in
+  S.run sim;
+  check_bool "nothing at t=0" true (!early = None);
+  check_bool "delivered by t=3" true (!late = Some "m")
+
+let test_deadlock_detected () =
+  let sim = S.create () in
+  let _ = S.spawn sim ~name:"stuck" (fun () -> ignore (S.recv ())) in
+  match S.run sim with
+  | exception S.Deadlock _ -> ()
+  | () -> Alcotest.fail "expected deadlock"
+
+let test_ethernet_contention () =
+  (* Two simultaneous big sends must serialize on the shared medium. *)
+  let sim = S.create () in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let r1 = S.spawn sim ~name:"r1" (fun () -> ignore (S.recv ()); t1 := S.time ()) in
+  let r2 = S.spawn sim ~name:"r2" (fun () -> ignore (S.recv ()); t2 := S.time ()) in
+  let _ = S.spawn sim ~name:"s1" (fun () -> S.send ~dst:r1 ~size:125_000 "a") in
+  let _ = S.spawn sim ~name:"s2" (fun () -> S.send ~dst:r2 ~size:125_000 "b") in
+  S.run sim;
+  let p = Ethernet.default_params in
+  let tx = 125_000.0 /. p.Ethernet.bandwidth in
+  let first = min !t1 !t2 and second = max !t1 !t2 in
+  check_float "first arrives after one tx" (tx +. p.Ethernet.latency) first;
+  check_float "second queued behind" ((2.0 *. tx) +. p.Ethernet.latency) second;
+  check_bool "contention recorded" true
+    (Ethernet.contention_time (S.network sim) > 0.0)
+
+let test_no_contention_mode () =
+  let params = { Ethernet.default_params with Ethernet.contention = false } in
+  let sim = S.create ~params () in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let r1 = S.spawn sim ~name:"r1" (fun () -> ignore (S.recv ()); t1 := S.time ()) in
+  let r2 = S.spawn sim ~name:"r2" (fun () -> ignore (S.recv ()); t2 := S.time ()) in
+  let _ = S.spawn sim ~name:"s1" (fun () -> S.send ~dst:r1 ~size:125_000 "a") in
+  let _ = S.spawn sim ~name:"s2" (fun () -> S.send ~dst:r2 ~size:125_000 "b") in
+  S.run sim;
+  check_float "parallel delivery" !t1 !t2
+
+let test_determinism () =
+  let run_once () =
+    let sim = S.create () in
+    let log = ref [] in
+    let pids = Array.make 3 0 in
+    for i = 0 to 2 do
+      pids.(i) <-
+        S.spawn sim
+          ~name:(Printf.sprintf "p%d" i)
+          (fun () ->
+            S.delay (0.1 *. float_of_int (i + 1));
+            log := Printf.sprintf "p%d@%.3f" i (S.time ()) :: !log)
+    done;
+    S.run sim;
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "same schedule" (run_once ()) (run_once ())
+
+let test_trace_and_gantt () =
+  let sim = S.create () in
+  let r = S.spawn sim ~name:"worker" (fun () -> ignore (S.recv ()); S.delay 1.0) in
+  let _ =
+    S.spawn sim ~name:"parser" (fun () ->
+        S.mark "phase1";
+        S.delay 0.5;
+        S.send ~dst:r ~size:100 "go")
+  in
+  S.run sim;
+  let tr = S.trace sim in
+  check_bool "has arrow" true (List.length (Trace.arrows tr) = 1);
+  check_bool "worker active 1s" true (Trace.active_time tr ~pid:r >= 1.0);
+  check_bool "utilization <= 1" true (Trace.utilization tr ~pid:r <= 1.0);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let chart = Gantt.render ~names:(S.name_of sim) tr in
+  check_bool "chart mentions worker" true (contains chart "worker");
+  check_bool "chart shows activity" true (contains chart "#")
+
+let suite =
+  [
+    ( "netsim",
+      [
+        Alcotest.test_case "delay" `Quick test_delay_advances_time;
+        Alcotest.test_case "send/recv" `Quick test_send_recv;
+        Alcotest.test_case "recv blocks" `Quick test_recv_before_send_blocks;
+        Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "try_recv" `Quick test_try_recv;
+        Alcotest.test_case "deadlock" `Quick test_deadlock_detected;
+        Alcotest.test_case "ethernet contention" `Quick test_ethernet_contention;
+        Alcotest.test_case "no contention" `Quick test_no_contention_mode;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "trace/gantt" `Quick test_trace_and_gantt;
+      ] );
+  ]

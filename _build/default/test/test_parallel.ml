@@ -1,0 +1,244 @@
+open Pag_core
+open Pag_analysis
+open Pag_eval
+open Pag_parallel
+open Pag_grammars
+
+let qc ?(count = 25) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let plan_of g =
+  match Kastens.analyze g with
+  | Ok p -> p
+  | Error f -> Alcotest.failf "analysis failed: %a" Kastens.pp_failure f
+
+let sc_plan = lazy (plan_of Stackcode_ag.grammar)
+let rm_plan = lazy (plan_of Repmin_ag.grammar)
+let ex_plan = lazy (plan_of Expr_ag.grammar)
+
+let opts ?(mode = `Combined) ?(machines = 3) ?(librarian = true)
+    ?(priority = true) ?(granularity = 1.0) () =
+  {
+    Runner.default_options with
+    Runner.machines;
+    mode;
+    granularity;
+    use_priority = priority;
+    use_librarian = librarian;
+  }
+
+let sc_tree seed =
+  Stackcode_ag.random_program (Random.State.make [| seed |]) ~depth:7 ~blocks:5
+
+let int_attr attrs name = Value.as_int ~ctx:"test" (List.assoc name attrs)
+
+let code_attr attrs =
+  let c = Codestr.of_value ~ctx:"test" (List.assoc "code" attrs) in
+  Stackcode_ag.mask_labels (Pag_util.Rope.to_string (Codestr.to_rope c))
+
+(* --------------- sequential degenerate cases --------------- *)
+
+let test_one_machine_combined_is_static () =
+  let t = sc_tree 11 in
+  let r = Runner.run_sim (opts ~machines:1 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_int "one fragment" 1 r.Runner.r_fragments;
+  check_bool "no dynamic rules at all" true (r.Runner.r_dynamic_fraction = 0.0);
+  check_int "value matches reference" (Stackcode_ag.reference_value t)
+    (int_attr r.Runner.r_attrs "value")
+
+let test_one_machine_dynamic () =
+  let t = sc_tree 12 in
+  let r = Runner.run_sim (opts ~mode:`Dynamic ~machines:1 ()) Stackcode_ag.grammar None t in
+  check_bool "all rules dynamic" true (r.Runner.r_dynamic_fraction = 1.0);
+  check_int "value" (Stackcode_ag.reference_value t) (int_attr r.Runner.r_attrs "value")
+
+(* --------------- parallel correctness --------------- *)
+
+let test_parallel_combined_matches_sequential () =
+  let t = sc_tree 13 in
+  let seq, _ = Static_eval.eval (Lazy.force sc_plan) t in
+  let seq_code =
+    Stackcode_ag.mask_labels
+      (Pag_util.Rope.to_string
+         (Codestr.to_rope
+            (Codestr.of_value ~ctx:"seq" (Store.get seq (Store.root seq) "code"))))
+  in
+  for m = 2 to 6 do
+    let r = Runner.run_sim (opts ~machines:m ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+    check_int (Printf.sprintf "value @ %d machines" m)
+      (Stackcode_ag.reference_value t)
+      (int_attr r.Runner.r_attrs "value");
+    Alcotest.(check string)
+      (Printf.sprintf "code @ %d machines" m)
+      seq_code (code_attr r.Runner.r_attrs)
+  done
+
+let test_parallel_dynamic_matches () =
+  let t = sc_tree 14 in
+  for m = 2 to 4 do
+    let r = Runner.run_sim (opts ~mode:`Dynamic ~machines:m ()) Stackcode_ag.grammar None t in
+    check_int (Printf.sprintf "value @ %d machines" m)
+      (Stackcode_ag.reference_value t)
+      (int_attr r.Runner.r_attrs "value")
+  done
+
+let test_naive_propagation_matches () =
+  let t = sc_tree 15 in
+  let r = Runner.run_sim (opts ~librarian:false ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_int "value" (Stackcode_ag.reference_value t) (int_attr r.Runner.r_attrs "value");
+  (* without the librarian the code arrives as plain (local) text *)
+  let c = Codestr.of_value ~ctx:"naive" (List.assoc "code" r.Runner.r_attrs) in
+  check_int "no unresolved fragments" 0 (Codestr.frag_count c)
+
+let test_no_priority_matches () =
+  let t = sc_tree 16 in
+  let r = Runner.run_sim (opts ~priority:false ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_int "value" (Stackcode_ag.reference_value t) (int_attr r.Runner.r_attrs "value")
+
+let test_repmin_parallel () =
+  (* a multi-visit grammar through the full parallel machinery *)
+  let t =
+    Repmin_ag.random_tree (Random.State.make [| 99 |]) ~depth:9
+  in
+  let expected = Repmin_ag.reference_result t in
+  for m = 1 to 4 do
+    let r =
+      Runner.run_sim
+        { (opts ~machines:m ()) with Runner.use_librarian = false }
+        Repmin_ag.grammar (Some (Lazy.force rm_plan)) t
+    in
+    check_bool
+      (Printf.sprintf "repmin result @ %d machines" m)
+      true
+      (Value.equal expected (List.assoc "res" r.Runner.r_attrs))
+  done
+
+let test_expr_parallel () =
+  let t = Expr_ag.random_program (Random.State.make [| 7 |]) ~depth:8 in
+  let expected = Expr_ag.reference_value t in
+  for m = 1 to 4 do
+    let r =
+      Runner.run_sim
+        { (opts ~machines:m ()) with Runner.use_librarian = false }
+        Expr_ag.grammar (Some (Lazy.force ex_plan)) t
+    in
+    check_int (Printf.sprintf "@%d machines" m) expected
+      (int_attr r.Runner.r_attrs "value")
+  done
+
+(* --------------- paper-shape sanity --------------- *)
+
+let test_combined_mostly_static () =
+  (* The paper's "< 5% of attributes evaluated dynamically". On a sizable
+     tree the combined evaluator's dynamic fraction must be small. *)
+  let t =
+    Stackcode_ag.random_program (Random.State.make [| 21 |]) ~depth:10 ~blocks:8
+  in
+  let r = Runner.run_sim (opts ~machines:5 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_bool
+    (Printf.sprintf "dynamic fraction %.4f < 0.05" r.Runner.r_dynamic_fraction)
+    true
+    (r.Runner.r_dynamic_fraction < 0.05)
+
+let test_combined_beats_dynamic_sequentially () =
+  let t =
+    Stackcode_ag.random_program (Random.State.make [| 22 |]) ~depth:10 ~blocks:8
+  in
+  let rc = Runner.run_sim (opts ~machines:1 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  let rd = Runner.run_sim (opts ~mode:`Dynamic ~machines:1 ()) Stackcode_ag.grammar None t in
+  check_bool
+    (Printf.sprintf "static %.3fs < dynamic %.3fs" rc.Runner.r_time rd.Runner.r_time)
+    true
+    (rc.Runner.r_time < rd.Runner.r_time)
+
+let test_parallel_speedup_exists () =
+  let t =
+    Stackcode_ag.random_program (Random.State.make [| 23 |]) ~depth:11 ~blocks:8
+  in
+  let r1 = Runner.run_sim (opts ~machines:1 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  let r4 = Runner.run_sim (opts ~machines:4 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_bool
+    (Printf.sprintf "1 machine %.3fs vs 4 machines %.3fs" r1.Runner.r_time
+       r4.Runner.r_time)
+    true
+    (r4.Runner.r_time < r1.Runner.r_time)
+
+let test_trace_present () =
+  let t = sc_tree 24 in
+  let r = Runner.run_sim (opts ~machines:3 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  match r.Runner.r_trace with
+  | None -> Alcotest.fail "expected a trace"
+  | Some tr ->
+      check_bool "messages recorded" true (List.length (Netsim.Trace.arrows tr) > 0);
+      check_bool "activity recorded" true (List.length (Netsim.Trace.segments tr) > 0)
+
+(* --------------- domains transport --------------- *)
+
+let test_domains_combined () =
+  let t = sc_tree 31 in
+  let r = Runner.run_domains (opts ~machines:3 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+  check_int "value" (Stackcode_ag.reference_value t) (int_attr r.Runner.r_attrs "value")
+
+let test_domains_dynamic () =
+  let t = sc_tree 32 in
+  let r = Runner.run_domains (opts ~mode:`Dynamic ~machines:3 ()) Stackcode_ag.grammar None t in
+  check_int "value" (Stackcode_ag.reference_value t) (int_attr r.Runner.r_attrs "value")
+
+(* --------------- properties --------------- *)
+
+let arb_cfg =
+  QCheck.make
+    ~print:(fun (s, m, lib, prio) ->
+      Printf.sprintf "seed=%d machines=%d librarian=%b priority=%b" s m lib prio)
+    QCheck.Gen.(
+      pair (int_bound 100_000) (int_range 1 6) >>= fun (s, m) ->
+      pair bool bool >>= fun (lib, prio) -> return (s, m, lib, prio))
+
+let prop_sim_value_correct =
+  qc "sim parallel = reference under any config" arb_cfg (fun (s, m, lib, prio) ->
+      let t = sc_tree s in
+      let r =
+        Runner.run_sim
+          (opts ~machines:m ~librarian:lib ~priority:prio ())
+          Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t
+      in
+      int_attr r.Runner.r_attrs "value" = Stackcode_ag.reference_value t)
+
+let prop_sim_deterministic =
+  qc ~count:10 "simulation is deterministic" QCheck.(int_bound 10_000)
+    (fun s ->
+      let t = sc_tree s in
+      let run () =
+        let r = Runner.run_sim (opts ~machines:4 ()) Stackcode_ag.grammar (Some (Lazy.force sc_plan)) t in
+        (r.Runner.r_time, r.Runner.r_messages, r.Runner.r_bytes)
+      in
+      run () = run ())
+
+let suite =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "1 machine combined = static" `Quick
+          test_one_machine_combined_is_static;
+        Alcotest.test_case "1 machine dynamic" `Quick test_one_machine_dynamic;
+        Alcotest.test_case "combined matches sequential" `Quick
+          test_parallel_combined_matches_sequential;
+        Alcotest.test_case "dynamic matches" `Quick test_parallel_dynamic_matches;
+        Alcotest.test_case "naive propagation" `Quick test_naive_propagation_matches;
+        Alcotest.test_case "no priority" `Quick test_no_priority_matches;
+        Alcotest.test_case "repmin parallel" `Quick test_repmin_parallel;
+        Alcotest.test_case "expr parallel" `Quick test_expr_parallel;
+        Alcotest.test_case "mostly static" `Quick test_combined_mostly_static;
+        Alcotest.test_case "static beats dynamic" `Quick
+          test_combined_beats_dynamic_sequentially;
+        Alcotest.test_case "speedup exists" `Quick test_parallel_speedup_exists;
+        Alcotest.test_case "trace present" `Quick test_trace_present;
+        Alcotest.test_case "domains combined" `Quick test_domains_combined;
+        Alcotest.test_case "domains dynamic" `Quick test_domains_dynamic;
+        prop_sim_value_correct;
+        prop_sim_deterministic;
+      ] );
+  ]

@@ -1,0 +1,385 @@
+(* Edge cases of the Pascal compiler: composite data, scoping corners,
+   parameter passing across nesting levels — all differential against the
+   reference interpreter. *)
+
+open Pascal
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let run_interp ?input src =
+  match Interp.run ?input (Parser.parse_program src) with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "interp error: %s" (Interp.error_to_string e)
+
+let compile_and_run ?input src =
+  let c = Driver.compile_source src in
+  (match c.Driver.c_errors with
+  | [] -> ()
+  | errs -> Alcotest.failf "compile errors: %s" (String.concat "; " errs));
+  match Driver.run_compiled ?input c with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "runtime error: %s" e
+
+let differential ?input src =
+  check_str "compiled = interpreted" (run_interp ?input src)
+    (compile_and_run ?input src)
+
+let test_array_of_records () =
+  differential
+    {|
+program t;
+var pts : array [1..4] of record fx : integer; fy : integer end;
+    i, s : integer;
+begin
+  for i := 1 to 4 do begin
+    pts[i].fx := i * 2;
+    pts[i].fy := i * i
+  end;
+  s := 0;
+  for i := 1 to 4 do begin s := s + pts[i].fx * pts[i].fy end;
+  writeln(s)
+end.
+|}
+
+let test_record_with_array_field () =
+  differential
+    {|
+program t;
+var buf : record len : integer; data : array [0..7] of integer end;
+    i : integer;
+begin
+  buf.len := 0;
+  for i := 0 to 7 do begin
+    buf.data[i] := 100 - i;
+    buf.len := buf.len + 1
+  end;
+  writeln(buf.data[0] + buf.data[7] + buf.len)
+end.
+|}
+
+let test_array_as_var_param () =
+  differential
+    {|
+program t;
+var a : array [1..6] of integer;
+    i : integer;
+procedure fill(var v : array [1..6] of integer; base : integer);
+var k : integer;
+begin
+  for k := 1 to 6 do begin v[k] := base + k end
+end;
+function total(var v : array [1..6] of integer) : integer;
+var k, s : integer;
+begin
+  s := 0;
+  for k := 1 to 6 do begin s := s + v[k] end;
+  total := s
+end;
+begin
+  fill(a, 10);
+  writeln(total(a));
+  for i := 1 to 6 do begin write(a[i]); write(' ') end;
+  writeln
+end.
+|}
+
+let test_var_param_across_levels () =
+  (* a var parameter aliased into a variable two frames up the chain *)
+  differential
+    {|
+program t;
+var g : integer;
+procedure outer;
+var x : integer;
+  procedure mid(var r : integer);
+    procedure leaf;
+    begin
+      r := r + 100
+    end;
+  begin
+    leaf;
+    leaf
+  end;
+begin
+  x := 5;
+  mid(x);
+  g := x
+end;
+begin
+  outer;
+  writeln(g)
+end.
+|}
+
+let test_shadowing () =
+  differential
+    {|
+program t;
+var x : integer;
+procedure p;
+var x : integer;
+begin
+  x := 99;
+  writeln(x)
+end;
+begin
+  x := 1;
+  p;
+  writeln(x)
+end.
+|}
+
+let test_const_shadowed_by_var () =
+  differential
+    {|
+program t;
+const k = 5;
+procedure p;
+var k : integer;
+begin
+  k := 7;
+  writeln(k)
+end;
+begin
+  p;
+  writeln(k)
+end.
+|}
+
+let test_char_comparisons () =
+  differential
+    {|
+program t;
+var c : char;
+begin
+  c := 'm';
+  if c > 'a' then begin writeln(1) end else begin writeln(0) end;
+  if c = 'm' then begin writeln(2) end;
+  if c >= 'z' then begin writeln(3) end else begin writeln(4) end
+end.
+|}
+
+let test_deeply_nested_expressions () =
+  differential
+    {|
+program t;
+var x : integer;
+begin
+  x := ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) div (2 + 1)) mod 100;
+  writeln(x);
+  writeln(-x + (- (3 * -2)))
+end.
+|}
+
+let test_boolean_expressions () =
+  differential
+    {|
+program t;
+var a, b : boolean; i : integer;
+begin
+  i := 7;
+  a := (i > 3) and (i < 10) or false;
+  b := not a and (i = 7);
+  writeln(a); writeln(b);
+  writeln(a or b);
+  writeln(true and not false)
+end.
+|}
+
+let test_case_fallthrough_to_else () =
+  differential
+    {|
+program t;
+var i : integer;
+begin
+  for i := 0 to 6 do begin
+    case i of
+      0, 2, 4: begin write('e') end;
+      1, 3: begin write('o') end
+      else begin write('?') end
+    end
+  end;
+  writeln
+end.
+|}
+
+let test_case_without_else_no_match () =
+  differential
+    {|
+program t;
+var i : integer;
+begin
+  i := 42;
+  case i of
+    1: begin writeln(1) end;
+    2: begin writeln(2) end
+  end;
+  writeln(99)
+end.
+|}
+
+let test_empty_bodies () =
+  differential
+    {|
+program t;
+var i : integer;
+procedure nothing;
+begin
+end;
+begin
+  nothing;
+  if true then begin end else begin writeln(0) end;
+  for i := 5 to 4 do begin writeln(123) end;
+  writeln(7)
+end.
+|}
+
+let test_repeat_runs_once () =
+  differential
+    {|
+program t;
+var i : integer;
+begin
+  i := 100;
+  repeat
+    writeln(i);
+    i := i + 1
+  until true
+end.
+|}
+
+let test_for_loop_var_after () =
+  (* both implementations leave the loop variable at the same value *)
+  differential
+    {|
+program t;
+var i, s : integer;
+begin
+  s := 0;
+  for i := 1 to 5 do begin s := s + 1 end;
+  writeln(s)
+end.
+|}
+
+let test_functions_in_conditions () =
+  differential
+    {|
+program t;
+var n : integer;
+function half(x : integer) : integer;
+begin
+  half := x div 2
+end;
+begin
+  n := 40;
+  while half(n) > 2 do begin n := half(n) end;
+  writeln(n)
+end.
+|}
+
+let test_write_many_args () =
+  differential
+    {|
+program t;
+var i : integer;
+begin
+  i := 3;
+  writeln(1, ' ', true, ' ', i * i);
+  write('a', 'b', 'c');
+  writeln
+end.
+|}
+
+let test_negative_numbers () =
+  differential
+    {|
+program t;
+var x, y : integer;
+begin
+  x := 0 - 17;
+  y := x div 5;
+  writeln(y);
+  writeln(x mod 5);
+  writeln(-x)
+end.
+|}
+
+let test_mod_negative_matches () =
+  (* mod semantics on negatives must agree between backends (truncated) *)
+  differential
+    {|
+program t;
+var a : integer;
+begin
+  a := 0 - 7;
+  writeln(a mod 3);
+  writeln(7 mod 3);
+  writeln(a div 3)
+end.
+|}
+
+let test_parallel_composites () =
+  (* composite-heavy program through the parallel pipeline *)
+  let src =
+    {|
+program t;
+var grid : array [1..5] of record fx : integer; fy : integer end;
+    i, acc : integer;
+procedure bump(var r : integer; amount : integer);
+begin
+  r := r + amount
+end;
+begin
+  acc := 0;
+  for i := 1 to 5 do begin
+    grid[i].fx := i;
+    grid[i].fy := 6 - i;
+    bump(acc, grid[i].fx * grid[i].fy)
+  end;
+  writeln(acc)
+end.
+|}
+  in
+  let expected = run_interp src in
+  let opts =
+    {
+      Pag_parallel.Runner.default_options with
+      Pag_parallel.Runner.machines = 3;
+      phase_label = Driver.phase_label;
+    }
+  in
+  let _, c = Driver.compile_parallel_sim opts (Parser.parse_program src) in
+  check_bool "no errors" true (c.Driver.c_errors = []);
+  match Driver.run_compiled c with
+  | Ok out -> check_str "parallel composite" expected out
+  | Error e -> Alcotest.failf "runtime error: %s" e
+
+let suite =
+  [
+    ( "pascal-edge",
+      [
+        Alcotest.test_case "array of records" `Quick test_array_of_records;
+        Alcotest.test_case "record with array" `Quick test_record_with_array_field;
+        Alcotest.test_case "array var param" `Quick test_array_as_var_param;
+        Alcotest.test_case "var param across levels" `Quick
+          test_var_param_across_levels;
+        Alcotest.test_case "shadowing" `Quick test_shadowing;
+        Alcotest.test_case "const shadowed" `Quick test_const_shadowed_by_var;
+        Alcotest.test_case "char comparisons" `Quick test_char_comparisons;
+        Alcotest.test_case "nested expressions" `Quick
+          test_deeply_nested_expressions;
+        Alcotest.test_case "booleans" `Quick test_boolean_expressions;
+        Alcotest.test_case "case else" `Quick test_case_fallthrough_to_else;
+        Alcotest.test_case "case no match" `Quick test_case_without_else_no_match;
+        Alcotest.test_case "empty bodies" `Quick test_empty_bodies;
+        Alcotest.test_case "repeat once" `Quick test_repeat_runs_once;
+        Alcotest.test_case "for bound" `Quick test_for_loop_var_after;
+        Alcotest.test_case "functions in conditions" `Quick
+          test_functions_in_conditions;
+        Alcotest.test_case "write many args" `Quick test_write_many_args;
+        Alcotest.test_case "negative numbers" `Quick test_negative_numbers;
+        Alcotest.test_case "mod negative" `Quick test_mod_negative_matches;
+        Alcotest.test_case "parallel composites" `Quick test_parallel_composites;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+open Pag_util
+
+let qc ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let q = Pqueue.create () in
+  check_bool "is_empty" true (Pqueue.is_empty q);
+  check_bool "pop of empty" true (Pqueue.pop_min q = None);
+  check_bool "peek of empty" true (Pqueue.peek_min q = None)
+
+let test_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let pop () = match Pqueue.pop_min q with Some (_, v) -> v | None -> "?" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ x1; x2; x3 ]
+
+let test_fifo_on_ties () =
+  (* Determinism of the simulator depends on FIFO tie-breaking. *)
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q 1.0 v) [ "first"; "second"; "third" ];
+  Pqueue.add q 0.5 "early";
+  let pop () = match Pqueue.pop_min q with Some (_, v) -> v | None -> "?" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  let x4 = pop () in
+  Alcotest.(check (list string))
+    "insertion order preserved"
+    [ "early"; "first"; "second"; "third" ]
+    [ x1; x2; x3; x4 ]
+
+let test_peek_does_not_pop () =
+  let q = Pqueue.create () in
+  Pqueue.add q 1.0 42;
+  check_bool "peek" true (Pqueue.peek_min q = Some (1.0, 42));
+  check_int "size unchanged" 1 (Pqueue.size q);
+  check_bool "pop" true (Pqueue.pop_min q = Some (1.0, 42));
+  check_int "now empty" 0 (Pqueue.size q)
+
+let test_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.add q 5.0 5;
+  Pqueue.add q 1.0 1;
+  check_bool "pop 1" true (Pqueue.pop_min q = Some (1.0, 1));
+  Pqueue.add q 3.0 3;
+  Pqueue.add q 0.5 0;
+  check_bool "pop 0" true (Pqueue.pop_min q = Some (0.5, 0));
+  check_bool "pop 3" true (Pqueue.pop_min q = Some (3.0, 3));
+  check_bool "pop 5" true (Pqueue.pop_min q = Some (5.0, 5))
+
+let prop_heapsort =
+  qc "popping yields sorted priorities"
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.add q p i) prios;
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+let prop_size =
+  qc "size tracks adds and pops"
+    QCheck.(list (float_bound_inclusive 100.))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.add q p i) prios;
+      let n = List.length prios in
+      Pqueue.size q = n
+      &&
+      (ignore (Pqueue.pop_min q);
+       Pqueue.size q = max 0 (n - 1)))
+
+let suite =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "order" `Quick test_order;
+        Alcotest.test_case "fifo ties" `Quick test_fifo_on_ties;
+        Alcotest.test_case "peek" `Quick test_peek_does_not_pop;
+        Alcotest.test_case "interleaved" `Quick test_interleaved;
+        prop_heapsort;
+        prop_size;
+      ] );
+  ]

@@ -1,0 +1,149 @@
+open Pag_util
+
+let qc ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let opt_int = Alcotest.(option int)
+
+let test_empty () =
+  check_int "cardinal" 0 (Symtab.cardinal Symtab.empty);
+  Alcotest.check opt_int "lookup misses" None (Symtab.lookup Symtab.empty "x")
+
+let test_add_lookup () =
+  let t = Symtab.add Symtab.empty "x" 1 in
+  Alcotest.check opt_int "found" (Some 1) (Symtab.lookup t "x");
+  Alcotest.check opt_int "other misses" None (Symtab.lookup t "y")
+
+let test_applicative_update () =
+  (* The defining property from the paper: st_add returns a NEW table and the
+     old one is unchanged — evaluators can hold different versions. *)
+  let t0 = Symtab.add Symtab.empty "x" 1 in
+  let t1 = Symtab.add t0 "x" 2 in
+  let t2 = Symtab.add t0 "y" 3 in
+  Alcotest.check opt_int "old binding intact" (Some 1) (Symtab.lookup t0 "x");
+  Alcotest.check opt_int "shadowed in new" (Some 2) (Symtab.lookup t1 "x");
+  Alcotest.check opt_int "sibling version" (Some 1) (Symtab.lookup t2 "x");
+  Alcotest.check opt_int "y only in t2" None (Symtab.lookup t1 "y")
+
+let test_shadow_cardinal () =
+  let t = Symtab.add (Symtab.add Symtab.empty "x" 1) "x" 2 in
+  check_int "shadowing does not grow cardinal" 1 (Symtab.cardinal t)
+
+let test_of_to_list () =
+  let t = Symtab.of_list [ ("a", 1); ("b", 2); ("c", 3) ] in
+  check_int "cardinal" 3 (Symtab.cardinal t);
+  let l = List.sort compare (Symtab.to_list t) in
+  Alcotest.(check (list (pair string int)))
+    "bindings" [ ("a", 1); ("b", 2); ("c", 3) ] l
+
+let test_equal () =
+  let a = Symtab.of_list [ ("x", 1); ("y", 2) ] in
+  let b = Symtab.of_list [ ("y", 2); ("x", 1) ] in
+  check_bool "order independent" true (Symtab.equal ( = ) a b);
+  let c = Symtab.add b "x" 9 in
+  check_bool "differs after update" false (Symtab.equal ( = ) a c)
+
+let test_balance_under_uniform_keys () =
+  (* The paper's reason for hashing: hashed keys keep the BST balanced. 1000
+     sequentially named identifiers must not produce a path-shaped tree. *)
+  let t = ref Symtab.empty in
+  for i = 1 to 1000 do
+    t := Symtab.add !t (Printf.sprintf "ident%04d" i) i
+  done;
+  check_int "all present" 1000 (Symtab.cardinal !t);
+  check_bool
+    (Printf.sprintf "height %d within 4x of log2 n" (Symtab.height !t))
+    true
+    (Symtab.height !t <= 40)
+
+let test_collisions_are_exact () =
+  (* Even if two names collide in hash index, lookups must distinguish them.
+     We cannot force a collision through the public API, but we can check
+     a large population behaves exactly like an association map. *)
+  let t = ref Symtab.empty in
+  for i = 0 to 5000 do
+    t := Symtab.add !t (string_of_int i) i
+  done;
+  let ok = ref true in
+  for i = 0 to 5000 do
+    if Symtab.lookup !t (string_of_int i) <> Some i then ok := false
+  done;
+  check_bool "exact lookups over 5001 names" true !ok
+
+module SM = Map.Make (String)
+
+type op = Add of string * int | Lookup of string
+
+let op_gen =
+  let open QCheck.Gen in
+  let name = map (fun i -> Printf.sprintf "v%d" i) (int_bound 20) in
+  frequency
+    [ (3, map2 (fun n v -> Add (n, v)) name small_int); (1, map (fun n -> Lookup n) name) ]
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add (n, v) -> Printf.sprintf "add %s=%d" n v
+             | Lookup n -> Printf.sprintf "lookup %s" n)
+           ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let prop_model =
+  qc "behaves like Map.Make(String)" ops_arb (fun ops ->
+      let tab = ref Symtab.empty and m = ref SM.empty in
+      List.for_all
+        (function
+          | Add (n, v) ->
+              tab := Symtab.add !tab n v;
+              m := SM.add n v !m;
+              true
+          | Lookup n -> Symtab.lookup !tab n = SM.find_opt n !m)
+        ops
+      && Symtab.cardinal !tab = SM.cardinal !m)
+
+let prop_persistence =
+  qc "snapshots are immutable" ops_arb (fun ops ->
+      (* Take a snapshot mid-sequence; applying the rest must not change it. *)
+      let tab = ref Symtab.empty in
+      let half = List.length ops / 2 in
+      List.iteri
+        (fun i op ->
+          if i < half then
+            match op with
+            | Add (n, v) -> tab := Symtab.add !tab n v
+            | Lookup _ -> ())
+        ops;
+      let snapshot = !tab in
+      let before = List.sort compare (Symtab.to_list snapshot) in
+      List.iteri
+        (fun i op ->
+          if i >= half then
+            match op with
+            | Add (n, v) -> tab := Symtab.add !tab n v
+            | Lookup _ -> ())
+        ops;
+      List.sort compare (Symtab.to_list snapshot) = before)
+
+let suite =
+  [
+    ( "symtab",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "add/lookup" `Quick test_add_lookup;
+        Alcotest.test_case "applicative update" `Quick test_applicative_update;
+        Alcotest.test_case "shadow cardinal" `Quick test_shadow_cardinal;
+        Alcotest.test_case "of/to list" `Quick test_of_to_list;
+        Alcotest.test_case "equal" `Quick test_equal;
+        Alcotest.test_case "balance" `Quick test_balance_under_uniform_keys;
+        Alcotest.test_case "exactness at scale" `Quick
+          test_collisions_are_exact;
+        prop_model;
+        prop_persistence;
+      ] );
+  ]

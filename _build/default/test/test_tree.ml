@@ -1,0 +1,93 @@
+open Pag_core
+open Pag_grammars
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_build_example () =
+  let t = Expr_ag.example in
+  Tree.check Expr_ag.grammar t;
+  check_bool "root symbol" true (t.Tree.sym = "main_expr")
+
+let test_number_preorder () =
+  let t = Expr_ag.main (Expr_ag.add (Expr_ag.num 1) (Expr_ag.num 2)) in
+  let n = Tree.number t in
+  check_int "count" (Tree.size t) n;
+  check_int "root id" 0 t.Tree.id;
+  (* Preorder: ids increase parent-before-child, left-before-right. *)
+  let ok = ref true in
+  Tree.iter
+    (fun node ->
+      Array.iter
+        (fun c -> if c.Tree.id <= node.Tree.id then ok := false)
+        node.Tree.children)
+    t;
+  check_bool "parent before child" true !ok
+
+let test_wrong_arity () =
+  match Tree.node Expr_ag.grammar "add" [ Expr_ag.num 1 ] with
+  | exception Tree.Error _ -> ()
+  | _ -> Alcotest.fail "expected arity error"
+
+let test_wrong_child_symbol () =
+  match
+    Tree.node Expr_ag.grammar "main"
+      [ Tree.leaf Expr_ag.grammar "NUMBER" [ ("value", Value.Int 1) ] ]
+  with
+  | exception Tree.Error _ -> ()
+  | _ -> Alcotest.fail "expected symbol mismatch"
+
+let test_leaf_missing_attr () =
+  match Tree.leaf Expr_ag.grammar "NUMBER" [] with
+  | exception Tree.Error _ -> ()
+  | _ -> Alcotest.fail "expected missing intrinsic attribute"
+
+let test_leaf_unknown_attr () =
+  match Tree.leaf Expr_ag.grammar "LET" [ ("junk", Value.Unit) ] with
+  | exception Tree.Error _ -> ()
+  | _ -> Alcotest.fail "expected unknown attribute"
+
+let test_term_attr () =
+  let leaf = Tree.leaf Expr_ag.grammar "NUMBER" [ ("value", Value.Int 9) ] in
+  check_bool "value" true (Value.equal (Tree.term_attr leaf "value") (Value.Int 9));
+  match Tree.term_attr (Expr_ag.num 1) "value" with
+  | exception Tree.Error _ -> ()
+  | _ -> Alcotest.fail "term_attr on interior node must fail"
+
+let test_size_byte_size () =
+  let t = Expr_ag.example in
+  check_int "example node count" 20 (Tree.size t);
+  check_bool "byte size grows with tree" true
+    (Tree.byte_size t > Tree.byte_size (Expr_ag.num 1))
+
+let test_fold_iter_agree () =
+  let t = Expr_ag.example in
+  let count = Tree.fold (fun n _ -> n + 1) 0 t in
+  check_int "fold count = size" (Tree.size t) count
+
+let test_deep_tree_stack_safe () =
+  (* 50_000-deep right-leaning additions: iter/number must not overflow. *)
+  let t = ref (Expr_ag.num 0) in
+  for i = 1 to 50_000 do
+    t := Expr_ag.add (Expr_ag.num i) !t
+  done;
+  let t = Expr_ag.main !t in
+  let n = Tree.number t in
+  check_bool "big" true (n > 100_000)
+
+let suite =
+  [
+    ( "tree",
+      [
+        Alcotest.test_case "build example" `Quick test_build_example;
+        Alcotest.test_case "preorder numbering" `Quick test_number_preorder;
+        Alcotest.test_case "wrong arity" `Quick test_wrong_arity;
+        Alcotest.test_case "wrong child symbol" `Quick test_wrong_child_symbol;
+        Alcotest.test_case "leaf missing attr" `Quick test_leaf_missing_attr;
+        Alcotest.test_case "leaf unknown attr" `Quick test_leaf_unknown_attr;
+        Alcotest.test_case "term_attr" `Quick test_term_attr;
+        Alcotest.test_case "sizes" `Quick test_size_byte_size;
+        Alcotest.test_case "fold/iter agree" `Quick test_fold_iter_agree;
+        Alcotest.test_case "deep tree" `Quick test_deep_tree_stack_safe;
+      ] );
+  ]

@@ -1,0 +1,82 @@
+open Pag_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_with_base () =
+  let (a, b), used =
+    Uid.with_base 100 (fun () ->
+        let a = Uid.fresh () in
+        let b = Uid.fresh () in
+        (a, b))
+  in
+  check_int "first" 100 a;
+  check_int "second" 101 b;
+  check_int "used" 2 used
+
+let test_fresh_outside_fails () =
+  match Uid.fresh () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "fresh outside a bracket must fail"
+
+let test_with_counter_persists () =
+  (* A worker's cursor advances across separate bracketed steps — the
+     per-evaluator base value semantics of the paper. *)
+  let cursor = ref 5000 in
+  let a = Uid.with_counter cursor (fun () -> Uid.fresh ()) in
+  let b = Uid.with_counter cursor (fun () -> Uid.fresh ()) in
+  check_int "a" 5000 a;
+  check_int "b continues" 5001 b;
+  check_int "cursor" 5002 !cursor
+
+let test_nesting_restores () =
+  let outer = ref 10 in
+  let inner = ref 900 in
+  let x, y, z =
+    Uid.with_counter outer (fun () ->
+        let x = Uid.fresh () in
+        let y = Uid.with_counter inner (fun () -> Uid.fresh ()) in
+        let z = Uid.fresh () in
+        (x, y, z))
+  in
+  check_int "outer first" 10 x;
+  check_int "inner" 900 y;
+  check_int "outer resumes" 11 z;
+  check_int "inner cursor" 901 !inner
+
+let test_disjoint_evaluators () =
+  (* Two evaluators with stride-spaced bases never collide. *)
+  let c1 = ref Uid.stride and c2 = ref (2 * Uid.stride) in
+  let ids1 =
+    Uid.with_counter c1 (fun () -> List.init 100 (fun _ -> Uid.fresh ()))
+  in
+  let ids2 =
+    Uid.with_counter c2 (fun () -> List.init 100 (fun _ -> Uid.fresh ()))
+  in
+  check_bool "disjoint" true
+    (List.for_all (fun i -> not (List.mem i ids2)) ids1)
+
+let test_exception_restores () =
+  let cursor = ref 0 in
+  (try
+     Uid.with_counter cursor (fun () ->
+         ignore (Uid.fresh ());
+         failwith "boom")
+   with Failure _ -> ());
+  check_int "cursor advanced before the exception" 1 !cursor;
+  match Uid.fresh () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bracket must deactivate after exception"
+
+let suite =
+  [
+    ( "uid",
+      [
+        Alcotest.test_case "with_base" `Quick test_with_base;
+        Alcotest.test_case "outside fails" `Quick test_fresh_outside_fails;
+        Alcotest.test_case "cursor persists" `Quick test_with_counter_persists;
+        Alcotest.test_case "nesting" `Quick test_nesting_restores;
+        Alcotest.test_case "disjoint" `Quick test_disjoint_evaluators;
+        Alcotest.test_case "exception" `Quick test_exception_restores;
+      ] );
+  ]

@@ -1,0 +1,117 @@
+open Pag_core
+open Pag_util
+
+let qc ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_equal_basic () =
+  check_bool "ints" true (Value.equal (Int 3) (Int 3));
+  check_bool "int/bool" false (Value.equal (Int 1) (Bool true));
+  check_bool "unit" true (Value.equal Unit Unit);
+  check_bool "pairs" true
+    (Value.equal (Pair (Int 1, Bool false)) (Pair (Int 1, Bool false)));
+  check_bool "lists differ" false
+    (Value.equal (List [ Int 1 ]) (List [ Int 1; Int 2 ]))
+
+let test_equal_rope_by_content () =
+  let a = Value.Str (Rope.concat (Rope.of_string "ab") (Rope.of_string "c")) in
+  let b = Value.Str (Rope.of_string "abc") in
+  check_bool "rope shapes" true (Value.equal a b)
+
+let test_equal_symtab () =
+  let t1 = Symtab.of_list [ ("x", Value.Int 1) ] in
+  let t2 = Symtab.add Symtab.empty "x" (Value.Int 1) in
+  check_bool "tables" true (Value.equal (Tab t1) (Tab t2));
+  let t3 = Symtab.add t2 "y" Value.Unit in
+  check_bool "tables differ" false (Value.equal (Tab t1) (Tab t3))
+
+let test_byte_size () =
+  check_int "unit" 1 (Value.byte_size Unit);
+  check_int "int" 4 (Value.byte_size (Int 42));
+  check_int "str" 5 (Value.byte_size (Value.str "hello"));
+  check_int "list framing" (4 + 4 + 4)
+    (Value.byte_size (List [ Int 1; Int 2 ]));
+  (* symtab: 4 framing + per binding (name + value + 4) *)
+  check_int "tab" (4 + (1 + 4 + 4))
+    (Value.byte_size (Tab (Symtab.of_list [ ("x", Value.Int 1) ])))
+
+let test_coercions () =
+  check_int "as_int" 7 (Value.as_int ~ctx:"t" (Int 7));
+  check_bool "as_bool" true (Value.as_bool ~ctx:"t" (Bool true));
+  Alcotest.check_raises "as_int of bool"
+    (Value.Type_error "t: expected int, got bool") (fun () ->
+      ignore (Value.as_int ~ctx:"t" (Bool true)))
+
+type Value.ext += Color of string
+
+let () =
+  Value.register_ext
+    {
+      ext_name = "color";
+      ext_equal =
+        (fun a b ->
+          match (a, b) with
+          | Color x, Color y -> Some (x = y)
+          | Color _, _ | _, Color _ -> Some false
+          | _ -> None);
+      ext_size = (fun e -> match e with Color s -> Some (String.length s) | _ -> None);
+      ext_pp =
+        (fun fmt e ->
+          match e with
+          | Color s ->
+              Format.fprintf fmt "color:%s" s;
+              true
+          | _ -> false);
+    }
+
+let test_ext () =
+  check_bool "ext equal" true (Value.equal (Ext (Color "red")) (Ext (Color "red")));
+  check_bool "ext differ" false (Value.equal (Ext (Color "red")) (Ext (Color "blue")));
+  check_int "ext size" 3 (Value.byte_size (Ext (Color "red")));
+  Alcotest.(check string) "ext pp" "color:red" (Value.to_string (Ext (Color "red")))
+
+let value_gen =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof
+        [
+          return Value.Unit;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) small_int;
+          map Value.str (string_size ~gen:printable (int_bound 8));
+        ]
+    else
+      frequency
+        [
+          (3, go 0);
+          (1, map (fun l -> Value.List l) (list_size (int_bound 4) (go (depth - 1))));
+          (1, map2 (fun a b -> Value.Pair (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_equal_refl = qc "equal is reflexive" arb_value (fun v -> Value.equal v v)
+
+let prop_size_positive =
+  qc "byte_size is positive" arb_value (fun v -> Value.byte_size v >= 0)
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "equal basic" `Quick test_equal_basic;
+        Alcotest.test_case "rope content" `Quick test_equal_rope_by_content;
+        Alcotest.test_case "symtab" `Quick test_equal_symtab;
+        Alcotest.test_case "byte_size" `Quick test_byte_size;
+        Alcotest.test_case "coercions" `Quick test_coercions;
+        Alcotest.test_case "extensible" `Quick test_ext;
+        prop_equal_refl;
+        prop_size_positive;
+      ] );
+  ]
