@@ -1,0 +1,229 @@
+(* The seed (PR 0) attribute store and dynamic evaluator, kept verbatim as
+   the baseline of the store microbenchmark: per-node slot arrays behind an
+   [(int, Value.t option array) Hashtbl], name-keyed attribute positions, and
+   a dependency graph of consed [rule_node] lists. The library versions these
+   replaced live in [lib/eval]; see ISSUE/CHANGES for the measured gap. *)
+
+open Pag_core
+
+module Store = struct
+  type t = {
+    g : Grammar.t;
+    root : Tree.t;
+    slots : (int, Value.t option array) Hashtbl.t; (* node id -> attr slots *)
+    nodes : (int, Tree.t) Hashtbl.t;
+    mutable n_sets : int;
+  }
+
+  exception Error of string
+
+  let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+  (* Traversal that allocates slots, optionally stopping below stub nodes. *)
+  let populate store ?(stop = fun _ -> false) root =
+    let stack = ref [ root ] in
+    let rec go () =
+      match !stack with
+      | [] -> ()
+      | node :: rest ->
+          stack := rest;
+          Hashtbl.replace store.nodes node.Tree.id node;
+          Hashtbl.replace store.slots node.Tree.id
+            (Array.make (Grammar.attr_count store.g node.Tree.sym) None);
+          if node == root || not (stop node) then
+            for i = Array.length node.Tree.children - 1 downto 0 do
+              stack := node.Tree.children.(i) :: !stack
+            done;
+          go ()
+    in
+    go ()
+
+  let preset store root root_inh =
+    List.iter
+      (fun (attr, v) ->
+        let idx = Grammar.attr_pos store.g ~sym:root.Tree.sym ~attr in
+        (Hashtbl.find store.slots root.Tree.id).(idx) <- Some v)
+      root_inh
+
+  let create_shared ?(root_inh = []) ?stop g root =
+    let store =
+      { g; root; slots = Hashtbl.create 256; nodes = Hashtbl.create 256; n_sets = 0 }
+    in
+    populate store ?stop root;
+    preset store root root_inh;
+    store
+
+  let create ?root_inh g root =
+    ignore (Tree.number root);
+    create_shared ?root_inh g root
+
+  let grammar s = s.g
+
+  let root s = s.root
+
+  let node_count s = Hashtbl.length s.nodes
+
+  let find_node s id = Hashtbl.find_opt s.nodes id
+
+  let idx_of s node attr = Grammar.attr_pos s.g ~sym:node.Tree.sym ~attr
+
+  let slots_of s (node : Tree.t) =
+    match Hashtbl.find_opt s.slots node.Tree.id with
+    | Some a -> a
+    | None -> error "node %d (%s) is not covered by this store" node.Tree.id node.Tree.sym
+
+  let set s node attr v =
+    let arr = slots_of s node in
+    let i = idx_of s node attr in
+    match arr.(i) with
+    | Some _ ->
+        error "attribute %s.%s of node %d set twice" node.Tree.sym attr node.Tree.id
+    | None ->
+        arr.(i) <- Some v;
+        s.n_sets <- s.n_sets + 1
+
+  let get_opt s node attr =
+    match node.Tree.prod with
+    | None -> Some (Tree.term_attr node attr)
+    | Some _ -> (slots_of s node).(idx_of s node attr)
+
+  let get s node attr =
+    match get_opt s node attr with
+    | Some v -> v
+    | None ->
+        error "attribute %s.%s of node %d not evaluated" node.Tree.sym attr
+          node.Tree.id
+
+  let is_set s node attr = get_opt s node attr <> None
+
+  let sets s = s.n_sets
+
+  let root_attrs s =
+    let sym = Grammar.symbol s.g s.root.Tree.sym in
+    Array.to_list sym.Grammar.s_attrs
+    |> List.filter_map (fun (a : Grammar.attr_decl) ->
+           match get_opt s s.root a.a_name with
+           | Some v -> Some (a.a_name, v)
+           | None -> None)
+
+  let node_of_ref node (r : Grammar.attr_ref) =
+    if r.Grammar.pos = 0 then node else node.Tree.children.(r.Grammar.pos - 1)
+
+  let rule_deps s node (rule : Grammar.rule) =
+    ignore s;
+    List.filter_map
+      (fun (d : Grammar.attr_ref) ->
+        let n = node_of_ref node d in
+        match n.Tree.prod with
+        | None -> None (* terminal intrinsic: always available *)
+        | Some _ -> Some (n, d.Grammar.attr))
+      rule.Grammar.r_deps
+
+  let rule_target node (rule : Grammar.rule) =
+    (node_of_ref node rule.Grammar.r_target, rule.Grammar.r_target.Grammar.attr)
+
+  let apply_rule s node (rule : Grammar.rule) =
+    let args =
+      Array.of_list
+        (List.map
+           (fun (d : Grammar.attr_ref) -> get s (node_of_ref node d) d.Grammar.attr)
+           rule.Grammar.r_deps)
+    in
+    let v = rule.Grammar.r_fn args in
+    let tnode, tattr = rule_target node rule in
+    set s tnode tattr v;
+    v
+
+  let iter_instances s f =
+    (* Deterministic order: by node id. *)
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) s.nodes [] in
+    List.iter
+      (fun id ->
+        let node = Hashtbl.find s.nodes id in
+        match node.Tree.prod with
+        | None -> ()
+        | Some _ ->
+            let sym = Grammar.symbol s.g node.Tree.sym in
+            Array.iter (fun a -> f node a) sym.Grammar.s_attrs)
+      (List.sort compare ids)
+
+  let missing s =
+    let n = ref 0 in
+    iter_instances s (fun node a ->
+        if not (is_set s node a.Grammar.a_name) then incr n);
+    !n
+end
+
+module Dynamic = struct
+  type stats = { instances : int; edges : int; evals : int }
+
+  exception Cycle of string
+
+  type rule_node = { rn_node : Tree.t; rn_rule : Grammar.rule; mutable waiting : int }
+
+  let eval_inner ?root_inh g t =
+    let store = Store.create ?root_inh g t in
+    let n = Store.node_count store in
+    (* Dense instance ids: base.(node id) + attribute index. *)
+    let base = Array.make (n + 1) 0 in
+    let nodes = Array.make n t in
+    Tree.iter (fun node -> nodes.(node.Tree.id) <- node) t;
+    for i = 0 to n - 1 do
+      base.(i + 1) <- base.(i) + Grammar.attr_count g nodes.(i).Tree.sym
+    done;
+    let total = base.(n) in
+    let inst node attr =
+      base.(node.Tree.id) + Grammar.attr_pos g ~sym:node.Tree.sym ~attr
+    in
+    (* Wire rules to the instances they wait for. *)
+    let dependents : rule_node list array = Array.make total [] in
+    let rules = ref [] in
+    let edge_count = ref 0 in
+    Tree.iter
+      (fun node ->
+        match node.Tree.prod with
+        | None -> ()
+        | Some p ->
+            Array.iter
+              (fun (r : Grammar.rule) ->
+                let rn = { rn_node = node; rn_rule = r; waiting = 0 } in
+                rules := rn :: !rules;
+                List.iter
+                  (fun (dn, dattr) ->
+                    incr edge_count;
+                    if not (Store.is_set store dn dattr) then begin
+                      rn.waiting <- rn.waiting + 1;
+                      let i = inst dn dattr in
+                      dependents.(i) <- rn :: dependents.(i)
+                    end)
+                  (Store.rule_deps store node r))
+              p.Grammar.p_rules)
+      t;
+    let ready = Queue.create () in
+    List.iter (fun rn -> if rn.waiting = 0 then Queue.add rn ready) !rules;
+    let evals = ref 0 in
+    while not (Queue.is_empty ready) do
+      let rn = Queue.take ready in
+      ignore (Store.apply_rule store rn.rn_node rn.rn_rule);
+      incr evals;
+      let tnode, tattr = Store.rule_target rn.rn_node rn.rn_rule in
+      List.iter
+        (fun dep ->
+          dep.waiting <- dep.waiting - 1;
+          if dep.waiting = 0 then Queue.add dep ready)
+        dependents.(inst tnode tattr)
+    done;
+    let left = Store.missing store in
+    if left > 0 then
+      raise
+        (Cycle
+           (Printf.sprintf
+              "dynamic evaluation stuck: %d attribute instances unevaluated \
+               (circular tree or missing root attributes)"
+              left));
+    (store, { instances = total; edges = !edge_count; evals = !evals })
+
+  let eval ?root_inh g t =
+    let r, _ = Pag_core.Uid.with_base 0 (fun () -> eval_inner ?root_inh g t) in
+    r
+end

@@ -14,7 +14,11 @@
 
    Flags:
      --quick   use a smaller workload and fewer machine counts
-     --micro   additionally run Bechamel microbenchmarks of the substrates *)
+     --micro   run only the microbenchmarks: Bechamel substrate benches plus
+               the flat-store vs seed-hash-store comparison (writes
+               BENCH_1.json)
+     --smoke   run only a fast evaluator-equivalence check on a quick
+               workload; exits nonzero on any mismatch *)
 
 open Pascal
 open Pag_parallel
@@ -22,6 +26,8 @@ open Pag_parallel
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 let micro = Array.exists (fun a -> a = "--micro") Sys.argv
+
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let sep title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -321,19 +327,205 @@ let microbenchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Flat store vs seed hash store (BENCH_1)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Label numbers depend on the order rules fire (Uid.fresh), which differs
+   between evaluators; the emitted instruction sequence is determined by the
+   tree alone. Compare code with every L<n>/P<n> label token masked
+   (definitions and references alike). *)
+let mask_asm s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || is_digit c || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if
+      (c = 'L' || c = 'P')
+      && !i + 1 < n
+      && is_digit s.[!i + 1]
+      && (!i = 0 || not (is_word s.[!i - 1]))
+    then begin
+      Buffer.add_char buf c;
+      Buffer.add_char buf '_';
+      incr i;
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let masked_code attrs = mask_asm (Pascal_ag.code_of_attrs attrs)
+
+let pascal_roots_agree a_attrs b_attrs =
+  String.equal (masked_code a_attrs) (masked_code b_attrs)
+  && Pascal_ag.errors_of_attrs a_attrs = Pascal_ag.errors_of_attrs b_attrs
+
+let store_micro () =
+  sep "[micro] BENCH_1: flat store + CSR graph vs seed hash store (dynamic)";
+  let g = Pascal_ag.grammar in
+  let tree = Pascal_ag.tree_of_program g (Progen.paper_program ()) in
+  Printf.printf "workload: Progen.paper_program, %d tree nodes\n"
+    (Pag_core.Tree.size tree);
+  let runs = if quick then 2 else 5 in
+  let measure f =
+    ignore (f ());
+    (* warmup *)
+    Gc.compact ();
+    (* both contenders start from a compacted major heap *)
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Sys.time () in
+    for _ = 1 to runs do
+      ignore (f ())
+    done;
+    let dt = (Sys.time () -. t0) /. float_of_int runs in
+    let db = (Gc.allocated_bytes () -. a0) /. float_of_int runs in
+    (dt, db)
+  in
+  (* Scoped so both check stores are garbage before the timed runs — a live
+     legacy store (hashtables over 276k instances) would tax every major GC
+     cycle of the measurement. *)
+  let flat_stats, agree =
+    let legacy_store, legacy_stats = Legacy.Dynamic.eval g tree in
+    let flat_store, flat_stats = Pag_eval.Dynamic.eval g tree in
+    let agree =
+      pascal_roots_agree
+        (Pag_eval.Store.root_attrs flat_store)
+        (Legacy.Store.root_attrs legacy_store)
+      && Pag_eval.Store.missing flat_store = 0
+      && Legacy.Store.missing legacy_store = 0
+      && Pag_eval.Store.sets flat_store = Legacy.Store.sets legacy_store
+      && flat_stats.Pag_eval.Dynamic.evals = legacy_stats.Legacy.Dynamic.evals
+      && flat_stats.Pag_eval.Dynamic.edges = legacy_stats.Legacy.Dynamic.edges
+    in
+    (flat_stats, agree)
+  in
+  let legacy_t, legacy_b = measure (fun () -> Legacy.Dynamic.eval g tree) in
+  let flat_t, flat_b = measure (fun () -> Pag_eval.Dynamic.eval g tree) in
+  let evals = float_of_int flat_stats.Pag_eval.Dynamic.evals in
+  let legacy_rate = evals /. legacy_t and flat_rate = evals /. flat_t in
+  Printf.printf "\n%-28s %12s %14s %16s\n" "" "s/run" "evals/sec"
+    "alloc bytes/run";
+  Printf.printf "%-28s %12.3f %14.0f %16.0f\n" "seed hashtbl store" legacy_t
+    legacy_rate legacy_b;
+  Printf.printf "%-28s %12.3f %14.0f %16.0f\n" "flat store + CSR" flat_t
+    flat_rate flat_b;
+  Printf.printf
+    "\nthroughput: x%.2f   allocation: x%.2f less   stores agree: %b\n"
+    (flat_rate /. legacy_rate) (legacy_b /. flat_b) agree;
+  let oc = open_out "BENCH_1.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_1\",\n\
+    \  \"bench\": \"dynamic evaluator, flat store + CSR vs seed hashtbl \
+     store\",\n\
+    \  \"workload\": \"Progen.paper_program\",\n\
+    \  \"tree_nodes\": %d,\n\
+    \  \"instances\": %d,\n\
+    \  \"edges\": %d,\n\
+    \  \"evals_per_run\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"seed_hashtbl\": { \"seconds_per_run\": %.6f, \"evals_per_sec\": \
+     %.0f, \"allocated_bytes_per_run\": %.0f },\n\
+    \  \"flat_csr\": { \"seconds_per_run\": %.6f, \"evals_per_sec\": %.0f, \
+     \"allocated_bytes_per_run\": %.0f },\n\
+    \  \"throughput_speedup\": %.3f,\n\
+    \  \"allocation_ratio\": %.3f,\n\
+    \  \"stores_agree\": %b\n\
+     }\n"
+    (Pag_core.Tree.size tree)
+    flat_stats.Pag_eval.Dynamic.instances flat_stats.Pag_eval.Dynamic.edges
+    flat_stats.Pag_eval.Dynamic.evals runs legacy_t legacy_rate legacy_b
+    flat_t flat_rate flat_b (flat_rate /. legacy_rate) (legacy_b /. flat_b)
+    agree;
+  close_out oc;
+  Printf.printf "wrote BENCH_1.json\n";
+  if not agree then failwith "BENCH_1: flat and seed stores disagree"
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: fast evaluator equivalence, nonzero exit on mismatch         *)
+(* ------------------------------------------------------------------ *)
+
+let stores_agree a b =
+  let ok = ref true in
+  Pag_eval.Store.iter_instances a (fun node attr ->
+      match
+        ( Pag_eval.Store.get_opt a node attr.Pag_core.Grammar.a_name,
+          Pag_eval.Store.get_opt b node attr.Pag_core.Grammar.a_name )
+      with
+      | Some x, Some y -> if not (Pag_core.Value.equal x y) then ok := false
+      | None, None -> ()
+      | _ -> ok := false);
+  !ok
+
+let smoke_check () =
+  sep "[smoke] evaluator equivalence (quick workload)";
+  let fails = ref 0 in
+  let check name ok =
+    Printf.printf "%-58s %s\n" name (if ok then "ok" else "MISMATCH");
+    if not ok then incr fails
+  in
+  (* 1. Expression grammar: oracle = dynamic = static on a random tree. *)
+  let etree =
+    Pag_grammars.Expr_ag.random_program (Random.State.make [| 11 |]) ~depth:8
+  in
+  let eg = Pag_grammars.Expr_ag.grammar in
+  let oracle = Pag_eval.Oracle.eval eg etree in
+  let dyn, _ = Pag_eval.Dynamic.eval eg etree in
+  check "expr: oracle = dynamic" (stores_agree oracle dyn);
+  (match Pag_analysis.Kastens.analyze eg with
+  | Error _ -> check "expr: grammar is ordered" false
+  | Ok plan ->
+      let st, _ = Pag_eval.Static_eval.eval plan etree in
+      check "expr: oracle = static (Kastens)" (stores_agree oracle st));
+  (* 2. Pascal compiler: static / dynamic / oracle produce identical code
+     (modulo label numbering, which depends on rule firing order). *)
+  let prog = fst (Progen.gen (Random.State.make [| 7 |]) Progen.small) in
+  let asm ev = mask_asm (Driver.compile ~evaluator:ev prog).Driver.c_asm in
+  let s = asm `Static and d = asm `Dynamic and o = asm `Oracle in
+  check "pascal: static = dynamic code" (String.equal s d);
+  check "pascal: static = oracle code" (String.equal s o);
+  (* 3. Flat store vs the seed hashtbl store on the same tree. *)
+  let tree = Pascal_ag.tree_of_program Pascal_ag.grammar prog in
+  let legacy, _ = Legacy.Dynamic.eval Pascal_ag.grammar tree in
+  let flat, _ = Pag_eval.Dynamic.eval Pascal_ag.grammar tree in
+  check "pascal: flat store = seed hashtbl store"
+    (pascal_roots_agree
+       (Pag_eval.Store.root_attrs flat)
+       (Legacy.Store.root_attrs legacy));
+  if !fails = 0 then Printf.printf "\nsmoke ok\n"
+  else Printf.printf "\n%d smoke check(s) FAILED\n" !fails;
+  !fails
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
     "Parallel Attribute Grammar Evaluation — benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
-  e1_figure5 ();
-  e2_figure6 ();
-  e3_figure7 ();
-  e4_dynamic_fraction ();
-  e5_librarian ();
-  e6_priority ();
-  e7_unique_ids ();
-  e8_sequential_and_granularity ();
-  e9_assembly_integration ();
-  if micro then microbenchmarks ();
+  if smoke then exit (if smoke_check () = 0 then 0 else 1);
+  if micro then begin
+    store_micro ();
+    microbenchmarks ()
+  end
+  else begin
+    e1_figure5 ();
+    e2_figure6 ();
+    e3_figure7 ();
+    e4_dynamic_fraction ();
+    e5_librarian ();
+    e6_priority ();
+    e7_unique_ids ();
+    e8_sequential_and_granularity ();
+    e9_assembly_integration ()
+  end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

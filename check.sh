@@ -1,0 +1,8 @@
+#!/bin/sh
+# Repo check: build, tests, dune-file formatting. Run before every push.
+set -e
+cd "$(dirname "$0")"
+dune build
+dune runtest
+dune build @fmt
+echo "check.sh: all green"

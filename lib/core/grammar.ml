@@ -11,11 +11,15 @@ type symbol = {
 
 type attr_ref = { pos : int; attr : string }
 
+type rref = { rr_pos : int; rr_attr : int; rr_term : bool; rr_name : string }
+
 type rule = {
   r_target : attr_ref;
   r_deps : attr_ref list;
   r_fn : Value.t array -> Value.t;
   r_name : string;
+  mutable r_rtarget : rref;
+  mutable r_rdeps : rref array;
 }
 
 type production = {
@@ -35,6 +39,7 @@ type t = {
   attr_index : (string * string, int) Hashtbl.t;
   prod_index : (string, int) Hashtbl.t;
   prods_of : (string, production list) Hashtbl.t;
+  attr_counts : int array;  (* symbol id -> number of declared attributes *)
 }
 
 exception Error of string
@@ -70,13 +75,22 @@ let pp_attr_ref fmt { pos; attr } =
   if pos = 0 then Format.fprintf fmt "$$.%s" attr
   else Format.fprintf fmt "$%d.%s" pos attr
 
+let unresolved = { rr_pos = -1; rr_attr = -1; rr_term = false; rr_name = "" }
+
 let rule ?name target ~deps fn =
   let name =
     match name with
     | Some n -> n
     | None -> Format.asprintf "%a" pp_attr_ref target
   in
-  { r_target = target; r_deps = deps; r_fn = fn; r_name = name }
+  {
+    r_target = target;
+    r_deps = deps;
+    r_fn = fn;
+    r_name = name;
+    r_rtarget = unresolved;
+    r_rdeps = [||];
+  }
 
 let production ~name ~lhs ~rhs rules =
   {
@@ -190,6 +204,31 @@ let validate_production g_symbols sym_index p =
           attr)
     required
 
+(* Resolve the attribute references of every rule of [p] to dense indices
+   (position in the symbol's attribute array + terminal flag), so evaluators
+   compute slot ids with array arithmetic instead of name lookups. Runs after
+   validation, so every reference is known to be well-formed. *)
+let resolve_production g_symbols sym_index p =
+  let resolve (r : attr_ref) =
+    let sym = symbol_at g_symbols sym_index p r in
+    let idx = ref (-1) in
+    Array.iteri (fun i a -> if a.a_name = r.attr then idx := i) sym.s_attrs;
+    { rr_pos = r.pos; rr_attr = !idx; rr_term = sym.s_term; rr_name = r.attr }
+  in
+  Array.iter
+    (fun ru ->
+      let rt = resolve ru.r_target in
+      let rd = Array.of_list (List.map resolve ru.r_deps) in
+      if ru.r_rtarget.rr_pos >= 0 && (ru.r_rtarget <> rt || ru.r_rdeps <> rd)
+      then
+        error
+          "production %S: rule %S is shared with another production where it \
+           resolves differently (build rules freshly per production)"
+          p.p_name ru.r_name;
+      ru.r_rtarget <- rt;
+      ru.r_rdeps <- rd)
+    p.p_rules
+
 let make ~name ~start symbols productions =
   check_unique_names "symbol" (List.map (fun s -> s.s_name) symbols);
   List.iter
@@ -213,6 +252,7 @@ let make ~name ~start symbols productions =
   | Some i ->
       if g_symbols.(i).s_term then error "start symbol %S is a terminal" start);
   List.iter (validate_production g_symbols sym_index) productions;
+  List.iter (resolve_production g_symbols sym_index) productions;
   let g_prods =
     Array.of_list (List.mapi (fun i p -> { p with p_id = i }) productions)
   in
@@ -242,6 +282,7 @@ let make ~name ~start symbols productions =
     attr_index;
     prod_index;
     prods_of;
+    attr_counts = Array.map (fun s -> Array.length s.s_attrs) g_symbols;
   }
 
 let name g = g.g_name
@@ -274,7 +315,9 @@ let attr_pos g ~sym ~attr =
   | Some i -> i
   | None -> error "unknown attribute %s.%s" sym attr
 
-let attr_count g name = Array.length (symbol g name).s_attrs
+let attr_count g name = g.attr_counts.(sym_id g name)
+
+let attr_count_of_id g id = g.attr_counts.(id)
 
 let is_priority g ~sym ~attr =
   match find_attr (symbol g sym) attr with

@@ -29,12 +29,27 @@ type symbol = {
     the left-hand side, [pos = i ≥ 1] the i-th right-hand-side symbol. *)
 type attr_ref = { pos : int; attr : string }
 
+(** Resolved attribute occurrence, computed once by {!make}: the attribute's
+    index within its symbol's declaration array plus a terminal flag, so
+    evaluator hot paths turn an occurrence into a dense slot id with array
+    arithmetic instead of name lookups. *)
+type rref = {
+  rr_pos : int;  (** 0 = left-hand side, i ≥ 1 = i-th right-hand symbol *)
+  rr_attr : int;  (** index within the symbol's attribute array *)
+  rr_term : bool;  (** the symbol at that position is a terminal *)
+  rr_name : string;  (** attribute name (terminal reads, error messages) *)
+}
+
 type rule = {
   r_target : attr_ref;
   r_deps : attr_ref list;
   r_fn : Value.t array -> Value.t;
       (** applied to the dependency values, in [r_deps] order *)
   r_name : string;
+  mutable r_rtarget : rref;
+      (** resolved form of [r_target]; filled in by {!make} *)
+  mutable r_rdeps : rref array;
+      (** resolved forms of [r_deps], same order; filled in by {!make} *)
 }
 
 type production = {
@@ -109,6 +124,10 @@ val prods_for : t -> string -> production list
 val attr_pos : t -> sym:string -> attr:string -> int
 
 val attr_count : t -> string -> int
+
+(** [attr_count_of_id g id] — like {!attr_count} but an O(1) array read
+    keyed by {!sym_id}. *)
+val attr_count_of_id : t -> int -> int
 
 val find_attr : symbol -> string -> attr_decl option
 

@@ -1,6 +1,7 @@
 type t = {
   mutable id : int;
   sym : string;
+  sym_id : int;
   prod : Grammar.production option;
   children : t array;
   term_attrs : (string * Value.t) list;
@@ -22,7 +23,14 @@ let node g prod_name children =
         error "node %S: child %d should be %S, got %S" prod_name (i + 1)
           p.p_rhs.(i) c.sym)
     children;
-  { id = -1; sym = p.p_lhs; prod = Some p; children; term_attrs = [] }
+  {
+    id = -1;
+    sym = p.p_lhs;
+    sym_id = Grammar.sym_id g p.p_lhs;
+    prod = Some p;
+    children;
+    term_attrs = [];
+  }
 
 let leaf g term attrs =
   let s = Grammar.symbol g term in
@@ -37,7 +45,14 @@ let leaf g term attrs =
       if Grammar.find_attr s name = None then
         error "leaf %S: unknown attribute %S" term name)
     attrs;
-  { id = -1; sym = term; prod = None; children = [||]; term_attrs = attrs }
+  {
+    id = -1;
+    sym = term;
+    sym_id = Grammar.sym_id g term;
+    prod = None;
+    children = [||];
+    term_attrs = attrs;
+  }
 
 let iter f t =
   (* Explicit stack: trees of large programs are deep. *)

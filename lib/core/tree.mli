@@ -9,6 +9,7 @@
 type t = {
   mutable id : int;
   sym : string;
+  sym_id : int;  (** {!Grammar.sym_id} of [sym]: O(1) symbol-table access *)
   prod : Grammar.production option;  (** [None] iff terminal leaf *)
   children : t array;
   term_attrs : (string * Value.t) list;

@@ -4,26 +4,21 @@ type stats = { instances : int; edges : int; evals : int }
 
 exception Cycle of string
 
-type rule_node = { rn_node : Tree.t; rn_rule : Grammar.rule; mutable waiting : int }
+(* The dependency graph is stored in CSR form over the store's dense
+   instance (slot) ids: [off] gives each instance's range in [edge_dst],
+   whose entries are the rule ids waiting on that instance. Rule arguments
+   are precomputed the same way — [arg_off]/[arg_code] give each rule's
+   argument slots, with terminal (intrinsic) dependencies resolved once at
+   build time into [consts]. The ready loop then only touches flat arrays:
+   no hashing, no string comparison, no per-edge allocation. *)
+
+let dummy_rule = Grammar.rule (Grammar.lhs "") ~deps:[] (fun _ -> Value.Unit)
 
 let eval_inner ?root_inh g t =
   let store = Store.create ?root_inh g t in
-  let n = Store.node_count store in
-  (* Dense instance ids: base.(node id) + attribute index. *)
-  let base = Array.make (n + 1) 0 in
-  let nodes = Array.make n t in
-  Tree.iter (fun node -> nodes.(node.Tree.id) <- node) t;
-  for i = 0 to n - 1 do
-    base.(i + 1) <- base.(i) + Grammar.attr_count g nodes.(i).Tree.sym
-  done;
-  let total = base.(n) in
-  let inst node attr =
-    base.(node.Tree.id) + Grammar.attr_pos g ~sym:node.Tree.sym ~attr
-  in
-  (* Wire rules to the instances they wait for. *)
-  let dependents : rule_node list array = Array.make total [] in
-  let rules = ref [] in
-  let edge_count = ref 0 in
+  let total = Store.slot_count store in
+  (* Pass 1: count rules, arguments and terminal dependencies. *)
+  let n_rules = ref 0 and n_args = ref 0 and n_terms = ref 0 in
   Tree.iter
     (fun node ->
       match node.Tree.prod with
@@ -31,32 +26,122 @@ let eval_inner ?root_inh g t =
       | Some p ->
           Array.iter
             (fun (r : Grammar.rule) ->
-              let rn = { rn_node = node; rn_rule = r; waiting = 0 } in
-              rules := rn :: !rules;
-              List.iter
-                (fun (dn, dattr) ->
-                  incr edge_count;
-                  if not (Store.is_set store dn dattr) then begin
-                    rn.waiting <- rn.waiting + 1;
-                    let i = inst dn dattr in
-                    dependents.(i) <- rn :: dependents.(i)
-                  end)
-                (Store.rule_deps store node r))
+              incr n_rules;
+              n_args := !n_args + Array.length r.Grammar.r_rdeps;
+              Array.iter
+                (fun (d : Grammar.rref) ->
+                  if d.Grammar.rr_term then incr n_terms)
+                r.Grammar.r_rdeps)
             p.Grammar.p_rules)
     t;
-  let ready = Queue.create () in
-  List.iter (fun rn -> if rn.waiting = 0 then Queue.add rn ready) !rules;
+  let n_rules = !n_rules in
+  let rule_rules = Array.make (max 1 n_rules) dummy_rule in
+  let target_slot = Array.make (max 1 n_rules) 0 in
+  let waiting = Array.make (max 1 n_rules) 0 in
+  let arg_off = Array.make (n_rules + 1) 0 in
+  let arg_code = Array.make (max 1 !n_args) 0 in
+  let consts = Array.make (max 1 !n_terms) Value.Unit in
+  (* Pass 2: resolve every rule's target and argument slots, record
+     per-instance dependent-edge degrees (only instances still unset can
+     block a rule). *)
+  let off = Array.make (total + 1) 0 in
+  let edge_count = ref 0 in
+  let rc = ref 0 and ac = ref 0 and tc = ref 0 in
+  Tree.iter
+    (fun node ->
+      match node.Tree.prod with
+      | None -> ()
+      | Some p ->
+          Array.iter
+            (fun (r : Grammar.rule) ->
+              let rid = !rc in
+              incr rc;
+              rule_rules.(rid) <- r;
+              arg_off.(rid) <- !ac;
+              let tgt = r.Grammar.r_rtarget in
+              let tn =
+                if tgt.Grammar.rr_pos = 0 then node
+                else node.Tree.children.(tgt.Grammar.rr_pos - 1)
+              in
+              target_slot.(rid) <-
+                Store.slot_of store tn ~attr_idx:tgt.Grammar.rr_attr;
+              Array.iter
+                (fun (d : Grammar.rref) ->
+                  let dn =
+                    if d.Grammar.rr_pos = 0 then node
+                    else node.Tree.children.(d.Grammar.rr_pos - 1)
+                  in
+                  (if d.Grammar.rr_term then begin
+                     let ci = !tc in
+                     incr tc;
+                     consts.(ci) <- Tree.term_attr dn d.Grammar.rr_name;
+                     arg_code.(!ac) <- -ci - 1
+                   end
+                   else begin
+                     let i =
+                       Store.slot_of store dn ~attr_idx:d.Grammar.rr_attr
+                     in
+                     arg_code.(!ac) <- i;
+                     incr edge_count;
+                     if not (Store.slot_is_set store i) then begin
+                       waiting.(rid) <- waiting.(rid) + 1;
+                       off.(i + 1) <- off.(i + 1) + 1
+                     end
+                   end);
+                  incr ac)
+                r.Grammar.r_rdeps)
+            p.Grammar.p_rules)
+    t;
+  arg_off.(n_rules) <- !ac;
+  (* Prefix-sum degrees into CSR offsets, then fill the edge array. *)
+  for i = 1 to total do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let wired = !edge_count in
+  let edge_dst = Array.make (max 1 off.(total)) 0 in
+  let fill = Array.copy off in
+  for rid = 0 to n_rules - 1 do
+    if waiting.(rid) > 0 then
+      for k = arg_off.(rid) to arg_off.(rid + 1) - 1 do
+        let c = arg_code.(k) in
+        if c >= 0 && not (Store.slot_is_set store c) then begin
+          edge_dst.(fill.(c)) <- rid;
+          fill.(c) <- fill.(c) + 1
+        end
+      done
+  done;
+  (* Ready queue: each rule enqueues exactly once, so a flat ring suffices. *)
+  let queue = Array.make (max 1 n_rules) 0 in
+  let head = ref 0 and tail = ref 0 in
+  for rid = 0 to n_rules - 1 do
+    if waiting.(rid) = 0 then begin
+      queue.(!tail) <- rid;
+      incr tail
+    end
+  done;
   let evals = ref 0 in
-  while not (Queue.is_empty ready) do
-    let rn = Queue.take ready in
-    ignore (Store.apply_rule store rn.rn_node rn.rn_rule);
+  while !head < !tail do
+    let rid = queue.(!head) in
+    incr head;
+    let lo = arg_off.(rid) and hi = arg_off.(rid + 1) in
+    let args = Array.make (hi - lo) Value.Unit in
+    for k = lo to hi - 1 do
+      let c = arg_code.(k) in
+      args.(k - lo) <-
+        (if c >= 0 then Store.slot_value store c else consts.(-c - 1))
+    done;
+    let v = rule_rules.(rid).Grammar.r_fn args in
     incr evals;
-    let tnode, tattr = Store.rule_target rn.rn_node rn.rn_rule in
-    List.iter
-      (fun dep ->
-        dep.waiting <- dep.waiting - 1;
-        if dep.waiting = 0 then Queue.add dep ready)
-      dependents.(inst tnode tattr)
+    let ti = target_slot.(rid) in
+    Store.define_slot store ti v;
+    for k = off.(ti) to off.(ti + 1) - 1 do
+      let c = edge_dst.(k) in
+      waiting.(c) <- waiting.(c) - 1;
+      if waiting.(c) = 0 then begin
+        queue.(!tail) <- c;
+        incr tail
+      end
+    done
   done;
   let left = Store.missing store in
   if left > 0 then
@@ -66,7 +151,7 @@ let eval_inner ?root_inh g t =
             "dynamic evaluation stuck: %d attribute instances unevaluated \
              (circular tree or missing root attributes)"
             left));
-  (store, { instances = total; edges = !edge_count; evals = !evals })
+  (store, { instances = total; edges = wired; evals = !evals })
 
 let eval ?root_inh g t =
   let r, _ = Pag_core.Uid.with_base 0 (fun () -> eval_inner ?root_inh g t) in

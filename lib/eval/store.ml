@@ -1,10 +1,23 @@
 open Pag_core
 
+(* Flat attribute store.
+
+   All attribute instances of the covered nodes live in one dense [vals]
+   array; instance (slot) ids are [base.(dense node index) + attribute
+   index]. A bitset tracks which slots are set, so values need no option
+   boxing and "is set" is a bit test. Node ids (which are global and sparse
+   for fragment stores) map to dense indices through an offset-based [index_of]
+   table, making every hot-path access array arithmetic. *)
+
 type t = {
   g : Grammar.t;
   root : Tree.t;
-  slots : (int, Value.t option array) Hashtbl.t; (* node id -> attr slots *)
-  nodes : (int, Tree.t) Hashtbl.t;
+  id_lo : int;  (* lowest covered node id *)
+  index_of : int array;  (* (node id - id_lo) -> dense index, -1 if absent *)
+  nodes : Tree.t array;  (* dense index -> node, increasing node id *)
+  base : int array;  (* dense index -> first slot id; length n_nodes + 1 *)
+  vals : Value.t array;  (* slot id -> value (valid iff bit set) *)
+  bits : Bytes.t;  (* slot id -> set? *)
   mutable n_sets : int;
 }
 
@@ -12,73 +25,175 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* Traversal that allocates slots, optionally stopping below stub nodes. *)
-let populate store ?(stop = fun _ -> false) root =
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Covered nodes in preorder (= increasing id order for numbered trees),
+   optionally stopping below stub nodes. *)
+let covered_nodes ?(stop = fun _ -> false) root =
+  let acc = ref [] and count = ref 0 in
   let stack = ref [ root ] in
   let rec go () =
     match !stack with
     | [] -> ()
     | node :: rest ->
         stack := rest;
-        Hashtbl.replace store.nodes node.Tree.id node;
-        Hashtbl.replace store.slots node.Tree.id
-          (Array.make (Grammar.attr_count store.g node.Tree.sym) None);
+        acc := node :: !acc;
+        incr count;
         if node == root || not (stop node) then
           for i = Array.length node.Tree.children - 1 downto 0 do
             stack := node.Tree.children.(i) :: !stack
           done;
         go ()
   in
-  go ()
-
-let preset store root root_inh =
-  List.iter
-    (fun (attr, v) ->
-      let idx = Grammar.attr_pos store.g ~sym:root.Tree.sym ~attr in
-      (Hashtbl.find store.slots root.Tree.id).(idx) <- Some v)
-    root_inh
+  go ();
+  (List.rev !acc, !count)
 
 let create_shared ?(root_inh = []) ?stop g root =
+  let node_list, n = covered_nodes ?stop root in
+  let nodes = Array.of_list node_list in
+  let id_lo = ref max_int and id_hi = ref min_int in
+  Array.iter
+    (fun (node : Tree.t) ->
+      if node.Tree.id < !id_lo then id_lo := node.Tree.id;
+      if node.Tree.id > !id_hi then id_hi := node.Tree.id)
+    nodes;
+  let id_lo = if n = 0 then 0 else !id_lo in
+  let span = if n = 0 then 0 else !id_hi - id_lo + 1 in
+  let index_of = Array.make span (-1) in
+  Array.iteri
+    (fun i (node : Tree.t) ->
+      if index_of.(node.Tree.id - id_lo) >= 0 then
+        error "node %d (%s) appears twice (tree not numbered?)" node.Tree.id
+          node.Tree.sym;
+      index_of.(node.Tree.id - id_lo) <- i)
+    nodes;
+  let counts = Grammar.(fun id -> attr_count_of_id g id) in
+  let base = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let node = nodes.(i) in
+    let c =
+      (* terminal attributes are intrinsic: leaves get no slots *)
+      match node.Tree.prod with None -> 0 | Some _ -> counts node.Tree.sym_id
+    in
+    base.(i + 1) <- base.(i) + c
+  done;
+  let total = base.(n) in
   let store =
-    { g; root; slots = Hashtbl.create 256; nodes = Hashtbl.create 256; n_sets = 0 }
+    {
+      g;
+      root;
+      id_lo;
+      index_of;
+      nodes;
+      base;
+      vals = Array.make total Value.Unit;
+      bits = Bytes.make ((total + 7) / 8) '\000';
+      n_sets = 0;
+    }
   in
-  populate store ?stop root;
-  preset store root root_inh;
+  List.iter
+    (fun (attr, v) ->
+      let idx = Grammar.attr_pos g ~sym:root.Tree.sym ~attr in
+      let slot = base.(index_of.(root.Tree.id - id_lo)) + idx in
+      store.vals.(slot) <- v;
+      let b = slot lsr 3 in
+      Bytes.set store.bits b
+        (Char.chr (Char.code (Bytes.get store.bits b) lor (1 lsl (slot land 7)))))
+    root_inh;
   store
 
 let create ?root_inh g root =
   ignore (Tree.number root);
   create_shared ?root_inh g root
 
+(* ------------------------------------------------------------------ *)
+(* Slot arithmetic                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let dense_index s (node : Tree.t) =
+  let i = node.Tree.id - s.id_lo in
+  if i < 0 || i >= Array.length s.index_of || s.index_of.(i) < 0 then
+    error "node %d (%s) is not covered by this store" node.Tree.id
+      node.Tree.sym
+  else s.index_of.(i)
+
+let slot_count s = s.base.(Array.length s.nodes)
+
+let slot_of s node ~attr_idx = s.base.(dense_index s node) + attr_idx
+
+let slot_is_set s slot =
+  Char.code (Bytes.unsafe_get s.bits (slot lsr 3)) land (1 lsl (slot land 7))
+  <> 0
+
+let mark_set s slot =
+  let b = slot lsr 3 in
+  Bytes.unsafe_set s.bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get s.bits b) lor (1 lsl (slot land 7))))
+
+let slot_value s slot = Array.unsafe_get s.vals slot
+
+(* Owner of a slot, for error messages only: the dense node index i with
+   base.(i) <= slot < base.(i+1). *)
+let slot_owner s slot =
+  let lo = ref 0 and hi = ref (Array.length s.nodes - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if s.base.(mid) <= slot then lo := mid else hi := mid - 1
+  done;
+  (s.nodes.(!lo), slot - s.base.(!lo))
+
+let define_slot s slot v =
+  if slot_is_set s slot then begin
+    let node, k = slot_owner s slot in
+    let sym = Grammar.symbol_of_id s.g node.Tree.sym_id in
+    error "attribute %s.%s of node %d set twice" node.Tree.sym
+      sym.Grammar.s_attrs.(k).Grammar.a_name node.Tree.id
+  end
+  else begin
+    s.vals.(slot) <- v;
+    mark_set s slot;
+    s.n_sets <- s.n_sets + 1
+  end
+
+let set_slot s (node : Tree.t) attr slot v =
+  if slot_is_set s slot then
+    error "attribute %s.%s of node %d set twice" node.Tree.sym attr
+      node.Tree.id
+  else begin
+    s.vals.(slot) <- v;
+    mark_set s slot;
+    s.n_sets <- s.n_sets + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let grammar s = s.g
 
 let root s = s.root
 
-let node_count s = Hashtbl.length s.nodes
+let node_count s = Array.length s.nodes
 
-let find_node s id = Hashtbl.find_opt s.nodes id
+let find_node s id =
+  let i = id - s.id_lo in
+  if i < 0 || i >= Array.length s.index_of || s.index_of.(i) < 0 then None
+  else Some s.nodes.(s.index_of.(i))
 
-let idx_of s node attr = Grammar.attr_pos s.g ~sym:node.Tree.sym ~attr
+let idx_of s (node : Tree.t) attr =
+  Grammar.attr_pos s.g ~sym:node.Tree.sym ~attr
 
-let slots_of s (node : Tree.t) =
-  match Hashtbl.find_opt s.slots node.Tree.id with
-  | Some a -> a
-  | None -> error "node %d (%s) is not covered by this store" node.Tree.id node.Tree.sym
+let set s node attr v = set_slot s node attr (slot_of s node ~attr_idx:(idx_of s node attr)) v
 
-let set s node attr v =
-  let arr = slots_of s node in
-  let i = idx_of s node attr in
-  match arr.(i) with
-  | Some _ ->
-      error "attribute %s.%s of node %d set twice" node.Tree.sym attr node.Tree.id
-  | None ->
-      arr.(i) <- Some v;
-      s.n_sets <- s.n_sets + 1
-
-let get_opt s node attr =
+let get_opt s (node : Tree.t) attr =
   match node.Tree.prod with
   | None -> Some (Tree.term_attr node attr)
-  | Some _ -> (slots_of s node).(idx_of s node attr)
+  | Some _ ->
+      let slot = slot_of s node ~attr_idx:(idx_of s node attr) in
+      if slot_is_set s slot then Some s.vals.(slot) else None
 
 let get s node attr =
   match get_opt s node attr with
@@ -92,56 +207,79 @@ let is_set s node attr = get_opt s node attr <> None
 let sets s = s.n_sets
 
 let root_attrs s =
-  let sym = Grammar.symbol s.g s.root.Tree.sym in
+  let sym = Grammar.symbol_of_id s.g s.root.Tree.sym_id in
   Array.to_list sym.Grammar.s_attrs
   |> List.filter_map (fun (a : Grammar.attr_decl) ->
          match get_opt s s.root a.a_name with
          | Some v -> Some (a.a_name, v)
          | None -> None)
 
-let node_of_ref node (r : Grammar.attr_ref) =
-  if r.Grammar.pos = 0 then node else node.Tree.children.(r.Grammar.pos - 1)
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let node_of_pos (node : Tree.t) pos =
+  if pos = 0 then node else node.Tree.children.(pos - 1)
 
 let rule_deps s node (rule : Grammar.rule) =
   ignore s;
-  List.filter_map
-    (fun (d : Grammar.attr_ref) ->
-      let n = node_of_ref node d in
-      match n.Tree.prod with
-      | None -> None (* terminal intrinsic: always available *)
-      | Some _ -> Some (n, d.Grammar.attr))
-    rule.Grammar.r_deps
+  Array.to_list rule.Grammar.r_rdeps
+  |> List.filter_map (fun (d : Grammar.rref) ->
+         if d.Grammar.rr_term then None (* terminal intrinsic: always available *)
+         else Some (node_of_pos node d.Grammar.rr_pos, d.Grammar.rr_name))
 
 let rule_target node (rule : Grammar.rule) =
-  (node_of_ref node rule.Grammar.r_target, rule.Grammar.r_target.Grammar.attr)
+  ( node_of_pos node rule.Grammar.r_rtarget.Grammar.rr_pos,
+    rule.Grammar.r_rtarget.Grammar.rr_name )
+
+let rule_target_slot s node (rule : Grammar.rule) =
+  let t = rule.Grammar.r_rtarget in
+  slot_of s (node_of_pos node t.Grammar.rr_pos) ~attr_idx:t.Grammar.rr_attr
+
+let get_dep s (node : Tree.t) (d : Grammar.rref) =
+  if d.Grammar.rr_term then
+    Tree.term_attr (node_of_pos node d.Grammar.rr_pos) d.Grammar.rr_name
+  else begin
+    let dn = node_of_pos node d.Grammar.rr_pos in
+    let slot = s.base.(dense_index s dn) + d.Grammar.rr_attr in
+    if slot_is_set s slot then s.vals.(slot)
+    else
+      error "attribute %s.%s of node %d not evaluated" dn.Tree.sym
+        d.Grammar.rr_name dn.Tree.id
+  end
 
 let apply_rule s node (rule : Grammar.rule) =
-  let args =
-    Array.of_list
-      (List.map
-         (fun (d : Grammar.attr_ref) -> get s (node_of_ref node d) d.Grammar.attr)
-         rule.Grammar.r_deps)
-  in
+  let deps = rule.Grammar.r_rdeps in
+  let args = Array.make (Array.length deps) Value.Unit in
+  for k = 0 to Array.length deps - 1 do
+    args.(k) <- get_dep s node deps.(k)
+  done;
   let v = rule.Grammar.r_fn args in
-  let tnode, tattr = rule_target node rule in
-  set s tnode tattr v;
+  let t = rule.Grammar.r_rtarget in
+  let tnode = node_of_pos node t.Grammar.rr_pos in
+  set_slot s tnode t.Grammar.rr_name
+    (s.base.(dense_index s tnode) + t.Grammar.rr_attr)
+    v;
   v
 
+(* ------------------------------------------------------------------ *)
+(* Iteration                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let iter_instances s f =
-  (* Deterministic order: by node id. *)
-  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) s.nodes [] in
-  List.iter
-    (fun id ->
-      let node = Hashtbl.find s.nodes id in
+  (* [nodes] is preorder = increasing node id: deterministic. *)
+  Array.iter
+    (fun (node : Tree.t) ->
       match node.Tree.prod with
       | None -> ()
       | Some _ ->
-          let sym = Grammar.symbol s.g node.Tree.sym in
+          let sym = Grammar.symbol_of_id s.g node.Tree.sym_id in
           Array.iter (fun a -> f node a) sym.Grammar.s_attrs)
-    (List.sort compare ids)
+    s.nodes
 
 let missing s =
   let n = ref 0 in
-  iter_instances s (fun node a ->
-      if not (is_set s node a.Grammar.a_name) then incr n);
+  for slot = 0 to slot_count s - 1 do
+    if not (slot_is_set s slot) then incr n
+  done;
   !n

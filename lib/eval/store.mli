@@ -1,9 +1,15 @@
 (** Attribute-instance store for one (sub)tree.
 
-    Creating a store numbers the tree (preorder) and allocates one slot per
-    (node, attribute) pair. Terminal attributes read through to the leaf's
-    intrinsic values. Every evaluator in this library fills the same store
-    type, which is what makes them directly comparable in tests. *)
+    Creating a store numbers the tree (preorder) and allocates one dense slot
+    per (nonterminal node, attribute) pair: all instances live in one flat
+    value array indexed by [base(node) + attribute index], with a bitset
+    tracking which slots have been set. Terminal attributes read through to
+    the leaf's intrinsic values. Every evaluator in this library fills the
+    same store type, which is what makes them directly comparable in tests.
+
+    Slot ids ({!slot_of}, {!slot_count}) are exposed so graph-based
+    evaluators can key their dependency structures on the same dense
+    instance numbering instead of rebuilding their own. *)
 
 open Pag_core
 
@@ -71,3 +77,28 @@ val rule_target : Tree.t -> Grammar.rule -> Tree.t * string
 
 (** Iterate over every (node, attr_decl) instance of nonterminal nodes. *)
 val iter_instances : t -> (Tree.t -> Grammar.attr_decl -> unit) -> unit
+
+(** {1 Dense instance ids}
+
+    Every (nonterminal node, attribute) instance has a slot id in
+    [0 .. slot_count - 1]. Terminal leaves have no slots. *)
+
+val slot_count : t -> int
+
+(** [slot_of store node ~attr_idx] — the slot id of [node]'s attribute with
+    index [attr_idx] in its symbol's declaration array. Raises [Error] when
+    [node] is not covered. *)
+val slot_of : t -> Tree.t -> attr_idx:int -> int
+
+val slot_is_set : t -> int -> bool
+
+(** Value stored in a slot. Meaningful only when {!slot_is_set}; reading an
+    unset slot returns the initialisation value without error. *)
+val slot_value : t -> int -> Value.t
+
+(** Set a slot by id. Raises [Error] (naming the owning node and attribute)
+    if the slot is already set. *)
+val define_slot : t -> int -> Value.t -> unit
+
+(** Slot id of the instance a rule defines at [node]. *)
+val rule_target_slot : t -> Tree.t -> Grammar.rule -> int

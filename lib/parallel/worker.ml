@@ -112,8 +112,12 @@ let run (env : Transport.env) cfg task =
   let on_spine (n : Tree.t) = Hashtbl.mem spine n.Tree.id in
   (* ---- 4. Items. ---- *)
   let items = ref [] and n_items = ref 0 in
-  let producers = Hashtbl.create 256 in
-  (* (node id, attr) -> item id *)
+  (* Producers and boundary sends are keyed by the store's dense instance
+     (slot) ids: flat int arrays instead of (node id, attr) hash tables. *)
+  let slot_of (n : Tree.t) attr =
+    Store.slot_of store n ~attr_idx:(Grammar.attr_pos g ~sym:n.Tree.sym ~attr)
+  in
+  let producers = Array.make (max 1 (Store.slot_count store)) (-1) in
   let new_item it =
     let id = !n_items in
     incr n_items;
@@ -121,7 +125,7 @@ let run (env : Transport.env) cfg task =
     id
   in
   let register_producer item_id (n : Tree.t) attr =
-    Hashtbl.replace producers (n.Tree.id, attr) item_id
+    producers.(slot_of n attr) <- item_id
   in
   let visit_count_of sym =
     match plan with
@@ -212,11 +216,11 @@ let run (env : Transport.env) cfg task =
     incr edge_count
   in
   let producer_of (n : Tree.t) attr =
-    match Hashtbl.find_opt producers (n.Tree.id, attr) with
-    | Some id -> Some id
-    | None ->
-        if n.Tree.prod = None then None (* terminal: always available *)
-        else stuck "no producer for %s.%s (node %d)" n.Tree.sym attr n.Tree.id
+    if n.Tree.prod = None then None (* terminal: always available *)
+    else
+      match producers.(slot_of n attr) with
+      | -1 -> stuck "no producer for %s.%s (node %d)" n.Tree.sym attr n.Tree.id
+      | id -> Some id
   in
   Array.iteri
     (fun id it ->
@@ -245,20 +249,17 @@ let run (env : Transport.env) cfg task =
       | IRecv _ -> ())
     items;
   (* ---- 6. Boundary sends. ---- *)
-  let sends = Hashtbl.create 16 in
+  let sends = Array.make (max 1 (Store.slot_count store)) (-1) in
   Array.iter
     (fun (a : Grammar.attr_decl) ->
       if a.a_kind = Grammar.Syn then
-        Hashtbl.replace sends
-          (task.t_root.Tree.id, a.a_name)
-          task.t_parent_machine)
+        sends.(slot_of task.t_root a.a_name) <- task.t_parent_machine)
     root_sym.Grammar.s_attrs;
   List.iter
     (fun ((c : Tree.t), machine) ->
       Array.iter
         (fun (a : Grammar.attr_decl) ->
-          if a.a_kind = Grammar.Inh then
-            Hashtbl.replace sends (c.Tree.id, a.a_name) machine)
+          if a.a_kind = Grammar.Inh then sends.(slot_of c a.a_name) <- machine)
         (Grammar.symbol g c.Tree.sym).Grammar.s_attrs)
     task.t_cuts;
   let frag_seq = ref 0 in
@@ -330,9 +331,9 @@ let run (env : Transport.env) cfg task =
     incr completed;
     List.iter
       (fun ((n : Tree.t), attr) ->
-        match Hashtbl.find_opt sends (n.Tree.id, attr) with
-        | Some dst -> send_instance n attr dst
-        | None -> ())
+        match sends.(slot_of n attr) with
+        | -1 -> ()
+        | dst -> send_instance n attr dst)
       (products_of id);
     List.iter
       (fun c ->
@@ -371,9 +372,9 @@ let run (env : Transport.env) cfg task =
         | None -> stuck "received attribute for unknown node %d" node
         | Some n -> (
             Store.set store n attr value;
-            match Hashtbl.find_opt producers (node, attr) with
-            | Some id -> complete id
-            | None -> stuck "no receive item for %s.%s" n.Tree.sym attr))
+            match producers.(slot_of n attr) with
+            | -1 -> stuck "no receive item for %s.%s" n.Tree.sym attr
+            | id -> complete id))
     | other -> stuck "unexpected message %s" (Format.asprintf "%a" Message.pp other)
   in
   List.iter handle_msg (List.rev !stash);
