@@ -11,6 +11,8 @@
      E7  in text    unique identifiers: per-evaluator bases vs a threaded
                     counter attribute
      E8  in text    sequential static vs dynamic cost; split granularity
+     E10 beyond     fault injection: reliable-delivery overhead at zero
+                    faults; graceful degradation as the drop rate rises
 
    Flags:
      --quick   use a smaller workload and fewer machine counts
@@ -370,6 +372,67 @@ let pascal_roots_agree a_attrs b_attrs =
   String.equal (masked_code a_attrs) (masked_code b_attrs)
   && Pascal_ag.errors_of_attrs a_attrs = Pascal_ag.errors_of_attrs b_attrs
 
+(* ------------------------------------------------------------------ *)
+(* E10: fault injection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let e10_faults () =
+  let m = min 5 max_machines in
+  sep
+    (Printf.sprintf
+       "[E10] Fault injection: reliable delivery and degradation (%d machines)"
+       m);
+  let base, cb = compile (opts m) in
+  let reference = mask_asm cb.Driver.c_asm in
+  (* Timeouts sized for the paper workload: a machine acks nothing during a
+     long static visit (the symbol-table phase runs for tens of virtual
+     seconds), so the retransmission give-up horizon must comfortably exceed
+     the longest compute phase or live peers get presumed dead. *)
+  let faulty spec =
+    {
+      (opts m) with
+      Runner.faults = Some spec;
+      fault_rto = Some 5.0;
+      fault_watchdog = Some 20.0;
+    }
+  in
+  (* Overhead of the reliable layer when the network is in fact perfect:
+     every message still pays an envelope and an acknowledgement. *)
+  let zero, cz = compile (faulty Netsim.Faults.none) in
+  Printf.printf "%-34s %8.2fs   %6d messages\n" "bare protocol" base.Runner.r_time
+    base.Runner.r_messages;
+  Printf.printf "%-34s %8.2fs   %6d messages   (+%.1f%% time, code %s)\n"
+    "reliable layer, zero faults" zero.Runner.r_time zero.Runner.r_messages
+    (100.0 *. ((zero.Runner.r_time /. base.Runner.r_time) -. 1.0))
+    (if String.equal reference (mask_asm cz.Driver.c_asm) then "ok"
+     else "MISMATCH");
+  Printf.printf "\ndegradation sweep (dup = drop/2, seed 1):\n";
+  Printf.printf "%-8s %-10s %-10s %-9s %-9s %-7s %-5s\n" "drop" "time"
+    "slowdown" "dropped" "retrans" "recov" "code";
+  List.iter
+    (fun drop ->
+      let spec =
+        { Netsim.Faults.none with Netsim.Faults.fs_drop = drop; fs_dup = drop /. 2.0 }
+      in
+      let r, c = compile (faulty spec) in
+      let dropped =
+        match r.Runner.r_fault_stats with
+        | Some fs -> fs.Netsim.Faults.st_dropped
+        | None -> 0
+      in
+      Printf.printf "%-8.2f %8.2fs   x%-8.2f %-9d %-9d %-7b %s\n" drop
+        r.Runner.r_time
+        (r.Runner.r_time /. base.Runner.r_time)
+        dropped r.Runner.r_retransmits r.Runner.r_recovered
+        (if String.equal reference (mask_asm c.Driver.c_asm) then "ok"
+         else "MISMATCH"))
+    [ 0.01; 0.02; 0.05; 0.1 ];
+  Printf.printf
+    "\nexpected shape: zero-fault overhead small (acks are tiny frames);\n\
+     running time degrades gracefully with the drop rate while the emitted\n\
+     code stays identical — retransmission and deduplication mask every\n\
+     injected fault.\n"
+
 let store_micro () =
   sep "[micro] BENCH_1: flat store + CSR graph vs seed hash store (dynamic)";
   let g = Pascal_ag.grammar in
@@ -526,6 +589,7 @@ let () =
     e6_priority ();
     e7_unique_ids ();
     e8_sequential_and_granularity ();
-    e9_assembly_integration ()
+    e9_assembly_integration ();
+    e10_faults ()
   end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

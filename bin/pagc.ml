@@ -9,7 +9,9 @@
      pagc --machines 5 prog.pas             parallel combined evaluator
      pagc --machines 5 --evaluator dynamic  parallel dynamic evaluator
      pagc --run prog.pas                    compile, assemble, execute
-     pagc --gantt --machines 5 prog.pas     print the evaluator timeline *)
+     pagc --gantt --machines 5 prog.pas     print the evaluator timeline
+     pagc -m 5 --faults drop=0.05,dup=0.02 prog.pas
+                                            compile over a faulty network *)
 
 open Cmdliner
 open Pascal
@@ -22,14 +24,24 @@ let read_file path =
   s
 
 let run_compiler file machines evaluator transport granularity no_librarian
-    no_priority optimize run_it gantt out input =
+    no_priority optimize run_it gantt out input faults fault_seed =
   try
+    let faults =
+      match faults with
+      | None -> None
+      | Some plan -> (
+          match Netsim.Faults.parse ?seed:fault_seed plan with
+          | Ok spec -> Some spec
+          | Error msg ->
+              Printf.eprintf "pagc: bad --faults plan: %s\n" msg;
+              exit 1)
+    in
     let src = read_file file in
     let program = Parser.parse_program src in
     let mode = if evaluator = "dynamic" then `Dynamic else `Combined in
     let compiled, trace_info =
-      if machines <= 1 && transport = "sim" && mode = `Combined then
-        (Driver.compile ~evaluator:`Static program, None)
+      if machines <= 1 && transport = "sim" && mode = `Combined && faults = None
+      then (Driver.compile ~evaluator:`Static program, None)
       else begin
         let opts =
           {
@@ -40,6 +52,7 @@ let run_compiler file machines evaluator transport granularity no_librarian
             use_librarian = not no_librarian;
             use_priority = not no_priority;
             phase_label = Driver.phase_label;
+            faults;
           }
         in
         let result, compiled =
@@ -59,6 +72,17 @@ let run_compiler file machines evaluator transport granularity no_librarian
           (if transport = "domains" then "wall clock" else "simulated")
           r.Pag_parallel.Runner.r_messages
           (100.0 *. r.Pag_parallel.Runner.r_dynamic_fraction);
+        (match r.Pag_parallel.Runner.r_fault_stats with
+        | Some fs ->
+            Printf.eprintf
+              "faults: %d dropped, %d duplicated, %d delayed; %d \
+               retransmissions%s\n"
+              fs.Netsim.Faults.st_dropped fs.Netsim.Faults.st_duplicated
+              fs.Netsim.Faults.st_delayed r.Pag_parallel.Runner.r_retransmits
+              (if r.Pag_parallel.Runner.r_recovered then
+                 "; coordinator recovered locally"
+               else "")
+        | None -> ());
         if gantt then
           Option.iter
             (fun tr ->
@@ -147,6 +171,24 @@ let input_arg =
     value & opt (list int) []
     & info [ "input" ] ~docv:"INTS" ~doc:"Input integers for read(), comma separated.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Inject network faults, e.g. \
+           $(b,drop=0.05,dup=0.02,reorder=0.1,delay=0.01\\@0.25,crash=3\\@12.0). \
+           Engages reliable delivery and coordinator crash recovery; forces \
+           the parallel path even with -m 1.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"PRNG seed for the fault plan (same seed = same fault pattern).")
+
 let cmd =
   let doc = "parallel Pascal-subset compiler by attribute-grammar evaluation" in
   Cmd.v
@@ -154,6 +196,7 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ machines_arg $ evaluator_arg
       $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
-      $ optimize_arg $ run_arg $ gantt_arg $ out_arg $ input_arg)
+      $ optimize_arg $ run_arg $ gantt_arg $ out_arg $ input_arg $ faults_arg
+      $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

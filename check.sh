@@ -5,4 +5,5 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 dune build @fmt
+dune exec bench/main.exe -- --smoke
 echo "check.sh: all green"

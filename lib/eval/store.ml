@@ -145,12 +145,21 @@ let slot_owner s slot =
   done;
   (s.nodes.(!lo), slot - s.base.(!lo))
 
+(* Semantic rules are pure, so re-deriving an instance (e.g. from a network
+   message replayed by the reliable-delivery layer) must produce the same
+   value: an equal re-set is an idempotent no-op (not counted in [sets]),
+   while a conflicting one is still the hard error it always was. Values
+   whose equality is undecidable count as conflicting. *)
+let same_value a b = try Value.equal a b with Value.Type_error _ -> false
+
 let define_slot s slot v =
   if slot_is_set s slot then begin
-    let node, k = slot_owner s slot in
-    let sym = Grammar.symbol_of_id s.g node.Tree.sym_id in
-    error "attribute %s.%s of node %d set twice" node.Tree.sym
-      sym.Grammar.s_attrs.(k).Grammar.a_name node.Tree.id
+    if not (same_value s.vals.(slot) v) then begin
+      let node, k = slot_owner s slot in
+      let sym = Grammar.symbol_of_id s.g node.Tree.sym_id in
+      error "attribute %s.%s of node %d set twice" node.Tree.sym
+        sym.Grammar.s_attrs.(k).Grammar.a_name node.Tree.id
+    end
   end
   else begin
     s.vals.(slot) <- v;
@@ -159,9 +168,11 @@ let define_slot s slot v =
   end
 
 let set_slot s (node : Tree.t) attr slot v =
-  if slot_is_set s slot then
-    error "attribute %s.%s of node %d set twice" node.Tree.sym attr
-      node.Tree.id
+  if slot_is_set s slot then begin
+    if not (same_value s.vals.(slot) v) then
+      error "attribute %s.%s of node %d set twice" node.Tree.sym attr
+        node.Tree.id
+  end
   else begin
     s.vals.(slot) <- v;
     mark_set s slot;

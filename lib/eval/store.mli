@@ -43,8 +43,11 @@ val root : t -> Tree.t
 
 val node_count : t -> int
 
-(** [set store node attr v]. Raises [Error] if already set — semantic rules
-    are pure and every instance has exactly one defining rule. *)
+(** [set store node attr v]. Semantic rules are pure and every instance has
+    exactly one defining rule, so re-setting an instance to an equal value
+    (a replayed network message, say) is an idempotent no-op that does not
+    count in {!sets}; re-setting it to a {e different} value raises
+    [Error]. *)
 val set : t -> Tree.t -> string -> Value.t -> unit
 
 val get : t -> Tree.t -> string -> Value.t
@@ -96,8 +99,8 @@ val slot_is_set : t -> int -> bool
     unset slot returns the initialisation value without error. *)
 val slot_value : t -> int -> Value.t
 
-(** Set a slot by id. Raises [Error] (naming the owning node and attribute)
-    if the slot is already set. *)
+(** Set a slot by id. Equal re-sets are idempotent no-ops; a conflicting
+    re-set raises [Error] naming the owning node and attribute. *)
 val define_slot : t -> int -> Value.t -> unit
 
 (** Slot id of the instance a rule defines at [node]. *)

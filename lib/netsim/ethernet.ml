@@ -27,7 +27,7 @@ let create p = { p; free_at = 0.0; bytes = 0; messages = 0; queue_time = 0.0 }
 
 let params t = t.p
 
-let transmit t ~now ~size =
+let transmit ?(jitter = 0.0) t ~now ~size =
   let tx = float_of_int size /. t.p.bandwidth in
   let start = if t.p.contention then max now t.free_at else now in
   if t.p.contention then begin
@@ -36,7 +36,7 @@ let transmit t ~now ~size =
   end;
   t.bytes <- t.bytes + size;
   t.messages <- t.messages + 1;
-  start +. tx +. t.p.latency
+  start +. tx +. t.p.latency +. jitter
 
 let sender_cost t ~size =
   t.p.send_overhead +. (float_of_int size *. t.p.send_per_byte)

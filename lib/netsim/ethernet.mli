@@ -24,8 +24,10 @@ val create : params -> t
 val params : t -> params
 
 (** [transmit t ~now ~size] reserves the medium and returns the delivery
-    time of a [size]-byte message handed to the network at [now]. *)
-val transmit : t -> now:float -> size:int -> float
+    time of a [size]-byte message handed to the network at [now]. [jitter]
+    adds extra delivery latency (fault injection: reordering hold-back or a
+    delay spike) without occupying the medium any longer. *)
+val transmit : ?jitter:float -> t -> now:float -> size:int -> float
 
 (** CPU time the sender spends to emit a [size]-byte message. *)
 val sender_cost : t -> size:int -> float

@@ -10,18 +10,27 @@ struct
     | EDelay : float -> unit Effect.t
     | ESend : pid * int * string * M.msg -> unit Effect.t
     | ERecv : M.msg Effect.t
+    | ERecvTimeout : float -> M.msg option Effect.t
     | ETryRecv : M.msg option Effect.t
     | ESelf : pid Effect.t
     | ETime : float Effect.t
     | EMark : string -> unit Effect.t
 
+  (* A process blocked in a receive: plain [recv] resumes with the message,
+     [recv_timeout] resumes with [Some msg] or, at the deadline, [None]. *)
+  type blocked_k =
+    | BRecv of (M.msg, unit) Effect.Deep.continuation
+    | BRecvT of (M.msg option, unit) Effect.Deep.continuation
+
   type proc = {
     p_id : pid;
     p_name : string;
     mailbox : M.msg Queue.t;
-    mutable blocked : (M.msg, unit) Effect.Deep.continuation option;
+    mutable blocked : blocked_k option;
+    mutable block_gen : int;  (* bumps on every block/wake, guards timeouts *)
     mutable idle_since : float;
     mutable finished : bool;
+    mutable crashed : bool;
   }
 
   type t = {
@@ -31,6 +40,8 @@ struct
     mutable next_pid : int;
     net : Ethernet.t;
     tr : Trace.t;
+    mutable faults : Faults.t option;
+    pre_crashed : (pid, unit) Hashtbl.t;  (* crashes firing before spawn *)
   }
 
   exception Deadlock of string
@@ -43,6 +54,8 @@ struct
       next_pid = 0;
       net = Ethernet.create params;
       tr = Trace.create ();
+      faults = None;
+      pre_crashed = Hashtbl.create 4;
     }
 
   let now t = t.now
@@ -60,19 +73,56 @@ struct
 
   let process_count t = Hashtbl.length t.procs
 
-  (* Deliver a message: wake the receiver if it is blocked, else enqueue. *)
+  let crashed t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some p -> p.crashed
+    | None -> Hashtbl.mem t.pre_crashed pid
+
+  let do_crash t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | None -> Hashtbl.replace t.pre_crashed pid ()
+    | Some p ->
+        if not (p.crashed || p.finished) then begin
+          p.crashed <- true;
+          (* Drop any pending receive: a crashed machine never resumes. *)
+          p.blocked <- None;
+          p.block_gen <- p.block_gen + 1;
+          Trace.add_mark t.tr ~pid ~time:t.now ~label:"CRASH"
+        end
+
+  let set_faults t spec =
+    let f = Faults.make spec in
+    t.faults <- Some f;
+    List.iter
+      (fun (machine, time) ->
+        Pqueue.add t.events time (fun () -> do_crash t machine))
+      (Faults.spec f).Faults.fs_crashes
+
+  let fault_stats t = Option.map Faults.stats t.faults
+
+  (* Deliver a message: wake the receiver if it is blocked, else enqueue.
+     Crashed receivers silently lose the message. *)
   let deliver t ~src ~dst ~send_t ~label m =
-    Trace.add_arrow t.tr ~src ~dst ~send:send_t ~recv:t.now ~label;
     let p = proc t dst in
-    match p.blocked with
-    | Some k ->
-        p.blocked <- None;
-        Trace.add_segment t.tr ~pid:p.p_id ~t0:p.idle_since ~t1:t.now Trace.Idle;
-        Effect.Deep.continue k m
-    | None -> Queue.add m p.mailbox
+    if not p.crashed then begin
+      Trace.add_arrow t.tr ~src ~dst ~send:send_t ~recv:t.now ~label;
+      match p.blocked with
+      | Some k ->
+          p.blocked <- None;
+          p.block_gen <- p.block_gen + 1;
+          Trace.add_segment t.tr ~pid:p.p_id ~t0:p.idle_since ~t1:t.now
+            Trace.Idle;
+          (match k with
+          | BRecv k -> Effect.Deep.continue k m
+          | BRecvT k -> Effect.Deep.continue k (Some m))
+      | None -> Queue.add m p.mailbox
+    end
 
   let start_fiber t p body =
     let open Effect.Deep in
+    (* Resumptions scheduled for later must be dropped if the process has
+       crashed in the meantime. *)
+    let resume k v = if not p.crashed then continue k v in
     match_with body ()
       {
         retc = (fun () -> p.finished <- true);
@@ -85,27 +135,65 @@ struct
                   (fun (k : (a, unit) continuation) ->
                     Trace.add_segment t.tr ~pid:p.p_id ~t0:t.now
                       ~t1:(t.now +. d) Trace.Active;
-                    Pqueue.add t.events (t.now +. d) (fun () -> continue k ()))
+                    Pqueue.add t.events (t.now +. d) (fun () -> resume k ()))
             | ESend (dst, size, label, m) ->
                 Some
                   (fun (k : (a, unit) continuation) ->
                     let send_t = t.now in
-                    let arrival = Ethernet.transmit t.net ~now:t.now ~size in
-                    Pqueue.add t.events arrival (fun () ->
-                        deliver t ~src:p.p_id ~dst ~send_t ~label m);
+                    let verdict =
+                      match t.faults with
+                      | None -> Faults.clean
+                      | Some f -> Faults.judge f ~src:p.p_id ~dst
+                    in
+                    (* A dropped frame still occupies the medium; it just
+                       never reaches the receiver. *)
+                    let arrival =
+                      Ethernet.transmit t.net ~now:t.now ~size
+                        ~jitter:verdict.Faults.v_delay
+                    in
+                    if not verdict.Faults.v_drop then
+                      Pqueue.add t.events arrival (fun () ->
+                          deliver t ~src:p.p_id ~dst ~send_t ~label m);
+                    if verdict.Faults.v_dup then begin
+                      let arrival2 = Ethernet.transmit t.net ~now:t.now ~size in
+                      Pqueue.add t.events arrival2 (fun () ->
+                          deliver t ~src:p.p_id ~dst ~send_t ~label m)
+                    end;
                     let cost = Ethernet.sender_cost t.net ~size in
                     Trace.add_segment t.tr ~pid:p.p_id ~t0:t.now
                       ~t1:(t.now +. cost) Trace.Active;
                     Pqueue.add t.events (t.now +. cost) (fun () ->
-                        continue k ()))
+                        resume k ()))
             | ERecv ->
                 Some
                   (fun (k : (a, unit) continuation) ->
                     match Queue.take_opt p.mailbox with
                     | Some m -> continue k m
                     | None ->
-                        p.blocked <- Some k;
+                        p.blocked <- Some (BRecv k);
+                        p.block_gen <- p.block_gen + 1;
                         p.idle_since <- t.now)
+            | ERecvTimeout d ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    match Queue.take_opt p.mailbox with
+                    | Some m -> continue k (Some m)
+                    | None ->
+                        p.blocked <- Some (BRecvT k);
+                        p.block_gen <- p.block_gen + 1;
+                        p.idle_since <- t.now;
+                        let gen = p.block_gen in
+                        Pqueue.add t.events (t.now +. d) (fun () ->
+                            (* Still blocked in this same receive? *)
+                            match p.blocked with
+                            | Some (BRecvT k)
+                              when p.block_gen = gen && not p.crashed ->
+                                p.blocked <- None;
+                                p.block_gen <- p.block_gen + 1;
+                                Trace.add_segment t.tr ~pid:p.p_id
+                                  ~t0:p.idle_since ~t1:t.now Trace.Idle;
+                                continue k None
+                            | _ -> ()))
             | ETryRecv ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -129,12 +217,15 @@ struct
         p_name = name;
         mailbox = Queue.create ();
         blocked = None;
+        block_gen = 0;
         idle_since = 0.0;
         finished = false;
+        crashed = Hashtbl.mem t.pre_crashed pid;
       }
     in
     Hashtbl.add t.procs pid p;
-    Pqueue.add t.events t.now (fun () -> start_fiber t p body);
+    Pqueue.add t.events t.now (fun () ->
+        if not p.crashed then start_fiber t p body);
     pid
 
   let run t =
@@ -150,7 +241,8 @@ struct
     let stuck =
       Hashtbl.fold
         (fun _ p acc ->
-          if (not p.finished) && p.blocked <> None then p.p_name :: acc
+          if (not p.finished) && (not p.crashed) && p.blocked <> None then
+            p.p_name :: acc
           else acc)
         t.procs []
     in
@@ -167,6 +259,8 @@ struct
   let send ~dst ~size ?(label = "") m = Effect.perform (ESend (dst, size, label, m))
 
   let recv () = Effect.perform ERecv
+
+  let recv_timeout d = Effect.perform (ERecvTimeout d)
 
   let try_recv () = Effect.perform ETryRecv
 

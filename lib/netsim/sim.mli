@@ -28,10 +28,23 @@ end) : sig
   val spawn : t -> name:string -> (unit -> unit) -> pid
 
   (** Run until no events remain. Raises [Deadlock] if some process is still
-      blocked in [recv] when the event queue drains. *)
+      blocked in [recv] when the event queue drains (crashed processes are
+      exempt — a crashed machine is expected to never finish). *)
   val run : t -> unit
 
   exception Deadlock of string
+
+  (** Install a fault plan: every subsequent transmission is judged against
+      it (drop / duplicate / delay), and each [crash=m@t] entry schedules
+      machine [m] to crash at time [t]. A crashed process stops executing,
+      loses its mailbox, and silently drops all later deliveries. Call
+      before {!run}. *)
+  val set_faults : t -> Faults.spec -> unit
+
+  (** Injected-fault counters, when a plan is installed. *)
+  val fault_stats : t -> Faults.stats option
+
+  val crashed : t -> pid -> bool
 
   val now : t -> float
 
@@ -54,6 +67,11 @@ end) : sig
 
   (** Block until a message arrives (FIFO per receiver). *)
   val recv : unit -> M.msg
+
+  (** Block until a message arrives or [d] seconds elapse; [None] on
+      timeout. The retransmission timers of reliable delivery build on
+      this. *)
+  val recv_timeout : float -> M.msg option
 
   (** [Some m] if a message has already arrived, without blocking. *)
   val try_recv : unit -> M.msg option

@@ -6,6 +6,9 @@ let splice_cost_per_byte = 0.05e-6
 let run (env : Transport.env) ~coordinator =
   let frags : (int, Rope.t) Hashtbl.t = Hashtbl.create 32 in
   let pending : Codestr.t option ref = ref None in
+  (* Each code attribute is assembled and sent exactly once, even if the
+     Resolve request is replayed (retransmission, network duplication). *)
+  let finals_sent = ref 0 in
   let have_all desc =
     let complete = ref true in
     (try
@@ -27,22 +30,27 @@ let run (env : Transport.env) ~coordinator =
         env.Transport.e_delay
           (float_of_int (Rope.length text) *. splice_cost_per_byte);
         env.Transport.e_send ~dst:coordinator (Message.Final { text });
+        incr finals_sent;
         pending := None
     | _ -> ()
   in
   let rec loop () =
     match env.Transport.e_recv () with
     | Message.Code_frag { id; text } ->
+        (* Duplicate fragments replace an identical binding: harmless. *)
         Hashtbl.replace frags id text;
         try_finish ();
         loop ()
     | Message.Resolve { value } ->
-        pending := Some (Codestr.of_value ~ctx:"librarian" value);
-        try_finish ();
+        if !finals_sent = 0 then begin
+          pending := Some (Codestr.of_value ~ctx:"librarian" value);
+          try_finish ()
+        end;
         loop ()
     | Message.Stop -> ()
     | other ->
         failwith
           (Format.asprintf "librarian: unexpected message %a" Message.pp other)
   in
-  loop ()
+  loop ();
+  env.Transport.e_flush ()

@@ -11,5 +11,8 @@
     {!Message.Resolve} until the final code has been assembled and sent back
     as {!Message.Final}. The resolve request may arrive before all fragments
     have; the librarian keeps collecting until every referenced fragment is
-    present. *)
+    present. Duplicated [Code_frag] messages replace an identical binding
+    and duplicated [Resolve] requests after the answer was sent are ignored,
+    so the code is assembled and transmitted exactly once even over a faulty
+    network. *)
 val run : Transport.env -> coordinator:int -> unit

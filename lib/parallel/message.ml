@@ -8,21 +8,32 @@ type t =
   | Resolve of { value : Value.t }
   | Final of { text : Rope.t }
   | Stop
+  | Data of { src : int; seq : int; payload : t }
+  | Ack of { src : int; seq : int }
+  | Ping
 
 let header_bytes = 16
 
-let size = function
+let seq_bytes = 8
+
+let rec size = function
   | Subtree s -> header_bytes + s.bytes
   | Attr a -> header_bytes + String.length a.attr + Value.byte_size a.value
   | Code_frag c -> header_bytes + Rope.length c.text
   | Resolve r -> header_bytes + Value.byte_size r.value
   | Final f -> header_bytes + Rope.length f.text
   | Stop -> header_bytes
+  | Data d -> seq_bytes + size d.payload
+  | Ack _ -> header_bytes
+  | Ping -> header_bytes
 
-let pp fmt = function
+let rec pp fmt = function
   | Subtree s -> Format.fprintf fmt "Subtree(frag=%d,%dB)" s.frag s.bytes
   | Attr a -> Format.fprintf fmt "Attr(node=%d,%s=%a)" a.node a.attr Value.pp a.value
   | Code_frag c -> Format.fprintf fmt "CodeFrag(%d,%dB)" c.id (Rope.length c.text)
   | Resolve _ -> Format.fprintf fmt "Resolve"
   | Final f -> Format.fprintf fmt "Final(%dB)" (Rope.length f.text)
   | Stop -> Format.fprintf fmt "Stop"
+  | Data d -> Format.fprintf fmt "Data(src=%d,seq=%d,%a)" d.src d.seq pp d.payload
+  | Ack a -> Format.fprintf fmt "Ack(src=%d,seq=%d)" a.src a.seq
+  | Ping -> Format.fprintf fmt "Ping"

@@ -24,10 +24,19 @@ type t =
   | Resolve of { value : Value.t }  (** coordinator -> librarian *)
   | Final of { text : Rope.t }  (** librarian -> coordinator *)
   | Stop
+  | Data of { src : int; seq : int; payload : t }
+      (** reliable-delivery envelope: [(src, seq)] identifies the message
+          for acknowledgement and duplicate suppression ({!Reliable}) *)
+  | Ack of { src : int; seq : int }
+      (** acknowledges {!Data} [seq]; [src] is the acknowledging machine *)
+  | Ping  (** liveness probe; acked by the reliable layer, never delivered *)
 
-(** Wire size in bytes (header + payload). *)
+(** Wire size in bytes (header + payload). A [Data] envelope adds
+    {!seq_bytes} over its payload. *)
 val size : t -> int
 
 val header_bytes : int
+
+val seq_bytes : int
 
 val pp : Format.formatter -> t -> unit

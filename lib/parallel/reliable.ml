@@ -1,0 +1,174 @@
+type stats = {
+  mutable rs_sent : int;
+  mutable rs_retransmits : int;
+  mutable rs_acks : int;
+  mutable rs_dup_dropped : int;
+  mutable rs_gave_up : int;
+}
+
+type pending = {
+  pd_dst : int;
+  pd_wire : Message.t;  (* the Data envelope, resent verbatim *)
+  mutable pd_deadline : float;
+  mutable pd_tries : int;
+}
+
+type t = {
+  raw : Transport.env;
+  rto : float;
+  max_tries : int;
+  mutable next_seq : int;
+  outstanding : (int, pending) Hashtbl.t;  (* our seq -> pending *)
+  seen : (int * int, unit) Hashtbl.t;  (* (src, seq) delivered *)
+  ready : Message.t Queue.t;  (* deduplicated payloads awaiting recv *)
+  dead : (int, unit) Hashtbl.t;
+  st : stats;
+}
+
+let wrap ?(rto = 0.05) ?(max_tries = 6) raw =
+  {
+    raw;
+    rto;
+    max_tries;
+    next_seq = 0;
+    outstanding = Hashtbl.create 32;
+    seen = Hashtbl.create 64;
+    ready = Queue.create ();
+    dead = Hashtbl.create 4;
+    st =
+      {
+        rs_sent = 0;
+        rs_retransmits = 0;
+        rs_acks = 0;
+        rs_dup_dropped = 0;
+        rs_gave_up = 0;
+      };
+  }
+
+let stats t = t.st
+
+let dead_peers t =
+  Hashtbl.fold (fun d () acc -> d :: acc) t.dead [] |> List.sort compare
+
+let send t ~dst m =
+  if not (Hashtbl.mem t.dead dst) then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let wire = Message.Data { src = t.raw.Transport.e_id; seq; payload = m } in
+    Hashtbl.replace t.outstanding seq
+      {
+        pd_dst = dst;
+        pd_wire = wire;
+        pd_deadline = t.raw.Transport.e_time () +. t.rto;
+        pd_tries = 0;
+      };
+    t.st.rs_sent <- t.st.rs_sent + 1;
+    t.raw.Transport.e_send ~dst wire
+  end
+
+let ping t ~dst = send t ~dst Message.Ping
+
+let next_deadline t =
+  Hashtbl.fold (fun _ p acc -> min acc p.pd_deadline) t.outstanding infinity
+
+(* Retransmit every overdue envelope; abandon ones whose destination has
+   stopped acknowledging. Processed in seq order for determinism. *)
+let retransmit_due t =
+  let now = t.raw.Transport.e_time () in
+  let due =
+    Hashtbl.fold
+      (fun seq p acc -> if p.pd_deadline <= now then (seq, p) :: acc else acc)
+      t.outstanding []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (seq, p) ->
+      if p.pd_tries >= t.max_tries then begin
+        Hashtbl.remove t.outstanding seq;
+        Hashtbl.replace t.dead p.pd_dst ();
+        t.st.rs_gave_up <- t.st.rs_gave_up + 1
+      end
+      else begin
+        p.pd_tries <- p.pd_tries + 1;
+        p.pd_deadline <- now +. (t.rto *. (2.0 ** float_of_int p.pd_tries));
+        t.st.rs_retransmits <- t.st.rs_retransmits + 1;
+        t.raw.Transport.e_send ~dst:p.pd_dst p.pd_wire
+      end)
+    due
+
+let handle_raw t msg =
+  match msg with
+  | Message.Ack { seq; _ } -> Hashtbl.remove t.outstanding seq
+  | Message.Data { src; seq; payload } ->
+      (* Always re-ack: the previous ack may itself have been lost. *)
+      t.raw.Transport.e_send ~dst:src
+        (Message.Ack { src = t.raw.Transport.e_id; seq });
+      t.st.rs_acks <- t.st.rs_acks + 1;
+      if Hashtbl.mem t.seen (src, seq) then
+        t.st.rs_dup_dropped <- t.st.rs_dup_dropped + 1
+      else begin
+        Hashtbl.add t.seen (src, seq) ();
+        match payload with
+        | Message.Ping -> ()  (* liveness probe: ack is the whole answer *)
+        | _ -> Queue.add payload t.ready
+      end
+  | other ->
+      (* Unwrapped traffic (peer running without the reliable layer): pass
+         it through untouched. *)
+      Queue.add other t.ready
+
+(* Minimum wait so a deadline landing exactly "now" cannot busy-spin. *)
+let min_wait = 0.0005
+
+let rec recv t =
+  match Queue.take_opt t.ready with
+  | Some m -> m
+  | None ->
+      let dl = next_deadline t in
+      if dl = infinity then handle_raw t (t.raw.Transport.e_recv ())
+      else begin
+        let wait = Float.max min_wait (dl -. t.raw.Transport.e_time ()) in
+        match t.raw.Transport.e_recv_timeout wait with
+        | Some m -> handle_raw t m
+        | None -> retransmit_due t
+      end;
+      recv t
+
+let recv_timeout t d =
+  let deadline = t.raw.Transport.e_time () +. d in
+  let rec go () =
+    match Queue.take_opt t.ready with
+    | Some m -> Some m
+    | None ->
+        let now = t.raw.Transport.e_time () in
+        if now >= deadline then None
+        else begin
+          let wait =
+            Float.max min_wait (Float.min deadline (next_deadline t) -. now)
+          in
+          (match t.raw.Transport.e_recv_timeout wait with
+          | Some m -> handle_raw t m
+          | None -> retransmit_due t);
+          go ()
+        end
+  in
+  go ()
+
+let drain t =
+  while Hashtbl.length t.outstanding > 0 do
+    let wait =
+      Float.max min_wait (next_deadline t -. t.raw.Transport.e_time ())
+    in
+    (match t.raw.Transport.e_recv_timeout wait with
+    | Some m -> handle_raw t m
+    | None -> retransmit_due t)
+  done
+
+let env t =
+  {
+    t.raw with
+    Transport.e_send = (fun ~dst m -> send t ~dst m);
+    e_recv = (fun () -> recv t);
+    e_recv_timeout = (fun d -> recv_timeout t d);
+    e_flush = (fun () -> drain t);
+  }

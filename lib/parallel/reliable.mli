@@ -1,0 +1,53 @@
+(** Reliable, idempotent message delivery over a lossy transport.
+
+    The paper's protocol assumes the network never loses, duplicates or
+    reorders a message. When fault injection ({!Netsim.Faults}) drops that
+    assumption, this layer restores it end-to-end: every application message
+    is wrapped in a {!Message.Data} envelope carrying the sender id and a
+    sequence number, the receiver acknowledges each envelope with
+    {!Message.Ack}, unacknowledged envelopes are retransmitted with
+    exponential backoff, and the receiver suppresses duplicates by
+    [(src, seq)] — so a worker never sees a replayed [Attr] twice and the
+    librarian never splices a retransmitted [Code_frag] into the code twice.
+
+    Retransmission timers are lazy: they are checked whenever the process
+    waits in a receive, and {!drain} (exposed as [e_flush] on the wrapped
+    environment) runs them to completion before a process exits. A peer that
+    fails to acknowledge after [max_tries] retransmissions is presumed dead;
+    traffic to it is abandoned (and recorded), which keeps every process
+    terminating even when a machine has crashed. *)
+
+type stats = {
+  mutable rs_sent : int;  (** application messages sent (excl. acks) *)
+  mutable rs_retransmits : int;
+  mutable rs_acks : int;  (** acknowledgements emitted *)
+  mutable rs_dup_dropped : int;  (** duplicate envelopes suppressed *)
+  mutable rs_gave_up : int;  (** messages abandoned to presumed-dead peers *)
+}
+
+type t
+
+(** [wrap env] layers reliable delivery over a raw transport environment.
+    [rto] is the initial retransmission timeout in transport seconds
+    (doubled on every retry); after [max_tries] unacknowledged
+    retransmissions the destination is presumed dead. *)
+val wrap : ?rto:float -> ?max_tries:int -> Transport.env -> t
+
+(** The reliable environment: same machine id, sends wrapped in [Data]
+    envelopes, receives unwrapped, deduplicated payloads; [e_flush] drains.
+    Acks and [Ping]s are handled internally and never surface. *)
+val env : t -> Transport.env
+
+(** Block until every outstanding message is acknowledged or its
+    destination is presumed dead. *)
+val drain : t -> unit
+
+(** Send a liveness probe. The peer's reliable layer acknowledges it
+    without delivering anything to the application; combine with {!drain}
+    and {!dead_peers} to detect crashed machines. *)
+val ping : t -> dst:int -> unit
+
+(** Machines that exhausted their retransmissions, in increasing id order. *)
+val dead_peers : t -> int list
+
+val stats : t -> stats

@@ -10,6 +10,9 @@ type options = {
   cost : Cost.t;
   net_params : Ethernet.params;
   phase_label : int -> string option;
+  faults : Faults.spec option;
+  fault_rto : float option;
+  fault_watchdog : float option;
 }
 
 let default_options =
@@ -22,6 +25,9 @@ let default_options =
     cost = Cost.default;
     net_params = Ethernet.default_params;
     phase_label = (fun _ -> None);
+    faults = None;
+    fault_rto = None;
+    fault_watchdog = None;
   }
 
 type result = {
@@ -34,6 +40,9 @@ type result = {
   r_fragments : int;
   r_split : Split.plan;
   r_dynamic_fraction : float;
+  r_retransmits : int;
+  r_recovered : bool;
+  r_fault_stats : Faults.stats option;
 }
 
 let machine_name ~fragments id =
@@ -87,19 +96,49 @@ let prepare opts g tree =
   Tree.iter (fun n -> Hashtbl.replace nodes_by_id n.Tree.id n) tree;
   (plan, nodes_by_id)
 
+let sum_retransmits links =
+  List.fold_left (fun a l -> a + (Reliable.stats l).Reliable.rs_retransmits) 0 links
+
+(* A worker that never reported under fault injection was crashed or called
+   off; without faults it is a protocol bug. *)
+let collect_worker_stats ~faulty stats =
+  Array.map
+    (function
+      | Some s -> s
+      | None when faulty -> Worker.zero_stats
+      | None -> failwith "worker did not finish")
+    stats
+
 (* ------------------------- simulation ------------------------- *)
 
 module S = Sim.Make (struct
   type msg = Message.t
 end)
 
-let message_label = function
+(* Default retransmission timeout and liveness watchdog, in virtual
+   seconds, sized for the test fixtures (sub-second compute phases). A peer
+   is presumed dead only after the full backoff horizon
+   rto * (2 + 4 + ... + 2^max_tries) ~ 51s of silence. A simulated machine
+   acknowledges nothing while it burns CPU inside one static visit, so on
+   bigger workloads the horizon must exceed the longest compute phase —
+   paper-scale runs override [fault_rto]/[fault_watchdog] accordingly
+   (E10 uses 5s / 20s). *)
+let sim_rto = 0.1
+
+let sim_max_tries = 8
+
+let sim_watchdog = 0.5
+
+let rec message_label = function
   | Message.Attr { attr; _ } -> attr
   | Message.Subtree { frag; _ } -> Printf.sprintf "subtree %d" frag
   | Message.Code_frag _ -> "code fragment"
   | Message.Resolve _ -> "resolve"
   | Message.Final _ -> "final code"
   | Message.Stop -> "stop"
+  | Message.Data { payload; _ } -> message_label payload
+  | Message.Ack _ -> "ack"
+  | Message.Ping -> "ping"
 
 let sim_env _sim id =
   {
@@ -109,7 +148,10 @@ let sim_env _sim id =
       (fun ~dst m ->
         S.send ~dst ~size:(Message.size m) ~label:(message_label m) m);
     e_recv = S.recv;
+    e_recv_timeout = S.recv_timeout;
+    e_time = S.time;
     e_mark = S.mark;
+    e_flush = (fun () -> ());
   }
 
 let run_sim opts g plan tree =
@@ -117,26 +159,58 @@ let run_sim opts g plan tree =
   let nfrags = Split.count split in
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let sim = S.create ~params:opts.net_params () in
+  Option.iter (S.set_faults sim) opts.faults;
+  let faulty = Option.is_some opts.faults in
+  let rto = Option.value opts.fault_rto ~default:sim_rto in
+  let watchdog = Option.value opts.fault_watchdog ~default:sim_watchdog in
+  (* With a fault plan — even an all-zero one, for overhead measurement —
+     every machine talks through its own reliable-delivery layer. *)
+  let links = ref [] in
+  let machine_env id =
+    let raw = sim_env sim id in
+    if faulty then begin
+      let l = Reliable.wrap ~rto ~max_tries:sim_max_tries raw in
+      links := l :: !links;
+      (Reliable.env l, Some l)
+    end
+    else (raw, None)
+  in
   let stats = Array.make nfrags None in
   let attrs = ref [] in
+  let recovered = ref false in
   let finish = ref 0.0 in
   (* pid 0: coordinator *)
+  let coord_env, coord_link = machine_env 0 in
+  let recovery =
+    Option.map
+      (fun link ->
+        {
+          Coordinator.rc_link = link;
+          rc_kplan = plan;
+          rc_cost = opts.cost;
+          rc_watchdog = watchdog;
+        })
+      coord_link
+  in
   let _ =
     S.spawn sim ~name:"parser" (fun () ->
-        let env = sim_env sim 0 in
-        attrs :=
-          Coordinator.run env g ~tree ~plan:split ~librarian:librarian_id;
+        let a, rec_ =
+          Coordinator.run ?recovery coord_env g ~tree ~plan:split
+            ~librarian:librarian_id
+        in
+        attrs := a;
+        recovered := rec_;
         finish := S.time ())
   in
   (* pids 1..nfrags: evaluators *)
   Array.iter
     (fun (f : Split.fragment) ->
       let id = f.Split.fr_id in
+      let env, _ = machine_env (id + 1) in
       let _ =
         S.spawn sim
           ~name:(machine_name ~fragments:nfrags (id + 1))
           (fun () ->
-            let env = sim_env sim (id + 1) in
             let cfg =
               { (worker_config opts g plan) with
                 Worker.wc_librarian = librarian_id;
@@ -149,18 +223,14 @@ let run_sim opts g plan tree =
   (* librarian *)
   (match librarian_id with
   | Some lid ->
+      let env, _ = machine_env lid in
       let _ =
-        S.spawn sim ~name:"librarian" (fun () ->
-            Librarian.run (sim_env sim lid) ~coordinator:0)
+        S.spawn sim ~name:"librarian" (fun () -> Librarian.run env ~coordinator:0)
       in
       ()
   | None -> ());
   S.run sim;
-  let worker_stats =
-    Array.map
-      (function Some s -> s | None -> failwith "worker did not finish")
-      stats
-  in
+  let worker_stats = collect_worker_stats ~faulty stats in
   let net = S.network sim in
   {
     r_attrs = !attrs;
@@ -172,6 +242,9 @@ let run_sim opts g plan tree =
     r_fragments = nfrags;
     r_split = split;
     r_dynamic_fraction = dynamic_fraction worker_stats;
+    r_retransmits = sum_retransmits !links;
+    r_recovered = !recovered;
+    r_fault_stats = S.fault_stats sim;
   }
 
 (* ------------------------- domains ------------------------- *)
@@ -195,7 +268,33 @@ module Chan = struct
     let v = Queue.take t.q in
     Mutex.unlock t.m;
     v
+
+  (* Stdlib [Condition] has no timed wait; poll instead. The 0.5 ms tick is
+     far below the retransmission timeout it serves. *)
+  let pop_timeout t d =
+    let deadline = Unix.gettimeofday () +. d in
+    let rec go () =
+      Mutex.lock t.m;
+      match Queue.take_opt t.q with
+      | Some v ->
+          Mutex.unlock t.m;
+          Some v
+      | None ->
+          Mutex.unlock t.m;
+          if Unix.gettimeofday () >= deadline then None
+          else begin
+            Unix.sleepf 0.0005;
+            go ()
+          end
+    in
+    go ()
 end
+
+(* Real-time counterparts of the simulator's timeouts: domain message
+   latency is microseconds, so these sit orders of magnitude above it. *)
+let dom_rto = 0.02
+
+let dom_watchdog = 0.2
 
 let run_domains opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
@@ -203,39 +302,136 @@ let run_domains opts g plan tree =
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let nmachines = nfrags + 2 in
   let chans = Array.init nmachines (fun _ -> Chan.create ()) in
-  let env id =
-    {
-      Transport.e_id = id;
-      e_delay = (fun _ -> ());
-      e_send = (fun ~dst m -> Chan.push chans.(dst) m);
-      e_recv = (fun () -> Chan.pop chans.(id));
-      e_mark = (fun _ -> ());
-    }
+  let faulty = Option.is_some opts.faults in
+  (* Crashed machines never start on the domains transport (crash times are
+     a simulator notion); their mail is discarded unread. *)
+  let crashed = Array.make nmachines false in
+  (match opts.faults with
+  | Some sp ->
+      List.iter
+        (fun (m, _t) -> if m >= 0 && m < nmachines then crashed.(m) <- true)
+        sp.Faults.fs_crashes
+  | None -> ());
+  (* One fault injector and one reorder stash per machine: each is touched
+     only by its owner's domain, keeping the PRNG streams race-free and
+     per-sender deterministic. *)
+  let injectors =
+    match opts.faults with
+    | Some sp -> Array.init nmachines (fun _ -> Some (Faults.make sp))
+    | None -> Array.make nmachines None
+  in
+  let stashes = Array.init nmachines (fun _ -> ref None) in
+  let send_from src ~dst m =
+    if not crashed.(dst) then
+      match injectors.(src) with
+      | None -> Chan.push chans.(dst) m
+      | Some inj -> (
+          let v = Faults.judge inj ~src ~dst in
+          let stash = stashes.(src) in
+          if v.Faults.v_drop then ()
+          else if v.Faults.v_reorder && !stash = None then
+            (* Hold this message back past the sender's next transmission. *)
+            stash := Some (dst, m)
+          else begin
+            Chan.push chans.(dst) m;
+            if v.Faults.v_dup then Chan.push chans.(dst) m;
+            match !stash with
+            | Some (sdst, sm) ->
+                Chan.push chans.(sdst) sm;
+                stash := None
+            | None -> ()
+          end)
+  in
+  let links = Mutex.create () in
+  let all_links = ref [] in
+  let machine_env id =
+    let raw =
+      {
+        Transport.e_id = id;
+        e_delay = (fun _ -> ());
+        e_send = (fun ~dst m -> send_from id ~dst m);
+        e_recv = (fun () -> Chan.pop chans.(id));
+        e_recv_timeout = (fun d -> Chan.pop_timeout chans.(id) d);
+        e_time = Unix.gettimeofday;
+        e_mark = (fun _ -> ());
+        e_flush = (fun () -> ());
+      }
+    in
+    if faulty then begin
+      let l = Reliable.wrap ~rto:dom_rto raw in
+      Mutex.lock links;
+      all_links := l :: !all_links;
+      Mutex.unlock links;
+      (Reliable.env l, Some l)
+    end
+    else (raw, None)
   in
   let t0 = Unix.gettimeofday () in
   let worker_domains =
     Array.map
       (fun (f : Split.fragment) ->
         let id = f.Split.fr_id in
-        Domain.spawn (fun () ->
-            let cfg =
-              { (worker_config opts g plan) with
-                Worker.wc_librarian = librarian_id;
-              }
-            in
-            Worker.run (env (id + 1)) cfg (make_task split f nodes_by_id)))
+        if crashed.(id + 1) then None
+        else
+          Some
+            (Domain.spawn (fun () ->
+                 let env, _ = machine_env (id + 1) in
+                 let cfg =
+                   { (worker_config opts g plan) with
+                     Worker.wc_librarian = librarian_id;
+                   }
+                 in
+                 Worker.run env cfg (make_task split f nodes_by_id))))
       (Split.fragments split)
   in
   let librarian_domain =
-    Option.map
-      (fun lid ->
-        Domain.spawn (fun () -> Librarian.run (env lid) ~coordinator:0))
-      librarian_id
+    match librarian_id with
+    | Some lid when not crashed.(lid) ->
+        Some
+          (Domain.spawn (fun () ->
+               let env, _ = machine_env lid in
+               Librarian.run env ~coordinator:0))
+    | _ -> None
   in
-  let attrs = Coordinator.run (env 0) g ~tree ~plan:split ~librarian:librarian_id in
-  let worker_stats = Array.map Domain.join worker_domains in
-  Option.iter Domain.join librarian_domain;
+  let coord_env, coord_link = machine_env 0 in
+  let recovery =
+    Option.map
+      (fun link ->
+        {
+          Coordinator.rc_link = link;
+          rc_kplan = plan;
+          rc_cost = opts.cost;
+          rc_watchdog = dom_watchdog;
+        })
+      coord_link
+  in
+  let attrs, recovered =
+    Coordinator.run ?recovery coord_env g ~tree ~plan:split
+      ~librarian:librarian_id
+  in
+  let worker_stats =
+    collect_worker_stats ~faulty
+      (Array.map (Option.map Domain.join) worker_domains)
+  in
+  Option.iter (fun d -> ignore (Domain.join d)) librarian_domain;
   let t1 = Unix.gettimeofday () in
+  let fault_stats =
+    if faulty then begin
+      let total = { Faults.st_dropped = 0; st_duplicated = 0; st_delayed = 0 } in
+      Array.iter
+        (function
+          | Some inj ->
+              let s = Faults.stats inj in
+              total.Faults.st_dropped <- total.Faults.st_dropped + s.Faults.st_dropped;
+              total.Faults.st_duplicated <-
+                total.Faults.st_duplicated + s.Faults.st_duplicated;
+              total.Faults.st_delayed <- total.Faults.st_delayed + s.Faults.st_delayed
+          | None -> ())
+        injectors;
+      Some total
+    end
+    else None
+  in
   {
     r_attrs = attrs;
     r_time = t1 -. t0;
@@ -246,4 +442,7 @@ let run_domains opts g plan tree =
     r_fragments = nfrags;
     r_split = split;
     r_dynamic_fraction = dynamic_fraction worker_stats;
+    r_retransmits = sum_retransmits !all_links;
+    r_recovered = recovered;
+    r_fault_stats = fault_stats;
   }

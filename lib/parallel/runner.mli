@@ -28,6 +28,23 @@ type options = {
   net_params : Ethernet.params;
   phase_label : int -> string option;
       (** trace label for static visit numbers, e.g. 1 -> "symbol table" *)
+  faults : Faults.spec option;
+      (** [Some spec] injects the described faults and runs every machine
+          behind the reliable-delivery layer ({!Reliable}) with coordinator
+          crash recovery; [None] (default) runs the bare protocol exactly as
+          before. An all-zero spec measures the reliable layer's overhead.
+          On the domains transport, crash entries take effect from the start
+          (the machine never runs) and delay/reorder jitter is approximated
+          by send-order perturbation. *)
+  fault_rto : float option;
+      (** base retransmission timeout for the reliable layer; [None] picks a
+          per-transport default sized for the test fixtures. A machine acks
+          nothing while it computes, so on big workloads the give-up horizon
+          rto * (2 + 4 + ... + 2^max_tries) must exceed the longest compute
+          phase or live peers are presumed dead. *)
+  fault_watchdog : float option;
+      (** coordinator liveness-probe interval; [None] picks a per-transport
+          default. Should scale with [fault_rto]. *)
 }
 
 val default_options : options
@@ -43,6 +60,10 @@ type result = {
   r_split : Split.plan;
   r_dynamic_fraction : float;
       (** dynamically evaluated rules / all rules — the paper's "< 5%" *)
+  r_retransmits : int;  (** reliable-layer retransmissions, all machines *)
+  r_recovered : bool;
+      (** the coordinator fell back to local sequential evaluation *)
+  r_fault_stats : Faults.stats option;  (** injected-fault counters *)
 }
 
 val run_sim : options -> Grammar.t -> Kastens.plan option -> Tree.t -> result

@@ -3,5 +3,8 @@ type env = {
   e_delay : float -> unit;
   e_send : dst:int -> Message.t -> unit;
   e_recv : unit -> Message.t;
+  e_recv_timeout : float -> Message.t option;
+  e_time : unit -> float;
   e_mark : string -> unit;
+  e_flush : unit -> unit;
 }

@@ -35,12 +35,25 @@ exception Stuck of string
 
 let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
 
+(* Coordinator ordered an abort (it recovered from a fault locally). *)
+exception Aborted
+
+let zero_stats =
+  {
+    ws_dynamic_rules = 0;
+    ws_static_rules = 0;
+    ws_visits = 0;
+    ws_graph_nodes = 0;
+    ws_graph_edges = 0;
+    ws_sends = 0;
+  }
+
 type item =
   | IRule of Tree.t * Grammar.rule
   | IVisit of Tree.t * int
   | IRecv of Tree.t * string
 
-let run (env : Transport.env) cfg task =
+let run_protocol (env : Transport.env) cfg task =
   let g = cfg.wc_grammar in
   let plan =
     match (cfg.wc_mode, cfg.wc_plan) with
@@ -57,6 +70,7 @@ let run (env : Transport.env) cfg task =
           env.Transport.e_delay
             (float_of_int s.bytes *. cfg.wc_cost.Cost.rebuild_per_byte);
           s.uid_base
+      | Message.Stop -> raise Aborted
       | other ->
           stash := other :: !stash;
           wait ()
@@ -375,6 +389,7 @@ let run (env : Transport.env) cfg task =
             match producers.(slot_of n attr) with
             | -1 -> stuck "no receive item for %s.%s" n.Tree.sym attr
             | id -> complete id))
+    | Message.Stop -> raise Aborted
     | other -> stuck "unexpected message %s" (Format.asprintf "%a" Message.pp other)
   in
   List.iter handle_msg (List.rev !stash);
@@ -399,6 +414,7 @@ let run (env : Transport.env) cfg task =
   loop ();
   let left = Store.missing store in
   if left > 0 then stuck "%d attribute instances unevaluated in fragment %d" left task.t_frag_id;
+  env.Transport.e_flush ();
   {
     ws_dynamic_rules = !dynamic_rules;
     ws_static_rules = !static_rules;
@@ -407,3 +423,10 @@ let run (env : Transport.env) cfg task =
     ws_graph_edges = !edge_count;
     ws_sends = !n_sends;
   }
+
+(* A [Stop] at any point means the coordinator gave up on the parallel run
+   and recovered locally; the worker abandons its fragment quietly. *)
+let run env cfg task =
+  match run_protocol env cfg task with
+  | stats -> stats
+  | exception Aborted -> zero_stats

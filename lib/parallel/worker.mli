@@ -53,8 +53,14 @@ type stats = {
 
 exception Stuck of string
 
+(** The all-zero record — what {!run} reports for an aborted evaluator. *)
+val zero_stats : stats
+
 (** Runs the evaluator protocol: waits for its [Subtree] assignment, builds
     the (partial) dependency structure, evaluates, exchanging boundary
     attributes, and returns when every local instance is evaluated and every
-    boundary product sent. *)
+    boundary product sent ([e_flush] is called before returning so a
+    reliable transport has delivered everything). Receiving {!Message.Stop}
+    at any point aborts the run — the coordinator has recovered from a fault
+    locally and no longer needs this fragment — and returns {!zero_stats}. *)
 val run : Transport.env -> config -> task -> stats

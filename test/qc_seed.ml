@@ -1,0 +1,24 @@
+(* Shared QCheck harness with an explicit, reproducible seed.
+
+   QCheck seeds its PRNG from the clock unless a generator state is passed
+   in, so a failing property run could not be replayed. Every property
+   suite routes through [qc], which (1) fixes the seed — overridable with
+   the QCHECK_SEED environment variable, matching QCheck's own runner —
+   and (2) embeds it in the test name, so any failure report names the
+   seed that reproduces it. *)
+
+let default_seed = 271828
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+                | Some n -> n
+                | None -> default_seed)
+  | None -> default_seed
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+
+let qc ?count name gen prop =
+  let name = Printf.sprintf "%s (seed %d)" name seed in
+  to_alcotest (QCheck.Test.make ?count ~name gen prop)

@@ -1,8 +1,7 @@
 open Agspec
 open Pag_core
 
-let qc ?(count = 50) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 50) name gen prop = Qc_seed.qc ~count name gen prop
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

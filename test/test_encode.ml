@@ -1,7 +1,6 @@
 open Vax
 
-let qc ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 100) name gen prop = Qc_seed.qc ~count name gen prop
 
 let check_bool = Alcotest.(check bool)
 

@@ -3,8 +3,7 @@ open Pag_analysis
 open Pag_eval
 open Pag_grammars
 
-let qc ?(count = 60) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 60) name gen prop = Qc_seed.qc ~count name gen prop
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

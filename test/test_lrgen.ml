@@ -1,7 +1,6 @@
 open Lrgen
 
-let qc ?(count = 80) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 80) name gen prop = Qc_seed.qc ~count name gen prop
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)

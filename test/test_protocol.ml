@@ -45,7 +45,10 @@ let env_of _sim id =
     e_delay = S.delay;
     e_send = (fun ~dst m -> S.send ~dst ~size:(Message.size m) m);
     e_recv = S.recv;
+    e_recv_timeout = S.recv_timeout;
+    e_time = S.time;
     e_mark = (fun _ -> ());
+    e_flush = (fun () -> ());
   }
 
 (* Run a worker against a scripted coordinator; return the worker's error. *)

@@ -12,8 +12,7 @@ open Pag_core
 open Pag_analysis
 open Pag_eval
 
-let qc ?(count = 120) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 120) name gen prop = Qc_seed.qc ~count name gen prop
 
 (* ---------------- random grammar construction ---------------- *)
 

@@ -2,8 +2,7 @@ open Pag_core
 open Pag_parallel
 open Pag_grammars
 
-let qc ?(count = 60) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qc ?(count = 60) name gen prop = Qc_seed.qc ~count name gen prop
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

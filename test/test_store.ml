@@ -70,6 +70,27 @@ let test_reset_detected () =
   | () -> Alcotest.fail "define_slot on set slot must raise"
   | exception Store.Error _ -> ()
 
+let test_equal_reset_is_idempotent () =
+  (* Rules are pure: re-deriving an instance (a replayed network message)
+     yields the same value, which must be accepted silently — and not
+     counted as another set. *)
+  let t = gap_tree () in
+  let store = Store.create gap_grammar t in
+  let root = Store.root store in
+  Store.set store root "out" (Value.Int 1);
+  let sets_before = Store.sets store in
+  Store.set store root "out" (Value.Int 1);
+  check_int "idempotent re-set not counted" sets_before (Store.sets store);
+  check_int "value unchanged" 1
+    (Value.as_int ~ctx:"test" (Store.get store root "out"));
+  let slot = Store.slot_of store root ~attr_idx:0 in
+  Store.define_slot store slot (Value.Int 1);
+  check_int "slot re-set not counted" sets_before (Store.sets store);
+  (* a *different* value is still the hard error *)
+  match Store.define_slot store slot (Value.Int 2) with
+  | () -> Alcotest.fail "conflicting re-set must raise"
+  | exception Store.Error _ -> ()
+
 let test_root_inh_preset () =
   let open Grammar in
   let g =
@@ -132,6 +153,8 @@ let suite =
           test_zero_attr_dynamic;
         Alcotest.test_case "double set is an error (name and slot paths)"
           `Quick test_reset_detected;
+        Alcotest.test_case "equal re-set is an idempotent no-op" `Quick
+          test_equal_reset_is_idempotent;
         Alcotest.test_case "root_inh presets" `Quick test_root_inh_preset;
         Alcotest.test_case "fragment store over global ids" `Quick
           test_shared_fragment_ids;
