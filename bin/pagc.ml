@@ -10,11 +10,15 @@
      pagc --machines 5 --evaluator dynamic  parallel dynamic evaluator
      pagc --run prog.pas                    compile, assemble, execute
      pagc --gantt --machines 5 prog.pas     print the evaluator timeline
+     pagc --machines 5 --trace out.json --report prog.pas
+                                            record a Chrome trace + report
      pagc -m 5 --faults drop=0.05,dup=0.02 prog.pas
                                             compile over a faulty network *)
 
 open Cmdliner
 open Pascal
+module Obs = Pag_obs.Obs
+module Export = Pag_obs.Export
 
 let read_file path =
   let ic = open_in_bin path in
@@ -23,8 +27,46 @@ let read_file path =
   close_in ic;
   s
 
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let gantt_unavailable () =
+  Printf.eprintf
+    "pagc: --gantt: timeline requires --machines >= 2 with the sim transport\n"
+
+(* Sequential runs have no Runner to assemble the report; build one from
+   the single compiler context. *)
+let sequential_report obs ~horizon =
+  let m = obs.Obs.x_metrics in
+  {
+    Obs.Report.rp_label = "sequential static, 1 machine";
+    rp_clock = "wall clock";
+    rp_horizon = horizon;
+    rp_machines =
+      [
+        {
+          Obs.Report.rm_pid = 0;
+          rm_name = "compiler";
+          rm_active = horizon;
+          rm_idle = 0.0;
+          rm_util = (if horizon > 0.0 then 1.0 else 0.0);
+          rm_sends = 0;
+          rm_max_queue = -1;
+        };
+      ];
+    rp_dynamic_rules = Obs.Metrics.counter_value m "eval.dynamic_rules";
+    rp_static_rules = Obs.Metrics.counter_value m "eval.static_rules";
+    rp_messages = 0;
+    rp_bytes = 0;
+    rp_retransmits = 0;
+    rp_metrics = m;
+  }
+
 let run_compiler file machines evaluator transport granularity no_librarian
-    no_priority optimize run_it gantt out input faults fault_seed =
+    no_priority optimize run_it gantt trace_out events_out report out input
+    faults fault_seed =
   try
     let faults =
       match faults with
@@ -39,9 +81,29 @@ let run_compiler file machines evaluator transport granularity no_librarian
     let src = read_file file in
     let program = Parser.parse_program src in
     let mode = if evaluator = "dynamic" then `Dynamic else `Combined in
-    let compiled, trace_info =
+    let telemetry = trace_out <> None || events_out <> None || report in
+    let compiled, trace_info, obs_data =
       if machines <= 1 && transport = "sim" && mode = `Combined && faults = None
-      then (Driver.compile ~evaluator:`Static program, None)
+      then begin
+        let obs =
+          if telemetry then begin
+            let t0 = Unix.gettimeofday () in
+            Obs.make_ctx ~pid:0 ~clock:(fun () -> Unix.gettimeofday () -. t0)
+          end
+          else Obs.null_ctx
+        in
+        let compiled = Driver.compile ~obs ~evaluator:`Static program in
+        let obs_data =
+          if telemetry then
+            let horizon = obs.Obs.x_clock () in
+            Some
+              ( obs.Obs.x_rec,
+                sequential_report obs ~horizon,
+                fun _ -> "compiler" )
+          else None
+        in
+        (compiled, None, obs_data)
+      end
       else begin
         let opts =
           {
@@ -53,6 +115,7 @@ let run_compiler file machines evaluator transport granularity no_librarian
             use_priority = not no_priority;
             phase_label = Driver.phase_label;
             faults;
+            telemetry;
           }
         in
         let result, compiled =
@@ -60,9 +123,32 @@ let run_compiler file machines evaluator transport granularity no_librarian
             Driver.compile_parallel_domains opts program
           else Driver.compile_parallel_sim opts program
         in
-        (compiled, Some result)
+        let obs_data =
+          match result.Pag_parallel.Runner.r_obs with
+          | Some rec_ ->
+              Some
+                ( rec_,
+                  result.Pag_parallel.Runner.r_report,
+                  Pag_parallel.Runner.machine_name
+                    ~fragments:result.Pag_parallel.Runner.r_fragments )
+          | None -> None
+        in
+        (compiled, Some result, obs_data)
       end
     in
+    (match obs_data with
+    | Some (recorder, rep, names) ->
+        Option.iter
+          (fun path -> write_file path (Export.chrome ~names recorder))
+          trace_out;
+        Option.iter
+          (fun path -> write_file path (Export.jsonl ~names recorder))
+          events_out;
+        if report then prerr_string (Obs.Report.render rep)
+    | None ->
+        (* Domains transport with telemetry requested but r_obs absent
+           cannot happen: telemetry => r_obs on both runners. *)
+        ());
     (match trace_info with
     | Some r ->
         Printf.eprintf
@@ -83,17 +169,17 @@ let run_compiler file machines evaluator transport granularity no_librarian
                  "; coordinator recovered locally"
                else "")
         | None -> ());
-        if gantt then
-          Option.iter
-            (fun tr ->
+        if gantt then (
+          match r.Pag_parallel.Runner.r_trace with
+          | Some tr ->
               prerr_string
                 (Netsim.Gantt.render
                    ~names:
                      (Pag_parallel.Runner.machine_name
                         ~fragments:r.Pag_parallel.Runner.r_fragments)
-                   tr))
-            r.Pag_parallel.Runner.r_trace
-    | None -> ());
+                   tr)
+          | None -> gantt_unavailable ())
+    | None -> if gantt then gantt_unavailable ());
     if compiled.Driver.c_errors <> [] then begin
       List.iter (Printf.eprintf "error: %s\n") compiled.Driver.c_errors;
       exit 1
@@ -163,6 +249,31 @@ let run_arg =
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print the evaluator activity chart.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (one track per \
+           machine, message-flow arrows); open in Perfetto or \
+           chrome://tracing.")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"OUT.jsonl"
+        ~doc:"Write the raw telemetry event stream, one JSON object per line.")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Print the end-of-run evaluation report (per-machine utilization, \
+           dynamically evaluated fraction, librarian savings) to stderr.")
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Write assembly to OUT.")
 
@@ -196,7 +307,7 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ machines_arg $ evaluator_arg
       $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
-      $ optimize_arg $ run_arg $ gantt_arg $ out_arg $ input_arg $ faults_arg
-      $ fault_seed_arg)
+      $ optimize_arg $ run_arg $ gantt_arg $ trace_arg $ events_arg
+      $ report_arg $ out_arg $ input_arg $ faults_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

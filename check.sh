@@ -6,4 +6,15 @@ dune build
 dune runtest
 dune build @fmt
 dune exec bench/main.exe -- --smoke
+# Telemetry smoke: a traced parallel compile must produce parseable
+# Chrome-trace JSON with at least one event.
+trace=/tmp/pagc_trace_smoke.json
+dune exec bin/pagc.exe -- --machines 3 --trace "$trace" --report \
+  examples/primes.pas -o /tmp/pagc_trace_smoke.s 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$trace" >/dev/null
+  python3 -c "import json,sys; es=json.load(open('$trace'))['traceEvents']; sys.exit(0 if len(es)>0 else 1)"
+else
+  grep -q '"traceEvents"' "$trace"
+fi
 echo "check.sh: all green"

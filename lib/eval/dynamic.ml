@@ -1,4 +1,5 @@
 open Pag_core
+open Pag_obs
 
 type stats = { instances : int; edges : int; evals : int }
 
@@ -14,7 +15,8 @@ exception Cycle of string
 
 let dummy_rule = Grammar.rule (Grammar.lhs "") ~deps:[] (fun _ -> Value.Unit)
 
-let eval_inner ?root_inh g t =
+let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
+  let graph_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   let store = Store.create ?root_inh g t in
   let total = Store.slot_count store in
   (* Pass 1: count rules, arguments and terminal dependencies. *)
@@ -110,6 +112,10 @@ let eval_inner ?root_inh g t =
         end
       done
   done;
+  if Obs.ctx_enabled obs then
+    Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:graph_t0
+      ~t1:(obs.Obs.x_clock ()) "graph-build";
+  let eval_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   (* Ready queue: each rule enqueues exactly once, so a flat ring suffices. *)
   let queue = Array.make (max 1 n_rules) 0 in
   let head = ref 0 and tail = ref 0 in
@@ -143,6 +149,16 @@ let eval_inner ?root_inh g t =
       end
     done
   done;
+  if Obs.ctx_enabled obs then begin
+    Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:eval_t0
+      ~t1:(obs.Obs.x_clock ()) "toposort-eval";
+    let reg = obs.Obs.x_metrics in
+    Obs.Metrics.add (Obs.Metrics.counter reg "eval.dynamic_rules") !evals;
+    Obs.Metrics.add (Obs.Metrics.counter reg "graph.nodes") total;
+    Obs.Metrics.add (Obs.Metrics.counter reg "graph.edges") wired;
+    Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
+    Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store))
+  end;
   let left = Store.missing store in
   if left > 0 then
     raise
@@ -153,6 +169,8 @@ let eval_inner ?root_inh g t =
             left));
   (store, { instances = total; edges = wired; evals = !evals })
 
-let eval ?root_inh g t =
-  let r, _ = Pag_core.Uid.with_base 0 (fun () -> eval_inner ?root_inh g t) in
+let eval ?obs ?root_inh g t =
+  let r, _ =
+    Pag_core.Uid.with_base 0 (fun () -> eval_inner ?obs ?root_inh g t)
+  in
   r

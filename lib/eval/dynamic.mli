@@ -19,5 +19,13 @@ type stats = {
 
 exception Cycle of string
 
+(** [eval ?obs g t]. With a live [obs] context, records spans for the two
+    phases the paper charges the dynamic evaluator for (dependency-graph
+    construction, topological evaluation) plus the [eval.dynamic_rules],
+    [graph.nodes], [graph.edges] and store counters. *)
 val eval :
-  ?root_inh:(string * Value.t) list -> Grammar.t -> Tree.t -> Store.t * stats
+  ?obs:Pag_obs.Obs.ctx ->
+  ?root_inh:(string * Value.t) list ->
+  Grammar.t ->
+  Tree.t ->
+  Store.t * stats

@@ -1,5 +1,6 @@
 open Pag_core
 open Pag_analysis
+open Pag_obs
 
 type stats = { visits : int; evals : int }
 
@@ -22,18 +23,32 @@ let visit plan store node v =
   go node v;
   (!visits, !evals)
 
-let eval ?root_inh plan t =
+let eval ?(obs = Obs.null_ctx) ?root_inh plan t =
   let r, _ =
     Uid.with_base 0 (fun () ->
         let g = Kastens.grammar plan in
-        let store = Store.create ?root_inh g t in
+        let store =
+          Obs.with_span obs "store-build" (fun () -> Store.create ?root_inh g t)
+        in
         let m = Kastens.visit_count plan t.Tree.sym in
         let visits = ref 0 and evals = ref 0 in
-        for v = 1 to m do
-          let nv, ne = visit plan store t v in
-          visits := !visits + nv;
-          evals := !evals + ne
-        done;
+        Obs.with_span obs "static-visits" (fun () ->
+            for v = 1 to m do
+              let nv, ne =
+                Obs.with_span obs "visit" (fun () -> visit plan store t v)
+              in
+              visits := !visits + nv;
+              evals := !evals + ne
+            done);
+        if Obs.ctx_enabled obs then begin
+          let reg = obs.Obs.x_metrics in
+          Obs.Metrics.add (Obs.Metrics.counter reg "eval.visits") !visits;
+          Obs.Metrics.add (Obs.Metrics.counter reg "eval.static_rules") !evals;
+          Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
+          Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store));
+          Obs.Metrics.add_gauge reg "store.slots"
+            (float_of_int (Store.slot_count store))
+        end;
         (store, { visits = !visits; evals = !evals }))
   in
   r

@@ -14,7 +14,13 @@ type stats = {
   evals : int;  (** semantic rules fired *)
 }
 
+(** [eval ?obs plan t] evaluates the whole tree. With a live [obs] context,
+    phase spans (store build, the visit passes) and the evaluation counters
+    ([eval.visits], [eval.static_rules], [store.reads]/[store.writes]) are
+    recorded; with the default {!Pag_obs.Obs.null_ctx} the instrumentation
+    costs one branch per phase and nothing per rule. *)
 val eval :
+  ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
   Kastens.plan ->
   Tree.t ->

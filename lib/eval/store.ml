@@ -19,6 +19,7 @@ type t = {
   vals : Value.t array;  (* slot id -> value (valid iff bit set) *)
   bits : Bytes.t;  (* slot id -> set? *)
   mutable n_sets : int;
+  mutable n_reads : int;
 }
 
 exception Error of string
@@ -91,6 +92,7 @@ let create_shared ?(root_inh = []) ?stop g root =
       vals = Array.make total Value.Unit;
       bits = Bytes.make ((total + 7) / 8) '\000';
       n_sets = 0;
+      n_reads = 0;
     }
   in
   List.iter
@@ -133,7 +135,9 @@ let mark_set s slot =
     (Char.unsafe_chr
        (Char.code (Bytes.unsafe_get s.bits b) lor (1 lsl (slot land 7))))
 
-let slot_value s slot = Array.unsafe_get s.vals slot
+let slot_value s slot =
+  s.n_reads <- s.n_reads + 1;
+  Array.unsafe_get s.vals slot
 
 (* Owner of a slot, for error messages only: the dense node index i with
    base.(i) <= slot < base.(i+1). *)
@@ -200,6 +204,7 @@ let idx_of s (node : Tree.t) attr =
 let set s node attr v = set_slot s node attr (slot_of s node ~attr_idx:(idx_of s node attr)) v
 
 let get_opt s (node : Tree.t) attr =
+  s.n_reads <- s.n_reads + 1;
   match node.Tree.prod with
   | None -> Some (Tree.term_attr node attr)
   | Some _ ->
@@ -216,6 +221,8 @@ let get s node attr =
 let is_set s node attr = get_opt s node attr <> None
 
 let sets s = s.n_sets
+
+let reads s = s.n_reads
 
 let root_attrs s =
   let sym = Grammar.symbol_of_id s.g s.root.Tree.sym_id in
@@ -248,6 +255,7 @@ let rule_target_slot s node (rule : Grammar.rule) =
   slot_of s (node_of_pos node t.Grammar.rr_pos) ~attr_idx:t.Grammar.rr_attr
 
 let get_dep s (node : Tree.t) (d : Grammar.rref) =
+  s.n_reads <- s.n_reads + 1;
   if d.Grammar.rr_term then
     Tree.term_attr (node_of_pos node d.Grammar.rr_pos) d.Grammar.rr_name
   else begin

@@ -59,6 +59,11 @@ val is_set : t -> Tree.t -> string -> bool
 (** Number of [set] calls so far. *)
 val sets : t -> int
 
+(** Number of attribute reads so far (rule-argument fetches, slot reads,
+    [get]/[get_opt] lookups) — the "attribute store reads" telemetry
+    counter. *)
+val reads : t -> int
+
 (** Attributes of the root, in declaration order, with their values;
     unevaluated ones are omitted. *)
 val root_attrs : t -> (string * Value.t) list

@@ -3,11 +3,14 @@ let render ?(width = 72) ?(max_arrows = 12) ~names tr =
   let horizon = Trace.horizon tr in
   if horizon <= 0.0 then "(empty trace)"
   else begin
+    let pid_set = Hashtbl.create 16 in
+    let note pid = if not (Hashtbl.mem pid_set pid) then Hashtbl.add pid_set pid () in
+    Trace.iter_segments tr (fun s -> note s.Trace.sg_pid);
+    Trace.iter_arrows tr (fun a ->
+        note a.Trace.ar_src;
+        note a.Trace.ar_dst);
     let pids =
-      List.sort_uniq compare
-        (List.map (fun s -> s.Trace.sg_pid) (Trace.segments tr)
-        @ List.map (fun a -> a.Trace.ar_src) (Trace.arrows tr)
-        @ List.map (fun a -> a.Trace.ar_dst) (Trace.arrows tr))
+      List.sort compare (Hashtbl.fold (fun pid () acc -> pid :: acc) pid_set [])
     in
     let name_w =
       List.fold_left (fun w pid -> max w (String.length (names pid))) 4 pids
@@ -23,8 +26,7 @@ let render ?(width = 72) ?(max_arrows = 12) ~names tr =
     List.iter
       (fun pid ->
         let row = Bytes.make width ' ' in
-        List.iter
-          (fun s ->
+        Trace.iter_segments tr (fun s ->
             if s.Trace.sg_pid = pid then begin
               let x0 = x_of s.Trace.sg_t0 and x1 = x_of s.Trace.sg_t1 in
               let c = match s.Trace.sg_kind with
@@ -35,34 +37,28 @@ let render ?(width = 72) ?(max_arrows = 12) ~names tr =
                 (* active periods win over idle ones at shared cells *)
                 if c = '#' || Bytes.get row x = ' ' then Bytes.set row x c
               done
-            end)
-          (Trace.segments tr);
-        List.iter
-          (fun m ->
-            if m.Trace.mk_pid = pid then Bytes.set row (x_of m.Trace.mk_time) '|')
-          (Trace.marks tr);
+            end);
+        Trace.iter_marks tr (fun m ->
+            if m.Trace.mk_pid = pid then Bytes.set row (x_of m.Trace.mk_time) '|');
         Buffer.add_string buf
           (Printf.sprintf "%*s %s\n" name_w (names pid) (Bytes.to_string row)))
       pids;
-    let arrows = Trace.arrows tr in
-    let n = List.length arrows in
+    let n = Trace.num_arrows tr in
     Buffer.add_string buf (Printf.sprintf "messages: %d\n" n);
-    List.iteri
-      (fun i a ->
-        if i < max_arrows then
+    let i = ref 0 in
+    Trace.iter_arrows tr (fun a ->
+        if !i < max_arrows then
           Buffer.add_string buf
             (Printf.sprintf "  %8.4fs  %s -> %s%s\n" a.Trace.ar_send
                (names a.Trace.ar_src) (names a.Trace.ar_dst)
                (if a.Trace.ar_label = "" then ""
-                else "  (" ^ a.Trace.ar_label ^ ")")))
-      arrows;
+                else "  (" ^ a.Trace.ar_label ^ ")"));
+        incr i);
     if n > max_arrows then
       Buffer.add_string buf (Printf.sprintf "  ... and %d more\n" (n - max_arrows));
-    List.iter
-      (fun m ->
+    Trace.iter_marks tr (fun m ->
         Buffer.add_string buf
           (Printf.sprintf "  mark %8.4fs %s: %s\n" m.Trace.mk_time
-             (names m.Trace.mk_pid) m.Trace.mk_label))
-      (Trace.marks tr);
+             (names m.Trace.mk_pid) m.Trace.mk_label));
     Buffer.contents buf
   end

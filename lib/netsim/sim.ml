@@ -26,6 +26,7 @@ struct
     p_id : pid;
     p_name : string;
     mailbox : M.msg Queue.t;
+    mutable max_queue : int;  (* peak mailbox depth, for telemetry *)
     mutable blocked : blocked_k option;
     mutable block_gen : int;  (* bumps on every block/wake, guards timeouts *)
     mutable idle_since : float;
@@ -71,6 +72,8 @@ struct
 
   let name_of t pid = (proc t pid).p_name
 
+  let max_queue_depth t pid = (proc t pid).max_queue
+
   let process_count t = Hashtbl.length t.procs
 
   let crashed t pid =
@@ -115,7 +118,10 @@ struct
           (match k with
           | BRecv k -> Effect.Deep.continue k m
           | BRecvT k -> Effect.Deep.continue k (Some m))
-      | None -> Queue.add m p.mailbox
+      | None ->
+          Queue.add m p.mailbox;
+          if Queue.length p.mailbox > p.max_queue then
+            p.max_queue <- Queue.length p.mailbox
     end
 
   let start_fiber t p body =
@@ -216,6 +222,7 @@ struct
         p_id = pid;
         p_name = name;
         mailbox = Queue.create ();
+        max_queue = 0;
         blocked = None;
         block_gen = 0;
         idle_since = 0.0;

@@ -54,6 +54,9 @@ end) : sig
 
   val name_of : t -> pid -> string
 
+  (** Peak mailbox depth the process has seen so far. *)
+  val max_queue_depth : t -> pid -> int
+
   val process_count : t -> int
 
   (** {1 Effects — valid only inside a process body} *)

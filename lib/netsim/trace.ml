@@ -12,42 +12,87 @@ type arrow = {
 
 type mark = { mk_pid : int; mk_time : float; mk_label : string }
 
+(* Append-only growable buffer. The previous representation accumulated
+   reversed lists and paid an O(n) [List.rev] (and n cons cells) on every
+   accessor call — and the accessors are called repeatedly per render. *)
+type 'a buf = { mutable data : 'a array; mutable len : int }
+
+let buf_make () = { data = [||]; len = 0 }
+
+let buf_push b dummy v =
+  (if b.len >= Array.length b.data then
+     let cap = max 64 (2 * Array.length b.data) in
+     let d = Array.make cap dummy in
+     Array.blit b.data 0 d 0 b.len;
+     b.data <- d);
+  b.data.(b.len) <- v;
+  b.len <- b.len + 1
+
+let buf_iter b f =
+  for i = 0 to b.len - 1 do
+    f b.data.(i)
+  done
+
+let buf_list b = List.init b.len (fun i -> b.data.(i))
+
 type t = {
-  mutable segs : segment list;
-  mutable arrs : arrow list;
-  mutable mks : mark list;
+  segs : segment buf;
+  arrs : arrow buf;
+  mks : mark buf;
+  mutable hor : float;
 }
 
-let create () = { segs = []; arrs = []; mks = [] }
+let dummy_segment = { sg_pid = 0; sg_t0 = 0.0; sg_t1 = 0.0; sg_kind = Idle }
+
+let dummy_arrow =
+  { ar_src = 0; ar_dst = 0; ar_send = 0.0; ar_recv = 0.0; ar_label = "" }
+
+let dummy_mark = { mk_pid = 0; mk_time = 0.0; mk_label = "" }
+
+let create () =
+  { segs = buf_make (); arrs = buf_make (); mks = buf_make (); hor = 0.0 }
 
 let add_segment t ~pid ~t0 ~t1 kind =
-  if t1 > t0 then
-    t.segs <- { sg_pid = pid; sg_t0 = t0; sg_t1 = t1; sg_kind = kind } :: t.segs
+  if t1 > t0 then begin
+    buf_push t.segs dummy_segment
+      { sg_pid = pid; sg_t0 = t0; sg_t1 = t1; sg_kind = kind };
+    if t1 > t.hor then t.hor <- t1
+  end
 
 let add_arrow t ~src ~dst ~send ~recv ~label =
-  t.arrs <-
-    { ar_src = src; ar_dst = dst; ar_send = send; ar_recv = recv; ar_label = label }
-    :: t.arrs
+  buf_push t.arrs dummy_arrow
+    { ar_src = src; ar_dst = dst; ar_send = send; ar_recv = recv; ar_label = label };
+  if recv > t.hor then t.hor <- recv
 
 let add_mark t ~pid ~time ~label =
-  t.mks <- { mk_pid = pid; mk_time = time; mk_label = label } :: t.mks
+  buf_push t.mks dummy_mark { mk_pid = pid; mk_time = time; mk_label = label }
 
-let segments t = List.rev t.segs
+let num_segments t = t.segs.len
 
-let arrows t = List.rev t.arrs
+let num_arrows t = t.arrs.len
 
-let marks t = List.rev t.mks
+let num_marks t = t.mks.len
 
-let horizon t =
-  let m = List.fold_left (fun acc s -> max acc s.sg_t1) 0.0 t.segs in
-  List.fold_left (fun acc a -> max acc a.ar_recv) m t.arrs
+let iter_segments t f = buf_iter t.segs f
+
+let iter_arrows t f = buf_iter t.arrs f
+
+let iter_marks t f = buf_iter t.mks f
+
+let segments t = buf_list t.segs
+
+let arrows t = buf_list t.arrs
+
+let marks t = buf_list t.mks
+
+let horizon t = t.hor
 
 let active_time t ~pid =
-  List.fold_left
-    (fun acc s ->
-      if s.sg_pid = pid && s.sg_kind = Active then acc +. (s.sg_t1 -. s.sg_t0)
-      else acc)
-    0.0 t.segs
+  let acc = ref 0.0 in
+  iter_segments t (fun s ->
+      if s.sg_pid = pid && s.sg_kind = Active then
+        acc := !acc +. (s.sg_t1 -. s.sg_t0));
+  !acc
 
 let utilization t ~pid =
   let h = horizon t in

@@ -1,6 +1,12 @@
 (** Execution traces of a simulation run: per-process activity segments,
     message arrows, and labelled phase marks — the raw material of the
-    paper's figure 6 (behaviour of the combined evaluator). *)
+    paper's figure 6 (behaviour of the combined evaluator).
+
+    Segments, arrows and marks live in growable array buffers appended in
+    O(1); the iteration accessors walk the buffers in recording order
+    without allocating, so repeated consumers ({!Gantt.render}, the
+    telemetry exporters) pay no per-call cost. The horizon is maintained
+    incrementally. *)
 
 type kind = Active | Idle
 
@@ -27,13 +33,28 @@ val add_arrow :
 
 val add_mark : t -> pid:int -> time:float -> label:string -> unit
 
+val num_segments : t -> int
+
+val num_arrows : t -> int
+
+val num_marks : t -> int
+
+(** Iterate in recording order. *)
+val iter_segments : t -> (segment -> unit) -> unit
+
+val iter_arrows : t -> (arrow -> unit) -> unit
+
+val iter_marks : t -> (mark -> unit) -> unit
+
+(** Fresh lists in recording order (convenience for tests and small
+    consumers; hot paths should use the iterators). *)
 val segments : t -> segment list
 
 val arrows : t -> arrow list
 
 val marks : t -> mark list
 
-(** Latest segment/arrow end time. *)
+(** Latest segment/arrow end time. O(1): maintained on append. *)
 val horizon : t -> float
 
 (** Total active time of one process. *)

@@ -1,0 +1,102 @@
+let us t = t *. 1e6 (* trace-event timestamps are microseconds *)
+
+let pids_of r =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let note pid =
+    if pid >= 0 && not (Hashtbl.mem seen pid) then begin
+      Hashtbl.add seen pid ();
+      order := pid :: !order
+    end
+  in
+  Obs.iter r (fun e ->
+      note e.Obs.e_pid;
+      if e.Obs.e_kind = Obs.Flow then note e.Obs.e_dst);
+  List.sort compare !order
+
+let chrome ~names r =
+  let b = Buffer.create (256 * (Obs.length r + 8)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_char b ',';
+        Buffer.add_string b "\n";
+        Buffer.add_string b s)
+      fmt
+  in
+  (* One track ("process") per machine. *)
+  List.iter
+    (fun pid ->
+      emit
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+        pid
+        (Obs.Json.escape (names pid)))
+    (pids_of r);
+  let flow_id = ref 0 in
+  Obs.iter r (fun e ->
+      let name = Obs.Json.escape e.Obs.e_name in
+      match e.Obs.e_kind with
+      | Obs.Span ->
+          emit
+            "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"dur\":%s}"
+            name e.Obs.e_pid
+            (Obs.Json.num (us e.Obs.e_t0))
+            (Obs.Json.num (us (e.Obs.e_t1 -. e.Obs.e_t0)))
+      | Obs.Instant ->
+          emit
+            "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":0,\"ts\":%s}"
+            name e.Obs.e_pid
+            (Obs.Json.num (us e.Obs.e_t0))
+      | Obs.Flow ->
+          let id = !flow_id in
+          incr flow_id;
+          (* Tiny slices at both ends give the flow arrows something to
+             attach to in Perfetto. *)
+          emit
+            "{\"name\":\"send %s\",\"cat\":\"msg\",\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"dur\":1}"
+            name e.Obs.e_pid
+            (Obs.Json.num (us e.Obs.e_t0));
+          emit
+            "{\"name\":\"recv %s\",\"cat\":\"msg\",\"ph\":\"X\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"dur\":1}"
+            name e.Obs.e_dst
+            (Obs.Json.num (us e.Obs.e_t1));
+          emit
+            "{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%s}"
+            name id e.Obs.e_pid
+            (Obs.Json.num (us e.Obs.e_t0));
+          emit
+            "{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%s}"
+            name id e.Obs.e_dst
+            (Obs.Json.num (us e.Obs.e_t1)))
+  ;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let jsonl ~names r =
+  let b = Buffer.create (128 * (Obs.length r + 1)) in
+  Obs.iter r (fun e ->
+      (match e.Obs.e_kind with
+      | Obs.Span ->
+          Printf.bprintf b
+            "{\"kind\":\"span\",\"pid\":%d,\"machine\":\"%s\",\"name\":\"%s\",\"t0\":%s,\"t1\":%s}"
+            e.Obs.e_pid
+            (Obs.Json.escape (names e.Obs.e_pid))
+            (Obs.Json.escape e.Obs.e_name)
+            (Obs.Json.num e.Obs.e_t0) (Obs.Json.num e.Obs.e_t1)
+      | Obs.Instant ->
+          Printf.bprintf b
+            "{\"kind\":\"event\",\"pid\":%d,\"machine\":\"%s\",\"name\":\"%s\",\"t\":%s}"
+            e.Obs.e_pid
+            (Obs.Json.escape (names e.Obs.e_pid))
+            (Obs.Json.escape e.Obs.e_name)
+            (Obs.Json.num e.Obs.e_t0)
+      | Obs.Flow ->
+          Printf.bprintf b
+            "{\"kind\":\"flow\",\"src\":%d,\"dst\":%d,\"name\":\"%s\",\"send\":%s,\"recv\":%s}"
+            e.Obs.e_pid e.Obs.e_dst
+            (Obs.Json.escape e.Obs.e_name)
+            (Obs.Json.num e.Obs.e_t0) (Obs.Json.num e.Obs.e_t1));
+      Buffer.add_char b '\n');
+  Buffer.contents b

@@ -1,0 +1,13 @@
+(** Exporters for recorded telemetry.
+
+    {!chrome} emits the Chrome trace-event JSON format (open the file in
+    Perfetto or chrome://tracing): one track per machine, spans as complete
+    ["X"] events, discrete events as instants, message flows as ["s"]/["f"]
+    flow-event pairs drawn as arrows. {!jsonl} dumps the raw event stream,
+    one JSON object per line, for ad-hoc tooling. *)
+
+(** [chrome ~names r] renders the whole recorder. Timestamps are converted
+    to microseconds as the format requires. *)
+val chrome : names:(int -> string) -> Obs.recorder -> string
+
+val jsonl : names:(int -> string) -> Obs.recorder -> string

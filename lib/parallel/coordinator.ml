@@ -1,6 +1,7 @@
 open Pag_core
 open Pag_analysis
 open Pag_eval
+open Pag_obs
 
 type recovery = {
   rc_link : Reliable.t;
@@ -42,14 +43,14 @@ let recv_watched (env : Transport.env) recovery ~peers =
    sequential evaluator — the fallback that lets compilation complete no
    matter which evaluator machines died. The CPU time is charged to the
    simulated clock through the same cost model the workers use. *)
-let eval_locally (env : Transport.env) (r : recovery) g tree expected =
+let eval_locally ?obs (env : Transport.env) (r : recovery) g tree expected =
   let store, cost =
     match r.rc_kplan with
     | Some kplan ->
-        let store, (st : Static_eval.stats) = Static_eval.eval kplan tree in
+        let store, (st : Static_eval.stats) = Static_eval.eval ?obs kplan tree in
         (store, Cost.visit_cost r.rc_cost ~visits:st.Static_eval.visits ~evals:st.Static_eval.evals)
     | None ->
-        let store, (st : Dynamic.stats) = Dynamic.eval g tree in
+        let store, (st : Dynamic.stats) = Dynamic.eval ?obs g tree in
         ( store,
           (float_of_int st.Dynamic.instances *. r.rc_cost.Cost.build_node)
           +. (float_of_int st.Dynamic.edges *. r.rc_cost.Cost.build_edge)
@@ -59,7 +60,8 @@ let eval_locally (env : Transport.env) (r : recovery) g tree expected =
   env.Transport.e_delay cost;
   List.map (fun a -> (a, Store.get store tree a)) expected
 
-let run ?recovery (env : Transport.env) g ~tree ~plan ~librarian =
+let run ?(obs = Obs.null_ctx) ?recovery (env : Transport.env) g ~tree ~plan
+    ~librarian =
   let frags = Split.fragments plan in
   let evaluators =
     Array.to_list (Array.map (fun (f : Split.fragment) -> f.Split.fr_id + 1) frags)
@@ -96,7 +98,7 @@ let run ?recovery (env : Transport.env) g ~tree ~plan ~librarian =
         collect ()
       end
     in
-    collect ();
+    Obs.with_span obs "collect-roots" collect;
     env.Transport.e_mark "root attributes received";
     (* Resolve any code descriptors through the librarian. *)
     let resolve attr value =
@@ -115,7 +117,8 @@ let run ?recovery (env : Transport.env) g ~tree ~plan ~librarian =
       | _ -> value
     in
     let attrs =
-      List.map (fun a -> (a, resolve a (Hashtbl.find received a))) expected
+      Obs.with_span obs "librarian-resolve" (fun () ->
+          List.map (fun a -> (a, resolve a (Hashtbl.find received a))) expected)
     in
     (match librarian with
     | Some lib -> env.Transport.e_send ~dst:lib Message.Stop
@@ -131,11 +134,15 @@ let run ?recovery (env : Transport.env) g ~tree ~plan ~librarian =
       env.Transport.e_mark
         (Printf.sprintf "machine %s dead: recovering locally"
            (String.concat "," (List.map string_of_int dead)));
+      if Obs.ctx_enabled obs then
+        Obs.instant obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t:(obs.Obs.x_clock ())
+          (Printf.sprintf "recovery: machine %s dead"
+             (String.concat "," (List.map string_of_int dead)));
       (* Call the survivors off, then redo the whole evaluation here. *)
       List.iter
         (fun dst -> env.Transport.e_send ~dst Message.Stop)
         (match librarian with Some l -> evaluators @ [ l ] | None -> evaluators);
-      let attrs = eval_locally env r g tree expected in
+      let attrs = eval_locally ~obs env r g tree expected in
       env.Transport.e_flush ();
       env.Transport.e_mark "result assembled";
       (attrs, true)

@@ -26,8 +26,12 @@ type recovery = {
 
 (** [run env g ~tree ~plan ~librarian] returns the root's synthesized
     attributes with any librarian descriptors replaced by the assembled
-    text, and a flag that is [true] when a crash forced local recovery. *)
+    text, and a flag that is [true] when a crash forced local recovery.
+    With a live [obs] context the two coordinator phases (collecting root
+    attributes, resolving librarian descriptors) are recorded as spans and
+    a local recovery as an instant event. *)
 val run :
+  ?obs:Pag_obs.Obs.ctx ->
   ?recovery:recovery ->
   Transport.env ->
   Grammar.t ->

@@ -1,10 +1,12 @@
 open Pag_core
 open Pag_util
+open Pag_obs
 
 let splice_cost_per_byte = 0.05e-6
 
-let run (env : Transport.env) ~coordinator =
+let run ?(obs = Obs.null_ctx) (env : Transport.env) ~coordinator =
   let frags : (int, Rope.t) Hashtbl.t = Hashtbl.create 32 in
+  let frag_bytes = ref 0 in
   let pending : Codestr.t option ref = ref None in
   (* Each code attribute is assembled and sent exactly once, even if the
      Resolve request is replayed (retransmission, network duplication). *)
@@ -31,6 +33,9 @@ let run (env : Transport.env) ~coordinator =
           (float_of_int (Rope.length text) *. splice_cost_per_byte);
         env.Transport.e_send ~dst:coordinator (Message.Final { text });
         incr finals_sent;
+        if Obs.ctx_enabled obs then
+          Obs.instant obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t:(obs.Obs.x_clock ())
+            (Printf.sprintf "final assembled (%d bytes)" (Rope.length text));
         pending := None
     | _ -> ()
   in
@@ -38,6 +43,8 @@ let run (env : Transport.env) ~coordinator =
     match env.Transport.e_recv () with
     | Message.Code_frag { id; text } ->
         (* Duplicate fragments replace an identical binding: harmless. *)
+        if not (Hashtbl.mem frags id) then
+          frag_bytes := !frag_bytes + Rope.length text;
         Hashtbl.replace frags id text;
         try_finish ();
         loop ()
@@ -53,4 +60,10 @@ let run (env : Transport.env) ~coordinator =
           (Format.asprintf "librarian: unexpected message %a" Message.pp other)
   in
   loop ();
+  if Obs.ctx_enabled obs then begin
+    let reg = obs.Obs.x_metrics in
+    Obs.Metrics.add_gauge reg "librarian.bytes" (float_of_int !frag_bytes);
+    Obs.Metrics.add_gauge reg "librarian.fragments"
+      (float_of_int (Hashtbl.length frags))
+  end;
   env.Transport.e_flush ()

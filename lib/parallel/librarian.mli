@@ -14,5 +14,7 @@
     present. Duplicated [Code_frag] messages replace an identical binding
     and duplicated [Resolve] requests after the answer was sent are ignored,
     so the code is assembled and transmitted exactly once even over a faulty
-    network. *)
-val run : Transport.env -> coordinator:int -> unit
+    network. With a live [obs] context, the final assembly is recorded as an
+    instant event and the [librarian.bytes] / [librarian.fragments] gauges
+    capture the deduplicated text volume the librarian absorbed. *)
+val run : ?obs:Pag_obs.Obs.ctx -> Transport.env -> coordinator:int -> unit

@@ -1,3 +1,5 @@
+open Pag_obs
+
 type stats = {
   mutable rs_sent : int;
   mutable rs_retransmits : int;
@@ -23,9 +25,16 @@ type t = {
   ready : Message.t Queue.t;  (* deduplicated payloads awaiting recv *)
   dead : (int, unit) Hashtbl.t;
   st : stats;
+  obs : Obs.ctx;
+  c_sent : Obs.Metrics.counter;
+  c_retransmits : Obs.Metrics.counter;
+  c_acks : Obs.Metrics.counter;
+  c_dup_dropped : Obs.Metrics.counter;
+  c_gave_up : Obs.Metrics.counter;
 }
 
-let wrap ?(rto = 0.05) ?(max_tries = 6) raw =
+let wrap ?(obs = Obs.null_ctx) ?(rto = 0.05) ?(max_tries = 6) raw =
+  let reg = obs.Obs.x_metrics in
   {
     raw;
     rto;
@@ -43,6 +52,12 @@ let wrap ?(rto = 0.05) ?(max_tries = 6) raw =
         rs_dup_dropped = 0;
         rs_gave_up = 0;
       };
+    obs;
+    c_sent = Obs.Metrics.counter reg "reliable.sent";
+    c_retransmits = Obs.Metrics.counter reg "reliable.retransmits";
+    c_acks = Obs.Metrics.counter reg "reliable.acks";
+    c_dup_dropped = Obs.Metrics.counter reg "reliable.dup_dropped";
+    c_gave_up = Obs.Metrics.counter reg "reliable.gave_up";
   }
 
 let stats t = t.st
@@ -63,6 +78,7 @@ let send t ~dst m =
         pd_tries = 0;
       };
     t.st.rs_sent <- t.st.rs_sent + 1;
+    Obs.Metrics.incr t.c_sent;
     t.raw.Transport.e_send ~dst wire
   end
 
@@ -86,12 +102,23 @@ let retransmit_due t =
       if p.pd_tries >= t.max_tries then begin
         Hashtbl.remove t.outstanding seq;
         Hashtbl.replace t.dead p.pd_dst ();
-        t.st.rs_gave_up <- t.st.rs_gave_up + 1
+        t.st.rs_gave_up <- t.st.rs_gave_up + 1;
+        Obs.Metrics.incr t.c_gave_up;
+        if Obs.ctx_enabled t.obs then
+          Obs.instant t.obs.Obs.x_rec ~pid:t.obs.Obs.x_pid
+            ~t:(t.obs.Obs.x_clock ())
+            (Printf.sprintf "gave-up seq=%d dst=%d" seq p.pd_dst)
       end
       else begin
         p.pd_tries <- p.pd_tries + 1;
         p.pd_deadline <- now +. (t.rto *. (2.0 ** float_of_int p.pd_tries));
         t.st.rs_retransmits <- t.st.rs_retransmits + 1;
+        Obs.Metrics.incr t.c_retransmits;
+        if Obs.ctx_enabled t.obs then
+          Obs.instant t.obs.Obs.x_rec ~pid:t.obs.Obs.x_pid
+            ~t:(t.obs.Obs.x_clock ())
+            (Printf.sprintf "retransmit seq=%d dst=%d try=%d" seq p.pd_dst
+               p.pd_tries);
         t.raw.Transport.e_send ~dst:p.pd_dst p.pd_wire
       end)
     due
@@ -104,8 +131,15 @@ let handle_raw t msg =
       t.raw.Transport.e_send ~dst:src
         (Message.Ack { src = t.raw.Transport.e_id; seq });
       t.st.rs_acks <- t.st.rs_acks + 1;
-      if Hashtbl.mem t.seen (src, seq) then
-        t.st.rs_dup_dropped <- t.st.rs_dup_dropped + 1
+      Obs.Metrics.incr t.c_acks;
+      if Hashtbl.mem t.seen (src, seq) then begin
+        t.st.rs_dup_dropped <- t.st.rs_dup_dropped + 1;
+        Obs.Metrics.incr t.c_dup_dropped;
+        if Obs.ctx_enabled t.obs then
+          Obs.instant t.obs.Obs.x_rec ~pid:t.obs.Obs.x_pid
+            ~t:(t.obs.Obs.x_clock ())
+            (Printf.sprintf "dup-drop src=%d seq=%d" src seq)
+      end
       else begin
         Hashtbl.add t.seen (src, seq) ();
         match payload with

@@ -30,8 +30,11 @@ type t
 (** [wrap env] layers reliable delivery over a raw transport environment.
     [rto] is the initial retransmission timeout in transport seconds
     (doubled on every retry); after [max_tries] unacknowledged
-    retransmissions the destination is presumed dead. *)
-val wrap : ?rto:float -> ?max_tries:int -> Transport.env -> t
+    retransmissions the destination is presumed dead. With a live [obs]
+    context, retransmissions / duplicate drops / give-ups are recorded as
+    instant events and the [reliable.*] counters mirror {!stats}. *)
+val wrap :
+  ?obs:Pag_obs.Obs.ctx -> ?rto:float -> ?max_tries:int -> Transport.env -> t
 
 (** The reliable environment: same machine id, sends wrapped in [Data]
     envelopes, receives unwrapped, deduplicated payloads; [e_flush] drains.

@@ -1,4 +1,5 @@
 open Pag_core
+open Pag_obs
 open Netsim
 
 type options = {
@@ -13,6 +14,7 @@ type options = {
   faults : Faults.spec option;
   fault_rto : float option;
   fault_watchdog : float option;
+  telemetry : bool;
 }
 
 let default_options =
@@ -28,6 +30,7 @@ let default_options =
     faults = None;
     fault_rto = None;
     fault_watchdog = None;
+    telemetry = false;
   }
 
 type result = {
@@ -43,6 +46,8 @@ type result = {
   r_retransmits : int;
   r_recovered : bool;
   r_fault_stats : Faults.stats option;
+  r_obs : Obs.recorder option;
+  r_report : Obs.Report.t;
 }
 
 let machine_name ~fragments id =
@@ -60,6 +65,7 @@ let worker_config opts g plan =
     wc_use_priority = opts.use_priority;
     wc_librarian = None (* patched per run: librarian machine id *);
     wc_phase_label = opts.phase_label;
+    wc_obs = Obs.null_ctx (* patched per run: per-machine context *);
   }
 
 let make_task plan (f : Split.fragment) nodes_by_id =
@@ -98,6 +104,70 @@ let prepare opts g tree =
 
 let sum_retransmits links =
   List.fold_left (fun a l -> a + (Reliable.stats l).Reliable.rs_retransmits) 0 links
+
+(* ------------------------- telemetry ------------------------- *)
+
+let mode_string = function `Combined -> "combined" | `Dynamic -> "dynamic"
+
+let run_label opts ~transport =
+  Printf.sprintf "%s, %d machine%s (%s)" (mode_string opts.mode) opts.machines
+    (if opts.machines = 1 then "" else "s")
+    transport
+
+(* Per-machine telemetry contexts. Each slot is written by exactly one
+   machine (its own), so an array is race-free on the domains transport;
+   the main thread reads it only after joining every domain. *)
+let make_ctxs opts ~n ~clock =
+  if opts.telemetry then
+    Array.init n (fun pid -> Obs.make_ctx ~pid ~clock)
+  else Array.make (max 1 n) Obs.null_ctx
+
+let merged_metrics ctxs =
+  let reg = Obs.Metrics.create () in
+  Array.iter (fun c -> Obs.Metrics.merge ~into:reg c.Obs.x_metrics) ctxs;
+  reg
+
+(* Re-express the simulator's own trace in telemetry terms: message arrows
+   become flow events, idle segments become "idle" spans, phase marks
+   become instants. Worker/coordinator spans are recorded directly; the
+   trace supplies everything only the network layer sees. *)
+let recorder_of_trace tr =
+  let r = Obs.create () in
+  Trace.iter_segments tr (fun (s : Trace.segment) ->
+      if s.Trace.sg_kind = Trace.Idle then
+        Obs.span r ~pid:s.Trace.sg_pid ~t0:s.Trace.sg_t0 ~t1:s.Trace.sg_t1
+          "idle");
+  Trace.iter_arrows tr (fun (a : Trace.arrow) ->
+      Obs.flow r ~src:a.Trace.ar_src ~dst:a.Trace.ar_dst ~send:a.Trace.ar_send
+        ~recv:a.Trace.ar_recv a.Trace.ar_label);
+  Trace.iter_marks tr (fun (m : Trace.mark) ->
+      Obs.instant r ~pid:m.Trace.mk_pid ~t:m.Trace.mk_time m.Trace.mk_label);
+  r
+
+let merge_recorders ctxs extra =
+  let rs = Array.to_list (Array.map (fun c -> c.Obs.x_rec) ctxs) in
+  Obs.merge (extra @ rs)
+
+let build_report ~label ~clock ~horizon ~machines ~worker_stats ~messages
+    ~bytes ~retransmits ~metrics =
+  let dyn =
+    Array.fold_left (fun a s -> a + s.Worker.ws_dynamic_rules) 0 worker_stats
+  in
+  let st =
+    Array.fold_left (fun a s -> a + s.Worker.ws_static_rules) 0 worker_stats
+  in
+  {
+    Obs.Report.rp_label = label;
+    rp_clock = clock;
+    rp_horizon = horizon;
+    rp_machines = machines;
+    rp_dynamic_rules = dyn;
+    rp_static_rules = st;
+    rp_messages = messages;
+    rp_bytes = bytes;
+    rp_retransmits = retransmits;
+    rp_metrics = metrics;
+  }
 
 (* A worker that never reported under fault injection was crashed or called
    off; without faults it is a protocol bug. *)
@@ -163,24 +233,26 @@ let run_sim opts g plan tree =
   let faulty = Option.is_some opts.faults in
   let rto = Option.value opts.fault_rto ~default:sim_rto in
   let watchdog = Option.value opts.fault_watchdog ~default:sim_watchdog in
+  let ctxs = make_ctxs opts ~n:(nfrags + 2) ~clock:(fun () -> S.time ()) in
   (* With a fault plan — even an all-zero one, for overhead measurement —
      every machine talks through its own reliable-delivery layer. *)
   let links = ref [] in
   let machine_env id =
+    let obs = ctxs.(id) in
     let raw = sim_env sim id in
     if faulty then begin
-      let l = Reliable.wrap ~rto ~max_tries:sim_max_tries raw in
+      let l = Reliable.wrap ~obs ~rto ~max_tries:sim_max_tries raw in
       links := l :: !links;
-      (Reliable.env l, Some l)
+      (Reliable.env l, Some l, obs)
     end
-    else (raw, None)
+    else (raw, None, obs)
   in
   let stats = Array.make nfrags None in
   let attrs = ref [] in
   let recovered = ref false in
   let finish = ref 0.0 in
   (* pid 0: coordinator *)
-  let coord_env, coord_link = machine_env 0 in
+  let coord_env, coord_link, coord_obs = machine_env 0 in
   let recovery =
     Option.map
       (fun link ->
@@ -195,8 +267,8 @@ let run_sim opts g plan tree =
   let _ =
     S.spawn sim ~name:"parser" (fun () ->
         let a, rec_ =
-          Coordinator.run ?recovery coord_env g ~tree ~plan:split
-            ~librarian:librarian_id
+          Coordinator.run ~obs:coord_obs ?recovery coord_env g ~tree
+            ~plan:split ~librarian:librarian_id
         in
         attrs := a;
         recovered := rec_;
@@ -206,7 +278,7 @@ let run_sim opts g plan tree =
   Array.iter
     (fun (f : Split.fragment) ->
       let id = f.Split.fr_id in
-      let env, _ = machine_env (id + 1) in
+      let env, _, wobs = machine_env (id + 1) in
       let _ =
         S.spawn sim
           ~name:(machine_name ~fragments:nfrags (id + 1))
@@ -214,6 +286,7 @@ let run_sim opts g plan tree =
             let cfg =
               { (worker_config opts g plan) with
                 Worker.wc_librarian = librarian_id;
+                wc_obs = wobs;
               }
             in
             stats.(id) <- Some (Worker.run env cfg (make_task split f nodes_by_id)))
@@ -223,20 +296,55 @@ let run_sim opts g plan tree =
   (* librarian *)
   (match librarian_id with
   | Some lid ->
-      let env, _ = machine_env lid in
+      let env, _, lobs = machine_env lid in
       let _ =
-        S.spawn sim ~name:"librarian" (fun () -> Librarian.run env ~coordinator:0)
+        S.spawn sim ~name:"librarian" (fun () ->
+            Librarian.run ~obs:lobs env ~coordinator:0)
       in
       ()
   | None -> ());
   S.run sim;
   let worker_stats = collect_worker_stats ~faulty stats in
   let net = S.network sim in
+  let tr = S.trace sim in
+  let horizon = Trace.horizon tr in
+  let npids = nfrags + 1 + (match librarian_id with Some _ -> 1 | None -> 0) in
+  (* Boundary messages originated per machine, acks included: read off the
+     trace so parser and librarian are covered too. *)
+  let arrow_sends = Array.make (nfrags + 2) 0 in
+  Trace.iter_arrows tr (fun (a : Trace.arrow) ->
+      if a.Trace.ar_src >= 0 && a.Trace.ar_src < Array.length arrow_sends then
+        arrow_sends.(a.Trace.ar_src) <- arrow_sends.(a.Trace.ar_src) + 1);
+  let machine_rows =
+    List.init npids (fun pid ->
+        let active = Trace.active_time tr ~pid in
+        {
+          Obs.Report.rm_pid = pid;
+          rm_name = machine_name ~fragments:nfrags pid;
+          rm_active = active;
+          rm_idle = Float.max 0.0 (horizon -. active);
+          rm_util = Trace.utilization tr ~pid;
+          rm_sends = arrow_sends.(pid);
+          rm_max_queue = S.max_queue_depth sim pid;
+        })
+  in
+  let metrics = merged_metrics ctxs in
+  let report =
+    build_report
+      ~label:(run_label opts ~transport:"sim")
+      ~clock:"simulated" ~horizon ~machines:machine_rows ~worker_stats
+      ~messages:(Ethernet.messages_sent net) ~bytes:(Ethernet.bytes_sent net)
+      ~retransmits:(sum_retransmits !links) ~metrics
+  in
+  let r_obs =
+    if opts.telemetry then Some (merge_recorders ctxs [ recorder_of_trace tr ])
+    else None
+  in
   {
     r_attrs = !attrs;
     r_time = !finish;
     r_worker_stats = worker_stats;
-    r_trace = Some (S.trace sim);
+    r_trace = Some tr;
     r_messages = Ethernet.messages_sent net;
     r_bytes = Ethernet.bytes_sent net;
     r_fragments = nfrags;
@@ -245,6 +353,8 @@ let run_sim opts g plan tree =
     r_retransmits = sum_retransmits !links;
     r_recovered = !recovered;
     r_fault_stats = S.fault_stats sim;
+    r_obs;
+    r_report = report;
   }
 
 (* ------------------------- domains ------------------------- *)
@@ -321,6 +431,10 @@ let run_domains opts g plan tree =
     | None -> Array.make nmachines None
   in
   let stashes = Array.init nmachines (fun _ -> ref None) in
+  let start = Unix.gettimeofday () in
+  let ctxs =
+    make_ctxs opts ~n:nmachines ~clock:(fun () -> Unix.gettimeofday () -. start)
+  in
   let send_from src ~dst m =
     if not crashed.(dst) then
       match injectors.(src) with
@@ -345,6 +459,7 @@ let run_domains opts g plan tree =
   let links = Mutex.create () in
   let all_links = ref [] in
   let machine_env id =
+    let obs = ctxs.(id) in
     let raw =
       {
         Transport.e_id = id;
@@ -358,13 +473,13 @@ let run_domains opts g plan tree =
       }
     in
     if faulty then begin
-      let l = Reliable.wrap ~rto:dom_rto raw in
+      let l = Reliable.wrap ~obs ~rto:dom_rto raw in
       Mutex.lock links;
       all_links := l :: !all_links;
       Mutex.unlock links;
-      (Reliable.env l, Some l)
+      (Reliable.env l, Some l, obs)
     end
-    else (raw, None)
+    else (raw, None, obs)
   in
   let t0 = Unix.gettimeofday () in
   let worker_domains =
@@ -375,10 +490,11 @@ let run_domains opts g plan tree =
         else
           Some
             (Domain.spawn (fun () ->
-                 let env, _ = machine_env (id + 1) in
+                 let env, _, wobs = machine_env (id + 1) in
                  let cfg =
                    { (worker_config opts g plan) with
                      Worker.wc_librarian = librarian_id;
+                     wc_obs = wobs;
                    }
                  in
                  Worker.run env cfg (make_task split f nodes_by_id))))
@@ -389,11 +505,11 @@ let run_domains opts g plan tree =
     | Some lid when not crashed.(lid) ->
         Some
           (Domain.spawn (fun () ->
-               let env, _ = machine_env lid in
-               Librarian.run env ~coordinator:0))
+               let env, _, lobs = machine_env lid in
+               Librarian.run ~obs:lobs env ~coordinator:0))
     | _ -> None
   in
-  let coord_env, coord_link = machine_env 0 in
+  let coord_env, coord_link, coord_obs = machine_env 0 in
   let recovery =
     Option.map
       (fun link ->
@@ -406,7 +522,7 @@ let run_domains opts g plan tree =
       coord_link
   in
   let attrs, recovered =
-    Coordinator.run ?recovery coord_env g ~tree ~plan:split
+    Coordinator.run ~obs:coord_obs ?recovery coord_env g ~tree ~plan:split
       ~librarian:librarian_id
   in
   let worker_stats =
@@ -432,6 +548,45 @@ let run_domains opts g plan tree =
     end
     else None
   in
+  let horizon = t1 -. t0 in
+  (* No network trace on domains: worker idle-wait measurements stand in
+     for activity segments; parser and librarian utilization is unknown. *)
+  let machine_rows =
+    List.init
+      (nfrags + 1 + match librarian_id with Some _ -> 1 | None -> 0)
+      (fun pid ->
+        let active, idle, util, sends =
+          if pid >= 1 && pid <= nfrags then begin
+            let s = worker_stats.(pid - 1) in
+            let idle = Float.min horizon s.Worker.ws_idle_wait in
+            let active = Float.max 0.0 (horizon -. idle) in
+            ( active,
+              idle,
+              (if horizon > 0.0 then active /. horizon else 0.0),
+              s.Worker.ws_sends )
+          end
+          else (0.0, horizon, 0.0, 0)
+        in
+        {
+          Obs.Report.rm_pid = pid;
+          rm_name = machine_name ~fragments:nfrags pid;
+          rm_active = active;
+          rm_idle = idle;
+          rm_util = util;
+          rm_sends = sends;
+          rm_max_queue = -1;
+        })
+  in
+  let metrics = merged_metrics ctxs in
+  let report =
+    build_report
+      ~label:(run_label opts ~transport:"domains")
+      ~clock:"wall clock" ~horizon ~machines:machine_rows ~worker_stats
+      ~messages:0 ~bytes:0 ~retransmits:(sum_retransmits !all_links) ~metrics
+  in
+  let r_obs =
+    if opts.telemetry then Some (merge_recorders ctxs []) else None
+  in
   {
     r_attrs = attrs;
     r_time = t1 -. t0;
@@ -445,4 +600,6 @@ let run_domains opts g plan tree =
     r_retransmits = sum_retransmits !all_links;
     r_recovered = recovered;
     r_fault_stats = fault_stats;
+    r_obs;
+    r_report = report;
   }

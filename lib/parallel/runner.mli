@@ -45,6 +45,10 @@ type options = {
   fault_watchdog : float option;
       (** coordinator liveness-probe interval; [None] picks a per-transport
           default. Should scale with [fault_rto]. *)
+  telemetry : bool;
+      (** record spans, events and metrics on every machine (see
+          {!Pag_obs.Obs}); off by default — the instrumentation then costs
+          one branch per site and allocates nothing. *)
 }
 
 val default_options : options
@@ -64,6 +68,13 @@ type result = {
   r_recovered : bool;
       (** the coordinator fell back to local sequential evaluation *)
   r_fault_stats : Faults.stats option;  (** injected-fault counters *)
+  r_obs : Pag_obs.Obs.recorder option;
+      (** merged event stream of all machines (simulation runs also fold
+          the network trace in as flow/idle/instant events); [Some] only
+          when [telemetry] was on *)
+  r_report : Pag_obs.Obs.Report.t;
+      (** always built; its [rp_metrics] registry is empty unless
+          [telemetry] was on *)
 }
 
 val run_sim : options -> Grammar.t -> Kastens.plan option -> Tree.t -> result

@@ -1,6 +1,7 @@
 open Pag_core
 open Pag_analysis
 open Pag_eval
+open Pag_obs
 
 type mode = [ `Dynamic | `Combined ]
 
@@ -12,6 +13,7 @@ type config = {
   wc_use_priority : bool;
   wc_librarian : int option;
   wc_phase_label : int -> string option;
+  wc_obs : Obs.ctx;
 }
 
 type task = {
@@ -29,6 +31,9 @@ type stats = {
   ws_graph_nodes : int;
   ws_graph_edges : int;
   ws_sends : int;
+  ws_spine_len : int;
+  ws_idle_wait : float;
+  ws_bytes_flattened : int;
 }
 
 exception Stuck of string
@@ -46,6 +51,9 @@ let zero_stats =
     ws_graph_nodes = 0;
     ws_graph_edges = 0;
     ws_sends = 0;
+    ws_spine_len = 0;
+    ws_idle_wait = 0.0;
+    ws_bytes_flattened = 0;
   }
 
 type item =
@@ -55,6 +63,8 @@ type item =
 
 let run_protocol (env : Transport.env) cfg task =
   let g = cfg.wc_grammar in
+  let obs = cfg.wc_obs in
+  let obs_on = Obs.ctx_enabled obs in
   let plan =
     match (cfg.wc_mode, cfg.wc_plan) with
     | `Combined, Some p -> Some p
@@ -78,6 +88,7 @@ let run_protocol (env : Transport.env) cfg task =
     wait ()
   in
   let uid_cursor = ref uid_base in
+  let graph_t0 = if obs_on then obs.Obs.x_clock () else 0.0 in
   (* ---- 2. Fragment structure. ---- *)
   let cut_machine = Hashtbl.create 8 in
   List.iter
@@ -283,6 +294,10 @@ let run_protocol (env : Transport.env) cfg task =
     id
   in
   let n_sends = ref 0 in
+  let bytes_flattened = ref 0 in
+  let bytes_hist =
+    Obs.Metrics.histogram obs.Obs.x_metrics "net.bytes_per_attr"
+  in
   let send_instance (n : Tree.t) attr dst =
     let v = Store.get store n attr in
     let v =
@@ -294,19 +309,27 @@ let run_protocol (env : Transport.env) cfg task =
           List.iter
             (fun (id, text) ->
               incr n_sends;
-              env.Transport.e_send ~dst:lib (Message.Code_frag { id; text }))
+              let m = Message.Code_frag { id; text } in
+              bytes_flattened := !bytes_flattened + Message.size m;
+              env.Transport.e_send ~dst:lib m)
             frags;
           Codestr.value desc
       | _ -> v
     in
     incr n_sends;
-    env.Transport.e_send ~dst
-      (Message.Attr { node = n.Tree.id; attr; value = v })
+    let m = Message.Attr { node = n.Tree.id; attr; value = v } in
+    let sz = Message.size m in
+    bytes_flattened := !bytes_flattened + sz;
+    if obs_on then Obs.Metrics.observe bytes_hist (float_of_int sz);
+    env.Transport.e_send ~dst m
   in
   (* ---- 7. Charge graph-construction cost. ---- *)
   env.Transport.e_delay
     ((float_of_int total *. cfg.wc_cost.Cost.build_node)
     +. (float_of_int !edge_count *. cfg.wc_cost.Cost.build_edge));
+  if obs_on then
+    Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:graph_t0
+      ~t1:(obs.Obs.x_clock ()) "graph-build";
   (* ---- 8. Execution. ---- *)
   let hi = Queue.create () and lo = Queue.create () in
   let is_priority_item = function
@@ -361,13 +384,20 @@ let run_protocol (env : Transport.env) cfg task =
         Uid.with_counter uid_cursor (fun () ->
             ignore (Store.apply_rule store n r));
         env.Transport.e_delay (Cost.rule_cost cfg.wc_cost ~dynamic:true);
-        incr dynamic_rules
+        incr dynamic_rules;
+        if obs_on then begin
+          let tnode, tattr = Store.rule_target n r in
+          Obs.instant obs.Obs.x_rec ~pid:obs.Obs.x_pid
+            ~t:(obs.Obs.x_clock ())
+            (Printf.sprintf "dyn-rule %s.%s" tnode.Tree.sym tattr)
+        end
     | IVisit (c, v) ->
         (match cfg.wc_phase_label v with
         | Some lbl when not (Hashtbl.mem marked v) ->
             Hashtbl.replace marked v ();
             env.Transport.e_mark lbl
         | _ -> ());
+        let visit_t0 = if obs_on then obs.Obs.x_clock () else 0.0 in
         let nv, ne =
           match plan with
           | None -> assert false
@@ -376,6 +406,10 @@ let run_protocol (env : Transport.env) cfg task =
                   Static_eval.visit p store c v)
         in
         env.Transport.e_delay (Cost.visit_cost cfg.wc_cost ~visits:nv ~evals:ne);
+        if obs_on then
+          Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:visit_t0
+            ~t1:(obs.Obs.x_clock ())
+            (Printf.sprintf "visit %s/%d" c.Tree.sym v);
         static_rules := !static_rules + ne;
         visits := !visits + nv
     | IRecv (n, a) -> stuck "receive item %s.%s executed locally" n.Tree.sym a
@@ -394,6 +428,8 @@ let run_protocol (env : Transport.env) cfg task =
   in
   List.iter handle_msg (List.rev !stash);
   stash := [];
+  let idle_wait = ref 0.0 in
+  let eval_t0 = if obs_on then obs.Obs.x_clock () else 0.0 in
   let rec loop () =
     if !completed < total then begin
       let next =
@@ -407,7 +443,10 @@ let run_protocol (env : Transport.env) cfg task =
           complete id;
           loop ()
       | None ->
-          handle_msg (env.Transport.e_recv ());
+          let w0 = env.Transport.e_time () in
+          let msg = env.Transport.e_recv () in
+          idle_wait := !idle_wait +. (env.Transport.e_time () -. w0);
+          handle_msg msg;
           loop ()
     end
   in
@@ -415,6 +454,24 @@ let run_protocol (env : Transport.env) cfg task =
   let left = Store.missing store in
   if left > 0 then stuck "%d attribute instances unevaluated in fragment %d" left task.t_frag_id;
   env.Transport.e_flush ();
+  let spine_len = Hashtbl.length spine in
+  if obs_on then begin
+    Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:eval_t0
+      ~t1:(obs.Obs.x_clock ()) "evaluate";
+    let reg = obs.Obs.x_metrics in
+    let bump name n = Obs.Metrics.add (Obs.Metrics.counter reg name) n in
+    bump "worker.dynamic_rules" !dynamic_rules;
+    bump "worker.static_rules" !static_rules;
+    bump "worker.visits" !visits;
+    bump "worker.sends" !n_sends;
+    bump "worker.graph_nodes" total;
+    bump "worker.graph_edges" !edge_count;
+    bump "worker.spine_nodes" spine_len;
+    bump "net.bytes" !bytes_flattened;
+    Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
+    Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store));
+    Obs.Metrics.add_gauge reg "worker.idle_wait" !idle_wait
+  end;
   {
     ws_dynamic_rules = !dynamic_rules;
     ws_static_rules = !static_rules;
@@ -422,6 +479,9 @@ let run_protocol (env : Transport.env) cfg task =
     ws_graph_nodes = total;
     ws_graph_edges = !edge_count;
     ws_sends = !n_sends;
+    ws_spine_len = spine_len;
+    ws_idle_wait = !idle_wait;
+    ws_bytes_flattened = !bytes_flattened;
   }
 
 (* A [Stop] at any point means the coordinator gave up on the parallel run

@@ -32,6 +32,8 @@ type config = {
   wc_librarian : int option;  (** librarian machine id; [None] = naive mode *)
   wc_phase_label : int -> string option;
       (** trace label for the first execution of a static visit [v] *)
+  wc_obs : Pag_obs.Obs.ctx;
+      (** telemetry context; {!Pag_obs.Obs.null_ctx} disables recording *)
 }
 
 type task = {
@@ -49,6 +51,9 @@ type stats = {
   ws_graph_nodes : int;
   ws_graph_edges : int;
   ws_sends : int;
+  ws_spine_len : int;  (** nodes evaluated dynamically (on the spine) *)
+  ws_idle_wait : float;  (** time blocked waiting for boundary messages *)
+  ws_bytes_flattened : int;  (** bytes of boundary messages originated *)
 }
 
 exception Stuck of string

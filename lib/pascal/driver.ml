@@ -28,15 +28,21 @@ let compiled_of_attrs attrs =
     c_errors = Pascal_ag.errors_of_attrs attrs;
   }
 
-let compile ?(evaluator = `Static) prog =
-  let tree = Pascal_ag.tree_of_program Pascal_ag.grammar prog in
+let compile ?obs ?(evaluator = `Static) prog =
+  let tree =
+    match obs with
+    | Some x when Pag_obs.Obs.ctx_enabled x ->
+        Pag_obs.Obs.with_span x "parse+build" (fun () ->
+            Pascal_ag.tree_of_program Pascal_ag.grammar prog)
+    | _ -> Pascal_ag.tree_of_program Pascal_ag.grammar prog
+  in
   let store =
     match evaluator with
     | `Static ->
-        let store, _ = Static_eval.eval (Lazy.force plan) tree in
+        let store, _ = Static_eval.eval ?obs (Lazy.force plan) tree in
         store
     | `Dynamic ->
-        let store, _ = Dynamic.eval Pascal_ag.grammar tree in
+        let store, _ = Dynamic.eval ?obs Pascal_ag.grammar tree in
         store
     | `Oracle -> Oracle.eval Pascal_ag.grammar tree
   in

@@ -24,9 +24,14 @@ val plan_threaded : Kastens.plan Lazy.t
 (** Trace phase labels for the two visits (figure 6). *)
 val phase_label : int -> string option
 
-(** Sequential compilation with the chosen evaluator. *)
+(** Sequential compilation with the chosen evaluator. With a live [obs]
+    context (pid 0, wall clock), the tree build and the evaluator phases
+    are recorded as spans alongside the evaluation counters. *)
 val compile :
-  ?evaluator:[ `Static | `Dynamic | `Oracle ] -> Ast.program -> compiled
+  ?obs:Pag_obs.Obs.ctx ->
+  ?evaluator:[ `Static | `Dynamic | `Oracle ] ->
+  Ast.program ->
+  compiled
 
 (** Parse then compile. *)
 val compile_source : string -> compiled

@@ -26,6 +26,7 @@ let worker_config () =
     wc_use_priority = true;
     wc_librarian = None;
     wc_phase_label = (fun _ -> None);
+    wc_obs = Pag_obs.Obs.null_ctx;
   }
 
 let simple_task () =
