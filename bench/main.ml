@@ -13,9 +13,13 @@
      E8  in text    sequential static vs dynamic cost; split granularity
      E10 beyond     fault injection: reliable-delivery overhead at zero
                     faults; graceful degradation as the drop rate rises
+                    (writes BENCH_2.json)
      E11 beyond     observability: wall-clock overhead of full telemetry
                     recording, and registry-vs-legacy-stats agreement
                     (writes BENCH_3.json)
+     E12 beyond     hash-consed values + DAG-shared subtree evaluation:
+                    sequential static throughput, bytes on the wire,
+                    equivalence gates (writes BENCH_4.json)
 
    Flags:
      --quick   use a smaller workload and fewer machine counts
@@ -41,6 +45,10 @@ let workload =
   lazy
     (if quick then fst (Progen.gen (Random.State.make [| 7 |]) Progen.medium)
      else Progen.paper_program ())
+
+(* Stamped into every BENCH_*.json so a record always says what it ran on. *)
+let workload_name =
+  if quick then "Progen.gen medium seed=7" else "Progen.paper_program"
 
 let max_machines = if quick then 4 else 6
 
@@ -409,32 +417,69 @@ let e10_faults () =
     (100.0 *. ((zero.Runner.r_time /. base.Runner.r_time) -. 1.0))
     (if String.equal reference (mask_asm cz.Driver.c_asm) then "ok"
      else "MISMATCH");
+  let zero_ok = String.equal reference (mask_asm cz.Driver.c_asm) in
   Printf.printf "\ndegradation sweep (dup = drop/2, seed 1):\n";
   Printf.printf "%-8s %-10s %-10s %-9s %-9s %-7s %-5s\n" "drop" "time"
     "slowdown" "dropped" "retrans" "recov" "code";
-  List.iter
-    (fun drop ->
-      let spec =
-        { Netsim.Faults.none with Netsim.Faults.fs_drop = drop; fs_dup = drop /. 2.0 }
-      in
-      let r, c = compile (faulty spec) in
-      let dropped =
-        match r.Runner.r_fault_stats with
-        | Some fs -> fs.Netsim.Faults.st_dropped
-        | None -> 0
-      in
-      Printf.printf "%-8.2f %8.2fs   x%-8.2f %-9d %-9d %-7b %s\n" drop
-        r.Runner.r_time
-        (r.Runner.r_time /. base.Runner.r_time)
-        dropped r.Runner.r_retransmits r.Runner.r_recovered
-        (if String.equal reference (mask_asm c.Driver.c_asm) then "ok"
-         else "MISMATCH"))
-    [ 0.01; 0.02; 0.05; 0.1 ];
+  let sweep =
+    List.map
+      (fun drop ->
+        let spec =
+          { Netsim.Faults.none with Netsim.Faults.fs_drop = drop; fs_dup = drop /. 2.0 }
+        in
+        let r, c = compile (faulty spec) in
+        let dropped =
+          match r.Runner.r_fault_stats with
+          | Some fs -> fs.Netsim.Faults.st_dropped
+          | None -> 0
+        in
+        let code_ok = String.equal reference (mask_asm c.Driver.c_asm) in
+        Printf.printf "%-8.2f %8.2fs   x%-8.2f %-9d %-9d %-7b %s\n" drop
+          r.Runner.r_time
+          (r.Runner.r_time /. base.Runner.r_time)
+          dropped r.Runner.r_retransmits r.Runner.r_recovered
+          (if code_ok then "ok" else "MISMATCH");
+        (drop, r, dropped, code_ok))
+      [ 0.01; 0.02; 0.05; 0.1 ]
+  in
   Printf.printf
     "\nexpected shape: zero-fault overhead small (acks are tiny frames);\n\
      running time degrades gracefully with the drop rate while the emitted\n\
      code stays identical — retransmission and deduplication mask every\n\
-     injected fault.\n"
+     injected fault.\n";
+  let all_ok = zero_ok && List.for_all (fun (_, _, _, ok) -> ok) sweep in
+  let oc = open_out "BENCH_2.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_2\",\n\
+    \  \"bench\": \"fault injection: reliable-delivery overhead and \
+     degradation under message loss\",\n\
+    \  \"workload\": %S,\n\
+    \  \"machines\": %d,\n\
+    \  \"runs\": 1,\n\
+    \  \"bare\": { \"time\": %.4f, \"messages\": %d },\n\
+    \  \"reliable_zero_faults\": { \"time\": %.4f, \"messages\": %d, \
+     \"overhead_percent\": %.2f, \"code_ok\": %b },\n\
+    \  \"sweep\": [\n"
+    workload_name m base.Runner.r_time base.Runner.r_messages
+    zero.Runner.r_time zero.Runner.r_messages
+    (100.0 *. ((zero.Runner.r_time /. base.Runner.r_time) -. 1.0))
+    zero_ok;
+  List.iteri
+    (fun i (drop, r, dropped, code_ok) ->
+      Printf.fprintf oc
+        "    { \"drop\": %.2f, \"time\": %.4f, \"slowdown\": %.3f, \
+         \"dropped\": %d, \"retransmits\": %d, \"recovered\": %b, \
+         \"code_ok\": %b }%s\n"
+        drop r.Runner.r_time
+        (r.Runner.r_time /. base.Runner.r_time)
+        dropped r.Runner.r_retransmits r.Runner.r_recovered code_ok
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf oc "  ],\n  \"all_code_ok\": %b\n}\n" all_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_2.json\n";
+  if not all_ok then failwith "E10: compiled code diverged under faults"
 
 let store_micro () =
   sep "[micro] BENCH_1: flat store + CSR graph vs seed hash store (dynamic)";
@@ -579,6 +624,7 @@ let e11_observability () =
     \  \"id\": \"BENCH_3\",\n\
     \  \"bench\": \"telemetry recording overhead, combined evaluator, sim \
      transport\",\n\
+    \  \"workload\": %S,\n\
     \  \"machines\": %d,\n\
     \  \"runs\": %d,\n\
     \  \"disabled_seconds_per_run\": %.6f,\n\
@@ -588,12 +634,145 @@ let e11_observability () =
     \  \"registry_matches_legacy_stats\": %b,\n\
     \  \"virtual_time_unchanged\": %b\n\
      }\n"
-    m runs off on_ overhead events agree
+    workload_name m runs off on_ overhead events agree
     (let base, _ = compile (opts m) in
      Float.abs (base.Runner.r_time -. r.Runner.r_time) < 1e-9);
   close_out oc;
   Printf.printf "wrote BENCH_3.json\n";
   if not agree then failwith "E11: telemetry registry diverged from legacy stats"
+
+(* ------------------------------------------------------------------ *)
+(* E12: hash-consed values + DAG-shared subtree evaluation (BENCH_4)   *)
+(* ------------------------------------------------------------------ *)
+
+let e12_hashcons () =
+  sep "[E12] Hash-consing + DAG-shared subtree evaluation (BENCH_4)";
+  let routines = if quick then 4 else 6 in
+  let reps = if quick then 120 else 300 in
+  let workload_name =
+    Printf.sprintf "Progen.repetitive routines=%d reps=%d" routines reps
+  in
+  let prog = Progen.repetitive ~routines ~reps () in
+  let g = Pascal_ag.grammar in
+  let tree = Pascal_ag.tree_of_program g prog in
+  let plan = Lazy.force Driver.plan in
+  Printf.printf "workload: %s, %d tree nodes\n" workload_name
+    (Pag_core.Tree.size tree);
+  let runs = if quick then 3 else 5 in
+  let measure f =
+    ignore (f ());
+    (* warmup; also warms the intern arenas, which persist across runs *)
+    Gc.compact ();
+    let t0 = Sys.time () in
+    for _ = 1 to runs do
+      ignore (f ())
+    done;
+    (Sys.time () -. t0) /. float_of_int runs
+  in
+  (* --- sequential static evaluator, hash-consing off vs on --- *)
+  let off_t = measure (fun () -> Pag_eval.Static_eval.eval plan tree) in
+  let on_t =
+    measure (fun () -> Pag_eval.Static_eval.eval ~hashcons:true plan tree)
+  in
+  let store_off, _ = Pag_eval.Static_eval.eval plan tree in
+  let store_on, _ = Pag_eval.Static_eval.eval ~hashcons:true plan tree in
+  let speedup = off_t /. on_t in
+  (* memo-hit accounting through a telemetry context *)
+  let obs = Pag_obs.Obs.make_ctx ~pid:0 ~clock:Sys.time in
+  ignore (Pag_eval.Static_eval.eval ~obs ~hashcons:true plan tree);
+  let memo_hits =
+    Pag_obs.Obs.Metrics.counter_value obs.Pag_obs.Obs.x_metrics "eval.memo_hits"
+  in
+  let memo_misses =
+    Pag_obs.Obs.Metrics.counter_value obs.Pag_obs.Obs.x_metrics
+      "eval.memo_misses"
+  in
+  let hit_rate =
+    if memo_hits + memo_misses = 0 then 0.0
+    else float_of_int memo_hits /. float_of_int (memo_hits + memo_misses)
+  in
+  Printf.printf "\n%-28s %12s\n" "" "s/run";
+  Printf.printf "%-28s %12.3f\n" "static, hashcons off" off_t;
+  Printf.printf "%-28s %12.3f   (x%.2f)\n" "static, hashcons on" on_t speedup;
+  Printf.printf "memo: %d hits / %d misses (%.1f%% hit rate)\n" memo_hits
+    memo_misses (100.0 *. hit_rate);
+  (* --- equivalence: byte-identical to hashcons-off, masked-equal to the
+     oracle (firing order moves label numbers), output-equal to the
+     reference interpreter through the VAX simulator --- *)
+  let attrs st = Pag_eval.Store.root_attrs st in
+  let byte_identical =
+    String.equal
+      (Pascal_ag.code_of_attrs (attrs store_on))
+      (Pascal_ag.code_of_attrs (attrs store_off))
+  in
+  let oracle_ok =
+    pascal_roots_agree (attrs store_on) (Pag_eval.Oracle.eval g tree |> attrs)
+  in
+  let dyn_on, _ = Pag_eval.Dynamic.eval ~hashcons:true g tree in
+  let dyn_ok = pascal_roots_agree (attrs dyn_on) (attrs store_off) in
+  let compiled =
+    {
+      Driver.c_asm = Pascal_ag.code_of_attrs (attrs store_on);
+      c_errors = Pascal_ag.errors_of_attrs (attrs store_on);
+    }
+  in
+  let interp_ok =
+    match (Driver.run_compiled ~input:[] compiled, Interp.run prog) with
+    | Ok a, Ok b -> String.equal a b
+    | _ -> false
+  in
+  let stores_ok = byte_identical && oracle_ok && dyn_ok && interp_ok in
+  Printf.printf
+    "equivalence: off-identical %b, oracle %b, dynamic-memo %b, interpreter %b\n"
+    byte_identical oracle_ok dyn_ok interp_ok;
+  (* --- parallel run on the sim transport: bytes on the wire --- *)
+  let m = min 4 max_machines in
+  let plain, cp = Driver.compile_parallel_sim (opts m) prog in
+  let hc, ch =
+    Driver.compile_parallel_sim
+      { (opts m) with Runner.use_hashcons = true }
+      prog
+  in
+  let bytes_cut =
+    1.0 -. (float_of_int hc.Runner.r_bytes /. float_of_int plain.Runner.r_bytes)
+  in
+  let parallel_ok = String.equal (mask_asm cp.Driver.c_asm) (mask_asm ch.Driver.c_asm) in
+  Printf.printf "\nparallel (%d machines, sim):\n" m;
+  Printf.printf "%-28s %8.2fs %10d messages %10d bytes\n" "hashcons off"
+    plain.Runner.r_time plain.Runner.r_messages plain.Runner.r_bytes;
+  Printf.printf "%-28s %8.2fs %10d messages %10d bytes   (-%.1f%% bytes)\n"
+    "hashcons on" hc.Runner.r_time hc.Runner.r_messages hc.Runner.r_bytes
+    (100.0 *. bytes_cut);
+  Printf.printf "parallel code agrees: %b\n" parallel_ok;
+  Printf.printf
+    "\ntargets: sequential static speedup >= 1.5x, wire bytes cut >= 30%%,\n\
+     all equivalence gates true.\n";
+  let oc = open_out "BENCH_4.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_4\",\n\
+    \  \"bench\": \"hash-consed values + DAG-shared subtree evaluation vs \
+     plain evaluation\",\n\
+    \  \"workload\": %S,\n\
+    \  \"tree_nodes\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"static_off_seconds_per_run\": %.6f,\n\
+    \  \"static_on_seconds_per_run\": %.6f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"memo_hits\": %d,\n\
+    \  \"memo_misses\": %d,\n\
+    \  \"memo_hit_rate\": %.4f,\n\
+    \  \"parallel\": { \"machines\": %d, \"bytes_off\": %d, \"bytes_on\": \
+     %d, \"bytes_reduction\": %.4f, \"messages_off\": %d, \"messages_on\": \
+     %d, \"code_agrees\": %b },\n\
+    \  \"stores_agree\": %b\n\
+     }\n"
+    workload_name (Pag_core.Tree.size tree) runs off_t on_t speedup memo_hits
+    memo_misses hit_rate m plain.Runner.r_bytes hc.Runner.r_bytes bytes_cut
+    plain.Runner.r_messages hc.Runner.r_messages parallel_ok stores_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_4.json\n";
+  if not stores_ok then failwith "E12: hash-consed evaluation diverged"
 
 (* ------------------------------------------------------------------ *)
 (* Smoke: fast evaluator equivalence, nonzero exit on mismatch         *)
@@ -646,6 +825,23 @@ let smoke_check () =
     (pascal_roots_agree
        (Pag_eval.Store.root_attrs flat)
        (Legacy.Store.root_attrs legacy));
+  (* 4. Hash-consed evaluation is semantics-preserving: identical assembly
+     (same uid consumption order, so byte-identical, no masking) and
+     identical VAX output on a repetition-heavy program. *)
+  let rprog = Progen.repetitive ~routines:3 ~reps:40 () in
+  let hc_on = Driver.compile ~hashcons:true ~evaluator:`Static rprog in
+  let hc_off = Driver.compile ~evaluator:`Static rprog in
+  check "pascal: hashcons on = off (assembly bytes)"
+    (String.equal hc_on.Driver.c_asm hc_off.Driver.c_asm);
+  check "pascal: hashcons on = off (VAX output)"
+    (match
+       (Driver.run_compiled ~input:[] hc_on, Driver.run_compiled ~input:[] hc_off)
+     with
+    | Ok a, Ok b -> String.equal a b
+    | _ -> false);
+  let dyn_on = Driver.compile ~hashcons:true ~evaluator:`Dynamic rprog in
+  check "pascal: hashcons dynamic = static code"
+    (String.equal (mask_asm dyn_on.Driver.c_asm) (mask_asm hc_off.Driver.c_asm));
   if !fails = 0 then Printf.printf "\nsmoke ok\n"
   else Printf.printf "\n%d smoke check(s) FAILED\n" !fails;
   !fails
@@ -672,6 +868,7 @@ let () =
     e8_sequential_and_granularity ();
     e9_assembly_integration ();
     e10_faults ();
-    e11_observability ()
+    e11_observability ();
+    e12_hashcons ()
   end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

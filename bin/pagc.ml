@@ -65,8 +65,8 @@ let sequential_report obs ~horizon =
   }
 
 let run_compiler file machines evaluator transport granularity no_librarian
-    no_priority optimize run_it gantt trace_out events_out report out input
-    faults fault_seed =
+    no_priority hashcons optimize run_it gantt trace_out events_out report out
+    input faults fault_seed =
   try
     let faults =
       match faults with
@@ -92,7 +92,7 @@ let run_compiler file machines evaluator transport granularity no_librarian
           end
           else Obs.null_ctx
         in
-        let compiled = Driver.compile ~obs ~evaluator:`Static program in
+        let compiled = Driver.compile ~obs ~hashcons ~evaluator:`Static program in
         let obs_data =
           if telemetry then
             let horizon = obs.Obs.x_clock () in
@@ -113,6 +113,7 @@ let run_compiler file machines evaluator transport granularity no_librarian
             granularity;
             use_librarian = not no_librarian;
             use_priority = not no_priority;
+            use_hashcons = hashcons;
             phase_label = Driver.phase_label;
             faults;
             telemetry;
@@ -240,6 +241,21 @@ let no_librarian_arg =
 let no_priority_arg =
   Arg.(value & flag & info [ "no-priority" ] ~doc:"Ignore priority attributes.")
 
+let hashcons_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "hashcons" ]
+              ~doc:
+                "Hash-consed evaluation: repeated subtrees are evaluated \
+                 once and replayed; in parallel runs, fragments ship \
+                 DAG-compressed and repeated boundary payloads cross the \
+                 wire as intern references. Semantics are unchanged." );
+          (false, info [ "no-hashcons" ] ~doc:"Disable hash-consed evaluation (default).");
+        ])
+
 let optimize_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply the peephole optimizer.")
 
@@ -307,7 +323,8 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ machines_arg $ evaluator_arg
       $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
-      $ optimize_arg $ run_arg $ gantt_arg $ trace_arg $ events_arg
-      $ report_arg $ out_arg $ input_arg $ faults_arg $ fault_seed_arg)
+      $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
+      $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
+      $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

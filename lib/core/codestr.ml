@@ -125,6 +125,9 @@ let () =
           | V x, V y -> Some (equal x y)
           | V _, _ | _, V _ -> Some false
           | _ -> None);
+      (* [equal] is content-based (shape-insensitive), so the only cheap
+         hash consistent with it is the length. *)
+      ext_hash = (fun e -> match e with V t -> Some (length t) | _ -> None);
       ext_size = (fun e -> match e with V t -> Some (wire_size t) | _ -> None);
       ext_pp =
         (fun fmt e ->

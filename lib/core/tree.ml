@@ -125,6 +125,105 @@ let check g t =
             n.children)
     t
 
+(* ------------------------------------------------------------------ *)
+(* Structural sharing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type sharing = {
+  sh_classes : int;
+  sh_class : int array;
+  sh_size : int array;
+  sh_rep : int array;
+  sh_occurs : int array;
+}
+
+(* A node's shape, with children identified by their (already assigned)
+   class ids and terminal attributes canonicalized so equality can compare
+   them by identity. Class ids are exact — two nodes share a class iff
+   their subtrees are structurally identical — so reusing attributes
+   across a class never changes semantics. *)
+module Shape = struct
+  type key = {
+    k_sym : int;
+    k_prod : int;  (* production id, -1 for leaves *)
+    k_kids : int array;
+    k_attrs : (string * Value.t) list;  (* values canonical *)
+  }
+
+  type t = key
+
+  let equal a b =
+    a.k_sym = b.k_sym && a.k_prod = b.k_prod && a.k_kids = b.k_kids
+    && List.compare_lengths a.k_attrs b.k_attrs = 0
+    && List.for_all2
+         (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && v1 == v2)
+         a.k_attrs b.k_attrs
+
+  let hash k =
+    let mix h1 h2 = (h1 * 0x01000193) lxor (h2 + 0x9e3779b9 + (h1 lsl 6)) in
+    let h = mix k.k_sym k.k_prod in
+    let h = Array.fold_left mix h k.k_kids in
+    List.fold_left
+      (fun h (n, v) -> mix h (mix (Hashtbl.hash n) (Value.hash v)))
+      h k.k_attrs
+end
+
+module Shape_tbl = Hashtbl.Make (Shape)
+
+let sharing t =
+  let n = size t in
+  let cls = Array.make n (-1) in
+  let tbl = Shape_tbl.create (max 64 n) in
+  (* Per-class arrays, grown as classes are discovered (≤ n of them). *)
+  let csize = Array.make (max 1 n) 0 in
+  let crep = Array.make (max 1 n) 0 in
+  let coccurs = Array.make (max 1 n) 0 in
+  let next = ref 0 in
+  (* Postorder: children's classes are assigned before their parent's. *)
+  let rec go = function
+    | [] -> ()
+    | (node, true) :: rest ->
+        let key =
+          {
+            Shape.k_sym = node.sym_id;
+            k_prod =
+              (match node.prod with Some p -> p.Grammar.p_id | None -> -1);
+            k_kids = Array.map (fun c -> cls.(c.id)) node.children;
+            k_attrs =
+              List.map (fun (nm, v) -> (nm, Value.intern v)) node.term_attrs;
+          }
+        in
+        (match Shape_tbl.find_opt tbl key with
+        | Some c ->
+            cls.(node.id) <- c;
+            coccurs.(c) <- coccurs.(c) + 1
+        | None ->
+            let c = !next in
+            incr next;
+            Shape_tbl.replace tbl key c;
+            cls.(node.id) <- c;
+            csize.(c) <-
+              Array.fold_left (fun a ch -> a + csize.(cls.(ch.id))) 1
+                node.children;
+            crep.(c) <- node.id;
+            coccurs.(c) <- 1);
+        go rest
+    | (node, false) :: rest ->
+        go
+          (Array.fold_right
+             (fun c acc -> (c, false) :: acc)
+             node.children
+             ((node, true) :: rest))
+  in
+  go [ (t, false) ];
+  {
+    sh_classes = !next;
+    sh_class = cls;
+    sh_size = Array.sub csize 0 !next;
+    sh_rep = Array.sub crep 0 !next;
+    sh_occurs = Array.sub coccurs 0 !next;
+  }
+
 let rec pp fmt t =
   match t.prod with
   | None ->

@@ -46,4 +46,31 @@ val term_attr : t -> string -> Value.t
     rebuilt from a network message) against the grammar. *)
 val check : Grammar.t -> t -> unit
 
+(** {1 Structural sharing}
+
+    {!sharing} computes the DAG view of a tree: every node is assigned a
+    class id such that two nodes share a class {e iff} their subtrees are
+    structurally identical (same productions, same shape, equal terminal
+    attribute values). Classes are exact — they are found by bottom-up
+    shape interning, with terminal attributes canonicalized through
+    {!Value.intern} so key comparison is identity-based — which is what
+    lets an evaluator reuse one occurrence's synthesized attributes for
+    another occurrence of the same class without changing semantics
+    (provided the inherited context matches; that check is the memo key's
+    other half and lives in the evaluators). *)
+
+type sharing = {
+  sh_classes : int;  (** number of distinct subtree classes *)
+  sh_class : int array;  (** node id -> class id *)
+  sh_size : int array;  (** class id -> nodes in one subtree of the class *)
+  sh_rep : int array;
+      (** class id -> node id of the first (preorder) occurrence *)
+  sh_occurs : int array;  (** class id -> number of occurrences *)
+}
+
+(** Requires {!number} to have assigned preorder ids (so a subtree with
+    root id [i] and class [c] covers exactly ids [i .. i + sh_size.(c) - 1],
+    the contiguity that slot-range snapshot/replay relies on). *)
+val sharing : t -> sharing
+
 val pp : Format.formatter -> t -> unit

@@ -21,6 +21,8 @@ let with_base base f =
   let r = with_counter cursor f in
   (r, !cursor - base)
 
+let mark () = (Domain.DLS.get key).counter
+
 let fresh () =
   let st = Domain.DLS.get key in
   if not st.active then failwith "Uid.fresh: no active base (use with_counter)";

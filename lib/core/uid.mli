@@ -19,5 +19,10 @@ val with_base : int -> (unit -> 'a) -> 'a * int
 (** Next unique identifier. Must be called within a bracket. *)
 val fresh : unit -> int
 
+(** Current cursor position. Two equal {!mark}s around an evaluation step
+    witness that it consumed no identifiers — the condition under which a
+    memoized result may be replayed elsewhere without colliding labels. *)
+val mark : unit -> int
+
 (** Width reserved per evaluator: bases are spaced this far apart. *)
 val stride : int

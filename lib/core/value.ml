@@ -15,6 +15,7 @@ and ext = ..
 type ext_ops = {
   ext_name : string;
   ext_equal : ext -> ext -> bool option;
+  ext_hash : ext -> int option;
   ext_size : ext -> int option;
   ext_pp : Format.formatter -> ext -> bool;
 }
@@ -41,7 +42,17 @@ let ext_size e =
   in
   try_ops !ext_registry
 
+let ext_hash e =
+  let rec try_ops = function
+    | [] -> 0x7ead
+    | ops :: rest -> (
+        match ops.ext_hash e with Some h -> h | None -> try_ops rest)
+  in
+  try_ops !ext_registry
+
 let rec equal a b =
+  a == b
+  ||
   match (a, b) with
   | Unit, Unit -> true
   | Bool x, Bool y -> x = y
@@ -123,3 +134,138 @@ let as_tab ~ctx = function Tab t -> t | v -> mismatch ctx "symtab" v
 let str s = Str (Rope.of_string s)
 
 let of_rope r = Str r
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Values are interned bottom-up into a process-wide weak arena: children
+   are canonicalized first, so the arena's equality compares them with
+   [==]. The arena equality is deliberately FINER than {!equal} — ropes by
+   interned identity (shape-preserving), symbol tables by interned node
+   identity (shape-preserving), [Ext] payloads by [ext_equal] — which is
+   sound for an optimization: it never merges values that {!equal}
+   distinguishes, it merely declines to merge some that {!equal} would.
+   Correspondingly {!hash} is consistent with interning, not with
+   {!equal}. *)
+
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  (* Bounded-prefix polymorphic hash; physically equal values hash
+     equally — all an identity-keyed cache needs. *)
+  let hash = Hashtbl.hash
+end)
+
+let mix h1 h2 = (h1 * 0x01000193) lxor (h2 + 0x9e3779b9 + (h1 lsl 6))
+
+(* Structural hashes of canonical values, memoized by identity. *)
+let hash_memo : int Phys.t = Phys.create 1024
+
+(* Identity cache of already-interned values. Direct-mapped (not a
+   hashtable): an evaluation produces many physically distinct copies of
+   equal values, which hash alike under the content-based [Hashtbl.hash]
+   and would chain in one bucket of an identity-keyed table; here they
+   evict each other, and the fixed size doubles as the garbage-pinning
+   cap. *)
+let canon_memo : (t, t) Phys_cache.t = Phys_cache.create 16
+
+let remember v c = Phys_cache.replace canon_memo v c
+
+let rec value_interner =
+  lazy
+    (Symtab.interner ~value_hash:compute_hash ~value_identical:( == ) "symtab")
+
+and arena = lazy (Hcons.create ~hash:compute_hash ~equal:shallow_equal "value")
+
+(* Memo first; else a shallow mix over (already canonical) children. *)
+and compute_hash v =
+  match Phys.find_opt hash_memo v with
+  | Some h -> h
+  | None -> (
+      match v with
+      | Unit -> 0x11
+      | Bool false -> 0x22
+      | Bool true -> 0x23
+      | Int i -> mix 0x44 i
+      | Str r -> mix 0x33 (Rope.hash r)
+      | List l -> List.fold_left (fun acc x -> mix acc (compute_hash x)) 0x55 l
+      | Pair (a, b) -> mix 0x99 (mix (compute_hash a) (compute_hash b))
+      | Tab t ->
+          mix 0x66
+            (Symtab.hash (Lazy.force value_interner) ~intern_value:intern t)
+      | Ext e -> mix 0x77 (ext_hash e))
+
+and shallow_equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> x == y
+  | List x, List y -> List.compare_lengths x y = 0 && List.for_all2 ( == ) x y
+  | Pair (x1, x2), Pair (y1, y2) -> x1 == y1 && x2 == y2
+  | Tab x, Tab y -> x == y
+  | Ext x, Ext y -> ( try ext_equal x y with Type_error _ -> x == y)
+  | (Unit | Bool _ | Int _ | Str _ | List _ | Pair _ | Tab _ | Ext _), _ ->
+      false
+
+and intern v =
+  match Phys_cache.find_opt canon_memo v with
+  | Some c -> c
+  | None ->
+      let cand =
+        match v with
+        | Unit | Bool _ | Int _ | Ext _ -> v
+        | Str r ->
+            let r' = Rope.intern r in
+            if r' == r then v else Str r'
+        | List l ->
+            let l' = List.map intern l in
+            if List.for_all2 ( == ) l l' then v else List l'
+        | Pair (a, b) ->
+            let a' = intern a and b' = intern b in
+            if a' == a && b' == b then v else Pair (a', b')
+        | Tab t ->
+            let t' =
+              Symtab.intern (Lazy.force value_interner) ~intern_value:intern t
+            in
+            if t' == t then v else Tab t'
+      in
+      let canon = Hcons.intern (Lazy.force arena) cand in
+      if not (Phys.mem hash_memo canon) then
+        Phys.replace hash_memo canon (compute_hash canon);
+      remember v canon;
+      canon
+
+let hash v = compute_hash (intern v)
+
+let backref_bytes = 8
+
+(* DAG-encoded wire size, the counterpart of {!byte_size} for transfers
+   between two arena-aware peers: distinct canonical subvalues are counted
+   once (at their [byte_size] framing), repeats cost a fixed backreference
+   when that is cheaper. A sharing-free value costs exactly [byte_size]. *)
+let dag_byte_size v =
+  let seen : unit Phys.t = Phys.create 64 in
+  let rec go v =
+    if Phys.mem seen v then backref_bytes
+    else
+      let s =
+        match v with
+        | Unit | Bool _ -> 1
+        | Int _ -> 4
+        | Str r -> Rope.dag_size r
+        | List l -> List.fold_left (fun n x -> n + go x) 4 l
+        | Pair (a, b) -> go a + go b
+        | Tab tab ->
+            Symtab.fold
+              (fun name x n -> n + String.length name + go x + 4)
+              tab 4
+        | Ext e -> ext_size e
+      in
+      if s > backref_bytes then Phys.replace seen v ();
+      s
+  in
+  go (intern v)

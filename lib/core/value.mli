@@ -27,6 +27,10 @@ and ext = ..
 type ext_ops = {
   ext_name : string;
   ext_equal : ext -> ext -> bool option;
+  ext_hash : ext -> int option;
+      (** Must be consistent with [ext_equal]: payloads it deems equal must
+          hash equally. Inconsistency only costs missed sharing under
+          {!intern}, never wrong results. *)
   ext_size : ext -> int option;
   ext_pp : Format.formatter -> ext -> bool;
 }
@@ -41,6 +45,13 @@ val equal : t -> t -> bool
 
 (** Size in bytes of the flattened representation. *)
 val byte_size : t -> int
+
+(** Size in bytes of the DAG-encoded representation exchanged between two
+    arena-aware peers (the intern librarian): each distinct canonical
+    subvalue counted once, repeats cost a fixed backreference when that is
+    cheaper. Never larger than {!byte_size}; equal when the value has no
+    internal sharing. Interns the value. *)
+val dag_byte_size : t -> int
 
 val pp : Format.formatter -> t -> unit
 
@@ -65,3 +76,21 @@ val as_tab : ctx:string -> t -> t Pag_util.Symtab.t
 val str : string -> t
 
 val of_rope : Pag_util.Rope.t -> t
+
+(** {1 Hash-consing}
+
+    {!intern} returns the canonical representative of a value from a
+    process-wide weak arena ({!Pag_util.Hcons}), built bottom-up so that
+    structurally identical values (under a slightly finer relation than
+    {!equal}: shape-preserving for ropes and symbol tables) become
+    physically equal. Canonical values support O(1) equality ([==]) and
+    O(1) {!hash} — the keys of the evaluators' subtree memo tables and of
+    the intern librarian's wire cache. Interning never changes what
+    {!equal} observes. *)
+
+val intern : t -> t
+
+(** Structural hash consistent with {!intern} (physically equal canonical
+    values hash equally); not consistent with {!equal}, which is coarser.
+    O(1) on interned values; interns first otherwise. *)
+val hash : t -> int

@@ -15,7 +15,7 @@ exception Cycle of string
 
 let dummy_rule = Grammar.rule (Grammar.lhs "") ~deps:[] (fun _ -> Value.Unit)
 
-let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
+let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo g t =
   let graph_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   let store = Store.create ?root_inh g t in
   let total = Store.slot_count store in
@@ -38,6 +38,9 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
     t;
   let n_rules = !n_rules in
   let rule_rules = Array.make (max 1 n_rules) dummy_rule in
+  (* (production id, rule index) packed: identifies the semantic function
+     across nodes, the memo's notion of "the same rule". *)
+  let rule_key = Array.make (max 1 n_rules) 0 in
   let target_slot = Array.make (max 1 n_rules) 0 in
   let waiting = Array.make (max 1 n_rules) 0 in
   let arg_off = Array.make (n_rules + 1) 0 in
@@ -54,11 +57,12 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
       match node.Tree.prod with
       | None -> ()
       | Some p ->
-          Array.iter
-            (fun (r : Grammar.rule) ->
+          Array.iteri
+            (fun ridx (r : Grammar.rule) ->
               let rid = !rc in
               incr rc;
               rule_rules.(rid) <- r;
+              rule_key.(rid) <- (p.Grammar.p_id lsl 10) lor ridx;
               arg_off.(rid) <- !ac;
               let tgt = r.Grammar.r_rtarget in
               let tn =
@@ -136,7 +140,13 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
       args.(k - lo) <-
         (if c >= 0 then Store.slot_value store c else consts.(-c - 1))
     done;
-    let v = rule_rules.(rid).Grammar.r_fn args in
+    let v =
+      match memo with
+      | None -> rule_rules.(rid).Grammar.r_fn args
+      | Some m ->
+          Memo.apply_rule m ~rule_key:rule_key.(rid)
+            ~fn:rule_rules.(rid).Grammar.r_fn args
+    in
     incr evals;
     let ti = target_slot.(rid) in
     Store.define_slot store ti v;
@@ -154,6 +164,12 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
       ~t1:(obs.Obs.x_clock ()) "toposort-eval";
     let reg = obs.Obs.x_metrics in
     Obs.Metrics.add (Obs.Metrics.counter reg "eval.dynamic_rules") !evals;
+    (match memo with
+    | Some m ->
+        let hits, misses = Memo.rules_stats m in
+        Obs.Metrics.add (Obs.Metrics.counter reg "eval.memo_hits") hits;
+        Obs.Metrics.add (Obs.Metrics.counter reg "eval.memo_misses") misses
+    | None -> ());
     Obs.Metrics.add (Obs.Metrics.counter reg "graph.nodes") total;
     Obs.Metrics.add (Obs.Metrics.counter reg "graph.edges") wired;
     Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
@@ -169,8 +185,13 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh g t =
             left));
   (store, { instances = total; edges = wired; evals = !evals })
 
-let eval ?obs ?root_inh g t =
+let eval ?obs ?root_inh ?hashcons g t =
+  let memo =
+    match hashcons with
+    | Some true -> Some (Memo.create_rules ())
+    | Some false | None -> None
+  in
   let r, _ =
-    Pag_core.Uid.with_base 0 (fun () -> eval_inner ?obs ?root_inh g t)
+    Pag_core.Uid.with_base 0 (fun () -> eval_inner ?obs ?root_inh ?memo g t)
   in
   r

@@ -22,10 +22,18 @@ exception Cycle of string
 (** [eval ?obs g t]. With a live [obs] context, records spans for the two
     phases the paper charges the dynamic evaluator for (dependency-graph
     construction, topological evaluation) plus the [eval.dynamic_rules],
-    [graph.nodes], [graph.edges] and store counters. *)
+    [graph.nodes], [graph.edges] and store counters.
+
+    [~hashcons:true] memoizes rule applications on (rule, canonical
+    arguments) through a {!Memo.rules} cache — the dynamic evaluator fires
+    rules in data-driven order, so unlike the static evaluator it reuses
+    shared work per rule application rather than per subtree.
+    Label-consuming rules are detected and never memoized; semantics are
+    unchanged. *)
 val eval :
   ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
+  ?hashcons:bool ->
   Grammar.t ->
   Tree.t ->
   Store.t * stats

@@ -4,38 +4,51 @@ open Pag_obs
 
 type stats = { visits : int; evals : int }
 
-let visit plan store node v =
+let visit ?memo plan store node v =
   let visits = ref 0 and evals = ref 0 in
   let rec go node v =
     match node.Tree.prod with
     | None -> ()
-    | Some p ->
+    | Some p -> (
         incr visits;
-        List.iter
-          (function
-            | Kastens.Eval r ->
-                ignore (Store.apply_rule store node p.Grammar.p_rules.(r));
-                incr evals
-            | Kastens.Visit { child; visit } ->
-                go node.Tree.children.(child) visit)
-          (Kastens.visit_seq plan ~prod:p.Grammar.p_id ~visit:v)
+        match Memo.subtree memo plan store node v with
+        | Memo.Replayed -> ()
+        | Memo.Evaluate record ->
+            List.iter
+              (function
+                | Kastens.Eval r ->
+                    ignore (Store.apply_rule store node p.Grammar.p_rules.(r));
+                    incr evals
+                | Kastens.Visit { child; visit } ->
+                    go node.Tree.children.(child) visit)
+              (Kastens.visit_seq plan ~prod:p.Grammar.p_id ~visit:v);
+            (match record with Some f -> f () | None -> ()))
   in
   go node v;
   (!visits, !evals)
 
-let eval ?(obs = Obs.null_ctx) ?root_inh plan t =
+let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons plan t =
   let r, _ =
     Uid.with_base 0 (fun () ->
         let g = Kastens.grammar plan in
         let store =
           Obs.with_span obs "store-build" (fun () -> Store.create ?root_inh g t)
         in
+        let memo =
+          match hashcons with
+          | Some true ->
+              Some
+                (Obs.with_span obs "sharing-pass" (fun () ->
+                     Memo.create (Tree.sharing t)))
+          | Some false | None -> None
+        in
         let m = Kastens.visit_count plan t.Tree.sym in
         let visits = ref 0 and evals = ref 0 in
         Obs.with_span obs "static-visits" (fun () ->
             for v = 1 to m do
               let nv, ne =
-                Obs.with_span obs "visit" (fun () -> visit plan store t v)
+                Obs.with_span obs "visit" (fun () ->
+                    visit ?memo plan store t v)
               in
               visits := !visits + nv;
               evals := !evals + ne
@@ -44,6 +57,19 @@ let eval ?(obs = Obs.null_ctx) ?root_inh plan t =
           let reg = obs.Obs.x_metrics in
           Obs.Metrics.add (Obs.Metrics.counter reg "eval.visits") !visits;
           Obs.Metrics.add (Obs.Metrics.counter reg "eval.static_rules") !evals;
+          (match memo with
+          | Some mm ->
+              let st = Memo.stats mm in
+              Obs.Metrics.add
+                (Obs.Metrics.counter reg "eval.memo_hits")
+                st.Memo.st_hits;
+              Obs.Metrics.add
+                (Obs.Metrics.counter reg "eval.memo_misses")
+                st.Memo.st_misses;
+              Obs.Metrics.add
+                (Obs.Metrics.counter reg "eval.memo_replayed_slots")
+                st.Memo.st_replayed_slots
+          | None -> ());
           Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
           Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store));
           Obs.Metrics.add_gauge reg "store.slots"

@@ -18,15 +18,24 @@ type stats = {
     phase spans (store build, the visit passes) and the evaluation counters
     ([eval.visits], [eval.static_rules], [store.reads]/[store.writes]) are
     recorded; with the default {!Pag_obs.Obs.null_ctx} the instrumentation
-    costs one branch per phase and nothing per rule. *)
+    costs one branch per phase and nothing per rule.
+
+    [~hashcons:true] runs the {!Tree.sharing} pass first and evaluates the
+    DAG view through a {!Memo}: each shared subtree's visit is evaluated
+    once per inherited fingerprint and replayed at its other occurrences
+    ([eval.memo_hits]/[eval.memo_misses] count the outcomes). Semantics are
+    unchanged — mismatching contexts, fragment boundaries and
+    label-consuming subtrees all fall back to ordinary evaluation. *)
 val eval :
   ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
+  ?hashcons:bool ->
   Kastens.plan ->
   Tree.t ->
   Store.t * stats
 
 (** [visit plan store node v] runs visit [v] of [node] against an existing
     store — the entry point the combined evaluator uses on the roots of its
-    static subtrees. Returns (visits, evals) performed. *)
-val visit : Kastens.plan -> Store.t -> Tree.t -> int -> int * int
+    static subtrees. Returns (visits, evals) performed; a memoized subtree
+    replay counts as one visit and no evals. *)
+val visit : ?memo:Memo.t -> Kastens.plan -> Store.t -> Tree.t -> int -> int * int

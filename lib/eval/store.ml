@@ -267,19 +267,49 @@ let get_dep s (node : Tree.t) (d : Grammar.rref) =
         d.Grammar.rr_name dn.Tree.id
   end
 
-let apply_rule s node (rule : Grammar.rule) =
+let apply_rule_with s node (rule : Grammar.rule) ~fn =
   let deps = rule.Grammar.r_rdeps in
   let args = Array.make (Array.length deps) Value.Unit in
   for k = 0 to Array.length deps - 1 do
     args.(k) <- get_dep s node deps.(k)
   done;
-  let v = rule.Grammar.r_fn args in
+  let v = fn args in
   let t = rule.Grammar.r_rtarget in
   let tnode = node_of_pos node t.Grammar.rr_pos in
   set_slot s tnode t.Grammar.rr_name
     (s.base.(dense_index s tnode) + t.Grammar.rr_attr)
     v;
   v
+
+let apply_rule s node (rule : Grammar.rule) =
+  apply_rule_with s node rule ~fn:rule.Grammar.r_fn
+
+(* ------------------------------------------------------------------ *)
+(* Slot ranges (subtree memoization support)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense indices are strictly increasing in node id, so if the first and
+   last ids of a preorder range are covered and their dense indices differ
+   by exactly [id_count - 1], every id in between is covered too — an O(1)
+   contiguity check. Fragment stores whose stubs interrupt the range fail
+   it and the caller falls back to ordinary evaluation. *)
+let slot_range s ~id_lo ~id_count =
+  let i0 = id_lo - s.id_lo and i1 = id_lo + id_count - 1 - s.id_lo in
+  if i0 < 0 || i1 >= Array.length s.index_of then None
+  else
+    let d0 = s.index_of.(i0) and d1 = s.index_of.(i1) in
+    if d0 < 0 || d1 < 0 || d1 - d0 <> id_count - 1 then None
+    else Some (s.base.(d0), s.base.(d1 + 1))
+
+let snapshot_range s ~lo ~hi =
+  let acc = ref [] in
+  for slot = hi - 1 downto lo do
+    if slot_is_set s slot then acc := (slot - lo, s.vals.(slot)) :: !acc
+  done;
+  Array.of_list !acc
+
+let replay_range s ~lo entries =
+  Array.iter (fun (off, v) -> define_slot s (lo + off) v) entries
 
 (* ------------------------------------------------------------------ *)
 (* Iteration                                                           *)

@@ -77,6 +77,14 @@ val missing : t -> int
     target. Returns the computed value. *)
 val apply_rule : t -> Tree.t -> Grammar.rule -> Value.t
 
+(** [apply_rule_with store node rule ~fn] is {!apply_rule} with [fn]
+    substituted for the rule's own function — the hook a memoizing caller
+    uses to wrap the semantic function while keeping the store's
+    read/apply/write protocol. [fn] must be extensionally equal to
+    [rule.r_fn]. *)
+val apply_rule_with :
+  t -> Tree.t -> Grammar.rule -> fn:(Value.t array -> Value.t) -> Value.t
+
 (** Dependency / target instances of a rule at a node, as (node, attr)
     pairs. Terminal-attribute dependencies are excluded (always available). *)
 val rule_deps : t -> Tree.t -> Grammar.rule -> (Tree.t * string) list
@@ -110,3 +118,24 @@ val define_slot : t -> int -> Value.t -> unit
 
 (** Slot id of the instance a rule defines at [node]. *)
 val rule_target_slot : t -> Tree.t -> Grammar.rule -> int
+
+(** {1 Slot ranges}
+
+    Preorder node ids make a subtree a contiguous id range, and a store
+    covering that whole range maps it to a contiguous slot range — which
+    lets subtree memoization snapshot one occurrence's attributes and
+    replay them at another occurrence of the same shape by pure offset
+    arithmetic. *)
+
+(** [slot_range store ~id_lo ~id_count] — [Some (lo, hi)] (slots
+    [lo .. hi-1]) when all node ids [id_lo .. id_lo + id_count - 1] are
+    covered contiguously; [None] otherwise (e.g. a fragment store whose
+    stub interrupts the range). O(1). *)
+val slot_range : t -> id_lo:int -> id_count:int -> (int * int) option
+
+(** All set slots in [lo .. hi-1] as (offset from [lo], value) pairs. *)
+val snapshot_range : t -> lo:int -> hi:int -> (int * Value.t) array
+
+(** Define each snapshot entry at [lo] + offset. Entries equal to already
+    set slots are idempotent no-ops, like any re-{!set}. *)
+val replay_range : t -> lo:int -> (int * Value.t) array -> unit

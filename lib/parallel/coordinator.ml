@@ -60,20 +60,27 @@ let eval_locally ?obs (env : Transport.env) (r : recovery) g tree expected =
   env.Transport.e_delay cost;
   List.map (fun a -> (a, Store.get store tree a)) expected
 
-let run ?(obs = Obs.null_ctx) ?recovery (env : Transport.env) g ~tree ~plan
-    ~librarian =
+let run ?(obs = Obs.null_ctx) ?recovery ?sharing (env : Transport.env) g ~tree
+    ~plan ~librarian =
   let frags = Split.fragments plan in
   let evaluators =
     Array.to_list (Array.map (fun (f : Split.fragment) -> f.Split.fr_id + 1) frags)
   in
-  (* Hand out subtrees; evaluator for fragment i is machine i+1. *)
+  (* Hand out subtrees; evaluator for fragment i is machine i+1. With
+     sharing classes known on both ends, repeated subtrees ship as
+     backreferences ({!Split.dag_bytes}) — less wire and less rebuild. *)
+  let frag_bytes (f : Split.fragment) =
+    match sharing with
+    | Some sh -> Split.dag_bytes plan sh f
+    | None -> f.Split.fr_bytes
+  in
   Array.iter
     (fun (f : Split.fragment) ->
       env.Transport.e_send ~dst:(f.Split.fr_id + 1)
         (Message.Subtree
            {
              frag = f.Split.fr_id;
-             bytes = f.Split.fr_bytes;
+             bytes = frag_bytes f;
              uid_base = (f.Split.fr_id + 1) * Uid.stride;
            }))
     frags;

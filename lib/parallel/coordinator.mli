@@ -29,10 +29,15 @@ type recovery = {
     text, and a flag that is [true] when a crash forced local recovery.
     With a live [obs] context the two coordinator phases (collecting root
     attributes, resolving librarian descriptors) are recorded as spans and
-    a local recovery as an instant event. *)
+    a local recovery as an instant event.
+
+    [?sharing] (the tree's {!Pag_core.Tree.sharing} classes) charges each
+    [Subtree] assignment its DAG-compressed size ({!Split.dag_bytes})
+    instead of the full linearized size. *)
 val run :
   ?obs:Pag_obs.Obs.ctx ->
   ?recovery:recovery ->
+  ?sharing:Tree.sharing ->
   Transport.env ->
   Grammar.t ->
   tree:Tree.t ->

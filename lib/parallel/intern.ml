@@ -1,0 +1,230 @@
+open Pag_core
+open Pag_util
+open Pag_obs
+
+type stats = {
+  mutable is_binds : int;
+  mutable is_refs : int;
+  mutable is_needs : int;
+  mutable is_backfills : int;
+  mutable is_saved_bytes : int;
+}
+
+(* Payloads are keyed by their hash-consed representative, so the per-peer
+   "already sent" table can be identity-keyed: equal payloads intern to the
+   same canonical value. Code fragments reuse the value arena by travelling
+   as [Value.Str]. *)
+type sender = { sn_sent : (Value.t, int) Phys_tbl.t }
+
+type t = {
+  base : Transport.env;
+  threshold : int;
+  senders : (int, sender) Hashtbl.t;  (* dst -> per-peer intern table *)
+  mutable next_iid : int;
+  by_iid : (int, Value.t) Hashtbl.t;  (* our bindings, for Backfill *)
+  seen : (int * int, Value.t) Hashtbl.t;  (* (src, iid) -> bound payload *)
+  pending : (int * int, Message.t list ref) Hashtbl.t;
+      (* references that arrived before their binding *)
+  ready : Message.t Queue.t;
+  st : stats;
+  c_binds : Obs.Metrics.counter;
+  c_refs : Obs.Metrics.counter;
+  c_needs : Obs.Metrics.counter;
+  c_backfills : Obs.Metrics.counter;
+  c_saved : Obs.Metrics.counter;
+}
+
+let wrap ?(obs = Obs.null_ctx) ?(threshold = 32) base =
+  let reg = obs.Obs.x_metrics in
+  {
+    base;
+    threshold;
+    senders = Hashtbl.create 8;
+    next_iid = 0;
+    by_iid = Hashtbl.create 64;
+    seen = Hashtbl.create 64;
+    pending = Hashtbl.create 8;
+    ready = Queue.create ();
+    st =
+      {
+        is_binds = 0;
+        is_refs = 0;
+        is_needs = 0;
+        is_backfills = 0;
+        is_saved_bytes = 0;
+      };
+    c_binds = Obs.Metrics.counter reg "intern.binds";
+    c_refs = Obs.Metrics.counter reg "intern.refs";
+    c_needs = Obs.Metrics.counter reg "intern.needs";
+    c_backfills = Obs.Metrics.counter reg "intern.backfills";
+    c_saved = Obs.Metrics.counter reg "intern.saved_bytes";
+  }
+
+let stats t = t.st
+
+let sender_for t dst =
+  match Hashtbl.find_opt t.senders dst with
+  | Some s -> s
+  | None ->
+      let s = { sn_sent = Phys_tbl.create 64 } in
+      Hashtbl.add t.senders dst s;
+      s
+
+(* Intern [v] towards [dst]: [Ok iid] if the peer already holds it (send a
+   reference), [Error iid] if this transmission must bind it. *)
+let lookup t ~dst v =
+  let s = sender_for t dst in
+  match Phys_tbl.find_opt s.sn_sent v with
+  | Some iid -> Ok iid
+  | None ->
+      let iid = t.next_iid in
+      t.next_iid <- iid + 1;
+      Phys_tbl.replace s.sn_sent v iid;
+      Hashtbl.replace t.by_iid iid v;
+      Error iid
+
+let saved t ~plain ~wire =
+  let d = Message.size plain - Message.size wire in
+  t.st.is_saved_bytes <- t.st.is_saved_bytes + d;
+  Obs.Metrics.add t.c_saved d
+
+let send t ~dst m =
+  let wire =
+    match m with
+    | Message.Attr { node; attr; value }
+      when Value.byte_size value >= t.threshold -> (
+        let v = Value.intern value in
+        match lookup t ~dst v with
+        | Ok iid ->
+            t.st.is_refs <- t.st.is_refs + 1;
+            Obs.Metrics.incr t.c_refs;
+            let wire =
+              Message.Attr_ref
+                {
+                  src = t.base.Transport.e_id;
+                  node;
+                  attr;
+                  iid;
+                  hash = Value.hash v;
+                }
+            in
+            saved t ~plain:m ~wire;
+            wire
+        | Error iid ->
+            t.st.is_binds <- t.st.is_binds + 1;
+            Obs.Metrics.incr t.c_binds;
+            Message.Attr_bind
+              { src = t.base.Transport.e_id; node; attr; iid; value = v })
+    | Message.Code_frag { id; text } when Rope.length text >= t.threshold -> (
+        let v = Value.intern (Value.Str text) in
+        match lookup t ~dst v with
+        | Ok iid ->
+            t.st.is_refs <- t.st.is_refs + 1;
+            Obs.Metrics.incr t.c_refs;
+            let wire =
+              Message.Code_frag_ref
+                { src = t.base.Transport.e_id; id; iid; hash = Value.hash v }
+            in
+            saved t ~plain:m ~wire;
+            wire
+        | Error iid ->
+            t.st.is_binds <- t.st.is_binds + 1;
+            Obs.Metrics.incr t.c_binds;
+            let text =
+              match v with Value.Str r -> r | _ -> assert false
+            in
+            Message.Code_frag_bind
+              { src = t.base.Transport.e_id; id; iid; text })
+    | m -> m
+  in
+  t.base.Transport.e_send ~dst wire
+
+(* A reference is decoded back to the plain message it stood for. *)
+let decode m v =
+  match m with
+  | Message.Attr_ref { node; attr; _ } ->
+      Message.Attr { node; attr; value = v }
+  | Message.Code_frag_ref { id; _ } ->
+      let text = match v with Value.Str r -> r | _ -> assert false in
+      Message.Code_frag { id; text }
+  | _ -> assert false
+
+(* Bind (src, iid) -> v and release any references stashed on it. *)
+let resolve t ~src ~iid v =
+  Hashtbl.replace t.seen (src, iid) v;
+  match Hashtbl.find_opt t.pending (src, iid) with
+  | None -> ()
+  | Some stash ->
+      Hashtbl.remove t.pending (src, iid);
+      List.iter (fun m -> Queue.add (decode m v) t.ready) (List.rev !stash)
+
+(* Stash a reference whose binding has not arrived and ask for a backfill.
+   On ordered transports this never fires; under fault injection the
+   reliable layer may deliver the binding late or (re)deliver references
+   first, and the explicit Need/Backfill round-trip fills the gap. *)
+let miss t ~src ~iid m =
+  (match Hashtbl.find_opt t.pending (src, iid) with
+  | Some stash -> stash := m :: !stash
+  | None -> Hashtbl.add t.pending (src, iid) (ref [ m ]));
+  t.st.is_needs <- t.st.is_needs + 1;
+  Obs.Metrics.incr t.c_needs;
+  t.base.Transport.e_send ~dst:src
+    (Message.Need_intern { src = t.base.Transport.e_id; iid })
+
+(* Translate one message off the base transport; enqueue whatever plain
+   messages it yields. Intern traffic never escapes the wrapper. *)
+let handle t m =
+  match m with
+  | Message.Attr_bind { src; node; attr; iid; value } ->
+      resolve t ~src ~iid value;
+      Queue.add (Message.Attr { node; attr; value }) t.ready
+  | Message.Code_frag_bind { src; id; iid; text } ->
+      resolve t ~src ~iid (Value.Str text);
+      Queue.add (Message.Code_frag { id; text }) t.ready
+  | Message.(Attr_ref { src; iid; hash; _ } as r)
+  | Message.(Code_frag_ref { src; iid; hash; _ } as r) -> (
+      match Hashtbl.find_opt t.seen (src, iid) with
+      | Some v when Value.hash v = hash -> Queue.add (decode r v) t.ready
+      | Some _ | None -> miss t ~src ~iid r)
+  | Message.Need_intern { src; iid } -> (
+      match Hashtbl.find_opt t.by_iid iid with
+      | Some v ->
+          t.st.is_backfills <- t.st.is_backfills + 1;
+          Obs.Metrics.incr t.c_backfills;
+          t.base.Transport.e_send ~dst:src
+            (Message.Backfill { src = t.base.Transport.e_id; iid; value = v })
+      | None -> () (* unknown id: stale need from a restarted peer *))
+  | Message.Backfill { src; iid; value } -> resolve t ~src ~iid value
+  | m -> Queue.add m t.ready
+
+let rec recv t =
+  match Queue.take_opt t.ready with
+  | Some m -> m
+  | None ->
+      handle t (t.base.Transport.e_recv ());
+      recv t
+
+let recv_timeout t d =
+  let deadline = t.base.Transport.e_time () +. d in
+  let rec go () =
+    match Queue.take_opt t.ready with
+    | Some m -> Some m
+    | None ->
+        let left = deadline -. t.base.Transport.e_time () in
+        if left <= 0.0 then None
+        else
+          match t.base.Transport.e_recv_timeout left with
+          | Some m ->
+              handle t m;
+              go ()
+          | None -> None
+  in
+  go ()
+
+let env t =
+  {
+    t.base with
+    Transport.e_send = (fun ~dst m -> send t ~dst m);
+    e_recv = (fun () -> recv t);
+    e_recv_timeout = (fun d -> recv_timeout t d);
+  }

@@ -1,0 +1,43 @@
+(** Cross-machine intern librarian: transparent payload deduplication.
+
+    Generalizes the paper's string librarian from code fragments to every
+    large payload crossing machine boundaries. The wrapper sits above the
+    transport (and above {!Reliable} when fault injection is active): the
+    first time a machine sends a given attribute value or code-fragment text
+    to a peer it travels as an [*_bind] message carrying the payload plus a
+    sender-scoped intern id; every later transmission of an equal payload to
+    the same peer is an [*_ref] of [2 * Message.iid_bytes] instead of the
+    flattened bytes. "Equal" is decided by hash-consing ({!Pag_core.Value.intern}):
+    the per-peer table is identity-keyed on canonical representatives, so
+    lookup is O(1) with no structural comparison on the send path.
+
+    Receivers translate binds and references back into the plain {!Message.Attr}
+    / {!Message.Code_frag} messages, so process code is oblivious to the
+    scheme. A reference arriving before its binding (reordered delivery under
+    fault injection) is stashed while a {!Message.Need_intern} /
+    {!Message.Backfill} round-trip fetches the payload — delivery order of
+    *other* messages is preserved only as well as the underlying transport
+    preserves it, which matches the existing contract. *)
+
+open Pag_obs
+
+type stats = {
+  mutable is_binds : int;  (** payloads sent in full, establishing a binding *)
+  mutable is_refs : int;  (** payloads replaced by an intern reference *)
+  mutable is_needs : int;  (** cache misses that requested a backfill *)
+  mutable is_backfills : int;  (** backfills served to peers *)
+  mutable is_saved_bytes : int;  (** wire bytes saved by references *)
+}
+
+type t
+
+(** [wrap ?obs ?threshold base] layers interning over [base]. Payloads
+    smaller than [threshold] bytes (default 32) are not worth a table slot
+    and travel plain. *)
+val wrap : ?obs:Obs.ctx -> ?threshold:int -> Transport.env -> t
+
+val stats : t -> stats
+
+(** The wrapped environment; same shape as [base], delivering only plain
+    messages. *)
+val env : t -> Transport.env

@@ -11,10 +11,25 @@ type t =
   | Data of { src : int; seq : int; payload : t }
   | Ack of { src : int; seq : int }
   | Ping
+  (* Intern-librarian protocol (the generalized string librarian): the
+     first transmission of a payload to a peer binds it to a sender-scoped
+     intern id; later transmissions of an equal payload to the same peer
+     send only the (id, hash) reference. [src] is explicit because these
+     cross the reliable layer inside [Data] envelopes, whose origin the
+     receiving wrapper no longer sees. *)
+  | Attr_bind of { src : int; node : int; attr : string; iid : int; value : Value.t }
+  | Attr_ref of { src : int; node : int; attr : string; iid : int; hash : int }
+  | Code_frag_bind of { src : int; id : int; iid : int; text : Rope.t }
+  | Code_frag_ref of { src : int; id : int; iid : int; hash : int }
+  | Need_intern of { src : int; iid : int }
+  | Backfill of { src : int; iid : int; value : Value.t }
 
 let header_bytes = 16
 
 let seq_bytes = 8
+
+(* An intern id on the wire; a reference also carries the 8-byte hash. *)
+let iid_bytes = 8
 
 let rec size = function
   | Subtree s -> header_bytes + s.bytes
@@ -26,6 +41,18 @@ let rec size = function
   | Data d -> seq_bytes + size d.payload
   | Ack _ -> header_bytes
   | Ping -> header_bytes
+  (* Binds travel between arena-aware peers, so their payloads ship
+     DAG-encoded: repeated subvalues cost a backreference, not their text
+     (dag_byte_size = byte_size when the value has no sharing). *)
+  | Attr_bind a ->
+      header_bytes + String.length a.attr
+      + Value.dag_byte_size a.value
+      + iid_bytes
+  | Attr_ref a -> header_bytes + String.length a.attr + (2 * iid_bytes)
+  | Code_frag_bind c -> header_bytes + Rope.dag_size c.text + iid_bytes
+  | Code_frag_ref _ -> header_bytes + (2 * iid_bytes)
+  | Need_intern _ -> header_bytes + iid_bytes
+  | Backfill b -> header_bytes + Value.dag_byte_size b.value + iid_bytes
 
 let rec pp fmt = function
   | Subtree s -> Format.fprintf fmt "Subtree(frag=%d,%dB)" s.frag s.bytes
@@ -37,3 +64,16 @@ let rec pp fmt = function
   | Data d -> Format.fprintf fmt "Data(src=%d,seq=%d,%a)" d.src d.seq pp d.payload
   | Ack a -> Format.fprintf fmt "Ack(src=%d,seq=%d)" a.src a.seq
   | Ping -> Format.fprintf fmt "Ping"
+  | Attr_bind a ->
+      Format.fprintf fmt "AttrBind(src=%d,node=%d,%s,iid=%d)" a.src a.node
+        a.attr a.iid
+  | Attr_ref a ->
+      Format.fprintf fmt "AttrRef(src=%d,node=%d,%s,iid=%d)" a.src a.node
+        a.attr a.iid
+  | Code_frag_bind c ->
+      Format.fprintf fmt "CodeFragBind(src=%d,%d,iid=%d,%dB)" c.src c.id c.iid
+        (Rope.length c.text)
+  | Code_frag_ref c ->
+      Format.fprintf fmt "CodeFragRef(src=%d,%d,iid=%d)" c.src c.id c.iid
+  | Need_intern n -> Format.fprintf fmt "NeedIntern(src=%d,iid=%d)" n.src n.iid
+  | Backfill b -> Format.fprintf fmt "Backfill(src=%d,iid=%d)" b.src b.iid

@@ -30,13 +30,34 @@ type t =
   | Ack of { src : int; seq : int }
       (** acknowledges {!Data} [seq]; [src] is the acknowledging machine *)
   | Ping  (** liveness probe; acked by the reliable layer, never delivered *)
+  | Attr_bind of {
+      src : int;
+      node : int;
+      attr : string;
+      iid : int;
+      value : Value.t;
+    }
+      (** {!Attr} carrying a payload the sender has not yet interned at the
+          receiver: binds [iid] (sender-scoped) to [value] ({!Intern}) *)
+  | Attr_ref of { src : int; node : int; attr : string; iid : int; hash : int }
+      (** {!Attr} whose payload was already bound: only [(iid, hash)] travels *)
+  | Code_frag_bind of { src : int; id : int; iid : int; text : Rope.t }
+  | Code_frag_ref of { src : int; id : int; iid : int; hash : int }
+  | Need_intern of { src : int; iid : int }
+      (** receiver's cache miss on a reference: ask [src]'s sender to
+          retransmit the bound payload *)
+  | Backfill of { src : int; iid : int; value : Value.t }
+      (** answer to {!Need_intern}: the payload bound to [iid] at [src] *)
 
 (** Wire size in bytes (header + payload). A [Data] envelope adds
-    {!seq_bytes} over its payload. *)
+    {!seq_bytes} over its payload; intern binds add {!iid_bytes}, intern
+    references cost a fixed [2 * iid_bytes] instead of the payload. *)
 val size : t -> int
 
 val header_bytes : int
 
 val seq_bytes : int
+
+val iid_bytes : int
 
 val pp : Format.formatter -> t -> unit

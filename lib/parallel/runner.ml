@@ -8,6 +8,7 @@ type options = {
   granularity : float;
   use_priority : bool;
   use_librarian : bool;
+  use_hashcons : bool;
   cost : Cost.t;
   net_params : Ethernet.params;
   phase_label : int -> string option;
@@ -24,6 +25,7 @@ let default_options =
     granularity = 1.0;
     use_priority = true;
     use_librarian = true;
+    use_hashcons = false;
     cost = Cost.default;
     net_params = Ethernet.default_params;
     phase_label = (fun _ -> None);
@@ -66,6 +68,7 @@ let worker_config opts g plan =
     wc_librarian = None (* patched per run: librarian machine id *);
     wc_phase_label = opts.phase_label;
     wc_obs = Obs.null_ctx (* patched per run: per-machine context *);
+    wc_sharing = None (* patched per run: tree-sharing classes *);
   }
 
 let make_task plan (f : Split.fragment) nodes_by_id =
@@ -209,6 +212,12 @@ let rec message_label = function
   | Message.Data { payload; _ } -> message_label payload
   | Message.Ack _ -> "ack"
   | Message.Ping -> "ping"
+  | Message.Attr_bind { attr; _ } -> attr ^ " (bind)"
+  | Message.Attr_ref { attr; _ } -> attr ^ " (ref)"
+  | Message.Code_frag_bind _ -> "code fragment (bind)"
+  | Message.Code_frag_ref _ -> "code fragment (ref)"
+  | Message.Need_intern _ -> "need intern"
+  | Message.Backfill _ -> "intern backfill"
 
 let sim_env _sim id =
   {
@@ -226,6 +235,9 @@ let sim_env _sim id =
 
 let run_sim opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
+  (* Sharing classes are computed once on the numbered tree; the immutable
+     arrays are read concurrently by every machine's memo. *)
+  let sharing = if opts.use_hashcons then Some (Tree.sharing tree) else None in
   let nfrags = Split.count split in
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let sim = S.create ~params:opts.net_params () in
@@ -240,12 +252,20 @@ let run_sim opts g plan tree =
   let machine_env id =
     let obs = ctxs.(id) in
     let raw = sim_env sim id in
-    if faulty then begin
-      let l = Reliable.wrap ~obs ~rto ~max_tries:sim_max_tries raw in
-      links := l :: !links;
-      (Reliable.env l, Some l, obs)
-    end
-    else (raw, None, obs)
+    let base, link =
+      if faulty then begin
+        let l = Reliable.wrap ~obs ~rto ~max_tries:sim_max_tries raw in
+        links := l :: !links;
+        (Reliable.env l, Some l)
+      end
+      else (raw, None)
+    in
+    (* Interning sits above reliable delivery: binds and references are
+       retransmitted like any payload, backfills cover reordering. *)
+    let env =
+      if opts.use_hashcons then Intern.env (Intern.wrap ~obs base) else base
+    in
+    (env, link, obs)
   in
   let stats = Array.make nfrags None in
   let attrs = ref [] in
@@ -267,7 +287,7 @@ let run_sim opts g plan tree =
   let _ =
     S.spawn sim ~name:"parser" (fun () ->
         let a, rec_ =
-          Coordinator.run ~obs:coord_obs ?recovery coord_env g ~tree
+          Coordinator.run ~obs:coord_obs ?recovery ?sharing coord_env g ~tree
             ~plan:split ~librarian:librarian_id
         in
         attrs := a;
@@ -287,6 +307,7 @@ let run_sim opts g plan tree =
               { (worker_config opts g plan) with
                 Worker.wc_librarian = librarian_id;
                 wc_obs = wobs;
+                wc_sharing = sharing;
               }
             in
             stats.(id) <- Some (Worker.run env cfg (make_task split f nodes_by_id)))
@@ -408,6 +429,7 @@ let dom_watchdog = 0.2
 
 let run_domains opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
+  let sharing = if opts.use_hashcons then Some (Tree.sharing tree) else None in
   let nfrags = Split.count split in
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let nmachines = nfrags + 2 in
@@ -472,14 +494,20 @@ let run_domains opts g plan tree =
         e_flush = (fun () -> ());
       }
     in
-    if faulty then begin
-      let l = Reliable.wrap ~obs ~rto:dom_rto raw in
-      Mutex.lock links;
-      all_links := l :: !all_links;
-      Mutex.unlock links;
-      (Reliable.env l, Some l, obs)
-    end
-    else (raw, None, obs)
+    let base, link =
+      if faulty then begin
+        let l = Reliable.wrap ~obs ~rto:dom_rto raw in
+        Mutex.lock links;
+        all_links := l :: !all_links;
+        Mutex.unlock links;
+        (Reliable.env l, Some l)
+      end
+      else (raw, None)
+    in
+    let env =
+      if opts.use_hashcons then Intern.env (Intern.wrap ~obs base) else base
+    in
+    (env, link, obs)
   in
   let t0 = Unix.gettimeofday () in
   let worker_domains =
@@ -495,6 +523,7 @@ let run_domains opts g plan tree =
                    { (worker_config opts g plan) with
                      Worker.wc_librarian = librarian_id;
                      wc_obs = wobs;
+                     wc_sharing = sharing;
                    }
                  in
                  Worker.run env cfg (make_task split f nodes_by_id))))
@@ -522,8 +551,8 @@ let run_domains opts g plan tree =
       coord_link
   in
   let attrs, recovered =
-    Coordinator.run ~obs:coord_obs ?recovery coord_env g ~tree ~plan:split
-      ~librarian:librarian_id
+    Coordinator.run ~obs:coord_obs ?recovery ?sharing coord_env g ~tree
+      ~plan:split ~librarian:librarian_id
   in
   let worker_stats =
     collect_worker_stats ~faulty

@@ -24,6 +24,12 @@ type options = {
   granularity : float;
   use_priority : bool;
   use_librarian : bool;
+  use_hashcons : bool;
+      (** hash-consed evaluation: subtree/rule memoization in the workers
+          (driven by a {!Pag_core.Tree.sharing} pass over the whole tree),
+          DAG-compressed [Subtree] shipping, and the cross-machine intern
+          librarian ({!Intern}) deduplicating boundary payloads on the wire.
+          Off by default; semantics are unchanged either way. *)
   cost : Cost.t;
   net_params : Ethernet.params;
   phase_label : int -> string option;

@@ -174,6 +174,41 @@ let decompose g tree ~machines ~granularity =
 
 let fragments p = p.frags
 
+(* Wire size of a fragment when sender and receiver both know the tree's
+   sharing classes: the second and later occurrences of a repeated subtree
+   ship as a fixed-size reference to the first, provided the occurrence's id
+   range contains no cut (a cut boundary makes occurrences structurally
+   different on this machine even when the full subtrees are equal). *)
+let backref_bytes = 8
+
+let dag_bytes p (sh : Tree.sharing) (f : fragment) =
+  let cuts = p.cut_lists.(f.fr_id) in
+  let range_clean id c =
+    let hi = id + sh.Tree.sh_size.(c) in
+    List.for_all (fun cid -> cid < id || cid >= hi) cuts
+  in
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let stack = ref [ f.fr_root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        if not (List.mem n.Tree.id cuts) then begin
+          let c = sh.Tree.sh_class.(n.Tree.id) in
+          let clean = range_clean n.Tree.id c in
+          if sh.Tree.sh_occurs.(c) > 1 && clean && Hashtbl.mem seen c then
+            total := !total + backref_bytes
+          else begin
+            if clean then Hashtbl.replace seen c ();
+            total := !total + node_bytes n;
+            Array.iter (fun ch -> stack := ch :: !stack) n.Tree.children
+          end
+        end
+  done;
+  !total
+
 let fragment_of_cut_node p node_id = Hashtbl.find_opt p.cut_to_frag node_id
 
 let cuts_of p frag_id = p.cut_lists.(frag_id)

@@ -42,5 +42,12 @@ val cuts_of : plan -> int -> int list
 (** Fragment count (≤ machines). *)
 val count : plan -> int
 
+(** [dag_bytes plan sharing f]: wire size of fragment [f] when both ends
+    know the tree's sharing classes — repeated subtrees (occurrences after
+    the first, within this fragment, whose id range contains no cut) cost a
+    fixed backreference instead of their linearized bytes. Never larger than
+    [f.fr_bytes]. *)
+val dag_bytes : plan -> Tree.sharing -> fragment -> int
+
 (** Render the decomposition as an indented tree with sizes (figure 7). *)
 val pp : Format.formatter -> plan -> unit

@@ -14,6 +14,7 @@ type config = {
   wc_librarian : int option;
   wc_phase_label : int -> string option;
   wc_obs : Obs.ctx;
+  wc_sharing : Tree.sharing option;
 }
 
 type task = {
@@ -70,6 +71,15 @@ let run_protocol (env : Transport.env) cfg task =
     | `Combined, Some p -> Some p
     | `Combined, None -> stuck "combined mode requires an evaluation plan"
     | `Dynamic, _ -> None
+  in
+  (* Hash-consed evaluation: subtree memo for static visits (shared classes
+     computed once on the whole tree, valid inside any fragment thanks to
+     the store's slot-range contiguity check), rule memo for spine rules. *)
+  let memo = Option.map Memo.create cfg.wc_sharing in
+  let rmemo =
+    match cfg.wc_sharing with
+    | Some _ -> Some (Memo.create_rules ())
+    | None -> None
   in
   (* ---- 1. Await the subtree assignment; stash early attribute msgs. ---- *)
   let stash = ref [] in
@@ -378,11 +388,26 @@ let run_protocol (env : Transport.env) cfg task =
         if waiting.(c) = 0 then enqueue c)
       consumers.(id)
   in
+  (* The memo identifies a semantic function as (production id, rule index)
+     packed into an int; the scan is over a handful of rules per production. *)
+  let rule_key (n : Tree.t) (r : Grammar.rule) =
+    match n.Tree.prod with
+    | None -> assert false
+    | Some p ->
+        let rec idx i = if p.Grammar.p_rules.(i) == r then i else idx (i + 1) in
+        (p.Grammar.p_id lsl 10) lor idx 0
+  in
   let execute id =
     match items.(id) with
     | IRule (n, r) ->
         Uid.with_counter uid_cursor (fun () ->
-            ignore (Store.apply_rule store n r));
+            match rmemo with
+            | None -> ignore (Store.apply_rule store n r)
+            | Some m ->
+                let key = rule_key n r in
+                ignore
+                  (Store.apply_rule_with store n r ~fn:(fun args ->
+                       Memo.apply_rule m ~rule_key:key ~fn:r.Grammar.r_fn args)));
         env.Transport.e_delay (Cost.rule_cost cfg.wc_cost ~dynamic:true);
         incr dynamic_rules;
         if obs_on then begin
@@ -403,7 +428,7 @@ let run_protocol (env : Transport.env) cfg task =
           | None -> assert false
           | Some p ->
               Uid.with_counter uid_cursor (fun () ->
-                  Static_eval.visit p store c v)
+                  Static_eval.visit ?memo p store c v)
         in
         env.Transport.e_delay (Cost.visit_cost cfg.wc_cost ~visits:nv ~evals:ne);
         if obs_on then
@@ -468,6 +493,19 @@ let run_protocol (env : Transport.env) cfg task =
     bump "worker.graph_edges" !edge_count;
     bump "worker.spine_nodes" spine_len;
     bump "net.bytes" !bytes_flattened;
+    (match memo with
+    | Some mm ->
+        let st = Memo.stats mm in
+        bump "eval.memo_hits" st.Memo.st_hits;
+        bump "eval.memo_misses" st.Memo.st_misses;
+        bump "eval.memo_replayed_slots" st.Memo.st_replayed_slots
+    | None -> ());
+    (match rmemo with
+    | Some m ->
+        let h, ms = Memo.rules_stats m in
+        bump "eval.rule_memo_hits" h;
+        bump "eval.rule_memo_misses" ms
+    | None -> ());
     Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
     Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store));
     Obs.Metrics.add_gauge reg "worker.idle_wait" !idle_wait

@@ -34,6 +34,11 @@ type config = {
       (** trace label for the first execution of a static visit [v] *)
   wc_obs : Pag_obs.Obs.ctx;
       (** telemetry context; {!Pag_obs.Obs.null_ctx} disables recording *)
+  wc_sharing : Tree.sharing option;
+      (** tree-sharing classes of the whole tree ({!Pag_core.Tree.sharing});
+          [Some] enables hash-consed evaluation — static visits of repeated
+          subtrees are memoized per inherited fingerprint, spine rules per
+          canonical argument vector *)
 }
 
 type task = {

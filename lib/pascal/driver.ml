@@ -28,7 +28,7 @@ let compiled_of_attrs attrs =
     c_errors = Pascal_ag.errors_of_attrs attrs;
   }
 
-let compile ?obs ?(evaluator = `Static) prog =
+let compile ?obs ?hashcons ?(evaluator = `Static) prog =
   let tree =
     match obs with
     | Some x when Pag_obs.Obs.ctx_enabled x ->
@@ -39,10 +39,10 @@ let compile ?obs ?(evaluator = `Static) prog =
   let store =
     match evaluator with
     | `Static ->
-        let store, _ = Static_eval.eval ?obs (Lazy.force plan) tree in
+        let store, _ = Static_eval.eval ?obs ?hashcons (Lazy.force plan) tree in
         store
     | `Dynamic ->
-        let store, _ = Dynamic.eval ?obs Pascal_ag.grammar tree in
+        let store, _ = Dynamic.eval ?obs ?hashcons Pascal_ag.grammar tree in
         store
     | `Oracle -> Oracle.eval Pascal_ag.grammar tree
   in

@@ -26,9 +26,12 @@ val phase_label : int -> string option
 
 (** Sequential compilation with the chosen evaluator. With a live [obs]
     context (pid 0, wall clock), the tree build and the evaluator phases
-    are recorded as spans alongside the evaluation counters. *)
+    are recorded as spans alongside the evaluation counters.
+    [~hashcons:true] enables hash-consed (memoized) evaluation for the
+    [`Static] and [`Dynamic] evaluators; [`Oracle] ignores it. *)
 val compile :
   ?obs:Pag_obs.Obs.ctx ->
+  ?hashcons:bool ->
   ?evaluator:[ `Static | `Dynamic | `Oracle ] ->
   Ast.program ->
   compiled

@@ -371,3 +371,61 @@ let gen ?(module_seeds = false) st cfg =
 let paper_program ?(seed = 1987) () =
   let p, _ = gen ~module_seeds:true (Random.State.make [| seed |]) paper in
   p
+
+(* ---------------- repetition workload (hash-consing benchmark) -------- *)
+
+(* Deterministic program with tunable subtree repetition: every routine's
+   body is [reps] copies of one deep arithmetic assignment over the same
+   local names, so the copies are structurally identical subtrees. The
+   repeated unit is deliberately label-free (+, -, *, div, mod with constant
+   positive divisors; no comparisons, booleans or calls), so hash-consed
+   evaluation can replay it — label-consuming statements would taint the
+   memo. Routines are the grammar's split points, so the program also
+   decomposes evenly for parallel runs. *)
+let repetitive ?(unit_depth = 5) ~routines ~reps () =
+  let v n = ELval (LId n) in
+  let rec deep d =
+    if d = 0 then EBin (Add, v "u1", EInt 1)
+    else
+      EBin
+        ( Add,
+          EBin (Mul, deep (d - 1), EInt 3),
+          EBin (Sub, EBin (Div, deep (d - 1), EInt 7), v "u2") )
+  in
+  let unit_stmt = SAssign (LId "u0", EBin (Add, v "u0", deep unit_depth)) in
+  let locals = [ DVar ("u0", TInt); DVar ("u1", TInt); DVar ("u2", TInt) ] in
+  let body =
+    [
+      SAssign (LId "u0", EInt 0);
+      SAssign (LId "u1", EInt 5);
+      SAssign (LId "u2", EInt 2);
+    ]
+    @ List.init reps (fun _ -> unit_stmt)
+    @ [
+        SAssign
+          (LId "gout", EBin (Add, v "gout", EBin (Mod, v "u0", EInt 9973)));
+      ]
+  in
+  let routine i =
+    DRoutine
+      {
+        r_name = Printf.sprintf "r%d" i;
+        r_params = [];
+        r_ret = None;
+        r_block = { b_decls = locals; b_body = body };
+      }
+  in
+  {
+    prog_name = "repetitive";
+    prog_block =
+      {
+        b_decls =
+          DVar ("gout", TInt)
+          :: List.init routines (fun i -> routine (i + 1));
+        b_body =
+          (SAssign (LId "gout", EInt 0)
+           :: List.init routines (fun i ->
+                  SCall (Printf.sprintf "r%d" (i + 1), [])))
+          @ [ SWrite ([ v "gout" ], true) ];
+      };
+  }

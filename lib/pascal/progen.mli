@@ -29,3 +29,9 @@ val gen : ?module_seeds:bool -> Random.State.t -> cfg -> Ast.program * int
 
 (** The paper's measurement workload (deterministic for a given seed). *)
 val paper_program : ?seed:int -> unit -> Ast.program
+
+(** Deterministic workload with tunable subtree repetition for the
+    hash-consing benchmark: [routines] procedures, each of whose bodies is
+    [reps] copies of one structurally identical, label-free deep arithmetic
+    assignment ([unit_depth] levels, default 5). *)
+val repetitive : ?unit_depth:int -> routines:int -> reps:int -> unit -> Ast.program

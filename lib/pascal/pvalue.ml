@@ -87,6 +87,13 @@ let () =
           | (Ty _ | Raw _ | Info _), (Ty _ | Raw _ | Info _) -> Some false
           | (Ty _ | Raw _ | Info _), _ | _, (Ty _ | Raw _ | Info _) -> Some false
           | _ -> None);
+      ext_hash =
+        (* Pure first-order data: the polymorphic hash is consistent with
+           the structural equalities above. *)
+        (fun e ->
+          match e with
+          | Ty _ | Raw _ | Info _ -> Some (Hashtbl.hash e)
+          | _ -> None);
       ext_size =
         (fun e ->
           match e with

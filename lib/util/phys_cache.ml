@@ -1,0 +1,23 @@
+type ('a, 'b) t = { slots : ('a * 'b) option array; mask : int }
+
+let create bits =
+  let n = 1 lsl bits in
+  { slots = Array.make n None; mask = n - 1 }
+
+(* The polymorphic hash visits a bounded prefix of the key and physically
+   equal keys hash equally. Content-equal but physically distinct keys
+   also hash equally — in a chained table they would all share one bucket
+   (the lookup degenerating to a linear scan over every duplicate ever
+   inserted); here they share one slot and merely evict each other. *)
+let slot t k = Hashtbl.hash k land t.mask
+
+let find_opt t k =
+  match t.slots.(slot t k) with
+  | Some (k', v) when k' == k -> Some v
+  | _ -> None
+
+let mem t k = find_opt t k <> None
+
+let replace t k v = t.slots.(slot t k) <- Some (k, v)
+
+let reset t = Array.fill t.slots 0 (Array.length t.slots) None

@@ -1,0 +1,24 @@
+(** Direct-mapped cache keyed by physical identity.
+
+    A bounded memo for [v -> canonical v] style mappings. Unlike an
+    identity-keyed hashtable (whose only usable hash, [Hashtbl.hash], is
+    content-based, so physically distinct copies of equal values chain in
+    one bucket and lookups degrade to a scan over every duplicate), each
+    key maps to exactly one slot: duplicates evict each other and every
+    operation is O(1). A miss after eviction only costs the caller its
+    slow-path recomputation — correctness never depends on residency.
+
+    Keys must not contain functional values (polymorphic hash). *)
+
+type ('a, 'b) t
+
+(** [create bits] makes a cache with [2^bits] slots. *)
+val create : int -> ('a, 'b) t
+
+val find_opt : ('a, 'b) t -> 'a -> 'b option
+
+val mem : ('a, 'b) t -> 'a -> bool
+
+val replace : ('a, 'b) t -> 'a -> 'b -> unit
+
+val reset : ('a, 'b) t -> unit

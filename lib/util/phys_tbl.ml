@@ -1,0 +1,46 @@
+type ('a, 'b) t = {
+  mutable buckets : ('a * 'b) list array;
+  mutable size : int;
+}
+
+let create n = { buckets = Array.make (max 8 n) []; size = 0 }
+
+(* The polymorphic hash visits a bounded prefix of the key, and physically
+   equal keys hash equally — all an identity-keyed table needs. Keys must
+   not contain functional values. *)
+let slot t k = (Hashtbl.hash k land max_int) mod Array.length t.buckets
+
+let find_opt t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if k' == k then Some v else go rest
+  in
+  go t.buckets.(slot t k)
+
+let mem t k = find_opt t k <> None
+
+let length t = t.size
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (List.iter (fun ((k, _) as pair) ->
+         let s = slot t k in
+         t.buckets.(s) <- pair :: t.buckets.(s)))
+    old
+
+let replace t k v =
+  let s = slot t k in
+  let l = t.buckets.(s) in
+  if List.exists (fun (k', _) -> k' == k) l then
+    t.buckets.(s) <- (k, v) :: List.filter (fun (k', _) -> k' != k) l
+  else begin
+    t.buckets.(s) <- (k, v) :: l;
+    t.size <- t.size + 1;
+    if t.size > 2 * Array.length t.buckets then resize t
+  end
+
+let reset t =
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.size <- 0

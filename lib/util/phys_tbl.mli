@@ -1,0 +1,28 @@
+(** Hash tables keyed by physical identity.
+
+    Works for any key type, unlike [Hashtbl.Make] over a concrete module —
+    which is what the polymorphic containers ({!Symtab}) need to memoize
+    per-node facts during interning. Lookup compares keys with [==] only,
+    so a hit costs no structural traversal; the price is that structurally
+    equal but physically distinct keys occupy distinct entries, which is
+    exactly right for caches attached to canonical (hash-consed) values.
+
+    Keys are held strongly; callers that key on arbitrarily many values
+    should {!reset} when {!length} crosses a cap. Keys must not contain
+    functional values (the slot hash is the polymorphic [Hashtbl.hash]). *)
+
+type ('a, 'b) t
+
+val create : int -> ('a, 'b) t
+
+val find_opt : ('a, 'b) t -> 'a -> 'b option
+
+val mem : ('a, 'b) t -> 'a -> bool
+
+(** Bind [k] to [v], replacing any existing binding for the same physical
+    key. *)
+val replace : ('a, 'b) t -> 'a -> 'b -> unit
+
+val length : ('a, 'b) t -> int
+
+val reset : ('a, 'b) t -> unit

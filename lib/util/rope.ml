@@ -12,17 +12,15 @@ let depth = function Leaf _ -> 0 | Cat c -> c.dep
 
 let is_empty r = length r = 0
 
-let concat a b =
-  if is_empty a then b
-  else if is_empty b then a
-  else
-    Cat
-      {
-        left = a;
-        right = b;
-        len = length a + length b;
-        dep = 1 + max (depth a) (depth b);
-      }
+(* Plain two-child node, no balancing concerns. *)
+let cat a b =
+  Cat
+    {
+      left = a;
+      right = b;
+      len = length a + length b;
+      dep = 1 + max (depth a) (depth b);
+    }
 
 let rec concat_balanced rs n =
   (* [rs] has [n] elements; split in half to keep the result shallow. *)
@@ -37,9 +35,7 @@ let rec concat_balanced rs n =
         | r :: rest -> split (i - 1) (r :: acc) rest
       in
       let l, r = split half [] rs in
-      concat (concat_balanced l half) (concat_balanced r (n - half))
-
-let concat_list rs = concat_balanced rs (List.length rs)
+      cat (concat_balanced l half) (concat_balanced r (n - half))
 
 (* All traversals carry an explicit work list so deep ropes (built by long
    left- or right-leaning concatenation chains) cannot overflow the stack. *)
@@ -61,6 +57,110 @@ let fold_chunks f init r =
   !acc
 
 let leaf_count r = fold_chunks (fun n _ -> n + 1) 0 r
+
+(* ------------------------------------------------------------------ *)
+(* Balancing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Appending many small fragments (code attributes are built exactly that
+   way) is kept cheap by two measures working together:
+
+   - short-leaf merging: when the rightmost leaf and the appended string
+     fit in [max_leaf] bytes together, they are merged into one leaf, so a
+     long fold grows the tree depth once per ~[max_leaf] bytes instead of
+     once per fragment;
+   - a depth-triggered rebuild: a concat whose result is deeper than
+     [depth_trigger] yet shorter than the Fibonacci bound for that depth
+     (Boehm's balance criterion) is flattened into a balanced tree.
+
+   Rebuilds copy the text once, and between two rebuilds the rope must
+   re-accumulate depth proportional to the trigger, so the copying cost
+   amortizes over the bytes appended; ordinary concats stay O(1). *)
+
+let max_leaf = 128
+
+let depth_trigger = 32
+
+(* fib.(d): minimum length at which depth d counts as balanced. *)
+let fib =
+  let a = Array.make 91 1 in
+  for i = 2 to 90 do
+    a.(i) <- a.(i - 1) + a.(i - 2)
+  done;
+  a
+
+let balanced r =
+  let d = depth r in
+  d <= depth_trigger || length r >= fib.(min d 90)
+
+let rebalance r =
+  let leaves = ref [] and n = ref 0 in
+  let buf = Buffer.create max_leaf in
+  let push l =
+    leaves := l :: !leaves;
+    incr n
+  in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      push (Leaf (Buffer.contents buf));
+      Buffer.clear buf
+    end
+  in
+  iter_chunks
+    (fun s ->
+      if String.length s >= max_leaf then begin
+        flush ();
+        push (Leaf s)
+      end
+      else begin
+        if Buffer.length buf + String.length s > max_leaf then flush ();
+        Buffer.add_string buf s
+      end)
+    r;
+  flush ();
+  concat_balanced (List.rev !leaves) !n
+
+let concat a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    let merged =
+      (* Merge short rightmost leaves so folds of small fragments do not
+         deepen the tree one level per fragment. *)
+      match (a, b) with
+      | Leaf sa, Leaf sb when String.length sa + String.length sb <= max_leaf
+        ->
+          Some (Leaf (sa ^ sb))
+      | Cat c, Leaf sb -> (
+          match c.right with
+          | Leaf sr when String.length sr + String.length sb <= max_leaf ->
+              Some
+                (Cat
+                   {
+                     left = c.left;
+                     right = Leaf (sr ^ sb);
+                     len = c.len + String.length sb;
+                     dep = c.dep;
+                   })
+          | _ -> None)
+      | Leaf sa, Cat c -> (
+          match c.left with
+          | Leaf sl when String.length sa + String.length sl <= max_leaf ->
+              Some
+                (Cat
+                   {
+                     left = Leaf (sa ^ sl);
+                     right = c.right;
+                     len = String.length sa + c.len;
+                     dep = c.dep;
+                   })
+          | _ -> None)
+      | _ -> None
+    in
+    let r = match merged with Some r -> r | None -> cat a b in
+    if balanced r then r else rebalance r
+
+let concat_list rs = concat_balanced rs (List.length rs)
 
 let to_string r =
   let buf = Buffer.create (length r) in
@@ -90,7 +190,8 @@ let rec cursor_refill c =
         cursor_refill c
 
 let compare a b =
-  if length a = 0 && length b = 0 then 0
+  if a == b then 0
+  else if length a = 0 && length b = 0 then 0
   else
     let ca = cursor_of a and cb = cursor_of b in
     let rec go () =
@@ -120,6 +221,102 @@ let compare a b =
     in
     go ()
 
-let equal a b = length a = length b && compare a b = 0
+let equal a b = a == b || (length a = length b && compare a b = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Ropes are interned bottom-up: leaves by their string, interior nodes by
+   the physical identity of their (already canonical) children — so the
+   canonical form preserves the shape, and two ropes built by the same
+   sequence of operations share one representation. Structural hashes are
+   memoized per canonical node, making {!hash} O(1) after interning. *)
+
+module Phys = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  (* The polymorphic hash only ever visits a bounded prefix of the value,
+     and physically equal values hash equally — all a cache keyed by
+     identity needs. *)
+  let hash = Hashtbl.hash
+end)
+
+let mix h1 h2 = (h1 * 0x01000193) lxor (h2 + 0x9e3779b9 + (h1 lsl 6))
+
+let hash_memo : int Phys.t = Phys.create 1024
+
+(* Shallow hash: children must already be memoized (or be leaves). *)
+let node_hash = function
+  | Leaf s -> mix 0x5eaf (Hashtbl.hash s)
+  | Cat c ->
+      let h sub =
+        match Phys.find_opt hash_memo sub with
+        | Some h -> h
+        | None -> (
+            match sub with Leaf s -> mix 0x5eaf (Hashtbl.hash s) | Cat _ -> 0)
+      in
+      mix (h c.left) (h c.right)
+
+let node_equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> String.equal x y
+  | Cat x, Cat y -> x.left == y.left && x.right == y.right
+  | _ -> false
+
+let arena = Hcons.create ~hash:node_hash ~equal:node_equal "rope"
+
+(* Physical-identity cache of already-interned ropes: re-interning a value
+   that flows through many rules is a constant-time lookup. Direct-mapped
+   (not a hashtable) so the many physically distinct copies of one popular
+   string a parse produces evict each other instead of chaining, and the
+   bound doubles as the garbage-pinning cap. *)
+let canon_memo : (t, t) Phys_cache.t = Phys_cache.create 16
+
+let remember r c = Phys_cache.replace canon_memo r c
+
+let rec intern r =
+  match Phys_cache.find_opt canon_memo r with
+  | Some c -> c
+  | None ->
+      let cand =
+        match r with
+        | Leaf _ -> r
+        | Cat c ->
+            let l = intern c.left and rt = intern c.right in
+            if l == c.left && rt == c.right then r
+            else Cat { left = l; right = rt; len = c.len; dep = c.dep }
+      in
+      let canon = Hcons.intern arena cand in
+      if not (Phys.mem hash_memo canon) then
+        Phys.replace hash_memo canon (node_hash canon);
+      remember r canon;
+      canon
+
+let hash r =
+  let c = intern r in
+  match Phys.find_opt hash_memo c with Some h -> h | None -> node_hash c
+
+let backref_bytes = 8
+
+(* DAG-encoded wire size: nodes of the canonical form counted once, a
+   repeated node costs a fixed backreference (only when that is cheaper
+   than its text, so a sharing-free rope costs exactly [length]). *)
+let dag_size r =
+  let seen : unit Phys.t = Phys.create 64 in
+  let rec go r =
+    if Phys.mem seen r then backref_bytes
+    else
+      let s =
+        match r with
+        | Leaf s -> String.length s
+        | Cat c -> go c.left + go c.right
+      in
+      if s > backref_bytes then Phys.replace seen r ();
+      s
+  in
+  go (intern r)
 
 let pp fmt r = Format.pp_print_string fmt (to_string r)

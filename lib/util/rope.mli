@@ -4,8 +4,10 @@
     4.3: concatenation is a constant-time operation, which makes building a
     large code attribute from many fragments cheap, and it is the data type
     whose conversion function is replaced to implement the string librarian.
-    No rebalancing is performed (the paper allocates without reuse); all
-    traversals are nevertheless stack-safe. *)
+    Concatenation merges short edge leaves and rebuilds the tree when its
+    depth exceeds the Fibonacci balance bound, so long fragment folds keep
+    the depth logarithmic at O(1) amortized cost per concat; all traversals
+    are stack-safe regardless. *)
 
 type t
 
@@ -39,8 +41,33 @@ val iter_chunks : (string -> unit) -> t -> unit
 
 val fold_chunks : ('a -> string -> 'a) -> 'a -> t -> 'a
 
-(** Content equality, without flattening either rope. *)
+(** Content equality, without flattening either rope. Physically equal
+    ropes (e.g. interned ones) short-circuit in O(1). *)
 val equal : t -> t -> bool
+
+(** {1 Hash-consing}
+
+    {!intern} returns the canonical representative of a rope from the
+    process-wide weak arena ({!Hcons}): leaves are shared by content,
+    interior nodes by the identity of their canonical children. The
+    canonical form preserves the rope's shape, so ropes built by the same
+    sequence of operations — identical code attributes of identical
+    subtrees, say — become physically equal, while content-equal ropes of
+    different shapes merely stay structurally equal. *)
+
+val intern : t -> t
+
+(** Structural hash, consistent with shape-preserving interning (physically
+    equal ropes hash equally). O(1) on interned ropes; interns first
+    otherwise. *)
+val hash : t -> int
+
+(** Wire size of the rope encoded as a DAG between two arena-aware peers:
+    each distinct node of the canonical form is counted once and later
+    occurrences cost a fixed backreference (taken only when cheaper than
+    the repeated text, so a sharing-free rope costs exactly {!length}).
+    O(distinct nodes), not O({!length}). *)
+val dag_size : t -> int
 
 (** Lexicographic content comparison. *)
 val compare : t -> t -> int

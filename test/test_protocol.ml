@@ -27,6 +27,7 @@ let worker_config () =
     wc_librarian = None;
     wc_phase_label = (fun _ -> None);
     wc_obs = Pag_obs.Obs.null_ctx;
+    wc_sharing = None;
   }
 
 let simple_task () =

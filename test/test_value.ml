@@ -56,6 +56,8 @@ let () =
           | Color x, Color y -> Some (x = y)
           | Color _, _ | _, Color _ -> Some false
           | _ -> None);
+      ext_hash =
+        (fun e -> match e with Color s -> Some (Hashtbl.hash s) | _ -> None);
       ext_size = (fun e -> match e with Color s -> Some (String.length s) | _ -> None);
       ext_pp =
         (fun fmt e ->
