@@ -48,11 +48,8 @@ let run_agrun builtin spec_file machines show_plan sentences =
         if machines <= 1 then Compile.evaluate t tree
         else
           (Compile.evaluate_parallel t
-             {
-               Pag_parallel.Runner.default_options with
-               Pag_parallel.Runner.machines = machines;
-               use_librarian = false;
-             }
+             (Pag_parallel.Session.options
+                (Pag_parallel.Session.spec ~librarian:false machines))
              tree)
             .Pag_parallel.Runner.r_attrs
       in

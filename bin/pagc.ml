@@ -64,9 +64,72 @@ let sequential_report obs ~horizon =
     rp_metrics = m;
   }
 
+(* --edit-session: keep FILE resident and replay a script of edits against
+   it. Each script line names a source file; the session re-parses it,
+   re-evaluates only the dirty cone, and prices the distributed update
+   wave. The final resident code must match a from-scratch compile of the
+   last variant (modulo label numbering). *)
+let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
+    ~no_priority ~hashcons ~faults ~out =
+  let g = Pascal_ag.grammar in
+  let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
+  let sp =
+    Pag_parallel.Session.spec ~granularity ~librarian:(not no_librarian)
+      ~priority:(not no_priority) ~hashcons ?faults
+      ~phase_label:Driver.phase_label machines
+  in
+  let base_src = read_file file in
+  let es = Pag_parallel.Session.open_session sp g (parse_tree base_src) in
+  let edits =
+    read_file script |> String.split_on_char '\n' |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  if edits = [] then begin
+    Printf.eprintf "pagc: --edit-session: %s lists no edits\n" script;
+    exit 1
+  end;
+  Printf.eprintf "edit session: %s resident on %d machine(s)\n" file machines;
+  let last_src = ref base_src in
+  List.iter
+    (fun path ->
+      let src = read_file path in
+      last_src := src;
+      let r = Pag_parallel.Session.edit es (parse_tree src) in
+      let open Pag_parallel.Session in
+      Printf.eprintf
+        "%-24s dirty %4d  refired %4d  cutoff %4d%s  %7d bytes (full \
+         recompile %d)  %.4fs%s\n"
+        (Filename.basename path) r.er_dirty r.er_refired r.er_cutoff
+        (if r.er_fallback then "  [fallback rebuild]" else "")
+        r.er_bytes_incr r.er_bytes_full r.er_latency
+        (if r.er_retransmits > 0 then
+           Printf.sprintf "  (%d retransmits)" r.er_retransmits
+         else ""))
+    edits;
+  let resident =
+    Pascal_ag.code_of_attrs
+      (Pag_eval.Store.root_attrs (Pag_parallel.Session.store es))
+  in
+  let scratch = Driver.compile_source !last_src in
+  if
+    String.equal
+      (Driver.mask_labels resident)
+      (Driver.mask_labels scratch.Driver.c_asm)
+  then begin
+    Printf.eprintf "resident code = from-scratch compile (labels masked): ok\n";
+    (match out with
+    | Some path -> write_file path resident
+    | None -> print_string resident);
+    exit 0
+  end
+  else begin
+    Printf.eprintf "pagc: edit session diverged from a from-scratch compile\n";
+    exit 1
+  end
+
 let run_compiler file machines evaluator transport granularity no_librarian
     no_priority hashcons optimize run_it gantt trace_out events_out report out
-    input faults fault_seed =
+    input faults fault_seed edit_session =
   try
     let faults =
       match faults with
@@ -78,6 +141,11 @@ let run_compiler file machines evaluator transport granularity no_librarian
               Printf.eprintf "pagc: bad --faults plan: %s\n" msg;
               exit 1)
     in
+    (match edit_session with
+    | Some script ->
+        run_edit_session ~file ~script ~machines ~granularity ~no_librarian
+          ~no_priority ~hashcons ~faults ~out
+    | None -> ());
     let src = read_file file in
     let program = Parser.parse_program src in
     let mode = if evaluator = "dynamic" then `Dynamic else `Combined in
@@ -106,18 +174,11 @@ let run_compiler file machines evaluator transport granularity no_librarian
       end
       else begin
         let opts =
-          {
-            Pag_parallel.Runner.default_options with
-            Pag_parallel.Runner.machines;
-            mode;
-            granularity;
-            use_librarian = not no_librarian;
-            use_priority = not no_priority;
-            use_hashcons = hashcons;
-            phase_label = Driver.phase_label;
-            faults;
-            telemetry;
-          }
+          Pag_parallel.Session.options
+            (Pag_parallel.Session.spec ~mode ~granularity
+               ~librarian:(not no_librarian) ~priority:(not no_priority)
+               ~hashcons ~telemetry ?faults ~phase_label:Driver.phase_label
+               machines)
         in
         let result, compiled =
           if transport = "domains" then
@@ -309,6 +370,20 @@ let faults_arg =
            Engages reliable delivery and coordinator crash recovery; forces \
            the parallel path even with -m 1.")
 
+let edit_session_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "edit-session" ] ~docv:"SCRIPT"
+        ~doc:
+          "Keep FILE resident (evaluated and decomposed across the \
+           machines) and replay the edits listed in $(docv) — one source \
+           file per line, '#' comments allowed. Each edit re-evaluates \
+           only its dirty cone and reports the distributed update wave \
+           (dirty/refired/cutoff counts, wire bytes vs a full recompile, \
+           simulated latency). Prints the final resident assembly after \
+           verifying it against a from-scratch compile.")
+
 let fault_seed_arg =
   Arg.(
     value
@@ -325,6 +400,6 @@ let cmd =
       $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
       $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
-      $ fault_seed_arg)
+      $ fault_seed_arg $ edit_session_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,71 @@
+program primes;
+const limit = 50;
+var count, i, total : integer;
+    flags : array [1..50] of integer;
+
+function gcd(x : integer; y : integer) : integer;
+begin
+  if y = 0 then begin gcd := x end
+  else begin gcd := gcd(y, x mod y) end
+end;
+
+function fib(n : integer) : integer;
+var a, b, t, k : integer;
+begin
+  a := 0; b := 1;
+  for k := 1 to n do begin
+    t := a + b; a := b; b := t
+  end;
+  fib := a
+end;
+
+procedure sieve;
+var j, k : integer;
+begin
+  for j := 1 to limit do begin flags[j] := 1 end;
+  flags[1] := 0;
+  j := 2;
+  while j * j <= limit do begin
+    if flags[j] = 1 then begin
+      k := j * j;
+      while k <= limit do begin
+        flags[k] := 0;
+        k := k + j
+      end
+    end;
+    j := j + 1
+  end
+end;
+
+procedure tally(var c : integer);
+var j : integer;
+begin
+  c := 0;
+  for j := 1 to limit do begin
+    if flags[j] = 1 then begin c := c + 1 end
+  end
+end;
+
+procedure report(v : integer);
+begin
+  write(v);
+  writeln
+end;
+
+begin
+  sieve;
+  tally(count);
+  report(count);
+  total := 0;
+  for i := 1 to limit do begin
+    if flags[i] = 1 then begin total := total + i end
+  end;
+  report(total);
+  report(gcd(total, count));
+  report(fib(20));
+  i := 1;
+  repeat
+    i := i * 3
+  until i > limit;
+  report(i)
+end.

@@ -126,6 +126,101 @@ let check g t =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Edits                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let find t wanted =
+  let found = ref None in
+  (try
+     iter
+       (fun n ->
+         if n.id = wanted then begin
+           found := Some n;
+           raise Exit
+         end)
+       t
+   with Exit -> ());
+  !found
+
+let number_from t start =
+  let count = ref start in
+  iter
+    (fun n ->
+      n.id <- !count;
+      incr count)
+    t;
+  !count
+
+let replace_subtree g ~parent ~pos repl =
+  (match parent.prod with
+  | None -> error "replace_subtree: parent %S is a leaf" parent.sym
+  | Some p ->
+      if pos < 0 || pos >= Array.length parent.children then
+        error "replace_subtree: %S has no child %d" p.Grammar.p_name pos;
+      if repl.sym <> p.Grammar.p_rhs.(pos) then
+        error "replace_subtree: child %d of %S must be %S, got %S" pos
+          p.Grammar.p_name p.Grammar.p_rhs.(pos) repl.sym);
+  check g repl;
+  let old = parent.children.(pos) in
+  parent.children.(pos) <- repl;
+  old
+
+let rec equal a b =
+  a.sym_id = b.sym_id
+  && (match (a.prod, b.prod) with
+     | None, None ->
+         List.compare_lengths a.term_attrs b.term_attrs = 0
+         && List.for_all2
+              (fun (n1, v1) (n2, v2) ->
+                String.equal n1 n2 && Value.equal v1 v2)
+              a.term_attrs b.term_attrs
+     | Some p, Some q -> p.Grammar.p_id = q.Grammar.p_id
+     | _ -> false)
+  && Array.length a.children = Array.length b.children
+  && Array.for_all2 equal a.children b.children
+
+type delta = Equal | Root | Subtree of { parent : t; pos : int; repl : t }
+
+(* Smallest single differing subtree of two trees over one grammar: walk
+   both in lockstep while exactly one child pair differs; the replacement
+   site is where the productions (or terminal attributes) first diverge.
+   Multiple differing children mean their common parent must be replaced
+   wholesale. *)
+let diff a b =
+  let same_shape x y =
+    x.sym_id = y.sym_id
+    && match (x.prod, y.prod) with
+       | Some p, Some q -> p.Grammar.p_id = q.Grammar.p_id
+       | None, None ->
+           List.compare_lengths x.term_attrs y.term_attrs = 0
+           && List.for_all2
+                (fun (n1, v1) (n2, v2) ->
+                  String.equal n1 n2 && Value.equal v1 v2)
+                x.term_attrs y.term_attrs
+       | _ -> false
+  in
+  (* [Root] from [go x y] means x and y differ at their own roots. *)
+  let rec go x y =
+    if not (same_shape x y) then Root
+    else begin
+      let diffs = ref [] in
+      Array.iteri
+        (fun i c -> if not (equal c y.children.(i)) then diffs := i :: !diffs)
+        x.children;
+      match !diffs with
+      | [] -> Equal
+      | [ i ] -> (
+          match go x.children.(i) y.children.(i) with
+          | Root -> Subtree { parent = x; pos = i; repl = y.children.(i) }
+          | d -> d)
+      | _ -> Root
+    end
+  in
+  if a.sym_id <> b.sym_id then
+    error "diff: root symbols differ (%S vs %S)" a.sym b.sym
+  else go a b
+
+(* ------------------------------------------------------------------ *)
 (* Structural sharing                                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -46,6 +46,44 @@ val term_attr : t -> string -> Value.t
     rebuilt from a network message) against the grammar. *)
 val check : Grammar.t -> t -> unit
 
+(** {1 Edits}
+
+    Support for edit-driven recompilation ({!Pag_eval.Incr}): a source edit
+    becomes a subtree replacement on the previous parse tree, found by
+    {!diff} and applied in place by {!replace_subtree} so every untouched
+    node keeps its physical identity and preorder id. *)
+
+(** Node with the given preorder id, if present. O(size). *)
+val find : t -> int -> t option
+
+(** Assign preorder ids starting at [start]; returns the next unused id.
+    Used to number a replacement subtree past the host tree's ids. *)
+val number_from : t -> int -> int
+
+(** Structural equality: same productions, same shape, equal terminal
+    attribute values. Ignores node ids. *)
+val equal : t -> t -> bool
+
+(** [replace_subtree g ~parent ~pos repl] swaps child [pos] of [parent] for
+    [repl] in place and returns the detached subtree. The replacement must
+    carry the symbol the parent's production requires at that position and
+    is re-validated with {!check}. Insertions and deletions are expressed
+    as replacements of the enclosing list-spine node (productions have
+    fixed arity). *)
+val replace_subtree : Grammar.t -> parent:t -> pos:int -> t -> t
+
+type delta =
+  | Equal  (** the trees are structurally equal *)
+  | Root  (** they differ at the root: no enclosing replacement site *)
+  | Subtree of { parent : t; pos : int; repl : t }
+      (** [parent] (a node of the {e first} tree) has exactly one differing
+          child at [pos]; grafting [repl] (a node of the {e second} tree)
+          there makes the trees equal *)
+
+(** Minimal single-subtree delta between two trees with the same root
+    symbol. Raises [Error] when the root symbols differ. *)
+val diff : t -> t -> delta
+
 (** {1 Structural sharing}
 
     {!sharing} computes the DAG view of a tree: every node is assigned a

@@ -1,189 +1,49 @@
-open Pag_core
 open Pag_obs
 
 type stats = { instances : int; edges : int; evals : int }
 
-exception Cycle of string
+exception Cycle = Engine.Cycle
 
-(* The dependency graph is stored in CSR form over the store's dense
-   instance (slot) ids: [off] gives each instance's range in [edge_dst],
-   whose entries are the rule ids waiting on that instance. Rule arguments
-   are precomputed the same way — [arg_off]/[arg_code] give each rule's
-   argument slots, with terminal (intrinsic) dependencies resolved once at
-   build time into [consts]. The ready loop then only touches flat arrays:
-   no hashing, no string comparison, no per-edge allocation. *)
-
-let dummy_rule = Grammar.rule (Grammar.lhs "") ~deps:[] (fun _ -> Value.Unit)
+(* The dynamic evaluator is the engine's data-driven topological schedule:
+   build the instance table and the slot-level consumer graph, then fire
+   every ready rule until the store is complete. All the flat-array
+   machinery (CSR edges, argument codes, the ready ring) lives in
+   {!Engine}; this module only adds telemetry and the stats record. *)
 
 let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo g t =
   let graph_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   let store = Store.create ?root_inh g t in
-  let total = Store.slot_count store in
-  (* Pass 1: count rules, arguments and terminal dependencies. *)
-  let n_rules = ref 0 and n_args = ref 0 and n_terms = ref 0 in
-  Tree.iter
-    (fun node ->
-      match node.Tree.prod with
-      | None -> ()
-      | Some p ->
-          Array.iter
-            (fun (r : Grammar.rule) ->
-              incr n_rules;
-              n_args := !n_args + Array.length r.Grammar.r_rdeps;
-              Array.iter
-                (fun (d : Grammar.rref) ->
-                  if d.Grammar.rr_term then incr n_terms)
-                r.Grammar.r_rdeps)
-            p.Grammar.p_rules)
-    t;
-  let n_rules = !n_rules in
-  let rule_rules = Array.make (max 1 n_rules) dummy_rule in
-  (* (production id, rule index) packed: identifies the semantic function
-     across nodes, the memo's notion of "the same rule". *)
-  let rule_key = Array.make (max 1 n_rules) 0 in
-  let target_slot = Array.make (max 1 n_rules) 0 in
-  let waiting = Array.make (max 1 n_rules) 0 in
-  let arg_off = Array.make (n_rules + 1) 0 in
-  let arg_code = Array.make (max 1 !n_args) 0 in
-  let consts = Array.make (max 1 !n_terms) Value.Unit in
-  (* Pass 2: resolve every rule's target and argument slots, record
-     per-instance dependent-edge degrees (only instances still unset can
-     block a rule). *)
-  let off = Array.make (total + 1) 0 in
-  let edge_count = ref 0 in
-  let rc = ref 0 and ac = ref 0 and tc = ref 0 in
-  Tree.iter
-    (fun node ->
-      match node.Tree.prod with
-      | None -> ()
-      | Some p ->
-          Array.iteri
-            (fun ridx (r : Grammar.rule) ->
-              let rid = !rc in
-              incr rc;
-              rule_rules.(rid) <- r;
-              rule_key.(rid) <- (p.Grammar.p_id lsl 10) lor ridx;
-              arg_off.(rid) <- !ac;
-              let tgt = r.Grammar.r_rtarget in
-              let tn =
-                if tgt.Grammar.rr_pos = 0 then node
-                else node.Tree.children.(tgt.Grammar.rr_pos - 1)
-              in
-              target_slot.(rid) <-
-                Store.slot_of store tn ~attr_idx:tgt.Grammar.rr_attr;
-              Array.iter
-                (fun (d : Grammar.rref) ->
-                  let dn =
-                    if d.Grammar.rr_pos = 0 then node
-                    else node.Tree.children.(d.Grammar.rr_pos - 1)
-                  in
-                  (if d.Grammar.rr_term then begin
-                     let ci = !tc in
-                     incr tc;
-                     consts.(ci) <- Tree.term_attr dn d.Grammar.rr_name;
-                     arg_code.(!ac) <- -ci - 1
-                   end
-                   else begin
-                     let i =
-                       Store.slot_of store dn ~attr_idx:d.Grammar.rr_attr
-                     in
-                     arg_code.(!ac) <- i;
-                     incr edge_count;
-                     if not (Store.slot_is_set store i) then begin
-                       waiting.(rid) <- waiting.(rid) + 1;
-                       off.(i + 1) <- off.(i + 1) + 1
-                     end
-                   end);
-                  incr ac)
-                r.Grammar.r_rdeps)
-            p.Grammar.p_rules)
-    t;
-  arg_off.(n_rules) <- !ac;
-  (* Prefix-sum degrees into CSR offsets, then fill the edge array. *)
-  for i = 1 to total do
-    off.(i) <- off.(i) + off.(i - 1)
-  done;
-  let wired = !edge_count in
-  let edge_dst = Array.make (max 1 off.(total)) 0 in
-  let fill = Array.copy off in
-  for rid = 0 to n_rules - 1 do
-    if waiting.(rid) > 0 then
-      for k = arg_off.(rid) to arg_off.(rid + 1) - 1 do
-        let c = arg_code.(k) in
-        if c >= 0 && not (Store.slot_is_set store c) then begin
-          edge_dst.(fill.(c)) <- rid;
-          fill.(c) <- fill.(c) + 1
-        end
-      done
-  done;
+  let eng = Engine.create ?memo g store in
+  let gr = Engine.graph eng in
   if Obs.ctx_enabled obs then
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:graph_t0
       ~t1:(obs.Obs.x_clock ()) "graph-build";
   let eval_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
-  (* Ready queue: each rule enqueues exactly once, so a flat ring suffices. *)
-  let queue = Array.make (max 1 n_rules) 0 in
-  let head = ref 0 and tail = ref 0 in
-  for rid = 0 to n_rules - 1 do
-    if waiting.(rid) = 0 then begin
-      queue.(!tail) <- rid;
-      incr tail
-    end
-  done;
-  let evals = ref 0 in
-  while !head < !tail do
-    let rid = queue.(!head) in
-    incr head;
-    let lo = arg_off.(rid) and hi = arg_off.(rid + 1) in
-    let args = Array.make (hi - lo) Value.Unit in
-    for k = lo to hi - 1 do
-      let c = arg_code.(k) in
-      args.(k - lo) <-
-        (if c >= 0 then Store.slot_value store c else consts.(-c - 1))
-    done;
-    let v =
-      match memo with
-      | None -> rule_rules.(rid).Grammar.r_fn args
-      | Some m ->
-          Memo.apply_rule m ~rule_key:rule_key.(rid)
-            ~fn:rule_rules.(rid).Grammar.r_fn args
-    in
-    incr evals;
-    let ti = target_slot.(rid) in
-    Store.define_slot store ti v;
-    for k = off.(ti) to off.(ti + 1) - 1 do
-      let c = edge_dst.(k) in
-      waiting.(c) <- waiting.(c) - 1;
-      if waiting.(c) = 0 then begin
-        queue.(!tail) <- c;
-        incr tail
-      end
-    done
-  done;
+  let evals = Engine.run_topo eng gr in
   if Obs.ctx_enabled obs then begin
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:eval_t0
       ~t1:(obs.Obs.x_clock ()) "toposort-eval";
     let reg = obs.Obs.x_metrics in
-    Obs.Metrics.add (Obs.Metrics.counter reg "eval.dynamic_rules") !evals;
+    Obs.Metrics.add (Obs.Metrics.counter reg "eval.dynamic_rules") evals;
     (match memo with
     | Some m ->
         let hits, misses = Memo.rules_stats m in
         Obs.Metrics.add (Obs.Metrics.counter reg "eval.memo_hits") hits;
         Obs.Metrics.add (Obs.Metrics.counter reg "eval.memo_misses") misses
     | None -> ());
-    Obs.Metrics.add (Obs.Metrics.counter reg "graph.nodes") total;
-    Obs.Metrics.add (Obs.Metrics.counter reg "graph.edges") wired;
+    Obs.Metrics.add (Obs.Metrics.counter reg "graph.nodes")
+      (Store.slot_count store);
+    Obs.Metrics.add (Obs.Metrics.counter reg "graph.edges")
+      (Engine.slot_args eng);
     Obs.Metrics.add_gauge reg "store.reads" (float_of_int (Store.reads store));
     Obs.Metrics.add_gauge reg "store.writes" (float_of_int (Store.sets store))
   end;
-  let left = Store.missing store in
-  if left > 0 then
-    raise
-      (Cycle
-         (Printf.sprintf
-            "dynamic evaluation stuck: %d attribute instances unevaluated \
-             (circular tree or missing root attributes)"
-            left));
-  (store, { instances = total; edges = wired; evals = !evals })
+  ( store,
+    {
+      instances = Store.slot_count store;
+      edges = Engine.slot_args eng;
+      evals;
+    } )
 
 let eval ?obs ?root_inh ?hashcons g t =
   let memo =

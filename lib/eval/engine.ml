@@ -1,0 +1,461 @@
+open Pag_core
+
+(* The shared evaluation engine.
+
+   Every evaluator in this library — dynamic topo-sort, static visit
+   sequences, the parallel worker's spine, incremental re-evaluation — fires
+   the same thing: one semantic-rule instance at one node, reading argument
+   slots and defining a target slot in a flat {!Store}. The engine owns that
+   core once: a flat table of rule instances (rule, owning node, packed memo
+   key, target slot, argument codes) plus the optional rule-result memo.
+   Schedulers differ only in the order they call {!fire}/{!fire_at} — the
+   ready-queue topological order here ({!run_topo}), the plan's visit
+   sequences ({!Static_eval}), the worker's item graph, or the dirty cone of
+   an edit ({!Incr}).
+
+   Layout mirrors the store's dense slot ids: instances of one node are
+   consecutive, [rid_base] maps a node's dense index to its first rule id,
+   so [fire_at node ridx] is two array reads. Argument codes >= 0 are slot
+   ids; negative codes are [-ci - 1] indices into [consts], terminal
+   intrinsics resolved once at build time. Arrays are growable so an edit
+   can {!append} a replacement subtree's instances without rebuilding. *)
+
+exception Cycle of string
+
+let dummy_rule = Grammar.rule (Grammar.lhs "") ~deps:[] (fun _ -> Value.Unit)
+
+type t = {
+  e_g : Grammar.t;
+  e_store : Store.t;
+  e_memo : Memo.rules option;
+  mutable e_n : int;  (* rule instances allocated *)
+  mutable e_rules : Grammar.rule array;  (* rid -> rule *)
+  mutable e_node : Tree.t array;  (* rid -> node the rule applies at *)
+  mutable e_key : int array;  (* rid -> (prod id, rule index) packed *)
+  mutable e_target : int array;  (* rid -> target slot *)
+  mutable e_arg_off : int array;  (* rid -> first arg index; length e_n + 1 *)
+  mutable e_args : int;  (* arg entries used *)
+  mutable e_arg_code : int array;  (* >= 0 slot id, < 0 const [-c - 1] *)
+  mutable e_nconsts : int;
+  mutable e_consts : Value.t array;
+  mutable e_dead : Bytes.t;  (* rid -> detached by an edit? *)
+  mutable e_rid_base : int array;  (* dense node index -> first rid *)
+  mutable e_nodes_covered : int;  (* length of the rid_base prefix in use *)
+  mutable e_slot_args : int;  (* non-const args: the classic "edges" stat *)
+  mutable e_fired : int;
+}
+
+let store e = e.e_store
+
+let grammar e = e.e_g
+
+let rule_count e = e.e_n
+
+let slot_args e = e.e_slot_args
+
+let fired e = e.e_fired
+
+let rule_of e rid = e.e_rules.(rid)
+
+let node_of e rid = e.e_node.(rid)
+
+let key e rid = e.e_key.(rid)
+
+let target_slot e rid = e.e_target.(rid)
+
+let target_instance e rid =
+  let t = e.e_rules.(rid).Grammar.r_rtarget in
+  let node = e.e_node.(rid) in
+  let tn =
+    if t.Grammar.rr_pos = 0 then node
+    else node.Tree.children.(t.Grammar.rr_pos - 1)
+  in
+  (tn, t.Grammar.rr_name)
+
+let is_dead e rid =
+  Char.code (Bytes.unsafe_get e.e_dead (rid lsr 3)) land (1 lsl (rid land 7))
+  <> 0
+
+let mark_dead e rid =
+  let b = rid lsr 3 in
+  Bytes.set e.e_dead b
+    (Char.chr (Char.code (Bytes.get e.e_dead b) lor (1 lsl (rid land 7))))
+
+let rid_at e node ridx =
+  e.e_rid_base.(Store.dense_index e.e_store node) + ridx
+
+let iter_slot_args e rid f =
+  for k = e.e_arg_off.(rid) to e.e_arg_off.(rid + 1) - 1 do
+    let c = e.e_arg_code.(k) in
+    if c >= 0 then f c
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Growable arrays                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let grow a used need def =
+  let len = Array.length a in
+  if used + need <= len then a
+  else begin
+    let a' = Array.make (max (used + need) (2 * max 1 len)) def in
+    Array.blit a 0 a' 0 used;
+    a'
+  end
+
+let grow_bytes b need =
+  let bytes_needed = (need + 7) / 8 in
+  if Bytes.length b >= bytes_needed then b
+  else begin
+    let b' = Bytes.make (max bytes_needed (2 * max 1 (Bytes.length b))) '\000' in
+    Bytes.blit b 0 b' 0 (Bytes.length b);
+    b'
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve one node's rule instances into the flat tables. [rid_base] for
+   the node must already point at the first rid; rules of one node are
+   consecutive in production-rule order. *)
+let resolve_node e (node : Tree.t) =
+  match node.Tree.prod with
+  | None -> ()
+  | Some p ->
+      Array.iteri
+        (fun ridx (r : Grammar.rule) ->
+          let rid = e.e_n in
+          e.e_n <- rid + 1;
+          e.e_rules.(rid) <- r;
+          e.e_node.(rid) <- node;
+          e.e_key.(rid) <- (p.Grammar.p_id lsl 10) lor ridx;
+          e.e_arg_off.(rid) <- e.e_args;
+          let tgt = r.Grammar.r_rtarget in
+          let tn =
+            if tgt.Grammar.rr_pos = 0 then node
+            else node.Tree.children.(tgt.Grammar.rr_pos - 1)
+          in
+          e.e_target.(rid) <-
+            Store.slot_of e.e_store tn ~attr_idx:tgt.Grammar.rr_attr;
+          Array.iter
+            (fun (d : Grammar.rref) ->
+              let dn =
+                if d.Grammar.rr_pos = 0 then node
+                else node.Tree.children.(d.Grammar.rr_pos - 1)
+              in
+              (if d.Grammar.rr_term then begin
+                 let ci = e.e_nconsts in
+                 e.e_nconsts <- ci + 1;
+                 e.e_consts.(ci) <- Tree.term_attr dn d.Grammar.rr_name;
+                 e.e_arg_code.(e.e_args) <- -ci - 1
+               end
+               else begin
+                 e.e_arg_code.(e.e_args) <-
+                   Store.slot_of e.e_store dn ~attr_idx:d.Grammar.rr_attr;
+                 e.e_slot_args <- e.e_slot_args + 1
+               end);
+              e.e_args <- e.e_args + 1)
+            r.Grammar.r_rdeps;
+          e.e_arg_off.(rid + 1) <- e.e_args)
+        p.Grammar.p_rules
+
+(* Reserve table room for the rules of [node], then resolve them. *)
+let add_node e ~rules_for (node : Tree.t) =
+  let i = e.e_nodes_covered in
+  e.e_rid_base <- grow e.e_rid_base (i + 1) 1 0;
+  e.e_rid_base.(i) <- e.e_n;
+  e.e_nodes_covered <- i + 1;
+  e.e_rid_base.(i + 1) <- e.e_n;
+  match node.Tree.prod with
+  | None -> ()
+  | Some p when not (rules_for node) -> ignore p
+  | Some p ->
+      let nr = Array.length p.Grammar.p_rules in
+      let na = ref 0 and nt = ref 0 in
+      Array.iter
+        (fun (r : Grammar.rule) ->
+          na := !na + Array.length r.Grammar.r_rdeps;
+          Array.iter
+            (fun (d : Grammar.rref) -> if d.Grammar.rr_term then incr nt)
+            r.Grammar.r_rdeps)
+        p.Grammar.p_rules;
+      e.e_rules <- grow e.e_rules e.e_n nr dummy_rule;
+      e.e_node <- grow e.e_node e.e_n nr node;
+      e.e_key <- grow e.e_key e.e_n nr 0;
+      e.e_target <- grow e.e_target e.e_n nr 0;
+      e.e_arg_off <- grow e.e_arg_off (e.e_n + 1) nr 0;
+      e.e_arg_code <- grow e.e_arg_code e.e_args !na 0;
+      e.e_consts <- grow e.e_consts e.e_nconsts !nt Value.Unit;
+      e.e_dead <- grow_bytes e.e_dead (e.e_n + nr);
+      resolve_node e node;
+      e.e_rid_base.(i + 1) <- e.e_n
+
+let create ?memo ?(rules_for = fun _ -> true) g st =
+  let e =
+    {
+      e_g = g;
+      e_store = st;
+      e_memo = memo;
+      e_n = 0;
+      e_rules = [| dummy_rule |];
+      e_node = [| Store.root st |];
+      e_key = [| 0 |];
+      e_target = [| 0 |];
+      e_arg_off = [| 0; 0 |];
+      e_args = 0;
+      e_arg_code = [| 0 |];
+      e_nconsts = 0;
+      e_consts = [| Value.Unit |];
+      e_dead = Bytes.make 1 '\000';
+      e_rid_base = Array.make (Store.node_count st + 1) 0;
+      e_nodes_covered = 0;
+      e_slot_args = 0;
+      e_fired = 0;
+    }
+  in
+  Store.iter_nodes st (fun node -> add_node e ~rules_for node);
+  e
+
+(* Extend the engine with the instances of an appended replacement subtree.
+   Must run after {!Store.append_subtree}, visiting the same nodes in the
+   same (preorder) order so dense indices and rid ranges line up. Returns
+   the new (rid_lo, rid_hi) range. *)
+let append e sub =
+  let rid_lo = e.e_n in
+  Tree.iter (fun node -> add_node e ~rules_for:(fun _ -> true) node) sub;
+  (rid_lo, e.e_n)
+
+(* Detach a subtree's rule instances: they keep their slots and last values
+   but no scheduler fires or propagates through them again. *)
+let kill_subtree e sub =
+  Tree.iter
+    (fun (node : Tree.t) ->
+      match node.Tree.prod with
+      | None -> ()
+      | Some p ->
+          let base = e.e_rid_base.(Store.dense_index e.e_store node) in
+          for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+            mark_dead e (base + ridx)
+          done)
+    sub
+
+(* ------------------------------------------------------------------ *)
+(* Firing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gather e rid =
+  let lo = e.e_arg_off.(rid) and hi = e.e_arg_off.(rid + 1) in
+  let args = Array.make (hi - lo) Value.Unit in
+  for k = lo to hi - 1 do
+    let c = e.e_arg_code.(k) in
+    args.(k - lo) <-
+      (if c >= 0 then Store.slot_value e.e_store c else e.e_consts.(-c - 1))
+  done;
+  args
+
+let compute e rid args =
+  match e.e_memo with
+  | None -> e.e_rules.(rid).Grammar.r_fn args
+  | Some m ->
+      Memo.apply_rule m ~rule_key:e.e_key.(rid)
+        ~fn:e.e_rules.(rid).Grammar.r_fn args
+
+let fire e rid =
+  let v = compute e rid (gather e rid) in
+  e.e_fired <- e.e_fired + 1;
+  Store.define_slot e.e_store e.e_target.(rid) v
+
+(* The static path: its memoization unit is the whole subtree visit
+   ({!Memo.subtree}), so individual firings bypass the rule memo. *)
+let fire_at e node ridx =
+  let rid = rid_at e node ridx in
+  let v = e.e_rules.(rid).Grammar.r_fn (gather e rid) in
+  e.e_fired <- e.e_fired + 1;
+  Store.define_slot e.e_store e.e_target.(rid) v
+
+let refire e rid =
+  let v = compute e rid (gather e rid) in
+  e.e_fired <- e.e_fired + 1;
+  Store.redefine_slot e.e_store e.e_target.(rid) v
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Consumer edges (slot -> rule instances reading it) in CSR form over the
+   slot ids present at build time, plus an overflow table for edges added
+   by later appends/rewires, plus the producer map (slot -> defining rid).
+   Stale edges from slots of a detached subtree are harmless: dead slots
+   are never redefined, so their consumer lists are never walked. *)
+type graph = {
+  gr_slots : int;  (* slots covered by the CSR arrays *)
+  gr_off : int array;
+  gr_adj : int array;
+  gr_over : (int, int list ref) Hashtbl.t;
+  mutable gr_producer : int array;  (* slot -> rid, -1 when external *)
+}
+
+let graph e =
+  let total = Store.slot_count e.e_store in
+  let off = Array.make (total + 1) 0 in
+  for k = 0 to e.e_args - 1 do
+    let c = e.e_arg_code.(k) in
+    if c >= 0 then off.(c + 1) <- off.(c + 1) + 1
+  done;
+  for i = 1 to total do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let adj = Array.make (max 1 off.(total)) 0 in
+  let fill = Array.copy off in
+  let producer = Array.make (max 1 total) (-1) in
+  for rid = 0 to e.e_n - 1 do
+    producer.(e.e_target.(rid)) <- rid;
+    for k = e.e_arg_off.(rid) to e.e_arg_off.(rid + 1) - 1 do
+      let c = e.e_arg_code.(k) in
+      if c >= 0 then begin
+        adj.(fill.(c)) <- rid;
+        fill.(c) <- fill.(c) + 1
+      end
+    done
+  done;
+  {
+    gr_slots = total;
+    gr_off = off;
+    gr_adj = adj;
+    gr_over = Hashtbl.create 16;
+    gr_producer = producer;
+  }
+
+let producer gr slot =
+  if slot < Array.length gr.gr_producer then gr.gr_producer.(slot) else -1
+
+let iter_consumers gr slot f =
+  if slot < gr.gr_slots then
+    for k = gr.gr_off.(slot) to gr.gr_off.(slot + 1) - 1 do
+      f gr.gr_adj.(k)
+    done;
+  match Hashtbl.find_opt gr.gr_over slot with
+  | None -> ()
+  | Some l -> List.iter f !l
+
+let add_overflow gr ~slot ~rid =
+  match Hashtbl.find_opt gr.gr_over slot with
+  | Some l -> l := rid :: !l
+  | None -> Hashtbl.replace gr.gr_over slot (ref [ rid ])
+
+let set_producer gr ~slot ~rid =
+  let len = Array.length gr.gr_producer in
+  if slot >= len then begin
+    let a = Array.make (max (slot + 1) (2 * max 1 len)) (-1) in
+    Array.blit gr.gr_producer 0 a 0 len;
+    gr.gr_producer <- a
+  end;
+  gr.gr_producer.(slot) <- rid
+
+(* Register appended rids [rid_lo .. rid_hi - 1]: producer entries for
+   their targets, overflow consumer edges for their slot arguments. *)
+let graph_note_range e gr ~rid_lo ~rid_hi =
+  for rid = rid_lo to rid_hi - 1 do
+    set_producer gr ~slot:e.e_target.(rid) ~rid;
+    iter_slot_args e rid (fun slot -> add_overflow gr ~slot ~rid)
+  done
+
+(* Re-resolve the rules of [node] in place after one of its children was
+   replaced: targets and argument slots that moved are recomputed (and, when
+   a graph is supplied, rewired through producer/overflow entries); terminal
+   intrinsics are re-read into their existing const cells. Argument/const
+   cell counts are shape properties of the production, so everything fits
+   where it already is. *)
+let reresolve_node e ?graph (node : Tree.t) =
+  match node.Tree.prod with
+  | None -> ()
+  | Some p ->
+      let base = e.e_rid_base.(Store.dense_index e.e_store node) in
+      Array.iteri
+        (fun ridx (r : Grammar.rule) ->
+          let rid = base + ridx in
+          let tgt = r.Grammar.r_rtarget in
+          let tn =
+            if tgt.Grammar.rr_pos = 0 then node
+            else node.Tree.children.(tgt.Grammar.rr_pos - 1)
+          in
+          let t_new = Store.slot_of e.e_store tn ~attr_idx:tgt.Grammar.rr_attr in
+          if t_new <> e.e_target.(rid) then begin
+            e.e_target.(rid) <- t_new;
+            match graph with
+            | Some gr -> set_producer gr ~slot:t_new ~rid
+            | None -> ()
+          end;
+          let k = ref e.e_arg_off.(rid) in
+          Array.iter
+            (fun (d : Grammar.rref) ->
+              let dn =
+                if d.Grammar.rr_pos = 0 then node
+                else node.Tree.children.(d.Grammar.rr_pos - 1)
+              in
+              (if d.Grammar.rr_term then begin
+                 let ci = -e.e_arg_code.(!k) - 1 in
+                 e.e_consts.(ci) <- Tree.term_attr dn d.Grammar.rr_name
+               end
+               else begin
+                 let s_new =
+                   Store.slot_of e.e_store dn ~attr_idx:d.Grammar.rr_attr
+                 in
+                 if s_new <> e.e_arg_code.(!k) then begin
+                   e.e_arg_code.(!k) <- s_new;
+                   match graph with
+                   | Some gr -> add_overflow gr ~slot:s_new ~rid
+                   | None -> ()
+                 end
+               end);
+              incr k)
+            r.Grammar.r_rdeps)
+        p.Grammar.p_rules
+
+(* ------------------------------------------------------------------ *)
+(* Topological schedule                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Data-driven evaluation to a fixed point: fire every rule whose argument
+   slots are all set, defining targets and releasing consumers. Each live
+   rule enqueues exactly once, so a flat ring suffices. *)
+let run_topo e gr =
+  let n = e.e_n in
+  let waiting = Array.make (max 1 n) 0 in
+  let queue = Array.make (max 1 n) 0 in
+  let head = ref 0 and tail = ref 0 in
+  for rid = 0 to n - 1 do
+    if not (is_dead e rid) then begin
+      iter_slot_args e rid (fun slot ->
+          if not (Store.slot_is_set e.e_store slot) then
+            waiting.(rid) <- waiting.(rid) + 1);
+      if waiting.(rid) = 0 then begin
+        queue.(!tail) <- rid;
+        incr tail
+      end
+    end
+  done;
+  let fired0 = e.e_fired in
+  while !head < !tail do
+    let rid = queue.(!head) in
+    incr head;
+    fire e rid;
+    iter_consumers gr e.e_target.(rid) (fun c ->
+        if not (is_dead e c) then begin
+          waiting.(c) <- waiting.(c) - 1;
+          if waiting.(c) = 0 then begin
+            queue.(!tail) <- c;
+            incr tail
+          end
+        end)
+  done;
+  let left = Store.missing e.e_store in
+  if left > 0 then
+    raise
+      (Cycle
+         (Printf.sprintf
+            "dynamic evaluation stuck: %d attribute instances unevaluated \
+             (circular tree or missing root attributes)"
+            left));
+  e.e_fired - fired0

@@ -1,0 +1,132 @@
+(** The shared evaluation engine.
+
+    Every evaluator in this library fires the same thing: one semantic-rule
+    instance at one node, reading argument slots and defining a target slot
+    in a flat {!Store}. The engine owns that core once — a flat table of
+    rule instances (rule, owning node, packed memo key, target slot,
+    resolved argument codes) over a store, plus the optional rule-result
+    memo and the slot-level dependency graph. Evaluators are just schedules
+    over it: the data-driven topological order ({!run_topo}, used by
+    {!Dynamic}), the plan's visit sequences ({!Static_eval}), the parallel
+    worker's item graph ({!Pag_parallel.Worker}), and the dirty cone of an
+    edit ({!Incr}).
+
+    Instances of one node are consecutive and keyed by the store's dense
+    preorder index, so [(node, rule index)] resolves to a rule id with two
+    array reads, and appending a replacement subtree extends the tables
+    without rebuilding — the basis of incremental re-evaluation. *)
+
+open Pag_core
+
+type t
+
+(** Raised by {!run_topo} when instances remain unevaluated (circular
+    dependencies or missing root attributes). *)
+exception Cycle of string
+
+(** [create ?memo ?rules_for g store] resolves the rule instances of every
+    covered node, in the store's dense preorder. [rules_for] (default: all)
+    selects which interior nodes contribute instances — the parallel worker
+    excludes remote stubs, whose defining rules live on other machines.
+    [memo] enables rule-result memoization in {!fire}/{!refire}. *)
+val create :
+  ?memo:Memo.rules -> ?rules_for:(Tree.t -> bool) -> Grammar.t -> Store.t -> t
+
+val store : t -> Store.t
+
+val grammar : t -> Grammar.t
+
+(** Rule instances allocated (live and dead). *)
+val rule_count : t -> int
+
+(** Total non-constant (slot) arguments across all instances — the
+    dependency-edge count evaluator stats report. *)
+val slot_args : t -> int
+
+(** Rule firings so far ({!fire} + {!fire_at} + {!refire}). *)
+val fired : t -> int
+
+(** {1 Instance table} *)
+
+val rule_of : t -> int -> Grammar.rule
+
+val node_of : t -> int -> Tree.t
+
+(** Packed (production id, rule index) — the memo's notion of "the same
+    semantic function". *)
+val key : t -> int -> int
+
+val target_slot : t -> int -> int
+
+(** The (node, attribute) instance a rule id defines. *)
+val target_instance : t -> int -> Tree.t * string
+
+(** [rid_at e node ridx] — rule id of [node]'s [ridx]-th production rule. *)
+val rid_at : t -> Tree.t -> int -> int
+
+(** Iterate a rule's slot (non-constant) argument ids. *)
+val iter_slot_args : t -> int -> (int -> unit) -> unit
+
+(** Rule instances detached by an edit: skipped by every schedule. *)
+val is_dead : t -> int -> bool
+
+(** {1 Firing} *)
+
+(** [fire e rid] gathers arguments, computes (through the rule memo when
+    present) and defines the target slot. *)
+val fire : t -> int -> unit
+
+(** [fire_at e node ridx] — {!fire} addressed by (node, rule index),
+    bypassing the rule memo: the static path's memoization unit is the
+    whole subtree visit ({!Memo.subtree}), not the single rule. *)
+val fire_at : t -> Tree.t -> int -> unit
+
+(** Like {!fire} but overwrites the target unconditionally and returns
+    [true] when its value actually changed — the equality cutoff of
+    incremental change propagation. *)
+val refire : t -> int -> bool
+
+(** {1 Edits} *)
+
+(** [append e sub] extends the instance table with the rules of an appended
+    replacement subtree; call after {!Store.append_subtree} so dense
+    indices line up. Returns the new [(rid_lo, rid_hi)] range (rule ids
+    [rid_lo .. rid_hi - 1]). *)
+val append : t -> Tree.t -> int * int
+
+(** Mark every rule instance of a detached subtree dead. *)
+val kill_subtree : t -> Tree.t -> unit
+
+(** {1 Dependency graph} *)
+
+(** Slot-level dependency graph: consumer edges (slot → rule instances
+    reading it) in CSR form, with an overflow table for edges added by
+    edits, plus the producer map (slot → defining rule id). *)
+type graph
+
+val graph : t -> graph
+
+(** Rule id defining a slot, [-1] when none (intrinsic or preset). *)
+val producer : graph -> int -> int
+
+val iter_consumers : graph -> int -> (int -> unit) -> unit
+
+(** Register a rid range appended by {!append}: producer entries for their
+    targets, consumer edges for their arguments. *)
+val graph_note_range : t -> graph -> rid_lo:int -> rid_hi:int -> unit
+
+(** [reresolve_node e ?graph node] recomputes the targets and argument
+    codes of [node]'s instances after one of its children was replaced.
+    Only references that moved are rewritten; when [graph] is given, moved
+    targets update its producer map and moved arguments gain consumer
+    edges (stale edges from dead slots are inert — dead slots are never
+    redefined). *)
+val reresolve_node : t -> ?graph:graph -> Tree.t -> unit
+
+(** {1 Topological schedule}
+
+    [run_topo e gr] fires every live instance whose arguments are all set,
+    in data-driven topological order, until the store is complete. Returns
+    the number of firings. Raises {!Cycle} when instances remain
+    unevaluated. *)
+val run_topo : t -> graph -> int

@@ -1,0 +1,329 @@
+open Pag_core
+open Pag_obs
+
+(* Incremental re-evaluation: edit-driven recompilation on top of the
+   shared {!Engine}.
+
+   A session keeps the evaluated tree, its store, engine and slot-level
+   dependency graph alive between edits. An edit is a subtree replacement
+   (found by {!Tree.diff}, applied by {!Tree.replace_subtree}): the
+   replacement's nodes are numbered past the existing id range and appended
+   to the store and engine, the detached subtree's instances are marked
+   dead, and the edit site's parent is re-resolved in place. Change then
+   propagates through the dependency graph self-adjusting-computation
+   style:
+
+   - phase 1 computes the dirty cone: every rule instance reachable from
+     the seed rules (the appended subtree's rules plus the parent's)
+     through consumer edges;
+   - phase 2 re-fires the cone in local topological order, with an
+     equality cutoff — a rule whose argument slots all kept their values is
+     skipped, and a re-fired rule whose target value is unchanged
+     ({!Store.redefine_slot}) stops propagation below it.
+
+   When the dirty cone exceeds a fraction of all live rules the session
+   falls back to from-scratch evaluation: past that point propagation
+   bookkeeping costs more than it saves, and repeated edits have riddled
+   the flat arrays with dead weight anyway. The fallback renumbers the
+   tree and rebuilds store, engine and graph, compacting everything.
+
+   Unique labels ({!Uid}) are drawn from the session's own cursor, so
+   re-fired label-allocating rules produce fresh labels rather than the
+   ones a from-scratch run would pick: incremental output is equivalent to
+   from-scratch output up to label renaming (exactly equal when no rule in
+   the dirty cone allocates labels). *)
+
+type edit_stats = {
+  ed_dirty : int;
+  ed_refired : int;
+  ed_cutoff : int;
+  ed_fallback : bool;
+  ed_prop_ms : float;
+}
+
+type totals = {
+  tot_edits : int;
+  tot_dirty : int;
+  tot_refired : int;
+  tot_cutoff : int;
+  tot_fallbacks : int;
+}
+
+type session = {
+  s_g : Grammar.t;
+  s_obs : Obs.ctx;
+  s_memo : Memo.rules option;
+  s_frontier : float;
+  s_cursor : int ref;
+  mutable s_tree : Tree.t;
+  mutable s_store : Store.t;
+  mutable s_engine : Engine.t;
+  mutable s_graph : Engine.graph;
+  mutable s_next_id : int;  (* next unused node id *)
+  mutable s_live_rules : int;
+  mutable s_epoch : int;
+  mutable s_changed : int array;  (* slot -> epoch its value last changed *)
+  mutable s_last_fallback : bool;
+  mutable s_edits : int;
+  mutable s_dirty : int;
+  mutable s_refired : int;
+  mutable s_cutoff : int;
+  mutable s_fallbacks : int;
+}
+
+let tree s = s.s_tree
+
+let store s = s.s_store
+
+let totals s =
+  {
+    tot_edits = s.s_edits;
+    tot_dirty = s.s_dirty;
+    tot_refired = s.s_refired;
+    tot_cutoff = s.s_cutoff;
+    tot_fallbacks = s.s_fallbacks;
+  }
+
+let no_edit =
+  {
+    ed_dirty = 0;
+    ed_refired = 0;
+    ed_cutoff = 0;
+    ed_fallback = false;
+    ed_prop_ms = 0.0;
+  }
+
+let build s =
+  let store = Store.create s.s_g s.s_tree in
+  let eng = Engine.create ?memo:s.s_memo s.s_g store in
+  let gr = Engine.graph eng in
+  Uid.with_counter s.s_cursor (fun () -> ignore (Engine.run_topo eng gr));
+  s.s_store <- store;
+  s.s_engine <- eng;
+  s.s_graph <- gr;
+  s.s_next_id <- Store.node_count store;
+  s.s_live_rules <- Engine.rule_count eng;
+  s.s_changed <- Array.make (max 1 (Store.slot_count store)) 0
+
+let start ?(obs = Obs.null_ctx) ?(hashcons = false) ?(frontier = 0.6) g tree =
+  let memo = if hashcons then Some (Memo.create_rules ()) else None in
+  let cursor = ref 0 in
+  let store = Store.create g tree in
+  let eng = Engine.create ?memo g store in
+  let gr = Engine.graph eng in
+  Uid.with_counter cursor (fun () -> ignore (Engine.run_topo eng gr));
+  {
+    s_g = g;
+    s_obs = obs;
+    s_memo = memo;
+    s_frontier = frontier;
+    s_cursor = cursor;
+    s_tree = tree;
+    s_store = store;
+    s_engine = eng;
+    s_graph = gr;
+    s_next_id = Store.node_count store;
+    s_live_rules = Engine.rule_count eng;
+    s_epoch = 0;
+    s_changed = Array.make (max 1 (Store.slot_count store)) 0;
+    s_last_fallback = false;
+    s_edits = 0;
+    s_dirty = 0;
+    s_refired = 0;
+    s_cutoff = 0;
+    s_fallbacks = 0;
+  }
+
+let record s st =
+  s.s_edits <- s.s_edits + 1;
+  s.s_dirty <- s.s_dirty + st.ed_dirty;
+  s.s_refired <- s.s_refired + st.ed_refired;
+  s.s_cutoff <- s.s_cutoff + st.ed_cutoff;
+  if st.ed_fallback then s.s_fallbacks <- s.s_fallbacks + 1;
+  s.s_last_fallback <- st.ed_fallback;
+  let obs = s.s_obs in
+  if Obs.ctx_enabled obs then begin
+    let reg = obs.Obs.x_metrics in
+    let bump name n = Obs.Metrics.add (Obs.Metrics.counter reg name) n in
+    bump "incr.edits" 1;
+    bump "incr.dirty_rules" st.ed_dirty;
+    bump "incr.refired" st.ed_refired;
+    bump "incr.cutoff_hits" st.ed_cutoff;
+    if st.ed_fallback then bump "incr.fallbacks" 1;
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram reg "incr.prop_ms")
+      st.ed_prop_ms
+  end;
+  st
+
+(* From-scratch fallback: renumber and rebuild, compacting away dead
+   instances accumulated by previous edits. *)
+let fallback s ~dirty t0 =
+  build s;
+  record s
+    {
+      ed_dirty = dirty;
+      ed_refired = Engine.rule_count s.s_engine;
+      ed_cutoff = 0;
+      ed_fallback = true;
+      ed_prop_ms = (Sys.time () -. t0) *. 1e3;
+    }
+
+let in_set set rid =
+  Char.code (Bytes.unsafe_get set (rid lsr 3)) land (1 lsl (rid land 7)) <> 0
+
+let add_set set rid =
+  let b = rid lsr 3 in
+  Bytes.set set b (Char.chr (Char.code (Bytes.get set b) lor (1 lsl (rid land 7))))
+
+let replace s ~parent ~pos repl =
+  let t0 = Sys.time () in
+  let eng = s.s_engine and gr = s.s_graph in
+  s.s_next_id <- Tree.number_from repl s.s_next_id;
+  let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
+  Store.append_subtree s.s_store repl;
+  let total = Store.slot_count s.s_store in
+  if Array.length s.s_changed < total then begin
+    let a = Array.make (max total (2 * Array.length s.s_changed)) 0 in
+    Array.blit s.s_changed 0 a 0 (Array.length s.s_changed);
+    s.s_changed <- a
+  end;
+  (* Detach the old subtree's instances, append the replacement's, rewire
+     the edit site. *)
+  let killed =
+    Tree.fold
+      (fun acc (n : Tree.t) ->
+        match n.Tree.prod with
+        | None -> acc
+        | Some p -> acc + Array.length p.Grammar.p_rules)
+      0 old
+  in
+  Engine.kill_subtree eng old;
+  let rid_lo, rid_hi = Engine.append eng repl in
+  Engine.graph_note_range eng gr ~rid_lo ~rid_hi;
+  Engine.reresolve_node eng ~graph:gr parent;
+  s.s_live_rules <- s.s_live_rules + (rid_hi - rid_lo) - killed;
+  (* Seeds: the appended instances (their slots are all unset) and the edit
+     site's own instances (their references moved). *)
+  let n = Engine.rule_count eng in
+  let seed = Bytes.make ((n + 7) / 8) '\000' in
+  let dirty = Bytes.make ((n + 7) / 8) '\000' in
+  let cone = ref [] and cone_n = ref 0 in
+  let stack = ref [] in
+  let push rid =
+    if not (in_set dirty rid) then begin
+      add_set dirty rid;
+      cone := rid :: !cone;
+      incr cone_n;
+      stack := rid :: !stack
+    end
+  in
+  for rid = rid_lo to rid_hi - 1 do
+    add_set seed rid;
+    push rid
+  done;
+  (match parent.Tree.prod with
+  | None -> ()
+  | Some p ->
+      for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+        let rid = Engine.rid_at eng parent ridx in
+        add_set seed rid;
+        push rid
+      done);
+  (* Phase 1: dirty cone = consumer-edge closure of the seeds. *)
+  let rec close () =
+    match !stack with
+    | [] -> ()
+    | rid :: rest ->
+        stack := rest;
+        Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
+            if not (Engine.is_dead eng c) then push c);
+        close ()
+  in
+  close ();
+  if float_of_int !cone_n > s.s_frontier *. float_of_int s.s_live_rules then
+    fallback s ~dirty:!cone_n t0
+  else begin
+    (* Phase 2: local Kahn over the cone. A rule waits only on cone
+       producers; ready rules fire in ascending rule-id order for
+       determinism. Cutoff: skip rules none of whose arguments changed
+       this epoch; a re-fired rule marks its target changed only when the
+       stored value actually moved. *)
+    s.s_epoch <- s.s_epoch + 1;
+    let epoch = s.s_epoch in
+    let cone = Array.of_list !cone in
+    Array.sort compare cone;
+    let pending = Hashtbl.create (2 * Array.length cone) in
+    Array.iter
+      (fun rid ->
+        let w = ref 0 in
+        Engine.iter_slot_args eng rid (fun slot ->
+            let p = Engine.producer gr slot in
+            if p >= 0 && (not (Engine.is_dead eng p)) && in_set dirty p then
+              incr w);
+        Hashtbl.replace pending rid !w)
+      cone;
+    let queue = Queue.create () in
+    Array.iter
+      (fun rid -> if Hashtbl.find pending rid = 0 then Queue.add rid queue)
+      cone;
+    let refired = ref 0 and cutoff = ref 0 and processed = ref 0 in
+    Uid.with_counter s.s_cursor (fun () ->
+        while not (Queue.is_empty queue) do
+          let rid = Queue.take queue in
+          incr processed;
+          let must =
+            in_set seed rid
+            ||
+            let hit = ref false in
+            Engine.iter_slot_args eng rid (fun slot ->
+                if s.s_changed.(slot) = epoch then hit := true);
+            !hit
+          in
+          (if must then begin
+             incr refired;
+             if Engine.refire eng rid then
+               s.s_changed.(Engine.target_slot eng rid) <- epoch
+           end
+           else incr cutoff);
+          Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
+              if (not (Engine.is_dead eng c)) && in_set dirty c then begin
+                let w = Hashtbl.find pending c - 1 in
+                Hashtbl.replace pending c w;
+                if w = 0 then Queue.add c queue
+              end)
+        done);
+    if !processed < Array.length cone then
+      (* A cycle through the dirty set (possible only for pathological
+         grammars): give up on propagation and rebuild. *)
+      fallback s ~dirty:!cone_n t0
+    else
+      record s
+        {
+          ed_dirty = !cone_n;
+          ed_refired = !refired;
+          ed_cutoff = !cutoff;
+          ed_fallback = false;
+          ed_prop_ms = (Sys.time () -. t0) *. 1e3;
+        }
+  end
+
+let edit s next =
+  match Tree.diff s.s_tree next with
+  | Tree.Equal ->
+      (* Nothing moved; bump the epoch so stale change marks from the
+         previous edit stop answering {!changed}. *)
+      s.s_epoch <- s.s_epoch + 1;
+      record s no_edit
+  | Tree.Root ->
+      let t0 = Sys.time () in
+      s.s_tree <- next;
+      fallback s ~dirty:s.s_live_rules t0
+  | Tree.Subtree { parent; pos; repl } -> replace s ~parent ~pos repl
+
+let changed s node attr =
+  s.s_last_fallback
+  ||
+  let idx = Grammar.attr_pos s.s_g ~sym:node.Tree.sym ~attr in
+  let slot = Store.slot_of s.s_store node ~attr_idx:idx in
+  s.s_changed.(slot) = s.s_epoch

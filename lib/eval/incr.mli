@@ -1,0 +1,80 @@
+(** Incremental re-evaluation: edit-driven recompilation.
+
+    A session holds a fully evaluated tree together with its {!Store},
+    {!Engine} and slot-level dependency graph. An {!edit} replaces one
+    subtree ({!Pag_core.Tree.diff} finds the site): the replacement is
+    appended to the store and engine, the detached instances go dead, and
+    change propagates through consumer edges self-adjusting-computation
+    style — only rules in the dirty cone re-fire, and an equality cutoff
+    ({!Store.redefine_slot}) stops propagation wherever a recomputed value
+    came out unchanged. When the dirty cone exceeds [frontier] of all live
+    rules (default 0.6), the session falls back to a compacting
+    from-scratch rebuild instead.
+
+    Unique labels are drawn from the session's own cursor, so incremental
+    results equal from-scratch results up to label renaming — and exactly,
+    when no rule in the dirty cone allocates labels. *)
+
+open Pag_core
+
+type session
+
+(** Per-edit outcome. *)
+type edit_stats = {
+  ed_dirty : int;  (** rule instances in the dirty cone *)
+  ed_refired : int;  (** rules actually re-fired *)
+  ed_cutoff : int;  (** dirty rules skipped by the equality cutoff *)
+  ed_fallback : bool;  (** the edit was handled by a from-scratch rebuild *)
+  ed_prop_ms : float;  (** propagation (or rebuild) time, milliseconds *)
+}
+
+(** Cumulative session counters. *)
+type totals = {
+  tot_edits : int;
+  tot_dirty : int;
+  tot_refired : int;
+  tot_cutoff : int;
+  tot_fallbacks : int;
+}
+
+(** [start g tree] evaluates [tree] from scratch and opens the session.
+    [~hashcons:true] routes (re-)firings through a rule memo. [frontier]
+    is the dirty-cone fraction beyond which edits rebuild from scratch.
+    With a live [obs] context each edit records the [incr.*] counters and
+    the [incr.prop_ms] histogram. *)
+val start :
+  ?obs:Pag_obs.Obs.ctx ->
+  ?hashcons:bool ->
+  ?frontier:float ->
+  Grammar.t ->
+  Tree.t ->
+  session
+
+(** The session's current (evaluated) tree. *)
+val tree : session -> Tree.t
+
+(** The session's current store — all attribute values of {!tree} are set.
+    Instances of subtrees detached by earlier edits linger as dead slots;
+    query through live nodes only. *)
+val store : session -> Store.t
+
+(** [edit session next] updates the session so its tree is (structurally)
+    [next] and every attribute reflects it. [next] must have the same root
+    symbol. Structurally equal trees are a no-op; a root-level change or an
+    oversized dirty cone falls back to from-scratch. After a [Subtree]
+    delta the session keeps its current tree object with the replacement
+    grafted in — nodes of [next] outside the replacement are not used. *)
+val edit : session -> Tree.t -> edit_stats
+
+(** [replace session ~parent ~pos repl] is the primitive edit: graft
+    [repl] (an unnumbered tree) as child [pos] of [parent] (a node of the
+    session's tree) and re-evaluate incrementally. *)
+val replace : session -> parent:Tree.t -> pos:int -> Tree.t -> edit_stats
+
+(** [changed session node attr] — did the last {!edit} change this
+    instance's value? Conservatively [true] for everything after a
+    fallback rebuild. The distributed runner uses this to ship only
+    changed boundary attributes (unchanged ones travel as references). *)
+val changed : session -> Tree.t -> string -> bool
+
+val totals : session -> totals

@@ -4,7 +4,13 @@ open Pag_obs
 
 type stats = { visits : int; evals : int }
 
-let visit ?memo plan store node v =
+(* The static evaluator is the engine's plan-driven schedule: the visit
+   sequences fix the firing order at generation time, so each [Eval r]
+   step is a direct (node, rule-index) firing against the shared engine —
+   no dependency analysis, no readiness tracking. *)
+
+let visit ?memo plan eng node v =
+  let store = Engine.store eng in
   let visits = ref 0 and evals = ref 0 in
   let rec go node v =
     match node.Tree.prod with
@@ -17,7 +23,7 @@ let visit ?memo plan store node v =
             List.iter
               (function
                 | Kastens.Eval r ->
-                    ignore (Store.apply_rule store node p.Grammar.p_rules.(r));
+                    Engine.fire_at eng node r;
                     incr evals
                 | Kastens.Visit { child; visit } ->
                     go node.Tree.children.(child) visit)
@@ -31,8 +37,10 @@ let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons plan t =
   let r, _ =
     Uid.with_base 0 (fun () ->
         let g = Kastens.grammar plan in
-        let store =
-          Obs.with_span obs "store-build" (fun () -> Store.create ?root_inh g t)
+        let store, eng =
+          Obs.with_span obs "store-build" (fun () ->
+              let store = Store.create ?root_inh g t in
+              (store, Engine.create g store))
         in
         let memo =
           match hashcons with
@@ -47,8 +55,7 @@ let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons plan t =
         Obs.with_span obs "static-visits" (fun () ->
             for v = 1 to m do
               let nv, ne =
-                Obs.with_span obs "visit" (fun () ->
-                    visit ?memo plan store t v)
+                Obs.with_span obs "visit" (fun () -> visit ?memo plan eng t v)
               in
               visits := !visits + nv;
               evals := !evals + ne

@@ -34,8 +34,9 @@ val eval :
   Tree.t ->
   Store.t * stats
 
-(** [visit plan store node v] runs visit [v] of [node] against an existing
-    store — the entry point the combined evaluator uses on the roots of its
-    static subtrees. Returns (visits, evals) performed; a memoized subtree
-    replay counts as one visit and no evals. *)
-val visit : ?memo:Memo.t -> Kastens.plan -> Store.t -> Tree.t -> int -> int * int
+(** [visit plan engine node v] runs visit [v] of [node] against an existing
+    {!Engine} (and its store) — the entry point the combined evaluator uses
+    on the roots of its static subtrees. Returns (visits, evals) performed;
+    a memoized subtree replay counts as one visit and no evals. *)
+val visit :
+  ?memo:Memo.t -> Kastens.plan -> Engine.t -> Tree.t -> int -> int * int

@@ -13,11 +13,13 @@ type t = {
   g : Grammar.t;
   root : Tree.t;
   id_lo : int;  (* lowest covered node id *)
-  index_of : int array;  (* (node id - id_lo) -> dense index, -1 if absent *)
-  nodes : Tree.t array;  (* dense index -> node, increasing node id *)
-  base : int array;  (* dense index -> first slot id; length n_nodes + 1 *)
-  vals : Value.t array;  (* slot id -> value (valid iff bit set) *)
-  bits : Bytes.t;  (* slot id -> set? *)
+  mutable index_of : int array;
+      (* (node id - id_lo) -> dense index, -1 if absent *)
+  mutable nodes : Tree.t array;  (* dense index -> node, increasing node id *)
+  mutable base : int array;
+      (* dense index -> first slot id; length n_nodes + 1 *)
+  mutable vals : Value.t array;  (* slot id -> value (valid iff bit set) *)
+  mutable bits : Bytes.t;  (* slot id -> set? *)
   mutable n_sets : int;
   mutable n_reads : int;
 }
@@ -110,6 +112,52 @@ let create ?root_inh g root =
   ignore (Tree.number root);
   create_shared ?root_inh g root
 
+(* Extend the store with the (already numbered) nodes of a replacement
+   subtree. The new ids must start exactly where the store's covered id
+   range ends, so the offset-based [index_of] table extends contiguously —
+   {!Pag_eval.Incr} numbers replacements with [Tree.number_from] to
+   guarantee this. The detached subtree's slots stay allocated (and set);
+   they are dead weight until the next full rebuild compacts them. *)
+let append_subtree s sub =
+  let node_list, n = covered_nodes sub in
+  let old_n = Array.length s.nodes in
+  let old_span = Array.length s.index_of in
+  let next_id = s.id_lo + old_span in
+  List.iteri
+    (fun k (node : Tree.t) ->
+      if node.Tree.id <> next_id + k then
+        error "append_subtree: node id %d out of sequence (expected %d)"
+          node.Tree.id (next_id + k))
+    node_list;
+  let index_of = Array.make (old_span + n) (-1) in
+  Array.blit s.index_of 0 index_of 0 old_span;
+  let nodes = Array.make (old_n + n) s.root in
+  Array.blit s.nodes 0 nodes 0 old_n;
+  let base = Array.make (old_n + n + 1) 0 in
+  Array.blit s.base 0 base 0 (old_n + 1);
+  List.iteri
+    (fun k (node : Tree.t) ->
+      let i = old_n + k in
+      index_of.(node.Tree.id - s.id_lo) <- i;
+      nodes.(i) <- node;
+      let c =
+        match node.Tree.prod with
+        | None -> 0
+        | Some _ -> Grammar.attr_count_of_id s.g node.Tree.sym_id
+      in
+      base.(i + 1) <- base.(i) + c)
+    node_list;
+  let total = base.(old_n + n) in
+  let vals = Array.make total Value.Unit in
+  Array.blit s.vals 0 vals 0 (Array.length s.vals) ;
+  let bits = Bytes.make ((total + 7) / 8) '\000' in
+  Bytes.blit s.bits 0 bits 0 (Bytes.length s.bits);
+  s.index_of <- index_of;
+  s.nodes <- nodes;
+  s.base <- base;
+  s.vals <- vals;
+  s.bits <- bits
+
 (* ------------------------------------------------------------------ *)
 (* Slot arithmetic                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -170,6 +218,20 @@ let define_slot s slot v =
     mark_set s slot;
     s.n_sets <- s.n_sets + 1
   end
+
+(* Overwrite unconditionally — the change-propagation primitive. Returns
+   whether the stored value actually changed (the equality cutoff);
+   undecidable equality counts as changed. *)
+let redefine_slot s slot v =
+  let changed =
+    (not (slot_is_set s slot)) || not (same_value s.vals.(slot) v)
+  in
+  s.vals.(slot) <- v;
+  if not (slot_is_set s slot) then begin
+    mark_set s slot;
+    s.n_sets <- s.n_sets + 1
+  end;
+  changed
 
 let set_slot s (node : Tree.t) attr slot v =
   if slot_is_set s slot then begin
@@ -314,6 +376,10 @@ let replay_range s ~lo entries =
 (* ------------------------------------------------------------------ *)
 (* Iteration                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Covered nodes in dense (preorder) order — the numbering every
+   graph-based evaluator shares. *)
+let iter_nodes s f = Array.iter f s.nodes
 
 let iter_instances s f =
   (* [nodes] is preorder = increasing node id: deterministic. *)

@@ -106,6 +106,14 @@ val slot_count : t -> int
     [node] is not covered. *)
 val slot_of : t -> Tree.t -> attr_idx:int -> int
 
+(** Dense (preorder) index of a covered node: slots of the node are
+    [base(dense_index) ..]; {!Pag_eval.Engine} keys its per-node rule
+    ranges on the same index. Raises [Error] when [node] is not covered. *)
+val dense_index : t -> Tree.t -> int
+
+(** Iterate covered nodes in dense (preorder) order. *)
+val iter_nodes : t -> (Tree.t -> unit) -> unit
+
 val slot_is_set : t -> int -> bool
 
 (** Value stored in a slot. Meaningful only when {!slot_is_set}; reading an
@@ -115,6 +123,19 @@ val slot_value : t -> int -> Value.t
 (** Set a slot by id. Equal re-sets are idempotent no-ops; a conflicting
     re-set raises [Error] naming the owning node and attribute. *)
 val define_slot : t -> int -> Value.t -> unit
+
+(** Overwrite a slot unconditionally — the change-propagation primitive of
+    incremental re-evaluation. Returns [true] when the stored value
+    actually changed (undecidable equality counts as changed); that answer
+    is the equality cutoff that stops propagation early. *)
+val redefine_slot : t -> int -> Value.t -> bool
+
+(** [append_subtree store sub] extends the store with slots for the nodes
+    of a replacement subtree whose preorder ids start exactly where the
+    store's covered id range ends ({!Pag_core.Tree.number_from}). Existing
+    slot ids, values and bits are preserved; the detached subtree's slots
+    become dead weight until the next full rebuild. *)
+val append_subtree : t -> Tree.t -> unit
 
 (** Slot id of the instance a rule defines at [node]. *)
 val rule_target_slot : t -> Tree.t -> Grammar.rule -> int

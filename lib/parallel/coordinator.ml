@@ -60,6 +60,11 @@ let eval_locally ?obs (env : Transport.env) (r : recovery) g tree expected =
   env.Transport.e_delay cost;
   List.map (fun a -> (a, Store.get store tree a)) expected
 
+let expected_attrs g (tree : Tree.t) =
+  Array.to_list (Grammar.symbol g tree.Tree.sym).Grammar.s_attrs
+  |> List.filter_map (fun (a : Grammar.attr_decl) ->
+         if a.Grammar.a_kind = Grammar.Syn then Some a.Grammar.a_name else None)
+
 let run ?(obs = Obs.null_ctx) ?recovery ?sharing (env : Transport.env) g ~tree
     ~plan ~librarian =
   let frags = Split.fragments plan in
@@ -86,11 +91,7 @@ let run ?(obs = Obs.null_ctx) ?recovery ?sharing (env : Transport.env) g ~tree
     frags;
   env.Transport.e_mark "evaluation started";
   (* Collect the root's synthesized attributes from the root evaluator. *)
-  let expected =
-    Array.to_list (Grammar.symbol g tree.Tree.sym).Grammar.s_attrs
-    |> List.filter_map (fun (a : Grammar.attr_decl) ->
-           if a.Grammar.a_kind = Grammar.Syn then Some a.Grammar.a_name else None)
-  in
+  let expected = expected_attrs g tree in
   let received = Hashtbl.create 8 in
   let protocol () =
     let rec collect () =

@@ -3,6 +3,7 @@ open Pag_util
 
 type t =
   | Subtree of { frag : int; bytes : int; uid_base : int }
+  | Edit of { node : int; bytes : int }
   | Attr of { node : int; attr : string; value : Value.t }
   | Code_frag of { id : int; text : Rope.t }
   | Resolve of { value : Value.t }
@@ -33,6 +34,7 @@ let iid_bytes = 8
 
 let rec size = function
   | Subtree s -> header_bytes + s.bytes
+  | Edit e -> header_bytes + e.bytes
   | Attr a -> header_bytes + String.length a.attr + Value.byte_size a.value
   | Code_frag c -> header_bytes + Rope.length c.text
   | Resolve r -> header_bytes + Value.byte_size r.value
@@ -56,6 +58,7 @@ let rec size = function
 
 let rec pp fmt = function
   | Subtree s -> Format.fprintf fmt "Subtree(frag=%d,%dB)" s.frag s.bytes
+  | Edit e -> Format.fprintf fmt "Edit(node=%d,%dB)" e.node e.bytes
   | Attr a -> Format.fprintf fmt "Attr(node=%d,%s=%a)" a.node a.attr Value.pp a.value
   | Code_frag c -> Format.fprintf fmt "CodeFrag(%d,%dB)" c.id (Rope.length c.text)
   | Resolve _ -> Format.fprintf fmt "Resolve"

@@ -15,6 +15,13 @@ type t =
       bytes : int;  (** linearized size, paid on the wire *)
       uid_base : int;  (** base value for unique-identifier generation *)
     }
+  | Edit of {
+      node : int;  (** global id of the edited subtree's parent *)
+      bytes : int;  (** linearized size of the replacement subtree *)
+    }
+      (** coordinator -> owning evaluator: re-parse notification of an edit
+          session; the receiver rebuilds the replacement subtree and
+          re-evaluates incrementally *)
   | Attr of {
       node : int;  (** global id of the boundary node *)
       attr : string;

@@ -188,23 +188,48 @@ module S = Sim.Make (struct
   type msg = Message.t
 end)
 
-(* Default retransmission timeout and liveness watchdog, in virtual
-   seconds, sized for the test fixtures (sub-second compute phases). A peer
-   is presumed dead only after the full backoff horizon
+(* Floor retransmission timeout and liveness watchdog, in virtual seconds,
+   sized for the test fixtures (sub-second compute phases). A peer is
+   presumed dead only after the full backoff horizon
    rto * (2 + 4 + ... + 2^max_tries) ~ 51s of silence. A simulated machine
-   acknowledges nothing while it burns CPU inside one static visit, so on
-   bigger workloads the horizon must exceed the longest compute phase —
-   paper-scale runs override [fault_rto]/[fault_watchdog] accordingly
-   (E10 uses 5s / 20s). *)
+   acknowledges nothing while it burns CPU inside one static visit, so the
+   horizon must exceed the longest compute phase — when the caller does not
+   pin [fault_rto]/[fault_watchdog], {!auto_timeouts} scales them to the
+   workload from the cost model (a machine's share of the tree's rules),
+   never below these floors. *)
 let sim_rto = 0.1
 
 let sim_max_tries = 8
 
 let sim_watchdog = 0.5
 
+(* Workload-scaled timeouts: a machine's longest silent phase is on the
+   order of its share of the whole tree's semantic rules, all fired at
+   static-rule cost between messages. Probing at a quarter of that phase
+   keeps retransmissions sparse during compute; the watchdog then allows
+   four silent probe intervals before declaring the peer dead. On the
+   paper-scale Pascal workload this lands at the 5s / 20s that E10 used to
+   hand-tune; on the test fixtures both floors win. *)
+let auto_timeouts opts tree =
+  let rules =
+    Tree.fold
+      (fun acc (n : Tree.t) ->
+        match n.Tree.prod with
+        | None -> acc
+        | Some p -> acc + Array.length p.Grammar.p_rules)
+      0 tree
+  in
+  let phase =
+    float_of_int rules *. opts.cost.Cost.static_rule
+    /. float_of_int (max 1 opts.machines)
+  in
+  let rto = Float.max sim_rto (phase /. 4.0) in
+  (rto, Float.max sim_watchdog (4.0 *. rto))
+
 let rec message_label = function
   | Message.Attr { attr; _ } -> attr
   | Message.Subtree { frag; _ } -> Printf.sprintf "subtree %d" frag
+  | Message.Edit { node; _ } -> Printf.sprintf "edit %d" node
   | Message.Code_frag _ -> "code fragment"
   | Message.Resolve _ -> "resolve"
   | Message.Final _ -> "final code"
@@ -243,8 +268,9 @@ let run_sim opts g plan tree =
   let sim = S.create ~params:opts.net_params () in
   Option.iter (S.set_faults sim) opts.faults;
   let faulty = Option.is_some opts.faults in
-  let rto = Option.value opts.fault_rto ~default:sim_rto in
-  let watchdog = Option.value opts.fault_watchdog ~default:sim_watchdog in
+  let auto_rto, auto_watchdog = auto_timeouts opts tree in
+  let rto = Option.value opts.fault_rto ~default:auto_rto in
+  let watchdog = Option.value opts.fault_watchdog ~default:auto_watchdog in
   let ctxs = make_ctxs opts ~n:(nfrags + 2) ~clock:(fun () -> S.time ()) in
   (* With a fault plan — even an all-zero one, for overhead measurement —
      every machine talks through its own reliable-delivery layer. *)

@@ -43,14 +43,17 @@ type options = {
           (the machine never runs) and delay/reorder jitter is approximated
           by send-order perturbation. *)
   fault_rto : float option;
-      (** base retransmission timeout for the reliable layer; [None] picks a
-          per-transport default sized for the test fixtures. A machine acks
-          nothing while it computes, so on big workloads the give-up horizon
+      (** base retransmission timeout for the reliable layer. A machine
+          acks nothing while it computes, so the give-up horizon
           rto * (2 + 4 + ... + 2^max_tries) must exceed the longest compute
-          phase or live peers are presumed dead. *)
+          phase or live peers are presumed dead. [None] (recommended)
+          auto-scales to the workload on the simulator — a machine's share
+          of the tree's rules priced by the cost model, floored at the
+          fixture-sized default — and picks the fixed real-time default on
+          domains. *)
   fault_watchdog : float option;
-      (** coordinator liveness-probe interval; [None] picks a per-transport
-          default. Should scale with [fault_rto]. *)
+      (** coordinator liveness-probe interval; [None] scales with the
+          (possibly auto-scaled) [fault_rto]. *)
   telemetry : bool;
       (** record spans, events and metrics on every machine (see
           {!Pag_obs.Obs}); off by default — the instrumentation then costs

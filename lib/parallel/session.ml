@@ -1,0 +1,404 @@
+open Pag_core
+open Pag_eval
+open Netsim
+
+(* ------------------------------------------------------------------ *)
+(* Run setup shared by pagc, agrun and bench                           *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  sp_machines : int;
+  sp_mode : Worker.mode;
+  sp_transport : [ `Sim | `Domains ];
+  sp_granularity : float;
+  sp_librarian : bool;
+  sp_priority : bool;
+  sp_hashcons : bool;
+  sp_telemetry : bool;
+  sp_faults : Faults.spec option;
+  sp_fault_rto : float option;
+  sp_fault_watchdog : float option;
+  sp_phase_label : int -> string option;
+}
+
+let spec ?(mode = `Combined) ?(transport = `Sim) ?(granularity = 1.0)
+    ?(librarian = true) ?(priority = true) ?(hashcons = false)
+    ?(telemetry = false) ?faults ?fault_rto ?fault_watchdog
+    ?(phase_label = fun _ -> None) machines =
+  {
+    sp_machines = machines;
+    sp_mode = mode;
+    sp_transport = transport;
+    sp_granularity = granularity;
+    sp_librarian = librarian;
+    sp_priority = priority;
+    sp_hashcons = hashcons;
+    sp_telemetry = telemetry;
+    sp_faults = faults;
+    sp_fault_rto = fault_rto;
+    sp_fault_watchdog = fault_watchdog;
+    sp_phase_label = phase_label;
+  }
+
+let options s =
+  {
+    Runner.default_options with
+    Runner.machines = s.sp_machines;
+    mode = s.sp_mode;
+    granularity = s.sp_granularity;
+    use_librarian = s.sp_librarian;
+    use_priority = s.sp_priority;
+    use_hashcons = s.sp_hashcons;
+    telemetry = s.sp_telemetry;
+    faults = s.sp_faults;
+    fault_rto = s.sp_fault_rto;
+    fault_watchdog = s.sp_fault_watchdog;
+    phase_label = s.sp_phase_label;
+  }
+
+let run s g plan tree =
+  let o = options s in
+  match s.sp_transport with
+  | `Sim -> Runner.run_sim o g plan tree
+  | `Domains -> Runner.run_domains o g plan tree
+
+(* ------------------------------------------------------------------ *)
+(* Edit sessions: incremental re-evaluation over the network model     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each edit gets its own tiny simulation (the long-lived machine
+   processes of a real editor service, collapsed to one message wave per
+   edit). The functor application is per message type, so this simulator
+   coexists with {!Runner}'s. *)
+module ES = Sim.Make (struct
+  type msg = Message.t
+end)
+
+type edit_session = {
+  es_spec : spec;
+  es_g : Grammar.t;
+  es_incr : Incr.session;
+  mutable es_plan : Split.plan;
+}
+
+type edit_report = {
+  er_dirty : int;
+  er_refired : int;
+  er_cutoff : int;
+  er_fallback : bool;
+  er_prop_ms : float;
+  er_owner : int;
+  er_boundary_changed : int;
+  er_boundary_total : int;
+  er_bytes_incr : int;
+  er_bytes_full : int;
+  er_messages : int;
+  er_retransmits : int;
+  er_latency : float;
+}
+
+let open_session ?obs ?frontier sp g tree =
+  let incr = Incr.start ?obs ~hashcons:sp.sp_hashcons ?frontier g tree in
+  let plan =
+    Split.decompose g (Incr.tree incr) ~machines:sp.sp_machines
+      ~granularity:sp.sp_granularity
+  in
+  { es_spec = sp; es_g = g; es_incr = incr; es_plan = plan }
+
+let tree es = Incr.tree es.es_incr
+
+let store es = Incr.store es.es_incr
+
+let totals es = Incr.totals es.es_incr
+
+(* Attributes of a boundary node, with their index into the symbol's
+   declaration array (the index doubles as the wire reference id via
+   {!Pag_eval.Store.slot_of}). *)
+let attrs_of es (n : Tree.t) kind =
+  let s = Grammar.symbol es.es_g n.Tree.sym in
+  Array.to_list s.Grammar.s_attrs
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter (fun (_, (a : Grammar.attr_decl)) -> a.Grammar.a_kind = kind)
+
+let rec message_label = function
+  | Message.Edit { node; _ } -> Printf.sprintf "edit %d" node
+  | Message.Attr { attr; _ } -> attr
+  | Message.Attr_ref { attr; _ } -> attr ^ " (ref)"
+  | Message.Data { payload; _ } -> message_label payload
+  | Message.Ack _ -> "ack"
+  | m -> Format.asprintf "%a" Message.pp m
+
+(* One attribute crossing a machine boundary: changed since the last edit
+   (per {!Incr.changed}) ships in full, unchanged ships as a fixed-size
+   intern reference — the receiver already holds the value. *)
+let boundary_message es ~src (b : Tree.t) attr_idx (a : Grammar.attr_decl) =
+  let st = Incr.store es.es_incr in
+  if Incr.changed es.es_incr b a.Grammar.a_name then
+    Message.Attr
+      {
+        node = b.Tree.id;
+        attr = a.Grammar.a_name;
+        value = Store.get st b a.Grammar.a_name;
+      }
+  else
+    Message.Attr_ref
+      {
+        src;
+        node = b.Tree.id;
+        attr = a.Grammar.a_name;
+        iid = Store.slot_of st b ~attr_idx;
+        hash = 0;
+      }
+
+(* The per-edit message wave. The owner machine receives the re-parsed
+   replacement, pays the rebuild and the whole propagation (the model
+   charges all re-fired rules to the edit's owner), then boundary
+   attributes flow through the fragment tree: inherited attributes down
+   from every fragment to its children, synthesized attributes up to its
+   parent, and the root fragment finally reports the tree's synthesized
+   attributes to the coordinator. The wave visits every boundary every
+   edit; what the equality cutoff left unchanged crosses as references. *)
+let simulate es ~owner_frag ~edit_node ~bytes (st : Incr.edit_stats) =
+  let sp = es.es_spec in
+  let cost = Cost.default in
+  let frags = Split.fragments es.es_plan in
+  let nfrags = Array.length frags in
+  let root = Incr.tree es.es_incr in
+  let children =
+    let t = Array.make nfrags [] in
+    Array.iter
+      (fun (f : Split.fragment) ->
+        match f.Split.fr_parent with
+        | Some p -> t.(p) <- f :: t.(p)
+        | None -> ())
+      frags;
+    Array.map List.rev t
+  in
+  let owner_delay =
+    (float_of_int bytes *. cost.Cost.rebuild_per_byte)
+    +. (float_of_int st.Incr.ed_dirty *. cost.Cost.build_node)
+    +. float_of_int st.Incr.ed_refired
+       *. Cost.rule_cost cost ~dynamic:true
+  in
+  let sim = ES.create () in
+  Option.iter (ES.set_faults sim) sp.sp_faults;
+  let faulty = Option.is_some sp.sp_faults in
+  (* The owner acknowledges nothing while it propagates; scale the
+     retransmission timeout so the backoff horizon dwarfs that phase. *)
+  let rto = Float.max 0.1 (owner_delay /. 4.0) in
+  let links = ref [] in
+  let env_for id =
+    let raw =
+      {
+        Transport.e_id = id;
+        e_delay = ES.delay;
+        e_send =
+          (fun ~dst m ->
+            ES.send ~dst ~size:(Message.size m) ~label:(message_label m) m);
+        e_recv = ES.recv;
+        e_recv_timeout = ES.recv_timeout;
+        e_time = ES.time;
+        e_mark = ES.mark;
+        e_flush = (fun () -> ());
+      }
+    in
+    if faulty then begin
+      let l = Reliable.wrap ~rto ~max_tries:8 raw in
+      links := l :: !links;
+      Reliable.env l
+    end
+    else raw
+  in
+  let finish = ref 0.0 in
+  (* pid 0: the coordinator (parser) hands the edit to its owner and waits
+     for the refreshed root attributes. *)
+  let coord_env = env_for 0 in
+  let root_syn = attrs_of es root Grammar.Syn in
+  let _ =
+    ES.spawn sim ~name:"parser" (fun () ->
+        coord_env.Transport.e_send ~dst:(owner_frag + 1)
+          (Message.Edit { node = edit_node; bytes });
+        let got = ref 0 in
+        while !got < List.length root_syn do
+          match coord_env.Transport.e_recv () with
+          | Message.Attr _ | Message.Attr_ref _ -> incr got
+          | _ -> ()
+        done;
+        finish := ES.time ();
+        coord_env.Transport.e_flush ())
+  in
+  (* pids 1..nfrags: one machine per fragment. *)
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let id = f.Split.fr_id + 1 in
+      let env = env_for id in
+      let is_owner = f.Split.fr_id = owner_frag in
+      let inh_expected =
+        match f.Split.fr_parent with
+        | Some _ -> List.length (attrs_of es f.Split.fr_root Grammar.Inh)
+        | None -> 0
+      in
+      let syn_expected =
+        List.fold_left
+          (fun acc (c : Split.fragment) ->
+            acc + List.length (attrs_of es c.Split.fr_root Grammar.Syn))
+          0
+          children.(f.Split.fr_id)
+      in
+      let _ =
+        ES.spawn sim
+          ~name:(Runner.machine_name ~fragments:nfrags id)
+          (fun () ->
+            let seen = ref 0 in
+            if is_owner then begin
+              let rec wait () =
+                match env.Transport.e_recv () with
+                | Message.Edit _ -> ()
+                | _ ->
+                    incr seen;
+                    wait ()
+              in
+              wait ();
+              env.Transport.e_delay owner_delay
+            end;
+            (* inherited attributes down to each child fragment *)
+            List.iter
+              (fun (c : Split.fragment) ->
+                List.iter
+                  (fun (i, a) ->
+                    env.Transport.e_send ~dst:(c.Split.fr_id + 1)
+                      (boundary_message es ~src:id c.Split.fr_root i a))
+                  (attrs_of es c.Split.fr_root Grammar.Inh))
+              children.(f.Split.fr_id);
+            (* wait out the parent's inherited and the children's
+               synthesized boundary attributes *)
+            while !seen < inh_expected + syn_expected do
+              (match env.Transport.e_recv () with
+              | Message.Edit _ -> ()
+              | _ -> incr seen);
+            done;
+            (* synthesized attributes up: to the parent fragment's machine,
+               or — for the root fragment — to the coordinator *)
+            let dst, up =
+              match f.Split.fr_parent with
+              | Some p -> (p + 1, attrs_of es f.Split.fr_root Grammar.Syn)
+              | None -> (0, root_syn)
+            in
+            List.iter
+              (fun (i, a) ->
+                env.Transport.e_send ~dst
+                  (boundary_message es ~src:id f.Split.fr_root i a))
+              up;
+            env.Transport.e_flush ())
+      in
+      ())
+    frags;
+  ES.run sim;
+  let net = ES.network sim in
+  (* Boundary census: what crossed a machine boundary, and how much of it
+     the cutoff kept to a reference. *)
+  let changed = ref 0 and total = ref 0 in
+  let census (b : Tree.t) kind =
+    List.iter
+      (fun (_, (a : Grammar.attr_decl)) ->
+        incr total;
+        if Incr.changed es.es_incr b a.Grammar.a_name then incr changed)
+      (attrs_of es b kind)
+  in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      match f.Split.fr_parent with
+      | Some _ ->
+          census f.Split.fr_root Grammar.Syn;
+          census f.Split.fr_root Grammar.Inh
+      | None -> ())
+    frags;
+  census root Grammar.Syn;
+  (* A from-scratch distributed recompile ships every fragment's subtree
+     plus every boundary attribute in full. *)
+  let full_attr (b : Tree.t) (a : Grammar.attr_decl) =
+    Message.size
+      (Message.Attr
+         {
+           node = b.Tree.id;
+           attr = a.Grammar.a_name;
+           value = Store.get (Incr.store es.es_incr) b a.Grammar.a_name;
+         })
+  in
+  let bytes_full = ref (nfrags * Message.header_bytes + Tree.byte_size root) in
+  let attr_census (b : Tree.t) kind =
+    List.iter
+      (fun (_, a) -> bytes_full := !bytes_full + full_attr b a)
+      (attrs_of es b kind)
+  in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      match f.Split.fr_parent with
+      | Some _ ->
+          attr_census f.Split.fr_root Grammar.Syn;
+          attr_census f.Split.fr_root Grammar.Inh
+      | None -> ())
+    frags;
+  attr_census root Grammar.Syn;
+  {
+    er_dirty = st.Incr.ed_dirty;
+    er_refired = st.Incr.ed_refired;
+    er_cutoff = st.Incr.ed_cutoff;
+    er_fallback = st.Incr.ed_fallback;
+    er_prop_ms = st.Incr.ed_prop_ms;
+    er_owner = owner_frag;
+    er_boundary_changed = !changed;
+    er_boundary_total = !total;
+    er_bytes_incr = Ethernet.bytes_sent net;
+    er_bytes_full = !bytes_full;
+    er_messages = Ethernet.messages_sent net;
+    er_retransmits =
+      List.fold_left
+        (fun acc l -> acc + (Reliable.stats l).Reliable.rs_retransmits)
+        0 !links;
+    er_latency = !finish;
+  }
+
+let no_wave (st : Incr.edit_stats) =
+  {
+    er_dirty = st.Incr.ed_dirty;
+    er_refired = st.Incr.ed_refired;
+    er_cutoff = st.Incr.ed_cutoff;
+    er_fallback = st.Incr.ed_fallback;
+    er_prop_ms = st.Incr.ed_prop_ms;
+    er_owner = 0;
+    er_boundary_changed = 0;
+    er_boundary_total = 0;
+    er_bytes_incr = 0;
+    er_bytes_full = 0;
+    er_messages = 0;
+    er_retransmits = 0;
+    er_latency = 0.0;
+  }
+
+(* The parser re-decomposes after every structural edit: a replacement may
+   have swapped out a subtree containing a fragment root, and the wave must
+   ship boundary attributes of live nodes only. The fresh plan is also what
+   the owner lookup runs against — the edit site is by construction live. *)
+let refresh_plan es =
+  es.es_plan <-
+    Split.decompose es.es_g (Incr.tree es.es_incr)
+      ~machines:es.es_spec.sp_machines ~granularity:es.es_spec.sp_granularity
+
+let edit es next =
+  match Tree.diff (Incr.tree es.es_incr) next with
+  | Tree.Equal -> no_wave (Incr.edit es.es_incr next)
+  | Tree.Root ->
+      let st = Incr.edit es.es_incr next in
+      refresh_plan es;
+      let root = Incr.tree es.es_incr in
+      simulate es ~owner_frag:0 ~edit_node:root.Tree.id
+        ~bytes:(Tree.byte_size root) st
+  | Tree.Subtree { parent; pos; repl } ->
+      let bytes = Tree.byte_size repl in
+      let st = Incr.replace es.es_incr ~parent ~pos repl in
+      refresh_plan es;
+      let owner_frag =
+        Option.value (Split.owner_of es.es_plan parent) ~default:0
+      in
+      simulate es ~owner_frag ~edit_node:parent.Tree.id ~bytes st

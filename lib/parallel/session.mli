@@ -1,0 +1,125 @@
+(** Run setup and edit sessions — the one place that turns a description of
+    a parallel evaluation into a {!Runner} invocation.
+
+    [pagc], [agrun] and the benchmark harness all build their runs through
+    {!spec}/{!options}/{!run} instead of each assembling
+    {!Runner.options} by hand.
+
+    {2 Edit sessions}
+
+    An {!edit_session} keeps a program resident: the tree stays evaluated
+    (via {!Pag_eval.Incr}) and decomposed ({!Split}) between edits, the way
+    the paper's compiler would sit inside an editor loop. Each {!edit}
+    diffs the re-parsed tree against the resident one, re-evaluates only
+    the dirty cone, and then plays one message wave over the network
+    simulator to price the distributed update:
+
+    - the coordinator ships the replacement subtree to the machine owning
+      the edit site ({!Message.Edit});
+    - that owner pays the rebuild (bytes x rebuild cost) and the whole
+      propagation (all re-fired rules, priced at dynamic-rule cost);
+    - boundary attributes then flow through the fragment tree (inherited
+      down, synthesized up, root attributes to the coordinator). An
+      attribute the equality cutoff proved unchanged crosses as a
+      fixed-size {!Message.Attr_ref} instead of its full value.
+
+    With a fault plan in the spec, the wave runs behind the
+    reliable-delivery layer ({!Reliable}) and the report counts its
+    retransmissions. The model deliberately stops short of a resident
+    distributed worker loop: values come from the session's own
+    incremental evaluation, the simulation prices traffic and latency
+    (DESIGN.md section 10 discusses the simplification). *)
+
+open Pag_core
+open Pag_eval
+open Netsim
+
+type spec = {
+  sp_machines : int;
+  sp_mode : Worker.mode;
+  sp_transport : [ `Sim | `Domains ];
+  sp_granularity : float;
+  sp_librarian : bool;
+  sp_priority : bool;
+  sp_hashcons : bool;
+  sp_telemetry : bool;
+  sp_faults : Faults.spec option;
+  sp_fault_rto : float option;
+  sp_fault_watchdog : float option;
+  sp_phase_label : int -> string option;
+}
+
+(** [spec machines] with every knob defaulted as in
+    {!Runner.default_options}. *)
+val spec :
+  ?mode:Worker.mode ->
+  ?transport:[ `Sim | `Domains ] ->
+  ?granularity:float ->
+  ?librarian:bool ->
+  ?priority:bool ->
+  ?hashcons:bool ->
+  ?telemetry:bool ->
+  ?faults:Faults.spec ->
+  ?fault_rto:float ->
+  ?fault_watchdog:float ->
+  ?phase_label:(int -> string option) ->
+  int ->
+  spec
+
+val options : spec -> Runner.options
+
+(** Run one full (from-scratch) parallel evaluation on the spec's
+    transport. *)
+val run :
+  spec ->
+  Grammar.t ->
+  Pag_analysis.Kastens.plan option ->
+  Tree.t ->
+  Runner.result
+
+type edit_session
+
+(** Outcome of one {!edit}: the {!Pag_eval.Incr.edit_stats} counters plus
+    the distributed wave's census. *)
+type edit_report = {
+  er_dirty : int;  (** rule instances in the dirty cone *)
+  er_refired : int;  (** rules actually re-fired *)
+  er_cutoff : int;  (** dirty rules skipped by the equality cutoff *)
+  er_fallback : bool;  (** handled by a from-scratch rebuild *)
+  er_prop_ms : float;  (** local propagation time, milliseconds *)
+  er_owner : int;  (** fragment owning the edit site *)
+  er_boundary_changed : int;  (** boundary attributes that changed *)
+  er_boundary_total : int;  (** boundary attributes shipped (incl. refs) *)
+  er_bytes_incr : int;  (** wire bytes of the incremental wave *)
+  er_bytes_full : int;
+      (** wire bytes a from-scratch distributed recompile would ship:
+          every fragment subtree plus every boundary attribute in full *)
+  er_messages : int;  (** messages in the wave, acks included *)
+  er_retransmits : int;  (** reliable-layer retransmissions (faults only) *)
+  er_latency : float;  (** simulated seconds, edit sent -> roots refreshed *)
+}
+
+(** Evaluate [tree] from scratch, decompose it, and keep both resident.
+    [frontier] as in {!Pag_eval.Incr.start}. *)
+val open_session :
+  ?obs:Pag_obs.Obs.ctx ->
+  ?frontier:float ->
+  spec ->
+  Grammar.t ->
+  Tree.t ->
+  edit_session
+
+(** The resident (always fully evaluated) tree. *)
+val tree : edit_session -> Tree.t
+
+(** The resident store; every attribute of {!tree} is set. *)
+val store : edit_session -> Store.t
+
+val totals : edit_session -> Incr.totals
+
+(** [edit session next] makes the resident tree structurally equal to
+    [next] (same root symbol required), re-evaluating incrementally and
+    pricing the distributed update. Structurally equal trees are a no-op
+    with an all-zero report; a root-level change falls back to a
+    from-scratch rebuild and a fresh decomposition. *)
+val edit : edit_session -> Tree.t -> edit_report

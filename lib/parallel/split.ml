@@ -29,18 +29,43 @@ let node_bytes node =
 let decompose g tree ~machines ~granularity =
   if machines < 1 then invalid_arg "Split.decompose: machines < 1";
   if granularity <= 0.0 then invalid_arg "Split.decompose: granularity <= 0";
-  let n = Tree.number tree in
+  (* The split algorithm wants preorder indices (every subtree is an
+     interval [i, i + count)), but it must not renumber the tree to get
+     them: an edit session re-decomposes its resident tree between edits,
+     and that tree's ids are the evaluator store's node identity. Trees
+     arriving unnumbered (or with duplicate ids) are numbered once; on an
+     already uniquely-numbered tree the ids are left alone and a side
+     table maps id -> preorder index. *)
+  let ids_unique =
+    let seen = Hashtbl.create 256 in
+    let ok = ref true in
+    Tree.iter
+      (fun nd ->
+        if nd.Tree.id < 0 || Hashtbl.mem seen nd.Tree.id then ok := false
+        else Hashtbl.add seen nd.Tree.id ())
+      tree;
+    !ok
+  in
+  if not ids_unique then ignore (Tree.number tree);
+  let n = Tree.size tree in
   let nodes = Array.make n tree in
-  Tree.iter (fun nd -> nodes.(nd.Tree.id) <- nd) tree;
-  (* Preorder ids make every subtree an id interval: [id, id + count). *)
+  let pre_tbl = Hashtbl.create n in
+  let next = ref 0 in
+  Tree.iter
+    (fun nd ->
+      nodes.(!next) <- nd;
+      Hashtbl.replace pre_tbl nd.Tree.id !next;
+      incr next)
+    tree;
+  let pre (nd : Tree.t) = Hashtbl.find pre_tbl nd.Tree.id in
   let counts = Array.make n 1 in
   let bytes = Array.make n 0 in
   for i = n - 1 downto 0 do
     bytes.(i) <- node_bytes nodes.(i);
     Array.iter
       (fun c ->
-        counts.(i) <- counts.(i) + counts.(c.Tree.id);
-        bytes.(i) <- bytes.(i) + bytes.(c.Tree.id))
+        counts.(i) <- counts.(i) + counts.(pre c);
+        bytes.(i) <- bytes.(i) + bytes.(pre c))
       nodes.(i).Tree.children
   done;
   let splittable i =
@@ -58,14 +83,14 @@ let decompose g tree ~machines ~granularity =
   let cut_bytes cuts under =
     List.fold_left
       (fun a (c : Tree.t) ->
-        if in_subtree ~root:under c.Tree.id then a + bytes.(c.Tree.id) else a)
+        if in_subtree ~root:under (pre c) then a + bytes.(pre c) else a)
       0 cuts
   in
   let residual w =
-    bytes.(w.w_root.Tree.id) - cut_bytes w.w_cuts w.w_root.Tree.id
+    bytes.(pre w.w_root) - cut_bytes w.w_cuts (pre w.w_root)
   in
   (* Ideal fragment size: machines equal shares of the whole tree. *)
-  let share = float_of_int bytes.(tree.Tree.id) /. float_of_int machines in
+  let share = float_of_int bytes.(pre tree) /. float_of_int machines in
   (* Candidate cut inside fragment [w]: any splittable node that is not the
      fragment root and not inside an existing cut. A candidate may contain
      existing cuts: those child fragments are re-parented to the new
@@ -73,8 +98,8 @@ let decompose g tree ~machines ~granularity =
      candidate leaves the fragment with about one machine share: cut the
      node whose residual is closest to [residual w - share]. *)
   let best_candidate w =
-    let root_id = w.w_root.Tree.id in
-    let cut_ids = List.map (fun (c : Tree.t) -> c.Tree.id) w.w_cuts in
+    let root_id = pre w.w_root in
+    let cut_ids = List.map (fun (c : Tree.t) -> pre c) w.w_cuts in
     let target =
       Float.max (share /. 2.0) (float_of_int (residual w) -. share)
     in
@@ -117,7 +142,7 @@ let decompose g tree ~machines ~granularity =
               let cut_node = nodes.(cut_id) in
               let moved, kept =
                 List.partition
-                  (fun (c : Tree.t) -> in_subtree ~root:cut_id c.Tree.id)
+                  (fun (c : Tree.t) -> in_subtree ~root:cut_id (pre c))
                   w.w_cuts
               in
               let nw =
@@ -210,6 +235,29 @@ let dag_bytes p (sh : Tree.sharing) (f : fragment) =
   !total
 
 let fragment_of_cut_node p node_id = Hashtbl.find_opt p.cut_to_frag node_id
+
+(* The fragment whose machine evaluates [node]: reachable from the
+   fragment root without crossing into a cut stub (a stub is the next
+   fragment's root, so the deepest enclosing fragment wins). Physical
+   equality, not ids — an edit session grafts replacement nodes carrying
+   ids outside the plan's original preorder range, and those are only
+   findable under the fragment that physically contains them. *)
+let owner_of p (node : Tree.t) =
+  let rec find i =
+    if i >= Array.length p.frags then None
+    else begin
+      let f = p.frags.(i) in
+      let cuts = p.cut_lists.(f.fr_id) in
+      let rec go n =
+        n == node
+        || Array.exists
+             (fun (c : Tree.t) -> (not (List.mem c.Tree.id cuts)) && go c)
+             n.Tree.children
+      in
+      if go f.fr_root then Some f.fr_id else find (i + 1)
+    end
+  in
+  find 0
 
 let cuts_of p frag_id = p.cut_lists.(frag_id)
 

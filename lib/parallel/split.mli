@@ -36,6 +36,14 @@ val fragments : plan -> fragment array
 (** Fragment owning a cut whose root is the given node id, if any. *)
 val fragment_of_cut_node : plan -> int -> int option
 
+(** [owner_of plan node] — the fragment whose machine evaluates [node]:
+    the deepest fragment physically containing it (search stops at cut
+    stubs, which the next fragment owns). Comparison is physical, so
+    replacement subtrees grafted by an edit session are found under the
+    fragment they were grafted into; [None] when the node is not in the
+    plan's tree at all. *)
+val owner_of : plan -> Tree.t -> int option
+
 (** Node ids of the stubs cut out of the given fragment. *)
 val cuts_of : plan -> int -> int list
 

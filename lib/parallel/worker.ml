@@ -58,7 +58,7 @@ let zero_stats =
   }
 
 type item =
-  | IRule of Tree.t * Grammar.rule
+  | IRule of int  (** rule id in the shared {!Engine} *)
   | IVisit of Tree.t * int
   | IRecv of Tree.t * string
 
@@ -106,6 +106,12 @@ let run_protocol (env : Transport.env) cfg task =
     task.t_cuts;
   let is_cut (n : Tree.t) = Hashtbl.mem cut_machine n.Tree.id in
   let store = Store.create_shared ~stop:is_cut g task.t_root in
+  (* The shared engine resolves every owned rule instance once; stubs are
+     excluded (their defining rules run on other machines) and spine rules
+     fire through the engine's rule memo when hash-consing is on. *)
+  let eng =
+    Engine.create ?memo:rmemo ~rules_for:(fun n -> not (is_cut n)) g store
+  in
   (* Owned nodes: fragment nodes excluding the stubs; parents recorded. *)
   let parent = Hashtbl.create 256 in
   let owned = ref [] in
@@ -191,11 +197,11 @@ let run_protocol (env : Transport.env) cfg task =
         match n.Tree.prod with
         | None -> ()
         | Some p ->
-            Array.iter
-              (fun (r : Grammar.rule) ->
-                let id = new_item (IRule (n, r)) in
-                let tnode, tattr = Store.rule_target n r in
-                register_producer id tnode tattr)
+            Array.iteri
+              (fun ridx _ ->
+                let rid = Engine.rid_at eng n ridx in
+                let id = new_item (IRule rid) in
+                producers.(Engine.target_slot eng rid) <- id)
               p.Grammar.p_rules)
     owned;
   (* Visit items for static roots. *)
@@ -260,13 +266,14 @@ let run_protocol (env : Transport.env) cfg task =
   Array.iteri
     (fun id it ->
       match it with
-      | IRule (n, r) ->
+      | IRule rid ->
           List.iter
             (fun (dn, dattr) ->
               match producer_of dn dattr with
               | Some p -> add_edge ~from:p ~on:id
               | None -> ())
-            (Store.rule_deps store n r)
+            (Store.rule_deps store (Engine.node_of eng rid)
+               (Engine.rule_of eng rid))
       | IVisit (c, v) ->
           (match plan with
           | None -> assert false
@@ -343,8 +350,8 @@ let run_protocol (env : Transport.env) cfg task =
   (* ---- 8. Execution. ---- *)
   let hi = Queue.create () and lo = Queue.create () in
   let is_priority_item = function
-    | IRule (n, r) ->
-        let tnode, tattr = Store.rule_target n r in
+    | IRule rid ->
+        let tnode, tattr = Engine.target_instance eng rid in
         Grammar.is_priority g ~sym:tnode.Tree.sym ~attr:tattr
     | IVisit _ | IRecv _ -> false
   in
@@ -365,7 +372,7 @@ let run_protocol (env : Transport.env) cfg task =
   let marked = Hashtbl.create 4 in
   let products_of id =
     match items.(id) with
-    | IRule (n, r) -> [ Store.rule_target n r ]
+    | IRule rid -> [ Engine.target_instance eng rid ]
     | IVisit (c, v) -> (
         match plan with
         | None -> assert false
@@ -388,30 +395,14 @@ let run_protocol (env : Transport.env) cfg task =
         if waiting.(c) = 0 then enqueue c)
       consumers.(id)
   in
-  (* The memo identifies a semantic function as (production id, rule index)
-     packed into an int; the scan is over a handful of rules per production. *)
-  let rule_key (n : Tree.t) (r : Grammar.rule) =
-    match n.Tree.prod with
-    | None -> assert false
-    | Some p ->
-        let rec idx i = if p.Grammar.p_rules.(i) == r then i else idx (i + 1) in
-        (p.Grammar.p_id lsl 10) lor idx 0
-  in
   let execute id =
     match items.(id) with
-    | IRule (n, r) ->
-        Uid.with_counter uid_cursor (fun () ->
-            match rmemo with
-            | None -> ignore (Store.apply_rule store n r)
-            | Some m ->
-                let key = rule_key n r in
-                ignore
-                  (Store.apply_rule_with store n r ~fn:(fun args ->
-                       Memo.apply_rule m ~rule_key:key ~fn:r.Grammar.r_fn args)));
+    | IRule rid ->
+        Uid.with_counter uid_cursor (fun () -> Engine.fire eng rid);
         env.Transport.e_delay (Cost.rule_cost cfg.wc_cost ~dynamic:true);
         incr dynamic_rules;
         if obs_on then begin
-          let tnode, tattr = Store.rule_target n r in
+          let tnode, tattr = Engine.target_instance eng rid in
           Obs.instant obs.Obs.x_rec ~pid:obs.Obs.x_pid
             ~t:(obs.Obs.x_clock ())
             (Printf.sprintf "dyn-rule %s.%s" tnode.Tree.sym tattr)
@@ -428,7 +419,7 @@ let run_protocol (env : Transport.env) cfg task =
           | None -> assert false
           | Some p ->
               Uid.with_counter uid_cursor (fun () ->
-                  Static_eval.visit ?memo p store c v)
+                  Static_eval.visit ?memo p eng c v)
         in
         env.Transport.e_delay (Cost.visit_cost cfg.wc_cost ~visits:nv ~evals:ne);
         if obs_on then

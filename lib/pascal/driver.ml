@@ -70,6 +70,40 @@ let compile_parallel_domains ?(variant = `Base) opts prog =
 
 let optimize c = { c with c_asm = Peephole.optimize_text c.c_asm }
 
+(* Label numbers (L<n>, P<n>) depend on rule firing order, which differs
+   between evaluators; the instruction sequence is determined by the tree
+   alone.  Masking every label token (definitions and references alike)
+   yields text that is comparable across evaluators and edit sessions. *)
+let mask_labels s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || is_digit c || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if
+      (c = 'L' || c = 'P')
+      && !i + 1 < n
+      && is_digit s.[!i + 1]
+      && (!i = 0 || not (is_word s.[!i - 1]))
+    then begin
+      Buffer.add_char buf c;
+      Buffer.add_char buf '_';
+      incr i;
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
 let run_compiled ?fuel ?input c =
   if c.c_errors <> [] then
     raise

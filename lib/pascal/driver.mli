@@ -57,6 +57,11 @@ val compile_parallel_domains :
 (** Apply the peephole optimizer to compiled assembly. *)
 val optimize : compiled -> compiled
 
+(** Mask every [L<n>]/[P<n>] label token in assembly text. Label numbers
+    depend on rule firing order (which differs between evaluators and
+    across incremental edits); the masked text is what must agree. *)
+val mask_labels : string -> string
+
 (** Assemble and execute on the VAX simulator. Raises [Compile_error] when
     the program had semantic errors. *)
 val run_compiled :

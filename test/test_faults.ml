@@ -193,6 +193,70 @@ let test_crash_before_start () =
   check_bool "recovered" true r.Runner.r_recovered;
   check_int "value" (oracle_value t) (int_attr r.Runner.r_attrs "value")
 
+(* --------------- edits under faults --------------- *)
+
+(* An edit session over a lossy network: every edit wave must terminate
+   (retransmission covers drops, dedup covers duplicates) and leave the
+   resident store exactly where a from-scratch evaluation of the edited
+   tree lands. *)
+let arb_edit_chaos =
+  QCheck.make
+    ~print:(fun (s0, edits, m, drop, dup, fseed) ->
+      Printf.sprintf
+        "base=%d edits=[%s] machines=%d drop=%.2f dup=%.2f fault-seed=%d" s0
+        (String.concat ";" (List.map string_of_int edits))
+        m drop dup fseed)
+    QCheck.Gen.(
+      int_bound 100_000 >>= fun s0 ->
+      list_size (1 -- 4) (int_bound 100_000) >>= fun edits ->
+      int_range 2 4 >>= fun m ->
+      float_bound_inclusive 0.2 >>= fun drop ->
+      float_bound_inclusive 0.1 >>= fun dup ->
+      int_bound 10_000 >>= fun fseed -> return (s0, edits, m, drop, dup, fseed))
+
+let prop_edit_chaos =
+  qc ~count:20 "sim: edit session under faults = from-scratch" arb_edit_chaos
+    (fun (s0, edits, m, drop, dup, fseed) ->
+      let g = Expr_ag.grammar in
+      let expr_of seed =
+        Expr_ag.random_program (Random.State.make [| seed |]) ~depth:6
+      in
+      let spec =
+        Session.spec ~granularity:0.05 ~librarian:false
+          ~faults:{ Faults.none with Faults.fs_drop = drop; fs_dup = dup; fs_seed = fseed }
+          m
+      in
+      let es = Session.open_session spec g (expr_of s0) in
+      List.for_all
+        (fun seed ->
+          ignore (Session.edit es (expr_of seed));
+          let fresh = expr_of seed in
+          let scratch, _ = Dynamic.eval g fresh in
+          Test_incr.values_agree g (Session.store es) (Session.tree es)
+            scratch fresh)
+        edits)
+
+let test_edit_wave_retransmits () =
+  (* A heavy drop rate must show up as retransmissions, not as failure. *)
+  let g = Expr_ag.grammar in
+  let expr_of seed =
+    Expr_ag.random_program (Random.State.make [| seed |]) ~depth:8
+  in
+  let spec =
+    Session.spec ~granularity:0.05 ~librarian:false
+      ~faults:{ Faults.none with Faults.fs_drop = 0.3; fs_seed = 5 }
+      4
+  in
+  let es = Session.open_session spec g (expr_of 1) in
+  let r = Session.edit es (expr_of 2) in
+  check_bool "wave terminated with retransmissions" true
+    (r.Session.er_retransmits > 0);
+  let fresh = expr_of 2 in
+  let scratch, _ = Dynamic.eval g fresh in
+  check_bool "values = scratch" true
+    (Test_incr.values_agree g (Session.store es) (Session.tree es) scratch
+       fresh)
+
 (* --------------- librarian idempotence --------------- *)
 
 module S = Sim.Make (struct
@@ -305,6 +369,9 @@ let suite =
         Alcotest.test_case "crash + drops completes" `Quick
           test_crash_with_drops_still_completes;
         Alcotest.test_case "crash before start" `Quick test_crash_before_start;
+        prop_edit_chaos;
+        Alcotest.test_case "edit wave retransmits" `Quick
+          test_edit_wave_retransmits;
         Alcotest.test_case "librarian under duplicates" `Quick
           test_librarian_duplicates;
         Alcotest.test_case "reliable dedup" `Quick test_reliable_dedup_and_ack;

@@ -1,0 +1,133 @@
+(* Edit sessions: the distributed wave must preserve the incremental
+   invariant (resident values = from-scratch values) while its census and
+   latency stay sane — references never beat full shipping on size, the
+   wave touches every boundary, and a no-op edit moves nothing. *)
+
+open Pag_eval
+open Pag_grammars
+open Pag_parallel
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expr_of seed =
+  Expr_ag.random_program (Random.State.make [| seed |]) ~depth:8
+
+(* Small granularity so the expression tree actually decomposes. *)
+let sp machines = Session.spec ~granularity:0.05 ~librarian:false machines
+
+let session_agrees_with_scratch g es fresh =
+  let scratch, _ = Dynamic.eval g fresh in
+  Test_incr.values_agree g (Session.store es) (Session.tree es) scratch fresh
+
+let test_edit_wave () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 4) g (expr_of 3) in
+  let r = Session.edit es (expr_of 4) in
+  check_bool "values = scratch" true (session_agrees_with_scratch g es (expr_of 4));
+  check_bool "latency advanced" true (r.Session.er_latency > 0.0);
+  check_bool "wave carried messages" true (r.Session.er_messages > 0);
+  check_bool "boundary census covers the wave" true
+    (r.Session.er_boundary_changed <= r.Session.er_boundary_total);
+  check_bool "incremental wave smaller than full recompile" true
+    (r.Session.er_bytes_incr < r.Session.er_bytes_full)
+
+let test_identity_edit_moves_nothing () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 4) g (expr_of 3) in
+  let r = Session.edit es (expr_of 3) in
+  check_int "no messages" 0 r.Session.er_messages;
+  check_int "no bytes" 0 r.Session.er_bytes_incr;
+  check_bool "no latency" true (r.Session.er_latency = 0.0)
+
+let test_edit_sequence () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 3) g (expr_of 10) in
+  List.iter
+    (fun seed ->
+      ignore (Session.edit es (expr_of seed));
+      check_bool
+        (Printf.sprintf "values = scratch after seed %d" seed)
+        true
+        (session_agrees_with_scratch g es (expr_of seed)))
+    [ 11; 12; 11; 13; 10 ];
+  let t = Session.totals es in
+  check_int "five edits recorded" 5 t.Incr.tot_edits
+
+let test_single_machine () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 1) g (expr_of 3) in
+  let r = Session.edit es (expr_of 4) in
+  check_int "owner is the only fragment" 0 r.Session.er_owner;
+  check_bool "values = scratch" true
+    (session_agrees_with_scratch g es (expr_of 4));
+  check_bool "root attrs still reported" true (r.Session.er_messages > 0)
+
+(* A root-production change falls back, re-decomposes, and later subtree
+   edits keep working against the fresh plan. *)
+let test_root_change_then_edit () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 3) g (Test_incr.expr_a ()) in
+  let r1 = Session.edit es (Test_incr.expr_c ()) in
+  check_bool "root change fell back" true r1.Session.er_fallback;
+  check_bool "values = scratch" true
+    (session_agrees_with_scratch g es (Test_incr.expr_c ()));
+  let r2 = Session.edit es (expr_of 4) in
+  ignore r2;
+  check_bool "values = scratch after re-plan" true
+    (session_agrees_with_scratch g es (expr_of 4))
+
+(* Successive small edits leave the resident tree carrying appended
+   (non-preorder) node ids; re-decomposing between edits must not renumber
+   them out from under the store. Pascal single-statement edits force
+   Subtree deltas (an Expr random edit usually differs at the root and
+   takes the fallback rebuild, which hides id drift). *)
+let test_pascal_edit_sequence () =
+  let g = Pascal.Pascal_ag.grammar in
+  let src k =
+    Printf.sprintf
+      "program p;\nvar i, s : integer;\nbegin\n  s := 0;\n  i := 1;\n\
+      \  repeat\n    i := i * %d;\n    s := s + i\n  until i > 100;\n\
+      \  write(s)\nend.\n"
+      k
+  in
+  let tree k =
+    Pascal.Pascal_ag.tree_of_program g (Pascal.Parser.parse_program (src k))
+  in
+  let es =
+    Session.open_session
+      (Session.spec ~granularity:0.1 ~librarian:false 3)
+      g (tree 2)
+  in
+  List.iter
+    (fun k ->
+      let r = Session.edit es (tree k) in
+      check_bool
+        (Printf.sprintf "subtree delta for * %d" k)
+        false r.Session.er_fallback;
+      let scratch, _ = Dynamic.eval g (tree k) in
+      let masked st =
+        Pascal.Driver.mask_labels
+          (Pascal.Pascal_ag.code_of_attrs (Store.root_attrs st))
+      in
+      check_bool
+        (Printf.sprintf "code = scratch after * %d" k)
+        true
+        (String.equal (masked (Session.store es)) (masked scratch)))
+    [ 3; 5; 2; 7 ]
+
+let suite =
+  [
+    ( "session",
+      [
+        Alcotest.test_case "edit wave" `Quick test_edit_wave;
+        Alcotest.test_case "identity edit" `Quick
+          test_identity_edit_moves_nothing;
+        Alcotest.test_case "edit sequence" `Quick test_edit_sequence;
+        Alcotest.test_case "single machine" `Quick test_single_machine;
+        Alcotest.test_case "root change then edit" `Quick
+          test_root_change_then_edit;
+        Alcotest.test_case "pascal edit sequence" `Quick
+          test_pascal_edit_sequence;
+      ] );
+  ]
