@@ -20,6 +20,9 @@
      E12 beyond     hash-consed values + DAG-shared subtree evaluation:
                     sequential static throughput, bytes on the wire,
                     equivalence gates (writes BENCH_4.json)
+     E14 beyond     work-stealing instance scheduler vs the static fragment
+                    schedule: machine sweep on balanced and skewed
+                    workloads, equivalence gates (writes BENCH_6.json)
 
    Flags:
      --quick   use a smaller workload and fewer machine counts
@@ -958,6 +961,147 @@ let e13_incremental () =
   if not all_ok then failwith "E13: incremental re-evaluation gate failed"
 
 (* ------------------------------------------------------------------ *)
+(* E14: work-stealing instance scheduler (BENCH_6)                     *)
+(* ------------------------------------------------------------------ *)
+
+let e14_steal () =
+  sep "[E14] Work-stealing scheduler vs static fragment schedule (BENCH_6)";
+  let chain = if quick then 200 else 400 in
+  let skewed_prog = Progen.skewed_program ~chain () in
+  let skewed_name = Printf.sprintf "Progen.skewed_program chain=%d" chain in
+  let balanced_prog = Lazy.force workload in
+  let machine_counts =
+    if quick then [ 1; 2; 4; 8 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  let opts_s ~schedule m =
+    Session.options
+      (Session.spec ~schedule ~phase_label:Driver.phase_label m)
+  in
+  (* One sweep: combined static fragments vs work stealing, same workload,
+     same machine counts. The equivalence gate compares every run's masked
+     assembly against the 1-machine combined run (label numbers depend on
+     uid striping, the instruction stream must not). *)
+  let sweep name prog =
+    Printf.printf "\n%s:\n" name;
+    Printf.printf "%-9s %-12s %-12s %-10s %-6s\n" "machines" "combined"
+      "steal" "ratio" "code";
+    let reference = ref "" in
+    List.map
+      (fun m ->
+        let rc, cc =
+          Driver.compile_parallel_sim (opts_s ~schedule:`Static m) prog
+        in
+        let rs, cs =
+          Driver.compile_parallel_sim (opts_s ~schedule:`Steal m) prog
+        in
+        if m = 1 then reference := mask_asm cc.Driver.c_asm;
+        let code_ok =
+          String.equal !reference (mask_asm cc.Driver.c_asm)
+          && String.equal !reference (mask_asm cs.Driver.c_asm)
+        in
+        let ratio = rc.Runner.r_time /. rs.Runner.r_time in
+        Printf.printf "%-9d %10.2fs %10.2fs   x%-8.2f %s\n" m
+          rc.Runner.r_time rs.Runner.r_time ratio
+          (if code_ok then "ok" else "MISMATCH");
+        (m, rc.Runner.r_time, rs.Runner.r_time, ratio, code_ok))
+      machine_counts
+  in
+  let skew_rows = sweep skewed_name skewed_prog in
+  let bal_rows = sweep workload_name balanced_prog in
+  let ratio_at rows m =
+    List.fold_left
+      (fun acc (m', _, _, r, _) -> if m' = m then r else acc)
+      nan rows
+  in
+  let skew_ratio = ratio_at skew_rows 8 in
+  let bal_ratio = ratio_at bal_rows 8 in
+  (* steal-traffic counters on the headline configuration *)
+  let r8, _ =
+    Driver.compile_parallel_sim
+      { (opts_s ~schedule:`Steal 8) with Runner.telemetry = true }
+      skewed_prog
+  in
+  let reg8 = r8.Runner.r_report.Pag_obs.Obs.Report.rp_metrics in
+  let cv n = Pag_obs.Obs.Metrics.counter_value reg8 n in
+  Printf.printf
+    "\nsteal traffic (skewed, 8 machines): %d fires, %d probe attempts, %d \
+     hits, %d instances stolen\n"
+    (cv "steal.fires") (cv "steal.attempts") (cv "steal.successes")
+    (cv "steal.stolen");
+  (* real-domains runs: OCaml 5 domains through Engine.run_steal; on this
+     container (one core) only the equivalence result is meaningful, so the
+     wall-clock time is recorded, not gated. *)
+  let dm = if quick then 2 else 4 in
+  let domains_rows =
+    List.map
+      (fun (name, prog) ->
+        let rd, cd =
+          Driver.compile_parallel_domains (opts_s ~schedule:`Steal dm) prog
+        in
+        let seq = Driver.compile ~evaluator:`Static prog in
+        let ok =
+          String.equal (mask_asm cd.Driver.c_asm) (mask_asm seq.Driver.c_asm)
+        in
+        Printf.printf "domains (%d): %-38s %8.3fs wall  code %s\n" dm name
+          rd.Runner.r_time
+          (if ok then "ok" else "MISMATCH");
+        (name, rd.Runner.r_time, ok))
+      [ (workload_name, balanced_prog); (skewed_name, skewed_prog) ]
+  in
+  let all_code_ok =
+    List.for_all (fun (_, _, _, _, ok) -> ok) (skew_rows @ bal_rows)
+    && List.for_all (fun (_, _, ok) -> ok) domains_rows
+  in
+  let skew_gate = skew_ratio >= 1.2 in
+  let bal_gate = bal_ratio >= 0.95 in
+  Printf.printf
+    "\ntargets: steal >= 1.2x combined on the skewed workload at 8 machines\n\
+     (got x%.2f), >= 0.95x on the balanced workload (got x%.2f), masked\n\
+     code identical on every swept configuration (%b).\n"
+    skew_ratio bal_ratio all_code_ok;
+  let row_json (m, tc, ts, r, ok) =
+    Printf.sprintf
+      "    { \"machines\": %d, \"combined\": %.4f, \"steal\": %.4f, \
+       \"ratio\": %.3f, \"code_ok\": %b }"
+      m tc ts r ok
+  in
+  let rows_json rows = String.concat ",\n" (List.map row_json rows) in
+  let oc = open_out "BENCH_6.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_6\",\n\
+    \  \"bench\": \"work-stealing instance scheduler vs static fragment \
+     schedule (sim)\",\n\
+    \  \"balanced_workload\": %S,\n\
+    \  \"skewed_workload\": %S,\n\
+    \  \"skewed\": [\n%s\n  ],\n\
+    \  \"balanced\": [\n%s\n  ],\n\
+    \  \"steal_at_8_skewed\": { \"fires\": %d, \"attempts\": %d, \
+     \"successes\": %d, \"stolen\": %d },\n\
+    \  \"domains\": [\n%s\n  ],\n\
+    \  \"skewed_ratio_at_8\": %.3f,\n\
+    \  \"balanced_ratio_at_8\": %.3f,\n\
+    \  \"gates\": { \"skewed_ge_1_2\": %b, \"balanced_ge_0_95\": %b, \
+     \"all_code_ok\": %b }\n\
+     }\n"
+    workload_name skewed_name (rows_json skew_rows) (rows_json bal_rows)
+    (cv "steal.fires") (cv "steal.attempts") (cv "steal.successes")
+    (cv "steal.stolen")
+    (String.concat ",\n"
+       (List.map
+          (fun (n, t, ok) ->
+            Printf.sprintf
+              "    { \"workload\": %S, \"machines\": %d, \"wall_seconds\": \
+               %.4f, \"code_ok\": %b }"
+              n dm t ok)
+          domains_rows))
+    skew_ratio bal_ratio skew_gate bal_gate all_code_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_6.json\n";
+  if not (skew_gate && bal_gate && all_code_ok) then
+    failwith "E14: work-stealing gate failed"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: fast evaluator equivalence, nonzero exit on mismatch         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1053,6 +1197,7 @@ let () =
     e10_faults ();
     e11_observability ();
     e12_hashcons ();
-    e13_incremental ()
+    e13_incremental ();
+    e14_steal ()
   end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

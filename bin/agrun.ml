@@ -18,7 +18,7 @@ let read_file path =
   close_in ic;
   s
 
-let run_agrun builtin spec_file machines show_plan sentences =
+let run_agrun builtin spec_file machines schedule show_plan sentences =
   try
     let t =
       if builtin then Lazy.force Appendix.translator
@@ -46,12 +46,19 @@ let run_agrun builtin spec_file machines show_plan sentences =
       let tree = Compile.parse t src in
       let attrs =
         if machines <= 1 then Compile.evaluate t tree
-        else
+        else begin
+          let schedule =
+            match schedule with
+            | "steal" -> `Steal
+            | "dynamic" -> `Dynamic
+            | _ -> `Static
+          in
           (Compile.evaluate_parallel t
              (Pag_parallel.Session.options
-                (Pag_parallel.Session.spec ~librarian:false machines))
+                (Pag_parallel.Session.spec ~schedule ~librarian:false machines))
              tree)
             .Pag_parallel.Runner.r_attrs
+        end
       in
       Printf.printf "%s\n" src;
       List.iter
@@ -90,6 +97,18 @@ let spec_arg =
 let machines_arg =
   Arg.(value & opt int 1 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Evaluator machines.")
 
+let schedule_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("static", "static"); ("dynamic", "dynamic"); ("steal", "steal") ])
+        "static"
+    & info [ "schedule" ]
+        ~doc:
+          "Instance schedule for parallel runs: static (Split placement), \
+           dynamic (all-dynamic classic protocol) or steal (work-stealing \
+           deques over the unified engine).")
+
 let plan_arg =
   Arg.(value & flag & info [ "plan" ] ~doc:"Print the ordered evaluation plan.")
 
@@ -101,7 +120,7 @@ let cmd =
   Cmd.v
     (Cmd.info "agrun" ~doc)
     Term.(
-      const run_agrun $ builtin_arg $ spec_arg $ machines_arg $ plan_arg
-      $ sentences_arg)
+      const run_agrun $ builtin_arg $ spec_arg $ machines_arg $ schedule_arg
+      $ plan_arg $ sentences_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -127,9 +127,9 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
     exit 1
   end
 
-let run_compiler file machines evaluator transport granularity no_librarian
-    no_priority hashcons optimize run_it gantt trace_out events_out report out
-    input faults fault_seed edit_session =
+let run_compiler file machines evaluator schedule transport granularity
+    no_librarian no_priority hashcons optimize run_it gantt trace_out
+    events_out report out input faults fault_seed edit_session =
   try
     let faults =
       match faults with
@@ -149,9 +149,17 @@ let run_compiler file machines evaluator transport granularity no_librarian
     let src = read_file file in
     let program = Parser.parse_program src in
     let mode = if evaluator = "dynamic" then `Dynamic else `Combined in
+    let schedule =
+      match schedule with
+      | "steal" -> `Steal
+      | "dynamic" -> `Dynamic
+      | _ -> if mode = `Dynamic then `Dynamic else `Static
+    in
     let telemetry = trace_out <> None || events_out <> None || report in
     let compiled, trace_info, obs_data =
-      if machines <= 1 && transport = "sim" && mode = `Combined && faults = None
+      if
+        machines <= 1 && transport = "sim" && mode = `Combined
+        && schedule = `Static && faults = None
       then begin
         let obs =
           if telemetry then begin
@@ -175,7 +183,7 @@ let run_compiler file machines evaluator transport granularity no_librarian
       else begin
         let opts =
           Pag_parallel.Session.options
-            (Pag_parallel.Session.spec ~mode ~granularity
+            (Pag_parallel.Session.spec ~mode ~schedule ~granularity
                ~librarian:(not no_librarian) ~priority:(not no_priority)
                ~hashcons ~telemetry ?faults ~phase_label:Driver.phase_label
                machines)
@@ -283,6 +291,19 @@ let evaluator_arg =
     value
     & opt (enum [ ("combined", "combined"); ("dynamic", "dynamic") ]) "combined"
     & info [ "evaluator"; "e" ] ~doc:"Evaluator kind: combined or dynamic.")
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("static", "static"); ("dynamic", "dynamic"); ("steal", "steal") ])
+        "static"
+    & info [ "schedule" ]
+        ~doc:
+          "Instance schedule: static = the paper's Split placement \
+           (combined or all-dynamic per --evaluator), dynamic = force the \
+           all-dynamic classic protocol, steal = work-stealing deques over \
+           the unified engine with Split owner-affinity seeding.")
 
 let transport_arg =
   Arg.(
@@ -397,7 +418,7 @@ let cmd =
     (Cmd.info "pagc" ~doc)
     Term.(
       const run_compiler $ file_arg $ machines_arg $ evaluator_arg
-      $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
+      $ schedule_arg $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
       $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
       $ fault_seed_arg $ edit_session_arg)

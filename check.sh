@@ -17,4 +17,13 @@ if command -v python3 >/dev/null 2>&1; then
 else
   grep -q '"traceEvents"' "$trace"
 fi
+# Work-stealing schedule smoke: the steal schedule must emit the same
+# assembly as the sequential compile, modulo L<n>/P<n> label numbering
+# (label draws depend on the per-machine uid stripes).
+dune exec bin/pagc.exe -- examples/primes.pas -o /tmp/pagc_seq_smoke.s 2>/dev/null
+dune exec bin/pagc.exe -- --machines 3 --schedule steal \
+  examples/primes.pas -o /tmp/pagc_steal_smoke.s 2>/dev/null
+sed 's/[LP][0-9][0-9]*/X/g' /tmp/pagc_seq_smoke.s > /tmp/pagc_seq_smoke.masked
+sed 's/[LP][0-9][0-9]*/X/g' /tmp/pagc_steal_smoke.s > /tmp/pagc_steal_smoke.masked
+cmp /tmp/pagc_seq_smoke.masked /tmp/pagc_steal_smoke.masked
 echo "check.sh: all green"

@@ -459,3 +459,157 @@ let run_topo e gr =
              (circular tree or missing root attributes)"
             left));
   e.e_fired - fired0
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing schedule                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same data-driven fixed point as {!run_topo}, parallel across domains.
+
+   Readiness lives in per-instance atomic dependency counters; ready rids
+   sit in per-domain Chase-Lev deques ({!Steal}). A domain pops its own
+   deque LIFO, and when empty steals half of a pseudo-randomly chosen
+   victim's deque FIFO, backing off exponentially between failed probes.
+   Firing bypasses the rule memo (its hashtables are not domain-safe) and
+   writes targets with {!Store.poke} — the store's set-bitset is
+   byte-granular, so bits and counters are restored sequentially after the
+   join. Publication is sound: the non-atomic target write precedes the
+   atomic counter decrement, and a consumer only reads the slot after
+   observing the counter reach zero through that same atomic.
+
+   Termination is an exact task census: [pending] counts rule instances
+   that are ready-but-unfired or currently executing. A finishing instance
+   increments [pending] for each consumer it releases {e before} pushing
+   it and decrements itself only {e after} all pushes, so [pending] can
+   only reach zero when no task exists anywhere and none can appear —
+   which is either completion or a dependency cycle, distinguished after
+   the join by comparing firings against the live-instance count. *)
+
+let gather_quiet e rid =
+  let lo = e.e_arg_off.(rid) and hi = e.e_arg_off.(rid + 1) in
+  let args = Array.make (hi - lo) Value.Unit in
+  for k = lo to hi - 1 do
+    let c = e.e_arg_code.(k) in
+    args.(k - lo) <-
+      (if c >= 0 then Store.peek e.e_store c else e.e_consts.(-c - 1))
+  done;
+  args
+
+let run_steal ?(domains = 2) ?owner ?(uid_base = 0) e gr =
+  let n = e.e_n in
+  let d_count = max 1 domains in
+  let owner =
+    match owner with
+    | Some f -> fun rid -> min (d_count - 1) (max 0 (f rid))
+    | None -> fun rid -> if n = 0 then 0 else rid * d_count / n
+  in
+  let waiting = Array.init (max 1 n) (fun _ -> Atomic.make 0) in
+  let deques = Array.init d_count (fun _ -> Steal.create ()) in
+  let stats = Array.init d_count (fun _ -> Steal.zero_stats ()) in
+  let live = ref 0 and seeded = ref 0 in
+  for rid = 0 to n - 1 do
+    if not (is_dead e rid) then begin
+      incr live;
+      let w = ref 0 in
+      iter_slot_args e rid (fun slot ->
+          if not (Store.slot_is_set e.e_store slot) then incr w);
+      Atomic.set waiting.(rid) !w;
+      if !w = 0 then begin
+        Steal.push deques.(owner rid) rid;
+        incr seeded
+      end
+    end
+  done;
+  let pending = Atomic.make !seeded in
+  let failure = Atomic.make None in
+  let body d =
+    let my = deques.(d) in
+    let st = stats.(d) in
+    (* deterministic per-domain xorshift for victim selection *)
+    let seed = ref ((((d + 1) * 0x9E3779B1) lor 1) land 0x3FFFFFFF) in
+    let next_victim () =
+      let x = !seed in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = (x lxor (x lsl 17)) land 0x3FFFFFFF in
+      seed := x;
+      let v = x mod (d_count - 1) in
+      if v >= d then v + 1 else v
+    in
+    let exec rid =
+      let v = e.e_rules.(rid).Grammar.r_fn (gather_quiet e rid) in
+      Store.poke e.e_store e.e_target.(rid) v;
+      st.st_fired <- st.st_fired + 1;
+      iter_consumers gr e.e_target.(rid) (fun c ->
+          if (not (is_dead e c)) && Atomic.fetch_and_add waiting.(c) (-1) = 1
+          then begin
+            Atomic.incr pending;
+            Steal.push my c;
+            let depth = Steal.size my in
+            if depth > st.st_hwm then st.st_hwm <- depth
+          end);
+      ignore (Atomic.fetch_and_add pending (-1))
+    in
+    let backoff = ref 0 in
+    let rec loop () =
+      if Atomic.get pending > 0 then begin
+        (match Steal.pop my with
+        | Some rid ->
+            backoff := 0;
+            exec rid
+        | None ->
+            let got =
+              d_count > 1
+              &&
+              (st.st_attempts <- st.st_attempts + 1;
+               let k = Steal.steal_half deques.(next_victim ()) ~into:my in
+               if k > 0 then begin
+                 st.st_successes <- st.st_successes + 1;
+                 st.st_stolen <- st.st_stolen + k;
+                 true
+               end
+               else false)
+            in
+            if got then backoff := 0
+            else begin
+              let spins = 1 lsl min !backoff 10 in
+              for _ = 1 to spins do
+                Domain.cpu_relax ()
+              done;
+              st.st_idle <- st.st_idle +. float_of_int spins;
+              if !backoff < 16 then incr backoff
+            end);
+        loop ()
+      end
+    in
+    (* fresh domains have no ambient uid base; give each its own stripe *)
+    let cursor = ref (uid_base + (d * Uid.stride)) in
+    try Uid.with_counter cursor loop
+    with exn ->
+      (* poison the census so the other domains drain and exit *)
+      Atomic.set failure (Some exn);
+      Atomic.set pending 0
+  in
+  let spawned =
+    Array.init (d_count - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+  in
+  body 0;
+  Array.iter Domain.join spawned;
+  (match Atomic.get failure with Some exn -> raise exn | None -> ());
+  (* sequential epilogue: restore store invariants for every fired target
+     (a live rid fired iff its dependency counter drained to zero) *)
+  let fired = ref 0 in
+  Array.iter (fun (st : Steal.stats) -> fired := !fired + st.st_fired) stats;
+  e.e_fired <- e.e_fired + !fired;
+  for rid = 0 to n - 1 do
+    if (not (is_dead e rid)) && Atomic.get waiting.(rid) <= 0 then
+      Store.commit_slot e.e_store e.e_target.(rid)
+  done;
+  if !fired < !live then
+    raise
+      (Cycle
+         (Printf.sprintf
+            "dynamic evaluation stuck: %d attribute instances unevaluated \
+             (circular tree or missing root attributes)"
+            (Store.missing e.e_store)));
+  (!fired, stats)

@@ -130,3 +130,29 @@ val reresolve_node : t -> ?graph:graph -> Tree.t -> unit
     the number of firings. Raises {!Cycle} when instances remain
     unevaluated. *)
 val run_topo : t -> graph -> int
+
+(** {1 Work-stealing schedule}
+
+    [run_steal ~domains ~owner ~uid_base e gr] fires the same fixed point
+    as {!run_topo}, parallel across [domains] OCaml domains: per-domain
+    Chase-Lev deques of ready instance ids ({!Steal}), atomic dependency
+    counters, steal-half victim selection with exponential backoff, and an
+    exact task-census termination barrier. [owner] maps a rule-instance id
+    to the domain whose deque it is seeded on when initially ready (an
+    affinity hint — stealing overrides it); the default block-partitions
+    the instance table. Each domain [d] allocates uids from its own stripe
+    [uid_base + d * Uid.stride], so label numbers depend on the schedule
+    (compare label-masked output across schedules, or use a grammar that
+    consumes no uids for bit-identical stores).
+
+    Firing bypasses the rule memo (not domain-safe); semantic rules are
+    pure, so results are unchanged. Returns the number of firings and the
+    per-domain scheduler statistics. Raises {!Cycle} as {!run_topo}
+    does. *)
+val run_steal :
+  ?domains:int ->
+  ?owner:(int -> int) ->
+  ?uid_base:int ->
+  t ->
+  graph ->
+  int * Steal.stats array

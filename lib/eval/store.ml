@@ -187,6 +187,26 @@ let slot_value s slot =
   s.n_reads <- s.n_reads + 1;
   Array.unsafe_get s.vals slot
 
+(* Unchecked primitives for the work-stealing parallel phase. [poke]
+   writes a value without touching [bits] or the counters: the set-bitset
+   is byte-granular, so marking bits from several domains would be a
+   read-modify-write race, and the counters are plain ints. Readiness is
+   tracked externally by the scheduler's atomic dependency counters;
+   [peek] reads a slot the scheduler has proven ready without bumping
+   [n_reads]. After the domains join, the (sequential) caller runs
+   [commit_slot] over every fired target to restore the set-bits and
+   [n_sets] invariants. *)
+
+let poke s slot v = Array.unsafe_set s.vals slot v
+
+let peek s slot = Array.unsafe_get s.vals slot
+
+let commit_slot s slot =
+  if not (slot_is_set s slot) then begin
+    mark_set s slot;
+    s.n_sets <- s.n_sets + 1
+  end
+
 (* Owner of a slot, for error messages only: the dense node index i with
    base.(i) <= slot < base.(i+1). *)
 let slot_owner s slot =

@@ -124,6 +124,26 @@ val slot_value : t -> int -> Value.t
     re-set raises [Error] naming the owning node and attribute. *)
 val define_slot : t -> int -> Value.t -> unit
 
+(** {2 Parallel-phase primitives}
+
+    The work-stealing evaluator ({!Pag_eval.Engine.run_steal}) writes
+    slots from several domains at once. The set-bitset is byte-granular —
+    marking bits concurrently would be a read-modify-write race — so the
+    parallel phase uses these unchecked primitives and tracks readiness
+    with its own atomic dependency counters, then restores the store's
+    invariants sequentially after the join. *)
+
+(** Write a slot value without marking it set and without counting the
+    write. The slot reads as unset until {!commit_slot}. *)
+val poke : t -> int -> Value.t -> unit
+
+(** Read a slot the caller has proven ready, without counting the read. *)
+val peek : t -> int -> Value.t
+
+(** Mark a poked slot as set (idempotent; counts in {!sets} once). Must be
+    called sequentially, after the parallel phase has joined. *)
+val commit_slot : t -> int -> unit
+
 (** Overwrite a slot unconditionally — the change-propagation primitive of
     incremental re-evaluation. Returns [true] when the stored value
     actually changed (undecidable equality counts as changed); that answer

@@ -202,6 +202,12 @@ module Metrics = struct
       g := !g +. v
     end
 
+  let set_gauge_max t name v =
+    if t.m_live then begin
+      let g = gauge_ref t name in
+      if v > !g then g := v
+    end
+
   let gauge_value t name =
     match Hashtbl.find_opt t.tbl name with Some (G g) -> Some !g | _ -> None
 

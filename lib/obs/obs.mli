@@ -95,6 +95,10 @@ module Metrics : sig
 
   val add_gauge : t -> string -> float -> unit
 
+  (** Keep the maximum of the values seen — high-water-mark gauges
+      (e.g. work-stealing deque depth). *)
+  val set_gauge_max : t -> string -> float -> unit
+
   val gauge_value : t -> string -> float option
 
   val histogram : t -> string -> histogram

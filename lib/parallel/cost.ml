@@ -1,6 +1,8 @@
 type t = {
   static_rule : float;
   dynamic_rule : float;
+  steal_rule : float;
+  steal_init : float;
   build_node : float;
   build_edge : float;
   visit : float;
@@ -10,10 +12,16 @@ type t = {
 (* ~1 MIPS machine: a semantic rule is a few hundred instructions; dynamic
    scheduling roughly doubles that; graph construction costs a couple of
    hundred instructions per instance and per edge. *)
+(* Work-stealing pays flat-table scheduling on top of the rule: a deque
+   pop and a handful of counter decrements, far less than the 1987-style
+   dynamic scheduler's graph walk, but more than a precomputed visit
+   sequence. *)
 let default =
   {
     static_rule = 350e-6;
     dynamic_rule = 500e-6;
+    steal_rule = 385e-6;
+    steal_init = 10e-6;
     build_node = 120e-6;
     build_edge = 90e-6;
     visit = 40e-6;

@@ -15,6 +15,15 @@
 type t = {
   static_rule : float;  (** applying one semantic rule in a visit sequence *)
   dynamic_rule : float;  (** rule + ready-queue scheduling, dynamic mode *)
+  steal_rule : float;
+      (** rule + work-stealing scheduling: deque pop plus atomic
+          dependency-counter decrements against the flat instance table —
+          cheaper than 1987-style dynamic scheduling, dearer than a
+          precomputed visit sequence *)
+  steal_init : float;
+      (** per rule instance: seeding the ready-counter table from the
+          grammar's precomputed dependency rows — one array store each, an
+          order of magnitude below [build_node]'s linked-graph share *)
   build_node : float;  (** dependency-graph share per dynamic instance *)
   build_edge : float;  (** per dependency edge entered in the graph *)
   visit : float;  (** entering a visit procedure at one node *)

@@ -5,6 +5,7 @@ open Netsim
 type options = {
   machines : int;
   mode : Worker.mode;
+  schedule : [ `Static | `Dynamic | `Steal ];
   granularity : float;
   use_priority : bool;
   use_librarian : bool;
@@ -22,6 +23,7 @@ let default_options =
   {
     machines = 1;
     mode = `Combined;
+    schedule = `Static;
     granularity = 1.0;
     use_priority = true;
     use_librarian = true;
@@ -113,7 +115,12 @@ let sum_retransmits links =
 let mode_string = function `Combined -> "combined" | `Dynamic -> "dynamic"
 
 let run_label opts ~transport =
-  Printf.sprintf "%s, %d machine%s (%s)" (mode_string opts.mode) opts.machines
+  let kind =
+    match opts.schedule with
+    | `Steal -> "steal"
+    | `Static | `Dynamic -> mode_string opts.mode
+  in
+  Printf.sprintf "%s, %d machine%s (%s)" kind opts.machines
     (if opts.machines = 1 then "" else "s")
     transport
 
@@ -258,7 +265,7 @@ let sim_env _sim id =
     e_flush = (fun () -> ());
   }
 
-let run_sim opts g plan tree =
+let run_sim_static opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
   (* Sharing classes are computed once on the numbered tree; the immutable
      arrays are read concurrently by every machine's memo. *)
@@ -404,6 +411,355 @@ let run_sim opts g plan tree =
     r_report = report;
   }
 
+(* ------------------------- work stealing (sim) ------------------------- *)
+
+module ESt = Pag_eval.Store
+module Eng = Pag_eval.Engine
+
+(* Dense node index -> owning fragment id, from the Split placement. Each
+   fragment claims its subtree, stopping above cut children (they are
+   other fragments' roots and claim themselves). *)
+let fragment_affinity split store =
+  let owner = Array.make (max 1 (ESt.node_count store)) 0 in
+  let is_cut (n : Tree.t) =
+    Split.fragment_of_cut_node split n.Tree.id <> None
+  in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let stack = ref [ f.Split.fr_root ] in
+      let rec drain () =
+        match !stack with
+        | [] -> ()
+        | n :: rest ->
+            stack := rest;
+            owner.(ESt.dense_index store n) <- f.Split.fr_id;
+            Array.iter
+              (fun c -> if not (is_cut c) then stack := c :: !stack)
+              n.Tree.children;
+            drain ()
+      in
+      drain ())
+    (Split.fragments split);
+  owner
+
+(* Steal-probe wire sizes: a request is one small frame, a reply carries
+   the stolen instance ids. *)
+let probe_request_bytes = 64
+
+let probe_reply_bytes k = 32 + (8 * k)
+
+(* Work-stealing evaluation over the network simulator.
+
+   Unlike the static protocol there is no fragment shipping dance: the
+   tree is shared (the paper's machines would each hold their fragment;
+   here affinity seeding plays that role), and [opts.machines] evaluator
+   fibers drain one shared engine. Fragment [i] seeds machine
+   [(i mod machines) + 1], so with more machines than fragments the extras
+   start empty and steal their way in — exactly the skewed-tree case the
+   static placement cannot serve. Firing charges [Cost.steal_rule]; a
+   steal probe charges a request and reply frame on the shared Ethernet
+   (so steal traffic contends with everything else) plus the round-trip
+   latency. Fault plans are priced against steal probes only (drop: the
+   probe times out and is retried after backoff; dup: the reply frame is
+   paid twice; crashes are a static-protocol notion and are ignored —
+   DESIGN §11 discusses why). *)
+let run_sim_steal opts g tree =
+  let split, _nodes_by_id = prepare opts g tree in
+  let m = max 1 opts.machines in
+  let sim = S.create ~params:opts.net_params () in
+  let net = S.network sim in
+  let injector = Option.map Faults.make opts.faults in
+  let rto = Option.value opts.fault_rto ~default:sim_rto in
+  let store = ESt.create_shared g tree in
+  let eng = Eng.create g store in
+  let gr = Eng.graph eng in
+  let n = Eng.rule_count eng in
+  let node_frag = fragment_affinity split store in
+  let machine_of_frag f = (f mod m) + 1 in
+  let owner_machine rid =
+    machine_of_frag node_frag.(ESt.dense_index store (Eng.node_of eng rid))
+  in
+  (* readiness: plain counters — all fibers share one OS thread *)
+  let waiting = Array.make (max 1 n) 0 in
+  let deques = Array.init (m + 1) (fun _ -> Steal.create ()) in
+  let stats = Array.init (m + 1) (fun _ -> Steal.zero_stats ()) in
+  let own_rids = Array.make (m + 1) 0 in
+  let own_edges = Array.make (m + 1) 0 in
+  let live = ref 0 and pending = ref 0 in
+  for rid = 0 to n - 1 do
+    if not (Eng.is_dead eng rid) then begin
+      incr live;
+      let k = owner_machine rid in
+      own_rids.(k) <- own_rids.(k) + 1;
+      Eng.iter_slot_args eng rid (fun slot ->
+          own_edges.(k) <- own_edges.(k) + 1;
+          if not (ESt.slot_is_set store slot) then
+            waiting.(rid) <- waiting.(rid) + 1);
+      if waiting.(rid) = 0 then begin
+        Steal.push deques.(k) rid;
+        incr pending
+      end
+    end
+  done;
+  let live = !live in
+  let fired_total = ref 0 in
+  let finisher = ref (-1) in
+  let sends = Array.make (m + 1) 0 in
+  let bytes_per_machine = Array.make (m + 1) 0 in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let k = machine_of_frag f.Split.fr_id in
+      bytes_per_machine.(k) <- bytes_per_machine.(k) + f.Split.fr_bytes)
+    (Split.fragments split);
+  let ctxs = make_ctxs opts ~n:(m + 1) ~clock:(fun () -> S.time ()) in
+  let attrs = ref [] in
+  let finish = ref 0.0 in
+  (* pid 0: the parser hands each machine its affinity share, then
+     collects root attributes and one Stop per machine. *)
+  let _ =
+    S.spawn sim ~name:"parser" (fun () ->
+        for k = 1 to m do
+          let msg =
+            Message.Subtree
+              {
+                frag = k - 1;
+                bytes = bytes_per_machine.(k);
+                uid_base = k * Uid.stride;
+              }
+          in
+          S.send ~dst:k ~size:(Message.size msg) ~label:(message_label msg)
+            msg
+        done;
+        let stops = ref 0 in
+        let acc = ref [] in
+        while !stops < m do
+          match S.recv () with
+          | Message.Stop -> incr stops
+          | Message.Attr { attr; value; _ } -> acc := (attr, value) :: !acc
+          | _ -> ()
+        done;
+        attrs := List.rev !acc;
+        finish := S.time ())
+  in
+  for k = 1 to m do
+    let _ =
+      S.spawn sim
+        ~name:(machine_name ~fragments:m k)
+        (fun () ->
+          let my = deques.(k) in
+          let st = stats.(k) in
+          let obs = ctxs.(k) in
+          (* deterministic per-machine xorshift for victim selection *)
+          let seed = ref (((k * 0x9E3779B1) lor 1) land 0x3FFFFFFF) in
+          let next_victim () =
+            let x = !seed in
+            let x = x lxor (x lsl 13) in
+            let x = x lxor (x lsr 7) in
+            let x = (x lxor (x lsl 17)) land 0x3FFFFFFF in
+            seed := x;
+            let v = 1 + (x mod (m - 1)) in
+            if v >= k then v + 1 else v
+          in
+          (match S.recv () with
+          | Message.Subtree { bytes; _ } ->
+              S.delay (float_of_int bytes *. opts.cost.Cost.rebuild_per_byte)
+          | _ -> ());
+          (* This machine's share of instance-table construction. Unlike
+             the 1987 dynamic scheduler's linked dependency graph, the
+             flat table and its CSR edges are array arithmetic: no
+             per-edge insertion charge, and the per-instance constant is
+             one counter store, not a graph-node allocation. *)
+          S.delay (float_of_int own_rids.(k) *. opts.cost.Cost.steal_init);
+          let cursor = ref (k * Uid.stride) in
+          let exec rid =
+            Uid.with_counter cursor (fun () -> Eng.fire eng rid);
+            S.delay opts.cost.Cost.steal_rule;
+            st.Steal.st_fired <- st.Steal.st_fired + 1;
+            incr fired_total;
+            if !fired_total = live then finisher := k;
+            Eng.iter_consumers gr (Eng.target_slot eng rid) (fun c ->
+                if not (Eng.is_dead eng c) then begin
+                  waiting.(c) <- waiting.(c) - 1;
+                  if waiting.(c) = 0 then begin
+                    incr pending;
+                    Steal.push my c;
+                    let depth = Steal.size my in
+                    if depth > st.Steal.st_hwm then st.Steal.st_hwm <- depth
+                  end
+                end);
+            decr pending
+          in
+          let backoff = ref 0 in
+          while !pending > 0 do
+            match Steal.pop my with
+            | Some rid ->
+                backoff := 0;
+                exec rid
+            | None ->
+                let got =
+                  m > 1
+                  &&
+                  let v = next_victim () in
+                  st.Steal.st_attempts <- st.Steal.st_attempts + 1;
+                  let verdict =
+                    Option.map (fun i -> Faults.judge i ~src:k ~dst:v) injector
+                  in
+                  let now = S.time () in
+                  let req_arrival =
+                    Ethernet.transmit net ~now ~size:probe_request_bytes
+                  in
+                  sends.(k) <- sends.(k) + 1;
+                  (match verdict with
+                  | Some x when x.Faults.v_drop ->
+                      (* probe lost: wait out the timeout, retry later *)
+                      S.delay (rto +. (req_arrival -. now));
+                      st.Steal.st_idle <- st.Steal.st_idle +. rto;
+                      false
+                  | _ ->
+                      (* The stolen instances are in flight until the
+                         reply arrives: they leave the victim's deque now
+                         but only enter ours after the reply delay, so no
+                         machine can re-steal them mid-transfer. (Pushing
+                         before the delay livelocks two machines: the
+                         victim, now idle, steals the batch back inside
+                         our reply window, and each successful probe
+                         resets both backoffs.) *)
+                      let items = Steal.steal_some deques.(v) in
+                      let stolen = List.length items in
+                      let reply_size = probe_reply_bytes stolen in
+                      let reply_arrival =
+                        Ethernet.transmit net ~now:req_arrival
+                          ~size:reply_size
+                      in
+                      let reply_arrival =
+                        match verdict with
+                        | Some x ->
+                            if x.Faults.v_dup then
+                              ignore
+                                (Ethernet.transmit net ~now:req_arrival
+                                   ~size:reply_size);
+                            reply_arrival +. x.Faults.v_delay
+                        | None -> reply_arrival
+                      in
+                      S.delay (Float.max 0.0 (reply_arrival -. now));
+                      List.iter (Steal.push my) items;
+                      if stolen > 0 then begin
+                        st.Steal.st_successes <- st.Steal.st_successes + 1;
+                        st.Steal.st_stolen <- st.Steal.st_stolen + stolen;
+                        true
+                      end
+                      else false)
+                in
+                if got then backoff := 0
+                else begin
+                  (* exponential backoff between failed probes *)
+                  let wait = 0.0005 *. float_of_int (1 lsl min !backoff 6) in
+                  S.delay wait;
+                  st.Steal.st_idle <- st.Steal.st_idle +. wait;
+                  if !backoff < 16 then incr backoff
+                end
+          done;
+          if !finisher = k then
+            List.iter
+              (fun (attr, value) ->
+                let msg = Message.Attr { node = tree.Tree.id; attr; value } in
+                sends.(k) <- sends.(k) + 1;
+                S.send ~dst:0 ~size:(Message.size msg)
+                  ~label:(message_label msg) msg)
+              (ESt.root_attrs store);
+          sends.(k) <- sends.(k) + 1;
+          S.send ~dst:0 ~size:(Message.size Message.Stop)
+            ~label:(message_label Message.Stop) Message.Stop;
+          if Obs.ctx_enabled obs then begin
+            let reg = obs.Obs.x_metrics in
+            Obs.Metrics.add
+              (Obs.Metrics.counter reg "steal.fires")
+              st.Steal.st_fired;
+            Obs.Metrics.add
+              (Obs.Metrics.counter reg "steal.attempts")
+              st.Steal.st_attempts;
+            Obs.Metrics.add
+              (Obs.Metrics.counter reg "steal.successes")
+              st.Steal.st_successes;
+            Obs.Metrics.add
+              (Obs.Metrics.counter reg "steal.stolen")
+              st.Steal.st_stolen;
+            Obs.Metrics.set_gauge_max reg "steal.deque_hwm"
+              (float_of_int st.Steal.st_hwm);
+            Obs.Metrics.add_gauge reg "steal.idle_wait" st.Steal.st_idle
+          end)
+    in
+    ()
+  done;
+  S.run sim;
+  if !fired_total < live then
+    raise
+      (Eng.Cycle
+         (Printf.sprintf
+            "dynamic evaluation stuck: %d attribute instances unevaluated \
+             (circular tree or missing root attributes)"
+            (ESt.missing store)));
+  let worker_stats =
+    Array.init m (fun i ->
+        let st = stats.(i + 1) in
+        {
+          Worker.zero_stats with
+          ws_dynamic_rules = st.Steal.st_fired;
+          ws_graph_nodes = own_rids.(i + 1);
+          ws_graph_edges = own_edges.(i + 1);
+          ws_sends = sends.(i + 1);
+          ws_idle_wait = st.Steal.st_idle;
+        })
+  in
+  let tr = S.trace sim in
+  let horizon = Trace.horizon tr in
+  let machine_rows =
+    List.init (m + 1) (fun pid ->
+        let active = Trace.active_time tr ~pid in
+        {
+          Obs.Report.rm_pid = pid;
+          rm_name = machine_name ~fragments:m pid;
+          rm_active = active;
+          rm_idle = Float.max 0.0 (horizon -. active);
+          rm_util = Trace.utilization tr ~pid;
+          rm_sends = (if pid = 0 then m else sends.(pid));
+          rm_max_queue = S.max_queue_depth sim pid;
+        })
+  in
+  let metrics = merged_metrics ctxs in
+  let report =
+    build_report
+      ~label:(run_label opts ~transport:"sim")
+      ~clock:"simulated" ~horizon ~machines:machine_rows ~worker_stats
+      ~messages:(Ethernet.messages_sent net) ~bytes:(Ethernet.bytes_sent net)
+      ~retransmits:0 ~metrics
+  in
+  let r_obs =
+    if opts.telemetry then Some (merge_recorders ctxs [ recorder_of_trace tr ])
+    else None
+  in
+  {
+    r_attrs = !attrs;
+    r_time = !finish;
+    r_worker_stats = worker_stats;
+    r_trace = Some tr;
+    r_messages = Ethernet.messages_sent net;
+    r_bytes = Ethernet.bytes_sent net;
+    r_fragments = m;
+    r_split = split;
+    r_dynamic_fraction = 1.0;
+    r_retransmits = 0;
+    r_recovered = false;
+    r_fault_stats = Option.map Faults.stats injector;
+    r_obs;
+    r_report = report;
+  }
+
+let run_sim opts g plan tree =
+  match opts.schedule with
+  | `Steal -> run_sim_steal opts g tree
+  | `Static | `Dynamic -> run_sim_static opts g plan tree
+
 (* ------------------------- domains ------------------------- *)
 
 module Chan = struct
@@ -453,7 +809,93 @@ let dom_rto = 0.02
 
 let dom_watchdog = 0.2
 
-let run_domains opts g plan tree =
+(* Work-stealing evaluation on real domains: delegate the whole schedule
+   to {!Pag_eval.Engine.run_steal}, with owner affinity from the Split
+   placement. The CPU does the actual work, so no cost model applies;
+   [st_idle] counts backoff spin rounds, not seconds, and is reported
+   through metrics only. *)
+let run_domains_steal opts g tree =
+  let t0 = Unix.gettimeofday () in
+  let split, _nodes_by_id = prepare opts g tree in
+  let m = max 1 opts.machines in
+  let store = ESt.create_shared g tree in
+  let eng = Eng.create g store in
+  let gr = Eng.graph eng in
+  let node_frag = fragment_affinity split store in
+  let owner rid =
+    node_frag.(ESt.dense_index store (Eng.node_of eng rid)) mod m
+  in
+  let fires, stats = Eng.run_steal ~domains:m ~owner ~uid_base:Uid.stride eng gr in
+  let t1 = Unix.gettimeofday () in
+  let ctxs =
+    make_ctxs opts ~n:(m + 1) ~clock:(fun () -> Unix.gettimeofday () -. t0)
+  in
+  Array.iteri
+    (fun d (st : Steal.stats) ->
+      let obs = ctxs.(d + 1) in
+      if Obs.ctx_enabled obs then begin
+        let reg = obs.Obs.x_metrics in
+        Obs.Metrics.add (Obs.Metrics.counter reg "steal.fires") st.Steal.st_fired;
+        Obs.Metrics.add
+          (Obs.Metrics.counter reg "steal.attempts")
+          st.Steal.st_attempts;
+        Obs.Metrics.add
+          (Obs.Metrics.counter reg "steal.successes")
+          st.Steal.st_successes;
+        Obs.Metrics.add (Obs.Metrics.counter reg "steal.stolen") st.Steal.st_stolen;
+        Obs.Metrics.set_gauge_max reg "steal.deque_hwm"
+          (float_of_int st.Steal.st_hwm);
+        Obs.Metrics.add_gauge reg "steal.idle_spins" st.Steal.st_idle
+      end)
+    stats;
+  ignore fires;
+  let worker_stats =
+    Array.map
+      (fun (st : Steal.stats) ->
+        { Worker.zero_stats with ws_dynamic_rules = st.Steal.st_fired })
+      stats
+  in
+  let horizon = t1 -. t0 in
+  let machine_rows =
+    List.init (m + 1) (fun pid ->
+        {
+          Obs.Report.rm_pid = pid;
+          rm_name = machine_name ~fragments:m pid;
+          rm_active = (if pid = 0 then 0.0 else horizon);
+          rm_idle = (if pid = 0 then horizon else 0.0);
+          rm_util = (if pid = 0 then 0.0 else 1.0);
+          rm_sends = 0;
+          rm_max_queue = -1;
+        })
+  in
+  let metrics = merged_metrics ctxs in
+  let report =
+    build_report
+      ~label:(run_label opts ~transport:"domains")
+      ~clock:"wall clock" ~horizon ~machines:machine_rows ~worker_stats
+      ~messages:0 ~bytes:0 ~retransmits:0 ~metrics
+  in
+  let r_obs =
+    if opts.telemetry then Some (merge_recorders ctxs []) else None
+  in
+  {
+    r_attrs = ESt.root_attrs store;
+    r_time = t1 -. t0;
+    r_worker_stats = worker_stats;
+    r_trace = None;
+    r_messages = 0;
+    r_bytes = 0;
+    r_fragments = m;
+    r_split = split;
+    r_dynamic_fraction = 1.0;
+    r_retransmits = 0;
+    r_recovered = false;
+    r_fault_stats = None;
+    r_obs;
+    r_report = report;
+  }
+
+let run_domains_static opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
   let sharing = if opts.use_hashcons then Some (Tree.sharing tree) else None in
   let nfrags = Split.count split in
@@ -658,3 +1100,8 @@ let run_domains opts g plan tree =
     r_obs;
     r_report = report;
   }
+
+let run_domains opts g plan tree =
+  match opts.schedule with
+  | `Steal -> run_domains_steal opts g tree
+  | `Static | `Dynamic -> run_domains_static opts g plan tree

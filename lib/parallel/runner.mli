@@ -21,6 +21,18 @@ open Netsim
 type options = {
   machines : int;
   mode : Worker.mode;
+  schedule : [ `Static | `Dynamic | `Steal ];
+      (** [`Static] (default) and [`Dynamic] run the paper's protocol —
+          fragment shipping plus per-fragment workers, with [mode]
+          selecting combined static/dynamic or all-dynamic evaluation.
+          [`Steal] runs the work-stealing instance scheduler instead:
+          per-machine Chase-Lev deques over the unified engine's flat
+          rule-instance table, seeded by Split owner affinity, with
+          steal-half victim selection and exponential backoff. In steal
+          mode [machines] counts evaluator machines directly (fragment [i]
+          seeds machine [i mod machines]; extra machines start empty and
+          steal), the librarian/priority options are ignored, and fault
+          plans are priced against steal probes only. *)
   granularity : float;
   use_priority : bool;
   use_librarian : bool;

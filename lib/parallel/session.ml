@@ -9,6 +9,7 @@ open Netsim
 type spec = {
   sp_machines : int;
   sp_mode : Worker.mode;
+  sp_schedule : [ `Static | `Dynamic | `Steal ];
   sp_transport : [ `Sim | `Domains ];
   sp_granularity : float;
   sp_librarian : bool;
@@ -21,13 +22,15 @@ type spec = {
   sp_phase_label : int -> string option;
 }
 
-let spec ?(mode = `Combined) ?(transport = `Sim) ?(granularity = 1.0)
-    ?(librarian = true) ?(priority = true) ?(hashcons = false)
-    ?(telemetry = false) ?faults ?fault_rto ?fault_watchdog
-    ?(phase_label = fun _ -> None) machines =
+let spec ?(mode = `Combined) ?(schedule = `Static) ?(transport = `Sim)
+    ?(granularity = 1.0) ?(librarian = true) ?(priority = true)
+    ?(hashcons = false) ?(telemetry = false) ?faults ?fault_rto
+    ?fault_watchdog ?(phase_label = fun _ -> None) machines =
   {
     sp_machines = machines;
-    sp_mode = mode;
+    (* the all-dynamic schedule is the classic protocol in dynamic mode *)
+    sp_mode = (if schedule = `Dynamic then `Dynamic else mode);
+    sp_schedule = schedule;
     sp_transport = transport;
     sp_granularity = granularity;
     sp_librarian = librarian;
@@ -45,6 +48,7 @@ let options s =
     Runner.default_options with
     Runner.machines = s.sp_machines;
     mode = s.sp_mode;
+    schedule = s.sp_schedule;
     granularity = s.sp_granularity;
     use_librarian = s.sp_librarian;
     use_priority = s.sp_priority;

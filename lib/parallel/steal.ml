@@ -1,0 +1,121 @@
+(* Chase-Lev work-stealing deque over immediate ints. See steal.mli for
+   the memory-model argument; the algorithm follows Chase & Lev, "Dynamic
+   Circular Work-Stealing Deque" (SPAA 2005), with the owner's pop racing
+   thieves on the last element via a CAS on [top].
+
+   Indices grow without bound; the slot for index [i] is
+   [i land (capacity - 1)] (capacity is a power of two). A slot holding
+   index [i] is only rewritten once [bottom] has advanced at least
+   [capacity] past it, which requires [top] to have advanced past [i]
+   first (the owner checks occupancy before pushing), so a thief that
+   CASes [top] from [t] to [t+1] has read the value belonging to [t]. *)
+
+type t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  tab : int array Atomic.t;
+}
+
+let min_capacity = 16
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (Array.make min_capacity 0);
+  }
+
+let grow q ~top ~bottom =
+  let old = Atomic.get q.tab in
+  let old_cap = Array.length old in
+  let arr = Array.make (2 * old_cap) 0 in
+  let new_mask = (2 * old_cap) - 1 in
+  for i = top to bottom - 1 do
+    arr.(i land new_mask) <- old.(i land (old_cap - 1))
+  done;
+  Atomic.set q.tab arr
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let arr = Atomic.get q.tab in
+  let arr =
+    if b - t >= Array.length arr then begin
+      grow q ~top:t ~bottom:b;
+      Atomic.get q.tab
+    end
+    else arr
+  in
+  arr.(b land (Array.length arr - 1)) <- v;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let arr = Atomic.get q.tab in
+    let v = arr.(b land (Array.length arr - 1)) in
+    if b > t then Some v
+    else begin
+      (* last element: race thieves for it *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then Some v else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let arr = Atomic.get q.tab in
+    let v = arr.(t land (Array.length arr - 1)) in
+    if Atomic.compare_and_set q.top t (t + 1) then Some v else None
+  end
+
+let size q =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  max 0 (b - t)
+
+let steal_some victim =
+  let want = max 1 ((size victim + 1) / 2) in
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match steal victim with
+      | Some v -> go (n - 1) (v :: acc)
+      | None -> List.rev acc
+  in
+  go want []
+
+let steal_half victim ~into =
+  let items = steal_some victim in
+  List.iter (push into) items;
+  List.length items
+
+type stats = {
+  mutable st_fired : int;
+  mutable st_attempts : int;
+  mutable st_successes : int;
+  mutable st_stolen : int;
+  mutable st_hwm : int;
+  mutable st_idle : float;
+}
+
+let zero_stats () =
+  {
+    st_fired = 0;
+    st_attempts = 0;
+    st_successes = 0;
+    st_stolen = 0;
+    st_hwm = 0;
+    st_idle = 0.0;
+  }

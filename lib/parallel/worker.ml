@@ -127,13 +127,21 @@ let run_protocol (env : Transport.env) cfg task =
   collect task.t_root;
   let owned = List.rev !owned in
   (* ---- 3. Spine. ---- *)
-  let spine = Hashtbl.create 64 in
+  (* Membership over the fragment's node ids, packed into a bitset: the ids
+     of one fragment are near-contiguous (trees are numbered in creation
+     order), so one bit per id in the owned range beats hashing. *)
+  let id_lo, id_hi =
+    List.fold_left
+      (fun (lo, hi) (n : Tree.t) -> (min lo n.Tree.id, max hi n.Tree.id))
+      (max_int, min_int) owned
+  in
+  let spine = Pag_util.Bitset.make ~lo:id_lo ~hi:id_hi in
   (match cfg.wc_mode with
   | `Dynamic ->
       List.iter
         (fun (n : Tree.t) ->
           if n.Tree.prod <> None && not (is_cut n) then
-            Hashtbl.replace spine n.Tree.id ())
+            Pag_util.Bitset.add spine n.Tree.id)
         owned
   | `Combined ->
       List.iter
@@ -142,15 +150,15 @@ let run_protocol (env : Transport.env) cfg task =
             match Hashtbl.find_opt parent id with
             | None -> ()
             | Some (p : Tree.t) ->
-                if not (Hashtbl.mem spine p.Tree.id) then begin
-                  Hashtbl.replace spine p.Tree.id ();
+                if not (Pag_util.Bitset.mem spine p.Tree.id) then begin
+                  Pag_util.Bitset.add spine p.Tree.id;
                   up p.Tree.id
                 end
           in
           up c.Tree.id)
         task.t_cuts;
-      if task.t_cuts <> [] then Hashtbl.replace spine task.t_root.Tree.id ());
-  let on_spine (n : Tree.t) = Hashtbl.mem spine n.Tree.id in
+      if task.t_cuts <> [] then Pag_util.Bitset.add spine task.t_root.Tree.id);
+  let on_spine (n : Tree.t) = Pag_util.Bitset.mem spine n.Tree.id in
   (* ---- 4. Items. ---- *)
   let items = ref [] and n_items = ref 0 in
   (* Producers and boundary sends are keyed by the store's dense instance
@@ -470,7 +478,7 @@ let run_protocol (env : Transport.env) cfg task =
   let left = Store.missing store in
   if left > 0 then stuck "%d attribute instances unevaluated in fragment %d" left task.t_frag_id;
   env.Transport.e_flush ();
-  let spine_len = Hashtbl.length spine in
+  let spine_len = Pag_util.Bitset.cardinal spine in
   if obs_on then begin
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:eval_t0
       ~t1:(obs.Obs.x_clock ()) "evaluate";

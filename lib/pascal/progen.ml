@@ -315,9 +315,68 @@ let rec make_routine g ~outer ~level =
     r_block = { b_decls = decls @ nested; b_body = stmts };
   }
 
+(* ---------------- skewed workload (work-stealing benchmark) ---------- *)
+
+(* One pathologically fat routine whose statements each assign a deep
+   left-leaning arithmetic chain ((((z op s1) op s2) ...) op sn). The
+   grammar splits trees at declarations and statements, never inside an
+   expression, so each chain is an unsplittable fragment that a static
+   fragment assignment strands whole on one machine. Each spine step also
+   carries a small independent side expression: a work-stealing scheduler
+   can farm those out as the attribute wave passes down the spine. The
+   chain is label-free (+, -, *, div/mod by positive constants only; no
+   comparisons, booleans, calls or labels), so it is safe to execute and
+   transparent to hash-consed evaluation. *)
+let side_expr g depth =
+  let rec go d =
+    if d = 0 then EInt (1 + Random.State.int g.st 9)
+    else
+      match Random.State.int g.st 4 with
+      | 0 -> EBin (Add, go (d - 1), go (d - 1))
+      | 1 -> EBin (Sub, go (d - 1), go (d - 1))
+      | 2 -> EBin (Mul, go (d - 1), EInt (Random.State.int g.st 5))
+      | _ -> EBin (Div, go (d - 1), EInt (2 + Random.State.int g.st 8))
+  in
+  go depth
+
+let fat_routine g ~chain ~stmts =
+  let name = fresh g "fat" in
+  let chain_expr () =
+    let rec grow acc k =
+      if k = 0 then acc
+      else
+        let acc =
+          match Random.State.int g.st 5 with
+          | 0 -> EBin (Add, acc, side_expr g 2)
+          | 1 -> EBin (Sub, acc, side_expr g 2)
+          | 2 -> EBin (Mul, acc, side_expr g 2)
+          | 3 -> EBin (Div, acc, EInt (2 + Random.State.int g.st 8))
+          | _ -> EBin (Mod, acc, EInt (2 + Random.State.int g.st 8))
+        in
+        grow acc (k - 1)
+    in
+    grow (ELval (LId "z1")) chain
+  in
+  let body =
+    SAssign (LId "z1", EInt 1)
+    :: SAssign (LId "z2", EInt 2)
+    :: List.init stmts (fun _ -> SAssign (LId "z0", chain_expr ()))
+    @ [ SAssign (LId "z0", EBin (Mod, ELval (LId "z0"), EInt 9973)) ]
+  in
+  {
+    r_name = name;
+    r_params = [];
+    r_ret = None;
+    r_block =
+      {
+        b_decls = List.map (fun n -> DVar (n, TInt)) [ "z0"; "z1"; "z2" ];
+        b_body = body;
+      };
+  }
+
 (* ---------------- whole programs ---------------- *)
 
-let gen ?(module_seeds = false) st cfg =
+let gen ?(module_seeds = false) ?(skew = 0) st cfg =
   let g = { st; cfg; fresh = 0; reads = ref 0 } in
   let decls, ints, loops, counters, consts, arrays, records =
     make_locals g ~prefix:"g"
@@ -357,8 +416,17 @@ let gen ?(module_seeds = false) st cfg =
     in
     add [] sc0 cfg.g_routines
   in
+  (* [skew > 0] appends the pathological routine ([skew] spine steps per
+     statement) and guarantees the main block calls it. *)
+  let routines, fat_call =
+    if skew = 0 then (routines, [])
+    else
+      let r = fat_routine g ~chain:skew ~stmts:4 in
+      (routines @ [ DRoutine r ], [ SCall (r.r_name, []) ])
+  in
   let main_body =
     init_counters g sc
+    @ fat_call
     @ List.init (max 2 (cfg.g_stmts / 2)) (fun _ -> stmt g sc 3)
     @ [ SWrite ([ int_expr g sc 2 ], true) ]
   in
@@ -370,6 +438,22 @@ let gen ?(module_seeds = false) st cfg =
 
 let paper_program ?(seed = 1987) () =
   let p, _ = gen ~module_seeds:true (Random.State.make [| seed |]) paper in
+  p
+
+(* Pathologically unbalanced counterpart of [paper_program]: a dozen tiny
+   routines plus the fat one. Deterministic for a given (seed, chain). *)
+let skewed_program ?(seed = 2287) ?(chain = 400) () =
+  let cfg =
+    {
+      g_routines = 12;
+      g_nested = 0;
+      g_max_level = 2;
+      g_stmts = 2;
+      g_expr_depth = 1;
+      g_reads = 0;
+    }
+  in
+  let p, _ = gen ~skew:chain (Random.State.make [| seed |]) cfg in
   p
 
 (* ---------------- repetition workload (hash-consing benchmark) -------- *)

@@ -25,10 +25,22 @@ val medium : cfg
 
 val paper : cfg
 
-val gen : ?module_seeds:bool -> Random.State.t -> cfg -> Ast.program * int
+(** [skew > 0] additionally appends one pathologically fat routine whose
+    statements each assign a deep left-leaning label-free arithmetic chain
+    of [skew] steps — an unsplittable expression spine (the grammar splits
+    at declarations and statements only) that strands a static fragment
+    assignment on one machine. *)
+val gen :
+  ?module_seeds:bool -> ?skew:int -> Random.State.t -> cfg -> Ast.program * int
 
 (** The paper's measurement workload (deterministic for a given seed). *)
 val paper_program : ?seed:int -> unit -> Ast.program
+
+(** Pathologically unbalanced workload for the work-stealing benchmark: a
+    dozen tiny routines plus one fat routine of four [chain]-step
+    left-leaning expression spines (default 400). Deterministic for a given
+    (seed, chain). *)
+val skewed_program : ?seed:int -> ?chain:int -> unit -> Ast.program
 
 (** Deterministic workload with tunable subtree repetition for the
     hash-consing benchmark: [routines] procedures, each of whose bodies is

@@ -1,0 +1,26 @@
+type t = { lo : int; hi : int; words : int array }
+
+let bits = Sys.int_size
+
+let make ~lo ~hi =
+  let n = if hi < lo then 0 else hi - lo + 1 in
+  { lo; hi; words = Array.make ((n + bits - 1) / bits) 0 }
+
+let add t i =
+  if i < t.lo || i > t.hi then
+    invalid_arg (Printf.sprintf "Bitset.add: %d outside %d..%d" i t.lo t.hi);
+  let k = i - t.lo in
+  t.words.(k / bits) <- t.words.(k / bits) lor (1 lsl (k mod bits))
+
+let mem t i =
+  i >= t.lo && i <= t.hi
+  &&
+  let k = i - t.lo in
+  t.words.(k / bits) land (1 lsl (k mod bits)) <> 0
+
+(* popcount, one word at a time *)
+let count_word w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + count_word w) 0 t.words

@@ -1,0 +1,23 @@
+(** Dense bitset over a fixed integer range.
+
+    A membership set for ids drawn from a known interval [lo..hi] — e.g.
+    tree-node ids inside one fragment — packed one bit per id into an int
+    array. Compared to an [(int, unit) Hashtbl.t] it allocates once, never
+    rehashes, and [mem] is two shifts and a load.
+
+    Ids outside the range: [mem] answers [false]; [add] raises
+    [Invalid_argument]. *)
+
+type t
+
+(** The empty set over [lo..hi] inclusive. [hi < lo] yields a set where
+    every [mem] is [false] and every [add] raises. *)
+val make : lo:int -> hi:int -> t
+
+(** Raises [Invalid_argument] outside the range. Idempotent. *)
+val add : t -> int -> unit
+
+val mem : t -> int -> bool
+
+(** Number of distinct ids added. O(range / word size). *)
+val cardinal : t -> int

@@ -80,6 +80,35 @@ let prop_size =
       (ignore (Pqueue.pop_min q);
        Pqueue.size q = max 0 (n - 1)))
 
+(* The queue against a sorted-assoc-list model: the model keeps
+   (priority, seq) pairs ordered lexicographically, which is exactly
+   min-priority with FIFO tie-breaking (seq is the insertion number).
+   [Some p] adds with priority [p]; [None] pops and compares. *)
+let prop_model =
+  qc "random add/pop sequence matches sorted-list model"
+    QCheck.(list (option (float_bound_inclusive 3.)))
+    (fun ops ->
+      (* priorities from a tiny range so ties actually occur *)
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some p ->
+              Pqueue.add q p !seq;
+              model := List.merge compare !model [ (p, !seq) ];
+              incr seq
+          | None -> (
+              match !model with
+              | [] -> ok := !ok && Pqueue.pop_min q = None
+              | (p, v) :: rest ->
+                  model := rest;
+                  ok := !ok && Pqueue.pop_min q = Some (p, v)))
+        ops;
+      !ok && Pqueue.size q = List.length !model)
+
 let suite =
   [
     ( "pqueue",
@@ -91,5 +120,6 @@ let suite =
         Alcotest.test_case "interleaved" `Quick test_interleaved;
         prop_heapsort;
         prop_size;
+        prop_model;
       ] );
   ]
