@@ -23,6 +23,10 @@
      E14 beyond     work-stealing instance scheduler vs the static fragment
                     schedule: machine sweep on balanced and skewed
                     workloads, equivalence gates (writes BENCH_6.json)
+     E15 beyond     multi-tenant compile service: sustained edits/sec and
+                    latency percentiles at 100/1k/10k netsim sessions plus
+                    real-domains rows, per-tenant finals gated against
+                    isolated session replays (writes BENCH_7.json)
 
    Flags:
      --quick   use a smaller workload and fewer machine counts
@@ -1102,6 +1106,176 @@ let e14_steal () =
     failwith "E14: work-stealing gate failed"
 
 (* ------------------------------------------------------------------ *)
+(* E15: multi-tenant compile service (BENCH_7)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained edit throughput and latency percentiles of the resident
+   compile service: N concurrent edit sessions multiplexed over a bounded
+   worker set, on the netsim machine model (virtual time, shared
+   Ethernet) and on real domains (wall time). Tenants draw from three
+   small program families; every swept configuration is gated on each
+   tenant's final masked code equalling an isolated single-session replay
+   of the same edit stream. *)
+let e15_service () =
+  sep "[E15] Multi-tenant compile service: resident session pool (BENCH_7)";
+  let g = Pascal_ag.grammar in
+  let src family rhs =
+    Printf.sprintf
+      "program p;\nvar i, s : integer;\nbegin\n  s := 0;\n  i := 1;\n\
+      \  repeat\n    i := i * %d;\n    s := %s\n  until i > 100;\n\
+      \  write(s)\nend.\n"
+      (family + 2) rhs
+  in
+  let tree family rhs =
+    Pascal_ag.tree_of_program g (Parser.parse_program (src family rhs))
+  in
+  let families = 3 in
+  (* each tenant's stream: base -> structural edit -> back to base *)
+  let base = "s + i" and alt = "s + i * 2" in
+  let stream edits = if edits >= 2 then [ alt; base ] else [ alt ] in
+  (* one isolated reference session per family: the masked code every
+     tenant of that family must end on *)
+  let reference ~edits family =
+    let es =
+      Session.open_session
+        (Session.spec ~granularity:0.1 ~librarian:false 2)
+        g (tree family base)
+    in
+    List.iter (fun rhs -> ignore (Session.edit es (tree family rhs))) (stream edits);
+    masked_code (Pag_eval.Store.root_attrs (Session.store es))
+  in
+  let run ~transport ~sessions ~workers ~policy ~hashcons ~edits =
+    let sv = Service.create (Service.config ~policy ~transport ~hashcons workers) g in
+    for i = 0 to sessions - 1 do
+      Service.open_tenant sv (Printf.sprintf "t%06d" i) (tree (i mod families) base)
+    done;
+    List.iter
+      (fun rhs ->
+        for i = 0 to sessions - 1 do
+          ignore
+            (Service.submit sv (Printf.sprintf "t%06d" i) (tree (i mod families) rhs))
+        done;
+        Service.run_round sv)
+      (stream edits);
+    Service.drain sv;
+    let refs = Array.init families (fun f -> reference ~edits f) in
+    let finals_ok = ref true in
+    for i = 0 to sessions - 1 do
+      let code =
+        masked_code
+          (Pag_eval.Store.root_attrs
+             (Service.tenant_store sv (Printf.sprintf "t%06d" i)))
+      in
+      if not (String.equal code refs.(i mod families)) then finals_ok := false
+    done;
+    (Service.stats sv, !finals_ok)
+  in
+  let policy_name = function
+    | Service.Round_robin -> "round-robin"
+    | Service.Shortest_queue -> "shortest-queue"
+  in
+  let transport_name = function `Sim -> "sim" | `Domains -> "domains" in
+  Printf.printf "%-9s %-9s %-8s %-15s %-9s %-12s %-10s %-10s %-5s\n"
+    "transport" "sessions" "workers" "policy" "hashcons" "edits/sec" "p50 ms"
+    "p99 ms" "code";
+  let row ~transport ~sessions ~workers ~policy ~hashcons ~edits =
+    let st, finals_ok = run ~transport ~sessions ~workers ~policy ~hashcons ~edits in
+    Printf.printf "%-9s %-9d %-8d %-15s %-9b %12.1f %10.3f %10.3f %s\n"
+      (transport_name transport) sessions workers (policy_name policy)
+      hashcons st.Service.st_edits_per_sec
+      (st.Service.st_p50 *. 1e3)
+      (st.Service.st_p99 *. 1e3)
+      (if finals_ok then "ok" else "MISMATCH");
+    (transport, sessions, workers, policy, hashcons, st, finals_ok)
+  in
+  (* netsim sweep: both policies x hashcons at each session count, plus a
+     single large row (10k sessions, one edit each) in full mode *)
+  let session_counts = [ 100; 1000 ] in
+  let sim_workers = 8 in
+  let small_rows =
+    List.concat_map
+      (fun sessions ->
+        List.concat_map
+          (fun policy ->
+            List.map
+              (fun hashcons ->
+                row ~transport:`Sim ~sessions ~workers:sim_workers ~policy
+                  ~hashcons ~edits:2)
+              [ false; true ])
+          [ Service.Round_robin; Service.Shortest_queue ])
+      session_counts
+  in
+  let big_rows =
+    if quick then []
+    else
+      [
+        row ~transport:`Sim ~sessions:10_000 ~workers:sim_workers
+          ~policy:Service.Round_robin ~hashcons:false ~edits:1;
+      ]
+  in
+  let sim_rows = small_rows @ big_rows in
+  (* real domains: wall-clock rows up to the core count, hashcons off (the
+     intern arena is not domain-safe; the service then serialises) *)
+  let cores = Domain.recommended_domain_count () in
+  let domain_workers =
+    List.filter (fun w -> w <= cores) [ 1; 2; 4; 8 ]
+    |> fun ws -> if ws = [] then [ 1 ] else ws
+  in
+  let dom_sessions = if quick then 16 else 64 in
+  let dom_rows =
+    List.map
+      (fun workers ->
+        row ~transport:`Domains ~sessions:dom_sessions ~workers
+          ~policy:Service.Round_robin ~hashcons:false ~edits:2)
+      domain_workers
+  in
+  let all_rows = sim_rows @ dom_rows in
+  let all_finals_ok =
+    List.for_all (fun (_, _, _, _, _, _, ok) -> ok) all_rows
+  in
+  let big_row_ok =
+    List.exists
+      (fun (tr, sessions, _, _, _, _, _) -> tr = `Sim && sessions >= 1000)
+      all_rows
+  in
+  Printf.printf
+    "\ntargets: every swept config's per-tenant finals masked-equal to an\n\
+     isolated session replay (%b); a netsim row at >= 1000 concurrent\n\
+     sessions (%b).\n"
+    all_finals_ok big_row_ok;
+  let row_json (tr, sessions, workers, policy, hashcons, st, ok) =
+    Printf.sprintf
+      "    { \"transport\": %S, \"sessions\": %d, \"workers\": %d, \
+       \"policy\": %S, \"hashcons\": %b, \"edits\": %d, \"rounds\": %d, \
+       \"edits_per_sec\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \
+       \"rejected\": %d, \"evictions\": %d, \"retransmits\": %d, \
+       \"finals_ok\": %b }"
+      (transport_name tr) sessions workers (policy_name policy) hashcons
+      st.Service.st_edits st.Service.st_rounds st.Service.st_edits_per_sec
+      (st.Service.st_p50 *. 1e3)
+      (st.Service.st_p99 *. 1e3)
+      st.Service.st_rejected st.Service.st_evictions st.Service.st_retransmits
+      ok
+  in
+  let oc = open_out "BENCH_7.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_7\",\n\
+    \  \"bench\": \"multi-tenant compile service: resident session pool \
+     under admission scheduling\",\n\
+    \  \"program_families\": %d,\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"gates\": { \"all_finals_ok\": %b, \"netsim_ge_1000_sessions\": %b }\n\
+     }\n"
+    families
+    (String.concat ",\n" (List.map row_json all_rows))
+    all_finals_ok big_row_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_7.json\n";
+  if not (all_finals_ok && big_row_ok) then
+    failwith "E15: multi-tenant service gate failed"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: fast evaluator equivalence, nonzero exit on mismatch         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1198,6 +1372,7 @@ let () =
     e11_observability ();
     e12_hashcons ();
     e13_incremental ();
-    e14_steal ()
+    e14_steal ();
+    e15_service ()
   end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

@@ -13,7 +13,8 @@
      pagc --machines 5 --trace out.json --report prog.pas
                                             record a Chrome trace + report
      pagc -m 5 --faults drop=0.05,dup=0.02 prog.pas
-                                            compile over a faulty network *)
+                                            compile over a faulty network
+     pagc --serve workload.serve            multi-tenant compile service *)
 
 open Cmdliner
 open Pascal
@@ -127,9 +128,149 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
     exit 1
   end
 
+(* --serve: drive the multi-tenant compile service from a workload script.
+   The script generalizes --edit-session to many resident programs:
+
+     service workers=3 policy=shortest-queue queue-cap=8 mem-cap=0 idle-rounds=0
+     tenant alice examples/primes.pas
+     edit alice examples/primes_edit1.pas
+     round
+
+   `tenant` admits a resident program, `edit` submits a replacement source
+   into the tenant's queue (a full queue rejects — backpressure), `round`
+   runs one scheduling round; the implicit final drain flushes the rest.
+   Afterwards every tenant's resident code must equal a from-scratch
+   compile of its last source, modulo label numbering. *)
+let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
+  let module Service = Pag_parallel.Service in
+  let g = Pascal_ag.grammar in
+  let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
+  let fail line msg =
+    Printf.eprintf "pagc: --serve: line %d: %s\n" line msg;
+    exit 1
+  in
+  let obs =
+    if report then
+      let t0 = Unix.gettimeofday () in
+      Obs.make_ctx ~pid:0 ~clock:(fun () -> Unix.gettimeofday () -. t0)
+    else Obs.null_ctx
+  in
+  let workers = ref machines
+  and policy = ref Service.Round_robin
+  and queue_cap = ref 0
+  and mem_cap = ref 0
+  and idle_rounds = ref 0 in
+  let service = ref None in
+  let the_service line =
+    match !service with
+    | Some sv -> sv
+    | None ->
+        let sv =
+          try
+            Service.create
+              (Service.config ~policy:!policy
+                 ~transport:(if transport = "domains" then `Domains else `Sim)
+                 ~queue_cap:!queue_cap ~mem_cap:!mem_cap
+                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~obs !workers)
+              g
+          with Invalid_argument msg -> fail line msg
+        in
+        service := Some sv;
+        sv
+  in
+  (* last source submitted per tenant, admission order preserved *)
+  let last_src : (string, string ref) Hashtbl.t = Hashtbl.create 16 in
+  let tenant_order = ref [] in
+  let set_kv line kv =
+    match String.index_opt kv '=' with
+    | None -> fail line (Printf.sprintf "expected key=value, got %S" kv)
+    | Some i -> (
+        let k = String.sub kv 0 i
+        and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let int_v () =
+          match int_of_string_opt v with
+          | Some n -> n
+          | None -> fail line (Printf.sprintf "%s: not an integer: %S" k v)
+        in
+        match k with
+        | "workers" -> workers := int_v ()
+        | "queue-cap" -> queue_cap := int_v ()
+        | "mem-cap" -> mem_cap := int_v ()
+        | "idle-rounds" -> idle_rounds := int_v ()
+        | "policy" -> (
+            match v with
+            | "rr" | "round-robin" -> policy := Service.Round_robin
+            | "sq" | "shortest-queue" -> policy := Service.Shortest_queue
+            | _ -> fail line (Printf.sprintf "unknown policy %S" v))
+        | _ -> fail line (Printf.sprintf "unknown service key %S" k))
+  in
+  let lines =
+    read_file script |> String.split_on_char '\n' |> List.map String.trim
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      if raw <> "" && raw.[0] <> '#' then
+        match String.split_on_char ' ' raw |> List.filter (( <> ) "") with
+        | "service" :: kvs ->
+            if !service <> None then
+              fail line "service line must precede the first tenant";
+            List.iter (set_kv line) kvs
+        | [ "tenant"; name; file ] ->
+            let sv = the_service line in
+            let src = read_file file in
+            (try Service.open_tenant sv name (parse_tree src)
+             with Invalid_argument msg -> fail line msg);
+            Hashtbl.replace last_src name (ref src);
+            tenant_order := name :: !tenant_order
+        | [ "edit"; name; file ] -> (
+            let sv = the_service line in
+            let src = read_file file in
+            match
+              try Service.submit sv name (parse_tree src)
+              with Invalid_argument msg -> fail line msg
+            with
+            | Service.Admitted -> (Hashtbl.find last_src name) := src
+            | Service.Rejected_queue_full ->
+                Printf.eprintf "%-12s edit rejected (queue full): %s\n" name
+                  (Filename.basename file))
+        | [ "round" ] -> Service.run_round (the_service line)
+        | _ -> fail line (Printf.sprintf "unrecognized directive %S" raw))
+    lines;
+  match !service with
+  | None ->
+      Printf.eprintf "pagc: --serve: %s admits no tenants\n" script;
+      exit 1
+  | Some sv ->
+      Service.drain sv;
+      let ok = ref true in
+      List.iter
+        (fun name ->
+          let resident =
+            Pascal_ag.code_of_attrs
+              (Pag_eval.Store.root_attrs (Service.tenant_store sv name))
+          in
+          let scratch = Driver.compile_source !(Hashtbl.find last_src name) in
+          if
+            String.equal
+              (Driver.mask_labels resident)
+              (Driver.mask_labels scratch.Driver.c_asm)
+          then Printf.eprintf "%-12s resident = from-scratch: ok\n" name
+          else begin
+            Printf.eprintf "%-12s DIVERGED from a from-scratch compile\n" name;
+            ok := false
+          end)
+        (List.rev !tenant_order);
+      prerr_string (Service.render (Service.stats sv));
+      if report then
+        List.iter
+          (fun (n, v) -> Printf.eprintf "%-44s %s\n" n v)
+          (Obs.Metrics.rows obs.Obs.x_metrics);
+      exit (if !ok then 0 else 1)
+
 let run_compiler file machines evaluator schedule transport granularity
     no_librarian no_priority hashcons optimize run_it gantt trace_out
-    events_out report out input faults fault_seed edit_session =
+    events_out report out input faults fault_seed edit_session serve =
   try
     let faults =
       match faults with
@@ -140,6 +281,17 @@ let run_compiler file machines evaluator schedule transport granularity
           | Error msg ->
               Printf.eprintf "pagc: bad --faults plan: %s\n" msg;
               exit 1)
+    in
+    (match serve with
+    | Some script ->
+        run_serve ~script ~machines ~hashcons ~faults ~transport ~report
+    | None -> ());
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+          Printf.eprintf "pagc: FILE argument required (except with --serve)\n";
+          exit 1
     in
     (match edit_session with
     | Some script ->
@@ -271,17 +423,25 @@ let run_compiler file machines evaluator schedule transport granularity
     exit 0
   with
   | Lexer.Lex_error (line, msg) ->
-      Printf.eprintf "%s:%d: lexical error: %s\n" file line msg;
+      Printf.eprintf "%s:%d: lexical error: %s\n"
+        (Option.value file ~default:"<input>")
+        line msg;
       exit 1
   | Parser.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: syntax error: %s\n" file line msg;
+      Printf.eprintf "%s:%d: syntax error: %s\n"
+        (Option.value file ~default:"<input>")
+        line msg;
       exit 1
   | Sys_error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
 
 let file_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Pascal source file.")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Pascal source file (required except with --serve).")
 
 let machines_arg =
   Arg.(value & opt int 1 & info [ "machines"; "m" ] ~docv:"N" ~doc:"Number of evaluator machines.")
@@ -405,6 +565,22 @@ let edit_session_arg =
            simulated latency). Prints the final resident assembly after \
            verifying it against a from-scratch compile.")
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SCRIPT"
+        ~doc:
+          "Run the multi-tenant compile service on the workload in $(docv): \
+           $(b,service) key=value lines configure workers/policy/queue-cap/\
+           mem-cap/idle-rounds, $(b,tenant NAME FILE) admits a resident \
+           program, $(b,edit NAME FILE) submits a replacement source, \
+           $(b,round) runs one scheduling round (a final drain is \
+           implicit). --hashcons shares the intern arena across tenants, \
+           --faults injects network faults, --transport picks netsim or \
+           domains. Exits 0 only if every tenant's resident code matches a \
+           from-scratch compile of its last source (labels masked).")
+
 let fault_seed_arg =
   Arg.(
     value
@@ -421,6 +597,6 @@ let cmd =
       $ schedule_arg $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
       $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
-      $ fault_seed_arg $ edit_session_arg)
+      $ fault_seed_arg $ edit_session_arg $ serve_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -26,4 +26,8 @@ dune exec bin/pagc.exe -- --machines 3 --schedule steal \
 sed 's/[LP][0-9][0-9]*/X/g' /tmp/pagc_seq_smoke.s > /tmp/pagc_seq_smoke.masked
 sed 's/[LP][0-9][0-9]*/X/g' /tmp/pagc_steal_smoke.s > /tmp/pagc_steal_smoke.masked
 cmp /tmp/pagc_seq_smoke.masked /tmp/pagc_steal_smoke.masked
+# Multi-tenant service smoke: three tenants over two simulated machines;
+# pagc exits nonzero unless every tenant's resident code matches a
+# from-scratch compile.
+dune exec bin/pagc.exe -- --serve examples/three_tenants.serve >/dev/null
 echo "check.sh: all green"

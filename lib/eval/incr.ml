@@ -61,6 +61,7 @@ type session = {
   mutable s_graph : Engine.graph;
   mutable s_next_id : int;  (* next unused node id *)
   mutable s_live_rules : int;
+  mutable s_live_slots : int;  (* slots owned by live tree nodes *)
   mutable s_epoch : int;
   mutable s_changed : int array;  (* slot -> epoch its value last changed *)
   mutable s_last_fallback : bool;
@@ -74,6 +75,16 @@ type session = {
 let tree s = s.s_tree
 
 let store s = s.s_store
+
+let live_slots s = s.s_live_slots
+
+(* Attribute instances a (sub)tree owns in the store: one slot per
+   declared attribute of each node's symbol (see {!Store.create}). *)
+let tree_slots g t =
+  Tree.fold
+    (fun acc (n : Tree.t) ->
+      acc + Array.length (Grammar.symbol g n.Tree.sym).Grammar.s_attrs)
+    0 t
 
 let totals s =
   {
@@ -103,10 +114,16 @@ let build s =
   s.s_graph <- gr;
   s.s_next_id <- Store.node_count store;
   s.s_live_rules <- Engine.rule_count eng;
+  s.s_live_slots <- Store.slot_count store;
   s.s_changed <- Array.make (max 1 (Store.slot_count store)) 0
 
-let start ?(obs = Obs.null_ctx) ?(hashcons = false) ?(frontier = 0.6) g tree =
-  let memo = if hashcons then Some (Memo.create_rules ()) else None in
+let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false) ?(frontier = 0.6) g
+    tree =
+  let memo =
+    match memo with
+    | Some _ as m -> m
+    | None -> if hashcons then Some (Memo.create_rules ()) else None
+  in
   let cursor = ref 0 in
   let store = Store.create g tree in
   let eng = Engine.create ?memo g store in
@@ -124,6 +141,7 @@ let start ?(obs = Obs.null_ctx) ?(hashcons = false) ?(frontier = 0.6) g tree =
     s_graph = gr;
     s_next_id = Store.node_count store;
     s_live_rules = Engine.rule_count eng;
+    s_live_slots = Store.slot_count store;
     s_epoch = 0;
     s_changed = Array.make (max 1 (Store.slot_count store)) 0;
     s_last_fallback = false;
@@ -181,6 +199,18 @@ let replace s ~parent ~pos repl =
   let eng = s.s_engine and gr = s.s_graph in
   s.s_next_id <- Tree.number_from repl s.s_next_id;
   let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
+  let added = tree_slots s.s_g repl in
+  s.s_live_slots <- s.s_live_slots + added - tree_slots s.s_g old;
+  if Store.slot_count s.s_store + added > 2 * s.s_live_slots then
+    (* Dead weight from detached subtrees would outweigh the live tree:
+       compact with a from-scratch rebuild instead of appending. Nothing
+       else ever reclaims dead slots — before this trigger a long stream of
+       small edits grew the flat arrays (and the resident store's heap)
+       without bound, a leak per edit session. The 2x threshold amortizes:
+       a rebuild costs O(live), and reaching the trigger again requires
+       detaching at least O(live) slots' worth of edits. *)
+    fallback s ~dirty:s.s_live_rules t0
+  else begin
   Store.append_subtree s.s_store repl;
   let total = Store.slot_count s.s_store in
   if Array.length s.s_changed < total then begin
@@ -306,6 +336,7 @@ let replace s ~parent ~pos repl =
           ed_fallback = false;
           ed_prop_ms = (Sys.time () -. t0) *. 1e3;
         }
+  end
   end
 
 let edit s next =

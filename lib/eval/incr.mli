@@ -38,12 +38,17 @@ type totals = {
 }
 
 (** [start g tree] evaluates [tree] from scratch and opens the session.
-    [~hashcons:true] routes (re-)firings through a rule memo. [frontier]
-    is the dirty-cone fraction beyond which edits rebuild from scratch.
-    With a live [obs] context each edit records the [incr.*] counters and
-    the [incr.prop_ms] histogram. *)
+    [~hashcons:true] routes (re-)firings through a rule memo; [memo]
+    supplies that memo explicitly instead, letting several sessions share
+    one intern arena (a multi-tenant service passes the same [Memo.rules]
+    to every tenant — safe because uid-consuming rules are tainted and
+    never memoized, so sharing cannot leak labels across sessions).
+    [frontier] is the dirty-cone fraction beyond which edits rebuild from
+    scratch. With a live [obs] context each edit records the [incr.*]
+    counters and the [incr.prop_ms] histogram. *)
 val start :
   ?obs:Pag_obs.Obs.ctx ->
+  ?memo:Memo.rules ->
   ?hashcons:bool ->
   ?frontier:float ->
   Grammar.t ->
@@ -54,9 +59,17 @@ val start :
 val tree : session -> Tree.t
 
 (** The session's current store — all attribute values of {!tree} are set.
-    Instances of subtrees detached by earlier edits linger as dead slots;
-    query through live nodes only. *)
+    Instances of subtrees detached by earlier edits linger as dead slots
+    until the next compacting rebuild; query through live nodes only. *)
 val store : session -> Store.t
+
+(** Attribute instances owned by live nodes of {!tree} — the session's
+    memory footprint (RSS proxy). [Store.slot_count (store s)] additionally
+    counts dead slots left by detached subtrees; the session compacts
+    (rebuilds from scratch) whenever the dead weight would exceed the live
+    weight, so the total stays within 2x [live_slots] plus one edit's
+    appended subtree. A multi-tenant pool evicts against this number. *)
+val live_slots : session -> int
 
 (** [edit session next] updates the session so its tree is (structurally)
     [next] and every attribute reflects it. [next] must have the same root

@@ -151,6 +151,14 @@ module Metrics = struct
 
   let live t = t.m_live
 
+  let labeled name = function
+    | [] -> name
+    | labels ->
+        let body =
+          String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+        in
+        name ^ "{" ^ body ^ "}"
+
   let dead_counter = { c = 0; c_live = false }
 
   let n_buckets = 64

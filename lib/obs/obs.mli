@@ -78,6 +78,14 @@ module Metrics : sig
 
   val live : t -> bool
 
+  (** [labeled name labels] renders a metric name with Prometheus-style
+      labels: [labeled "service.edits" [ ("tenant", "alice") ]] is
+      ["service.edits{tenant=alice}"]. The registry keys metrics by plain
+      string, so labeled series are simply distinct names — this fixes the
+      convention (sorted output groups a family's series together). With
+      no labels it is [name] itself. *)
+  val labeled : string -> (string * string) list -> string
+
   val counter : t -> string -> counter
 
   val add : counter -> int -> unit

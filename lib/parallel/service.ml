@@ -1,0 +1,700 @@
+open Pag_core
+open Pag_eval
+open Netsim
+open Pag_obs
+
+(* Multi-tenant compile service: a resident pool of incremental sessions
+   multiplexed over a bounded set of workers, one scheduling round at a
+   time. See service.mli for the model; the short version:
+
+   - admission: per-tenant FIFO queues, bounded (backpressure rejects);
+   - scheduling: each round drains the non-empty queues into per-tenant
+     batches and deals the batches to workers (round-robin or
+     shortest-queue);
+   - application: every edit goes through the tenant's own {!Incr}
+     session in submission order — the scheduling layer prices and
+     orders, it never changes what a tenant computes, so multiplexed
+     finals are bit-identical to isolated single-session runs;
+   - pricing ([`Sim]): dispatch message + owner rebuild/propagation delay
+     + result message, all workers sharing one Ethernet, with optional
+     fault injection (dropped dispatches retransmit after an RTO, a
+     crashed worker's remaining batches re-dispatch to survivors);
+   - lifecycle: memory-capped LRU eviction and idle timeout; an evicted
+     tenant keeps its tree and revives on the next touch. *)
+
+type policy = Round_robin | Shortest_queue
+
+type config = {
+  c_workers : int;
+  c_policy : policy;
+  c_transport : [ `Sim | `Domains ];
+  c_queue_cap : int;
+  c_mem_cap : int;
+  c_idle_rounds : int;
+  c_hashcons : bool;
+  c_frontier : float option;
+  c_faults : Faults.spec option;
+  c_fault_rto : float;
+  c_net : Ethernet.params;
+  c_obs : Obs.ctx;
+}
+
+let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
+    ?(mem_cap = 0) ?(idle_rounds = 0) ?(hashcons = false) ?frontier ?faults
+    ?(fault_rto = 0.05) ?(net = Ethernet.default_params) ?(obs = Obs.null_ctx)
+    workers =
+  if workers < 1 then invalid_arg "Service.config: workers < 1";
+  {
+    c_workers = workers;
+    c_policy = policy;
+    c_transport = transport;
+    c_queue_cap = queue_cap;
+    c_mem_cap = mem_cap;
+    c_idle_rounds = idle_rounds;
+    c_hashcons = hashcons;
+    c_frontier = frontier;
+    c_faults = faults;
+    c_fault_rto = fault_rto;
+    c_net = net;
+    c_obs = obs;
+  }
+
+type tenant = {
+  t_name : string;
+  t_queue : (Tree.t * float) Queue.t;  (* (edit, submit time) *)
+  mutable t_session : Incr.session option;  (* None = evicted *)
+  mutable t_tree : Tree.t;  (* resident tree, kept across eviction *)
+  mutable t_last_active : int;  (* round of last applied edit *)
+  mutable t_edits : int;
+  mutable t_rejected : int;
+  mutable t_evictions : int;
+  mutable t_retransmits : int;
+  mutable t_queue_hwm : int;
+  mutable t_lat : float list;  (* latency samples, seconds *)
+}
+
+type t = {
+  sv_cfg : config;
+  sv_g : Grammar.t;
+  sv_memo : Memo.rules option;  (* shared across tenants: hashcons + `Sim *)
+  sv_tenants : (string, tenant) Hashtbl.t;
+  mutable sv_order_rev : tenant list;  (* admission order, newest first *)
+  sv_net : Ethernet.t;
+  sv_faults : Faults.t option;
+  sv_crash_at : float array;  (* per worker; infinity = never *)
+  sv_dead : bool array;
+  mutable sv_now : float;  (* virtual clock (`Sim) / busy seconds (`Domains) *)
+  mutable sv_round : int;
+  mutable sv_rr : int;
+  mutable sv_edits : int;
+  mutable sv_rejected : int;
+  mutable sv_evictions : int;
+  mutable sv_retransmits : int;
+  mutable sv_redispatches : int;
+  sv_t0 : float;  (* wall clock at creation (`Domains submit stamps) *)
+}
+
+let create cfg g =
+  let memo =
+    if cfg.c_hashcons && cfg.c_transport = `Sim then Some (Memo.create_rules ())
+    else None
+  in
+  let crash_at = Array.make cfg.c_workers infinity in
+  (match cfg.c_faults with
+  | None -> ()
+  | Some f ->
+      List.iter
+        (fun (m, at) ->
+          (* fault-plan machine ids are 1-based worker pids (0 is the
+             coordinator, as in the runner) *)
+          let w = m - 1 in
+          if w >= 0 && w < cfg.c_workers then
+            crash_at.(w) <- Float.min crash_at.(w) at)
+        f.Faults.fs_crashes);
+  {
+    sv_cfg = cfg;
+    sv_g = g;
+    sv_memo = memo;
+    sv_tenants = Hashtbl.create 64;
+    sv_order_rev = [];
+    sv_net = Ethernet.create cfg.c_net;
+    sv_faults =
+      (match cfg.c_faults with
+      | Some f when cfg.c_transport = `Sim -> Some (Faults.make f)
+      | _ -> None);
+    sv_crash_at = crash_at;
+    sv_dead = Array.make cfg.c_workers false;
+    sv_now = 0.0;
+    sv_round = 0;
+    sv_rr = 0;
+    sv_edits = 0;
+    sv_rejected = 0;
+    sv_evictions = 0;
+    sv_retransmits = 0;
+    sv_redispatches = 0;
+    sv_t0 = Unix.gettimeofday ();
+  }
+
+let metrics sv = sv.sv_cfg.c_obs.Obs.x_metrics
+
+let bump sv name labels n =
+  let reg = metrics sv in
+  if Obs.Metrics.live reg then
+    Obs.Metrics.add (Obs.Metrics.counter reg (Obs.Metrics.labeled name labels)) n
+
+let tenant_label tn = [ ("tenant", tn.t_name) ]
+
+let now_of sv =
+  match sv.sv_cfg.c_transport with
+  | `Sim -> sv.sv_now
+  | `Domains -> Unix.gettimeofday () -. sv.sv_t0
+
+let find sv name =
+  match Hashtbl.find_opt sv.sv_tenants name with
+  | Some tn -> tn
+  | None -> invalid_arg ("Service: unknown tenant " ^ name)
+
+let resident_slots sv =
+  Hashtbl.fold
+    (fun _ tn acc ->
+      match tn.t_session with
+      | Some s -> acc + Incr.live_slots s
+      | None -> acc)
+    sv.sv_tenants 0
+
+let evict sv tn =
+  match tn.t_session with
+  | None -> ()
+  | Some s ->
+      tn.t_tree <- Incr.tree s;
+      tn.t_session <- None;
+      tn.t_evictions <- tn.t_evictions + 1;
+      sv.sv_evictions <- sv.sv_evictions + 1;
+      bump sv "service.evictions" (tenant_label tn) 1
+
+(* Evict least-recently-active resident tenants (quiet ones first) until
+   the pool fits the cap; [keep] is never evicted. *)
+let enforce_cap sv ~keep =
+  let cap = sv.sv_cfg.c_mem_cap in
+  if cap > 0 then begin
+    let continue_ = ref true in
+    while resident_slots sv > cap && !continue_ do
+      let victim =
+        Hashtbl.fold
+          (fun _ tn best ->
+            if tn == keep || tn.t_session = None then best
+            else
+              let key = (not (Queue.is_empty tn.t_queue), tn.t_last_active) in
+              match best with
+              | Some (bkey, _) when bkey <= key -> best
+              | _ -> Some (key, tn))
+          sv.sv_tenants None
+      in
+      match victim with
+      | Some (_, tn) -> evict sv tn
+      | None -> continue_ := false
+    done
+  end
+
+(* (Re-)open a tenant's session: evaluate the resident tree from scratch.
+   Sessions share the service-wide rule memo when hash-consing on the
+   simulated transport; on domains each tenant gets its own memo (the
+   process-wide intern arena is not domain-safe). Obs likewise flows into
+   sessions only on the simulated (single-domain) transport. *)
+let revive sv tn =
+  match tn.t_session with
+  | Some s -> s
+  | None ->
+      let cfg = sv.sv_cfg in
+      let obs = if cfg.c_transport = `Sim then cfg.c_obs else Obs.null_ctx in
+      let s =
+        Incr.start ~obs ?memo:sv.sv_memo ~hashcons:cfg.c_hashcons
+          ?frontier:cfg.c_frontier sv.sv_g tn.t_tree
+      in
+      tn.t_session <- Some s;
+      enforce_cap sv ~keep:tn;
+      s
+
+let open_tenant sv name tree =
+  if Hashtbl.mem sv.sv_tenants name then
+    invalid_arg ("Service.open_tenant: duplicate tenant " ^ name);
+  let tn =
+    {
+      t_name = name;
+      t_queue = Queue.create ();
+      t_session = None;
+      t_tree = tree;
+      t_last_active = sv.sv_round;
+      t_edits = 0;
+      t_rejected = 0;
+      t_evictions = 0;
+      t_retransmits = 0;
+      t_queue_hwm = 0;
+      t_lat = [];
+    }
+  in
+  Hashtbl.add sv.sv_tenants name tn;
+  sv.sv_order_rev <- tn :: sv.sv_order_rev;
+  ignore (revive sv tn)
+
+type admission = Admitted | Rejected_queue_full
+
+let submit sv name next =
+  let tn = find sv name in
+  let cap = sv.sv_cfg.c_queue_cap in
+  if cap > 0 && Queue.length tn.t_queue >= cap then begin
+    tn.t_rejected <- tn.t_rejected + 1;
+    sv.sv_rejected <- sv.sv_rejected + 1;
+    bump sv "service.rejected" (tenant_label tn) 1;
+    Rejected_queue_full
+  end
+  else begin
+    Queue.add (next, now_of sv) tn.t_queue;
+    let d = Queue.length tn.t_queue in
+    if d > tn.t_queue_hwm then tn.t_queue_hwm <- d;
+    let reg = metrics sv in
+    if Obs.Metrics.live reg then
+      Obs.Metrics.set_gauge reg
+        (Obs.Metrics.labeled "service.queue_depth" (tenant_label tn))
+        (float_of_int d);
+    Admitted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Edit application (both transports)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply one edit through the tenant's session, exactly as an isolated
+   {!Session.edit} would (diff, then replace/fallback). Returns the
+   incremental stats and the bytes the replacement ships on the wire. *)
+let apply_edit s next =
+  match Tree.diff (Incr.tree s) next with
+  | Tree.Equal -> (Incr.edit s next, 0)
+  | Tree.Root -> (Incr.edit s next, Tree.byte_size next)
+  | Tree.Subtree { parent; pos; repl } ->
+      let bytes = Tree.byte_size repl in
+      (Incr.replace s ~parent ~pos repl, bytes)
+
+let record_edit sv tn lat =
+  tn.t_edits <- tn.t_edits + 1;
+  sv.sv_edits <- sv.sv_edits + 1;
+  tn.t_lat <- lat :: tn.t_lat;
+  tn.t_last_active <- sv.sv_round;
+  let reg = metrics sv in
+  if Obs.Metrics.live reg then begin
+    bump sv "service.edits" (tenant_label tn) 1;
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram reg
+         (Obs.Metrics.labeled "service.latency_ms" (tenant_label tn)))
+      (lat *. 1e3)
+  end
+
+(* The owner's service time for one edit: rebuild of the shipped subtree
+   plus the whole propagation, priced like the session wave model. *)
+let owner_delay (st : Incr.edit_stats) ~bytes =
+  let cost = Cost.default in
+  (float_of_int bytes *. cost.Cost.rebuild_per_byte)
+  +. (float_of_int st.Incr.ed_dirty *. cost.Cost.build_node)
+  +. (float_of_int st.Incr.ed_refired *. Cost.rule_cost cost ~dynamic:true)
+
+(* Result message: the refreshed root synthesized attributes — changed
+   ones in full, unchanged ones as fixed-size intern references. *)
+let result_size sv s =
+  let root = Incr.tree s in
+  let st = Incr.store s in
+  let sym = Grammar.symbol sv.sv_g root.Tree.sym in
+  let total = ref Message.header_bytes in
+  Array.iteri
+    (fun i (a : Grammar.attr_decl) ->
+      if a.Grammar.a_kind = Grammar.Syn then
+        let m =
+          if Incr.changed s root a.Grammar.a_name then
+            Message.Attr
+              {
+                node = root.Tree.id;
+                attr = a.Grammar.a_name;
+                value = Store.get st root a.Grammar.a_name;
+              }
+          else
+            Message.Attr_ref
+              {
+                src = 0;
+                node = root.Tree.id;
+                attr = a.Grammar.a_name;
+                iid = Store.slot_of st root ~attr_idx:i;
+                hash = 0;
+              }
+        in
+        total := !total + Message.size m)
+    sym.Grammar.s_attrs;
+  !total
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Deal the round's per-tenant batches onto live workers. Returns per-
+   worker queues of (tenant, edits). *)
+let assign sv batches =
+  let w = sv.sv_cfg.c_workers in
+  let queues = Array.init w (fun _ -> Queue.create ()) in
+  let pending = Array.make w 0 in
+  let live = Array.init w (fun i -> not sv.sv_dead.(i)) in
+  let any_live = Array.exists (fun x -> x) live in
+  if not any_live then failwith "Service: all workers crashed";
+  let pick_rr () =
+    let rec go tries =
+      if tries > w then failwith "Service: all workers crashed"
+      else
+        let k = sv.sv_rr mod w in
+        sv.sv_rr <- sv.sv_rr + 1;
+        if live.(k) then k else go (tries + 1)
+    in
+    go 0
+  in
+  let pick_sq () =
+    let best = ref (-1) in
+    for k = w - 1 downto 0 do
+      if live.(k) && (!best < 0 || pending.(k) <= pending.(!best)) then
+        best := k
+    done;
+    !best
+  in
+  List.iter
+    (fun (tn, edits) ->
+      let k =
+        match sv.sv_cfg.c_policy with
+        | Round_robin -> pick_rr ()
+        | Shortest_queue -> pick_sq ()
+      in
+      Queue.add (tn, Queue.of_seq (List.to_seq edits)) queues.(k);
+      pending.(k) <- pending.(k) + List.length edits)
+    batches;
+  queues
+
+(* ------------------------------------------------------------------ *)
+(* Simulated transport: virtual time on the shared Ethernet            *)
+(* ------------------------------------------------------------------ *)
+
+(* One message on the shared medium, through the fault plan: drops burn
+   the bytes and retransmit after the RTO (charged to [tn]), duplicates
+   burn extra bytes, reorder/delay verdicts add delivery jitter. Returns
+   the delivery time. *)
+let transmit_reliable sv tn ~src ~dst ~now ~size =
+  match sv.sv_faults with
+  | None -> Ethernet.transmit sv.sv_net ~now ~size
+  | Some f ->
+      let rec go now tries =
+        let v = Faults.judge f ~src ~dst in
+        if v.Faults.v_dup then
+          ignore (Ethernet.transmit sv.sv_net ~now ~size);
+        if v.Faults.v_drop && tries < 64 then begin
+          ignore (Ethernet.transmit sv.sv_net ~now ~size);
+          tn.t_retransmits <- tn.t_retransmits + 1;
+          sv.sv_retransmits <- sv.sv_retransmits + 1;
+          bump sv "service.retransmits" (tenant_label tn) 1;
+          go (now +. sv.sv_cfg.c_fault_rto) (tries + 1)
+        end
+        else
+          Ethernet.transmit
+            ~jitter:v.Faults.v_delay sv.sv_net ~now ~size
+      in
+      go now 0
+
+(* Price and apply one edit on worker [k] whose clock shows [now].
+   Returns the worker's clock after the edit. *)
+let sim_edit sv k now tn (next, t_submit) =
+  let s = revive sv tn in
+  let edit_msg bytes = Message.size (Message.Edit { node = 0; bytes }) in
+  let st, bytes = apply_edit s next in
+  let delivered =
+    transmit_reliable sv tn ~src:0 ~dst:(k + 1) ~now ~size:(edit_msg bytes)
+  in
+  let done_ = delivered +. owner_delay st ~bytes in
+  let rsize = result_size sv s in
+  let back =
+    transmit_reliable sv tn ~src:(k + 1) ~dst:0 ~now:done_ ~size:rsize
+  in
+  record_edit sv tn (Float.max 0.0 (back -. t_submit));
+  done_ +. Ethernet.sender_cost sv.sv_net ~size:rsize
+
+(* Virtual-time event loop over the per-worker batch queues: always step
+   the laggiest busy worker one edit, so the workers advance concurrently
+   and contend for the medium in time order. A worker whose clock crosses
+   its crash point dies mid-wave; its remaining batches re-dispatch to the
+   least-loaded survivor after one RTO (the coordinator's detection). *)
+let round_sim sv queues =
+  let w = Array.length queues in
+  let clock = Array.make w sv.sv_now in
+  let busy k = not (Queue.is_empty queues.(k)) in
+  let queue_edits q =
+    Queue.fold (fun acc (_, es) -> acc + Queue.length es) 0 q
+  in
+  let redispatch k =
+    sv.sv_dead.(k) <- true;
+    let detect = sv.sv_crash_at.(k) +. sv.sv_cfg.c_fault_rto in
+    let target = ref (-1) in
+    for j = w - 1 downto 0 do
+      if (not sv.sv_dead.(j))
+         && (!target < 0
+            || queue_edits queues.(j) <= queue_edits queues.(!target))
+      then target := j
+    done;
+    if !target < 0 then failwith "Service: all workers crashed";
+    let moved = ref 0 in
+    Queue.iter (fun _ -> incr moved) queues.(k);
+    Queue.transfer queues.(k) queues.(!target);
+    sv.sv_redispatches <- sv.sv_redispatches + !moved;
+    clock.(!target) <- Float.max clock.(!target) detect
+  in
+  let exception Done in
+  (try
+     while true do
+       (* the busy worker furthest behind in virtual time steps next *)
+       let k = ref (-1) in
+       for j = w - 1 downto 0 do
+         if busy j && (!k < 0 || clock.(j) <= clock.(!k)) then k := j
+       done;
+       if !k < 0 then raise Done;
+       let k = !k in
+       if clock.(k) >= sv.sv_crash_at.(k) then redispatch k
+       else begin
+         let tn, edits = Queue.peek queues.(k) in
+         let item = Queue.pop edits in
+         let t = sim_edit sv k clock.(k) tn item in
+         if Queue.is_empty edits then ignore (Queue.pop queues.(k));
+         if t >= sv.sv_crash_at.(k) then
+           (* mid-wave crash: this edit landed, the rest of the worker's
+              round moves to the survivors *)
+           redispatch k
+         else clock.(k) <- t
+       end
+     done
+   with Done -> ());
+  Array.iter (fun t -> if t > sv.sv_now then sv.sv_now <- t) clock
+
+(* ------------------------------------------------------------------ *)
+(* Domains transport: real parallel application                        *)
+(* ------------------------------------------------------------------ *)
+
+let domains_edit sv tn (next, t_submit) =
+  let s = revive sv tn in
+  ignore (apply_edit s next);
+  let lat = Unix.gettimeofday () -. sv.sv_t0 -. t_submit in
+  record_edit sv tn (Float.max 0.0 lat)
+
+let round_domains sv queues =
+  let t0 = Unix.gettimeofday () in
+  (* revive on the coordinator: session open touches the obs registry and
+     (with hashcons) the shared intern arena *)
+  Array.iter
+    (fun q -> Queue.iter (fun (tn, _) -> ignore (revive sv tn)) q)
+    queues;
+  let work =
+    Array.to_list queues
+    |> List.filter_map (fun q ->
+           if Queue.is_empty q then None else Some (List.of_seq (Queue.to_seq q)))
+  in
+  if sv.sv_cfg.c_hashcons then
+    (* the process-wide intern arena is not domain-safe: apply the round
+       sequentially (still wall-clocked) *)
+    List.iter
+      (fun batches ->
+        List.iter
+          (fun (tn, edits) -> Queue.iter (domains_edit sv tn) edits)
+          batches)
+      work
+  else begin
+    let doms =
+      List.map
+        (fun batches ->
+          Domain.spawn (fun () ->
+              List.iter
+                (fun (tn, edits) -> Queue.iter (domains_edit sv tn) edits)
+                batches))
+        work
+    in
+    List.iter Domain.join doms
+  end;
+  sv.sv_now <- sv.sv_now +. (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Rounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let order sv = List.rev sv.sv_order_rev
+
+let run_round sv =
+  let batches =
+    List.filter_map
+      (fun tn ->
+        if Queue.is_empty tn.t_queue then None
+        else begin
+          let edits = List.of_seq (Queue.to_seq tn.t_queue) in
+          Queue.clear tn.t_queue;
+          Some (tn, edits)
+        end)
+      (order sv)
+  in
+  if batches <> [] then begin
+    sv.sv_round <- sv.sv_round + 1;
+    bump sv "service.rounds" [] 1;
+    (* workers past their crash point are gone before scheduling *)
+    if sv.sv_cfg.c_transport = `Sim then
+      Array.iteri
+        (fun k at -> if sv.sv_now >= at then sv.sv_dead.(k) <- true)
+        sv.sv_crash_at;
+    let queues = assign sv batches in
+    (match sv.sv_cfg.c_transport with
+    | `Sim -> round_sim sv queues
+    | `Domains -> round_domains sv queues);
+    let reg = metrics sv in
+    if Obs.Metrics.live reg then begin
+      List.iter
+        (fun (tn, _) ->
+          Obs.Metrics.set_gauge reg
+            (Obs.Metrics.labeled "service.queue_depth" (tenant_label tn))
+            0.0)
+        batches;
+      Obs.Metrics.set_gauge reg "service.live_slots"
+        (float_of_int (resident_slots sv))
+    end;
+    (* idle timeout: resident tenants that sat out the last
+       [c_idle_rounds] rounds give their memory back *)
+    let idle = sv.sv_cfg.c_idle_rounds in
+    if idle > 0 then
+      List.iter
+        (fun tn ->
+          if
+            tn.t_session <> None
+            && Queue.is_empty tn.t_queue
+            && sv.sv_round - tn.t_last_active >= idle
+          then evict sv tn)
+        (order sv)
+  end
+
+let rec drain sv =
+  if List.exists (fun tn -> not (Queue.is_empty tn.t_queue)) (order sv) then begin
+    run_round sv;
+    drain sv
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tenant_tree sv name =
+  let tn = find sv name in
+  match tn.t_session with Some s -> Incr.tree s | None -> tn.t_tree
+
+let tenant_store sv name = Incr.store (revive sv (find sv name))
+
+let tenant_resident sv name = (find sv name).t_session <> None
+
+type tenant_stats = {
+  ts_name : string;
+  ts_resident : bool;
+  ts_edits : int;
+  ts_rejected : int;
+  ts_evictions : int;
+  ts_retransmits : int;
+  ts_queue_depth : int;
+  ts_queue_hwm : int;
+  ts_live_slots : int;
+  ts_p50 : float;
+  ts_p99 : float;
+  ts_mean : float;
+}
+
+type stats = {
+  st_rounds : int;
+  st_tenants : int;
+  st_edits : int;
+  st_rejected : int;
+  st_evictions : int;
+  st_retransmits : int;
+  st_redispatches : int;
+  st_workers_lost : int;
+  st_live_slots : int;
+  st_makespan : float;
+  st_edits_per_sec : float;
+  st_p50 : float;
+  st_p99 : float;
+  st_per_tenant : tenant_stats list;
+}
+
+let percentile xs q =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let k = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) k))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let tenant_stats tn =
+  {
+    ts_name = tn.t_name;
+    ts_resident = tn.t_session <> None;
+    ts_edits = tn.t_edits;
+    ts_rejected = tn.t_rejected;
+    ts_evictions = tn.t_evictions;
+    ts_retransmits = tn.t_retransmits;
+    ts_queue_depth = Queue.length tn.t_queue;
+    ts_queue_hwm = tn.t_queue_hwm;
+    ts_live_slots =
+      (match tn.t_session with Some s -> Incr.live_slots s | None -> 0);
+    ts_p50 = percentile tn.t_lat 0.5;
+    ts_p99 = percentile tn.t_lat 0.99;
+    ts_mean = mean tn.t_lat;
+  }
+
+let stats sv =
+  let all_lat =
+    Hashtbl.fold (fun _ tn acc -> List.rev_append tn.t_lat acc) sv.sv_tenants []
+  in
+  let lost = Array.fold_left (fun n d -> if d then n + 1 else n) 0 sv.sv_dead in
+  {
+    st_rounds = sv.sv_round;
+    st_tenants = Hashtbl.length sv.sv_tenants;
+    st_edits = sv.sv_edits;
+    st_rejected = sv.sv_rejected;
+    st_evictions = sv.sv_evictions;
+    st_retransmits = sv.sv_retransmits;
+    st_redispatches = sv.sv_redispatches;
+    st_workers_lost = lost;
+    st_live_slots = resident_slots sv;
+    st_makespan = sv.sv_now;
+    st_edits_per_sec =
+      (if sv.sv_now > 0.0 then float_of_int sv.sv_edits /. sv.sv_now else 0.0);
+    st_p50 = percentile all_lat 0.5;
+    st_p99 = percentile all_lat 0.99;
+    st_per_tenant = List.map tenant_stats (order sv);
+  }
+
+let render st =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "service: %d tenants, %d rounds, %d edits (%d rejected, %d evictions)\n"
+    st.st_tenants st.st_rounds st.st_edits st.st_rejected st.st_evictions;
+  Printf.bprintf b
+    "  sustained %.1f edits/s over %.4fs; latency p50 %.6fs p99 %.6fs\n"
+    st.st_edits_per_sec st.st_makespan st.st_p50 st.st_p99;
+  if st.st_retransmits > 0 || st.st_workers_lost > 0 then
+    Printf.bprintf b "  faults: %d retransmits, %d workers lost, %d re-dispatches\n"
+      st.st_retransmits st.st_workers_lost st.st_redispatches;
+  Printf.bprintf b "  resident: %d live slots\n" st.st_live_slots;
+  List.iter
+    (fun ts ->
+      Printf.bprintf b
+        "  %-12s %5d edits %4d rej %2d evict %4d rtx  p50 %.6fs p99 %.6fs%s\n"
+        ts.ts_name ts.ts_edits ts.ts_rejected ts.ts_evictions ts.ts_retransmits
+        ts.ts_p50 ts.ts_p99
+        (if ts.ts_resident then "" else "  (evicted)"))
+    st.st_per_tenant;
+  Buffer.contents b

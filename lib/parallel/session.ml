@@ -101,8 +101,8 @@ type edit_report = {
   er_latency : float;
 }
 
-let open_session ?obs ?frontier sp g tree =
-  let incr = Incr.start ?obs ~hashcons:sp.sp_hashcons ?frontier g tree in
+let open_session ?obs ?memo ?frontier sp g tree =
+  let incr = Incr.start ?obs ?memo ~hashcons:sp.sp_hashcons ?frontier g tree in
   let plan =
     Split.decompose g (Incr.tree incr) ~machines:sp.sp_machines
       ~granularity:sp.sp_granularity
@@ -112,6 +112,8 @@ let open_session ?obs ?frontier sp g tree =
 let tree es = Incr.tree es.es_incr
 
 let store es = Incr.store es.es_incr
+
+let live_slots es = Incr.live_slots es.es_incr
 
 let totals es = Incr.totals es.es_incr
 

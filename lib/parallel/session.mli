@@ -105,9 +105,12 @@ type edit_report = {
 }
 
 (** Evaluate [tree] from scratch, decompose it, and keep both resident.
-    [frontier] as in {!Pag_eval.Incr.start}. *)
+    [frontier] and [memo] as in {!Pag_eval.Incr.start} — a service
+    multiplexing many sessions passes one shared [memo] so tenants share
+    an intern arena when the spec enables hash-consing. *)
 val open_session :
   ?obs:Pag_obs.Obs.ctx ->
+  ?memo:Memo.rules ->
   ?frontier:float ->
   spec ->
   Grammar.t ->
@@ -119,6 +122,9 @@ val tree : edit_session -> Tree.t
 
 (** The resident store; every attribute of {!tree} is set. *)
 val store : edit_session -> Store.t
+
+(** The session's memory footprint, as {!Pag_eval.Incr.live_slots}. *)
+val live_slots : edit_session -> int
 
 val totals : edit_session -> Incr.totals
 

@@ -354,6 +354,76 @@ let test_reliable_dedup_and_ack () =
   check_bool "delivered exactly once" true (!delivered = [ "x" ]);
   check_bool "duplicate suppressed" true (!dup_dropped >= 1)
 
+(* Multi-tenant service under faults: dropped dispatches are retransmitted
+   and charged to the owning tenant (no cross-tenant bleed — per-tenant
+   counters sum to the service totals and every tenant's edit count is
+   exactly what it submitted), a worker crash mid-wave re-dispatches the
+   rest of its batch to survivors, and every tenant's final attributes
+   still match an isolated fault-free edit session. *)
+let test_serve_under_faults () =
+  let g = Expr_ag.grammar in
+  let expr_of seed =
+    Expr_ag.random_program (Random.State.make [| seed |]) ~depth:5
+  in
+  (* machine 2 = worker index 1 dies just after its first edit of round 1;
+     under round-robin that worker holds tenant b's 5-edit batch *)
+  let faults =
+    { Faults.none with Faults.fs_drop = 0.25; fs_seed = 11; fs_crashes = [ (2, 1e-6) ] }
+  in
+  let sv = Service.create (Service.config ~faults ~fault_rto:0.05 3) g in
+  let plan = [ ("a", [ [ 60 ]; [ 70 ] ]); ("b", [ [ 10; 20; 30; 40; 50 ] ]); ("c", [ [ 80 ]; [ 90 ] ]) ] in
+  List.iter (fun (n, _) -> Service.open_tenant sv n (expr_of (Hashtbl.hash n))) plan;
+  let rounds = List.fold_left (fun m (_, rs) -> max m (List.length rs)) 0 plan in
+  for r = 0 to rounds - 1 do
+    List.iter
+      (fun (n, rs) ->
+        match List.nth_opt rs r with
+        | Some seeds ->
+            List.iter
+              (fun s ->
+                check_bool "admitted" true
+                  (Service.submit sv n (expr_of s) = Service.Admitted))
+              seeds
+        | None -> ())
+      plan;
+    Service.run_round sv
+  done;
+  Service.drain sv;
+  let st = Service.stats sv in
+  check_int "one worker lost" 1 st.Service.st_workers_lost;
+  check_bool "crashed worker's batch moved to survivors" true
+    (st.Service.st_redispatches >= 1);
+  check_bool "drops forced retransmissions" true (st.Service.st_retransmits > 0);
+  check_int "retransmits all charged to a tenant"
+    st.Service.st_retransmits
+    (List.fold_left
+       (fun acc ts -> acc + ts.Service.ts_retransmits)
+       0 st.Service.st_per_tenant);
+  List.iter
+    (fun ts ->
+      let submitted =
+        List.concat (List.assoc ts.Service.ts_name plan) |> List.length
+      in
+      check_int
+        ("edits accounted to " ^ ts.Service.ts_name)
+        submitted ts.Service.ts_edits)
+    st.Service.st_per_tenant;
+  (* values survive drops, dups and the crash: each tenant's finals equal
+     an isolated fault-free session replaying the same stream *)
+  List.iter
+    (fun (n, rs) ->
+      let spec = Session.spec ~granularity:0.05 ~librarian:false 2 in
+      let iso = Session.open_session spec g (expr_of (Hashtbl.hash n)) in
+      List.iter
+        (fun s -> ignore (Session.edit iso (expr_of s)))
+        (List.concat rs);
+      check_bool ("tenant " ^ n ^ " finals agree") true
+        (Test_incr.values_agree g
+           (Service.tenant_store sv n)
+           (Service.tenant_tree sv n)
+           (Session.store iso) (Session.tree iso)))
+    plan
+
 let suite =
   [
     ( "faults",
@@ -372,6 +442,8 @@ let suite =
         prop_edit_chaos;
         Alcotest.test_case "edit wave retransmits" `Quick
           test_edit_wave_retransmits;
+        Alcotest.test_case "multi-tenant serve under faults" `Quick
+          test_serve_under_faults;
         Alcotest.test_case "librarian under duplicates" `Quick
           test_librarian_duplicates;
         Alcotest.test_case "reliable dedup" `Quick test_reliable_dedup_and_ack;

@@ -1,0 +1,218 @@
+(* Multi-tenant compile service: multiplexing is isolation. Interleaved
+   edits from K tenants through the service must land, per tenant, on
+   exactly the attribute values K isolated edit sessions compute — under
+   both scheduling policies and with the shared intern arena on or off.
+   Admission backpressure, idle eviction/re-admission and the scheduling
+   policies themselves are covered by deterministic cases. *)
+
+open Pag_eval
+open Pag_grammars
+open Pag_parallel
+
+let qc ?(count = 20) name gen prop = Qc_seed.qc ~count name gen prop
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expr_of seed =
+  Expr_ag.random_program (Random.State.make [| seed |]) ~depth:5
+
+(* ---------------- the multiplexing-is-isolation oracle ---------------- *)
+
+(* K tenants, each with a base program and an edit stream. The service
+   interleaves them round by round (tenant i's j-th edit lands in round
+   j); the isolated oracle replays each stream through its own
+   {!Session.edit_session}. Trees are regenerated from seeds for every
+   consumer — a session renumbers the nodes it grafts, so service and
+   oracle must never share tree objects. *)
+let arb_tenants =
+  QCheck.make
+    ~print:(fun ts ->
+      String.concat " | "
+        (List.map
+           (fun (s0, es) ->
+             Printf.sprintf "base=%d edits=[%s]" s0
+               (String.concat ";" (List.map string_of_int es)))
+           ts))
+    QCheck.Gen.(
+      list_size (2 -- 4)
+        (pair (int_bound 100_000) (list_size (0 -- 4) (int_bound 100_000))))
+
+let run_service_interleaved ~policy ~hashcons tenants =
+  let g = Expr_ag.grammar in
+  let sv = Service.create (Service.config ~policy ~hashcons 2) g in
+  let names = List.mapi (fun i _ -> Printf.sprintf "t%d" i) tenants in
+  List.iter2
+    (fun name (s0, _) -> Service.open_tenant sv name (expr_of s0))
+    names tenants;
+  let rounds =
+    List.fold_left (fun m (_, es) -> max m (List.length es)) 0 tenants
+  in
+  for r = 0 to rounds - 1 do
+    List.iter2
+      (fun name (_, es) ->
+        match List.nth_opt es r with
+        | Some seed ->
+            check_bool "unbounded queue admits" true
+              (Service.submit sv name (expr_of seed) = Service.Admitted)
+        | None -> ())
+      names tenants;
+    Service.run_round sv
+  done;
+  Service.drain sv;
+  (sv, names)
+
+let prop_multiplexing_is_isolation ~policy ~hashcons label =
+  qc ~count:15
+    (Printf.sprintf "service = K isolated sessions (%s)" label)
+    arb_tenants
+    (fun tenants ->
+      let g = Expr_ag.grammar in
+      let sv, names = run_service_interleaved ~policy ~hashcons tenants in
+      List.for_all2
+        (fun name (s0, es) ->
+          let spec =
+            Session.spec ~granularity:0.05 ~librarian:false ~hashcons 2
+          in
+          let iso = Session.open_session spec g (expr_of s0) in
+          List.iter (fun seed -> ignore (Session.edit iso (expr_of seed))) es;
+          Test_incr.values_agree g
+            (Service.tenant_store sv name)
+            (Service.tenant_tree sv name)
+            (Session.store iso) (Session.tree iso))
+        names tenants)
+
+(* ---------------- admission backpressure ---------------- *)
+
+let test_backpressure () =
+  let g = Expr_ag.grammar in
+  let sv = Service.create (Service.config ~queue_cap:2 1) g in
+  Service.open_tenant sv "a" (expr_of 1);
+  check_bool "first fits" true (Service.submit sv "a" (expr_of 2) = Service.Admitted);
+  check_bool "second fits" true (Service.submit sv "a" (expr_of 3) = Service.Admitted);
+  check_bool "third bounces" true
+    (Service.submit sv "a" (expr_of 4) = Service.Rejected_queue_full);
+  check_bool "fourth bounces" true
+    (Service.submit sv "a" (expr_of 5) = Service.Rejected_queue_full);
+  let st = Service.stats sv in
+  check_int "rejections surface in the report" 2 st.Service.st_rejected;
+  (match st.Service.st_per_tenant with
+  | [ ts ] ->
+      check_int "charged to the tenant" 2 ts.Service.ts_rejected;
+      check_int "queue at its bound" 2 ts.Service.ts_queue_depth
+  | _ -> Alcotest.fail "one tenant expected");
+  (* draining empties the queue: admission resumes *)
+  Service.drain sv;
+  check_bool "admission resumes after drain" true
+    (Service.submit sv "a" (expr_of 6) = Service.Admitted);
+  Service.drain sv;
+  check_int "rejected edits were never applied" 3
+    (Service.stats sv).Service.st_edits
+
+(* ---------------- lifecycle: idle eviction and re-admission ---------------- *)
+
+let pascal_src k =
+  Printf.sprintf
+    "program p;\nvar i, s : integer;\nbegin\n  s := 0;\n  i := 1;\n\
+    \  repeat\n    i := i * %d;\n    s := s + i\n  until i > 100;\n\
+    \  write(s)\nend.\n"
+    k
+
+let pascal_tree g k =
+  Pascal.Pascal_ag.tree_of_program g (Pascal.Parser.parse_program (pascal_src k))
+
+let masked_code st =
+  Pascal.Driver.mask_labels
+    (Pascal.Pascal_ag.code_of_attrs (Store.root_attrs st))
+
+let test_idle_eviction_and_readmission () =
+  let g = Pascal.Pascal_ag.grammar in
+  let sv = Service.create (Service.config ~idle_rounds:1 2) g in
+  Service.open_tenant sv "a" (pascal_tree g 2);
+  Service.open_tenant sv "b" (pascal_tree g 2);
+  ignore (Service.submit sv "a" (pascal_tree g 3));
+  Service.run_round sv;
+  (* two rounds of b-only traffic leave a idle past the timeout *)
+  ignore (Service.submit sv "b" (pascal_tree g 5));
+  Service.run_round sv;
+  ignore (Service.submit sv "b" (pascal_tree g 7));
+  Service.run_round sv;
+  check_bool "idle tenant evicted" false (Service.tenant_resident sv "a");
+  check_bool "active tenant resident" true (Service.tenant_resident sv "b");
+  (* re-admission: the next edit revives the resident tree and applies on
+     top of it; the result must equal a from-scratch compile *)
+  ignore (Service.submit sv "a" (pascal_tree g 11));
+  Service.run_round sv;
+  check_bool "revived on edit" true (Service.tenant_resident sv "a");
+  let scratch = Pascal.Driver.compile_source (pascal_src 11) in
+  Alcotest.(check string)
+    "revived resident code = from-scratch"
+    (Pascal.Driver.mask_labels scratch.Pascal.Driver.c_asm)
+    (masked_code (Service.tenant_store sv "a"));
+  check_bool "eviction counted" true
+    ((Service.stats sv).Service.st_evictions >= 1)
+
+let test_mem_cap_evicts_lru () =
+  let g = Pascal.Pascal_ag.grammar in
+  (* a cap below one session's footprint: opening b must push a out, and
+     b itself stays (the tenant being revived is never its own victim) *)
+  let sv = Service.create (Service.config ~mem_cap:1 2) g in
+  Service.open_tenant sv "a" (pascal_tree g 2);
+  Service.open_tenant sv "b" (pascal_tree g 3);
+  check_bool "lru evicted under the cap" false (Service.tenant_resident sv "a");
+  check_bool "newcomer resident" true (Service.tenant_resident sv "b");
+  (* the evicted tenant still answers queries — by reviving *)
+  let scratch = Pascal.Driver.compile_source (pascal_src 2) in
+  Alcotest.(check string)
+    "evicted tenant revives correctly"
+    (Pascal.Driver.mask_labels scratch.Pascal.Driver.c_asm)
+    (masked_code (Service.tenant_store sv "a"))
+
+(* ---------------- scheduling: shortest-queue beats round-robin ---------------- *)
+
+(* One heavy tenant (8 queued edits) and three light ones (1 each) over
+   two workers. Round-robin deals the heavy batch and a light batch onto
+   worker 0 (9 edits); shortest-queue isolates the heavy batch (8 vs 3).
+   Identical per-tenant edit streams make the virtual makespans directly
+   comparable. *)
+let skew_makespan policy =
+  let g = Expr_ag.grammar in
+  let sv = Service.create (Service.config ~policy 2) g in
+  let heavy = "heavy" and lights = [ "l1"; "l2"; "l3" ] in
+  Service.open_tenant sv heavy (expr_of 1);
+  List.iter (fun n -> Service.open_tenant sv n (expr_of 1)) lights;
+  for i = 1 to 8 do
+    ignore (Service.submit sv heavy (expr_of (if i mod 2 = 0 then 1 else 2)))
+  done;
+  List.iter (fun n -> ignore (Service.submit sv n (expr_of 2))) lights;
+  Service.run_round sv;
+  (Service.stats sv).Service.st_makespan
+
+let test_shortest_queue_beats_round_robin () =
+  let rr = skew_makespan Service.Round_robin in
+  let sq = skew_makespan Service.Shortest_queue in
+  check_bool
+    (Printf.sprintf "sq %.4fs < rr %.4fs on a skewed mix" sq rr)
+    true (sq < rr)
+
+let suite =
+  [
+    ( "service",
+      [
+        prop_multiplexing_is_isolation ~policy:Service.Round_robin
+          ~hashcons:false "round-robin, hashcons off";
+        prop_multiplexing_is_isolation ~policy:Service.Round_robin
+          ~hashcons:true "round-robin, hashcons on";
+        prop_multiplexing_is_isolation ~policy:Service.Shortest_queue
+          ~hashcons:false "shortest-queue, hashcons off";
+        prop_multiplexing_is_isolation ~policy:Service.Shortest_queue
+          ~hashcons:true "shortest-queue, hashcons on";
+        Alcotest.test_case "admission backpressure" `Quick test_backpressure;
+        Alcotest.test_case "idle eviction + re-admission" `Quick
+          test_idle_eviction_and_readmission;
+        Alcotest.test_case "memory cap evicts LRU" `Quick
+          test_mem_cap_evicts_lru;
+        Alcotest.test_case "shortest-queue beats round-robin" `Quick
+          test_shortest_queue_beats_round_robin;
+      ] );
+  ]

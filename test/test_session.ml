@@ -116,6 +116,49 @@ let test_pascal_edit_sequence () =
         (String.equal (masked (Session.store es)) (masked scratch)))
     [ 3; 5; 2; 7 ]
 
+(* Resident-store leak regression: every Subtree edit appends the
+   replacement's slots to the flat store and detaches the old ones; before
+   dead-weight compaction the store grew without bound while the session
+   sat resident. A long alternating edit stream must keep the live
+   footprint flat and the backing store within the compaction bound
+   (slot_count <= 2x live at the trigger, +1 subtree in flight => 3x). *)
+let test_resident_store_stays_bounded () =
+  let g = Pascal.Pascal_ag.grammar in
+  (* the two bodies differ structurally, so each edit takes the
+     append-a-replacement path (a token-level change like [* 2] vs [* 3]
+     redefines slots in place and never grows the store) *)
+  let src rhs =
+    Printf.sprintf
+      "program p;\nvar i, s : integer;\nbegin\n  s := 0;\n  i := 1;\n\
+      \  repeat\n    i := i * 2;\n    s := %s\n  until i > 100;\n\
+      \  write(s)\nend.\n"
+      rhs
+  in
+  let tree rhs =
+    Pascal.Pascal_ag.tree_of_program g (Pascal.Parser.parse_program (src rhs))
+  in
+  let es =
+    Session.open_session
+      (Session.spec ~granularity:0.1 ~librarian:false 2)
+      g (tree "s + i")
+  in
+  let live0 = Session.live_slots es in
+  ignore (Session.edit es (tree "s + i * 2"));
+  let live1 = Session.live_slots es in
+  let cap = 3 * max live0 live1 in
+  for i = 2 to 100 do
+    ignore (Session.edit es (tree (if i mod 2 = 0 then "s + i" else "s + i * 2")));
+    check_int "live slots stable"
+      (if i mod 2 = 0 then live0 else live1)
+      (Session.live_slots es);
+    check_bool
+      (Printf.sprintf "store bounded after edit %d" i)
+      true
+      (Store.slot_count (Session.store es) <= cap)
+  done;
+  check_bool "compaction actually triggered" true
+    ((Session.totals es).Incr.tot_fallbacks >= 1)
+
 let suite =
   [
     ( "session",
@@ -129,5 +172,7 @@ let suite =
           test_root_change_then_edit;
         Alcotest.test_case "pascal edit sequence" `Quick
           test_pascal_edit_sequence;
+        Alcotest.test_case "resident store stays bounded" `Quick
+          test_resident_store_stays_bounded;
       ] );
   ]
