@@ -59,18 +59,52 @@ let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     c_obs = obs;
   }
 
+(* Bounded latency reservoir: exact count/sum (so the mean is exact) plus
+   a uniform sample of at most [lat_cap] observations for percentiles —
+   per-tenant resident memory stays bounded however long the service
+   runs. The RNG is seeded from the tenant name, keeping runs
+   deterministic. *)
+let lat_cap = 2048
+
+type reservoir = {
+  r_buf : float array;  (* lat_cap slots *)
+  mutable r_n : int;  (* samples observed over the lifetime *)
+  mutable r_sum : float;
+  r_rng : Random.State.t;
+}
+
+let reservoir name =
+  {
+    r_buf = Array.make lat_cap 0.0;
+    r_n = 0;
+    r_sum = 0.0;
+    r_rng = Random.State.make [| Hashtbl.hash name; 0x5eed |];
+  }
+
+let res_add r x =
+  (if r.r_n < lat_cap then r.r_buf.(r.r_n) <- x
+   else
+     let j = Random.State.int r.r_rng (r.r_n + 1) in
+     if j < lat_cap then r.r_buf.(j) <- x);
+  r.r_n <- r.r_n + 1;
+  r.r_sum <- r.r_sum +. x
+
+let res_samples r = Array.to_list (Array.sub r.r_buf 0 (min r.r_n lat_cap))
+let res_mean r = if r.r_n = 0 then 0.0 else r.r_sum /. float_of_int r.r_n
+
 type tenant = {
   t_name : string;
   t_queue : (Tree.t * float) Queue.t;  (* (edit, submit time) *)
   mutable t_session : Incr.session option;  (* None = evicted *)
   mutable t_tree : Tree.t;  (* resident tree, kept across eviction *)
   mutable t_last_active : int;  (* round of last applied edit *)
+  mutable t_in_round : bool;  (* scheduled this round: exempt from eviction *)
   mutable t_edits : int;
   mutable t_rejected : int;
   mutable t_evictions : int;
   mutable t_retransmits : int;
   mutable t_queue_hwm : int;
-  mutable t_lat : float list;  (* latency samples, seconds *)
+  t_lat : reservoir;  (* latency samples, seconds *)
 }
 
 type t = {
@@ -90,6 +124,7 @@ type t = {
   mutable sv_rejected : int;
   mutable sv_evictions : int;
   mutable sv_retransmits : int;
+  mutable sv_gave_up : int;  (* retransmit cap hit; delivered anyway *)
   mutable sv_redispatches : int;
   sv_t0 : float;  (* wall clock at creation (`Domains submit stamps) *)
 }
@@ -131,6 +166,7 @@ let create cfg g =
     sv_rejected = 0;
     sv_evictions = 0;
     sv_retransmits = 0;
+    sv_gave_up = 0;
     sv_redispatches = 0;
     sv_t0 = Unix.gettimeofday ();
   }
@@ -173,8 +209,13 @@ let evict sv tn =
       bump sv "service.evictions" (tenant_label tn) 1
 
 (* Evict least-recently-active resident tenants (quiet ones first) until
-   the pool fits the cap; [keep] is never evicted. *)
-let enforce_cap sv ~keep =
+   the pool fits the cap. [keep] is never evicted, nor is any tenant
+   scheduled in the current round — their sessions may be mid-edit on a
+   worker domain, and evicting/reviving a tenant that still has batched
+   edits this round would only thrash. The pool may therefore overshoot
+   the cap transiently within a round; {!run_round} re-enforces it once
+   the round's flags clear. Coordinator-only. *)
+let enforce_cap ?keep sv =
   let cap = sv.sv_cfg.c_mem_cap in
   if cap > 0 then begin
     let continue_ = ref true in
@@ -182,7 +223,10 @@ let enforce_cap sv ~keep =
       let victim =
         Hashtbl.fold
           (fun _ tn best ->
-            if tn == keep || tn.t_session = None then best
+            if
+              (match keep with Some k -> tn == k | None -> false)
+              || tn.t_session = None || tn.t_in_round
+            then best
             else
               let key = (not (Queue.is_empty tn.t_queue), tn.t_last_active) in
               match best with
@@ -200,7 +244,10 @@ let enforce_cap sv ~keep =
    Sessions share the service-wide rule memo when hash-consing on the
    simulated transport; on domains each tenant gets its own memo (the
    process-wide intern arena is not domain-safe). Obs likewise flows into
-   sessions only on the simulated (single-domain) transport. *)
+   sessions only on the simulated (single-domain) transport.
+   Coordinator-only: it touches the obs registry and may evict — worker
+   domains never call it (round_domains pre-revives the round's tenants,
+   who stay resident because enforce_cap exempts in-round tenants). *)
 let revive sv tn =
   match tn.t_session with
   | Some s -> s
@@ -225,12 +272,13 @@ let open_tenant sv name tree =
       t_session = None;
       t_tree = tree;
       t_last_active = sv.sv_round;
+      t_in_round = false;
       t_edits = 0;
       t_rejected = 0;
       t_evictions = 0;
       t_retransmits = 0;
       t_queue_hwm = 0;
-      t_lat = [];
+      t_lat = reservoir name;
     }
   in
   Hashtbl.add sv.sv_tenants name tn;
@@ -275,10 +323,13 @@ let apply_edit s next =
       let bytes = Tree.byte_size repl in
       (Incr.replace s ~parent ~pos repl, bytes)
 
+(* Coordinator-only: the counters, reservoir and metrics registry are all
+   unsynchronized plain state. The domains transport applies edits on
+   worker domains but folds their latencies through here after joining. *)
 let record_edit sv tn lat =
   tn.t_edits <- tn.t_edits + 1;
   sv.sv_edits <- sv.sv_edits + 1;
-  tn.t_lat <- lat :: tn.t_lat;
+  res_add tn.t_lat lat;
   tn.t_last_active <- sv.sv_round;
   let reg = metrics sv in
   if Obs.Metrics.live reg then begin
@@ -379,7 +430,9 @@ let assign sv batches =
 (* One message on the shared medium, through the fault plan: drops burn
    the bytes and retransmit after the RTO (charged to [tn]), duplicates
    burn extra bytes, reorder/delay verdicts add delivery jitter. Returns
-   the delivery time. *)
+   the delivery time. A pathological plan that drops 64 retransmits in a
+   row stops retrying and force-delivers — counted in [sv_gave_up] so the
+   absorption is visible in stats rather than silent. *)
 let transmit_reliable sv tn ~src ~dst ~now ~size =
   match sv.sv_faults with
   | None -> Ethernet.transmit sv.sv_net ~now ~size
@@ -395,16 +448,33 @@ let transmit_reliable sv tn ~src ~dst ~now ~size =
           bump sv "service.retransmits" (tenant_label tn) 1;
           go (now +. sv.sv_cfg.c_fault_rto) (tries + 1)
         end
-        else
-          Ethernet.transmit
-            ~jitter:v.Faults.v_delay sv.sv_net ~now ~size
+        else begin
+          if v.Faults.v_drop then begin
+            sv.sv_gave_up <- sv.sv_gave_up + 1;
+            bump sv "service.gave_up" (tenant_label tn) 1
+          end;
+          Ethernet.transmit ~jitter:v.Faults.v_delay sv.sv_net ~now ~size
+        end
       in
       go now 0
+
+(* An evicted tenant's revive re-evaluates its resident tree from scratch:
+   charge the worker the shipped-tree rebuild plus a full dynamic
+   evaluation (one graph node + rule firing per live instance), so
+   evict/revive thrash shows up in the virtual makespan instead of being
+   free. *)
+let revive_cost s =
+  let cost = Cost.default in
+  (float_of_int (Tree.byte_size (Incr.tree s)) *. cost.Cost.rebuild_per_byte)
+  +. (float_of_int (Incr.live_slots s)
+     *. (cost.Cost.build_node +. Cost.rule_cost cost ~dynamic:true))
 
 (* Price and apply one edit on worker [k] whose clock shows [now].
    Returns the worker's clock after the edit. *)
 let sim_edit sv k now tn (next, t_submit) =
+  let was_evicted = tn.t_session = None in
   let s = revive sv tn in
+  let now = if was_evicted then now +. revive_cost s else now in
   let edit_msg bytes = Message.size (Message.Edit { node = 0; bytes }) in
   let st, bytes = apply_edit s next in
   let delivered =
@@ -477,16 +547,35 @@ let round_sim sv queues =
 (* Domains transport: real parallel application                        *)
 (* ------------------------------------------------------------------ *)
 
-let domains_edit sv tn (next, t_submit) =
-  let s = revive sv tn in
-  ignore (apply_edit s next);
-  let lat = Unix.gettimeofday () -. sv.sv_t0 -. t_submit in
-  record_edit sv tn (Float.max 0.0 lat)
+(* Apply one worker's batches off-coordinator. Only the sessions of this
+   worker's own tenants are touched (a tenant's whole batch lands on one
+   worker), plus the immutable [sv_t0] stamp — no shared counters, no obs
+   registry, no eviction. Latencies are measured here (at application
+   time) and returned for the coordinator to record after the join. *)
+let domains_apply sv batches =
+  List.concat_map
+    (fun (tn, edits) ->
+      let s =
+        match tn.t_session with
+        | Some s -> s
+        | None -> assert false  (* pre-revived; in-round = eviction-exempt *)
+      in
+      Queue.fold
+        (fun acc (next, t_submit) ->
+          ignore (apply_edit s next);
+          let lat = Unix.gettimeofday () -. sv.sv_t0 -. t_submit in
+          (tn, Float.max 0.0 lat) :: acc)
+        [] edits
+      |> List.rev)
+    batches
 
 let round_domains sv queues =
   let t0 = Unix.gettimeofday () in
   (* revive on the coordinator: session open touches the obs registry and
-     (with hashcons) the shared intern arena *)
+     (with hashcons) the shared intern arena. The round's tenants are
+     exempt from eviction, so a later pre-revive's cap enforcement cannot
+     evict an earlier one — every session below is resident and stays so
+     for the whole round. *)
   Array.iter
     (fun q -> Queue.iter (fun (tn, _) -> ignore (revive sv tn)) q)
     queues;
@@ -500,21 +589,20 @@ let round_domains sv queues =
        sequentially (still wall-clocked) *)
     List.iter
       (fun batches ->
-        List.iter
-          (fun (tn, edits) -> Queue.iter (domains_edit sv tn) edits)
-          batches)
+        List.iter (fun (tn, lat) -> record_edit sv tn lat)
+          (domains_apply sv batches))
       work
   else begin
     let doms =
       List.map
-        (fun batches ->
-          Domain.spawn (fun () ->
-              List.iter
-                (fun (tn, edits) -> Queue.iter (domains_edit sv tn) edits)
-                batches))
+        (fun batches -> Domain.spawn (fun () -> domains_apply sv batches))
         work
     in
-    List.iter Domain.join doms
+    (* fold each worker's results into the counters and the metrics
+       registry back on the coordinator — both are unsynchronized *)
+    List.iter
+      (fun d -> List.iter (fun (tn, lat) -> record_edit sv tn lat) (Domain.join d))
+      doms
   end;
   sv.sv_now <- sv.sv_now +. (Unix.gettimeofday () -. t0)
 
@@ -539,6 +627,7 @@ let run_round sv =
   if batches <> [] then begin
     sv.sv_round <- sv.sv_round + 1;
     bump sv "service.rounds" [] 1;
+    List.iter (fun (tn, _) -> tn.t_in_round <- true) batches;
     (* workers past their crash point are gone before scheduling *)
     if sv.sv_cfg.c_transport = `Sim then
       Array.iteri
@@ -548,6 +637,10 @@ let run_round sv =
     (match sv.sv_cfg.c_transport with
     | `Sim -> round_sim sv queues
     | `Domains -> round_domains sv queues);
+    List.iter (fun (tn, _) -> tn.t_in_round <- false) batches;
+    (* the round's tenants were eviction-exempt while their sessions were
+       live on workers; restore the cap invariant now *)
+    enforce_cap sv;
     let reg = metrics sv in
     if Obs.Metrics.live reg then begin
       List.iter
@@ -613,6 +706,7 @@ type stats = {
   st_rejected : int;
   st_evictions : int;
   st_retransmits : int;
+  st_gave_up : int;
   st_redispatches : int;
   st_workers_lost : int;
   st_live_slots : int;
@@ -633,10 +727,6 @@ let percentile xs q =
       let k = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
       a.(max 0 (min (n - 1) k))
 
-let mean = function
-  | [] -> 0.0
-  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
-
 let tenant_stats tn =
   {
     ts_name = tn.t_name;
@@ -649,14 +739,16 @@ let tenant_stats tn =
     ts_queue_hwm = tn.t_queue_hwm;
     ts_live_slots =
       (match tn.t_session with Some s -> Incr.live_slots s | None -> 0);
-    ts_p50 = percentile tn.t_lat 0.5;
-    ts_p99 = percentile tn.t_lat 0.99;
-    ts_mean = mean tn.t_lat;
+    ts_p50 = percentile (res_samples tn.t_lat) 0.5;
+    ts_p99 = percentile (res_samples tn.t_lat) 0.99;
+    ts_mean = res_mean tn.t_lat;
   }
 
 let stats sv =
   let all_lat =
-    Hashtbl.fold (fun _ tn acc -> List.rev_append tn.t_lat acc) sv.sv_tenants []
+    Hashtbl.fold
+      (fun _ tn acc -> List.rev_append (res_samples tn.t_lat) acc)
+      sv.sv_tenants []
   in
   let lost = Array.fold_left (fun n d -> if d then n + 1 else n) 0 sv.sv_dead in
   {
@@ -666,6 +758,7 @@ let stats sv =
     st_rejected = sv.sv_rejected;
     st_evictions = sv.sv_evictions;
     st_retransmits = sv.sv_retransmits;
+    st_gave_up = sv.sv_gave_up;
     st_redispatches = sv.sv_redispatches;
     st_workers_lost = lost;
     st_live_slots = resident_slots sv;
@@ -688,6 +781,10 @@ let render st =
   if st.st_retransmits > 0 || st.st_workers_lost > 0 then
     Printf.bprintf b "  faults: %d retransmits, %d workers lost, %d re-dispatches\n"
       st.st_retransmits st.st_workers_lost st.st_redispatches;
+  if st.st_gave_up > 0 then
+    Printf.bprintf b
+      "  WARNING: %d messages exhausted the retransmit cap and were force-delivered\n"
+      st.st_gave_up;
   Printf.bprintf b "  resident: %d live slots\n" st.st_live_slots;
   List.iter
     (fun ts ->

@@ -42,13 +42,23 @@
     and dependency graph but keeps the tenant's current tree; the next
     edit (or {!tenant_store} query) revives the session by re-evaluating
     that tree, so an evicted tenant only pays a rebuild, never loses
-    state. With [hashcons], every tenant session shares one rule memo —
-    the cross-tenant intern arena.
+    state; on [`Sim] that rebuild is priced into the virtual makespan, so
+    evict/revive thrash is visible in the latency figures. Tenants
+    scheduled in the current round are exempt from eviction while their
+    sessions are live on workers (the pool may overshoot the cap
+    transiently); {!run_round} re-enforces the cap when the round ends.
+    With [hashcons], every tenant session shares one rule memo — the
+    cross-tenant intern arena.
 
     Per-tenant telemetry flows into the [obs] metrics registry under
     {!Pag_obs.Obs.Metrics.labeled} names ([service.edits{tenant=...}],
-    queue-depth gauges, latency histograms); exact p50/p99 come from raw
-    samples kept in {!stats}. *)
+    queue-depth gauges, latency histograms); p50/p99 in {!stats} come from
+    a bounded per-tenant reservoir (a deterministic uniform sample of at
+    most 2048 latencies — exact until a tenant's 2049th edit), so resident
+    memory stays bounded over the service's lifetime. All counters,
+    reservoirs and registry writes happen on the coordinator: the
+    [`Domains] transport's workers apply edits and return their measured
+    latencies, which the coordinator records after joining them. *)
 
 open Pag_core
 open Pag_eval
@@ -115,8 +125,9 @@ val submit : t -> string -> Tree.t -> admission
 
 (** Run one scheduling round: drain every non-empty tenant queue, batch
     per tenant, schedule the batches over the workers under the policy,
-    apply every edit, then evict idle sessions. No-op when all queues are
-    empty. Raises [Failure] if every worker has crashed. *)
+    apply every edit, then re-enforce the memory cap and evict idle
+    sessions. No-op when all queues are empty. Raises [Failure] if every
+    worker has crashed. *)
 val run_round : t -> unit
 
 (** Rounds until every queue is empty. *)
@@ -154,6 +165,10 @@ type stats = {
   st_rejected : int;
   st_evictions : int;
   st_retransmits : int;
+  st_gave_up : int;
+      (** messages that exhausted the retransmit cap (64 tries) and were
+          force-delivered; non-zero means the fault plan is pathological
+          and latency/retransmit figures under-report it *)
   st_redispatches : int;  (** batches moved off a crashed worker *)
   st_workers_lost : int;
   st_live_slots : int;  (** resident footprint right now *)

@@ -424,6 +424,27 @@ let test_serve_under_faults () =
            (Session.store iso) (Session.tree iso)))
     plan
 
+(* A plan that drops everything: the service's reliable transmit stops
+   retrying after 64 attempts and force-delivers, but the absorption must
+   be visible — counted in st_gave_up and charged as retransmits — rather
+   than silently passing for a healthy network. *)
+let test_retransmit_cap_gives_up () =
+  let g = Expr_ag.grammar in
+  let expr_of seed =
+    Expr_ag.random_program (Random.State.make [| seed |]) ~depth:4
+  in
+  let faults = { Faults.none with Faults.fs_drop = 1.0; fs_seed = 3 } in
+  let sv = Service.create (Service.config ~faults ~fault_rto:0.01 2) g in
+  Service.open_tenant sv "a" (expr_of 1);
+  check_bool "admitted" true (Service.submit sv "a" (expr_of 2) = Service.Admitted);
+  Service.drain sv;
+  let st = Service.stats sv in
+  check_int "edit still applied" 1 st.Service.st_edits;
+  check_bool "capped retransmits surface as gave-ups" true
+    (st.Service.st_gave_up > 0);
+  check_int "64 retries per message before giving up"
+    (64 * st.Service.st_gave_up) st.Service.st_retransmits
+
 let suite =
   [
     ( "faults",
@@ -444,6 +465,8 @@ let suite =
           test_edit_wave_retransmits;
         Alcotest.test_case "multi-tenant serve under faults" `Quick
           test_serve_under_faults;
+        Alcotest.test_case "retransmit cap surfaces as gave-ups" `Quick
+          test_retransmit_cap_gives_up;
         Alcotest.test_case "librarian under duplicates" `Quick
           test_librarian_duplicates;
         Alcotest.test_case "reliable dedup" `Quick test_reliable_dedup_and_ack;

@@ -168,6 +168,39 @@ let test_mem_cap_evicts_lru () =
     (Pascal.Driver.mask_labels scratch.Pascal.Driver.c_asm)
     (masked_code (Service.tenant_store sv "a"))
 
+(* A memory cap below the round's working set on the domains transport:
+   tenants scheduled this round are exempt from eviction while their
+   sessions are live on worker domains (the pool overshoots the cap
+   transiently), and the cap is re-enforced when the round ends. *)
+let test_mem_cap_domains_round () =
+  let g = Expr_ag.grammar in
+  let sv = Service.create (Service.config ~transport:`Domains ~mem_cap:1 2) g in
+  let names = [ "a"; "b"; "c" ] in
+  List.iteri (fun i n -> Service.open_tenant sv n (expr_of i)) names;
+  List.iteri (fun i n -> ignore (Service.submit sv n (expr_of (100 + i)))) names;
+  Service.run_round sv;
+  (* a 1-slot cap is below any single session's footprint, so once the
+     round's exemptions clear every tenant is evicted *)
+  List.iter
+    (fun n ->
+      check_bool ("post-round cap enforced on " ^ n) false
+        (Service.tenant_resident sv n))
+    names;
+  check_bool "eviction counted" true
+    ((Service.stats sv).Service.st_evictions >= 3);
+  (* evicted tenants still answer queries — by reviving — and the finals
+     match isolated sessions *)
+  List.iteri
+    (fun i n ->
+      let spec = Session.spec ~granularity:0.05 ~librarian:false 2 in
+      let iso = Session.open_session spec g (expr_of i) in
+      ignore (Session.edit iso (expr_of (100 + i)));
+      check_bool ("finals agree for " ^ n) true
+        (Test_incr.values_agree g
+           (Service.tenant_store sv n) (Service.tenant_tree sv n)
+           (Session.store iso) (Session.tree iso)))
+    names
+
 (* ---------------- scheduling: shortest-queue beats round-robin ---------------- *)
 
 (* One heavy tenant (8 queued edits) and three light ones (1 each) over
@@ -212,6 +245,8 @@ let suite =
           test_idle_eviction_and_readmission;
         Alcotest.test_case "memory cap evicts LRU" `Quick
           test_mem_cap_evicts_lru;
+        Alcotest.test_case "memory cap under a domains round" `Quick
+          test_mem_cap_domains_round;
         Alcotest.test_case "shortest-queue beats round-robin" `Quick
           test_shortest_queue_beats_round_robin;
       ] );
