@@ -18,7 +18,7 @@ let read_file path =
   close_in ic;
   s
 
-let run_agrun builtin spec_file machines schedule show_plan sentences =
+let run_agrun builtin spec_file machines schedule show_plan profile sentences =
   try
     let t =
       if builtin then Lazy.force Appendix.translator
@@ -42,6 +42,8 @@ let run_agrun builtin spec_file machines schedule show_plan sentences =
         (fun p ->
           Format.eprintf "%a@." Pag_analysis.Kastens.pp_plan p)
         (Compile.plan t);
+    if profile && machines <= 1 then
+      Printf.eprintf "agrun: --profile requires --machines >= 2\n";
     let eval src =
       let tree = Compile.parse t src in
       let attrs =
@@ -53,11 +55,20 @@ let run_agrun builtin spec_file machines schedule show_plan sentences =
             | "dynamic" -> `Dynamic
             | _ -> `Static
           in
-          (Compile.evaluate_parallel t
-             (Pag_parallel.Session.options
-                (Pag_parallel.Session.spec ~schedule ~librarian:false machines))
-             tree)
-            .Pag_parallel.Runner.r_attrs
+          let r =
+            Compile.evaluate_parallel t
+              (Pag_parallel.Session.options
+                 (Pag_parallel.Session.spec ~schedule ~librarian:false
+                    ~provenance:profile machines))
+              tree
+          in
+          (match r.Pag_parallel.Runner.r_prov with
+          | (_ :: _) as provs when profile ->
+              prerr_string
+                (Pag_eval.Causal.render_profile
+                   (Pag_eval.Causal.profile (Pag_eval.Causal.build provs)))
+          | _ -> ());
+          r.Pag_parallel.Runner.r_attrs
         end
       in
       Printf.printf "%s\n" src;
@@ -112,6 +123,15 @@ let schedule_arg =
 let plan_arg =
   Arg.(value & flag & info [ "plan" ] ~doc:"Print the ordered evaluation plan.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record per-firing provenance during parallel evaluation and \
+           print the critical-path profile (longest dependent rule chain \
+           vs makespan, rule/machine blame) to stderr.")
+
 let sentences_arg =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"SENTENCE" ~doc:"Sentences to evaluate.")
 
@@ -121,6 +141,6 @@ let cmd =
     (Cmd.info "agrun" ~doc)
     Term.(
       const run_agrun $ builtin_arg $ spec_arg $ machines_arg $ schedule_arg
-      $ plan_arg $ sentences_arg)
+      $ plan_arg $ profile_arg $ sentences_arg)
 
 let () = exit (Cmd.eval cmd)

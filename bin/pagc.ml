@@ -37,6 +37,142 @@ let gantt_unavailable () =
   Printf.eprintf
     "pagc: --gantt: timeline requires --machines >= 2 with the sim transport\n"
 
+(* ------------------------------------------------------------------ *)
+(* --explain / --profile: post-run provenance analysis.                *)
+
+module Tree = Pag_core.Tree
+module Grammar = Pag_core.Grammar
+module Causal = Pag_eval.Causal
+module Prov = Pag_obs.Prov
+
+(* Address forms: "root.ATTR", "SYM.ATTR" (first preorder occurrence),
+   "SYM#K.ATTR" (K-th occurrence, 0-based), "#ID.ATTR" (preorder id). *)
+let resolve_instance g tree addr =
+  match String.rindex_opt addr '.' with
+  | None -> Error (Printf.sprintf "expected NODE.ATTR, got %S" addr)
+  | Some i -> (
+      let node_s = String.sub addr 0 i
+      and attr = String.sub addr (i + 1) (String.length addr - i - 1) in
+      let occurrence sym k =
+        let found = ref None and seen = ref 0 in
+        Tree.iter
+          (fun n ->
+            if n.Tree.sym = sym then begin
+              if !seen = k && !found = None then found := Some n;
+              incr seen
+            end)
+          tree;
+        !found
+      in
+      let node =
+        if node_s = "root" then Some tree
+        else if node_s <> "" && node_s.[0] = '#' then
+          Option.bind
+            (int_of_string_opt (String.sub node_s 1 (String.length node_s - 1)))
+            (Tree.find tree)
+        else
+          match String.index_opt node_s '#' with
+          | Some j ->
+              Option.bind
+                (int_of_string_opt
+                   (String.sub node_s (j + 1) (String.length node_s - j - 1)))
+                (occurrence (String.sub node_s 0 j))
+          | None -> occurrence node_s 0
+      in
+      match node with
+      | None -> Error (Printf.sprintf "no node matches %S" node_s)
+      | Some n when n.Tree.prod = None ->
+          Error
+            (Printf.sprintf "%s is a terminal leaf: its attributes are \
+                             intrinsic, no rule fires for them"
+               node_s)
+      | Some n -> (
+          match Grammar.find_attr (Grammar.symbol g n.Tree.sym) attr with
+          | None ->
+              Error
+                (Printf.sprintf "symbol %s declares no attribute %S"
+                   n.Tree.sym attr)
+          | Some _ ->
+              let attr_idx = Grammar.attr_pos g ~sym:n.Tree.sym ~attr in
+              Ok (n, attr_idx, Printf.sprintf "%s#%d.%s" n.Tree.sym n.Tree.id attr)))
+
+(* Build the causal DAG from whatever rings recorded anything. *)
+let build_dag provs =
+  match List.filter (fun (p, _) -> Prov.enabled p) provs with
+  | [] -> None
+  | provs -> Some (Causal.build provs)
+
+(* Run the requested analyses over the recorded rings. Returns false when
+   --explain failed or the explained slice disagrees with the engine's own
+   dependency graph (the firing records must agree with the transitive
+   producer closure whenever the ring kept everything). *)
+let run_provenance ~g ~tree ~dag ~explain ~profile ~profile_json =
+  match dag with
+  | None ->
+      if explain <> None || profile || profile_json <> None then
+        Printf.eprintf "pagc: no provenance was recorded for this run\n";
+      explain = None
+  | Some d ->
+    if Causal.dropped d > 0 then
+      Printf.eprintf
+        "pagc: provenance ring overflowed (%d records dropped): slices and \
+         profiles are lower bounds\n"
+        (Causal.dropped d);
+    if Causal.arg_drops d > 0 then
+      Printf.eprintf
+        "pagc: %d argument slots exceeded the per-record arity: slices are \
+         lower bounds\n"
+        (Causal.arg_drops d);
+    if profile || profile_json <> None then begin
+      let p = Causal.profile d in
+      if profile then prerr_string (Causal.render_profile p);
+      Option.iter
+        (fun path -> write_file path (Causal.profile_json p))
+        profile_json
+    end;
+    match explain with
+    | None -> true
+    | Some addr -> (
+        match resolve_instance g tree addr with
+        | Error msg ->
+            Printf.eprintf "pagc: --explain: %s\n" msg;
+            false
+        | Ok (node, attr_idx, name) ->
+            let key = Causal.key_of node ~attr_idx in
+            if not (Causal.has_key d key) then begin
+              Printf.eprintf
+                "pagc: --explain: no recorded firing defines %s (intrinsic, \
+                 preset, or evicted from the ring)\n"
+                name;
+              false
+            end
+            else begin
+              print_string (Causal.render_slice d key);
+              if Causal.dropped d > 0 then true
+              else begin
+                (* create_shared keeps the run's node ids, so closure keys
+                   line up with the recorded ones *)
+                let st = Pag_eval.Store.create_shared g tree in
+                let re = Pag_eval.Engine.create g st in
+                let gr = Pag_eval.Engine.graph re in
+                let missing, extra =
+                  Causal.verify_slice d ~ref_engine:re ~ref_graph:gr key
+                in
+                if missing = [] && extra = [] then true
+                else begin
+                  Printf.eprintf
+                    "pagc: --explain: slice disagrees with the dependency \
+                     graph of %s\n"
+                    name;
+                  List.iter
+                    (Printf.eprintf "  missing from slice: %s\n")
+                    missing;
+                  List.iter (Printf.eprintf "  extra in slice: %s\n") extra;
+                  false
+                end
+              end
+            end)
+
 (* Sequential runs have no Runner to assemble the report; build one from
    the single compiler context. *)
 let sequential_report obs ~horizon =
@@ -71,13 +207,14 @@ let sequential_report obs ~horizon =
    wave. The final resident code must match a from-scratch compile of the
    last variant (modulo label numbering). *)
 let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-    ~no_priority ~hashcons ~faults ~out =
+    ~no_priority ~hashcons ~faults ~out ~explain ~profile ~profile_json =
   let g = Pascal_ag.grammar in
   let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
+  let provenance = explain <> None || profile || profile_json <> None in
   let sp =
     Pag_parallel.Session.spec ~granularity ~librarian:(not no_librarian)
       ~priority:(not no_priority) ~hashcons ?faults
-      ~phase_label:Driver.phase_label machines
+      ~phase_label:Driver.phase_label ~provenance machines
   in
   let base_src = read_file file in
   let es = Pag_parallel.Session.open_session sp g (parse_tree base_src) in
@@ -107,6 +244,18 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
            Printf.sprintf "  (%d retransmits)" r.er_retransmits
          else ""))
     edits;
+  (* --explain / --profile against the live session: the ring holds the
+     initial evaluation plus every refire since the last rebuild. *)
+  let prov_ok =
+    if provenance then
+      run_provenance ~g
+        ~tree:(Pag_parallel.Session.tree es)
+        ~dag:
+          (build_dag
+             [ (Pag_parallel.Session.prov es, Pag_parallel.Session.engine es) ])
+        ~explain ~profile ~profile_json
+    else true
+  in
   let resident =
     Pascal_ag.code_of_attrs
       (Pag_eval.Store.root_attrs (Pag_parallel.Session.store es))
@@ -120,8 +269,8 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
     Printf.eprintf "resident code = from-scratch compile (labels masked): ok\n";
     (match out with
     | Some path -> write_file path resident
-    | None -> print_string resident);
-    exit 0
+    | None -> if explain = None then print_string resident);
+    exit (if prov_ok then 0 else 1)
   end
   else begin
     Printf.eprintf "pagc: edit session diverged from a from-scratch compile\n";
@@ -171,7 +320,8 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
               (Service.config ~policy:!policy
                  ~transport:(if transport = "domains" then `Domains else `Sim)
                  ~queue_cap:!queue_cap ~mem_cap:!mem_cap
-                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~obs !workers)
+                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~obs
+                 ~provenance:report !workers)
               g
           with Invalid_argument msg -> fail line msg
         in
@@ -270,7 +420,8 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
 
 let run_compiler file machines evaluator schedule transport granularity
     no_librarian no_priority hashcons optimize run_it gantt trace_out
-    events_out report out input faults fault_seed edit_session serve =
+    events_out report out input faults fault_seed edit_session serve explain
+    profile profile_json =
   try
     let faults =
       match faults with
@@ -296,7 +447,7 @@ let run_compiler file machines evaluator schedule transport granularity
     (match edit_session with
     | Some script ->
         run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-          ~no_priority ~hashcons ~faults ~out
+          ~no_priority ~hashcons ~faults ~out ~explain ~profile ~profile_json
     | None -> ());
     let src = read_file file in
     let program = Parser.parse_program src in
@@ -308,7 +459,8 @@ let run_compiler file machines evaluator schedule transport granularity
       | _ -> if mode = `Dynamic then `Dynamic else `Static
     in
     let telemetry = trace_out <> None || events_out <> None || report in
-    let compiled, trace_info, obs_data =
+    let provenance = explain <> None || profile || profile_json <> None in
+    let compiled, trace_info, obs_data, prov_data =
       if
         machines <= 1 && transport = "sim" && mode = `Combined
         && schedule = `Static && faults = None
@@ -320,7 +472,18 @@ let run_compiler file machines evaluator schedule transport granularity
           end
           else Obs.null_ctx
         in
-        let compiled = Driver.compile ~obs ~hashcons ~evaluator:`Static program in
+        let ring =
+          if provenance then
+            Prov.create ~arity:(Causal.arity_for Pascal_ag.grammar) ()
+          else Prov.disabled
+        in
+        let eng = ref None and tree = ref None in
+        let compiled =
+          Driver.compile ~obs ~hashcons ~prov:ring
+            ~engine_out:(fun e -> eng := Some e)
+            ~tree_out:(fun t -> tree := Some t)
+            ~evaluator:`Static program
+        in
         let obs_data =
           if telemetry then
             let horizon = obs.Obs.x_clock () in
@@ -330,7 +493,12 @@ let run_compiler file machines evaluator schedule transport granularity
                 fun _ -> "compiler" )
           else None
         in
-        (compiled, None, obs_data)
+        let prov_data =
+          match (!eng, !tree) with
+          | Some e, Some t when provenance -> Some ([ (ring, e) ], t)
+          | _ -> None
+        in
+        (compiled, None, obs_data, prov_data)
       end
       else begin
         let opts =
@@ -338,7 +506,7 @@ let run_compiler file machines evaluator schedule transport granularity
             (Pag_parallel.Session.spec ~mode ~schedule ~granularity
                ~librarian:(not no_librarian) ~priority:(not no_priority)
                ~hashcons ~telemetry ?faults ~phase_label:Driver.phase_label
-               machines)
+               ~provenance machines)
         in
         let result, compiled =
           if transport = "domains" then
@@ -355,13 +523,35 @@ let run_compiler file machines evaluator schedule transport granularity
                     ~fragments:result.Pag_parallel.Runner.r_fragments )
           | None -> None
         in
-        (compiled, Some result, obs_data)
+        let prov_data =
+          if provenance then
+            Some
+              ( result.Pag_parallel.Runner.r_prov,
+                result.Pag_parallel.Runner.r_tree )
+          else None
+        in
+        (compiled, Some result, obs_data, prov_data)
       end
+    in
+    (* The causal DAG is shared by --explain/--profile and the critical-path
+       flow arrows merged into --trace. *)
+    let dag =
+      match prov_data with
+      | Some (provs, _) -> build_dag provs
+      | None -> None
     in
     (match obs_data with
     | Some (recorder, rep, names) ->
+        (* With provenance on, the top critical-path chains ride along as
+           flow arrows so the trace viewer draws them across the Gantt
+           rows. *)
+        let traced =
+          match dag with
+          | Some d -> Obs.merge [ recorder; Causal.flows d ]
+          | None -> recorder
+        in
         Option.iter
-          (fun path -> write_file path (Export.chrome ~names recorder))
+          (fun path -> write_file path (Export.chrome ~names traced))
           trace_out;
         Option.iter
           (fun path -> write_file path (Export.jsonl ~names recorder))
@@ -394,14 +584,48 @@ let run_compiler file machines evaluator schedule transport granularity
         if gantt then (
           match r.Pag_parallel.Runner.r_trace with
           | Some tr ->
-              prerr_string
-                (Netsim.Gantt.render
-                   ~names:
-                     (Pag_parallel.Runner.machine_name
-                        ~fragments:r.Pag_parallel.Runner.r_fragments)
-                   tr)
+              let names =
+                Pag_parallel.Runner.machine_name
+                  ~fragments:r.Pag_parallel.Runner.r_fragments
+              in
+              (* With provenance on, star the critical-path firings so the
+                 chart lines up with the --profile blame tables. *)
+              let top_chain =
+                match dag with
+                | Some d -> (
+                    match (Causal.profile ~top:1 d).Causal.pr_chains with
+                    | c :: _ -> c.Causal.ch_steps
+                    | [] -> [])
+                | None -> []
+              in
+              let overlay =
+                List.map
+                  (fun s -> (s.Causal.st_pid, s.Causal.st_t0, s.Causal.st_t1))
+                  top_chain
+              in
+              prerr_string (Netsim.Gantt.render ~overlay ~names tr);
+              if top_chain <> [] then begin
+                Printf.eprintf "critical path (top chain, * above):\n";
+                List.iter
+                  (fun s ->
+                    Printf.eprintf "  %8.4fs  %-8s %-28s -> %s\n"
+                      s.Causal.st_t0 (names s.Causal.st_pid) s.Causal.st_label
+                      s.Causal.st_target)
+                  top_chain
+              end
           | None -> gantt_unavailable ())
     | None -> if gantt then gantt_unavailable ());
+    let prov_ok =
+      if provenance then
+        match prov_data with
+        | Some (_, tree) ->
+            run_provenance ~g:Pascal_ag.grammar ~tree ~dag ~explain ~profile
+              ~profile_json
+        | None ->
+            Printf.eprintf "pagc: no provenance was recorded for this run\n";
+            explain = None
+      else true
+    in
     if compiled.Driver.c_errors <> [] then begin
       List.iter (Printf.eprintf "error: %s\n") compiled.Driver.c_errors;
       exit 1
@@ -412,7 +636,10 @@ let run_compiler file machines evaluator schedule transport granularity
         let oc = open_out path in
         output_string oc compiled.Driver.c_asm;
         close_out oc
-    | None -> if not run_it then print_string compiled.Driver.c_asm);
+    | None ->
+        (* --explain owns stdout (the slice was printed there). *)
+        if not run_it && explain = None then
+          print_string compiled.Driver.c_asm);
     if run_it then begin
       match Driver.run_compiled ~input compiled with
       | Ok output -> print_string output
@@ -420,7 +647,7 @@ let run_compiler file machines evaluator schedule transport granularity
           Printf.eprintf "runtime error: %s\n" e;
           exit 2
     end;
-    exit 0
+    exit (if prov_ok then 0 else 1)
   with
   | Lexer.Lex_error (line, msg) ->
       Printf.eprintf "%s:%d: lexical error: %s\n"
@@ -588,6 +815,41 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"N"
         ~doc:"PRNG seed for the fault plan (same seed = same fault pattern).")
 
+let explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"NODE.ATTR"
+        ~doc:
+          "Record per-firing provenance and print the dependency slice of \
+           one attribute instance: every rule firing its final value \
+           transitively depends on, with argument values, owning machine \
+           and timing. $(docv) addresses the instance as $(b,root.attr), \
+           $(b,SYM.attr) (first preorder occurrence of the symbol), \
+           $(b,SYM#K.attr) (K-th occurrence, 0-based) or $(b,#ID.attr) \
+           (preorder node id). The slice is checked against the engine's \
+           own dependency graph; disagreement exits nonzero. Suppresses \
+           the assembly on stdout.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record per-firing provenance and print the critical-path \
+           profile to stderr: the longest chain of dependent rule firings \
+           vs the achieved makespan, per-rule and per-machine blame \
+           tables, and the ideal-parallel-time lower bound \
+           max(critical, work/machines). With --trace, the top chains are \
+           drawn as flow arrows across the per-machine tracks.")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"OUT.json"
+        ~doc:"Write the critical-path profile as a JSON object to $(docv).")
+
 let cmd =
   let doc = "parallel Pascal-subset compiler by attribute-grammar evaluation" in
   Cmd.v
@@ -597,6 +859,7 @@ let cmd =
       $ schedule_arg $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
       $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
-      $ fault_seed_arg $ edit_session_arg $ serve_arg)
+      $ fault_seed_arg $ edit_session_arg $ serve_arg $ explain_arg
+      $ profile_arg $ profile_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -30,4 +30,17 @@ cmp /tmp/pagc_seq_smoke.masked /tmp/pagc_steal_smoke.masked
 # pagc exits nonzero unless every tenant's resident code matches a
 # from-scratch compile.
 dune exec bin/pagc.exe -- --serve examples/three_tenants.serve >/dev/null
+# Provenance smoke: --explain exits nonzero unless the recorded slice
+# equals the reference engine's dependency closure; --profile-json must
+# produce parseable JSON with a critical path no longer than the makespan.
+dune exec bin/pagc.exe -- --machines 4 --explain root.code \
+  examples/primes.pas >/dev/null 2>&1
+profile=/tmp/pagc_profile_smoke.json
+dune exec bin/pagc.exe -- --machines 4 --profile-json "$profile" \
+  examples/primes.pas -o /tmp/pagc_profile_smoke.s 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; p=json.load(open('$profile')); sys.exit(0 if 0 < p['critical_s'] <= p['makespan_s'] else 1)"
+else
+  grep -q '"critical_s"' "$profile"
+fi
 echo "check.sh: all green"

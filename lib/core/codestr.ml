@@ -109,6 +109,40 @@ let rec equal a b =
     | Cat x, Cat y -> equal x.a y.a && equal x.b y.b
     | (Text _ | Frag _ | Cat _), _ -> false
 
+(* [equal] is content-based for fully local strings (shape-insensitive),
+   so the hash must not see the concatenation shape: mix the length and
+   fragment count with a bounded prefix of the leaf stream — text bytes
+   and fragment ids in order, which equal values produce identically.
+   Hashing the length alone is not enough: one compiled program holds
+   thousands of distinct same-length one-line fragments ("\tpushl\t$1\n",
+   "\tpushl\t$2\n", ...), and an all-collisions family degrades the value
+   arena's buckets pathologically. *)
+let hash t =
+  let mix h x = (h * 0x01000193) lxor (x + 0x9e3779b9 + (h lsl 6)) in
+  let budget = ref 64 in
+  let acc = ref (mix (length t) (frag_count t)) in
+  let exception Done in
+  (try
+     fold_leaves
+       (fun () -> function
+         | `Text r ->
+             Rope.fold_chunks
+               (fun () s ->
+                 let n = min (String.length s) !budget in
+                 for i = 0 to n - 1 do
+                   acc := mix !acc (Char.code s.[i])
+                 done;
+                 budget := !budget - n;
+                 if !budget <= 0 then raise Done)
+               () r
+         | `Frag id ->
+             acc := mix !acc (0x5eaf lxor id);
+             decr budget;
+             if !budget <= 0 then raise Done)
+       () t
+   with Done -> ());
+  !acc
+
 let pp fmt t =
   if frag_count t = 0 && length t <= 60 then
     Format.fprintf fmt "<code:%S>" (Rope.to_string (to_rope t))
@@ -125,9 +159,7 @@ let () =
           | V x, V y -> Some (equal x y)
           | V _, _ | _, V _ -> Some false
           | _ -> None);
-      (* [equal] is content-based (shape-insensitive), so the only cheap
-         hash consistent with it is the length. *)
-      ext_hash = (fun e -> match e with V t -> Some (length t) | _ -> None);
+      ext_hash = (fun e -> match e with V t -> Some (hash t) | _ -> None);
       ext_size = (fun e -> match e with V t -> Some (wire_size t) | _ -> None);
       ext_pp =
         (fun fmt e ->

@@ -211,10 +211,17 @@ and shallow_equal a b =
   | (Unit | Bool _ | Int _ | Str _ | List _ | Pair _ | Tab _ | Ext _), _ ->
       false
 
+(* Canonical values are exactly the keys of [hash_memo]; the O(1)
+   membership test keeps re-interning of canonical values (and of values
+   whose children are canonical) from re-walking shared substructure —
+   hash-consed evaluation builds DAG-shaped values, and recursing into
+   them as trees is exponential in the sharing depth. *)
 and intern v =
-  match Phys_cache.find_opt canon_memo v with
-  | Some c -> c
-  | None ->
+  if Phys.mem hash_memo v then v
+  else
+    match Phys_cache.find_opt canon_memo v with
+    | Some c -> c
+    | None ->
       let cand =
         match v with
         | Unit | Bool _ | Int _ | Ext _ -> v

@@ -10,10 +10,19 @@ exception Cycle = Engine.Cycle
    machinery (CSR edges, argument codes, the ready ring) lives in
    {!Engine}; this module only adds telemetry and the stats record. *)
 
-let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo g t =
+let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo ?(prov = Prov.disabled)
+    ?prov_clock ?(engine_out = fun _ -> ()) g t =
   let graph_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   let store = Store.create ?root_inh g t in
   let eng = Engine.create ?memo g store in
+  (if Prov.enabled prov then
+     let clock =
+       match prov_clock with
+       | Some c -> c
+       | None -> if Obs.ctx_enabled obs then obs.Obs.x_clock else Sys.time
+     in
+     Engine.set_prov ~pid:obs.Obs.x_pid ~clock eng prov);
+  engine_out eng;
   let gr = Engine.graph eng in
   if Obs.ctx_enabled obs then
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:graph_t0
@@ -45,13 +54,14 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo g t =
       evals;
     } )
 
-let eval ?obs ?root_inh ?hashcons g t =
+let eval ?obs ?root_inh ?hashcons ?prov ?prov_clock ?engine_out g t =
   let memo =
     match hashcons with
     | Some true -> Some (Memo.create_rules ())
     | Some false | None -> None
   in
   let r, _ =
-    Pag_core.Uid.with_base 0 (fun () -> eval_inner ?obs ?root_inh ?memo g t)
+    Pag_core.Uid.with_base 0 (fun () ->
+        eval_inner ?obs ?root_inh ?memo ?prov ?prov_clock ?engine_out g t)
   in
   r

@@ -29,11 +29,18 @@ exception Cycle of string
     rules in data-driven order, so unlike the static evaluator it reuses
     shared work per rule application rather than per subtree.
     Label-consuming rules are detected and never memoized; semantics are
-    unchanged. *)
+    unchanged.
+
+    [prov]/[prov_clock]/[engine_out] mirror {!Static_eval.eval}: attach a
+    provenance ring to the run's engine and hand the engine out for
+    post-run analysis ({!Causal}). *)
 val eval :
   ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
   ?hashcons:bool ->
+  ?prov:Pag_obs.Prov.t ->
+  ?prov_clock:(unit -> float) ->
+  ?engine_out:(Engine.t -> unit) ->
   Grammar.t ->
   Tree.t ->
   Store.t * stats

@@ -1,4 +1,5 @@
 open Pag_core
+open Pag_obs
 
 (* The shared evaluation engine.
 
@@ -43,6 +44,16 @@ type t = {
   mutable e_nodes_covered : int;  (* length of the rid_base prefix in use *)
   mutable e_slot_args : int;  (* non-const args: the classic "edges" stat *)
   mutable e_fired : int;
+  (* provenance attachment: every firing appends one record when a ring is
+     attached; [Prov.disabled] keeps the hot path at one branch *)
+  mutable e_prov : Prov.t;
+  mutable e_prov_pid : int;
+  mutable e_prov_clock : unit -> float;
+  mutable e_prov_dwell_dyn : float;  (* priced duration of a fire/refire... *)
+  mutable e_prov_dwell_stat : float;  (* ...and of a fire_at; < 0 = wall *)
+  mutable e_prov_arg : int -> unit;  (* [Prov.arg ring], hoisted: one
+                                        closure per attachment, not one per
+                                        firing *)
 }
 
 let store e = e.e_store
@@ -212,6 +223,12 @@ let create ?memo ?(rules_for = fun _ -> true) g st =
       e_nodes_covered = 0;
       e_slot_args = 0;
       e_fired = 0;
+      e_prov = Prov.disabled;
+      e_prov_pid = 0;
+      e_prov_clock = (fun () -> 0.0);
+      e_prov_dwell_dyn = -1.0;
+      e_prov_dwell_stat = -1.0;
+      e_prov_arg = ignore;
     }
   in
   Store.iter_nodes st (fun node -> add_node e ~rules_for node);
@@ -261,23 +278,79 @@ let compute e rid args =
       Memo.apply_rule m ~rule_key:e.e_key.(rid)
         ~fn:e.e_rules.(rid).Grammar.r_fn args
 
+(* Provenance attachment. [set_prov] arms recording; the firing paths then
+   pay one field read and branch when disarmed. [dwell_*] price a firing's
+   duration for schedulers whose clock does not advance inside the firing
+   (the network simulator charges cost-model delays after the fact); with
+   no dwell, t1 is a second clock read — wall-clock duration. *)
+
+let set_prov ?(pid = 0) ?dwell_dynamic ?dwell_static ~clock e p =
+  e.e_prov <- p;
+  e.e_prov_pid <- pid;
+  e.e_prov_clock <- clock;
+  e.e_prov_dwell_dyn <- Option.value dwell_dynamic ~default:(-1.0);
+  e.e_prov_dwell_stat <- Option.value dwell_static ~default:(-1.0);
+  e.e_prov_arg <- (fun slot -> Prov.arg p slot)
+
+let set_prov_pid e pid = e.e_prov_pid <- pid
+
+let prov e = e.e_prov
+
+let note_fire e rid t0 dwell =
+  let p = e.e_prov in
+  let t1 = if dwell >= 0.0 then t0 +. dwell else e.e_prov_clock () in
+  Prov.record p ~rid ~pid:e.e_prov_pid ~target:e.e_target.(rid) ~t0 ~t1
+    ~replay:false;
+  iter_slot_args e rid e.e_prov_arg
+
 let fire e rid =
+  let t0 = if Prov.enabled e.e_prov then e.e_prov_clock () else 0.0 in
   let v = compute e rid (gather e rid) in
   e.e_fired <- e.e_fired + 1;
-  Store.define_slot e.e_store e.e_target.(rid) v
+  Store.define_slot e.e_store e.e_target.(rid) v;
+  if Prov.enabled e.e_prov then note_fire e rid t0 e.e_prov_dwell_dyn
 
 (* The static path: its memoization unit is the whole subtree visit
    ({!Memo.subtree}), so individual firings bypass the rule memo. *)
 let fire_at e node ridx =
   let rid = rid_at e node ridx in
+  let t0 = if Prov.enabled e.e_prov then e.e_prov_clock () else 0.0 in
   let v = e.e_rules.(rid).Grammar.r_fn (gather e rid) in
   e.e_fired <- e.e_fired + 1;
-  Store.define_slot e.e_store e.e_target.(rid) v
+  Store.define_slot e.e_store e.e_target.(rid) v;
+  if Prov.enabled e.e_prov then note_fire e rid t0 e.e_prov_dwell_stat
 
 let refire e rid =
+  let t0 = if Prov.enabled e.e_prov then e.e_prov_clock () else 0.0 in
   let v = compute e rid (gather e rid) in
   e.e_fired <- e.e_fired + 1;
-  Store.redefine_slot e.e_store e.e_target.(rid) v
+  let changed = Store.redefine_slot e.e_store e.e_target.(rid) v in
+  if Prov.enabled e.e_prov then note_fire e rid t0 e.e_prov_dwell_dyn;
+  changed
+
+(* A memoized subtree replay ({!Memo.Replayed}) sets the subtree's slots
+   without firing anything; record zero-duration replay firings so the
+   provenance DAG keeps the producer of every slot — without them a slice
+   through a replayed region would dead-end at the replay boundary. The
+   rid range of a covered node is [rid_base i .. rid_base (i+1)), which is
+   empty for nodes whose rules were not resolved (remote stubs). *)
+let note_replayed e sub =
+  if Prov.enabled e.e_prov then begin
+    let p = e.e_prov in
+    let t = e.e_prov_clock () in
+    Tree.iter
+      (fun (node : Tree.t) ->
+        match node.Tree.prod with
+        | None -> ()
+        | Some _ ->
+            let i = Store.dense_index e.e_store node in
+            for rid = e.e_rid_base.(i) to e.e_rid_base.(i + 1) - 1 do
+              Prov.record p ~rid ~pid:e.e_prov_pid ~target:e.e_target.(rid)
+                ~t0:t ~t1:t ~replay:true;
+              iter_slot_args e rid e.e_prov_arg
+            done)
+      sub
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dependency graph                                                    *)
@@ -495,7 +568,8 @@ let gather_quiet e rid =
   done;
   args
 
-let run_steal ?(domains = 2) ?owner ?(uid_base = 0) e gr =
+let run_steal ?(domains = 2) ?owner ?(uid_base = 0) ?prov
+    ?(prov_clock = fun () -> 0.0) e gr =
   let n = e.e_n in
   let d_count = max 1 domains in
   let owner =
@@ -536,9 +610,17 @@ let run_steal ?(domains = 2) ?owner ?(uid_base = 0) e gr =
       let v = x mod (d_count - 1) in
       if v >= d then v + 1 else v
     in
+    (* each domain records into its own ring; pid = domain id *)
+    let my_prov = match prov with Some ps -> ps.(d) | None -> Prov.disabled in
     let exec rid =
+      let t0 = if Prov.enabled my_prov then prov_clock () else 0.0 in
       let v = e.e_rules.(rid).Grammar.r_fn (gather_quiet e rid) in
       Store.poke e.e_store e.e_target.(rid) v;
+      if Prov.enabled my_prov then begin
+        Prov.record my_prov ~rid ~pid:d ~target:e.e_target.(rid) ~t0
+          ~t1:(prov_clock ()) ~replay:false;
+        iter_slot_args e rid (fun slot -> Prov.arg my_prov slot)
+      end;
       st.st_fired <- st.st_fired + 1;
       iter_consumers gr e.e_target.(rid) (fun c ->
           if (not (is_dead e c)) && Atomic.fetch_and_add waiting.(c) (-1) = 1

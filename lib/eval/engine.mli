@@ -86,6 +86,38 @@ val fire_at : t -> Tree.t -> int -> unit
     incremental change propagation. *)
 val refire : t -> int -> bool
 
+(** {1 Provenance}
+
+    [set_prov ~pid ~clock e prov] attaches a provenance ring: every
+    subsequent firing appends one record (rid, pid, target slot, argument
+    slots, t0/t1). Attaching {!Pag_obs.Prov.disabled} (the initial state)
+    keeps the firing paths at one branch. [dwell_dynamic]/[dwell_static]
+    price the duration of a {!fire}/{!refire} resp. {!fire_at} for
+    schedulers whose clock does not advance inside a firing (the network
+    simulator charges its cost-model delay after the call returns); when
+    absent, durations come from a second clock read — wall time. *)
+val set_prov :
+  ?pid:int ->
+  ?dwell_dynamic:float ->
+  ?dwell_static:float ->
+  clock:(unit -> float) ->
+  t ->
+  Pag_obs.Prov.t ->
+  unit
+
+(** Retarget subsequent records to another machine id — the simulated
+    steal schedule runs every machine fiber over one shared engine. *)
+val set_prov_pid : t -> int -> unit
+
+(** The attached ring ({!Pag_obs.Prov.disabled} when none). *)
+val prov : t -> Pag_obs.Prov.t
+
+(** Record zero-duration [replay] firings for every rule instance of a
+    subtree whose slots were just set by a memoized replay
+    ({!Memo.Replayed}) — keeps provenance slices complete under
+    hash-consed evaluation. No-op when no ring is attached. *)
+val note_replayed : t -> Tree.t -> unit
+
 (** {1 Edits} *)
 
 (** [append e sub] extends the instance table with the rules of an appended
@@ -146,13 +178,18 @@ val run_topo : t -> graph -> int
     consumes no uids for bit-identical stores).
 
     Firing bypasses the rule memo (not domain-safe); semantic rules are
-    pure, so results are unchanged. Returns the number of firings and the
-    per-domain scheduler statistics. Raises {!Cycle} as {!run_topo}
-    does. *)
+    pure, so results are unchanged. The engine-attached provenance ring is
+    not used here (it is not domain-safe either): pass [prov], one ring
+    per domain, and each domain records its own firings with its domain id
+    as pid and [prov_clock] (typically wall time) as the clock. Returns
+    the number of firings and the per-domain scheduler statistics. Raises
+    {!Cycle} as {!run_topo} does. *)
 val run_steal :
   ?domains:int ->
   ?owner:(int -> int) ->
   ?uid_base:int ->
+  ?prov:Pag_obs.Prov.t array ->
+  ?prov_clock:(unit -> float) ->
   t ->
   graph ->
   int * Steal.stats array

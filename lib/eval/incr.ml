@@ -53,6 +53,7 @@ type session = {
   s_g : Grammar.t;
   s_obs : Obs.ctx;
   s_memo : Memo.rules option;
+  s_prov : Prov.t;
   s_frontier : float;
   s_cursor : int ref;
   mutable s_tree : Tree.t;
@@ -75,6 +76,10 @@ type session = {
 let tree s = s.s_tree
 
 let store s = s.s_store
+
+let engine s = s.s_engine
+
+let prov s = s.s_prov
 
 let live_slots s = s.s_live_slots
 
@@ -104,9 +109,25 @@ let no_edit =
     ed_prop_ms = 0.0;
   }
 
+(* A provenance ring outlives the engines of a session: re-attach it to
+   every rebuilt engine so refires after a fallback keep recording. The
+   clock is the session's obs clock when live, CPU time otherwise. *)
+let attach_prov s eng =
+  if Prov.enabled s.s_prov then begin
+    let clock =
+      if Obs.ctx_enabled s.s_obs then s.s_obs.Obs.x_clock else Sys.time
+    in
+    Engine.set_prov ~pid:s.s_obs.Obs.x_pid ~clock eng s.s_prov
+  end
+
 let build s =
   let store = Store.create s.s_g s.s_tree in
   let eng = Engine.create ?memo:s.s_memo s.s_g store in
+  (* The compacting rebuild renumbers slots: stale records would resolve
+     against the wrong instances. Clear the ring — the from-scratch
+     re-evaluation below repopulates it consistently with the new engine. *)
+  Prov.clear s.s_prov;
+  attach_prov s eng;
   let gr = Engine.graph eng in
   Uid.with_counter s.s_cursor (fun () -> ignore (Engine.run_topo eng gr));
   s.s_store <- store;
@@ -117,8 +138,8 @@ let build s =
   s.s_live_slots <- Store.slot_count store;
   s.s_changed <- Array.make (max 1 (Store.slot_count store)) 0
 
-let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false) ?(frontier = 0.6) g
-    tree =
+let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false)
+    ?(prov = Prov.disabled) ?(frontier = 0.6) g tree =
   let memo =
     match memo with
     | Some _ as m -> m
@@ -127,12 +148,16 @@ let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false) ?(frontier = 0.6) g
   let cursor = ref 0 in
   let store = Store.create g tree in
   let eng = Engine.create ?memo g store in
+  (if Prov.enabled prov then
+     let clock = if Obs.ctx_enabled obs then obs.Obs.x_clock else Sys.time in
+     Engine.set_prov ~pid:obs.Obs.x_pid ~clock eng prov);
   let gr = Engine.graph eng in
   Uid.with_counter cursor (fun () -> ignore (Engine.run_topo eng gr));
   {
     s_g = g;
     s_obs = obs;
     s_memo = memo;
+    s_prov = prov;
     s_frontier = frontier;
     s_cursor = cursor;
     s_tree = tree;

@@ -45,11 +45,20 @@ type totals = {
     never memoized, so sharing cannot leak labels across sessions).
     [frontier] is the dirty-cone fraction beyond which edits rebuild from
     scratch. With a live [obs] context each edit records the [incr.*]
-    counters and the [incr.prop_ms] histogram. *)
+    counters and the [incr.prop_ms] histogram.
+
+    [prov] attaches a provenance ring that survives the session's engine
+    rebuilds: the initial evaluation and every refire append records, and
+    a fallback rebuild clears the ring before re-recording its
+    from-scratch evaluation (the compaction renumbers slots, so stale
+    records would misresolve). [--explain]/[--profile] thus work against
+    the live session at any point ({!engine} exposes the current engine
+    for {!Causal}). *)
 val start :
   ?obs:Pag_obs.Obs.ctx ->
   ?memo:Memo.rules ->
   ?hashcons:bool ->
+  ?prov:Pag_obs.Prov.t ->
   ?frontier:float ->
   Grammar.t ->
   Tree.t ->
@@ -70,6 +79,13 @@ val store : session -> Store.t
     weight, so the total stays within 2x [live_slots] plus one edit's
     appended subtree. A multi-tenant pool evicts against this number. *)
 val live_slots : session -> int
+
+(** The session's current engine (replaced wholesale by a fallback
+    rebuild — re-fetch after every edit before analyzing provenance). *)
+val engine : session -> Engine.t
+
+(** The ring passed to {!start} ({!Pag_obs.Prov.disabled} when none). *)
+val prov : session -> Pag_obs.Prov.t
 
 (** [edit session next] updates the session so its tree is (structurally)
     [next] and every attribute reflects it. [next] must have the same root

@@ -18,7 +18,7 @@ let visit ?memo plan eng node v =
     | Some p -> (
         incr visits;
         match Memo.subtree memo plan store node v with
-        | Memo.Replayed -> ()
+        | Memo.Replayed -> Engine.note_replayed eng node
         | Memo.Evaluate record ->
             List.iter
               (function
@@ -33,7 +33,8 @@ let visit ?memo plan eng node v =
   go node v;
   (!visits, !evals)
 
-let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons plan t =
+let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons ?(prov = Prov.disabled)
+    ?prov_clock ?(engine_out = fun _ -> ()) plan t =
   let r, _ =
     Uid.with_base 0 (fun () ->
         let g = Kastens.grammar plan in
@@ -42,6 +43,14 @@ let eval ?(obs = Obs.null_ctx) ?root_inh ?hashcons plan t =
               let store = Store.create ?root_inh g t in
               (store, Engine.create g store))
         in
+        (if Prov.enabled prov then
+           let clock =
+             match prov_clock with
+             | Some c -> c
+             | None -> if Obs.ctx_enabled obs then obs.Obs.x_clock else Sys.time
+           in
+           Engine.set_prov ~pid:obs.Obs.x_pid ~clock eng prov);
+        engine_out eng;
         let memo =
           match hashcons with
           | Some true ->

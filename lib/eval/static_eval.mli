@@ -25,11 +25,20 @@ type stats = {
     once per inherited fingerprint and replayed at its other occurrences
     ([eval.memo_hits]/[eval.memo_misses] count the outcomes). Semantics are
     unchanged — mismatching contexts, fragment boundaries and
-    label-consuming subtrees all fall back to ordinary evaluation. *)
+    label-consuming subtrees all fall back to ordinary evaluation.
+
+    [prov] attaches a provenance ring to the run's engine: every firing is
+    recorded (memoized replays as synthetic [replay] records), timed by
+    [prov_clock] (default: the obs clock when live, else [Sys.time]).
+    [engine_out] receives the engine before evaluation starts, so callers
+    can keep it for post-run analysis ({!Causal}). *)
 val eval :
   ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
   ?hashcons:bool ->
+  ?prov:Pag_obs.Prov.t ->
+  ?prov_clock:(unit -> float) ->
+  ?engine_out:(Engine.t -> unit) ->
   Kastens.plan ->
   Tree.t ->
   Store.t * stats

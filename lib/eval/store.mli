@@ -106,6 +106,12 @@ val slot_count : t -> int
     [node] is not covered. *)
 val slot_of : t -> Tree.t -> attr_idx:int -> int
 
+(** [slot_owner store slot] — the (node, attribute index) instance a slot
+    id belongs to. O(log nodes); post-run analyses ({!Pag_eval.Causal})
+    use it to translate recorded slot ids into global (node id, attribute)
+    keys. *)
+val slot_owner : t -> int -> Tree.t * int
+
 (** Dense (preorder) index of a covered node: slots of the node are
     [base(dense_index) ..]; {!Pag_eval.Engine} keys its per-node rule
     ranges on the same index. Raises [Error] when [node] is not covered. *)

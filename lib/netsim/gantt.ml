@@ -1,4 +1,4 @@
-let render ?(width = 72) ?(max_arrows = 12) ~names tr =
+let render ?(width = 72) ?(max_arrows = 12) ?(overlay = []) ~names tr =
   let buf = Buffer.create 1024 in
   let horizon = Trace.horizon tr in
   if horizon <= 0.0 then "(empty trace)"
@@ -38,6 +38,13 @@ let render ?(width = 72) ?(max_arrows = 12) ~names tr =
                 if c = '#' || Bytes.get row x = ' ' then Bytes.set row x c
               done
             end);
+        List.iter
+          (fun (opid, t0, t1) ->
+            if opid = pid then
+              for x = x_of t0 to x_of t1 do
+                Bytes.set row x '*'
+              done)
+          overlay;
         Trace.iter_marks tr (fun m ->
             if m.Trace.mk_pid = pid then Bytes.set row (x_of m.Trace.mk_time) '|');
         Buffer.add_string buf

@@ -1,6 +1,16 @@
 (** ASCII rendering of a simulation trace, in the style of the paper's
     figure 6: one row per process, thick marks for active periods, thin dots
-    for idle periods, '|' for phase marks, plus a message summary. *)
+    for idle periods, '|' for phase marks, plus a message summary.
+
+    [overlay] marks extra [(pid, t0, t1)] windows with ['*'] on the owning
+    row (drawn over active/idle cells) — [pagc --gantt] uses it to trace
+    the provenance profiler's critical-path firings across the chart, so
+    the rows line up with the [--profile] blame tables. *)
 
 val render :
-  ?width:int -> ?max_arrows:int -> names:(int -> string) -> Trace.t -> string
+  ?width:int ->
+  ?max_arrows:int ->
+  ?overlay:(int * float * float) list ->
+  names:(int -> string) ->
+  Trace.t ->
+  string

@@ -292,7 +292,18 @@ module Metrics = struct
         in
         (name, v) :: acc)
       t.tbl []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) ->
+           (* Labeled series ("name{k=v}") must group under their base
+              name: '{' sorts after '.', so a plain [compare] interleaves
+              "x.y" rows between "x{...}" and "x.z{...}". Split at the
+              label brace and order by (base, label). *)
+           let split n =
+             match String.index_opt n '{' with
+             | Some i ->
+                 (String.sub n 0 i, String.sub n i (String.length n - i))
+             | None -> (n, "")
+           in
+           compare (split a) (split b))
 end
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,216 @@
+(* Provenance ring: one record per rule firing.
+
+   Struct-of-arrays like the event recorder, but bounded: the buffer is a
+   memory-capped ring over [cap] records, each with room for [arity]
+   argument slots. Recording into a full ring overwrites the oldest record
+   and counts it in [dropped] — a long serve run keeps a sliding window of
+   recent causality instead of growing without bound. [disabled] shares
+   empty arrays and bails on the [on] flag, so the recording calls can live
+   in {!Pag_eval.Engine}'s firing path permanently.
+
+   Storage grows geometrically from a small seed up to [cap] (the event
+   recorder's doubling regime): a short run never pays for the worst-case
+   window — eagerly allocating the default 2^18-record ring costs tens of
+   megabytes of zeroed arrays, which dwarfs the recording itself on a
+   sub-second compile. [size] is the allocated record count; the ring
+   only wraps once [size] has reached [cap], so while growing, record [i]
+   lives at index [i] and doubling is a plain blit.
+
+   Every column is a float array — including the integer-valued ones
+   (ids, counters), which convert on access. Float arrays are the only
+   stdlib storage that is both allocated uninitialized
+   ([Array.create_float]; every cell is written before it is read) and
+   skipped by the GC ([Double_array_tag] holds no pointers), so a
+   megabytes-large ring costs neither zeroing at creation nor marking on
+   every major collection — both of which showed up as whole percents of
+   compile time when the columns were int arrays. Ids are far below the
+   2^53 mantissa bound, so the conversions are exact. *)
+
+type ints = float array
+
+type floats = float array
+
+let make_ints n : ints = Array.create_float n
+
+let make_floats n : floats = Array.create_float n
+
+type t = {
+  on : bool;
+  cap : int;  (* maximum record slots in the ring *)
+  arity : int;  (* argument slots per record *)
+  mutable size : int;  (* allocated record slots, <= cap *)
+  mutable n : int;  (* records ever written (monotone) *)
+  mutable head : int;  (* index of the most recent record; -1 when empty *)
+  mutable arg_drops : int;  (* arguments past [arity], not stored *)
+  mutable q_rid : ints;
+  mutable q_pid : ints;
+  mutable q_target : ints;
+  mutable q_flags : ints;  (* bit 0: memo replay *)
+  mutable q_t0 : floats;
+  mutable q_t1 : floats;
+  mutable q_argc : ints;
+  mutable q_args : ints;  (* size * arity, record-major *)
+}
+
+type firing = {
+  f_rid : int;
+  f_pid : int;
+  f_target : int;  (* target slot id in the recording engine's store *)
+  f_t0 : float;
+  f_t1 : float;
+  f_replay : bool;
+  f_args : int array;  (* argument slot ids (constants excluded) *)
+}
+
+let disabled =
+  {
+    on = false;
+    cap = 1;
+    arity = 0;
+    size = 0;
+    n = 0;
+    head = -1;
+    arg_drops = 0;
+    q_rid = make_ints 0;
+    q_pid = make_ints 0;
+    q_target = make_ints 0;
+    q_flags = make_ints 0;
+    q_t0 = make_floats 0;
+    q_t1 = make_floats 0;
+    q_argc = make_ints 0;
+    q_args = make_ints 0;
+  }
+
+let default_cap = 1 lsl 18
+
+let initial_size = 1 lsl 10
+
+(* [hint] pre-sizes storage for an expected record count (a scheduler
+   that knows its firing total passes it): growth doubling costs one blit
+   of every live record per step, which a good hint removes entirely. *)
+let create ?(cap = default_cap) ?(arity = 8) ?hint () =
+  let cap = max 1 cap and arity = max 1 arity in
+  let size =
+    match hint with
+    | None -> min initial_size cap
+    | Some h -> min (max initial_size h) cap
+  in
+  {
+    on = true;
+    cap;
+    arity;
+    size;
+    n = 0;
+    head = -1;
+    arg_drops = 0;
+    q_rid = make_ints size;
+    q_pid = make_ints size;
+    q_target = make_ints size;
+    q_flags = make_ints size;
+    q_t0 = make_floats size;
+    q_t1 = make_floats size;
+    q_argc = make_ints size;
+    q_args = make_ints (size * arity);
+  }
+
+let enabled t = t.on
+
+let total t = t.n
+
+let length t = min t.n t.cap
+
+let dropped t = max 0 (t.n - t.cap)
+
+let arg_drops t = t.arg_drops
+
+(* Double up to [cap]. Only reached with [n = size < cap], so all live
+   records sit at indices [0 .. n-1] and move verbatim. *)
+let grow t =
+  let size' = min (2 * t.size) t.cap in
+  let ints (a : ints) =
+    let b = make_ints size' in
+    Array.blit a 0 b 0 t.size;
+    b
+  in
+  let floats (a : floats) =
+    let b = make_floats size' in
+    Array.blit a 0 b 0 t.size;
+    b
+  in
+  let args =
+    let b = make_ints (size' * t.arity) in
+    Array.blit t.q_args 0 b 0 (t.size * t.arity);
+    b
+  in
+  t.q_rid <- ints t.q_rid;
+  t.q_pid <- ints t.q_pid;
+  t.q_target <- ints t.q_target;
+  t.q_flags <- ints t.q_flags;
+  t.q_t0 <- floats t.q_t0;
+  t.q_t1 <- floats t.q_t1;
+  t.q_argc <- ints t.q_argc;
+  t.q_args <- args;
+  t.size <- size'
+
+(* [head] tracks the write position so the hot path never divides:
+   recording runs once per rule firing and integer [mod] alone costs more
+   than the stores around it. *)
+let record t ~rid ~pid ~target ~t0 ~t1 ~replay =
+  if t.on then begin
+    if t.n = t.size && t.size < t.cap then grow t;
+    (* [n < size], or [size = cap] and the ring wraps *)
+    let i = t.head + 1 in
+    let i = if i >= t.size then 0 else i in
+    t.q_rid.(i) <- float_of_int rid;
+    t.q_pid.(i) <- float_of_int pid;
+    t.q_target.(i) <- float_of_int target;
+    t.q_flags.(i) <- (if replay then 1.0 else 0.0);
+    t.q_t0.(i) <- t0;
+    t.q_t1.(i) <- t1;
+    t.q_argc.(i) <- 0.0;
+    t.head <- i;
+    t.n <- t.n + 1
+  end
+
+let arg t slot =
+  if t.on && t.n > 0 then begin
+    let i = t.head in
+    let c = int_of_float t.q_argc.(i) in
+    if c < t.arity then begin
+      t.q_args.((i * t.arity) + c) <- float_of_int slot;
+      t.q_argc.(i) <- float_of_int (c + 1)
+    end
+    else t.arg_drops <- t.arg_drops + 1
+  end
+
+let set_last_t1 t t1 = if t.on && t.n > 0 then t.q_t1.(t.head) <- t1
+
+(* Surviving records are the last [length t] written; [j] counts from the
+   oldest survivor. *)
+let get t j =
+  let first = max 0 (t.n - t.cap) in
+  let i = (first + j) mod t.size in
+  {
+    f_rid = int_of_float t.q_rid.(i);
+    f_pid = int_of_float t.q_pid.(i);
+    f_target = int_of_float t.q_target.(i);
+    f_t0 = t.q_t0.(i);
+    f_t1 = t.q_t1.(i);
+    f_replay = t.q_flags.(i) <> 0.0;
+    f_args =
+      Array.init
+        (int_of_float t.q_argc.(i))
+        (fun k -> int_of_float t.q_args.((i * t.arity) + k));
+  }
+
+let iter t f =
+  for j = 0 to length t - 1 do
+    f (get t j)
+  done
+
+let clear t =
+  if t.on then begin
+    t.n <- 0;
+    t.head <- -1;
+    t.arg_drops <- 0
+  end

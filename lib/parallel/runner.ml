@@ -17,6 +17,7 @@ type options = {
   fault_rto : float option;
   fault_watchdog : float option;
   telemetry : bool;
+  provenance : bool;
 }
 
 let default_options =
@@ -35,6 +36,7 @@ let default_options =
     fault_rto = None;
     fault_watchdog = None;
     telemetry = false;
+    provenance = false;
   }
 
 type result = {
@@ -52,6 +54,8 @@ type result = {
   r_fault_stats : Faults.stats option;
   r_obs : Obs.recorder option;
   r_report : Obs.Report.t;
+  r_prov : (Prov.t * Pag_eval.Engine.t) list;
+  r_tree : Tree.t;
 }
 
 let machine_name ~fragments id =
@@ -71,6 +75,9 @@ let worker_config opts g plan =
     wc_phase_label = opts.phase_label;
     wc_obs = Obs.null_ctx (* patched per run: per-machine context *);
     wc_sharing = None (* patched per run: tree-sharing classes *);
+    wc_prov = Prov.disabled (* patched per run: per-machine ring *);
+    wc_prov_dwell = true;
+    wc_engine_hook = ignore (* patched per run: engine capture *);
   }
 
 let make_task plan (f : Split.fragment) nodes_by_id =
@@ -131,6 +138,40 @@ let make_ctxs opts ~n ~clock =
   if opts.telemetry then
     Array.init n (fun pid -> Obs.make_ctx ~pid ~clock)
   else Array.make (max 1 n) Obs.null_ctx
+
+(* Per-machine provenance rings and the engines that resolve them. Like
+   [make_ctxs], each slot is written by exactly one machine and read only
+   after the run joins. *)
+let make_provs opts g ~tree ~n =
+  if opts.provenance then begin
+    (* Pre-size each machine's ring near its share of the tree's rule
+       instances: a from-scratch run fires each rule once. The hint stays
+       deliberately under the likely final count — doubling once from a
+       near miss costs one small blit, while over-provisioning n machines
+       pays for zeroing arrays nothing ever writes. *)
+    let total =
+      Tree.fold
+        (fun acc nd ->
+          match nd.Tree.prod with
+          | None -> acc
+          | Some p -> acc + Array.length p.Grammar.p_rules)
+        0 tree
+    in
+    let hint = total / max 1 (n - 2) in
+    let arity = Pag_eval.Causal.arity_for g in
+    Array.init n (fun _ -> Prov.create ~hint ~arity ())
+  end
+  else Array.make (max 1 n) Prov.disabled
+
+let collect_prov opts provs engs =
+  if not opts.provenance then []
+  else
+    List.filter_map
+      (fun i ->
+        match engs.(i) with
+        | Some e when Prov.enabled provs.(i) -> Some (provs.(i), e)
+        | _ -> None)
+      (List.init (Array.length engs) Fun.id)
 
 let merged_metrics ctxs =
   let reg = Obs.Metrics.create () in
@@ -251,7 +292,7 @@ let rec message_label = function
   | Message.Need_intern _ -> "need intern"
   | Message.Backfill _ -> "intern backfill"
 
-let sim_env _sim id =
+let sim_env sim id =
   {
     Transport.e_id = id;
     e_delay = S.delay;
@@ -260,7 +301,10 @@ let sim_env _sim id =
         S.send ~dst ~size:(Message.size m) ~label:(message_label m) m);
     e_recv = S.recv;
     e_recv_timeout = S.recv_timeout;
-    e_time = S.time;
+    (* Direct scheduler read, not the [ETime] effect: the clock runs once
+       per provenance-recorded firing, and fibers all share one OS thread,
+       so the unsynchronized read is exact. *)
+    e_time = (fun () -> S.now sim);
     e_mark = S.mark;
     e_flush = (fun () -> ());
   }
@@ -279,6 +323,8 @@ let run_sim_static opts g plan tree =
   let rto = Option.value opts.fault_rto ~default:auto_rto in
   let watchdog = Option.value opts.fault_watchdog ~default:auto_watchdog in
   let ctxs = make_ctxs opts ~n:(nfrags + 2) ~clock:(fun () -> S.time ()) in
+  let provs = make_provs opts g ~tree ~n:(nfrags + 2) in
+  let prov_engs = Array.make (nfrags + 2) None in
   (* With a fault plan — even an all-zero one, for overhead measurement —
      every machine talks through its own reliable-delivery layer. *)
   let links = ref [] in
@@ -341,6 +387,8 @@ let run_sim_static opts g plan tree =
                 Worker.wc_librarian = librarian_id;
                 wc_obs = wobs;
                 wc_sharing = sharing;
+                wc_prov = provs.(id + 1);
+                wc_engine_hook = (fun e -> prov_engs.(id + 1) <- Some e);
               }
             in
             stats.(id) <- Some (Worker.run env cfg (make_task split f nodes_by_id)))
@@ -409,6 +457,8 @@ let run_sim_static opts g plan tree =
     r_fault_stats = S.fault_stats sim;
     r_obs;
     r_report = report;
+    r_prov = collect_prov opts provs prov_engs;
+    r_tree = tree;
   }
 
 (* ------------------------- work stealing (sim) ------------------------- *)
@@ -472,6 +522,20 @@ let run_sim_steal opts g tree =
   let rto = Option.value opts.fault_rto ~default:sim_rto in
   let store = ESt.create_shared g tree in
   let eng = Eng.create g store in
+  (* One ring for the shared engine: machine fibers are cooperative on one
+     OS thread, so retargeting the pid before each fire is race-free.
+     Durations are priced at the steal-rule cost — the virtual clock
+     advances only through the [S.delay] after each firing. *)
+  let prov =
+    if opts.provenance then
+      Prov.create ~hint:(Eng.rule_count eng)
+        ~arity:(Pag_eval.Causal.arity_for g) ()
+    else Prov.disabled
+  in
+  if opts.provenance then
+    Eng.set_prov ~pid:0 ~dwell_dynamic:opts.cost.Cost.steal_rule
+      ~clock:(fun () -> S.now sim)
+      eng prov;
   let gr = Eng.graph eng in
   let n = Eng.rule_count eng in
   let node_frag = fragment_affinity split store in
@@ -572,6 +636,7 @@ let run_sim_steal opts g tree =
           S.delay (float_of_int own_rids.(k) *. opts.cost.Cost.steal_init);
           let cursor = ref (k * Uid.stride) in
           let exec rid =
+            if opts.provenance then Eng.set_prov_pid eng k;
             Uid.with_counter cursor (fun () -> Eng.fire eng rid);
             S.delay opts.cost.Cost.steal_rule;
             st.Steal.st_fired <- st.Steal.st_fired + 1;
@@ -753,6 +818,8 @@ let run_sim_steal opts g tree =
     r_fault_stats = Option.map Faults.stats injector;
     r_obs;
     r_report = report;
+    r_prov = (if opts.provenance then [ (prov, eng) ] else []);
+    r_tree = tree;
   }
 
 let run_sim opts g plan tree =
@@ -825,7 +892,20 @@ let run_domains_steal opts g tree =
   let owner rid =
     node_frag.(ESt.dense_index store (Eng.node_of eng rid)) mod m
   in
-  let fires, stats = Eng.run_steal ~domains:m ~owner ~uid_base:Uid.stride eng gr in
+  (* One ring per domain (the shared engine's attached ring is not
+     domain-safe); pids are domain ids, timestamps wall-clock relative to
+     the run start. *)
+  let provs =
+    if opts.provenance then
+      let arity = Pag_eval.Causal.arity_for g in
+      Some (Array.init m (fun _ -> Prov.create ~arity ()))
+    else None
+  in
+  let fires, stats =
+    Eng.run_steal ~domains:m ~owner ~uid_base:Uid.stride ?prov:provs
+      ~prov_clock:(fun () -> Unix.gettimeofday () -. t0)
+      eng gr
+  in
   let t1 = Unix.gettimeofday () in
   let ctxs =
     make_ctxs opts ~n:(m + 1) ~clock:(fun () -> Unix.gettimeofday () -. t0)
@@ -893,6 +973,11 @@ let run_domains_steal opts g tree =
     r_fault_stats = None;
     r_obs;
     r_report = report;
+    r_prov =
+      (match provs with
+      | Some ps -> Array.to_list (Array.map (fun p -> (p, eng)) ps)
+      | None -> []);
+    r_tree = tree;
   }
 
 let run_domains_static opts g plan tree =
@@ -925,6 +1010,8 @@ let run_domains_static opts g plan tree =
   let ctxs =
     make_ctxs opts ~n:nmachines ~clock:(fun () -> Unix.gettimeofday () -. start)
   in
+  let provs = make_provs opts g ~tree ~n:nmachines in
+  let prov_engs = Array.make nmachines None in
   let send_from src ~dst m =
     if not crashed.(dst) then
       match injectors.(src) with
@@ -992,6 +1079,9 @@ let run_domains_static opts g plan tree =
                      Worker.wc_librarian = librarian_id;
                      wc_obs = wobs;
                      wc_sharing = sharing;
+                     wc_prov = provs.(id + 1);
+                     wc_prov_dwell = false (* wall clock advances in-firing *);
+                     wc_engine_hook = (fun e -> prov_engs.(id + 1) <- Some e);
                    }
                  in
                  Worker.run env cfg (make_task split f nodes_by_id))))
@@ -1099,6 +1189,8 @@ let run_domains_static opts g plan tree =
     r_fault_stats = fault_stats;
     r_obs;
     r_report = report;
+    r_prov = collect_prov opts provs prov_engs;
+    r_tree = tree;
   }
 
 let run_domains opts g plan tree =

@@ -70,6 +70,13 @@ type options = {
       (** record spans, events and metrics on every machine (see
           {!Pag_obs.Obs}); off by default — the instrumentation then costs
           one branch per site and allocates nothing. *)
+  provenance : bool;
+      (** record per-firing provenance (one {!Pag_obs.Prov} ring per
+          machine/domain) for post-run {!Pag_eval.Causal} analysis —
+          [--explain] slices and the [--profile] critical path. Simulated
+          transports price firing durations from the cost model; domains
+          read wall time. Off by default (firing paths keep their single
+          disabled-ring branch). *)
 }
 
 val default_options : options
@@ -96,6 +103,13 @@ type result = {
   r_report : Pag_obs.Obs.Report.t;
       (** always built; its [rp_metrics] registry is empty unless
           [telemetry] was on *)
+  r_prov : (Pag_obs.Prov.t * Pag_eval.Engine.t) list;
+      (** provenance sources for {!Pag_eval.Causal.build} — one (ring,
+          engine) pair per machine that evaluated anything; empty unless
+          [provenance] was on. Steal schedules share one engine across
+          pairs. *)
+  r_tree : Tree.t;
+      (** the evaluated tree (numbered; node ids match provenance keys) *)
 }
 
 val run_sim : options -> Grammar.t -> Kastens.plan option -> Tree.t -> result

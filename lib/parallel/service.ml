@@ -37,12 +37,17 @@ type config = {
   c_fault_rto : float;
   c_net : Ethernet.params;
   c_obs : Obs.ctx;
+  c_provenance : bool;
 }
+
+(* Per-tenant rings stay modest: a resident session records refires, not
+   whole-program histories, and the ring caps the tail anyway. *)
+let prov_cap = 1 lsl 16
 
 let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     ?(mem_cap = 0) ?(idle_rounds = 0) ?(hashcons = false) ?frontier ?faults
     ?(fault_rto = 0.05) ?(net = Ethernet.default_params) ?(obs = Obs.null_ctx)
-    workers =
+    ?(provenance = false) workers =
   if workers < 1 then invalid_arg "Service.config: workers < 1";
   {
     c_workers = workers;
@@ -57,6 +62,7 @@ let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     c_fault_rto = fault_rto;
     c_net = net;
     c_obs = obs;
+    c_provenance = provenance;
   }
 
 (* Bounded latency reservoir: exact count/sum (so the mean is exact) plus
@@ -105,6 +111,7 @@ type tenant = {
   mutable t_retransmits : int;
   mutable t_queue_hwm : int;
   t_lat : reservoir;  (* latency samples, seconds *)
+  t_prov : Prov.t;  (* firing provenance of the resident session *)
 }
 
 type t = {
@@ -254,9 +261,12 @@ let revive sv tn =
   | None ->
       let cfg = sv.sv_cfg in
       let obs = if cfg.c_transport = `Sim then cfg.c_obs else Obs.null_ctx in
+      (* A revive builds a fresh engine/store: clear the ring so stale
+         records cannot resolve against the new slot numbering. *)
+      Prov.clear tn.t_prov;
       let s =
         Incr.start ~obs ?memo:sv.sv_memo ~hashcons:cfg.c_hashcons
-          ?frontier:cfg.c_frontier sv.sv_g tn.t_tree
+          ~prov:tn.t_prov ?frontier:cfg.c_frontier sv.sv_g tn.t_tree
       in
       tn.t_session <- Some s;
       enforce_cap sv ~keep:tn;
@@ -279,6 +289,10 @@ let open_tenant sv name tree =
       t_retransmits = 0;
       t_queue_hwm = 0;
       t_lat = reservoir name;
+      t_prov =
+        (if sv.sv_cfg.c_provenance then
+           Prov.create ~cap:prov_cap ~arity:(Causal.arity_for sv.sv_g) ()
+         else Prov.disabled);
     }
   in
   Hashtbl.add sv.sv_tenants name tn;
@@ -697,6 +711,8 @@ type tenant_stats = {
   ts_p50 : float;
   ts_p99 : float;
   ts_mean : float;
+  ts_prov_firings : int;
+  ts_critical : float;
 }
 
 type stats = {
@@ -727,7 +743,19 @@ let percentile xs q =
       let k = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
       a.(max 0 (min (n - 1) k))
 
+(* Provenance summary of the resident session: recorded firings and the
+   weighted critical path of what the ring currently holds (the initial
+   evaluation plus refires since the last rebuild). *)
+let tenant_prov tn =
+  match tn.t_session with
+  | Some s when Prov.enabled tn.t_prov && Prov.total tn.t_prov > 0 ->
+      let d = Causal.build [ (tn.t_prov, Incr.engine s) ] in
+      let p = Causal.profile d in
+      (p.Causal.pr_firings, p.Causal.pr_critical)
+  | _ -> (0, 0.0)
+
 let tenant_stats tn =
+  let prov_firings, critical = tenant_prov tn in
   {
     ts_name = tn.t_name;
     ts_resident = tn.t_session <> None;
@@ -742,6 +770,8 @@ let tenant_stats tn =
     ts_p50 = percentile (res_samples tn.t_lat) 0.5;
     ts_p99 = percentile (res_samples tn.t_lat) 0.99;
     ts_mean = res_mean tn.t_lat;
+    ts_prov_firings = prov_firings;
+    ts_critical = critical;
   }
 
 let stats sv =
@@ -751,6 +781,21 @@ let stats sv =
       sv.sv_tenants []
   in
   let lost = Array.fold_left (fun n d -> if d then n + 1 else n) 0 sv.sv_dead in
+  let per_tenant = List.map tenant_stats (order sv) in
+  (* Surface the per-tenant provenance summaries as labeled series, next
+     to the PR-7 service.* metrics. *)
+  let reg = metrics sv in
+  if Obs.Metrics.live reg && sv.sv_cfg.c_provenance then
+    List.iter
+      (fun ts ->
+        let labels = [ ("tenant", ts.ts_name) ] in
+        Obs.Metrics.set_gauge reg
+          (Obs.Metrics.labeled "service.prov_firings" labels)
+          (float_of_int ts.ts_prov_firings);
+        Obs.Metrics.set_gauge reg
+          (Obs.Metrics.labeled "service.critical_path_ms" labels)
+          (ts.ts_critical *. 1e3))
+      per_tenant;
   {
     st_rounds = sv.sv_round;
     st_tenants = Hashtbl.length sv.sv_tenants;
@@ -767,7 +812,7 @@ let stats sv =
       (if sv.sv_now > 0.0 then float_of_int sv.sv_edits /. sv.sv_now else 0.0);
     st_p50 = percentile all_lat 0.5;
     st_p99 = percentile all_lat 0.99;
-    st_per_tenant = List.map tenant_stats (order sv);
+    st_per_tenant = per_tenant;
   }
 
 let render st =
@@ -792,6 +837,10 @@ let render st =
         "  %-12s %5d edits %4d rej %2d evict %4d rtx  p50 %.6fs p99 %.6fs%s\n"
         ts.ts_name ts.ts_edits ts.ts_rejected ts.ts_evictions ts.ts_retransmits
         ts.ts_p50 ts.ts_p99
-        (if ts.ts_resident then "" else "  (evicted)"))
+        ((if ts.ts_prov_firings > 0 then
+            Printf.sprintf "  cp %.6fs/%d firings" ts.ts_critical
+              ts.ts_prov_firings
+          else "")
+        ^ (if ts.ts_resident then "" else "  (evicted)")))
     st.st_per_tenant;
   Buffer.contents b

@@ -83,6 +83,11 @@ type config = {
   c_fault_rto : float;  (** retransmission timeout, simulated seconds *)
   c_net : Ethernet.params;
   c_obs : Pag_obs.Obs.ctx;
+  c_provenance : bool;
+      (** attach a bounded provenance ring ({!Pag_obs.Prov}) to every
+          tenant's resident session; {!tenant_stats} then carries firing
+          counts and the weighted critical path, and {!stats} publishes
+          them as labeled [service.*] gauges *)
 }
 
 (** [config workers] with every knob defaulted: round-robin, [`Sim]
@@ -100,6 +105,7 @@ val config :
   ?fault_rto:float ->
   ?net:Ethernet.params ->
   ?obs:Pag_obs.Obs.ctx ->
+  ?provenance:bool ->
   int ->
   config
 
@@ -156,6 +162,11 @@ type tenant_stats = {
   ts_p50 : float;  (** median edit latency, seconds (virtual on [`Sim]) *)
   ts_p99 : float;
   ts_mean : float;
+  ts_prov_firings : int;
+      (** firings currently in the resident session's provenance ring
+          (0 when provenance is off or the tenant is evicted) *)
+  ts_critical : float;
+      (** weighted critical path, seconds, of those firings *)
 }
 
 type stats = {

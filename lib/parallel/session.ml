@@ -20,12 +20,14 @@ type spec = {
   sp_fault_rto : float option;
   sp_fault_watchdog : float option;
   sp_phase_label : int -> string option;
+  sp_provenance : bool;
 }
 
 let spec ?(mode = `Combined) ?(schedule = `Static) ?(transport = `Sim)
     ?(granularity = 1.0) ?(librarian = true) ?(priority = true)
     ?(hashcons = false) ?(telemetry = false) ?faults ?fault_rto
-    ?fault_watchdog ?(phase_label = fun _ -> None) machines =
+    ?fault_watchdog ?(phase_label = fun _ -> None) ?(provenance = false)
+    machines =
   {
     sp_machines = machines;
     (* the all-dynamic schedule is the classic protocol in dynamic mode *)
@@ -41,6 +43,7 @@ let spec ?(mode = `Combined) ?(schedule = `Static) ?(transport = `Sim)
     sp_fault_rto = fault_rto;
     sp_fault_watchdog = fault_watchdog;
     sp_phase_label = phase_label;
+    sp_provenance = provenance;
   }
 
 let options s =
@@ -58,6 +61,7 @@ let options s =
     fault_rto = s.sp_fault_rto;
     fault_watchdog = s.sp_fault_watchdog;
     phase_label = s.sp_phase_label;
+    provenance = s.sp_provenance;
   }
 
 let run s g plan tree =
@@ -101,8 +105,18 @@ type edit_report = {
   er_latency : float;
 }
 
-let open_session ?obs ?memo ?frontier sp g tree =
-  let incr = Incr.start ?obs ?memo ~hashcons:sp.sp_hashcons ?frontier g tree in
+let open_session ?obs ?memo ?prov ?frontier sp g tree =
+  let prov =
+    match prov with
+    | Some p -> p
+    | None ->
+        if sp.sp_provenance then
+          Pag_obs.Prov.create ~arity:(Causal.arity_for g) ()
+        else Pag_obs.Prov.disabled
+  in
+  let incr =
+    Incr.start ?obs ?memo ~hashcons:sp.sp_hashcons ~prov ?frontier g tree
+  in
   let plan =
     Split.decompose g (Incr.tree incr) ~machines:sp.sp_machines
       ~granularity:sp.sp_granularity
@@ -116,6 +130,10 @@ let store es = Incr.store es.es_incr
 let live_slots es = Incr.live_slots es.es_incr
 
 let totals es = Incr.totals es.es_incr
+
+let engine es = Incr.engine es.es_incr
+
+let prov es = Incr.prov es.es_incr
 
 (* Attributes of a boundary node, with their index into the symbol's
    declaration array (the index doubles as the wire reference id via

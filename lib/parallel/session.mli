@@ -48,6 +48,10 @@ type spec = {
   sp_fault_rto : float option;
   sp_fault_watchdog : float option;
   sp_phase_label : int -> string option;
+  sp_provenance : bool;
+      (** record per-firing provenance for {!Pag_eval.Causal} analysis
+          (see {!Runner.options}); edit sessions attach one ring that
+          survives engine rebuilds *)
 }
 
 (** [spec machines] with every knob defaulted as in
@@ -68,6 +72,7 @@ val spec :
   ?fault_rto:float ->
   ?fault_watchdog:float ->
   ?phase_label:(int -> string option) ->
+  ?provenance:bool ->
   int ->
   spec
 
@@ -111,6 +116,7 @@ type edit_report = {
 val open_session :
   ?obs:Pag_obs.Obs.ctx ->
   ?memo:Memo.rules ->
+  ?prov:Pag_obs.Prov.t ->
   ?frontier:float ->
   spec ->
   Grammar.t ->
@@ -127,6 +133,16 @@ val store : edit_session -> Store.t
 val live_slots : edit_session -> int
 
 val totals : edit_session -> Incr.totals
+
+(** The session's current engine (swapped by fallback rebuilds — re-fetch
+    after every edit) for {!Pag_eval.Causal.build}. *)
+val engine : edit_session -> Engine.t
+
+(** The session's provenance ring: attached when the spec enabled
+    [provenance] or a ring was passed to {!open_session},
+    {!Pag_obs.Prov.disabled} otherwise. Records the initial evaluation and
+    every refire, so [--explain]/[--profile] work mid-session. *)
+val prov : edit_session -> Pag_obs.Prov.t
 
 (** [edit session next] makes the resident tree structurally equal to
     [next] (same root symbol required), re-evaluating incrementally and

@@ -15,6 +15,9 @@ type config = {
   wc_phase_label : int -> string option;
   wc_obs : Obs.ctx;
   wc_sharing : Tree.sharing option;
+  wc_prov : Prov.t;
+  wc_prov_dwell : bool;
+  wc_engine_hook : Engine.t -> unit;
 }
 
 type task = {
@@ -112,6 +115,21 @@ let run_protocol (env : Transport.env) cfg task =
   let eng =
     Engine.create ?memo:rmemo ~rules_for:(fun n -> not (is_cut n)) g store
   in
+  (* Provenance: one ring per machine, pids are machine ids, the clock is
+     the transport's. The simulator's clock does not advance inside a
+     firing (costs are charged after), so sim runs price durations from
+     the cost model; the domains transport reads wall time twice. *)
+  if Prov.enabled cfg.wc_prov then begin
+    let dwell_dynamic =
+      if cfg.wc_prov_dwell then Some (Cost.rule_cost cfg.wc_cost ~dynamic:true)
+      else None
+    and dwell_static =
+      if cfg.wc_prov_dwell then Some cfg.wc_cost.Cost.static_rule else None
+    in
+    Engine.set_prov ~pid:env.Transport.e_id ?dwell_dynamic ?dwell_static
+      ~clock:env.Transport.e_time eng cfg.wc_prov
+  end;
+  cfg.wc_engine_hook eng;
   (* Owned nodes: fragment nodes excluding the stubs; parents recorded. *)
   let parent = Hashtbl.create 256 in
   let owned = ref [] in

@@ -39,6 +39,17 @@ type config = {
           [Some] enables hash-consed evaluation — static visits of repeated
           subtrees are memoized per inherited fingerprint, spine rules per
           canonical argument vector *)
+  wc_prov : Pag_obs.Prov.t;
+      (** provenance ring for this machine's firings
+          ({!Pag_obs.Prov.disabled} records nothing); pid is the machine
+          id, the clock the transport's *)
+  wc_prov_dwell : bool;
+      (** [true] (simulated transports): price firing durations from the
+          cost model, since the virtual clock does not advance inside a
+          firing; [false] (domains): read wall time twice *)
+  wc_engine_hook : Pag_eval.Engine.t -> unit;
+      (** receives the fragment engine once built — the runner stashes it
+          so {!Pag_eval.Causal.build} can resolve this ring's slots *)
 }
 
 type task = {

@@ -28,7 +28,8 @@ let compiled_of_attrs attrs =
     c_errors = Pascal_ag.errors_of_attrs attrs;
   }
 
-let compile ?obs ?hashcons ?(evaluator = `Static) prog =
+let compile ?obs ?hashcons ?prov ?engine_out ?tree_out ?(evaluator = `Static)
+    prog =
   let tree =
     match obs with
     | Some x when Pag_obs.Obs.ctx_enabled x ->
@@ -36,13 +37,19 @@ let compile ?obs ?hashcons ?(evaluator = `Static) prog =
             Pascal_ag.tree_of_program Pascal_ag.grammar prog)
     | _ -> Pascal_ag.tree_of_program Pascal_ag.grammar prog
   in
+  Option.iter (fun f -> f tree) tree_out;
   let store =
     match evaluator with
     | `Static ->
-        let store, _ = Static_eval.eval ?obs ?hashcons (Lazy.force plan) tree in
+        let store, _ =
+          Static_eval.eval ?obs ?hashcons ?prov ?engine_out (Lazy.force plan)
+            tree
+        in
         store
     | `Dynamic ->
-        let store, _ = Dynamic.eval ?obs ?hashcons Pascal_ag.grammar tree in
+        let store, _ =
+          Dynamic.eval ?obs ?hashcons ?prov ?engine_out Pascal_ag.grammar tree
+        in
         store
     | `Oracle -> Oracle.eval Pascal_ag.grammar tree
   in

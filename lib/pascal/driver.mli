@@ -28,10 +28,18 @@ val phase_label : int -> string option
     context (pid 0, wall clock), the tree build and the evaluator phases
     are recorded as spans alongside the evaluation counters.
     [~hashcons:true] enables hash-consed (memoized) evaluation for the
-    [`Static] and [`Dynamic] evaluators; [`Oracle] ignores it. *)
+    [`Static] and [`Dynamic] evaluators; [`Oracle] ignores it.
+
+    [prov] attaches a provenance ring to the run (ignored by [`Oracle]);
+    [engine_out]/[tree_out] hand back the evaluation engine and the built
+    tree for post-run analysis ({!Pag_eval.Causal} — [pagc --explain] and
+    [--profile] on the sequential path). *)
 val compile :
   ?obs:Pag_obs.Obs.ctx ->
   ?hashcons:bool ->
+  ?prov:Pag_obs.Prov.t ->
+  ?engine_out:(Pag_eval.Engine.t -> unit) ->
+  ?tree_out:(Pag_core.Tree.t -> unit) ->
   ?evaluator:[ `Static | `Dynamic | `Oracle ] ->
   Ast.program ->
   compiled

@@ -103,7 +103,12 @@ let resize t =
         | None -> ()
       done)
     old;
-  t.limit <- t.limit + 1
+  (* Grow the scan limit geometrically: a family of k equal-hash values
+     (an imperfect client hash is allowed to collide) then costs O(log k)
+     resizes and O(k) buckets. Growing by +1 per resize lets one crowded
+     bucket force a resize on every insert, doubling the table each time —
+     an exponential cascade in both time and memory. *)
+  t.limit <- 2 * t.limit
 
 let intern t v =
   let h = t.hash v in

@@ -277,10 +277,18 @@ let canon_memo : (t, t) Phys_cache.t = Phys_cache.create 16
 
 let remember r c = Phys_cache.replace canon_memo r c
 
+(* Already-canonical nodes are exactly the keys of [hash_memo]; testing it
+   first makes re-interning a canonical rope O(1). Without this, interning
+   recurses into both children before consulting the arena — on canonical
+   ropes with shared subtrees (hash-consed evaluation builds DAGs, not
+   trees) an eviction from [canon_memo] then re-walks the DAG as a tree,
+   which is exponential in the sharing depth. *)
 let rec intern r =
-  match Phys_cache.find_opt canon_memo r with
-  | Some c -> c
-  | None ->
+  if Phys.mem hash_memo r then r
+  else
+    match Phys_cache.find_opt canon_memo r with
+    | Some c -> c
+    | None ->
       let cand =
         match r with
         | Leaf _ -> r

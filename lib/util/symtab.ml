@@ -123,9 +123,17 @@ let interner ~value_hash ~value_identical name =
     it_node_hash = node_hash;
   }
 
+(* Already-canonical nodes are exactly the keys of [it_hash]; testing it
+   first makes re-interning a canonical table O(1). Without this, interning
+   recurses into children and bucket values before consulting the arena —
+   on canonical tables with shared substructure (hash-consed evaluation
+   nests canonical scope tables inside each other) an eviction from
+   [it_memo] then re-walks the sharing DAG as a tree, which is exponential
+   in the nesting depth. *)
 let rec intern it ~intern_value tab =
   match tab with
   | Empty -> Empty
+  | Node _ when Phys_tbl.mem it.it_hash tab -> tab
   | Node n -> (
       match Phys_cache.find_opt it.it_memo tab with
       | Some c -> c

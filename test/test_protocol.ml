@@ -28,6 +28,9 @@ let worker_config () =
     wc_phase_label = (fun _ -> None);
     wc_obs = Pag_obs.Obs.null_ctx;
     wc_sharing = None;
+    wc_prov = Pag_obs.Prov.disabled;
+    wc_prov_dwell = true;
+    wc_engine_hook = ignore;
   }
 
 let simple_task () =
