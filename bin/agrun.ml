@@ -18,7 +18,8 @@ let read_file path =
   close_in ic;
   s
 
-let run_agrun builtin spec_file machines schedule show_plan profile sentences =
+let run_agrun builtin spec_file machines schedule show_plan profile batch
+    sentences =
   try
     let t =
       if builtin then Lazy.force Appendix.translator
@@ -77,7 +78,49 @@ let run_agrun builtin spec_file machines schedule show_plan profile sentences =
           Printf.printf "  %s = %s\n" name (Pag_core.Value.to_string v))
         attrs
     in
-    List.iter eval sentences;
+    if batch > 1 && List.length sentences > 1 then begin
+      (* incremental session: the first sentence stays resident, the rest
+         are edits applied in merged waves of up to [batch] — independent
+         dirty cones refire together, conflicting ones serialize. *)
+      let open Pag_eval in
+      let g = Compile.grammar t in
+      let first, rest =
+        match sentences with s :: tl -> (s, tl) | [] -> assert false
+      in
+      let s = Incr.start g (Compile.parse t first) in
+      let rec chunks = function
+        | [] -> []
+        | l ->
+            let rec take n = function
+              | x :: tl when n > 0 ->
+                  let h, r = take (n - 1) tl in
+                  (x :: h, r)
+              | r -> ([], r)
+            in
+            let h, r = take batch l in
+            h :: chunks r
+      in
+      List.iter
+        (fun srcs ->
+          let wv = Incr.edit_batch s (List.map (Compile.parse t) srcs) in
+          Printf.eprintf
+            "batch of %d: %d wave(s), %d conflict(s), dirty %d refired %d \
+             cutoff %d%s\n"
+            wv.Incr.wv_edits wv.Incr.wv_waves wv.Incr.wv_conflicts
+            wv.Incr.wv_dirty wv.Incr.wv_refired wv.Incr.wv_cutoff
+            (if wv.Incr.wv_fallbacks > 0 then
+               Printf.sprintf " (%d fallback rebuilds)" wv.Incr.wv_fallbacks
+             else ""))
+        (chunks rest);
+      (match List.rev sentences with
+      | last :: _ -> Printf.printf "%s\n" last
+      | [] -> ());
+      List.iter
+        (fun (name, v) ->
+          Printf.printf "  %s = %s\n" name (Pag_core.Value.to_string v))
+        (Store.root_attrs (Incr.store s))
+    end
+    else List.iter eval sentences;
     exit 0
   with
   | Spec_parser.Error (line, msg) ->
@@ -132,6 +175,18 @@ let profile_arg =
            print the critical-path profile (longest dependent rule chain \
            vs makespan, rule/machine blame) to stderr.")
 
+let batch_edits_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch-edits" ] ~docv:"N"
+        ~doc:
+          "Treat the sentences as one incremental session: the first stays \
+           resident and the rest apply as edits in merged re-evaluation \
+           waves of up to $(docv) (independent dirty cones refire \
+           together; conflicting edits serialize into follow-up waves). \
+           Prints the final root attributes. Default 1 = evaluate each \
+           sentence from scratch.")
+
 let sentences_arg =
   Arg.(value & pos_right 0 string [] & info [] ~docv:"SENTENCE" ~doc:"Sentences to evaluate.")
 
@@ -141,6 +196,6 @@ let cmd =
     (Cmd.info "agrun" ~doc)
     Term.(
       const run_agrun $ builtin_arg $ spec_arg $ machines_arg $ schedule_arg
-      $ plan_arg $ profile_arg $ sentences_arg)
+      $ plan_arg $ profile_arg $ batch_edits_arg $ sentences_arg)
 
 let () = exit (Cmd.eval cmd)

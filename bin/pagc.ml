@@ -207,7 +207,8 @@ let sequential_report obs ~horizon =
    wave. The final resident code must match a from-scratch compile of the
    last variant (modulo label numbering). *)
 let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-    ~no_priority ~hashcons ~faults ~out ~explain ~profile ~profile_json =
+    ~no_priority ~hashcons ~faults ~out ~batch ~explain ~profile ~profile_json
+    =
   let g = Pascal_ag.grammar in
   let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
   let provenance = explain <> None || profile || profile_json <> None in
@@ -226,24 +227,73 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
     Printf.eprintf "pagc: --edit-session: %s lists no edits\n" script;
     exit 1
   end;
-  Printf.eprintf "edit session: %s resident on %d machine(s)\n" file machines;
+  Printf.eprintf "edit session: %s resident on %d machine(s)%s\n" file machines
+    (if batch > 1 then Printf.sprintf ", batching %d edits per wave" batch
+     else "");
   let last_src = ref base_src in
-  List.iter
-    (fun path ->
-      let src = read_file path in
-      last_src := src;
-      let r = Pag_parallel.Session.edit es (parse_tree src) in
-      let open Pag_parallel.Session in
-      Printf.eprintf
-        "%-24s dirty %4d  refired %4d  cutoff %4d%s  %7d bytes (full \
-         recompile %d)  %.4fs%s\n"
-        (Filename.basename path) r.er_dirty r.er_refired r.er_cutoff
-        (if r.er_fallback then "  [fallback rebuild]" else "")
-        r.er_bytes_incr r.er_bytes_full r.er_latency
-        (if r.er_retransmits > 0 then
-           Printf.sprintf "  (%d retransmits)" r.er_retransmits
-         else ""))
-    edits;
+  if batch <= 1 then
+    List.iter
+      (fun path ->
+        let src = read_file path in
+        last_src := src;
+        let r = Pag_parallel.Session.edit es (parse_tree src) in
+        let open Pag_parallel.Session in
+        Printf.eprintf
+          "%-24s dirty %4d  refired %4d  cutoff %4d%s  %7d bytes (full \
+           recompile %d)  %.4fs%s\n"
+          (Filename.basename path) r.er_dirty r.er_refired r.er_cutoff
+          (if r.er_fallback then "  [fallback rebuild]" else "")
+          r.er_bytes_incr r.er_bytes_full r.er_latency
+          (if r.er_retransmits > 0 then
+             Printf.sprintf "  (%d retransmits)" r.er_retransmits
+           else ""))
+      edits
+  else begin
+    (* batched replay: successive script lines become one merged wave.
+       Each line is still a whole-program snapshot, so a chunk's edit set
+       is the per-line diff sequence — independent cones merge, edits
+       whose cones interfere flush into follow-up waves. *)
+    let rec chunks = function
+      | [] -> []
+      | l ->
+          let rec take n = function
+            | x :: tl when n > 0 ->
+                let h, rest = take (n - 1) tl in
+                (x :: h, rest)
+            | rest -> ([], rest)
+          in
+          let h, rest = take batch l in
+          h :: chunks rest
+    in
+    List.iter
+      (fun paths ->
+        let trees =
+          List.map
+            (fun path ->
+              let src = read_file path in
+              last_src := src;
+              parse_tree src)
+            paths
+        in
+        let r = Pag_parallel.Session.edit_batch es trees in
+        let open Pag_parallel.Session in
+        Printf.eprintf
+          "%-24s %d edits  waves %d  conflicts %d  dirty %4d  refired %4d  \
+           cutoff %4d%s  %7d bytes  %.4fs%s\n"
+          (String.concat "," (List.map Filename.basename paths)
+          |> fun s ->
+          if String.length s > 24 then String.sub s 0 21 ^ "..." else s)
+          r.br_edits r.br_waves r.br_conflicts r.br_dirty r.br_refired
+          r.br_cutoff
+          (if r.br_fallbacks > 0 then
+             Printf.sprintf "  [%d fallback rebuilds]" r.br_fallbacks
+           else "")
+          r.br_bytes r.br_latency
+          (if r.br_retransmits > 0 then
+             Printf.sprintf "  (%d retransmits)" r.br_retransmits
+           else ""))
+      (chunks edits)
+  end;
   (* --explain / --profile against the live session: the ring holds the
      initial evaluation plus every refire since the last rebuild. *)
   let prov_ok =
@@ -290,7 +340,7 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
    runs one scheduling round; the implicit final drain flushes the rest.
    Afterwards every tenant's resident code must equal a from-scratch
    compile of its last source, modulo label numbering. *)
-let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
+let run_serve ~script ~machines ~hashcons ~faults ~transport ~report ~batch =
   let module Service = Pag_parallel.Service in
   let g = Pascal_ag.grammar in
   let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
@@ -308,7 +358,9 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
   and policy = ref Service.Round_robin
   and queue_cap = ref 0
   and mem_cap = ref 0
-  and idle_rounds = ref 0 in
+  and idle_rounds = ref 0
+  and batch = ref batch
+  and net = ref Netsim.Ethernet.default_params in
   let service = ref None in
   let the_service line =
     match !service with
@@ -320,8 +372,8 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
               (Service.config ~policy:!policy
                  ~transport:(if transport = "domains" then `Domains else `Sim)
                  ~queue_cap:!queue_cap ~mem_cap:!mem_cap
-                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~obs
-                 ~provenance:report !workers)
+                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~net:!net ~obs
+                 ~provenance:report ~batch:!batch !workers)
               g
           with Invalid_argument msg -> fail line msg
         in
@@ -347,11 +399,17 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
         | "queue-cap" -> queue_cap := int_v ()
         | "mem-cap" -> mem_cap := int_v ()
         | "idle-rounds" -> idle_rounds := int_v ()
+        | "batch-edits" -> batch := int_v ()
         | "policy" -> (
             match v with
             | "rr" | "round-robin" -> policy := Service.Round_robin
             | "sq" | "shortest-queue" -> policy := Service.Shortest_queue
             | _ -> fail line (Printf.sprintf "unknown policy %S" v))
+        | "net" -> (
+            match v with
+            | "shared" -> net := Netsim.Ethernet.default_params
+            | "switched" -> net := Netsim.Ethernet.switched_params
+            | _ -> fail line (Printf.sprintf "unknown net %S" v))
         | _ -> fail line (Printf.sprintf "unknown service key %S" k))
   in
   let lines =
@@ -420,8 +478,8 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report =
 
 let run_compiler file machines evaluator schedule transport granularity
     no_librarian no_priority hashcons optimize run_it gantt trace_out
-    events_out report out input faults fault_seed edit_session serve explain
-    profile profile_json =
+    events_out report out input faults fault_seed edit_session serve
+    batch_edits explain profile profile_json =
   try
     let faults =
       match faults with
@@ -436,6 +494,7 @@ let run_compiler file machines evaluator schedule transport granularity
     (match serve with
     | Some script ->
         run_serve ~script ~machines ~hashcons ~faults ~transport ~report
+          ~batch:batch_edits
     | None -> ());
     let file =
       match file with
@@ -447,7 +506,8 @@ let run_compiler file machines evaluator schedule transport granularity
     (match edit_session with
     | Some script ->
         run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-          ~no_priority ~hashcons ~faults ~out ~explain ~profile ~profile_json
+          ~no_priority ~hashcons ~faults ~out ~batch:batch_edits ~explain
+          ~profile ~profile_json
     | None -> ());
     let src = read_file file in
     let program = Parser.parse_program src in
@@ -808,6 +868,20 @@ let serve_arg =
            domains. Exits 0 only if every tenant's resident code matches a \
            from-scratch compile of its last source (labels masked).")
 
+let batch_edits_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch-edits" ] ~docv:"N"
+        ~doc:
+          "Apply up to $(docv) queued edits as one merged re-evaluation \
+           wave: independent dirty cones merge and refire together \
+           (conflicting edits serialize into follow-up waves), and the \
+           distributed update ships one dispatch and one result per wave \
+           instead of per edit. Applies to --edit-session (successive \
+           script lines become one wave) and --serve (per-tenant chunks; \
+           the workload script's $(b,service batch-edits=N) key overrides \
+           this flag). Default 1 = one edit at a time.")
+
 let fault_seed_arg =
   Arg.(
     value
@@ -859,7 +933,7 @@ let cmd =
       $ schedule_arg $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
       $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
-      $ fault_seed_arg $ edit_session_arg $ serve_arg $ explain_arg
-      $ profile_arg $ profile_json_arg)
+      $ fault_seed_arg $ edit_session_arg $ serve_arg $ batch_edits_arg
+      $ explain_arg $ profile_arg $ profile_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -30,6 +30,14 @@ cmp /tmp/pagc_seq_smoke.masked /tmp/pagc_steal_smoke.masked
 # pagc exits nonzero unless every tenant's resident code matches a
 # from-scratch compile.
 dune exec bin/pagc.exe -- --serve examples/three_tenants.serve >/dev/null
+# Batched-edit smoke: the serve loop with merged waves and an interactive
+# edit session applying its script in batched waves must both end with
+# every resident masked-equal to a from-scratch compile (pagc exits
+# nonzero otherwise).
+dune exec bin/pagc.exe -- --serve examples/three_tenants.serve \
+  --batch-edits 4 >/dev/null
+dune exec bin/pagc.exe -- --machines 3 --batch-edits 2 \
+  --edit-session examples/primes.edits examples/primes.pas >/dev/null
 # Provenance smoke: --explain exits nonzero unless the recorded slice
 # equals the reference engine's dependency closure; --profile-json must
 # produce parseable JSON with a critical path no longer than the makespan.

@@ -568,6 +568,272 @@ let gather_quiet e rid =
   done;
   args
 
+(* ------------------------------------------------------------------ *)
+(* Batched refire waves                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-fire a merged dirty cone (the union of several edits' dirty cones,
+   see {!Incr.edit_batch}) as a wave of parallel rounds.
+
+   Round r holds the cone members whose cone-internal producers all
+   completed in rounds < r — a level-synchronous Kahn schedule of the cone
+   subgraph. The equality cutoff is preserved per slot: a member none of
+   whose argument slots carry this wave's epoch stamp is skipped without
+   computing, and a re-fired member stamps its target only when the stored
+   value actually moved, so early cutoff still prunes the rounds below it.
+
+   The sequential mode (domains <= 1) drives {!refire} directly — rule
+   memo and provenance recording included, which is what lets [--profile]
+   attribute blame across a batched wave. The [domains] mode replays the
+   {!run_steal} machinery over the cone only: per-domain Chase-Lev deques
+   seeded by cone ownership ([owner], typically the edit whose cone first
+   reached the member), atomic waiting counters over cone members, poked
+   target writes committed sequentially after the join. Like {!run_steal}
+   it bypasses the memo and the engine-attached provenance ring (neither
+   is domain-safe), and uids come from per-domain stripes above
+   [uid_base]. Round counts are a property of the level-synchronous
+   schedule, so the domains mode reports [rf_rounds = 0]. *)
+
+type refire_stats = {
+  rf_refired : int;
+  rf_cutoff : int;
+  rf_rounds : int;
+  rf_round_refired : int array;  (* refires per level-synchronous round *)
+}
+
+let refire_set_seq e gr ~cone ~is_seed ~changed ~epoch =
+  let m = Array.length cone in
+  let pending = Hashtbl.create (2 * m) in
+  Array.iter (fun rid -> Hashtbl.replace pending rid 0) cone;
+  Array.iter
+    (fun rid ->
+      let w = ref 0 in
+      iter_slot_args e rid (fun slot ->
+          let p = producer gr slot in
+          if p >= 0 && p <> rid && (not (is_dead e p)) && Hashtbl.mem pending p
+          then incr w);
+      Hashtbl.replace pending rid !w)
+    cone;
+  (* [cone] arrives sorted, so the initial round is ascending; later
+     rounds are re-sorted — ready order inside a round is deterministic. *)
+  let round =
+    ref (List.filter (fun rid -> Hashtbl.find pending rid = 0)
+           (Array.to_list cone))
+  in
+  let refired = ref 0 and cutoff = ref 0 and processed = ref 0 in
+  let rounds = ref [] in
+  while !round <> [] do
+    let next = ref [] and rr = ref 0 in
+    List.iter
+      (fun rid ->
+        incr processed;
+        let must =
+          is_seed rid
+          ||
+          let hit = ref false in
+          iter_slot_args e rid (fun slot ->
+              if changed.(slot) = epoch then hit := true);
+          !hit
+        in
+        (if must then begin
+           incr refired;
+           incr rr;
+           if refire e rid then changed.(e.e_target.(rid)) <- epoch
+         end
+         else incr cutoff);
+        iter_consumers gr e.e_target.(rid) (fun c ->
+            if not (is_dead e c) then
+              match Hashtbl.find_opt pending c with
+              | Some w ->
+                  Hashtbl.replace pending c (w - 1);
+                  if w = 1 then next := c :: !next
+              | None -> ()))
+      !round;
+    rounds := !rr :: !rounds;
+    round := List.sort compare !next
+  done;
+  if !processed < m then
+    raise
+      (Cycle
+         (Printf.sprintf
+            "batched refire stuck: %d of %d cone members unprocessed \
+             (cycle through the merged dirty set)"
+            (m - !processed) m));
+  {
+    rf_refired = !refired;
+    rf_cutoff = !cutoff;
+    rf_rounds = List.length !rounds;
+    rf_round_refired = Array.of_list (List.rev !rounds);
+  }
+
+let refire_set_steal ~domains ~owner ~uid_base e gr ~cone ~is_seed ~changed
+    ~epoch =
+  let m = Array.length cone in
+  let d_count = max 1 domains in
+  let own =
+    match owner with
+    | Some f -> fun rid -> min (d_count - 1) (max 0 (f rid))
+    | None ->
+        let idx = ref (-1) in
+        fun _ ->
+          incr idx;
+          !idx * d_count / max 1 m
+  in
+  let idx_of = Hashtbl.create (2 * m) in
+  Array.iteri (fun i rid -> Hashtbl.replace idx_of rid i) cone;
+  (* Target set-bits are byte-granular, so record them before the wave:
+     cutoff comparisons against unset slots must not trust stale values. *)
+  let was_set =
+    Array.map (fun rid -> Store.slot_is_set e.e_store e.e_target.(rid)) cone
+  in
+  let waiting = Array.init (max 1 m) (fun _ -> Atomic.make 0) in
+  let deques = Array.init d_count (fun _ -> Steal.create ()) in
+  let stats = Array.init d_count (fun _ -> Steal.zero_stats ()) in
+  let cutoffs = Array.make d_count 0 in
+  let seeded = ref 0 in
+  Array.iteri
+    (fun i rid ->
+      let w = ref 0 in
+      iter_slot_args e rid (fun slot ->
+          let p = producer gr slot in
+          if p >= 0 && p <> rid && (not (is_dead e p)) && Hashtbl.mem idx_of p
+          then incr w);
+      Atomic.set waiting.(i) !w;
+      if !w = 0 then begin
+        Steal.push deques.(own rid) rid;
+        incr seeded
+      end)
+    cone;
+  let pending = Atomic.make !seeded in
+  let failure = Atomic.make None in
+  let body d =
+    let my = deques.(d) in
+    let st = stats.(d) in
+    let seed = ref ((((d + 1) * 0x9E3779B1) lor 1) land 0x3FFFFFFF) in
+    let next_victim () =
+      let x = !seed in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = (x lxor (x lsl 17)) land 0x3FFFFFFF in
+      seed := x;
+      let v = x mod (d_count - 1) in
+      if v >= d then v + 1 else v
+    in
+    let exec rid =
+      let i = Hashtbl.find idx_of rid in
+      let must =
+        is_seed rid
+        ||
+        let hit = ref false in
+        iter_slot_args e rid (fun slot ->
+            (* published by the producer's write before its atomic
+               release of our waiting counter *)
+            if changed.(slot) = epoch then hit := true);
+        !hit
+      in
+      (if must then begin
+         let tgt = e.e_target.(rid) in
+         let v = e.e_rules.(rid).Grammar.r_fn (gather_quiet e rid) in
+         let moved =
+           (not was_set.(i))
+           || (try not (Value.equal (Store.peek e.e_store tgt) v)
+               with Value.Type_error _ -> true)
+         in
+         Store.poke e.e_store tgt v;
+         if moved then changed.(tgt) <- epoch;
+         st.st_fired <- st.st_fired + 1
+       end
+       else cutoffs.(d) <- cutoffs.(d) + 1);
+      iter_consumers gr e.e_target.(rid) (fun c ->
+          if (not (is_dead e c)) && Hashtbl.mem idx_of c then begin
+            let j = Hashtbl.find idx_of c in
+            if Atomic.fetch_and_add waiting.(j) (-1) = 1 then begin
+              Atomic.incr pending;
+              Steal.push my c;
+              let depth = Steal.size my in
+              if depth > st.st_hwm then st.st_hwm <- depth
+            end
+          end);
+      ignore (Atomic.fetch_and_add pending (-1))
+    in
+    let backoff = ref 0 in
+    let rec loop () =
+      if Atomic.get pending > 0 then begin
+        (match Steal.pop my with
+        | Some rid ->
+            backoff := 0;
+            exec rid
+        | None ->
+            let got =
+              d_count > 1
+              &&
+              (st.st_attempts <- st.st_attempts + 1;
+               let k = Steal.steal_half deques.(next_victim ()) ~into:my in
+               if k > 0 then begin
+                 st.st_successes <- st.st_successes + 1;
+                 st.st_stolen <- st.st_stolen + k;
+                 true
+               end
+               else false)
+            in
+            if got then backoff := 0
+            else begin
+              let spins = 1 lsl min !backoff 10 in
+              for _ = 1 to spins do
+                Domain.cpu_relax ()
+              done;
+              st.st_idle <- st.st_idle +. float_of_int spins;
+              if !backoff < 16 then incr backoff
+            end);
+        loop ()
+      end
+    in
+    let cursor = ref (uid_base + (d * Uid.stride)) in
+    try Uid.with_counter cursor loop
+    with exn ->
+      Atomic.set failure (Some exn);
+      Atomic.set pending 0
+  in
+  let spawned =
+    Array.init (d_count - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+  in
+  body 0;
+  Array.iter Domain.join spawned;
+  (match Atomic.get failure with Some exn -> raise exn | None -> ());
+  let fired = ref 0 in
+  Array.iter (fun (st : Steal.stats) -> fired := !fired + st.st_fired) stats;
+  e.e_fired <- e.e_fired + !fired;
+  let cutoff = Array.fold_left ( + ) 0 cutoffs in
+  (* Restore store invariants for every poked target. A drained counter
+     with a cutoff means the target was already set (an unset target
+     implies an appended seed, which always re-fires), so the idempotent
+     commit is safe on both. *)
+  Array.iteri
+    (fun i rid ->
+      if Atomic.get waiting.(i) <= 0 then
+        Store.commit_slot e.e_store e.e_target.(rid))
+    cone;
+  if !fired + cutoff < m then
+    raise
+      (Cycle
+         (Printf.sprintf
+            "batched refire stuck: %d of %d cone members unprocessed \
+             (cycle through the merged dirty set)"
+            (m - !fired - cutoff) m));
+  {
+    rf_refired = !fired;
+    rf_cutoff = cutoff;
+    rf_rounds = 0;
+    rf_round_refired = [||];
+  }
+
+let refire_set ?(domains = 1) ?owner ?(uid_base = 0) e gr ~cone ~is_seed
+    ~changed ~epoch =
+  if domains <= 1 then refire_set_seq e gr ~cone ~is_seed ~changed ~epoch
+  else
+    refire_set_steal ~domains ~owner ~uid_base e gr ~cone ~is_seed ~changed
+      ~epoch
+
 let run_steal ?(domains = 2) ?owner ?(uid_base = 0) ?prov
     ?(prov_clock = fun () -> 0.0) e gr =
   let n = e.e_n in

@@ -193,3 +193,45 @@ val run_steal :
   t ->
   graph ->
   int * Steal.stats array
+
+(** {1 Batched refire waves} *)
+
+type refire_stats = {
+  rf_refired : int;  (** members actually re-fired *)
+  rf_cutoff : int;  (** members skipped by the equality cutoff *)
+  rf_rounds : int;  (** level-synchronous rounds ([0] in domains mode) *)
+  rf_round_refired : int array;  (** refires per round, in wave order *)
+}
+
+(** [refire_set e gr ~cone ~is_seed ~changed ~epoch] re-fires a merged
+    dirty cone — the union of several edits' dirty cones, sorted ascending
+    — as a wave of parallel rounds: round [r] holds the members whose
+    cone-internal producers all completed earlier, a level-synchronous
+    Kahn schedule of the cone subgraph. The equality cutoff is preserved
+    per slot through the caller's epoch-stamp array [changed]: a member
+    that is not a seed and none of whose argument slots carry stamp
+    [epoch] is skipped without computing, and a re-fired member stamps its
+    target only when the stored value moved ({!Store.redefine_slot}).
+
+    The default sequential mode drives {!refire} — rule memo and attached
+    provenance included, so [--profile] blame spans a batched wave. With
+    [domains > 1] the wave runs on the work-stealing machinery of
+    {!run_steal} restricted to the cone: per-domain Chase-Lev deques
+    seeded by cone ownership ([owner], typically edit index of the cone
+    that first reached a member), atomic waiting counters, poked writes
+    committed after the join, per-domain uid stripes above [uid_base]; the
+    memo and the attached provenance ring are bypassed (not domain-safe)
+    and [rf_rounds] is reported as [0] (rounds are a property of the
+    level-synchronous schedule). Raises {!Cycle} when a dependency cycle
+    threads the cone — callers fall back to a from-scratch rebuild. *)
+val refire_set :
+  ?domains:int ->
+  ?owner:(int -> int) ->
+  ?uid_base:int ->
+  t ->
+  graph ->
+  cone:int array ->
+  is_seed:(int -> bool) ->
+  changed:int array ->
+  epoch:int ->
+  refire_stats

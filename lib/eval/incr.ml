@@ -49,6 +49,20 @@ type totals = {
   tot_fallbacks : int;
 }
 
+type wave_stats = {
+  wv_edits : int;
+  wv_waves : int;
+  wv_conflicts : int;
+  wv_dirty : int;
+  wv_refired : int;
+  wv_cutoff : int;
+  wv_fallbacks : int;
+  wv_rounds : int;
+  wv_round_refired : int array;
+  wv_bytes : int;
+  wv_prop_ms : float;
+}
+
 type session = {
   s_g : Grammar.t;
   s_obs : Obs.ctx;
@@ -64,6 +78,9 @@ type session = {
   mutable s_live_rules : int;
   mutable s_live_slots : int;  (* slots owned by live tree nodes *)
   mutable s_epoch : int;
+  mutable s_epoch0 : int;  (* epoch before the current edit/batch began:
+                              {!changed} answers for stamps above it, so a
+                              multi-wave batch reports every wave's changes *)
   mutable s_changed : int array;  (* slot -> epoch its value last changed *)
   mutable s_last_fallback : bool;
   mutable s_edits : int;
@@ -168,6 +185,7 @@ let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false)
     s_live_rules = Engine.rule_count eng;
     s_live_slots = Store.slot_count store;
     s_epoch = 0;
+    s_epoch0 = 0;
     s_changed = Array.make (max 1 (Store.slot_count store)) 0;
     s_last_fallback = false;
     s_edits = 0;
@@ -221,6 +239,7 @@ let add_set set rid =
 
 let replace s ~parent ~pos repl =
   let t0 = Sys.time () in
+  s.s_epoch0 <- s.s_epoch;
   let eng = s.s_engine and gr = s.s_graph in
   s.s_next_id <- Tree.number_from repl s.s_next_id;
   let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
@@ -370,16 +389,281 @@ let edit s next =
       (* Nothing moved; bump the epoch so stale change marks from the
          previous edit stop answering {!changed}. *)
       s.s_epoch <- s.s_epoch + 1;
+      s.s_epoch0 <- s.s_epoch;
       record s no_edit
   | Tree.Root ->
       let t0 = Sys.time () in
+      s.s_epoch0 <- s.s_epoch;
       s.s_tree <- next;
       fallback s ~dirty:s.s_live_rules t0
   | Tree.Subtree { parent; pos; repl } -> replace s ~parent ~pos repl
+
+(* ------------------------------------------------------------------ *)
+(* Batched edits: merged cones and refire waves                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a set of edits in waves, re-firing each wave's merged dirty cone
+   once instead of propagating edit by edit.
+
+   Semantic rules are pure, so change propagation is confluent: as long as
+   two co-grafted edits are structurally compatible — neither grafts into
+   a region the other replaced — a single Kahn pass over the union of
+   their dirty cones reaches exactly the store the serial application
+   would, in any order. Overlapping cones (every edit's cone reaches the
+   root's synthesized attributes) therefore MERGE; what forces
+   serialization is structural interference only:
+
+   - the new edit's graft site lies inside a region an accepted edit
+     replaced (parent or detached nodes touched by an accepted edit's
+     parent/old/replacement node set);
+   - the new edit detaches instances already in the pending merged cone
+     (their re-fire is owed to an earlier edit and must happen first);
+   - the new edit shares its parent node with an accepted edit (the
+     re-resolved frontier slots at the graft interface are shared).
+
+   All three are decided before grafting, against a touched-node table and
+   the merged dirty bitset. A conflicting edit flushes the pending wave
+   (one merged refire, its own epoch) and starts the next one — batches
+   degrade to serial waves, preserving submission order. Compaction,
+   frontier overflow and whole-tree replacement fall back to a rebuild as
+   in {!replace}; a rebuild subsumes the pending wave (from-scratch
+   evaluation recomputes everything the wave owed). *)
+
+let edit_batch ?(domains = 1) s nexts =
+  let t0 = Sys.time () in
+  s.s_epoch0 <- s.s_epoch;
+  let edits = ref 0 and waves = ref 0 and conflicts = ref 0 in
+  let dirty_tot = ref 0 and refired = ref 0 and cutoff = ref 0 in
+  let fallbacks = ref 0 and rounds = ref 0 in
+  let round_refired = ref [] in
+  let bytes = ref 0 in
+  (* Pending-wave state. Bitsets are indexed by rule id and grow with the
+     engine; [w_touched] holds node ids structurally claimed by accepted
+     edits; [w_owner] maps a cone member to the edit whose closure first
+     reached it (steal-deque seeding affinity). *)
+  let w_seed = ref (Bytes.make 1 '\000') in
+  let w_dirty = ref (Bytes.make 1 '\000') in
+  let w_cone = ref [] and w_cone_n = ref 0 and w_edits = ref 0 in
+  let w_touched : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let w_owner : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let reset_wave () =
+    let n = (Engine.rule_count s.s_engine + 7) / 8 in
+    w_seed := Bytes.make (max 1 n) '\000';
+    w_dirty := Bytes.make (max 1 n) '\000';
+    w_cone := [];
+    w_cone_n := 0;
+    w_edits := 0;
+    Hashtbl.reset w_touched;
+    Hashtbl.reset w_owner
+  in
+  let ensure b n =
+    let need = (n + 7) / 8 in
+    if Bytes.length !b < need then begin
+      let nb = Bytes.make (max need (2 * Bytes.length !b)) '\000' in
+      Bytes.blit !b 0 nb 0 (Bytes.length !b);
+      b := nb
+    end
+  in
+  (* From-scratch rebuild subsuming whatever wave is pending. *)
+  let rebuild ~dirty =
+    incr fallbacks;
+    dirty_tot := !dirty_tot + dirty;
+    build s;
+    refired := !refired + Engine.rule_count s.s_engine;
+    reset_wave ()
+  in
+  let flush () =
+    if !w_cone_n > 0 then begin
+      s.s_epoch <- s.s_epoch + 1;
+      let epoch = s.s_epoch in
+      let cone = Array.of_list !w_cone in
+      Array.sort compare cone;
+      let seedb = !w_seed in
+      let is_seed rid = in_set seedb rid in
+      let d_count = max 1 domains in
+      let owner rid =
+        match Hashtbl.find_opt w_owner rid with
+        | Some k -> k mod d_count
+        | None -> 0
+      in
+      (match
+         if d_count > 1 then
+           Engine.refire_set ~domains:d_count ~owner ~uid_base:!(s.s_cursor)
+             s.s_engine s.s_graph ~cone ~is_seed ~changed:s.s_changed ~epoch
+         else
+           Uid.with_counter s.s_cursor (fun () ->
+               Engine.refire_set s.s_engine s.s_graph ~cone ~is_seed
+                 ~changed:s.s_changed ~epoch)
+       with
+      | exception Engine.Cycle _ -> rebuild ~dirty:!w_cone_n
+      | rf ->
+          dirty_tot := !dirty_tot + !w_cone_n;
+          refired := !refired + rf.Engine.rf_refired;
+          cutoff := !cutoff + rf.Engine.rf_cutoff;
+          rounds := !rounds + rf.Engine.rf_rounds;
+          Array.iter
+            (fun r -> round_refired := r :: !round_refired)
+            rf.Engine.rf_round_refired;
+          if d_count > 1 then
+            (* the wave drew uids from per-domain stripes; move the
+               session cursor past them *)
+            s.s_cursor := !(s.s_cursor) + (d_count * Uid.stride);
+          incr waves;
+          reset_wave ())
+    end
+  in
+  (* Structural interference of a new edit with the pending wave. *)
+  let conflicts_with ~parent ~pos =
+    !w_edits > 0
+    && (Hashtbl.mem w_touched parent.Tree.id
+       ||
+       let eng = s.s_engine in
+       let bad = ref false in
+       Tree.iter
+         (fun (n : Tree.t) ->
+           if Hashtbl.mem w_touched n.Tree.id then bad := true;
+           match n.Tree.prod with
+           | None -> ()
+           | Some p ->
+               for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+                 if in_set !w_dirty (Engine.rid_at eng n ridx) then bad := true
+               done)
+         parent.Tree.children.(pos);
+       !bad)
+  in
+  (* Graft one accepted edit and extend the merged cone (the front half of
+     {!replace}, with the refire deferred to the wave flush). *)
+  let graft ~parent ~pos repl =
+    let eng = s.s_engine and gr = s.s_graph in
+    s.s_next_id <- Tree.number_from repl s.s_next_id;
+    let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
+    let added = tree_slots s.s_g repl in
+    s.s_live_slots <- s.s_live_slots + added - tree_slots s.s_g old;
+    if Store.slot_count s.s_store + added > 2 * s.s_live_slots then
+      rebuild ~dirty:s.s_live_rules
+    else begin
+      Store.append_subtree s.s_store repl;
+      let total = Store.slot_count s.s_store in
+      if Array.length s.s_changed < total then begin
+        let a = Array.make (max total (2 * Array.length s.s_changed)) 0 in
+        Array.blit s.s_changed 0 a 0 (Array.length s.s_changed);
+        s.s_changed <- a
+      end;
+      let killed =
+        Tree.fold
+          (fun acc (n : Tree.t) ->
+            match n.Tree.prod with
+            | None -> acc
+            | Some p -> acc + Array.length p.Grammar.p_rules)
+          0 old
+      in
+      Engine.kill_subtree eng old;
+      let rid_lo, rid_hi = Engine.append eng repl in
+      Engine.graph_note_range eng gr ~rid_lo ~rid_hi;
+      Engine.reresolve_node eng ~graph:gr parent;
+      s.s_live_rules <- s.s_live_rules + (rid_hi - rid_lo) - killed;
+      let k = !w_edits in
+      incr w_edits;
+      let n = Engine.rule_count eng in
+      ensure w_seed n;
+      ensure w_dirty n;
+      let stack = ref [] in
+      let push rid =
+        if not (in_set !w_dirty rid) then begin
+          add_set !w_dirty rid;
+          w_cone := rid :: !w_cone;
+          incr w_cone_n;
+          Hashtbl.replace w_owner rid k;
+          stack := rid :: !stack
+        end
+      in
+      for rid = rid_lo to rid_hi - 1 do
+        add_set !w_seed rid;
+        push rid
+      done;
+      (match parent.Tree.prod with
+      | None -> ()
+      | Some p ->
+          for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+            let rid = Engine.rid_at eng parent ridx in
+            add_set !w_seed rid;
+            push rid
+          done);
+      let rec close () =
+        match !stack with
+        | [] -> ()
+        | rid :: rest ->
+            stack := rest;
+            Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
+                if not (Engine.is_dead eng c) then push c);
+            close ()
+      in
+      close ();
+      Hashtbl.replace w_touched parent.Tree.id ();
+      Tree.iter (fun (n : Tree.t) -> Hashtbl.replace w_touched n.Tree.id ()) old;
+      Tree.iter (fun (n : Tree.t) -> Hashtbl.replace w_touched n.Tree.id ()) repl;
+      bytes := !bytes + Tree.byte_size repl;
+      if float_of_int !w_cone_n > s.s_frontier *. float_of_int s.s_live_rules
+      then rebuild ~dirty:!w_cone_n
+    end
+  in
+  List.iter
+    (fun next ->
+      incr edits;
+      match Tree.diff s.s_tree next with
+      | Tree.Equal -> ()
+      | Tree.Root ->
+          s.s_tree <- next;
+          rebuild ~dirty:s.s_live_rules
+      | Tree.Subtree { parent; pos; repl } ->
+          if conflicts_with ~parent ~pos then begin
+            incr conflicts;
+            flush ()
+          end;
+          graft ~parent ~pos repl)
+    nexts;
+  flush ();
+  let wv =
+    {
+      wv_edits = !edits;
+      wv_waves = !waves;
+      wv_conflicts = !conflicts;
+      wv_dirty = !dirty_tot;
+      wv_refired = !refired;
+      wv_cutoff = !cutoff;
+      wv_fallbacks = !fallbacks;
+      wv_rounds = !rounds;
+      wv_round_refired = Array.of_list (List.rev !round_refired);
+      wv_bytes = !bytes;
+      wv_prop_ms = (Sys.time () -. t0) *. 1e3;
+    }
+  in
+  s.s_edits <- s.s_edits + wv.wv_edits;
+  s.s_dirty <- s.s_dirty + wv.wv_dirty;
+  s.s_refired <- s.s_refired + wv.wv_refired;
+  s.s_cutoff <- s.s_cutoff + wv.wv_cutoff;
+  s.s_fallbacks <- s.s_fallbacks + wv.wv_fallbacks;
+  s.s_last_fallback <- wv.wv_fallbacks > 0;
+  let obs = s.s_obs in
+  if Obs.ctx_enabled obs then begin
+    let reg = obs.Obs.x_metrics in
+    let bump name n = Obs.Metrics.add (Obs.Metrics.counter reg name) n in
+    bump "incr.edits" wv.wv_edits;
+    bump "incr.dirty_rules" wv.wv_dirty;
+    bump "incr.refired" wv.wv_refired;
+    bump "incr.cutoff_hits" wv.wv_cutoff;
+    bump "incr.fallbacks" wv.wv_fallbacks;
+    bump "incr.waves" wv.wv_waves;
+    bump "incr.conflicts" wv.wv_conflicts;
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram reg "incr.prop_ms")
+      wv.wv_prop_ms
+  end;
+  wv
 
 let changed s node attr =
   s.s_last_fallback
   ||
   let idx = Grammar.attr_pos s.s_g ~sym:node.Tree.sym ~attr in
   let slot = Store.slot_of s.s_store node ~attr_idx:idx in
-  s.s_changed.(slot) = s.s_epoch
+  s.s_changed.(slot) > s.s_epoch0

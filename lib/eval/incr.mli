@@ -37,6 +37,21 @@ type totals = {
   tot_fallbacks : int;
 }
 
+(** Outcome of one batched application ({!edit_batch}). *)
+type wave_stats = {
+  wv_edits : int;  (** edits submitted (including structural no-ops) *)
+  wv_waves : int;  (** merged refire waves run *)
+  wv_conflicts : int;  (** edits that interfered and forced a wave flush *)
+  wv_dirty : int;  (** merged dirty-cone members, all waves *)
+  wv_refired : int;
+  wv_cutoff : int;
+  wv_fallbacks : int;  (** from-scratch rebuilds (each subsumes its wave) *)
+  wv_rounds : int;  (** level-synchronous refire rounds, all waves *)
+  wv_round_refired : int array;  (** refires per round, in wave order *)
+  wv_bytes : int;  (** replacement-subtree bytes grafted *)
+  wv_prop_ms : float;
+}
+
 (** [start g tree] evaluates [tree] from scratch and opens the session.
     [~hashcons:true] routes (re-)firings through a rule memo; [memo]
     supplies that memo explicitly instead, letting several sessions share
@@ -99,6 +114,29 @@ val edit : session -> Tree.t -> edit_stats
     [repl] (an unnumbered tree) as child [pos] of [parent] (a node of the
     session's tree) and re-evaluate incrementally. *)
 val replace : session -> parent:Tree.t -> pos:int -> Tree.t -> edit_stats
+
+(** [edit_batch session nexts] applies a set of edits in waves: each
+    edit's dirty cone is computed by the usual value-blind closure, and
+    structurally independent cones MERGE into one dirty set that re-fires
+    once per wave ({!Engine.refire_set}) — rule purity makes propagation
+    confluent, so the merged wave reaches exactly the store serial
+    application would. Cone {e overlap} is not interference (every cone
+    reaches the root's synthesized attributes); an edit conflicts, and
+    flushes the pending wave into a fresh one, only when it structurally
+    interferes with an accepted edit: it grafts into a replaced region,
+    detaches pending cone members, or shares the graft parent (whose
+    re-resolved frontier slots both would seed). Conflicting batches thus
+    degrade to serial waves with the same final store, in submission
+    order. Compaction and frontier overflow fall back to a from-scratch
+    rebuild exactly as {!edit} does; a rebuild subsumes the pending wave.
+
+    With [domains > 1] each wave re-fires on the work-stealing scheduler,
+    deques seeded by cone ownership; label-drawing rules then allocate
+    from per-domain stripes (compare label-masked output, as with
+    {!Engine.run_steal}). The default re-fires rounds sequentially and
+    preserves provenance recording, so [--profile] blames across waves.
+    After the call {!changed} answers for the whole batch. *)
+val edit_batch : ?domains:int -> session -> Tree.t list -> wave_stats
 
 (** [changed session node attr] — did the last {!edit} change this
     instance's value? Conservatively [true] for everything after a

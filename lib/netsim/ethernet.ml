@@ -4,6 +4,7 @@ type params = {
   send_overhead : float;
   send_per_byte : float;
   contention : bool;
+  switched : bool;
 }
 
 let default_params =
@@ -13,27 +14,60 @@ let default_params =
     send_overhead = 0.0005;
     send_per_byte = 2e-7;
     contention = true;
+    switched = false;
   }
+
+let switched_params = { default_params with switched = true }
 
 type t = {
   p : params;
-  mutable free_at : float;
+  mutable free_at : float;  (* shared medium *)
+  mutable ports : float array;  (* switched: per-port link free times *)
   mutable bytes : int;
   mutable messages : int;
   mutable queue_time : float;
 }
 
-let create p = { p; free_at = 0.0; bytes = 0; messages = 0; queue_time = 0.0 }
+let create p =
+  {
+    p;
+    free_at = 0.0;
+    ports = [||];
+    bytes = 0;
+    messages = 0;
+    queue_time = 0.0;
+  }
 
 let params t = t.p
 
-let transmit ?(jitter = 0.0) t ~now ~size =
-  let tx = float_of_int size /. t.p.bandwidth in
-  let start = if t.p.contention then max now t.free_at else now in
-  if t.p.contention then begin
-    t.queue_time <- t.queue_time +. (start -. now);
-    t.free_at <- start +. tx
+(* In switched mode each port owns a full-bandwidth link into the switch
+   fabric: transmissions queue only behind earlier traffic on the same
+   port, never behind other ports'. The port index is the caller's choice
+   of bottleneck link — a star topology charges a coordinator-to-worker
+   message to the worker's edge link. *)
+let port_free t port =
+  if port >= Array.length t.ports then begin
+    let a = Array.make (max (port + 1) (2 * max 1 (Array.length t.ports))) 0.0 in
+    Array.blit t.ports 0 a 0 (Array.length t.ports);
+    t.ports <- a
   end;
+  t.ports.(port)
+
+let transmit ?(jitter = 0.0) ?(port = 0) t ~now ~size =
+  let tx = float_of_int size /. t.p.bandwidth in
+  let start =
+    if t.p.switched then max now (port_free t port)
+    else if t.p.contention then max now t.free_at
+    else now
+  in
+  (if t.p.switched then begin
+     t.queue_time <- t.queue_time +. (start -. now);
+     t.ports.(port) <- start +. tx
+   end
+   else if t.p.contention then begin
+     t.queue_time <- t.queue_time +. (start -. now);
+     t.free_at <- start +. tx
+   end);
   t.bytes <- t.bytes + size;
   t.messages <- t.messages + 1;
   start +. tx +. t.p.latency +. jitter

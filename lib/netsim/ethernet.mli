@@ -12,10 +12,19 @@ type params = {
   send_overhead : float;  (** CPU seconds the sender spends per message *)
   send_per_byte : float;  (** CPU seconds per byte for flattening/copying *)
   contention : bool;  (** serialize transmissions on the shared medium *)
+  switched : bool;
+      (** per-port links through a switch fabric: transmissions queue only
+          behind same-port traffic (overrides the shared medium) *)
 }
 
 (** 10 Mbit/s shared Ethernet, ~1 ms latency, 0.5 ms send overhead. *)
 val default_params : params
+
+(** {!default_params} with [switched = true]: same link speed, but each
+    port gets its own full-bandwidth link — the upgrade that makes
+    scheduling policy observable (on the shared medium the wire is the
+    only bottleneck, so round-robin and shortest-queue price alike). *)
+val switched_params : params
 
 type t
 
@@ -26,8 +35,11 @@ val params : t -> params
 (** [transmit t ~now ~size] reserves the medium and returns the delivery
     time of a [size]-byte message handed to the network at [now]. [jitter]
     adds extra delivery latency (fault injection: reordering hold-back or a
-    delay spike) without occupying the medium any longer. *)
-val transmit : ?jitter:float -> t -> now:float -> size:int -> float
+    delay spike) without occupying the medium any longer. In switched mode
+    [port] selects the edge link the message occupies (callers pick the
+    bottleneck end of the hop, e.g. the worker side of a star topology);
+    it is ignored on a shared medium. *)
+val transmit : ?jitter:float -> ?port:int -> t -> now:float -> size:int -> float
 
 (** CPU time the sender spends to emit a [size]-byte message. *)
 val sender_cost : t -> size:int -> float

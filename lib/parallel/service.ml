@@ -38,6 +38,7 @@ type config = {
   c_net : Ethernet.params;
   c_obs : Obs.ctx;
   c_provenance : bool;
+  c_batch : int;  (* edits per merged wave; <= 1 applies one at a time *)
 }
 
 (* Per-tenant rings stay modest: a resident session records refires, not
@@ -47,7 +48,7 @@ let prov_cap = 1 lsl 16
 let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     ?(mem_cap = 0) ?(idle_rounds = 0) ?(hashcons = false) ?frontier ?faults
     ?(fault_rto = 0.05) ?(net = Ethernet.default_params) ?(obs = Obs.null_ctx)
-    ?(provenance = false) workers =
+    ?(provenance = false) ?(batch = 1) workers =
   if workers < 1 then invalid_arg "Service.config: workers < 1";
   {
     c_workers = workers;
@@ -63,6 +64,7 @@ let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     c_net = net;
     c_obs = obs;
     c_provenance = provenance;
+    c_batch = max 1 batch;
   }
 
 (* Bounded latency reservoir: exact count/sum (so the mean is exact) plus
@@ -448,15 +450,19 @@ let assign sv batches =
    row stops retrying and force-delivers — counted in [sv_gave_up] so the
    absorption is visible in stats rather than silent. *)
 let transmit_reliable sv tn ~src ~dst ~now ~size =
+  (* On a switched fabric each message occupies the worker-side edge link
+     of its hop (the coordinator side is the switch backplane), so
+     distinct workers' traffic never queues behind each other. *)
+  let port = if src = 0 then dst else src in
   match sv.sv_faults with
-  | None -> Ethernet.transmit sv.sv_net ~now ~size
+  | None -> Ethernet.transmit sv.sv_net ~port ~now ~size
   | Some f ->
       let rec go now tries =
         let v = Faults.judge f ~src ~dst in
         if v.Faults.v_dup then
-          ignore (Ethernet.transmit sv.sv_net ~now ~size);
+          ignore (Ethernet.transmit sv.sv_net ~port ~now ~size);
         if v.Faults.v_drop && tries < 64 then begin
-          ignore (Ethernet.transmit sv.sv_net ~now ~size);
+          ignore (Ethernet.transmit sv.sv_net ~port ~now ~size);
           tn.t_retransmits <- tn.t_retransmits + 1;
           sv.sv_retransmits <- sv.sv_retransmits + 1;
           bump sv "service.retransmits" (tenant_label tn) 1;
@@ -467,7 +473,7 @@ let transmit_reliable sv tn ~src ~dst ~now ~size =
             sv.sv_gave_up <- sv.sv_gave_up + 1;
             bump sv "service.gave_up" (tenant_label tn) 1
           end;
-          Ethernet.transmit ~jitter:v.Faults.v_delay sv.sv_net ~now ~size
+          Ethernet.transmit ~jitter:v.Faults.v_delay sv.sv_net ~port ~now ~size
         end
       in
       go now 0
@@ -491,6 +497,7 @@ let sim_edit sv k now tn (next, t_submit) =
   let now = if was_evicted then now +. revive_cost s else now in
   let edit_msg bytes = Message.size (Message.Edit { node = 0; bytes }) in
   let st, bytes = apply_edit s next in
+  if st.Incr.ed_fallback then bump sv "service.fallbacks" (tenant_label tn) 1;
   let delivered =
     transmit_reliable sv tn ~src:0 ~dst:(k + 1) ~now ~size:(edit_msg bytes)
   in
@@ -502,11 +509,85 @@ let sim_edit sv k now tn (next, t_submit) =
   record_edit sv tn (Float.max 0.0 (back -. t_submit));
   done_ +. Ethernet.sender_cost sv.sv_net ~size:rsize
 
+(* Price and apply one batched chunk on worker [k]: one dispatch carrying
+   every replacement plus per-edit cone-merge metadata, the merged refire
+   co-scheduled across [assist] machines (each level-synchronous round
+   costs its ceiling share of steal-priced rules; cone chunks and partial
+   results cross the wire once per helper), and one result message for
+   the whole chunk. Fallback-rebuild refires (waves with no rounds)
+   collapse to the owner's sequential dynamic-rule price. *)
+let sim_batch sv k now tn items ~assist =
+  let cost = Cost.default in
+  let was_evicted = tn.t_session = None in
+  let s = revive sv tn in
+  let now = if was_evicted then now +. revive_cost s else now in
+  let wv = Incr.edit_batch s (List.map fst items) in
+  bump sv "service.waves" (tenant_label tn) wv.Incr.wv_waves;
+  bump sv "service.conflicts" (tenant_label tn) wv.Incr.wv_conflicts;
+  bump sv "service.fallbacks" (tenant_label tn) wv.Incr.wv_fallbacks;
+  let meta = Message.header_bytes * wv.Incr.wv_edits in
+  let dispatch =
+    Message.size (Message.Edit { node = 0; bytes = wv.Incr.wv_bytes + meta })
+  in
+  let delivered =
+    transmit_reliable sv tn ~src:0 ~dst:(k + 1) ~now ~size:dispatch
+  in
+  let owner_seq =
+    (float_of_int wv.Incr.wv_bytes *. cost.Cost.rebuild_per_byte)
+    +. (float_of_int wv.Incr.wv_dirty *. cost.Cost.build_node)
+  in
+  let round_total = Array.fold_left ( + ) 0 wv.Incr.wv_round_refired in
+  let residue = max 0 (wv.Incr.wv_refired - round_total) in
+  let share_work =
+    Array.fold_left
+      (fun acc r ->
+        acc
+        +. (float_of_int ((r + assist - 1) / assist) *. cost.Cost.steal_rule))
+      0.0 wv.Incr.wv_round_refired
+  in
+  let t =
+    delivered +. owner_seq
+    +. (float_of_int residue *. Cost.rule_cost cost ~dynamic:true)
+  in
+  let t =
+    if assist > 1 && round_total > 0 then begin
+      (* ship cone chunks to the helpers, refire in parallel, collect *)
+      let chunk = Message.header_bytes + (round_total / assist * 16) in
+      let out = ref t in
+      for j = 1 to assist - 1 do
+        let dst = ((k + j) mod sv.sv_cfg.c_workers) + 1 in
+        out :=
+          Float.max !out
+            (transmit_reliable sv tn ~src:(k + 1) ~dst ~now:t ~size:chunk)
+      done;
+      let t = !out +. share_work in
+      let back = ref t in
+      for j = 1 to assist - 1 do
+        let src = ((k + j) mod sv.sv_cfg.c_workers) + 1 in
+        back :=
+          Float.max !back
+            (transmit_reliable sv tn ~src ~dst:(k + 1) ~now:t ~size:chunk)
+      done;
+      !back
+    end
+    else t +. share_work
+  in
+  let rsize = result_size sv s in
+  let back = transmit_reliable sv tn ~src:(k + 1) ~dst:0 ~now:t ~size:rsize in
+  List.iter
+    (fun (_, t_submit) ->
+      record_edit sv tn (Float.max 0.0 (back -. t_submit)))
+    items;
+  t +. Ethernet.sender_cost sv.sv_net ~size:rsize
+
 (* Virtual-time event loop over the per-worker batch queues: always step
    the laggiest busy worker one edit, so the workers advance concurrently
-   and contend for the medium in time order. A worker whose clock crosses
-   its crash point dies mid-wave; its remaining batches re-dispatch to the
-   least-loaded survivor after one RTO (the coordinator's detection). *)
+   and contend for the medium in time order. With [c_batch > 1] a step
+   pops up to a chunk of the tenant's edits and prices one merged wave,
+   assisted by the round's spare capacity (live workers per busy worker).
+   A worker whose clock crosses its crash point dies mid-wave; its
+   remaining batches re-dispatch to the least-loaded survivor after one
+   RTO (the coordinator's detection). *)
 let round_sim sv queues =
   let w = Array.length queues in
   let clock = Array.make w sv.sv_now in
@@ -544,8 +625,24 @@ let round_sim sv queues =
        if clock.(k) >= sv.sv_crash_at.(k) then redispatch k
        else begin
          let tn, edits = Queue.peek queues.(k) in
-         let item = Queue.pop edits in
-         let t = sim_edit sv k clock.(k) tn item in
+         let batch = sv.sv_cfg.c_batch in
+         let t =
+           if batch <= 1 then sim_edit sv k clock.(k) tn (Queue.pop edits)
+           else begin
+             let live = ref 0 and nbusy = ref 0 in
+             for j = 0 to w - 1 do
+               if not sv.sv_dead.(j) then incr live;
+               if busy j then incr nbusy
+             done;
+             let assist = max 1 (!live / max 1 !nbusy) in
+             let items = ref [] and n = ref 0 in
+             while !n < batch && not (Queue.is_empty edits) do
+               items := Queue.pop edits :: !items;
+               incr n
+             done;
+             sim_batch sv k clock.(k) tn (List.rev !items) ~assist
+           end
+         in
          if Queue.is_empty edits then ignore (Queue.pop queues.(k));
          if t >= sv.sv_crash_at.(k) then
            (* mid-wave crash: this edit landed, the rest of the worker's
@@ -564,9 +661,15 @@ let round_sim sv queues =
 (* Apply one worker's batches off-coordinator. Only the sessions of this
    worker's own tenants are touched (a tenant's whole batch lands on one
    worker), plus the immutable [sv_t0] stamp — no shared counters, no obs
-   registry, no eviction. Latencies are measured here (at application
-   time) and returned for the coordinator to record after the join. *)
+   registry, no eviction. With [c_batch > 1] each tenant's edits go
+   through {!Incr.edit_batch} in chunks — merged cones, one wave per
+   independent set — so the round's tenants refire their merged waves
+   concurrently across the worker domains. Latencies and wave counters
+   are measured here (at application time) and returned for the
+   coordinator to record after the join: one
+   [(tenant, latencies, fallbacks, waves, conflicts)] tuple per chunk. *)
 let domains_apply sv batches =
+  let batch = sv.sv_cfg.c_batch in
   List.concat_map
     (fun (tn, edits) ->
       let s =
@@ -574,14 +677,57 @@ let domains_apply sv batches =
         | Some s -> s
         | None -> assert false  (* pre-revived; in-round = eviction-exempt *)
       in
-      Queue.fold
-        (fun acc (next, t_submit) ->
-          ignore (apply_edit s next);
-          let lat = Unix.gettimeofday () -. sv.sv_t0 -. t_submit in
-          (tn, Float.max 0.0 lat) :: acc)
-        [] edits
-      |> List.rev)
+      if batch <= 1 then
+        Queue.fold
+          (fun acc (next, t_submit) ->
+            let st, _ = apply_edit s next in
+            let lat = Unix.gettimeofday () -. sv.sv_t0 -. t_submit in
+            ( tn,
+              [ Float.max 0.0 lat ],
+              (if st.Incr.ed_fallback then 1 else 0),
+              0,
+              0 )
+            :: acc)
+          [] edits
+        |> List.rev
+      else begin
+        let out = ref [] in
+        while not (Queue.is_empty edits) do
+          let items = ref [] and n = ref 0 in
+          while !n < batch && not (Queue.is_empty edits) do
+            items := Queue.pop edits :: !items;
+            incr n
+          done;
+          let items = List.rev !items in
+          let wv = Incr.edit_batch s (List.map fst items) in
+          let t = Unix.gettimeofday () -. sv.sv_t0 in
+          let lats =
+            List.map (fun (_, t_submit) -> Float.max 0.0 (t -. t_submit)) items
+          in
+          out :=
+            ( tn,
+              lats,
+              wv.Incr.wv_fallbacks,
+              wv.Incr.wv_waves,
+              wv.Incr.wv_conflicts )
+            :: !out
+        done;
+        List.rev !out
+      end)
     batches
+
+(* Coordinator-side fold of a worker's application results: latencies into
+   the reservoirs, wave counters into the labeled metrics. *)
+let record_applied sv outs =
+  List.iter
+    (fun (tn, lats, fallbacks, waves, conflicts) ->
+      List.iter (fun lat -> record_edit sv tn lat) lats;
+      if fallbacks > 0 then
+        bump sv "service.fallbacks" (tenant_label tn) fallbacks;
+      if waves > 0 then bump sv "service.waves" (tenant_label tn) waves;
+      if conflicts > 0 then
+        bump sv "service.conflicts" (tenant_label tn) conflicts)
+    outs
 
 let round_domains sv queues =
   let t0 = Unix.gettimeofday () in
@@ -601,11 +747,7 @@ let round_domains sv queues =
   if sv.sv_cfg.c_hashcons then
     (* the process-wide intern arena is not domain-safe: apply the round
        sequentially (still wall-clocked) *)
-    List.iter
-      (fun batches ->
-        List.iter (fun (tn, lat) -> record_edit sv tn lat)
-          (domains_apply sv batches))
-      work
+    List.iter (fun batches -> record_applied sv (domains_apply sv batches)) work
   else begin
     let doms =
       List.map
@@ -614,9 +756,7 @@ let round_domains sv queues =
     in
     (* fold each worker's results into the counters and the metrics
        registry back on the coordinator — both are unsynchronized *)
-    List.iter
-      (fun d -> List.iter (fun (tn, lat) -> record_edit sv tn lat) (Domain.join d))
-      doms
+    List.iter (fun d -> record_applied sv (Domain.join d)) doms
   end;
   sv.sv_now <- sv.sv_now +. (Unix.gettimeofday () -. t0)
 

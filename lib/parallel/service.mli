@@ -88,6 +88,18 @@ type config = {
           tenant's resident session; {!tenant_stats} then carries firing
           counts and the weighted critical path, and {!stats} publishes
           them as labeled [service.*] gauges *)
+  c_batch : int;
+      (** edits applied per merged wave ({!Pag_eval.Incr.edit_batch}):
+          each scheduling step takes up to this many of a tenant's queued
+          edits, merges their independent dirty cones, and refires them as
+          one co-scheduled wave — on [`Sim] priced as a single dispatch
+          (replacements plus 16 bytes of cone-merge metadata per edit),
+          steal-shared refire rounds across the round's spare workers, and
+          one result message; on [`Domains] the chunked waves run
+          concurrently across the worker domains. [<= 1] applies edits one
+          at a time (the PR-7 behavior). Wave/conflict/fallback counts
+          surface as labeled [service.waves]/[service.conflicts]/
+          [service.fallbacks] counters *)
 }
 
 (** [config workers] with every knob defaulted: round-robin, [`Sim]
@@ -106,6 +118,7 @@ val config :
   ?net:Ethernet.params ->
   ?obs:Pag_obs.Obs.ctx ->
   ?provenance:bool ->
+  ?batch:int ->
   int ->
   config
 

@@ -383,6 +383,267 @@ let simulate es ~owner_frag ~edit_node ~bytes (st : Incr.edit_stats) =
     er_latency = !finish;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Batched edit waves                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type batch_report = {
+  br_edits : int;
+  br_waves : int;
+  br_conflicts : int;
+  br_dirty : int;
+  br_refired : int;
+  br_cutoff : int;
+  br_fallbacks : int;
+  br_rounds : int;
+  br_boundary_changed : int;
+  br_boundary_total : int;
+  br_bytes : int;
+  br_messages : int;
+  br_retransmits : int;
+  br_latency : float;
+}
+
+(* The batched wave: one dispatch carries every replacement plus the
+   cone-merge metadata, the owner pays the grafts and cone construction,
+   and the merged refire runs as a steal wave co-scheduled across ALL
+   fragment machines — the owner ships cone chunks out, every machine
+   works the level-synchronous rounds in parallel (a round costs its
+   ceiling share, [ceil (fires / machines)] steal-priced rules), and
+   results return to the owner before one boundary flow settles the
+   frontier. Serial application pays the owner-sequential refire and a
+   full boundary wave per edit; the batch pays the refire in parallel
+   rounds and the boundary wave once. *)
+let simulate_batch es ~owner_frag ~edit_node ~bytes (wv : Incr.wave_stats) =
+  let sp = es.es_spec in
+  let cost = Cost.default in
+  let frags = Split.fragments es.es_plan in
+  let nfrags = Array.length frags in
+  let root = Incr.tree es.es_incr in
+  let children =
+    let t = Array.make nfrags [] in
+    Array.iter
+      (fun (f : Split.fragment) ->
+        match f.Split.fr_parent with
+        | Some p -> t.(p) <- f :: t.(p)
+        | None -> ())
+      frags;
+    Array.map List.rev t
+  in
+  (* Sequential prefix at the owner: rebuild the replacements, walk the
+     merged cone. *)
+  let owner_seq =
+    (float_of_int bytes *. cost.Cost.rebuild_per_byte)
+    +. (float_of_int wv.Incr.wv_dirty *. cost.Cost.build_node)
+  in
+  let assist = max 1 nfrags in
+  (* Per-machine share of the co-scheduled refire wave; a rebuilt wave
+     (fallback, no round structure) re-fires sequentially at the owner. *)
+  let share_work =
+    Array.fold_left
+      (fun acc r ->
+        acc
+        +. Float.of_int ((r + assist - 1) / assist)
+           *. cost.Cost.steal_rule)
+      0.0 wv.Incr.wv_round_refired
+  in
+  let assisted = Array.length wv.Incr.wv_round_refired > 0 && nfrags > 1 in
+  let owner_delay =
+    if Array.length wv.Incr.wv_round_refired = 0 then
+      owner_seq
+      +. float_of_int wv.Incr.wv_refired *. Cost.rule_cost cost ~dynamic:true
+    else owner_seq
+  in
+  (* Cone-merge metadata: one descriptor per edit in the dispatch, one per
+     shipped cone member in the assist chunks. *)
+  let meta_bytes = 16 * wv.Incr.wv_edits in
+  let chunk_bytes = wv.Incr.wv_refired / assist * 16 in
+  let sim = ES.create () in
+  Option.iter (ES.set_faults sim) sp.sp_faults;
+  let faulty = Option.is_some sp.sp_faults in
+  let rto = Float.max 0.1 ((owner_delay +. share_work) /. 4.0) in
+  let links = ref [] in
+  let env_for id =
+    let raw =
+      {
+        Transport.e_id = id;
+        e_delay = ES.delay;
+        e_send =
+          (fun ~dst m ->
+            ES.send ~dst ~size:(Message.size m) ~label:(message_label m) m);
+        e_recv = ES.recv;
+        e_recv_timeout = ES.recv_timeout;
+        e_time = ES.time;
+        e_mark = ES.mark;
+        e_flush = (fun () -> ());
+      }
+    in
+    if faulty then begin
+      let l = Reliable.wrap ~rto ~max_tries:8 raw in
+      links := l :: !links;
+      Reliable.env l
+    end
+    else raw
+  in
+  let finish = ref 0.0 in
+  let coord_env = env_for 0 in
+  let root_syn = attrs_of es root Grammar.Syn in
+  let _ =
+    ES.spawn sim ~name:"parser" (fun () ->
+        coord_env.Transport.e_send ~dst:(owner_frag + 1)
+          (Message.Edit { node = edit_node; bytes = bytes + meta_bytes });
+        let got = ref 0 in
+        while !got < List.length root_syn do
+          match coord_env.Transport.e_recv () with
+          | Message.Attr _ | Message.Attr_ref _ -> incr got
+          | _ -> ()
+        done;
+        finish := ES.time ();
+        coord_env.Transport.e_flush ())
+  in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let id = f.Split.fr_id + 1 in
+      let env = env_for id in
+      let is_owner = f.Split.fr_id = owner_frag in
+      let inh_expected =
+        match f.Split.fr_parent with
+        | Some _ -> List.length (attrs_of es f.Split.fr_root Grammar.Inh)
+        | None -> 0
+      in
+      let syn_expected =
+        List.fold_left
+          (fun acc (c : Split.fragment) ->
+            acc + List.length (attrs_of es c.Split.fr_root Grammar.Syn))
+          0
+          children.(f.Split.fr_id)
+      in
+      let _ =
+        ES.spawn sim
+          ~name:(Runner.machine_name ~fragments:nfrags id)
+          (fun () ->
+            let seen = ref 0 in
+            (* [Edit]-tagged messages (dispatch, cone chunks, chunk
+               results) never count toward the boundary census. *)
+            let rec wait_edit () =
+              match env.Transport.e_recv () with
+              | Message.Edit _ -> ()
+              | _ ->
+                  incr seen;
+                  wait_edit ()
+            in
+            if is_owner then begin
+              wait_edit ();
+              env.Transport.e_delay owner_delay;
+              if assisted then begin
+                (* ship cone chunks, work own share, collect results *)
+                Array.iter
+                  (fun (g : Split.fragment) ->
+                    if g.Split.fr_id <> owner_frag then
+                      env.Transport.e_send ~dst:(g.Split.fr_id + 1)
+                        (Message.Edit { node = -1; bytes = chunk_bytes }))
+                  frags;
+                env.Transport.e_delay share_work;
+                let results = ref 0 in
+                while !results < nfrags - 1 do
+                  match env.Transport.e_recv () with
+                  | Message.Edit _ -> incr results
+                  | _ -> incr seen
+                done
+              end
+              else if Array.length wv.Incr.wv_round_refired > 0 then
+                env.Transport.e_delay share_work
+            end
+            else if assisted then begin
+              wait_edit ();
+              env.Transport.e_delay share_work;
+              env.Transport.e_send ~dst:(owner_frag + 1)
+                (Message.Edit { node = -1; bytes = chunk_bytes })
+            end;
+            List.iter
+              (fun (c : Split.fragment) ->
+                List.iter
+                  (fun (i, a) ->
+                    env.Transport.e_send ~dst:(c.Split.fr_id + 1)
+                      (boundary_message es ~src:id c.Split.fr_root i a))
+                  (attrs_of es c.Split.fr_root Grammar.Inh))
+              children.(f.Split.fr_id);
+            while !seen < inh_expected + syn_expected do
+              (match env.Transport.e_recv () with
+              | Message.Edit _ -> ()
+              | _ -> incr seen);
+            done;
+            let dst, up =
+              match f.Split.fr_parent with
+              | Some p -> (p + 1, attrs_of es f.Split.fr_root Grammar.Syn)
+              | None -> (0, root_syn)
+            in
+            List.iter
+              (fun (i, a) ->
+                env.Transport.e_send ~dst
+                  (boundary_message es ~src:id f.Split.fr_root i a))
+              up;
+            env.Transport.e_flush ())
+      in
+      ())
+    frags;
+  ES.run sim;
+  let net = ES.network sim in
+  let changed = ref 0 and total = ref 0 in
+  let census (b : Tree.t) kind =
+    List.iter
+      (fun (_, (a : Grammar.attr_decl)) ->
+        incr total;
+        if Incr.changed es.es_incr b a.Grammar.a_name then incr changed)
+      (attrs_of es b kind)
+  in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      match f.Split.fr_parent with
+      | Some _ ->
+          census f.Split.fr_root Grammar.Syn;
+          census f.Split.fr_root Grammar.Inh
+      | None -> ())
+    frags;
+  census root Grammar.Syn;
+  {
+    br_edits = wv.Incr.wv_edits;
+    br_waves = wv.Incr.wv_waves;
+    br_conflicts = wv.Incr.wv_conflicts;
+    br_dirty = wv.Incr.wv_dirty;
+    br_refired = wv.Incr.wv_refired;
+    br_cutoff = wv.Incr.wv_cutoff;
+    br_fallbacks = wv.Incr.wv_fallbacks;
+    br_rounds = wv.Incr.wv_rounds;
+    br_boundary_changed = !changed;
+    br_boundary_total = !total;
+    br_bytes = Ethernet.bytes_sent net;
+    br_messages = Ethernet.messages_sent net;
+    br_retransmits =
+      List.fold_left
+        (fun acc l -> acc + (Reliable.stats l).Reliable.rs_retransmits)
+        0 !links;
+    br_latency = !finish;
+  }
+
+let no_batch (wv : Incr.wave_stats) =
+  {
+    br_edits = wv.Incr.wv_edits;
+    br_waves = wv.Incr.wv_waves;
+    br_conflicts = wv.Incr.wv_conflicts;
+    br_dirty = wv.Incr.wv_dirty;
+    br_refired = wv.Incr.wv_refired;
+    br_cutoff = wv.Incr.wv_cutoff;
+    br_fallbacks = wv.Incr.wv_fallbacks;
+    br_rounds = wv.Incr.wv_rounds;
+    br_boundary_changed = 0;
+    br_boundary_total = 0;
+    br_bytes = 0;
+    br_messages = 0;
+    br_retransmits = 0;
+    br_latency = 0.0;
+  }
+
 let no_wave (st : Incr.edit_stats) =
   {
     er_dirty = st.Incr.ed_dirty;
@@ -426,3 +687,13 @@ let edit es next =
         Option.value (Split.owner_of es.es_plan parent) ~default:0
       in
       simulate es ~owner_frag ~edit_node:parent.Tree.id ~bytes st
+
+let edit_batch es nexts =
+  let wv = Incr.edit_batch es.es_incr nexts in
+  refresh_plan es;
+  if wv.Incr.wv_dirty = 0 && wv.Incr.wv_refired = 0 && wv.Incr.wv_fallbacks = 0
+  then no_batch wv
+  else
+    let root = Incr.tree es.es_incr in
+    simulate_batch es ~owner_frag:0 ~edit_node:root.Tree.id
+      ~bytes:wv.Incr.wv_bytes wv

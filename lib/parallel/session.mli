@@ -150,3 +150,35 @@ val prov : edit_session -> Pag_obs.Prov.t
     with an all-zero report; a root-level change falls back to a
     from-scratch rebuild and a fresh decomposition. *)
 val edit : edit_session -> Tree.t -> edit_report
+
+(** Outcome of one {!edit_batch}: the {!Pag_eval.Incr.wave_stats} counters
+    plus the batched wave's census. *)
+type batch_report = {
+  br_edits : int;
+  br_waves : int;  (** merged refire waves *)
+  br_conflicts : int;  (** edits serialized into a follow-up wave *)
+  br_dirty : int;
+  br_refired : int;
+  br_cutoff : int;
+  br_fallbacks : int;
+  br_rounds : int;  (** level-synchronous refire rounds across waves *)
+  br_boundary_changed : int;
+  br_boundary_total : int;
+  br_bytes : int;  (** wire bytes of the whole batched wave *)
+  br_messages : int;
+  br_retransmits : int;
+  br_latency : float;  (** simulated seconds, dispatch -> roots refreshed *)
+}
+
+(** [edit_batch session nexts] applies the whole edit set through
+    {!Pag_eval.Incr.edit_batch} — independent dirty cones merged per wave,
+    conflicting edits serialized into follow-up waves — and prices ONE
+    distributed wave for the batch: a single dispatch carrying every
+    replacement plus 16 bytes of cone-merge metadata per edit, the merged
+    refire co-scheduled across all fragment machines (each level-
+    synchronous round costs its ceiling share of steal-priced rules, and
+    shipped cone chunks/results are charged as messages), and a single
+    boundary flow. Serial {!edit} application pays the owner-sequential
+    propagation and a full boundary wave per edit; this is where batched
+    throughput beats the one-edit-at-a-time ceiling. *)
+val edit_batch : edit_session -> Tree.t list -> batch_report

@@ -191,6 +191,122 @@ let prop_tiny_frontier_always_agrees =
           && agrees_with_scratch g s (expr_of seed))
         edits)
 
+(* ---------------- batched edits ---------------- *)
+
+(* Two edits under different parents (the two mul nodes): their dirty
+   cones overlap only on the spine, which merges — one wave, no
+   conflicts — and both application orders land bit-identical stores. *)
+let indep_base a b c d =
+  Expr_ag.(main (add (mul (num a) (num b)) (mul (num c) (num d))))
+
+let test_batch_independent_pair () =
+  let g = Expr_ag.grammar in
+  List.iter
+    (fun (hashcons, domains) ->
+      let s = Incr.start ~hashcons g (indep_base 1 2 3 4) in
+      let wv =
+        Incr.edit_batch ~domains s [ indep_base 9 2 3 4; indep_base 9 2 7 4 ]
+      in
+      check_int "one wave" 1 wv.Incr.wv_waves;
+      check_int "no conflicts" 0 wv.Incr.wv_conflicts;
+      check_int "two edits" 2 wv.Incr.wv_edits;
+      check_int "no fallback" 0 wv.Incr.wv_fallbacks;
+      check_bool "values = scratch" true
+        (agrees_with_scratch g s (indep_base 9 2 7 4));
+      (* the opposite application order lands the same store *)
+      let s' = Incr.start ~hashcons g (indep_base 1 2 3 4) in
+      ignore
+        (Incr.edit_batch ~domains s' [ indep_base 1 2 7 4; indep_base 9 2 7 4 ]);
+      check_bool "orders agree bit-for-bit" true
+        (values_agree g (Incr.store s) (Incr.tree s) (Incr.store s')
+           (Incr.tree s')))
+    [ (false, 1); (true, 1); (false, 2) ]
+
+(* Two edits replacing the two children of the same parent: the second
+   edit touches the first's replacement site, so the batch must degrade
+   to serialized waves — and still land on the serial result. *)
+let test_batch_conflicting_pair () =
+  let g = Expr_ag.grammar in
+  (* frontier off: a tiny tree's cone always trips the fallback, and a
+     fallback rebuild would absorb the wave we want to observe *)
+  let s = Incr.start ~frontier:1.1 g (indep_base 1 2 3 4) in
+  (* both replacement sites share the add parent node: structural
+     interference, so the second edit must flush into its own wave.
+     Fresh trees per use — grafting renumbers the replacement nodes. *)
+  let next1 () =
+    Expr_ag.(main (add (mul (num 5) (num 6)) (mul (num 3) (num 4))))
+  in
+  let next2 () =
+    Expr_ag.(main (add (mul (num 5) (num 6)) (mul (num 7) (num 8))))
+  in
+  let wv = Incr.edit_batch s [ next1 (); next2 () ] in
+  check_int "no fallback" 0 wv.Incr.wv_fallbacks;
+  check_bool "conflict detected" true (wv.Incr.wv_conflicts >= 1);
+  check_bool "serialized into waves" true (wv.Incr.wv_waves >= 2);
+  check_bool "values = scratch" true (agrees_with_scratch g s (next2 ()))
+
+let test_batch_identity_and_root () =
+  let g = Expr_ag.grammar in
+  let s = Incr.start g (expr_a ()) in
+  (* structural no-op inside a batch *)
+  let wv = Incr.edit_batch s [ expr_a (); expr_b () ] in
+  check_int "both edits counted" 2 wv.Incr.wv_edits;
+  check_bool "values = scratch" true (agrees_with_scratch g s (expr_b ()));
+  (* root-production change inside a batch falls back, then the batch
+     continues *)
+  let wv = Incr.edit_batch s [ expr_c (); expr_a () ] in
+  check_bool "fallback taken" true (wv.Incr.wv_fallbacks >= 1);
+  check_bool "values = scratch after fallback" true
+    (agrees_with_scratch g s (expr_a ()))
+
+let prop_batched_matches_serial hashcons domains =
+  qc ~count:40
+    (Printf.sprintf "batched edits = serial (hashcons %b, domains %d)"
+       hashcons domains)
+    seq_arb
+    (fun (s0, edits) ->
+      let g = Expr_ag.grammar in
+      let sb = Incr.start ~hashcons g (expr_of s0) in
+      let ss = Incr.start ~hashcons g (expr_of s0) in
+      List.iter (fun seed -> ignore (Incr.edit ss (expr_of seed))) edits;
+      ignore (Incr.edit_batch ~domains sb (List.map expr_of edits));
+      values_agree g (Incr.store sb) (Incr.tree sb) (Incr.store ss)
+        (Incr.tree ss)
+      &&
+      match List.rev edits with
+      | last :: _ -> agrees_with_scratch g sb (expr_of last)
+      | [] -> true)
+
+let prop_batched_random_ag =
+  qc ~count:30 "random AG batched edits = serial"
+    (QCheck.make
+       ~print:(fun (gs, ts, edits) ->
+         Printf.sprintf "grammar %d, base %d, edits [%s]" gs ts
+           (String.concat ";" (List.map string_of_int edits)))
+       QCheck.Gen.(
+         triple (int_bound 1_000_000) (int_bound 1_000_000)
+           (list_size (1 -- 5) (int_bound 1_000_000))))
+    (fun (gseed, tseed, edits) ->
+      let g = Test_random_ag.build_grammar (Random.State.make [| gseed |]) in
+      let tree_of seed =
+        Test_random_ag.build_tree (Random.State.make [| seed |]) g
+      in
+      match
+        ( Incr.start g (tree_of tseed),
+          Incr.start g (tree_of tseed) )
+      with
+      | exception Engine.Cycle _ -> true
+      | sb, ss -> (
+          match
+            ( Incr.edit_batch sb (List.map tree_of edits),
+              List.iter (fun seed -> ignore (Incr.edit ss (tree_of seed))) edits
+            )
+          with
+          | exception Engine.Cycle _ -> true
+          | _ ->
+              values_agree g (Incr.store sb) (Incr.tree sb) (Incr.store ss)
+                (Incr.tree ss)))
+
 let suite =
   [
     ( "incr",
@@ -205,10 +321,20 @@ let suite =
           test_cutoff_stops_propagation;
         Alcotest.test_case "min change propagates" `Quick
           test_min_change_propagates;
+        Alcotest.test_case "batch: independent pair merges" `Quick
+          test_batch_independent_pair;
+        Alcotest.test_case "batch: conflicting pair serializes" `Quick
+          test_batch_conflicting_pair;
+        Alcotest.test_case "batch: no-op and root fallback" `Quick
+          test_batch_identity_and_root;
         prop_expr_edit_sequences false;
         prop_expr_edit_sequences true;
         prop_random_ag_edit_sequences false;
         prop_random_ag_edit_sequences true;
         prop_tiny_frontier_always_agrees;
+        prop_batched_matches_serial false 1;
+        prop_batched_matches_serial true 1;
+        prop_batched_matches_serial false 2;
+        prop_batched_random_ag;
       ] );
   ]

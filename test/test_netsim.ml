@@ -131,6 +131,25 @@ let test_no_contention_mode () =
   S.run sim;
   check_float "parallel delivery" !t1 !t2
 
+let test_switched_ports () =
+  (* Switched fabric: simultaneous transmissions on distinct ports each get
+     a full-bandwidth link; same-port traffic still queues. On the shared
+     medium the port hint is ignored and everything serializes. *)
+  let p = Ethernet.switched_params in
+  let tx = 125_000.0 /. p.Ethernet.bandwidth in
+  let net = Ethernet.create p in
+  let a = Ethernet.transmit net ~port:1 ~now:0.0 ~size:125_000 in
+  let b = Ethernet.transmit net ~port:2 ~now:0.0 ~size:125_000 in
+  check_float "port 1 unqueued" (tx +. p.Ethernet.latency) a;
+  check_float "port 2 parallel" (tx +. p.Ethernet.latency) b;
+  let c = Ethernet.transmit net ~port:2 ~now:0.0 ~size:125_000 in
+  check_float "same port queues" ((2.0 *. tx) +. p.Ethernet.latency) c;
+  check_bool "queueing recorded" true (Ethernet.contention_time net > 0.0);
+  let shared = Ethernet.create Ethernet.default_params in
+  let a' = Ethernet.transmit shared ~port:1 ~now:0.0 ~size:125_000 in
+  let b' = Ethernet.transmit shared ~port:2 ~now:0.0 ~size:125_000 in
+  check_float "shared medium ignores ports" (tx +. a') b'
+
 let test_determinism () =
   let run_once () =
     let sim = S.create () in
@@ -184,6 +203,7 @@ let suite =
         Alcotest.test_case "deadlock" `Quick test_deadlock_detected;
         Alcotest.test_case "ethernet contention" `Quick test_ethernet_contention;
         Alcotest.test_case "no contention" `Quick test_no_contention_mode;
+        Alcotest.test_case "switched ports" `Quick test_switched_ports;
         Alcotest.test_case "determinism" `Quick test_determinism;
         Alcotest.test_case "trace/gantt" `Quick test_trace_and_gantt;
       ] );

@@ -228,6 +228,69 @@ let test_shortest_queue_beats_round_robin () =
     (Printf.sprintf "sq %.4fs < rr %.4fs on a skewed mix" sq rr)
     true (sq < rr)
 
+(* ---------------- batched waves ---------------- *)
+
+(* Batched application (c_batch > 1) must not change what any tenant
+   computes — the isolation oracle holds against per-edit sessions — and
+   the wave/conflict/fallback counters surface as labeled metrics. *)
+let run_batched ~transport ~batch tenants =
+  let g = Expr_ag.grammar in
+  let obs =
+    Pag_obs.Obs.make_ctx ~pid:0 ~clock:(fun () -> 0.0)
+  in
+  let sv = Service.create (Service.config ~transport ~batch ~obs 2) g in
+  let names = List.mapi (fun i _ -> Printf.sprintf "t%d" i) tenants in
+  List.iter2
+    (fun name (s0, _) -> Service.open_tenant sv name (expr_of s0))
+    names tenants;
+  List.iter2
+    (fun name (_, es) ->
+      List.iter
+        (fun seed -> ignore (Service.submit sv name (expr_of seed)))
+        es)
+    names tenants;
+  Service.drain sv;
+  (sv, names, obs)
+
+let prop_batched_is_isolation ~transport label =
+  qc ~count:10
+    (Printf.sprintf "batched service = K isolated sessions (%s)" label)
+    arb_tenants
+    (fun tenants ->
+      let g = Expr_ag.grammar in
+      let sv, names, _ = run_batched ~transport ~batch:3 tenants in
+      List.for_all2
+        (fun name (s0, es) ->
+          let spec =
+            Session.spec ~granularity:0.05 ~librarian:false 2
+          in
+          let iso = Session.open_session spec g (expr_of s0) in
+          List.iter (fun seed -> ignore (Session.edit iso (expr_of seed))) es;
+          Test_incr.values_agree g
+            (Service.tenant_store sv name)
+            (Service.tenant_tree sv name)
+            (Session.store iso) (Session.tree iso))
+        names tenants)
+
+let test_batched_metrics_surface () =
+  let sv, _, obs =
+    run_batched ~transport:`Sim ~batch:4
+      [ (1, [ 2; 3; 4; 5 ]); (7, [ 8; 9 ]) ]
+  in
+  let st = Service.stats sv in
+  check_int "all edits applied" 6 st.Service.st_edits;
+  let rows = Pag_obs.Obs.Metrics.rows obs.Pag_obs.Obs.x_metrics in
+  let has prefix =
+    List.exists (fun (n, _) -> String.length n >= String.length prefix
+                               && String.sub n 0 (String.length prefix) = prefix)
+      rows
+  in
+  check_bool "service.waves{tenant=...} present" true (has "service.waves{");
+  check_bool "service.conflicts{tenant=...} present" true
+    (has "service.conflicts{");
+  check_bool "service.fallbacks{tenant=...} present" true
+    (has "service.fallbacks{")
+
 let suite =
   [
     ( "service",
@@ -249,5 +312,9 @@ let suite =
           test_mem_cap_domains_round;
         Alcotest.test_case "shortest-queue beats round-robin" `Quick
           test_shortest_queue_beats_round_robin;
+        prop_batched_is_isolation ~transport:`Sim "sim, batch 3";
+        prop_batched_is_isolation ~transport:`Domains "domains, batch 3";
+        Alcotest.test_case "batched metrics surface" `Quick
+          test_batched_metrics_surface;
       ] );
   ]

@@ -159,6 +159,65 @@ let test_resident_store_stays_bounded () =
   check_bool "compaction actually triggered" true
     ((Session.totals es).Incr.tot_fallbacks >= 1)
 
+(* Batched waves: same finals as serial edits, one priced wave per merged
+   cone (fewer messages than per-edit waves), sane census — across all
+   three instance schedules. Crafted edits (fresh trees per use — grafting
+   renumbers replacement nodes) with a generous frontier so tiny trees
+   don't take the rebuild fallback. *)
+let test_batched_wave () =
+  let g = Expr_ag.grammar in
+  (* edit 1 and 2 touch disjoint num leaves and merge into one wave;
+     edit 3 replaces the whole left mul, whose old subtree carries edit 1's
+     grafted num — structural interference, so it serializes. *)
+  let steps =
+    [
+      (fun () -> Test_incr.indep_base 9 2 3 4);
+      (fun () -> Test_incr.indep_base 9 2 7 4);
+      (fun () ->
+        Expr_ag.(main (add (mul (num 5) (num 6)) (mul (num 7) (num 4)))));
+    ]
+  in
+  let tree step = step () in
+  List.iter
+    (fun schedule ->
+      let spec = Session.spec ~granularity:0.05 ~librarian:false ~schedule 3 in
+      let eb =
+        Session.open_session ~frontier:1.1 spec g (Test_incr.indep_base 1 2 3 4)
+      in
+      let es =
+        Session.open_session ~frontier:1.1 spec g (Test_incr.indep_base 1 2 3 4)
+      in
+      let serial_msgs =
+        List.fold_left
+          (fun acc step ->
+            acc + (Session.edit es (tree step)).Session.er_messages)
+          0 steps
+      in
+      let r = Session.edit_batch eb (List.map tree steps) in
+      check_int "three edits in the batch" 3 r.Session.br_edits;
+      check_bool "batch ran waves" true (r.Session.br_waves >= 1);
+      check_bool "conflict serialized into a follow-up wave" true
+        (r.Session.br_conflicts >= 1);
+      check_bool "latency advanced" true (r.Session.br_latency > 0.0);
+      check_bool "boundary census sane" true
+        (r.Session.br_boundary_changed <= r.Session.br_boundary_total);
+      check_bool "merged waves ship fewer messages than serial edits" true
+        (r.Session.br_messages < serial_msgs);
+      check_bool "batched finals = serial finals" true
+        (Test_incr.values_agree g (Session.store eb) (Session.tree eb)
+           (Session.store es) (Session.tree es));
+      check_bool "values = scratch" true
+        (session_agrees_with_scratch g eb (tree (List.nth steps 2))))
+    [ `Static; `Dynamic; `Steal ]
+
+let test_batched_identity () =
+  let g = Expr_ag.grammar in
+  let es = Session.open_session (sp 4) g (expr_of 3) in
+  let r = Session.edit_batch es [ expr_of 3; expr_of 3 ] in
+  check_int "no messages" 0 r.Session.br_messages;
+  check_int "no bytes" 0 r.Session.br_bytes;
+  check_bool "no latency" true (r.Session.br_latency = 0.0)
+
 let suite =
   [
     ( "session",
@@ -174,5 +233,7 @@ let suite =
           test_pascal_edit_sequence;
         Alcotest.test_case "resident store stays bounded" `Quick
           test_resident_store_stays_bounded;
+        Alcotest.test_case "batched wave" `Quick test_batched_wave;
+        Alcotest.test_case "batched identity" `Quick test_batched_identity;
       ] );
   ]
