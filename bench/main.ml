@@ -36,6 +36,10 @@
                     machines, a real-domains wave, batched service sweep
                     at 1k sessions, provenance-blame and equivalence
                     gates (writes BENCH_9.json)
+     E18 beyond     first-class DAG evaluation: one rule-instance set per
+                    unique subtree, once-per-machine fragment shipping;
+                    instance/wire/time columns at 8 netsim machines and
+                    equivalence gates (writes BENCH_10.json)
 
    Flags:
      --quick     use a smaller workload and fewer machine counts
@@ -1799,6 +1803,121 @@ let e17_batched () =
   then failwith "E17: batched re-evaluation gate failed"
 
 (* ------------------------------------------------------------------ *)
+(* E18: first-class DAG evaluation (BENCH_10)                          *)
+(* ------------------------------------------------------------------ *)
+
+let e18_dag () =
+  sep "[E18] First-class DAG evaluation: instances, wire, time (BENCH_10)";
+  let routines = if quick then 4 else 6 in
+  let reps = if quick then 120 else 300 in
+  let workload_name =
+    Printf.sprintf "Progen.repetitive routines=%d reps=%d" routines reps
+  in
+  let prog = Progen.repetitive ~routines ~reps () in
+  let m = 8 in
+  Printf.printf "workload: %s; %d netsim machines\n\n" workload_name m;
+  let run o = Driver.compile_parallel_sim o prog in
+  let instances (r : Runner.result) =
+    Array.fold_left
+      (fun a (s : Pag_parallel.Worker.stats) ->
+        a + s.Pag_parallel.Worker.ws_graph_nodes)
+      0 r.Runner.r_worker_stats
+  in
+  let r_static, c_static = run (opts m) in
+  let r_steal, c_steal =
+    run { (opts m) with Runner.schedule = `Steal }
+  in
+  let r_dag, c_dag =
+    run { (opts m) with Runner.schedule = `Steal; use_dag = true }
+  in
+  let row name (r : Runner.result) inst =
+    Printf.printf "%-26s %10.3fs %12s %12d bytes %8d msgs\n" name
+      r.Runner.r_time
+      (match inst with
+      | Some i -> Printf.sprintf "%d inst" i
+      | None -> "-")
+      r.Runner.r_bytes r.Runner.r_messages
+  in
+  Printf.printf "%-26s %11s %12s %18s %13s\n" "" "time" "instances" "wire"
+    "messages";
+  row "static, plain" r_static None;
+  row "steal, plain" r_steal (Some (instances r_steal));
+  row "steal, --dag" r_dag (Some (instances r_dag));
+  (* sequential DAG statistics: regions / projections / materializations *)
+  let g = Pascal_ag.grammar in
+  let tree = Pascal_ag.tree_of_program g prog in
+  let rt = ref None in
+  ignore (Pag_eval.Dynamic.eval ~dag:true ~dag_out:(fun r -> rt := Some r) g tree);
+  let ds = Pag_eval.Dag.stats (Option.get !rt) in
+  Printf.printf
+    "\ndag: %d regions, %d slots projected, %d instances materialized, %d \
+     tainted classes\n"
+    ds.Pag_eval.Dag.dg_regions ds.Pag_eval.Dag.dg_projected_slots
+    ds.Pag_eval.Dag.dg_materialized_rids ds.Pag_eval.Dag.dg_tainted_classes;
+  let speedup = r_static.Runner.r_time /. r_dag.Runner.r_time in
+  let inst_cut =
+    1.0
+    -. float_of_int (instances r_dag) /. float_of_int (instances r_steal)
+  in
+  let bytes_cut =
+    1.0 -. (float_of_int r_dag.Runner.r_bytes /. float_of_int r_steal.Runner.r_bytes)
+  in
+  Printf.printf
+    "\nspeedup over plain static: x%.1f; instance cut %.1f%%; wire cut \
+     %.1f%% (vs plain steal)\n"
+    speedup (100.0 *. inst_cut) (100.0 *. bytes_cut);
+  let code_ok =
+    String.equal (mask_asm c_static.Driver.c_asm) (mask_asm c_dag.Driver.c_asm)
+    && String.equal (mask_asm c_steal.Driver.c_asm) (mask_asm c_dag.Driver.c_asm)
+  in
+  let interp_ok =
+    match (Driver.run_compiled ~input:[] c_dag, Interp.run prog) with
+    | Ok a, Ok b -> String.equal a b
+    | _ -> false
+  in
+  Printf.printf "equivalence: masked code %b, interpreter %b\n" code_ok
+    interp_ok;
+  Printf.printf
+    "\ntargets: >= 10x over plain static, instance cut > 50%%, wire never \
+     inflated,\nall equivalence gates true.\n";
+  let ok =
+    speedup >= 10.0 && inst_cut > 0.5
+    && r_dag.Runner.r_bytes <= r_steal.Runner.r_bytes
+    && code_ok && interp_ok
+  in
+  let oc = open_out "BENCH_10.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"id\": \"BENCH_10\",\n\
+    \  \"bench\": \"first-class DAG evaluation: one rule-instance set per \
+     unique subtree\",\n\
+    \  \"workload\": %S,\n\
+    \  \"machines\": %d,\n\
+    \  \"static_plain_seconds\": %.6f,\n\
+    \  \"steal_plain\": { \"seconds\": %.6f, \"instances\": %d, \"bytes\": \
+     %d, \"messages\": %d },\n\
+    \  \"steal_dag\": { \"seconds\": %.6f, \"instances\": %d, \"bytes\": \
+     %d, \"messages\": %d },\n\
+    \  \"dag_stats\": { \"regions\": %d, \"projected_slots\": %d, \
+     \"materialized_rids\": %d, \"tainted_classes\": %d },\n\
+    \  \"speedup_over_plain_static\": %.3f,\n\
+    \  \"instance_cut\": %.4f,\n\
+    \  \"bytes_cut\": %.4f,\n\
+    \  \"code_agrees\": %b,\n\
+    \  \"interpreter_agrees\": %b\n\
+     }\n"
+    workload_name m r_static.Runner.r_time r_steal.Runner.r_time
+    (instances r_steal) r_steal.Runner.r_bytes r_steal.Runner.r_messages
+    r_dag.Runner.r_time (instances r_dag) r_dag.Runner.r_bytes
+    r_dag.Runner.r_messages ds.Pag_eval.Dag.dg_regions
+    ds.Pag_eval.Dag.dg_projected_slots ds.Pag_eval.Dag.dg_materialized_rids
+    ds.Pag_eval.Dag.dg_tainted_classes speedup inst_cut bytes_cut code_ok
+    interp_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_10.json\n";
+  if not ok then failwith "E18: DAG evaluation gate failed"
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: fast evaluator equivalence, nonzero exit on mismatch         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1898,6 +2017,7 @@ let () =
     if runs "e14" then e14_steal ();
     if runs "e15" then e15_service ();
     if runs "e16" then e16_provenance ();
-    if runs "e17" then e17_batched ()
+    if runs "e17" then e17_batched ();
+    if runs "e18" then e18_dag ()
   end;
   Printf.printf "\ndone. see EXPERIMENTS.md for paper-vs-measured records.\n"

@@ -207,14 +207,14 @@ let sequential_report obs ~horizon =
    wave. The final resident code must match a from-scratch compile of the
    last variant (modulo label numbering). *)
 let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-    ~no_priority ~hashcons ~faults ~out ~batch ~explain ~profile ~profile_json
-    =
+    ~no_priority ~hashcons ~dag ~faults ~out ~batch ~explain ~profile
+    ~profile_json =
   let g = Pascal_ag.grammar in
   let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
   let provenance = explain <> None || profile || profile_json <> None in
   let sp =
     Pag_parallel.Session.spec ~granularity ~librarian:(not no_librarian)
-      ~priority:(not no_priority) ~hashcons ?faults
+      ~priority:(not no_priority) ~hashcons ~dag ?faults
       ~phase_label:Driver.phase_label ~provenance machines
   in
   let base_src = read_file file in
@@ -340,7 +340,8 @@ let run_edit_session ~file ~script ~machines ~granularity ~no_librarian
    runs one scheduling round; the implicit final drain flushes the rest.
    Afterwards every tenant's resident code must equal a from-scratch
    compile of its last source, modulo label numbering. *)
-let run_serve ~script ~machines ~hashcons ~faults ~transport ~report ~batch =
+let run_serve ~script ~machines ~hashcons ~dag ~faults ~transport ~report
+    ~batch =
   let module Service = Pag_parallel.Service in
   let g = Pascal_ag.grammar in
   let parse_tree src = Pascal_ag.tree_of_program g (Parser.parse_program src) in
@@ -372,7 +373,8 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report ~batch =
               (Service.config ~policy:!policy
                  ~transport:(if transport = "domains" then `Domains else `Sim)
                  ~queue_cap:!queue_cap ~mem_cap:!mem_cap
-                 ~idle_rounds:!idle_rounds ~hashcons ?faults ~net:!net ~obs
+                 ~idle_rounds:!idle_rounds ~hashcons ~dag ?faults ~net:!net
+                 ~obs
                  ~provenance:report ~batch:!batch !workers)
               g
           with Invalid_argument msg -> fail line msg
@@ -477,7 +479,7 @@ let run_serve ~script ~machines ~hashcons ~faults ~transport ~report ~batch =
       exit (if !ok then 0 else 1)
 
 let run_compiler file machines evaluator schedule transport granularity
-    no_librarian no_priority hashcons optimize run_it gantt trace_out
+    no_librarian no_priority hashcons dag optimize run_it gantt trace_out
     events_out report out input faults fault_seed edit_session serve
     batch_edits explain profile profile_json =
   try
@@ -493,7 +495,7 @@ let run_compiler file machines evaluator schedule transport granularity
     in
     (match serve with
     | Some script ->
-        run_serve ~script ~machines ~hashcons ~faults ~transport ~report
+        run_serve ~script ~machines ~hashcons ~dag ~faults ~transport ~report
           ~batch:batch_edits
     | None -> ());
     let file =
@@ -506,7 +508,7 @@ let run_compiler file machines evaluator schedule transport granularity
     (match edit_session with
     | Some script ->
         run_edit_session ~file ~script ~machines ~granularity ~no_librarian
-          ~no_priority ~hashcons ~faults ~out ~batch:batch_edits ~explain
+          ~no_priority ~hashcons ~dag ~faults ~out ~batch:batch_edits ~explain
           ~profile ~profile_json
     | None -> ());
     let src = read_file file in
@@ -539,7 +541,7 @@ let run_compiler file machines evaluator schedule transport granularity
         in
         let eng = ref None and tree = ref None in
         let compiled =
-          Driver.compile ~obs ~hashcons ~prov:ring
+          Driver.compile ~obs ~hashcons ~dag ~prov:ring
             ~engine_out:(fun e -> eng := Some e)
             ~tree_out:(fun t -> tree := Some t)
             ~evaluator:`Static program
@@ -565,8 +567,8 @@ let run_compiler file machines evaluator schedule transport granularity
           Pag_parallel.Session.options
             (Pag_parallel.Session.spec ~mode ~schedule ~granularity
                ~librarian:(not no_librarian) ~priority:(not no_priority)
-               ~hashcons ~telemetry ?faults ~phase_label:Driver.phase_label
-               ~provenance machines)
+               ~hashcons ~dag ~telemetry ?faults
+               ~phase_label:Driver.phase_label ~provenance machines)
         in
         let result, compiled =
           if transport = "domains" then
@@ -785,6 +787,27 @@ let hashcons_arg =
           (false, info [ "no-hashcons" ] ~doc:"Disable hash-consed evaluation (default).");
         ])
 
+let dag_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "dag" ]
+              ~doc:
+                "First-class DAG evaluation: the shared DAG is the \
+                 evaluation substrate. One rule-instance set is built per \
+                 (repeated-subtree class, inherited context); the other \
+                 occurrences carry no instances and receive their \
+                 attributes by projection. Fragments ship each class body \
+                 once per machine. Rules that allocate unique labels fall \
+                 back to per-occurrence evaluation, so semantics are \
+                 unchanged up to label numbering. Works on every schedule \
+                 and transport; combine with --serve or --edit-session to \
+                 keep the sharing across edits." );
+          (false, info [ "no-dag" ] ~doc:"Disable DAG evaluation (default).");
+        ])
+
 let optimize_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Apply the peephole optimizer.")
 
@@ -931,7 +954,8 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ machines_arg $ evaluator_arg
       $ schedule_arg $ transport_arg $ granularity_arg $ no_librarian_arg $ no_priority_arg
-      $ hashcons_arg $ optimize_arg $ run_arg $ gantt_arg $ trace_arg
+      $ hashcons_arg $ dag_arg $ optimize_arg $ run_arg $ gantt_arg
+      $ trace_arg
       $ events_arg $ report_arg $ out_arg $ input_arg $ faults_arg
       $ fault_seed_arg $ edit_session_arg $ serve_arg $ batch_edits_arg
       $ explain_arg $ profile_arg $ profile_json_arg)

@@ -38,6 +38,16 @@ dune exec bin/pagc.exe -- --serve examples/three_tenants.serve \
   --batch-edits 4 >/dev/null
 dune exec bin/pagc.exe -- --machines 3 --batch-edits 2 \
   --edit-session examples/primes.edits examples/primes.pas >/dev/null
+# DAG evaluation smoke: the DAG-native steal schedule must emit the same
+# masked assembly as the sequential compile, and --explain on a DAG run
+# must verify the class-level provenance (occurrence fan-out edges)
+# against the reference dependency closure.
+dune exec bin/pagc.exe -- --dag --machines 3 --schedule steal \
+  examples/primes.pas -o /tmp/pagc_dag_smoke.s 2>/dev/null
+sed 's/[LP][0-9][0-9]*/X/g' /tmp/pagc_dag_smoke.s > /tmp/pagc_dag_smoke.masked
+cmp /tmp/pagc_seq_smoke.masked /tmp/pagc_dag_smoke.masked
+dune exec bin/pagc.exe -- --dag --machines 3 --schedule steal \
+  --explain root.code examples/primes.pas >/dev/null 2>&1
 # Provenance smoke: --explain exits nonzero unless the recorded slice
 # equals the reference engine's dependency closure; --profile-json must
 # produce parseable JSON with a critical path no longer than the makespan.

@@ -319,6 +319,43 @@ let sharing t =
     sh_occurs = Array.sub coccurs 0 !next;
   }
 
+type dag = {
+  dg_sharing : sharing;
+  dg_kids : int array array;
+  dg_occ_off : int array;
+  dg_occ : int array;
+}
+
+(* The canonical DAG form: child-class edges come from each class's
+   representative occurrence (any occurrence gives the same answer — the
+   class relation is exact), the occurrence CSR is a counting sort of node
+   ids by class, so each class's occurrences come out ascending and the
+   representative (first preorder occurrence) leads its list. *)
+let dag t =
+  let sh = sharing t in
+  let n = Array.length sh.sh_class in
+  let c = sh.sh_classes in
+  let kids = Array.make (max 1 c) [||] in
+  iter
+    (fun node ->
+      let cl = sh.sh_class.(node.id) in
+      if sh.sh_rep.(cl) = node.id then
+        kids.(cl) <- Array.map (fun ch -> sh.sh_class.(ch.id)) node.children)
+    t;
+  let off = Array.make (c + 1) 0 in
+  Array.iter (fun cl -> off.(cl + 1) <- off.(cl + 1) + 1) sh.sh_class;
+  for i = 1 to c do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let occ = Array.make (max 1 n) 0 in
+  let cursor = Array.sub off 0 (max 1 c) in
+  for id = 0 to n - 1 do
+    let cl = sh.sh_class.(id) in
+    occ.(cursor.(cl)) <- id;
+    cursor.(cl) <- cursor.(cl) + 1
+  done;
+  { dg_sharing = sh; dg_kids = Array.sub kids 0 c; dg_occ_off = off; dg_occ = occ }
+
 let rec pp fmt t =
   match t.prod with
   | None ->

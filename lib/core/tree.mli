@@ -111,4 +111,27 @@ type sharing = {
     the contiguity that slot-range snapshot/replay relies on). *)
 val sharing : t -> sharing
 
+(** Canonical DAG form: {!sharing} plus per-class child edges and the
+    occurrence map as a CSR partition. This is the evaluation substrate of
+    the DAG engine ({!Pag_eval.Dag}): one vertex per class, edges to child
+    classes, and for each class the ascending list of tree occurrences.
+
+    Invariants (property-tested in [test_dag]):
+    - the occurrence lists partition the node ids: every id appears in
+      exactly one class's list;
+    - [dg_occ.(dg_occ_off.(c))] = [sh_rep.(c)] — the first (lowest-id)
+      occurrence leads its class;
+    - occurrences of one class are pairwise disjoint subtrees (equal sizes
+      force it), so projecting one occurrence's slot range onto another is
+      an offset translation. *)
+type dag = {
+  dg_sharing : sharing;
+  dg_kids : int array array;  (** class id -> child class ids *)
+  dg_occ_off : int array;  (** class id -> offset into [dg_occ]; length classes+1 *)
+  dg_occ : int array;  (** occurrence node ids, grouped by class, ascending *)
+}
+
+(** Requires {!number}, like {!sharing}. *)
+val dag : t -> dag
+
 val pp : Format.formatter -> t -> unit

@@ -10,11 +10,16 @@ exception Cycle = Engine.Cycle
    machinery (CSR edges, argument codes, the ready ring) lives in
    {!Engine}; this module only adds telemetry and the stats record. *)
 
-let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo ?(prov = Prov.disabled)
-    ?prov_clock ?(engine_out = fun _ -> ()) g t =
+let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo ?(dag = false)
+    ?(dag_out = fun _ -> ()) ?(prov = Prov.disabled) ?prov_clock
+    ?(engine_out = fun _ -> ()) g t =
   let graph_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
   let store = Store.create ?root_inh g t in
-  let eng = Engine.create ?memo g store in
+  let dplan =
+    if dag then Some (Dag.plan g store (Pag_core.Tree.dag t)) else None
+  in
+  let rules_for = Option.map Dag.rules_for dplan in
+  let eng = Engine.create ?memo ?rules_for g store in
   (if Prov.enabled prov then
      let clock =
        match prov_clock with
@@ -28,7 +33,26 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo ?(prov = Prov.disabled)
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:graph_t0
       ~t1:(obs.Obs.x_clock ()) "graph-build";
   let eval_t0 = if Obs.ctx_enabled obs then obs.Obs.x_clock () else 0.0 in
-  let evals = Engine.run_topo eng gr in
+  let evals =
+    match dplan with
+    | None -> Engine.run_topo eng gr
+    | Some p ->
+        let rt = Dag.make p eng gr in
+        let n = Dag.run_topo rt eng gr in
+        dag_out rt;
+        if Obs.ctx_enabled obs then begin
+          let st = Dag.stats rt in
+          let reg = obs.Obs.x_metrics in
+          Obs.Metrics.add (Obs.Metrics.counter reg "dag.regions") st.Dag.dg_regions;
+          Obs.Metrics.add
+            (Obs.Metrics.counter reg "dag.projected_slots")
+            st.Dag.dg_projected_slots;
+          Obs.Metrics.add
+            (Obs.Metrics.counter reg "dag.materialized_rids")
+            st.Dag.dg_materialized_rids
+        end;
+        n
+  in
   if Obs.ctx_enabled obs then begin
     Obs.span obs.Obs.x_rec ~pid:obs.Obs.x_pid ~t0:eval_t0
       ~t1:(obs.Obs.x_clock ()) "toposort-eval";
@@ -54,7 +78,8 @@ let eval_inner ?(obs = Obs.null_ctx) ?root_inh ?memo ?(prov = Prov.disabled)
       evals;
     } )
 
-let eval ?obs ?root_inh ?hashcons ?prov ?prov_clock ?engine_out g t =
+let eval ?obs ?root_inh ?hashcons ?dag ?dag_out ?prov ?prov_clock ?engine_out
+    g t =
   let memo =
     match hashcons with
     | Some true -> Some (Memo.create_rules ())
@@ -62,6 +87,7 @@ let eval ?obs ?root_inh ?hashcons ?prov ?prov_clock ?engine_out g t =
   in
   let r, _ =
     Pag_core.Uid.with_base 0 (fun () ->
-        eval_inner ?obs ?root_inh ?memo ?prov ?prov_clock ?engine_out g t)
+        eval_inner ?obs ?root_inh ?memo ?dag ?dag_out ?prov ?prov_clock
+          ?engine_out g t)
   in
   r

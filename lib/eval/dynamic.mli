@@ -31,6 +31,15 @@ exception Cycle of string
     Label-consuming rules are detected and never memoized; semantics are
     unchanged.
 
+    [~dag:true] makes the shared DAG the evaluation substrate: the
+    instance table is built with one rule-instance set per unique subtree
+    ({!Dag}) — non-leader occurrences of shared classes are parked and
+    resolved at runtime by projecting their class evaluation's slot range
+    (same inherited fingerprint) or materializing their own instances
+    (divergent fingerprint, or uid-consuming class). Results are identical
+    to [~dag:false] up to label numbering. [dag_out] hands out the DAG
+    runtime for post-run statistics.
+
     [prov]/[prov_clock]/[engine_out] mirror {!Static_eval.eval}: attach a
     provenance ring to the run's engine and hand the engine out for
     post-run analysis ({!Causal}). *)
@@ -38,6 +47,8 @@ val eval :
   ?obs:Pag_obs.Obs.ctx ->
   ?root_inh:(string * Value.t) list ->
   ?hashcons:bool ->
+  ?dag:bool ->
+  ?dag_out:(Dag.t -> unit) ->
   ?prov:Pag_obs.Prov.t ->
   ?prov_clock:(unit -> float) ->
   ?engine_out:(Engine.t -> unit) ->

@@ -40,6 +40,11 @@ type t = {
   mutable e_nconsts : int;
   mutable e_consts : Value.t array;
   mutable e_dead : Bytes.t;  (* rid -> detached by an edit? *)
+  mutable e_norules : Bytes.t;
+      (* dense node index -> production node whose rules were suppressed by
+         [rules_for] (remote stubs, parked DAG occurrences): its rid_base
+         entry is meaningless and must not be used until
+         {!materialize_subtree} resolves the node *)
   mutable e_rid_base : int array;  (* dense node index -> first rid *)
   mutable e_nodes_covered : int;  (* length of the rid_base prefix in use *)
   mutable e_slot_args : int;  (* non-const args: the classic "edges" stat *)
@@ -91,6 +96,22 @@ let mark_dead e rid =
   let b = rid lsr 3 in
   Bytes.set e.e_dead b
     (Char.chr (Char.code (Bytes.get e.e_dead b) lor (1 lsl (rid land 7))))
+
+let norules_bit e i =
+  Char.code (Bytes.unsafe_get e.e_norules (i lsr 3)) land (1 lsl (i land 7))
+  <> 0
+
+let set_norules e i =
+  let b = i lsr 3 in
+  Bytes.set e.e_norules b
+    (Char.chr (Char.code (Bytes.get e.e_norules b) lor (1 lsl (i land 7))))
+
+let clear_norules e i =
+  let b = i lsr 3 in
+  Bytes.set e.e_norules b
+    (Char.chr (Char.code (Bytes.get e.e_norules b) land lnot (1 lsl (i land 7))))
+
+let has_rules e node = not (norules_bit e (Store.dense_index e.e_store node))
 
 let rid_at e node ridx =
   e.e_rid_base.(Store.dense_index e.e_store node) + ridx
@@ -175,12 +196,15 @@ let resolve_node e (node : Tree.t) =
 let add_node e ~rules_for (node : Tree.t) =
   let i = e.e_nodes_covered in
   e.e_rid_base <- grow e.e_rid_base (i + 1) 1 0;
+  e.e_norules <- grow_bytes e.e_norules (i + 1);
   e.e_rid_base.(i) <- e.e_n;
   e.e_nodes_covered <- i + 1;
   e.e_rid_base.(i + 1) <- e.e_n;
   match node.Tree.prod with
   | None -> ()
-  | Some p when not (rules_for node) -> ignore p
+  | Some p when not (rules_for node) ->
+      ignore p;
+      set_norules e i
   | Some p ->
       let nr = Array.length p.Grammar.p_rules in
       let na = ref 0 and nt = ref 0 in
@@ -219,6 +243,7 @@ let create ?memo ?(rules_for = fun _ -> true) g st =
       e_nconsts = 0;
       e_consts = [| Value.Unit |];
       e_dead = Bytes.make 1 '\000';
+      e_norules = Bytes.make (max 1 ((Store.node_count st + 7) / 8)) '\000';
       e_rid_base = Array.make (Store.node_count st + 1) 0;
       e_nodes_covered = 0;
       e_slot_args = 0;
@@ -243,18 +268,72 @@ let append e sub =
   Tree.iter (fun node -> add_node e ~rules_for:(fun _ -> true) node) sub;
   (rid_lo, e.e_n)
 
+(* Late resolution of a subtree whose rules were suppressed at construction
+   (a parked DAG occurrence whose inherited fingerprint diverged from its
+   class leader's). The nodes' slots already exist, so unlike {!append}
+   nothing is reserved in the store — the new instances are appended at the
+   end of the flat table and each node's [rid_base] entry is repointed
+   there. After this, [rid_base.(i+1)] no longer bounds node [i]'s rids
+   (the production's rule count does — {!kill_subtree} and {!rid_at} only
+   rely on that); {!note_replayed}'s range walk stays valid because the
+   static path never materializes. Returns the new (rid_lo, rid_hi). *)
+let materialize_subtree ?(prune = fun _ -> false) e sub =
+  let rid_lo = e.e_n in
+  (* Preorder, like {!Tree.iter}, but [prune] cuts whole child subtrees:
+     the DAG runtime materializes a region's spine while nested parked
+     regions keep their suppressed instances (they resolve on their own).
+     The root itself is never pruned. *)
+  let resolve (node : Tree.t) =
+    match node.Tree.prod with
+    | None -> ()
+    | Some p ->
+        let i = Store.dense_index e.e_store node in
+        if norules_bit e i then begin
+          let nr = Array.length p.Grammar.p_rules in
+          let na = ref 0 and nt = ref 0 in
+          Array.iter
+            (fun (r : Grammar.rule) ->
+              na := !na + Array.length r.Grammar.r_rdeps;
+              Array.iter
+                (fun (d : Grammar.rref) -> if d.Grammar.rr_term then incr nt)
+                r.Grammar.r_rdeps)
+            p.Grammar.p_rules;
+          e.e_rules <- grow e.e_rules e.e_n nr dummy_rule;
+          e.e_node <- grow e.e_node e.e_n nr node;
+          e.e_key <- grow e.e_key e.e_n nr 0;
+          e.e_target <- grow e.e_target e.e_n nr 0;
+          e.e_arg_off <- grow e.e_arg_off (e.e_n + 1) nr 0;
+          e.e_arg_code <- grow e.e_arg_code e.e_args !na 0;
+          e.e_consts <- grow e.e_consts e.e_nconsts !nt Value.Unit;
+          e.e_dead <- grow_bytes e.e_dead (e.e_n + nr);
+          e.e_rid_base.(i) <- e.e_n;
+          clear_norules e i;
+          resolve_node e node
+        end
+  in
+  let rec go (node : Tree.t) =
+    resolve node;
+    Array.iter (fun k -> if not (prune k) then go k) node.Tree.children
+  in
+  go sub;
+  (rid_lo, e.e_n)
+
 (* Detach a subtree's rule instances: they keep their slots and last values
-   but no scheduler fires or propagates through them again. *)
+   but no scheduler fires or propagates through them again. Suppressed
+   nodes have no instances to detach. *)
 let kill_subtree e sub =
   Tree.iter
     (fun (node : Tree.t) ->
       match node.Tree.prod with
       | None -> ()
       | Some p ->
-          let base = e.e_rid_base.(Store.dense_index e.e_store node) in
-          for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
-            mark_dead e (base + ridx)
-          done)
+          let i = Store.dense_index e.e_store node in
+          if not (norules_bit e i) then begin
+            let base = e.e_rid_base.(i) in
+            for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+              mark_dead e (base + ridx)
+            done
+          end)
     sub
 
 (* ------------------------------------------------------------------ *)
@@ -295,6 +374,10 @@ let set_prov ?(pid = 0) ?dwell_dynamic ?dwell_static ~clock e p =
 let set_prov_pid e pid = e.e_prov_pid <- pid
 
 let prov e = e.e_prov
+
+let prov_pid e = e.e_prov_pid
+
+let prov_clock e = e.e_prov_clock
 
 let note_fire e rid t0 dwell =
   let p = e.e_prov in
@@ -444,6 +527,10 @@ let reresolve_node e ?graph (node : Tree.t) =
   match node.Tree.prod with
   | None -> ()
   | Some p ->
+      if norules_bit e (Store.dense_index e.e_store node) then
+        invalid_arg
+          "Engine.reresolve_node: node has suppressed rules (materialize \
+           the occurrence first)";
       let base = e.e_rid_base.(Store.dense_index e.e_store node) in
       Array.iteri
         (fun ridx (r : Grammar.rule) ->

@@ -112,6 +112,13 @@ val set_prov_pid : t -> int -> unit
 (** The attached ring ({!Pag_obs.Prov.disabled} when none). *)
 val prov : t -> Pag_obs.Prov.t
 
+(** Machine id and clock attached by {!set_prov} — for callers recording
+    auxiliary provenance (the DAG runtime's projection fan-out records)
+    alongside the engine's own firing records. *)
+val prov_pid : t -> int
+
+val prov_clock : t -> unit -> float
+
 (** Record zero-duration [replay] firings for every rule instance of a
     subtree whose slots were just set by a memoized replay
     ({!Memo.Replayed}) — keeps provenance slices complete under
@@ -126,8 +133,31 @@ val note_replayed : t -> Tree.t -> unit
     [rid_lo .. rid_hi - 1]). *)
 val append : t -> Tree.t -> int * int
 
-(** Mark every rule instance of a detached subtree dead. *)
+(** Mark every rule instance of a detached subtree dead. Nodes whose rules
+    were suppressed by [rules_for] are skipped (they have none). *)
 val kill_subtree : t -> Tree.t -> unit
+
+(** {1 Suppressed occurrences (DAG evaluation support)}
+
+    [rules_for] at {!create} can park nodes without instances — remote
+    stubs, or non-leader occurrences of a shared subtree class. The DAG
+    runtime ({!Dag}) resolves a parked occurrence late when its inherited
+    context diverges from its class leader's. *)
+
+(** Does the node have resolved rule instances ([rules_for] accepted it or
+    {!materialize_subtree} resolved it since)? [rid_at] and
+    {!reresolve_node} must not be used while this is [false]. *)
+val has_rules : t -> Tree.t -> bool
+
+(** [materialize_subtree e sub] resolves rule instances for every node of
+    [sub] whose rules were suppressed at construction. The nodes' slots
+    already exist in the store (unlike {!append}); the instances land at
+    the end of the flat table, so follow with {!graph_note_range} exactly
+    as after an append. [prune] cuts whole child subtrees out of the walk
+    (the root is never pruned) — the DAG runtime uses it to materialize a
+    region's spine while nested parked regions stay suppressed. Returns
+    the new [(rid_lo, rid_hi)]. *)
+val materialize_subtree : ?prune:(Tree.t -> bool) -> t -> Tree.t -> int * int
 
 (** {1 Dependency graph} *)
 

@@ -70,6 +70,8 @@ type session = {
   s_prov : Prov.t;
   s_frontier : float;
   s_cursor : int ref;
+  s_use_dag : bool;
+  mutable s_dag : Dag.t option;  (* the run's DAG runtime when [s_use_dag] *)
   mutable s_tree : Tree.t;
   mutable s_store : Store.t;
   mutable s_engine : Engine.t;
@@ -99,6 +101,8 @@ let engine s = s.s_engine
 let prov s = s.s_prov
 
 let live_slots s = s.s_live_slots
+
+let dag_stats s = Option.map Dag.stats s.s_dag
 
 (* Attribute instances a (sub)tree owns in the store: one slot per
    declared attribute of each node's symbol (see {!Store.create}). *)
@@ -139,14 +143,27 @@ let attach_prov s eng =
 
 let build s =
   let store = Store.create s.s_g s.s_tree in
-  let eng = Engine.create ?memo:s.s_memo s.s_g store in
+  let dplan =
+    if s.s_use_dag then Some (Dag.plan s.s_g store (Tree.dag s.s_tree))
+    else None
+  in
+  let eng =
+    Engine.create ?memo:s.s_memo
+      ?rules_for:(Option.map Dag.rules_for dplan)
+      s.s_g store
+  in
   (* The compacting rebuild renumbers slots: stale records would resolve
      against the wrong instances. Clear the ring — the from-scratch
      re-evaluation below repopulates it consistently with the new engine. *)
   Prov.clear s.s_prov;
   attach_prov s eng;
   let gr = Engine.graph eng in
-  Uid.with_counter s.s_cursor (fun () -> ignore (Engine.run_topo eng gr));
+  let rt = Option.map (fun p -> Dag.make p eng gr) dplan in
+  Uid.with_counter s.s_cursor (fun () ->
+      match rt with
+      | None -> ignore (Engine.run_topo eng gr)
+      | Some rt -> ignore (Dag.run_topo rt eng gr));
+  s.s_dag <- rt;
   s.s_store <- store;
   s.s_engine <- eng;
   s.s_graph <- gr;
@@ -155,7 +172,7 @@ let build s =
   s.s_live_slots <- Store.slot_count store;
   s.s_changed <- Array.make (max 1 (Store.slot_count store)) 0
 
-let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false)
+let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false) ?(dag = false)
     ?(prov = Prov.disabled) ?(frontier = 0.6) g tree =
   let memo =
     match memo with
@@ -164,12 +181,19 @@ let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false)
   in
   let cursor = ref 0 in
   let store = Store.create g tree in
-  let eng = Engine.create ?memo g store in
+  let dplan = if dag then Some (Dag.plan g store (Tree.dag tree)) else None in
+  let eng =
+    Engine.create ?memo ?rules_for:(Option.map Dag.rules_for dplan) g store
+  in
   (if Prov.enabled prov then
      let clock = if Obs.ctx_enabled obs then obs.Obs.x_clock else Sys.time in
      Engine.set_prov ~pid:obs.Obs.x_pid ~clock eng prov);
   let gr = Engine.graph eng in
-  Uid.with_counter cursor (fun () -> ignore (Engine.run_topo eng gr));
+  let rt = Option.map (fun p -> Dag.make p eng gr) dplan in
+  Uid.with_counter cursor (fun () ->
+      match rt with
+      | None -> ignore (Engine.run_topo eng gr)
+      | Some rt -> ignore (Dag.run_topo rt eng gr));
   {
     s_g = g;
     s_obs = obs;
@@ -177,6 +201,8 @@ let start ?(obs = Obs.null_ctx) ?memo ?(hashcons = false)
     s_prov = prov;
     s_frontier = frontier;
     s_cursor = cursor;
+    s_use_dag = dag;
+    s_dag = rt;
     s_tree = tree;
     s_store = store;
     s_engine = eng;
@@ -237,10 +263,62 @@ let add_set set rid =
   let b = rid lsr 3 in
   Bytes.set set b (Char.chr (Char.code (Bytes.get set b) lor (1 lsl (rid land 7))))
 
+(* Grow a rule-id bitset to cover [n] rules. DAG sessions materialize
+   instances mid-edit (see {!revive_site}), so the rule table can outgrow
+   bitsets sized at the edit's start. *)
+let ensure b n =
+  let need = (n + 7) / 8 in
+  if Bytes.length !b < need then begin
+    let nb = Bytes.make (max need (2 * Bytes.length !b)) '\000' in
+    Bytes.blit !b 0 nb 0 (Bytes.length !b);
+    b := nb
+  end
+
+(* Rule instances a detached subtree actually owned: parked occurrences
+   inside it never had theirs resolved. *)
+let killed_rules eng old =
+  Tree.fold
+    (fun acc (n : Tree.t) ->
+      match n.Tree.prod with
+      | None -> acc
+      | Some p ->
+          if Engine.has_rules eng n then acc + Array.length p.Grammar.p_rules
+          else acc)
+    0 old
+
+(* An edit inside a projected occurrence splits it off its class before
+   any surgery: the covering region materializes (sticky — it never
+   re-projects), so the nodes about to be killed and the parent about to
+   be re-resolved have live rule instances. Must run before
+   {!Tree.replace_subtree} — materialization walks the region's current
+   subtree. *)
+let revive_site s gr (parent : Tree.t) =
+  match s.s_dag with
+  | None -> ()
+  | Some rt -> (
+      match Dag.revive_node rt gr parent.Tree.id with
+      | None -> ()
+      | Some (lo, hi) -> s.s_live_rules <- s.s_live_rules + (hi - lo))
+
+(* The dirty cone is reaching an inherited gate of a projected occurrence:
+   its context may diverge from its class's, so split it off and return
+   the fresh instances for the cone (non-seeds — the equality cutoff
+   discards them when the gate value turns out unchanged). *)
+let revive_slot s gr slot =
+  match s.s_dag with
+  | None -> None
+  | Some rt -> (
+      match Dag.revive_gate rt gr slot with
+      | None -> None
+      | Some (lo, hi) as r ->
+          s.s_live_rules <- s.s_live_rules + (hi - lo);
+          r)
+
 let replace s ~parent ~pos repl =
   let t0 = Sys.time () in
   s.s_epoch0 <- s.s_epoch;
   let eng = s.s_engine and gr = s.s_graph in
+  revive_site s gr parent;
   s.s_next_id <- Tree.number_from repl s.s_next_id;
   let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
   let added = tree_slots s.s_g repl in
@@ -264,14 +342,7 @@ let replace s ~parent ~pos repl =
   end;
   (* Detach the old subtree's instances, append the replacement's, rewire
      the edit site. *)
-  let killed =
-    Tree.fold
-      (fun acc (n : Tree.t) ->
-        match n.Tree.prod with
-        | None -> acc
-        | Some p -> acc + Array.length p.Grammar.p_rules)
-      0 old
-  in
+  let killed = killed_rules eng old in
   Engine.kill_subtree eng old;
   let rid_lo, rid_hi = Engine.append eng repl in
   Engine.graph_note_range eng gr ~rid_lo ~rid_hi;
@@ -280,20 +351,20 @@ let replace s ~parent ~pos repl =
   (* Seeds: the appended instances (their slots are all unset) and the edit
      site's own instances (their references moved). *)
   let n = Engine.rule_count eng in
-  let seed = Bytes.make ((n + 7) / 8) '\000' in
-  let dirty = Bytes.make ((n + 7) / 8) '\000' in
+  let seed = ref (Bytes.make (max 1 ((n + 7) / 8)) '\000') in
+  let dirty = ref (Bytes.make (max 1 ((n + 7) / 8)) '\000') in
   let cone = ref [] and cone_n = ref 0 in
   let stack = ref [] in
   let push rid =
-    if not (in_set dirty rid) then begin
-      add_set dirty rid;
+    if not (in_set !dirty rid) then begin
+      add_set !dirty rid;
       cone := rid :: !cone;
       incr cone_n;
       stack := rid :: !stack
     end
   in
   for rid = rid_lo to rid_hi - 1 do
-    add_set seed rid;
+    add_set !seed rid;
     push rid
   done;
   (match parent.Tree.prod with
@@ -301,7 +372,7 @@ let replace s ~parent ~pos repl =
   | Some p ->
       for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
         let rid = Engine.rid_at eng parent ridx in
-        add_set seed rid;
+        add_set !seed rid;
         push rid
       done);
   (* Phase 1: dirty cone = consumer-edge closure of the seeds. *)
@@ -310,7 +381,16 @@ let replace s ~parent ~pos repl =
     | [] -> ()
     | rid :: rest ->
         stack := rest;
-        Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
+        let tgt = Engine.target_slot eng rid in
+        (match revive_slot s gr tgt with
+        | None -> ()
+        | Some (lo, hi) ->
+            ensure seed (Engine.rule_count eng);
+            ensure dirty (Engine.rule_count eng);
+            for r = lo to hi - 1 do
+              push r
+            done);
+        Engine.iter_consumers gr tgt (fun c ->
             if not (Engine.is_dead eng c) then push c);
         close ()
   in
@@ -333,7 +413,7 @@ let replace s ~parent ~pos repl =
         let w = ref 0 in
         Engine.iter_slot_args eng rid (fun slot ->
             let p = Engine.producer gr slot in
-            if p >= 0 && (not (Engine.is_dead eng p)) && in_set dirty p then
+            if p >= 0 && (not (Engine.is_dead eng p)) && in_set !dirty p then
               incr w);
         Hashtbl.replace pending rid !w)
       cone;
@@ -347,7 +427,7 @@ let replace s ~parent ~pos repl =
           let rid = Queue.take queue in
           incr processed;
           let must =
-            in_set seed rid
+            in_set !seed rid
             ||
             let hit = ref false in
             Engine.iter_slot_args eng rid (fun slot ->
@@ -361,7 +441,7 @@ let replace s ~parent ~pos repl =
            end
            else incr cutoff);
           Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
-              if (not (Engine.is_dead eng c)) && in_set dirty c then begin
+              if (not (Engine.is_dead eng c)) && in_set !dirty c then begin
                 let w = Hashtbl.find pending c - 1 in
                 Hashtbl.replace pending c w;
                 if w = 0 then Queue.add c queue
@@ -456,14 +536,6 @@ let edit_batch ?(domains = 1) s nexts =
     Hashtbl.reset w_touched;
     Hashtbl.reset w_owner
   in
-  let ensure b n =
-    let need = (n + 7) / 8 in
-    if Bytes.length !b < need then begin
-      let nb = Bytes.make (max need (2 * Bytes.length !b)) '\000' in
-      Bytes.blit !b 0 nb 0 (Bytes.length !b);
-      b := nb
-    end
-  in
   (* From-scratch rebuild subsuming whatever wave is pending. *)
   let rebuild ~dirty =
     incr fallbacks;
@@ -525,9 +597,13 @@ let edit_batch ?(domains = 1) s nexts =
            match n.Tree.prod with
            | None -> ()
            | Some p ->
-               for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
-                 if in_set !w_dirty (Engine.rid_at eng n ridx) then bad := true
-               done)
+               (* Parked occurrences own no instances; their rid base is
+                  stale and must not be consulted. *)
+               if Engine.has_rules eng n then
+                 for ridx = 0 to Array.length p.Grammar.p_rules - 1 do
+                   if in_set !w_dirty (Engine.rid_at eng n ridx) then
+                     bad := true
+                 done)
          parent.Tree.children.(pos);
        !bad)
   in
@@ -535,6 +611,7 @@ let edit_batch ?(domains = 1) s nexts =
      {!replace}, with the refire deferred to the wave flush). *)
   let graft ~parent ~pos repl =
     let eng = s.s_engine and gr = s.s_graph in
+    revive_site s gr parent;
     s.s_next_id <- Tree.number_from repl s.s_next_id;
     let old = Tree.replace_subtree s.s_g ~parent ~pos repl in
     let added = tree_slots s.s_g repl in
@@ -549,14 +626,7 @@ let edit_batch ?(domains = 1) s nexts =
         Array.blit s.s_changed 0 a 0 (Array.length s.s_changed);
         s.s_changed <- a
       end;
-      let killed =
-        Tree.fold
-          (fun acc (n : Tree.t) ->
-            match n.Tree.prod with
-            | None -> acc
-            | Some p -> acc + Array.length p.Grammar.p_rules)
-          0 old
-      in
+      let killed = killed_rules eng old in
       Engine.kill_subtree eng old;
       let rid_lo, rid_hi = Engine.append eng repl in
       Engine.graph_note_range eng gr ~rid_lo ~rid_hi;
@@ -594,7 +664,16 @@ let edit_batch ?(domains = 1) s nexts =
         | [] -> ()
         | rid :: rest ->
             stack := rest;
-            Engine.iter_consumers gr (Engine.target_slot eng rid) (fun c ->
+            let tgt = Engine.target_slot eng rid in
+            (match revive_slot s gr tgt with
+            | None -> ()
+            | Some (lo, hi) ->
+                ensure w_seed (Engine.rule_count eng);
+                ensure w_dirty (Engine.rule_count eng);
+                for r = lo to hi - 1 do
+                  push r
+                done);
+            Engine.iter_consumers gr tgt (fun c ->
                 if not (Engine.is_dead eng c) then push c);
             close ()
       in

@@ -62,6 +62,15 @@ type wave_stats = {
     scratch. With a live [obs] context each edit records the [incr.*]
     counters and the [incr.prop_ms] histogram.
 
+    [~dag:true] makes the shared DAG the evaluation substrate ({!Dag}):
+    the initial evaluation parks repeated-subtree occurrences and projects
+    their synthesized attributes from one evaluation per (class ×
+    inherited fingerprint). Edits then split classes on divergence only:
+    a graft inside a projected occurrence, or a dirty cone reaching the
+    inherited gate of one, materializes that occurrence (sticky) while the
+    other occurrences keep their values untouched. Fallback rebuilds
+    re-plan the DAG on the compacted tree, restoring full sharing.
+
     [prov] attaches a provenance ring that survives the session's engine
     rebuilds: the initial evaluation and every refire append records, and
     a fallback rebuild clears the ring before re-recording its
@@ -73,6 +82,7 @@ val start :
   ?obs:Pag_obs.Obs.ctx ->
   ?memo:Memo.rules ->
   ?hashcons:bool ->
+  ?dag:bool ->
   ?prov:Pag_obs.Prov.t ->
   ?frontier:float ->
   Grammar.t ->
@@ -145,3 +155,9 @@ val edit_batch : ?domains:int -> session -> Tree.t list -> wave_stats
 val changed : session -> Tree.t -> string -> bool
 
 val totals : session -> totals
+
+(** DAG-sharing statistics of the session's current evaluation ([None]
+    unless the session was started with [~dag:true]). [dg_materialized]
+    grows as edits split projected occurrences off their classes; a
+    fallback rebuild resets the counts for the re-planned DAG. *)
+val dag_stats : session -> Dag.stats option

@@ -393,6 +393,24 @@ let snapshot_range s ~lo ~hi =
 let replay_range s ~lo entries =
   Array.iter (fun (off, v) -> define_slot s (lo + off) v) entries
 
+(* Occurrence projection (DAG evaluation support): fan one evaluated
+   occurrence's slot values out to a structurally identical occurrence at a
+   different offset. Only slots set in the source and unset in the
+   destination are copied — the destination's already-set slots are its
+   inherited context, which the caller has checked is fingerprint-equal to
+   the source's. [f] runs once per slot this call defines, so a scheduler
+   can release the consumers of projected values. *)
+let project_range s ~src_lo ~dst_lo ~len f =
+  for i = 0 to len - 1 do
+    let src = src_lo + i and dst = dst_lo + i in
+    if slot_is_set s src && not (slot_is_set s dst) then begin
+      s.vals.(dst) <- s.vals.(src);
+      mark_set s dst;
+      s.n_sets <- s.n_sets + 1;
+      f dst
+    end
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Iteration                                                           *)
 (* ------------------------------------------------------------------ *)

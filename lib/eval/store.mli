@@ -186,3 +186,16 @@ val snapshot_range : t -> lo:int -> hi:int -> (int * Value.t) array
 (** Define each snapshot entry at [lo] + offset. Entries equal to already
     set slots are idempotent no-ops, like any re-{!set}. *)
 val replay_range : t -> lo:int -> (int * Value.t) array -> unit
+
+(** {1 Occurrence projection (DAG evaluation support)}
+
+    [project_range s ~src_lo ~dst_lo ~len f] copies every slot value set in
+    [src_lo .. src_lo+len) onto the corresponding offset of
+    [dst_lo .. dst_lo+len), skipping destination slots that are already set
+    (the destination occurrence's inherited context — the caller guarantees
+    it is fingerprint-equal to the source's). Calls [f dst_slot] once per
+    newly defined slot, in ascending order, so the scheduler can release
+    consumers. This is how the DAG engine fans one class evaluation out to
+    its other occurrences without firing their rules. *)
+val project_range :
+  t -> src_lo:int -> dst_lo:int -> len:int -> (int -> unit) -> unit

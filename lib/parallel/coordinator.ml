@@ -71,13 +71,13 @@ let run ?(obs = Obs.null_ctx) ?recovery ?sharing (env : Transport.env) g ~tree
   let evaluators =
     Array.to_list (Array.map (fun (f : Split.fragment) -> f.Split.fr_id + 1) frags)
   in
-  (* Hand out subtrees; evaluator for fragment i is machine i+1. With
-     sharing classes known on both ends, repeated subtrees ship as
-     backreferences ({!Split.dag_bytes}) — less wire and less rebuild. *)
+  (* Hand out subtrees; evaluator for fragment i is machine i+1. Each
+     assignment is priced as the length of its real wire encoding
+     ({!Split.encode}); with sharing classes known on both ends, repeated
+     subtrees ship as backreferences — each class body crosses the wire
+     once per machine, less wire and less rebuild. *)
   let frag_bytes (f : Split.fragment) =
-    match sharing with
-    | Some sh -> Split.dag_bytes plan sh f
-    | None -> f.Split.fr_bytes
+    String.length (Split.encode ?sharing plan f)
   in
   Array.iter
     (fun (f : Split.fragment) ->

@@ -10,6 +10,7 @@ type options = {
   use_priority : bool;
   use_librarian : bool;
   use_hashcons : bool;
+  use_dag : bool;
   cost : Cost.t;
   net_params : Ethernet.params;
   phase_label : int -> string option;
@@ -29,6 +30,7 @@ let default_options =
     use_priority = true;
     use_librarian = true;
     use_hashcons = false;
+    use_dag = false;
     cost = Cost.default;
     net_params = Ethernet.default_params;
     phase_label = (fun _ -> None);
@@ -312,8 +314,13 @@ let sim_env sim id =
 let run_sim_static opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
   (* Sharing classes are computed once on the numbered tree; the immutable
-     arrays are read concurrently by every machine's memo. *)
-  let sharing = if opts.use_hashcons then Some (Tree.sharing tree) else None in
+     arrays are read concurrently by every machine's memo. On the static
+     schedule [--dag] collapses on the same unit as [--hashcons] — the
+     subtree memo keyed on these classes — so both flags route here. *)
+  let sharing =
+    if opts.use_hashcons || opts.use_dag then Some (Tree.sharing tree)
+    else None
+  in
   let nfrags = Split.count split in
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let sim = S.create ~params:opts.net_params () in
@@ -521,7 +528,20 @@ let run_sim_steal opts g tree =
   let injector = Option.map Faults.make opts.faults in
   let rto = Option.value opts.fault_rto ~default:sim_rto in
   let store = ESt.create_shared g tree in
-  let eng = Eng.create g store in
+  (* With [--dag] the shared DAG is the evaluation substrate: repeated
+     subtrees get one rule-instance set per (class × inherited
+     fingerprint), parked occurrences own no instances at all, and their
+     synthesized attributes arrive by projection when the leader's region
+     completes. The steal scheduler drains the same deques; the DAG
+     runtime only adds work through the two hooks below (projection
+     releases consumers, materialization seeds fresh instances). *)
+  let dag = if opts.use_dag then Some (Tree.dag tree) else None in
+  let dplan =
+    Option.map (fun d -> Pag_eval.Dag.plan g store d) dag
+  in
+  let eng =
+    Eng.create ?rules_for:(Option.map Pag_eval.Dag.rules_for dplan) g store
+  in
   (* One ring for the shared engine: machine fibers are cooperative on one
      OS thread, so retargeting the pid before each fire is race-free.
      Durations are priced at the steal-rule cost — the virtual clock
@@ -543,8 +563,9 @@ let run_sim_steal opts g tree =
   let owner_machine rid =
     machine_of_frag node_frag.(ESt.dense_index store (Eng.node_of eng rid))
   in
-  (* readiness: plain counters — all fibers share one OS thread *)
-  let waiting = Array.make (max 1 n) 0 in
+  (* readiness: plain counters — all fibers share one OS thread. The
+     array is growable because DAG materialization appends instances. *)
+  let waiting = ref (Array.make (max 1 n) 0) in
   let deques = Array.init (m + 1) (fun _ -> Steal.create ()) in
   let stats = Array.init (m + 1) (fun _ -> Steal.zero_stats ()) in
   let own_rids = Array.make (m + 1) 0 in
@@ -558,22 +579,70 @@ let run_sim_steal opts g tree =
       Eng.iter_slot_args eng rid (fun slot ->
           own_edges.(k) <- own_edges.(k) + 1;
           if not (ESt.slot_is_set store slot) then
-            waiting.(rid) <- waiting.(rid) + 1);
-      if waiting.(rid) = 0 then begin
+            !waiting.(rid) <- !waiting.(rid) + 1);
+      if !waiting.(rid) = 0 then begin
         Steal.push deques.(k) rid;
         incr pending
       end
     end
   done;
-  let live = !live in
   let fired_total = ref 0 in
   let finisher = ref (-1) in
+  (* The machine whose fiber is currently running; hook-pushed work lands
+     on its deque (cooperative fibers, so the read is race-free). *)
+  let cur = ref 1 in
+  let rt =
+    match dplan with
+    | None -> None
+    | Some p ->
+        let rt = Pag_eval.Dag.make p eng gr in
+        let release slot =
+          Eng.iter_consumers gr slot (fun c ->
+              if not (Eng.is_dead eng c) then begin
+                !waiting.(c) <- !waiting.(c) - 1;
+                if !waiting.(c) = 0 then begin
+                  incr pending;
+                  Steal.push deques.(!cur) c
+                end
+              end)
+        in
+        Pag_eval.Dag.set_hooks rt ~on_defined:release
+          ~on_new_rids:(fun lo hi ->
+            if hi > Array.length !waiting then begin
+              let w = Array.make (max hi (2 * Array.length !waiting)) 0 in
+              Array.blit !waiting 0 w 0 (Array.length !waiting);
+              waiting := w
+            end;
+            for rid = lo to hi - 1 do
+              if not (Eng.is_dead eng rid) then begin
+                incr live;
+                let wct = ref 0 in
+                Eng.iter_slot_args eng rid (fun slot ->
+                    if not (ESt.slot_is_set store slot) then incr wct);
+                !waiting.(rid) <- !wct;
+                if !wct = 0 then begin
+                  incr pending;
+                  Steal.push deques.(!cur) rid
+                end
+              end
+            done);
+        Pag_eval.Dag.prime rt;
+        Some rt
+  in
   let sends = Array.make (m + 1) 0 in
+  (* Assignment pricing: with the DAG, each fragment ships as its real
+     wire encoding — class bodies cross once per machine, repeats as
+     backreferences ({!Split.dag_bytes}). *)
+  let frag_wire (f : Split.fragment) =
+    match dag with
+    | Some d -> Split.dag_bytes split d.Tree.dg_sharing f
+    | None -> f.Split.fr_bytes
+  in
   let bytes_per_machine = Array.make (m + 1) 0 in
   Array.iter
     (fun (f : Split.fragment) ->
       let k = machine_of_frag f.Split.fr_id in
-      bytes_per_machine.(k) <- bytes_per_machine.(k) + f.Split.fr_bytes)
+      bytes_per_machine.(k) <- bytes_per_machine.(k) + frag_wire f)
     (Split.fragments split);
   let ctxs = make_ctxs opts ~n:(m + 1) ~clock:(fun () -> S.time ()) in
   let attrs = ref [] in
@@ -636,26 +705,55 @@ let run_sim_steal opts g tree =
           S.delay (float_of_int own_rids.(k) *. opts.cost.Cost.steal_init);
           let cursor = ref (k * Uid.stride) in
           let exec rid =
+            cur := k;
             if opts.provenance then Eng.set_prov_pid eng k;
-            Uid.with_counter cursor (fun () -> Eng.fire eng rid);
+            (match rt with
+            | None -> Uid.with_counter cursor (fun () -> Eng.fire eng rid)
+            | Some rt ->
+                (* Mark inside the counter bracket: the fiber draws labels
+                   from its own cursor, so that is the cursor whose motion
+                   witnesses a uid-consuming (untaintable) rule. *)
+                Uid.with_counter cursor (fun () ->
+                    let u0 = Uid.mark () in
+                    Eng.fire eng rid;
+                    if Uid.mark () <> u0 then
+                      Pag_eval.Dag.note_taint rt
+                        (Eng.node_of eng rid).Tree.id));
             S.delay opts.cost.Cost.steal_rule;
             st.Steal.st_fired <- st.Steal.st_fired + 1;
             incr fired_total;
-            if !fired_total = live then finisher := k;
-            Eng.iter_consumers gr (Eng.target_slot eng rid) (fun c ->
+            if !fired_total = !live then finisher := k;
+            let tgt = Eng.target_slot eng rid in
+            Eng.iter_consumers gr tgt (fun c ->
                 if not (Eng.is_dead eng c) then begin
-                  waiting.(c) <- waiting.(c) - 1;
-                  if waiting.(c) = 0 then begin
+                  !waiting.(c) <- !waiting.(c) - 1;
+                  if !waiting.(c) = 0 then begin
                     incr pending;
                     Steal.push my c;
                     let depth = Steal.size my in
                     if depth > st.Steal.st_hwm then st.Steal.st_hwm <- depth
                   end
                 end);
+            (* Projections and materializations cascade back through the
+               hooks, landing on this machine's deque. *)
+            Option.iter (fun rt -> Pag_eval.Dag.note_define rt tgt) rt;
             decr pending
           in
+          (* When the deques run dry with the store incomplete, a parked
+             occurrence's gate is fed by its own class's output (repmin
+             shape): demand-materialize the lowest stalled region and keep
+             going. Any fiber may hit this; the choice is deterministic. *)
+          let more () =
+            !pending > 0
+            ||
+            match rt with
+            | Some rt when ESt.missing store > 0 ->
+                cur := k;
+                Pag_eval.Dag.force_stalled rt
+            | _ -> false
+          in
           let backoff = ref 0 in
-          while !pending > 0 do
+          while more () do
             match Steal.pop my with
             | Some rid ->
                 backoff := 0;
@@ -724,7 +822,10 @@ let run_sim_steal opts g tree =
                   if !backoff < 16 then incr backoff
                 end
           done;
-          if !finisher = k then
+          let complete =
+            match rt with None -> true | Some _ -> ESt.missing store = 0
+          in
+          if !finisher = k && complete then
             List.iter
               (fun (attr, value) ->
                 let msg = Message.Attr { node = tree.Tree.id; attr; value } in
@@ -757,13 +858,32 @@ let run_sim_steal opts g tree =
     ()
   done;
   S.run sim;
-  if !fired_total < live then
+  let stuck =
+    match rt with
+    | None -> !fired_total < !live
+    | Some _ -> ESt.missing store > 0
+  in
+  if stuck then
     raise
       (Eng.Cycle
          (Printf.sprintf
             "dynamic evaluation stuck: %d attribute instances unevaluated \
              (circular tree or missing root attributes)"
             (ESt.missing store)));
+  (match rt with
+  | Some rt when Obs.ctx_enabled ctxs.(0) ->
+      let s = Pag_eval.Dag.stats rt in
+      let reg = ctxs.(0).Obs.x_metrics in
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg "dag.regions")
+        s.Pag_eval.Dag.dg_regions;
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg "dag.projected_slots")
+        s.Pag_eval.Dag.dg_projected_slots;
+      Obs.Metrics.add
+        (Obs.Metrics.counter reg "dag.materialized_rids")
+        s.Pag_eval.Dag.dg_materialized_rids
+  | _ -> ());
   let worker_stats =
     Array.init m (fun i ->
         let st = stats.(i + 1) in
@@ -886,8 +1006,27 @@ let run_domains_steal opts g tree =
   let split, _nodes_by_id = prepare opts g tree in
   let m = max 1 opts.machines in
   let store = ESt.create_shared g tree in
-  let eng = Eng.create g store in
+  let dplan =
+    if opts.use_dag then Some (Pag_eval.Dag.plan g store (Tree.dag tree))
+    else None
+  in
+  let eng =
+    Eng.create ?rules_for:(Option.map Pag_eval.Dag.rules_for dplan) g store
+  in
   let gr = Eng.graph eng in
+  (* The DAG runtime's projection bookkeeping is single-threaded, and
+     [Engine.run_steal] owns the whole schedule on this transport — so
+     [--dag] here materializes every region up front and hands run_steal
+     the resulting per-occurrence table. No sharing win at runtime (the
+     point of --dag on domains is result parity with the other
+     transports); the class table still prices the instance build. *)
+  (match dplan with
+  | None -> ()
+  | Some p ->
+      let rt = Pag_eval.Dag.make p eng gr in
+      while Pag_eval.Dag.force_stalled rt do
+        ()
+      done);
   let node_frag = fragment_affinity split store in
   let owner rid =
     node_frag.(ESt.dense_index store (Eng.node_of eng rid)) mod m
@@ -982,7 +1121,11 @@ let run_domains_steal opts g tree =
 
 let run_domains_static opts g plan tree =
   let split, nodes_by_id = prepare opts g tree in
-  let sharing = if opts.use_hashcons then Some (Tree.sharing tree) else None in
+  (* Same collapse unit as the sim static path: [--dag] = class-keyed memo. *)
+  let sharing =
+    if opts.use_hashcons || opts.use_dag then Some (Tree.sharing tree)
+    else None
+  in
   let nfrags = Split.count split in
   let librarian_id = if opts.use_librarian then Some (nfrags + 1) else None in
   let nmachines = nfrags + 2 in

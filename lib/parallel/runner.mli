@@ -42,6 +42,24 @@ type options = {
           DAG-compressed [Subtree] shipping, and the cross-machine intern
           librarian ({!Intern}) deduplicating boundary payloads on the wire.
           Off by default; semantics are unchanged either way. *)
+  use_dag : bool;
+      (** first-class DAG evaluation ({!Pag_eval.Dag}): the tree's shared
+          DAG becomes the evaluation substrate. On the [`Steal] simulator
+          schedule the engine builds one rule-instance set per (subtree
+          class × inherited fingerprint) — parked occurrences own no
+          instances and receive their synthesized attributes by slot-range
+          projection when the class leader's region completes — and
+          [Subtree] assignments are priced as their real shared wire
+          encoding ({!Split.dag_bytes}: each class body crosses once per
+          machine). On the [`Static]/[`Dynamic] schedules the collapse
+          unit is the same class table routed through the worker subtree
+          memo (as [use_hashcons], minus wire interning). On the domains
+          [`Steal] transport every region is materialized up front — the
+          projection bookkeeping is single-threaded — so the run checks
+          result parity, not a sharing win. Uid-consuming rules taint
+          their classes and fall back to per-occurrence evaluation, so
+          output is unchanged up to label renaming (exactly equal after
+          masking, property-tested). Off by default. *)
   cost : Cost.t;
   net_params : Ethernet.params;
   phase_label : int -> string option;

@@ -32,6 +32,7 @@ type config = {
   c_mem_cap : int;
   c_idle_rounds : int;
   c_hashcons : bool;
+  c_dag : bool;
   c_frontier : float option;
   c_faults : Faults.spec option;
   c_fault_rto : float;
@@ -46,7 +47,8 @@ type config = {
 let prov_cap = 1 lsl 16
 
 let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
-    ?(mem_cap = 0) ?(idle_rounds = 0) ?(hashcons = false) ?frontier ?faults
+    ?(mem_cap = 0) ?(idle_rounds = 0) ?(hashcons = false) ?(dag = false)
+    ?frontier ?faults
     ?(fault_rto = 0.05) ?(net = Ethernet.default_params) ?(obs = Obs.null_ctx)
     ?(provenance = false) ?(batch = 1) workers =
   if workers < 1 then invalid_arg "Service.config: workers < 1";
@@ -58,6 +60,7 @@ let config ?(policy = Round_robin) ?(transport = `Sim) ?(queue_cap = 0)
     c_mem_cap = mem_cap;
     c_idle_rounds = idle_rounds;
     c_hashcons = hashcons;
+    c_dag = dag;
     c_frontier = frontier;
     c_faults = faults;
     c_fault_rto = fault_rto;
@@ -268,7 +271,8 @@ let revive sv tn =
       Prov.clear tn.t_prov;
       let s =
         Incr.start ~obs ?memo:sv.sv_memo ~hashcons:cfg.c_hashcons
-          ~prov:tn.t_prov ?frontier:cfg.c_frontier sv.sv_g tn.t_tree
+          ~dag:cfg.c_dag ~prov:tn.t_prov ?frontier:cfg.c_frontier sv.sv_g
+          tn.t_tree
       in
       tn.t_session <- Some s;
       enforce_cap sv ~keep:tn;

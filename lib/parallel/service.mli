@@ -78,6 +78,11 @@ type config = {
   c_mem_cap : int;  (** total live slots across tenants; 0 = uncapped *)
   c_idle_rounds : int;  (** evict after this many idle rounds; 0 = never *)
   c_hashcons : bool;  (** shared rule memo / intern arena across tenants *)
+  c_dag : bool;
+      (** every tenant session evaluates on the shared DAG
+          ({!Pag_eval.Incr.start}'s [dag]): one rule-instance set per
+          repeated-subtree class, classes split on divergence only, so
+          resident sessions keep the sharing win across the edit stream *)
   c_frontier : float option;  (** {!Pag_eval.Incr.start}'s [frontier] *)
   c_faults : Faults.spec option;  (** [`Sim] only *)
   c_fault_rto : float;  (** retransmission timeout, simulated seconds *)
@@ -112,6 +117,7 @@ val config :
   ?mem_cap:int ->
   ?idle_rounds:int ->
   ?hashcons:bool ->
+  ?dag:bool ->
   ?frontier:float ->
   ?faults:Faults.spec ->
   ?fault_rto:float ->

@@ -15,6 +15,7 @@ type spec = {
   sp_librarian : bool;
   sp_priority : bool;
   sp_hashcons : bool;
+  sp_dag : bool;
   sp_telemetry : bool;
   sp_faults : Faults.spec option;
   sp_fault_rto : float option;
@@ -25,7 +26,7 @@ type spec = {
 
 let spec ?(mode = `Combined) ?(schedule = `Static) ?(transport = `Sim)
     ?(granularity = 1.0) ?(librarian = true) ?(priority = true)
-    ?(hashcons = false) ?(telemetry = false) ?faults ?fault_rto
+    ?(hashcons = false) ?(dag = false) ?(telemetry = false) ?faults ?fault_rto
     ?fault_watchdog ?(phase_label = fun _ -> None) ?(provenance = false)
     machines =
   {
@@ -38,6 +39,7 @@ let spec ?(mode = `Combined) ?(schedule = `Static) ?(transport = `Sim)
     sp_librarian = librarian;
     sp_priority = priority;
     sp_hashcons = hashcons;
+    sp_dag = dag;
     sp_telemetry = telemetry;
     sp_faults = faults;
     sp_fault_rto = fault_rto;
@@ -56,6 +58,7 @@ let options s =
     use_librarian = s.sp_librarian;
     use_priority = s.sp_priority;
     use_hashcons = s.sp_hashcons;
+    use_dag = s.sp_dag;
     telemetry = s.sp_telemetry;
     faults = s.sp_faults;
     fault_rto = s.sp_fault_rto;
@@ -115,7 +118,8 @@ let open_session ?obs ?memo ?prov ?frontier sp g tree =
         else Pag_obs.Prov.disabled
   in
   let incr =
-    Incr.start ?obs ?memo ~hashcons:sp.sp_hashcons ~prov ?frontier g tree
+    Incr.start ?obs ?memo ~hashcons:sp.sp_hashcons ~dag:sp.sp_dag ~prov
+      ?frontier g tree
   in
   let plan =
     Split.decompose g (Incr.tree incr) ~machines:sp.sp_machines

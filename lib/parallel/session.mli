@@ -43,6 +43,11 @@ type spec = {
   sp_librarian : bool;
   sp_priority : bool;
   sp_hashcons : bool;
+  sp_dag : bool;
+      (** first-class DAG evaluation: {!Runner.options.use_dag} on
+          from-scratch runs; edit sessions evaluate through
+          {!Pag_eval.Incr} with [~dag:true] (classes split on divergence
+          only, so resident sessions keep the sharing across edits) *)
   sp_telemetry : bool;
   sp_faults : Faults.spec option;
   sp_fault_rto : float option;
@@ -67,6 +72,7 @@ val spec :
   ?librarian:bool ->
   ?priority:bool ->
   ?hashcons:bool ->
+  ?dag:bool ->
   ?telemetry:bool ->
   ?faults:Faults.spec ->
   ?fault_rto:float ->

@@ -199,40 +199,228 @@ let decompose g tree ~machines ~granularity =
 
 let fragments p = p.frags
 
-(* Wire size of a fragment when sender and receiver both know the tree's
-   sharing classes: the second and later occurrences of a repeated subtree
-   ship as a fixed-size reference to the first, provided the occurrence's id
-   range contains no cut (a cut boundary makes occurrences structurally
-   different on this machine even when the full subtrees are equal). *)
-let backref_bytes = 8
+(* ------------------------- wire format ------------------------- *)
+
+(* Real linearization of a fragment for the DAG-aware transport. Both ends
+   hold the (static) grammar, so nodes travel as production / symbol names
+   plus terminal attribute literals; what makes the format DAG-native is
+   class shipping: the first occurrence of a repeated subtree on a given
+   destination is preceded by a definition marker binding its shape-class
+   id, and every later occurrence shipped to the same machine is a 5-byte
+   backreference to that class — each class body crosses the wire once per
+   machine, not once per occurrence. An occurrence only participates when
+   its id range contains no cut (a cut makes occurrences structurally
+   different on this machine even when the full subtrees are equal); cut
+   children travel as stubs, as in the plain format.
+
+   [dag_bytes] is the length of this encoding — the priced and the shipped
+   representation are the same bytes. *)
+
+exception Malformed of string
+
+let add_u16 b n =
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff))
+
+let add_u32 b n =
+  add_u16 b (n land 0xffff);
+  add_u16 b ((n lsr 16) land 0xffff)
+
+let add_i64 b n =
+  add_u32 b (n land 0xffffffff);
+  add_u32 b ((n asr 32) land 0xffffffff)
+
+let add_str16 b s =
+  if String.length s > 0xffff then raise (Malformed "name too long");
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+(* Terminal attributes are parser literals: the structured constructors
+   cover them. [Tab]/[Ext] values are evaluator-made and never occur in a
+   parse tree. *)
+let rec enc_value b (v : Value.t) =
+  match v with
+  | Value.Unit -> Buffer.add_char b 'u'
+  | Value.Bool x ->
+      Buffer.add_char b 'b';
+      Buffer.add_char b (if x then '\001' else '\000')
+  | Value.Int n ->
+      Buffer.add_char b 'i';
+      add_i64 b n
+  | Value.Str r ->
+      Buffer.add_char b 's';
+      let s = Pag_util.Rope.to_string r in
+      add_u32 b (String.length s);
+      Buffer.add_string b s
+  | Value.List vs ->
+      Buffer.add_char b 'l';
+      add_u32 b (List.length vs);
+      List.iter (enc_value b) vs
+  | Value.Pair (x, y) ->
+      Buffer.add_char b 'p';
+      enc_value b x;
+      enc_value b y
+  | Value.Tab _ | Value.Ext _ ->
+      invalid_arg "Split.encode: non-literal terminal attribute"
+
+let encode ?sharing p (f : fragment) =
+  let cuts = p.cut_lists.(f.fr_id) in
+  (* the class of [n] when eligible for once-per-machine shipping:
+     multiply occurring, at least two nodes (a keyword leaf is cheaper to
+     reship than to reference — a backreference is 5 bytes, its body
+     little more), and an id range containing no cut *)
+  let share_class (n : Tree.t) =
+    match sharing with
+    | None -> None
+    | Some (sh : Tree.sharing) ->
+        let c = sh.Tree.sh_class.(n.Tree.id) in
+        let hi = n.Tree.id + sh.Tree.sh_size.(c) in
+        if
+          sh.Tree.sh_occurs.(c) > 1
+          && sh.Tree.sh_size.(c) >= 2
+          && List.for_all (fun cid -> cid < n.Tree.id || cid >= hi) cuts
+        then Some c
+        else None
+  in
+  let b = Buffer.create 256 in
+  (* class -> already shipped to this destination *)
+  let seen = Hashtbl.create 64 in
+  let rec go (n : Tree.t) =
+    if List.mem n.Tree.id cuts then begin
+      Buffer.add_char b 'C';
+      add_u32 b n.Tree.id;
+      add_str16 b n.Tree.sym
+    end
+    else
+      let body () =
+        match n.Tree.prod with
+        | Some pr ->
+            Buffer.add_char b 'P';
+            add_str16 b pr.Grammar.p_name;
+            add_u16 b (Array.length n.Tree.children);
+            Array.iter go n.Tree.children
+        | None ->
+            Buffer.add_char b 'L';
+            add_str16 b n.Tree.sym;
+            add_u16 b (List.length n.Tree.term_attrs);
+            List.iter
+              (fun (a, v) ->
+                add_str16 b a;
+                enc_value b v)
+              n.Tree.term_attrs
+      in
+      match share_class n with
+      | Some c when Hashtbl.mem seen c ->
+          Buffer.add_char b 'R';
+          add_u32 b c
+      | Some c ->
+          Hashtbl.replace seen c ();
+          Buffer.add_char b 'D';
+          add_u32 b c;
+          body ()
+      | None -> body ()
+  in
+  go f.fr_root;
+  Buffer.contents b
+
+let decode g s =
+  let pos = ref 0 in
+  let u8 () =
+    if !pos >= String.length s then raise (Malformed "truncated");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let u16 () =
+    let a = Char.code (u8 ()) in
+    a lor (Char.code (u8 ()) lsl 8)
+  in
+  let u32 () =
+    let a = u16 () in
+    a lor (u16 () lsl 16)
+  in
+  let i64 () =
+    let a = u32 () in
+    let hi = u32 () in
+    a lor (hi lsl 32)
+  in
+  let strn n =
+    if !pos + n > String.length s then raise (Malformed "truncated string");
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let str16 () = strn (u16 ()) in
+  let rec value () =
+    match u8 () with
+    | 'u' -> Value.Unit
+    | 'b' -> Value.Bool (u8 () <> '\000')
+    | 'i' -> Value.Int (i64 ())
+    | 's' -> Value.str (strn (u32 ()))
+    | 'l' ->
+        let k = u32 () in
+        Value.List (List.init k (fun _ -> value ()))
+    | 'p' ->
+        let x = value () in
+        let y = value () in
+        Value.Pair (x, y)
+    | c -> raise (Malformed (Printf.sprintf "bad value tag %C" c))
+  in
+  (* class id -> first decoded occurrence; backreferences expand to fresh
+     copies (the receiver materializes a tree, not a graph) *)
+  let classes : (int, Tree.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec copy (n : Tree.t) =
+    match n.Tree.prod with
+    | Some pr ->
+        Tree.node g pr.Grammar.p_name
+          (Array.to_list (Array.map copy n.Tree.children))
+    | None -> Tree.leaf g n.Tree.sym n.Tree.term_attrs
+  in
+  let rec node () =
+    match u8 () with
+    | 'D' ->
+        let c = u32 () in
+        let t = node () in
+        Hashtbl.replace classes c t;
+        t
+    | 'R' -> (
+        let c = u32 () in
+        match Hashtbl.find_opt classes c with
+        | Some t -> copy t
+        | None -> raise (Malformed "backreference before definition"))
+    | 'P' ->
+        let name = str16 () in
+        let k = u16 () in
+        Tree.node g name (List.init k (fun _ -> node ()))
+    | 'L' ->
+        let sym = str16 () in
+        let k = u16 () in
+        Tree.leaf g sym
+          (List.init k (fun _ ->
+               let a = str16 () in
+               (a, value ())))
+    | 'C' ->
+        (* Childless stand-in for the cut subtree (its symbol is a
+           nonterminal, so [Tree.leaf] would reject it); the stub records
+           the cut node's global id for the reassembly protocol. *)
+        let id = u32 () in
+        let sym = str16 () in
+        {
+          Tree.id;
+          sym;
+          sym_id = Grammar.sym_id g sym;
+          prod = None;
+          children = [||];
+          term_attrs = [ ("cut", Value.Int id) ];
+        }
+    | c -> raise (Malformed (Printf.sprintf "bad node tag %C" c))
+  in
+  let t = node () in
+  if !pos <> String.length s then raise (Malformed "trailing bytes");
+  t
 
 let dag_bytes p (sh : Tree.sharing) (f : fragment) =
-  let cuts = p.cut_lists.(f.fr_id) in
-  let range_clean id c =
-    let hi = id + sh.Tree.sh_size.(c) in
-    List.for_all (fun cid -> cid < id || cid >= hi) cuts
-  in
-  let seen = Hashtbl.create 64 in
-  let total = ref 0 in
-  let stack = ref [ f.fr_root ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | n :: rest ->
-        stack := rest;
-        if not (List.mem n.Tree.id cuts) then begin
-          let c = sh.Tree.sh_class.(n.Tree.id) in
-          let clean = range_clean n.Tree.id c in
-          if sh.Tree.sh_occurs.(c) > 1 && clean && Hashtbl.mem seen c then
-            total := !total + backref_bytes
-          else begin
-            if clean then Hashtbl.replace seen c ();
-            total := !total + node_bytes n;
-            Array.iter (fun ch -> stack := ch :: !stack) n.Tree.children
-          end
-        end
-  done;
-  !total
+  String.length (encode ~sharing:sh p f)
 
 let fragment_of_cut_node p node_id = Hashtbl.find_opt p.cut_to_frag node_id
 

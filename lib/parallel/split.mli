@@ -50,11 +50,31 @@ val cuts_of : plan -> int -> int list
 (** Fragment count (≤ machines). *)
 val count : plan -> int
 
-(** [dag_bytes plan sharing f]: wire size of fragment [f] when both ends
-    know the tree's sharing classes — repeated subtrees (occurrences after
-    the first, within this fragment, whose id range contains no cut) cost a
-    fixed backreference instead of their linearized bytes. Never larger than
-    [f.fr_bytes]. *)
+(** Ill-formed wire bytes (truncated input, unknown tag, backreference to
+    an unshipped class). *)
+exception Malformed of string
+
+(** [encode ?sharing plan f] — the fragment's real wire representation.
+    Nodes travel as production/symbol names plus terminal-attribute
+    literals (both ends hold the grammar); cut children travel as stubs.
+    With [sharing], the first occurrence of a repeated subtree shipped to
+    this destination carries a definition marker binding its shape-class
+    id, and every later occurrence is a 5-byte backreference — each class
+    body crosses the wire once per machine, not once per occurrence
+    (occurrences whose id range contains a cut are excluded: structurally
+    different on this machine; single-node classes are reshipped, a
+    reference would cost as much). The shared encoding is never longer
+    than the plain one. *)
+val encode : ?sharing:Tree.sharing -> plan -> fragment -> string
+
+(** [decode g bytes] rebuilds the shipped fragment: backreferences expand
+    to fresh copies of the class body, cut stubs become childless nodes of
+    the cut symbol carrying a ["cut"] attribute with the stub's node id.
+    Raises {!Malformed} on ill-formed input. *)
+val decode : Grammar.t -> string -> Tree.t
+
+(** [dag_bytes plan sharing f] = [String.length (encode plan sharing f)]:
+    the priced and the shipped representation are the same bytes. *)
 val dag_bytes : plan -> Tree.sharing -> fragment -> int
 
 (** Render the decomposition as an indented tree with sizes (figure 7). *)

@@ -28,8 +28,8 @@ let compiled_of_attrs attrs =
     c_errors = Pascal_ag.errors_of_attrs attrs;
   }
 
-let compile ?obs ?hashcons ?prov ?engine_out ?tree_out ?(evaluator = `Static)
-    prog =
+let compile ?obs ?hashcons ?dag ?dag_out ?prov ?engine_out ?tree_out
+    ?(evaluator = `Static) prog =
   let tree =
     match obs with
     | Some x when Pag_obs.Obs.ctx_enabled x ->
@@ -41,6 +41,12 @@ let compile ?obs ?hashcons ?prov ?engine_out ?tree_out ?(evaluator = `Static)
   let store =
     match evaluator with
     | `Static ->
+        (* the static schedule's collapse unit is the whole subtree visit:
+           [--dag] maps to the subtree memo, which is keyed on the same
+           shape-class table the DAG runtime projects over *)
+        let hashcons =
+          match dag with Some true -> Some true | _ -> hashcons
+        in
         let store, _ =
           Static_eval.eval ?obs ?hashcons ?prov ?engine_out (Lazy.force plan)
             tree
@@ -48,7 +54,8 @@ let compile ?obs ?hashcons ?prov ?engine_out ?tree_out ?(evaluator = `Static)
         store
     | `Dynamic ->
         let store, _ =
-          Dynamic.eval ?obs ?hashcons ?prov ?engine_out Pascal_ag.grammar tree
+          Dynamic.eval ?obs ?hashcons ?dag ?dag_out ?prov ?engine_out
+            Pascal_ag.grammar tree
         in
         store
     | `Oracle -> Oracle.eval Pascal_ag.grammar tree

@@ -30,6 +30,12 @@ val phase_label : int -> string option
     [~hashcons:true] enables hash-consed (memoized) evaluation for the
     [`Static] and [`Dynamic] evaluators; [`Oracle] ignores it.
 
+    [~dag:true] evaluates on the shared DAG: for [`Dynamic], one
+    rule-instance set per unique subtree with occurrence projection
+    ({!Pag_eval.Dag}); for [`Static], the subtree memo (whose replay unit
+    — the whole visit over a shape class — is that schedule's collapse
+    unit). [dag_out] hands back the DAG runtime for statistics.
+
     [prov] attaches a provenance ring to the run (ignored by [`Oracle]);
     [engine_out]/[tree_out] hand back the evaluation engine and the built
     tree for post-run analysis ({!Pag_eval.Causal} — [pagc --explain] and
@@ -37,6 +43,8 @@ val phase_label : int -> string option
 val compile :
   ?obs:Pag_obs.Obs.ctx ->
   ?hashcons:bool ->
+  ?dag:bool ->
+  ?dag_out:(Pag_eval.Dag.t -> unit) ->
   ?prov:Pag_obs.Prov.t ->
   ?engine_out:(Pag_eval.Engine.t -> unit) ->
   ?tree_out:(Pag_core.Tree.t -> unit) ->

@@ -414,6 +414,73 @@ let prop_hashcons_chaos =
       (not r.Runner.r_recovered)
       && String.equal clean.Pascal.Driver.c_asm faulty.Pascal.Driver.c_asm)
 
+(* --------------- fragment wire format --------------- *)
+
+(* The priced representation IS the shipped representation: dag_bytes must
+   be the length of the encoding, the shared encoding must never exceed
+   the plain one, decode must rebuild the fragment's shape (cut children
+   as stubs), and Message.size must charge exactly header + those bytes. *)
+
+let decoded_matches plan (orig : Tree.t) (dec : Tree.t) =
+  let pv v = Format.asprintf "%a" Value.pp v in
+  let rec go ~root (a : Tree.t) (b : Tree.t) =
+    String.equal a.Tree.sym b.Tree.sym
+    &&
+    if (not root) && Split.fragment_of_cut_node plan a.Tree.id <> None then
+      (* cut child: ships as a childless stub of the cut symbol *)
+      Array.length b.Tree.children = 0
+    else
+      (match (a.Tree.prod, b.Tree.prod) with
+      | Some pa, Some pb -> String.equal pa.Grammar.p_name pb.Grammar.p_name
+      | None, None ->
+          List.length a.Tree.term_attrs = List.length b.Tree.term_attrs
+          && List.for_all
+               (fun (n, v) ->
+                 match List.assoc_opt n b.Tree.term_attrs with
+                 | Some w -> String.equal (pv v) (pv w)
+                 | None -> false)
+               a.Tree.term_attrs
+      | _ -> false)
+      && Array.length a.Tree.children = Array.length b.Tree.children
+      && Array.for_all2 (go ~root:false) a.Tree.children b.Tree.children
+  in
+  go ~root:true orig dec
+
+let test_fragment_wire_roundtrip () =
+  let g = Pascal.Pascal_ag.grammar in
+  let prog = Pascal.Parser.parse_program (Lazy.force primes) in
+  let tree = Pascal.Pascal_ag.tree_of_program g prog in
+  ignore (Tree.number tree);
+  let plan = Split.decompose g tree ~machines:4 ~granularity:1.0 in
+  let sh = Tree.sharing tree in
+  Array.iter
+    (fun (f : Split.fragment) ->
+      let plain = Split.encode plan f in
+      let shared = Split.encode ~sharing:sh plan f in
+      check_int
+        (Printf.sprintf "fragment %d: priced = shipped" f.Split.fr_id)
+        (String.length shared)
+        (Split.dag_bytes plan sh f);
+      check_bool
+        (Printf.sprintf "fragment %d: sharing never inflates" f.Split.fr_id)
+        true
+        (String.length shared <= String.length plain);
+      check_bool
+        (Printf.sprintf "fragment %d: plain decode matches" f.Split.fr_id)
+        true
+        (decoded_matches plan f.Split.fr_root (Split.decode g plain));
+      check_bool
+        (Printf.sprintf "fragment %d: shared decode matches" f.Split.fr_id)
+        true
+        (decoded_matches plan f.Split.fr_root (Split.decode g shared));
+      let bytes = String.length shared in
+      let msg = Message.Subtree { frag = f.Split.fr_id; bytes; uid_base = 0 } in
+      check_int
+        (Printf.sprintf "fragment %d: Message.size = header + wire"
+           f.Split.fr_id)
+        (Message.header_bytes + bytes) (Message.size msg))
+    (Split.fragments plan)
+
 let suite =
   [
     ( "hashcons",
@@ -437,6 +504,8 @@ let suite =
         Alcotest.test_case "primes.pas parallel memoized" `Quick
           test_primes_parallel_hashcons;
         Alcotest.test_case "faults + hashcons" `Quick test_faults_with_hashcons;
+        Alcotest.test_case "fragment wire: priced = shipped, decode agrees"
+          `Quick test_fragment_wire_roundtrip;
         prop_hashcons_chaos;
       ] );
   ]
